@@ -1,0 +1,63 @@
+// Ablation: the choice of the bypass-object algorithm A_obj inside
+// OnlineBY and SpaceEffBY (§5.2 makes the reduction parametric in any
+// a-competitive A_obj). Compares Landlord (mandatory admission),
+// RentToBuy (ski-rental admission, the paper's narrative), and the
+// Irani-style size-class marking cache, on the EDR trace at both
+// granularities.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/online_by_policy.h"
+#include "core/space_eff_by_policy.h"
+
+int main() {
+  using namespace byc;
+  bench::Release edr = bench::MakeEdr();
+
+  std::printf("Ablation: A_obj choice inside OnlineBY / SpaceEffBY "
+              "(EDR, cache = 30%% of DB)\n\n");
+
+  for (catalog::Granularity granularity :
+       {catalog::Granularity::kTable, catalog::Granularity::kColumn}) {
+    sim::Simulator simulator(&edr.federation, granularity);
+    auto queries = simulator.DecomposeTrace(edr.trace);
+    uint64_t capacity = bench::CapacityFraction(edr, 0.30);
+
+    std::printf("granularity = %s caching\n",
+                bench::GranularityName(granularity));
+    TablePrinter table({"policy", "A_obj", "bypass_gb", "fetch_gb",
+                        "total_gb"});
+    for (core::AobjKind aobj :
+         {core::AobjKind::kLandlord, core::AobjKind::kRentToBuy,
+          core::AobjKind::kIraniSizeClass}) {
+      core::OnlineByPolicy::Options options;
+      options.capacity_bytes = capacity;
+      options.aobj = aobj;
+      core::OnlineByPolicy policy(options);
+      sim::SimResult r = simulator.Run(policy, queries);
+      table.AddRow({"OnlineBY", std::string(core::AobjKindName(aobj)),
+                    FormatGB(r.totals.bypass_cost),
+                    FormatGB(r.totals.fetch_cost),
+                    FormatGB(r.totals.total_wan())});
+    }
+    for (core::AobjKind aobj :
+         {core::AobjKind::kLandlord, core::AobjKind::kRentToBuy,
+          core::AobjKind::kIraniSizeClass}) {
+      core::SpaceEffByPolicy::Options options;
+      options.capacity_bytes = capacity;
+      options.aobj = aobj;
+      core::SpaceEffByPolicy policy(options);
+      sim::SimResult r = simulator.Run(policy, queries);
+      table.AddRow({"SpaceEffBY", std::string(core::AobjKindName(aobj)),
+                    FormatGB(r.totals.bypass_cost),
+                    FormatGB(r.totals.fetch_cost),
+                    FormatGB(r.totals.total_wan())});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: metadata space — the motivation for SpaceEffBY (§5):
+// "Both RateProfile and OnlineBY need to store information for all
+// objects that can be potentially cached, whether they are in the cache
+// or not. ... SpaceEffBY uses the power of randomization to do away with
+// the need to store object metadata."
+//
+// This bench replays the EDR trace (column caching) and reports each
+// algorithm's count of per-object metadata entries for NON-resident
+// objects, alongside its network cost — the state/traffic trade the
+// paper's three algorithms span.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/online_by_policy.h"
+#include "core/rate_profile_policy.h"
+#include "core/space_eff_by_policy.h"
+
+int main() {
+  using namespace byc;
+  bench::Release edr = bench::MakeEdr();
+  const catalog::Granularity granularity = catalog::Granularity::kColumn;
+  sim::Simulator simulator(&edr.federation, granularity);
+  auto queries = simulator.DecomposeTrace(edr.trace);
+  const uint64_t capacity = bench::CapacityFraction(edr, 0.30);
+  const int universe = edr.federation.catalog().total_columns();
+
+  std::printf("Ablation: metadata space vs network cost (EDR, column "
+              "caching, cache = 30%% of DB)\n"
+              "object universe: %d columns\n\n",
+              universe);
+
+  TablePrinter table({"algorithm", "metadata_entries", "total_gb"});
+
+  {
+    core::RateProfilePolicy::Options options;
+    options.capacity_bytes = capacity;
+    core::RateProfilePolicy policy(options);
+    sim::SimResult r = simulator.Run(policy, queries);
+    table.AddRow({"Rate-Profile (query profiles)",
+                  std::to_string(policy.metadata_entries()),
+                  FormatGB(r.totals.total_wan())});
+  }
+  for (core::AobjKind aobj :
+       {core::AobjKind::kRentToBuy, core::AobjKind::kLandlord}) {
+    core::OnlineByPolicy::Options options;
+    options.capacity_bytes = capacity;
+    options.aobj = aobj;
+    core::OnlineByPolicy policy(options);
+    sim::SimResult r = simulator.Run(policy, queries);
+    table.AddRow({std::string("OnlineBY (BYU + ") +
+                      std::string(core::AobjKindName(aobj)) + ")",
+                  std::to_string(policy.metadata_entries()),
+                  FormatGB(r.totals.total_wan())});
+  }
+  for (core::AobjKind aobj :
+       {core::AobjKind::kLandlord, core::AobjKind::kRentToBuy}) {
+    core::SpaceEffByPolicy::Options options;
+    options.capacity_bytes = capacity;
+    options.aobj = aobj;
+    core::SpaceEffByPolicy policy(options);
+    sim::SimResult r = simulator.Run(policy, queries);
+    table.AddRow({std::string("SpaceEffBY (") +
+                      std::string(core::AobjKindName(aobj)) + ")",
+                  std::to_string(policy.metadata_entries()),
+                  FormatGB(r.totals.total_wan())});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\npaper claim to verify: SpaceEffBY with the Landlord A_obj holds "
+      "ZERO metadata for\nnon-resident objects (O(1) extra space), "
+      "OnlineBY holds one BYU accumulator per\ntouched object, and "
+      "Rate-Profile holds full query profiles — while the network\ncosts "
+      "rise in exactly the opposite order. State buys traffic.\n");
+  return 0;
+}

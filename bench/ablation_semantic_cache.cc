@@ -1,0 +1,90 @@
+// Ablation for §6.1's "what class of objects to cache" study: a semantic
+// (query-result) cache against schema-object caching on the EDR trace.
+// The paper argues semantic caching needs query reuse and containment,
+// which astronomy workloads lack; this bench measures the semantic hit
+// rate directly and contrasts the resulting WAN cost with Rate-Profile
+// column caching on the same trace.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "core/semantic_cache.h"
+#include "query/result_cache.h"
+#include "query/signature.h"
+#include "query/yield.h"
+
+int main() {
+  using namespace byc;
+  bench::Release edr = bench::MakeEdr();
+  const catalog::Catalog& catalog = edr.federation.catalog();
+  uint64_t capacity = bench::CapacityFraction(edr, 0.30);
+
+  // Footprint-based semantic cache: schema signature + sky-cell subset.
+  core::SemanticCache semantic(core::SemanticCache::Options{capacity});
+  // Predicate-based semantic cache: exact conjunctive containment.
+  query::ResultCache predicate_cache({capacity, 256});
+  query::YieldEstimator estimator(&catalog);
+  for (const workload::TraceQuery& tq : edr.trace.queries) {
+    double result_bytes = estimator.EstimateResultRows(tq.query) *
+                          estimator.OutputRowWidth(tq.query);
+    core::SemanticCache::QueryFootprint fp;
+    fp.schema_signature = query::SchemaSignature(tq.query);
+    fp.cells = tq.cells;
+    std::sort(fp.cells.begin(), fp.cells.end());
+    fp.result_bytes = result_bytes;
+    semantic.OnQuery(fp);
+    predicate_cache.OnQuery(tq.query, result_bytes);
+  }
+  const core::SemanticCache::Stats& stats = semantic.stats();
+  const query::ResultCache::Stats& pstats = predicate_cache.stats();
+
+  // Rate-Profile column caching on the identical trace for contrast.
+  sim::Simulator simulator(&edr.federation, catalog::Granularity::kColumn);
+  auto queries = simulator.DecomposeTrace(edr.trace);
+  sim::SimResult rate =
+      bench::RunPolicy(edr, catalog::Granularity::kColumn,
+                       core::PolicyKind::kRateProfile, capacity, queries, 0);
+  sim::SimResult tables =
+      bench::RunPolicy(edr, catalog::Granularity::kTable,
+                       core::PolicyKind::kRateProfile, capacity,
+                       sim::Simulator(&edr.federation,
+                                      catalog::Granularity::kTable)
+                           .DecomposeTrace(edr.trace),
+                       0);
+
+  std::printf("Ablation: semantic (query) caching vs schema-object caching "
+              "(EDR, cache = 30%% of DB)\n\n");
+  TablePrinter table({"cache class", "hit_rate", "wan_total_gb"});
+  char hit_buf[32];
+  std::snprintf(hit_buf, sizeof(hit_buf), "%.3f%%",
+                100.0 * static_cast<double>(stats.hits) /
+                    static_cast<double>(stats.queries));
+  table.AddRow({"semantic (footprint containment)", hit_buf,
+                FormatGB(stats.wan_cost)});
+  char phit_buf[32];
+  std::snprintf(phit_buf, sizeof(phit_buf), "%.3f%%",
+                100.0 * static_cast<double>(pstats.hits) /
+                    static_cast<double>(pstats.queries));
+  table.AddRow({"semantic (predicate containment)", phit_buf,
+                FormatGB(pstats.wan_cost)});
+  table.AddRow({"Rate-Profile columns", "-",
+                FormatGB(rate.totals.total_wan())});
+  table.AddRow({"Rate-Profile tables", "-",
+                FormatGB(tables.totals.total_wan())});
+  table.Print(std::cout);
+
+  std::printf(
+      "\nsemantic cache: %llu queries, %llu containment hits, %s GB saved\n",
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.hits),
+      FormatGB(stats.saved_bytes).c_str());
+  std::printf(
+      "\npaper finding to verify: 'astronomy workloads do not exhibit "
+      "query reuse and query containment upon which semantic caching "
+      "relies' — the semantic hit rate stays near zero and its WAN cost "
+      "near the uncached sequence cost, while schema-object caching cuts "
+      "traffic by an order of magnitude.\n");
+  return 0;
+}

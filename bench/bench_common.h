@@ -1,0 +1,91 @@
+#ifndef BYC_BENCH_BENCH_COMMON_H_
+#define BYC_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the figure/table reproduction binaries: builds
+// the calibrated EDR / DR1 workloads and provides the run-one-policy
+// helper every bench uses. Each binary prints the rows/series of one
+// exhibit from the paper's §6 evaluation.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/sdss.h"
+#include "common/bytes.h"
+#include "core/policy_factory.h"
+#include "core/static_policy.h"
+#include "federation/federation.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace byc::bench {
+
+/// One data release's fully built environment.
+struct Release {
+  std::string name;
+  federation::Federation federation;
+  workload::Trace trace;
+  double sequence_cost = 0;
+};
+
+inline Release MakeRelease(bool dr1) {
+  auto catalog = dr1 ? catalog::MakeSdssDr1Catalog()
+                     : catalog::MakeSdssEdrCatalog();
+  workload::GeneratorOptions options =
+      dr1 ? workload::MakeDr1Options() : workload::MakeEdrOptions();
+  workload::TraceGenerator gen(&catalog, options);
+  workload::Trace trace = gen.Generate();
+  double cost = gen.SequenceCost(trace);
+  std::string name = catalog.name();
+  return Release{std::move(name),
+                 federation::Federation::SingleSite(std::move(catalog)),
+                 std::move(trace), cost};
+}
+
+inline Release MakeEdr() { return MakeRelease(false); }
+inline Release MakeDr1() { return MakeRelease(true); }
+
+/// Cache capacity as a fraction of the database size. The paper does not
+/// state the cache size used for Figs. 7/8 and Tables 1/2; we use 30% of
+/// the database, the knee of its Fig. 9/10 sweeps (see EXPERIMENTS.md).
+inline uint64_t CapacityFraction(const Release& release, double fraction) {
+  return static_cast<uint64_t>(
+      fraction *
+      static_cast<double>(release.federation.catalog().total_size_bytes()));
+}
+
+/// Builds a policy, wiring the static-set selection when needed.
+inline std::unique_ptr<core::CachePolicy> BuildPolicy(
+    core::PolicyKind kind, uint64_t capacity,
+    const std::vector<std::vector<core::Access>>& queries) {
+  core::PolicyConfig config;
+  config.kind = kind;
+  config.capacity_bytes = capacity;
+  if (kind == core::PolicyKind::kStatic) {
+    config.static_contents =
+        core::SelectStaticSet(sim::Simulator::Flatten(queries), capacity);
+  }
+  return core::MakePolicy(config);
+}
+
+/// Replays the release through one policy at the given granularity.
+inline sim::SimResult RunPolicy(
+    const Release& release, catalog::Granularity granularity,
+    core::PolicyKind kind, uint64_t capacity,
+    const std::vector<std::vector<core::Access>>& queries,
+    uint32_t sample_every = 256) {
+  sim::Simulator::Options options;
+  options.sample_every = sample_every;
+  sim::Simulator simulator(&release.federation, granularity, options);
+  auto policy = BuildPolicy(kind, capacity, queries);
+  return simulator.Run(*policy, queries);
+}
+
+inline const char* GranularityName(catalog::Granularity granularity) {
+  return granularity == catalog::Granularity::kTable ? "table" : "column";
+}
+
+}  // namespace byc::bench
+
+#endif  // BYC_BENCH_BENCH_COMMON_H_

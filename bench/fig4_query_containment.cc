@@ -1,0 +1,56 @@
+// Reproduces Figure 4: query containment over the EDR trace. The paper
+// plots object-identifier reuse across a window of 50 disjoint continuous
+// (region) queries and finds almost none — the case against semantic
+// caching. This harness prints the containment summary plus a
+// downsampled reuse scatter (query ordinal, reused cells) matching the
+// figure's axes.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "workload/trace_stats.h"
+
+int main() {
+  using namespace byc;
+  bench::Release edr = bench::MakeEdr();
+
+  std::printf("Figure 4: query containment (window = 50 region queries)\n");
+  std::printf("trace %s: %zu queries, sequence cost %s GB\n\n",
+              edr.name.c_str(), edr.trace.queries.size(),
+              FormatGB(edr.sequence_cost).c_str());
+
+  for (size_t window : {10, 50, 200}) {
+    workload::ContainmentStats stats =
+        workload::AnalyzeContainment(edr.trace, window);
+    std::printf(
+        "window=%-4zu region_queries=%zu fully_contained=%zu (%.3f%%) "
+        "mean_overlap=%.4f distinct_cells=%zu\n",
+        window, stats.num_queries, stats.fully_contained,
+        100.0 * static_cast<double>(stats.fully_contained) /
+            static_cast<double>(stats.num_queries ? stats.num_queries : 1),
+        stats.mean_overlap, stats.universe_cells);
+  }
+
+  // The scatter the figure plots: reuse events are the rare dots on a
+  // horizontal line. Print every 250th sample plus every reuse event of
+  // the 50-query window.
+  workload::ContainmentStats stats =
+      workload::AnalyzeContainment(edr.trace, 50);
+  std::printf("\nscatter (query_ordinal, reused_cells), reuse events plus "
+              "every 250th point:\n");
+  size_t printed = 0;
+  for (size_t i = 0; i < stats.reuse_scatter.size(); ++i) {
+    const auto& [ordinal, reused] = stats.reuse_scatter[i];
+    if (reused == 0 && i % 250 != 0) continue;
+    std::printf("%u,%u\n", ordinal, reused);
+    ++printed;
+  }
+  std::printf("(%zu points; %zu region queries analyzed)\n", printed,
+              stats.num_queries);
+  std::printf("\npaper shape: 'few objects experience reuse in any portion "
+              "of the trace over a large universe of objects' - reproduced "
+              "when fully_contained stays well under 1%% and mean overlap "
+              "near zero.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 8: cumulative network cost versus query number for
+// column caching on the EDR trace (the column-granularity companion of
+// Figure 7).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace byc;
+  bench::Release edr = bench::MakeEdr();
+  const catalog::Granularity granularity = catalog::Granularity::kColumn;
+  const uint64_t capacity = bench::CapacityFraction(edr, 0.30);
+
+  sim::Simulator simulator(&edr.federation, granularity);
+  auto queries = simulator.DecomposeTrace(edr.trace);
+
+  std::printf(
+      "Figure 8: network cost of various algorithms for column caching\n"
+      "trace %s (%zu queries), cache = 30%% of DB (%s)\n\n",
+      edr.name.c_str(), edr.trace.queries.size(),
+      FormatBytes(static_cast<double>(capacity)).c_str());
+
+  const core::PolicyKind kinds[] = {
+      core::PolicyKind::kRateProfile, core::PolicyKind::kGds,
+      core::PolicyKind::kStatic, core::PolicyKind::kNoCache};
+  std::vector<sim::SimResult> results;
+  for (core::PolicyKind kind : kinds) {
+    results.push_back(bench::RunPolicy(edr, granularity, kind, capacity,
+                                       queries, /*sample_every=*/1024));
+  }
+
+  std::printf("query,");
+  for (const auto& r : results) std::printf("%s_gb,", r.policy_name.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < results[0].series.size(); ++i) {
+    std::printf("%u,", results[0].series[i].query_index);
+    for (const auto& r : results) {
+      std::printf("%.2f,", r.series[i].cumulative_wan / kGB);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nfinal totals (GB): ");
+  for (const auto& r : results) {
+    std::printf("%s=%s  ", r.policy_name.c_str(),
+                FormatGB(r.totals.total_wan()).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

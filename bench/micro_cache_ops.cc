@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) for the substrate the prototype's
+// performance rests on: the utility-ordered indexed heap (§6: O(log k)
+// insert, O(1) eviction, O(1) hit/miss), the cache store, the yield
+// estimator, and the per-access decision paths of the main policies.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_store.h"
+#include "cache/indexed_heap.h"
+#include "catalog/sdss.h"
+#include "common/random.h"
+#include "core/inline_policies.h"
+#include "core/online_by_policy.h"
+#include "core/rate_profile_policy.h"
+#include "federation/mediator.h"
+#include "query/yield.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace byc;
+
+void BM_IndexedHeapInsertErase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    cache::IndexedMinHeap<int> heap;
+    for (int i = 0; i < n; ++i) heap.Insert(i, rng.NextDouble());
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.PopMin());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_IndexedHeapInsertErase)->Range(64, 4096);
+
+void BM_IndexedHeapUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cache::IndexedMinHeap<int> heap;
+  Rng rng(2);
+  for (int i = 0; i < n; ++i) heap.Insert(i, rng.NextDouble());
+  int key = 0;
+  for (auto _ : state) {
+    heap.Update(key, rng.NextDouble());
+    key = (key + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedHeapUpdate)->Range(64, 4096);
+
+void BM_CacheStoreHitCheck(benchmark::State& state) {
+  cache::CacheStore store(1u << 30);
+  for (int i = 0; i < 256; ++i) {
+    (void)store.Insert(catalog::ObjectId::ForColumn(i % 13, i), 1000, 0);
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Contains(catalog::ObjectId::ForColumn(i % 13, i % 512)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheStoreHitCheck);
+
+void BM_YieldEstimate(benchmark::State& state) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  workload::GeneratorOptions options;
+  options.num_queries = 256;
+  options.target_sequence_cost = 0;
+  workload::TraceGenerator gen(&catalog, options);
+  workload::Trace trace = gen.Generate();
+  query::YieldEstimator estimator(&catalog);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(
+        trace.queries[i % trace.queries.size()].query,
+        catalog::Granularity::kColumn));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_YieldEstimate);
+
+template <typename PolicyT>
+void RunPolicyBench(benchmark::State& state, PolicyT& policy,
+                    const std::vector<core::Access>& accesses) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.OnAccess(accesses[i % accesses.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+std::vector<core::Access> MakeAccessStream(
+    const federation::Federation& fed, const workload::Trace& trace) {
+  federation::Mediator mediator(&fed, catalog::Granularity::kColumn);
+  std::vector<core::Access> out;
+  for (const auto& tq : trace.queries) {
+    auto accesses = mediator.Decompose(tq.query);
+    out.insert(out.end(), accesses.begin(), accesses.end());
+  }
+  return out;
+}
+
+struct BenchEnv {
+  BenchEnv()
+      : federation(
+            federation::Federation::SingleSite(catalog::MakeSdssEdrCatalog())) {
+    workload::GeneratorOptions options;
+    options.num_queries = 2000;
+    options.target_sequence_cost = 0;
+    workload::TraceGenerator gen(&federation.catalog(), options);
+    accesses = MakeAccessStream(federation, gen.Generate());
+  }
+  federation::Federation federation;
+  std::vector<core::Access> accesses;
+};
+
+BenchEnv& Env() {
+  static BenchEnv* env = new BenchEnv();
+  return *env;
+}
+
+void BM_RateProfileOnAccess(benchmark::State& state) {
+  core::RateProfilePolicy::Options options;
+  options.capacity_bytes = Env().federation.catalog().total_size_bytes() / 3;
+  core::RateProfilePolicy policy(options);
+  RunPolicyBench(state, policy, Env().accesses);
+}
+BENCHMARK(BM_RateProfileOnAccess);
+
+void BM_OnlineByOnAccess(benchmark::State& state) {
+  core::OnlineByPolicy::Options options;
+  options.capacity_bytes = Env().federation.catalog().total_size_bytes() / 3;
+  core::OnlineByPolicy policy(options);
+  RunPolicyBench(state, policy, Env().accesses);
+}
+BENCHMARK(BM_OnlineByOnAccess);
+
+void BM_GdsOnAccess(benchmark::State& state) {
+  core::GdsPolicy policy(Env().federation.catalog().total_size_bytes() / 3);
+  RunPolicyBench(state, policy, Env().accesses);
+}
+BENCHMARK(BM_GdsOnAccess);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  for (auto _ : state) {
+    workload::GeneratorOptions options;
+    options.num_queries = static_cast<size_t>(state.range(0));
+    options.target_sequence_cost = 0;
+    workload::TraceGenerator gen(&catalog, options);
+    benchmark::DoNotOptimize(gen.Generate());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

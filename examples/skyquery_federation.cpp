@@ -1,0 +1,114 @@
+// SkyQuery-style federation walkthrough: a three-site World-Wide
+// Telescope federation with heterogeneous WAN links, mediator-side query
+// splitting, and an altruistic bypass-yield cache at the mediator.
+//
+// Demonstrates:
+//  * Federation::MultiSite with per-site link costs,
+//  * Mediator::Split (sub-queries evaluated in parallel at member sites),
+//  * per-site WAN traffic with and without the bypass-yield cache.
+
+#include <cstdio>
+#include <vector>
+
+#include "catalog/sdss.h"
+#include "common/bytes.h"
+#include "core/rate_profile_policy.h"
+#include "federation/mediator.h"
+#include "query/binder.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace byc;
+
+  // The federation: a photometric archive (fast link), a spectroscopic
+  // archive (mid link), and remote cross-match archives (slow link).
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  std::vector<int> table_site(static_cast<size_t>(catalog.num_tables()), 2);
+  auto assign = [&](const char* name, int site) {
+    auto idx = catalog.FindTable(name);
+    if (idx.ok()) table_site[static_cast<size_t>(*idx)] = site;
+  };
+  for (const char* t : {"PhotoObj", "PhotoZ", "Field", "Frame",
+                        "PhotoProfile", "Mask", "Tiles"}) {
+    assign(t, 0);
+  }
+  for (const char* t : {"SpecObj", "PlateX", "Neighbors"}) assign(t, 1);
+  // First / Rosat / USNO stay at site 2 (remote surveys).
+  auto fed_result = federation::Federation::MultiSite(
+      std::move(catalog), table_site, {1.0, 2.0, 6.0});
+  if (!fed_result.ok()) {
+    std::printf("federation setup failed: %s\n",
+                fed_result.status().ToString().c_str());
+    return 1;
+  }
+  federation::Federation& fed = *fed_result;
+
+  std::printf("World-Wide Telescope federation:\n");
+  for (int s = 0; s < fed.num_sites(); ++s) {
+    uint64_t bytes = 0;
+    for (int t : fed.site(s).tables) {
+      bytes += fed.catalog().table(t).size_bytes();
+    }
+    std::printf("  site %d (%s): %zu tables, %s\n", s,
+                fed.site(s).name.c_str(), fed.site(s).tables.size(),
+                FormatBytes(static_cast<double>(bytes)).c_str());
+  }
+
+  // Mediation: split a cross-archive query into per-site sub-queries.
+  const char* sql =
+      "select p.objID, p.ra, p.dec, s.z, n.distance "
+      "from PhotoObj p, SpecObj s, Neighbors n "
+      "where p.objID = s.objID and p.objID = n.objID "
+      "and s.zConf > 0.9 and n.distance < 2.0";
+  auto bound = query::ParseAndBind(fed.catalog(), sql);
+  if (!bound.ok()) {
+    std::printf("bind failed: %s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  federation::Mediator mediator(&fed, catalog::Granularity::kTable);
+  std::printf("\nmediator splits the federation query across sites:\n");
+  for (const federation::SubQuery& sub : mediator.Split(*bound)) {
+    std::printf("  site %d evaluates %zu table slot(s), ships %s of results\n",
+                sub.site, sub.table_slots.size(),
+                FormatBytes(sub.result_bytes).c_str());
+  }
+
+  // Replay an EDR-shaped workload and compare per-decision WAN flows
+  // with and without the cache.
+  workload::GeneratorOptions options = workload::MakeEdrOptions();
+  options.num_queries = 8000;
+  options.target_sequence_cost *= 8000.0 / 27663.0;
+  workload::TraceGenerator gen(&fed.catalog(), options);
+  workload::Trace trace = gen.Generate();
+
+  sim::Simulator simulator(&fed, catalog::Granularity::kColumn);
+  auto queries = simulator.DecomposeTrace(trace);
+
+  double uncached = 0;
+  for (const auto& q : queries) {
+    for (const auto& a : q) uncached += a.bypass_cost;
+  }
+
+  core::RateProfilePolicy::Options cache_options;
+  cache_options.capacity_bytes = fed.catalog().total_size_bytes() * 3 / 10;
+  core::RateProfilePolicy cache(cache_options);
+  sim::SimResult cached = simulator.Run(cache, queries);
+
+  std::printf("\nreplaying %zu queries (column caching, cache = 30%% of "
+              "DB):\n", trace.queries.size());
+  std::printf("  without cache: %s GB of cost-weighted WAN traffic\n",
+              FormatGB(uncached).c_str());
+  std::printf("  with bypass-yield cache: %s GB "
+              "(bypass %s + loads %s), a %.1fx reduction\n",
+              FormatGB(cached.totals.total_wan()).c_str(),
+              FormatGB(cached.totals.bypass_cost).c_str(),
+              FormatGB(cached.totals.fetch_cost).c_str(),
+              uncached / cached.totals.total_wan());
+  std::printf("  federation still evaluated %llu of %llu accesses at the "
+              "data sources\n  (parallelism and filtering preserved for "
+              "everything the cache bypassed).\n",
+              static_cast<unsigned long long>(cached.totals.bypasses),
+              static_cast<unsigned long long>(cached.totals.accesses));
+  return 0;
+}

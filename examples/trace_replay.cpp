@@ -1,0 +1,179 @@
+// Trace replay CLI: generate or load an SDSS-like trace, replay it
+// through a chosen algorithm, and print the paper-style cost breakdown.
+//
+// Usage:
+//   example_trace_replay [--release edr|dr1] [--granularity table|column]
+//                        [--policy rate|online|space|gds|gdsp|lru|lfu|
+//                                  static|none]
+//                        [--cache-pct N] [--queries N]
+//                        [--save-trace FILE | --load-trace FILE]
+//
+// Examples:
+//   example_trace_replay --policy rate --granularity column --cache-pct 30
+//   example_trace_replay --save-trace /tmp/edr.trace --queries 5000
+//   example_trace_replay --load-trace /tmp/edr.trace --policy online
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "catalog/sdss.h"
+#include "common/bytes.h"
+#include "core/policy_factory.h"
+#include "core/static_policy.h"
+#include "federation/federation.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace byc;
+
+struct Args {
+  std::string release = "edr";
+  std::string granularity = "column";
+  std::string policy = "rate";
+  int cache_pct = 30;
+  size_t queries = 0;  // 0: the release's published count
+  std::string save_trace;
+  std::string load_trace;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (flag == "--release" && (value = next())) {
+      args.release = value;
+    } else if (flag == "--granularity" && (value = next())) {
+      args.granularity = value;
+    } else if (flag == "--policy" && (value = next())) {
+      args.policy = value;
+    } else if (flag == "--cache-pct" && (value = next())) {
+      args.cache_pct = std::atoi(value);
+    } else if (flag == "--queries" && (value = next())) {
+      args.queries = static_cast<size_t>(std::atoll(value));
+    } else if (flag == "--save-trace" && (value = next())) {
+      args.save_trace = value;
+    } else if (flag == "--load-trace" && (value = next())) {
+      args.load_trace = value;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<core::PolicyKind> PolicyFromName(const std::string& name) {
+  if (name == "rate") return core::PolicyKind::kRateProfile;
+  if (name == "online") return core::PolicyKind::kOnlineBy;
+  if (name == "space") return core::PolicyKind::kSpaceEffBy;
+  if (name == "gds") return core::PolicyKind::kGds;
+  if (name == "gdsp") return core::PolicyKind::kGdsp;
+  if (name == "lru") return core::PolicyKind::kLru;
+  if (name == "lfu") return core::PolicyKind::kLfu;
+  if (name == "static") return core::PolicyKind::kStatic;
+  if (name == "none") return core::PolicyKind::kNoCache;
+  return Status::InvalidArgument("unknown policy '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, args)) return 2;
+
+  bool dr1 = args.release == "dr1";
+  auto catalog =
+      dr1 ? catalog::MakeSdssDr1Catalog() : catalog::MakeSdssEdrCatalog();
+
+  workload::Trace trace;
+  if (!args.load_trace.empty()) {
+    std::ifstream in(args.load_trace);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.load_trace.c_str());
+      return 1;
+    }
+    auto read = workload::ReadTrace(catalog, in);
+    if (!read.ok()) {
+      std::fprintf(stderr, "trace parse error: %s\n",
+                   read.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(read).value();
+    std::printf("loaded %zu queries from %s\n", trace.queries.size(),
+                args.load_trace.c_str());
+  } else {
+    workload::GeneratorOptions options =
+        dr1 ? workload::MakeDr1Options() : workload::MakeEdrOptions();
+    if (args.queries != 0) {
+      options.target_sequence_cost *= static_cast<double>(args.queries) /
+                                      static_cast<double>(options.num_queries);
+      options.num_queries = args.queries;
+    }
+    workload::TraceGenerator gen(&catalog, options);
+    trace = gen.Generate();
+    std::printf("generated %zu %s-shaped queries (sequence cost %s GB)\n",
+                trace.queries.size(), catalog.name().c_str(),
+                FormatGB(gen.SequenceCost(trace)).c_str());
+  }
+
+  if (!args.save_trace.empty()) {
+    std::ofstream out(args.save_trace);
+    Status s = workload::WriteTrace(trace, out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved trace to %s\n", args.save_trace.c_str());
+  }
+
+  auto kind = PolicyFromName(args.policy);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+  catalog::Granularity granularity = args.granularity == "table"
+                                         ? catalog::Granularity::kTable
+                                         : catalog::Granularity::kColumn;
+
+  auto federation = federation::Federation::SingleSite(std::move(catalog));
+  sim::Simulator simulator(&federation, granularity);
+  auto queries = simulator.DecomposeTrace(trace);
+  uint64_t capacity = federation.catalog().total_size_bytes() *
+                      static_cast<uint64_t>(args.cache_pct) / 100;
+
+  core::PolicyConfig config;
+  config.kind = *kind;
+  config.capacity_bytes = capacity;
+  if (config.kind == core::PolicyKind::kStatic) {
+    config.static_contents = core::SelectStaticSet(
+        sim::Simulator::Flatten(queries), capacity);
+  }
+  auto policy = core::MakePolicy(config);
+  sim::SimResult result = simulator.Run(*policy, queries);
+
+  std::printf(
+      "\n%s, %s caching, cache = %d%% of DB (%s)\n"
+      "  bypass cost : %9s GB  (%llu accesses shipped to servers)\n"
+      "  fetch cost  : %9s GB  (%llu object loads, %llu evictions)\n"
+      "  total WAN   : %9s GB\n"
+      "  served      : %9s GB out of the cache (%llu hits)\n",
+      result.policy_name.c_str(), args.granularity.c_str(), args.cache_pct,
+      FormatBytes(static_cast<double>(capacity)).c_str(),
+      FormatGB(result.totals.bypass_cost).c_str(),
+      static_cast<unsigned long long>(result.totals.bypasses),
+      FormatGB(result.totals.fetch_cost).c_str(),
+      static_cast<unsigned long long>(result.totals.loads),
+      static_cast<unsigned long long>(result.totals.evictions),
+      FormatGB(result.totals.total_wan()).c_str(),
+      FormatGB(result.totals.served_cost).c_str(),
+      static_cast<unsigned long long>(result.totals.hits));
+  return 0;
+}

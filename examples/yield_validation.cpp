@@ -1,0 +1,99 @@
+// Yield validation walkthrough: materialize a small SDSS instance with
+// the execution engine, run the paper's example query for real, and
+// compare the executed result size against the analytic yield estimate
+// that drives every caching decision.
+//
+// This is the simulation's ground-truth loop: the paper measured yields
+// by "re-executing the traces with the server"; here the executor plays
+// the server.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "catalog/sdss.h"
+#include "common/bytes.h"
+#include "common/check.h"
+#include "exec/executor.h"
+#include "query/binder.h"
+#include "query/parser.h"
+#include "query/selectivity.h"
+#include "query/yield.h"
+
+int main() {
+  using namespace byc;
+
+  // A 1%-scale instance keeps materialization instant.
+  auto catalog = catalog::MakeSdssCatalog("EDR-1pct", 0.01);
+  int photo = *catalog.FindTable("PhotoObj");
+  int spec = *catalog.FindTable("SpecObj");
+  uint64_t photo_rows = catalog.table(photo).row_count();
+
+  std::printf("materializing %s: PhotoObj %llu rows, SpecObj %llu rows\n",
+              catalog.name().c_str(),
+              static_cast<unsigned long long>(photo_rows),
+              static_cast<unsigned long long>(
+                  catalog.table(spec).row_count()));
+
+  std::vector<std::unique_ptr<exec::TableData>> storage;
+  std::vector<const exec::TableData*> data(
+      static_cast<size_t>(catalog.num_tables()), nullptr);
+  auto materialize = [&](int t, std::vector<std::pair<int, uint64_t>> fks) {
+    const catalog::Table& table = catalog.table(t);
+    storage.push_back(std::make_unique<exec::TableData>(
+        exec::TableData::Synthesize(table, table.row_count(),
+                                    7000 + static_cast<uint64_t>(t), fks)));
+    data[static_cast<size_t>(t)] = storage.back().get();
+  };
+  materialize(photo, {});
+  materialize(spec,
+              {{catalog.table(spec).FindColumn("objID"), photo_rows}});
+  exec::Executor executor(data);
+
+  // Bind with histogram statistics so estimates derive from the actual
+  // literal values.
+  query::HistogramSelectivityModel stats;
+  query::Binder binder(&catalog, &stats);
+  query::YieldEstimator estimator(&catalog);
+
+  const char* queries[] = {
+      "select p.objID, p.ra, p.dec, p.modelMag_g from PhotoObj p "
+      "where p.modelMag_g > 21.0",
+      "select p.objID, p.ra, s.z as redshift from SpecObj s, PhotoObj p "
+      "where p.objID = s.objID and s.zConf > 0.5 and s.z < 0.3",
+      "select count(p.objID), avg(p.modelMag_r) from PhotoObj p "
+      "where p.ra < 180",
+  };
+
+  std::printf("\n%-14s %-14s %-14s %s\n", "estimated", "executed",
+              "ratio", "query");
+  for (const char* sql : queries) {
+    auto parsed = query::ParseSelect(sql);
+    BYC_CHECK(parsed.ok());
+    auto bound = binder.Bind(*parsed);
+    BYC_CHECK(bound.ok());
+
+    double estimated_bytes = estimator.EstimateResultRows(*bound) *
+                             estimator.OutputRowWidth(*bound);
+    auto executed = executor.Execute(*bound);
+    BYC_CHECK(executed.ok());
+
+    double ratio =
+        executed->result_bytes > 0 ? estimated_bytes / executed->result_bytes
+                                   : 0;
+    std::printf("%-14s %-14s %-14.3f %s\n",
+                FormatBytes(estimated_bytes).c_str(),
+                FormatBytes(executed->result_bytes).c_str(), ratio, sql);
+    if (!executed->aggregates.empty()) {
+      std::printf("  aggregate values:");
+      for (double v : executed->aggregates) std::printf(" %.3f", v);
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nratios near 1.0 confirm the analytic yield model: the bypass "
+      "cache's economics\nrun on estimates that match what executing the "
+      "queries actually ships.\n");
+  return 0;
+}

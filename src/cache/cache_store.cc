@@ -1,0 +1,41 @@
+#include "cache/cache_store.h"
+
+namespace byc::cache {
+
+Status CacheStore::Insert(const catalog::ObjectId& id, uint64_t size_bytes,
+                          uint64_t load_time) {
+  if (entries_.count(id) != 0) {
+    return Status::AlreadyExists("object already cached");
+  }
+  if (size_bytes > free_bytes()) {
+    return Status::CapacityExceeded("insufficient free cache space");
+  }
+  entries_.emplace(id, Entry{size_bytes, load_time});
+  used_bytes_ += size_bytes;
+  return Status::OK();
+}
+
+Status CacheStore::Erase(const catalog::ObjectId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("object not cached");
+  }
+  used_bytes_ -= it->second.size_bytes;
+  entries_.erase(it);
+  return Status::OK();
+}
+
+const CacheStore::Entry* CacheStore::Find(const catalog::ObjectId& id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<catalog::ObjectId, CacheStore::Entry>>
+CacheStore::Snapshot() const {
+  std::vector<std::pair<catalog::ObjectId, Entry>> out;
+  out.reserve(entries_.size());
+  for (const auto& kv : entries_) out.push_back(kv);
+  return out;
+}
+
+}  // namespace byc::cache

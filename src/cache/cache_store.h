@@ -1,0 +1,73 @@
+#ifndef BYC_CACHE_CACHE_STORE_H_
+#define BYC_CACHE_CACHE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/object_id.h"
+#include "common/status.h"
+
+namespace byc::cache {
+
+/// Capacity-managed residency set for cacheable database objects. Policy
+/// algorithms layer their utility metadata on top; the store answers
+/// hit/miss in O(1) via a hash table (as the paper's prototype does) and
+/// enforces the byte-capacity invariant.
+class CacheStore {
+ public:
+  struct Entry {
+    uint64_t size_bytes = 0;
+    /// Logical time (access index) at which the object was loaded; the
+    /// Rate-Profile algorithm's t_i in Eq. 3.
+    uint64_t load_time = 0;
+  };
+
+  explicit CacheStore(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t free_bytes() const { return capacity_bytes_ - used_bytes_; }
+  size_t num_objects() const { return entries_.size(); }
+
+  bool Contains(const catalog::ObjectId& id) const {
+    return entries_.count(id) != 0;
+  }
+
+  /// True iff the object could ever reside in this cache.
+  bool Fits(uint64_t size_bytes) const {
+    return size_bytes <= capacity_bytes_;
+  }
+
+  /// Inserts an object. Fails with CapacityExceeded when free space is
+  /// insufficient (callers evict first) and AlreadyExists on duplicates.
+  Status Insert(const catalog::ObjectId& id, uint64_t size_bytes,
+                uint64_t load_time);
+
+  /// Removes an object; NotFound if absent.
+  Status Erase(const catalog::ObjectId& id);
+
+  /// Looks up an entry; nullptr when absent. The pointer is invalidated
+  /// by Insert/Erase.
+  const Entry* Find(const catalog::ObjectId& id) const;
+
+  /// Snapshot of resident objects (unspecified order).
+  std::vector<std::pair<catalog::ObjectId, Entry>> Snapshot() const;
+
+  /// Visits resident objects.
+  template <typename F>
+  void ForEach(F&& fn) const {
+    for (const auto& [id, entry] : entries_) fn(id, entry);
+  }
+
+ private:
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  std::unordered_map<catalog::ObjectId, Entry, catalog::ObjectIdHash>
+      entries_;
+};
+
+}  // namespace byc::cache
+
+#endif  // BYC_CACHE_CACHE_STORE_H_

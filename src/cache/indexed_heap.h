@@ -1,0 +1,172 @@
+#ifndef BYC_CACHE_INDEXED_HEAP_H_
+#define BYC_CACHE_INDEXED_HEAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace byc::cache {
+
+/// Min-heap over (key, priority) pairs with an index from key to heap
+/// position, supporting O(log n) insert/update/erase and O(1) peek-min.
+/// This is the structure the paper's prototype uses for its utility-ordered
+/// cache ("The cache is a binary heap of database objects in which heap
+/// ordering is done based on utility value", §6).
+///
+/// K must be hashable via Hash and equality-comparable.
+template <typename K, typename Hash = std::hash<K>>
+class IndexedMinHeap {
+ public:
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  bool Contains(const K& key) const { return index_.count(key) != 0; }
+
+  /// Inserts a new key. Precondition: !Contains(key).
+  void Insert(const K& key, double priority) {
+    BYC_CHECK(!Contains(key));
+    entries_.push_back(Entry{key, priority});
+    index_[key] = entries_.size() - 1;
+    SiftUp(entries_.size() - 1);
+  }
+
+  /// Changes the priority of an existing key. Precondition: Contains(key).
+  void Update(const K& key, double priority) {
+    auto it = index_.find(key);
+    BYC_CHECK(it != index_.end());
+    size_t pos = it->second;
+    double old = entries_[pos].priority;
+    entries_[pos].priority = priority;
+    if (priority < old) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+  }
+
+  /// Inserts or updates.
+  void Upsert(const K& key, double priority) {
+    if (Contains(key)) {
+      Update(key, priority);
+    } else {
+      Insert(key, priority);
+    }
+  }
+
+  /// Removes a key. Precondition: Contains(key).
+  void Erase(const K& key) {
+    auto it = index_.find(key);
+    BYC_CHECK(it != index_.end());
+    size_t pos = it->second;
+    index_.erase(it);
+    size_t last = entries_.size() - 1;
+    if (pos != last) {
+      entries_[pos] = std::move(entries_[last]);
+      index_[entries_[pos].key] = pos;
+      entries_.pop_back();
+      // The moved entry may need to travel either direction.
+      if (pos > 0 &&
+          entries_[pos].priority < entries_[(pos - 1) / 2].priority) {
+        SiftUp(pos);
+      } else {
+        SiftDown(pos);
+      }
+    } else {
+      entries_.pop_back();
+    }
+  }
+
+  /// Key with the smallest priority. Precondition: !empty().
+  const K& PeekMinKey() const {
+    BYC_CHECK(!empty());
+    return entries_[0].key;
+  }
+
+  /// Priority of the min entry. Precondition: !empty().
+  double PeekMinPriority() const {
+    BYC_CHECK(!empty());
+    return entries_[0].priority;
+  }
+
+  /// Priority of an existing key. Precondition: Contains(key).
+  double PriorityOf(const K& key) const {
+    auto it = index_.find(key);
+    BYC_CHECK(it != index_.end());
+    return entries_[it->second].priority;
+  }
+
+  /// Removes and returns the min key. Precondition: !empty().
+  K PopMin() {
+    K key = PeekMinKey();
+    Erase(key);
+    return key;
+  }
+
+  /// Visits all (key, priority) pairs in unspecified order.
+  template <typename F>
+  void ForEach(F&& fn) const {
+    for (const Entry& e : entries_) fn(e.key, e.priority);
+  }
+
+  /// Heap-order invariant check, used by tests.
+  bool CheckInvariants() const {
+    if (index_.size() != entries_.size()) return false;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      size_t parent = (i - 1) / 2;
+      if (entries_[parent].priority > entries_[i].priority) return false;
+    }
+    for (const auto& [key, pos] : index_) {
+      if (pos >= entries_.size() || !(entries_[pos].key == key)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Entry {
+    K key;
+    double priority;
+  };
+
+  void SiftUp(size_t pos) {
+    while (pos > 0) {
+      size_t parent = (pos - 1) / 2;
+      if (entries_[parent].priority <= entries_[pos].priority) break;
+      SwapEntries(parent, pos);
+      pos = parent;
+    }
+  }
+
+  void SiftDown(size_t pos) {
+    for (;;) {
+      size_t left = 2 * pos + 1;
+      size_t right = left + 1;
+      size_t smallest = pos;
+      if (left < entries_.size() &&
+          entries_[left].priority < entries_[smallest].priority) {
+        smallest = left;
+      }
+      if (right < entries_.size() &&
+          entries_[right].priority < entries_[smallest].priority) {
+        smallest = right;
+      }
+      if (smallest == pos) break;
+      SwapEntries(smallest, pos);
+      pos = smallest;
+    }
+  }
+
+  void SwapEntries(size_t a, size_t b) {
+    std::swap(entries_[a], entries_[b]);
+    index_[entries_[a].key] = a;
+    index_[entries_[b].key] = b;
+  }
+
+  std::vector<Entry> entries_;
+  std::unordered_map<K, size_t, Hash> index_;
+};
+
+}  // namespace byc::cache
+
+#endif  // BYC_CACHE_INDEXED_HEAP_H_

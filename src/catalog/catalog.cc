@@ -1,0 +1,70 @@
+#include "catalog/catalog.h"
+
+#include "catalog/column.h"
+
+namespace byc::catalog {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt16:
+      return "int16";
+    case ColumnType::kInt32:
+      return "int32";
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kFloat32:
+      return "float32";
+    case ColumnType::kFloat64:
+      return "float64";
+    case ColumnType::kChar8:
+      return "char8";
+    case ColumnType::kChar32:
+      return "char32";
+  }
+  return "unknown";
+}
+
+int Table::AddColumn(std::string name, ColumnType type) {
+  columns_.push_back(Column{std::move(name), type});
+  row_width_ += columns_.back().width_bytes();
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+int Table::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Catalog::AddTable(Table table) {
+  if (by_name_.count(table.name()) != 0) {
+    return Status::AlreadyExists("table exists: " + table.name());
+  }
+  int idx = static_cast<int>(tables_.size());
+  by_name_.emplace(table.name(), idx);
+  tables_.push_back(std::move(table));
+  return idx;
+}
+
+Result<int> Catalog::FindTable(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such table: " + std::string(name));
+  }
+  return it->second;
+}
+
+uint64_t Catalog::total_size_bytes() const {
+  uint64_t total = 0;
+  for (const auto& t : tables_) total += t.size_bytes();
+  return total;
+}
+
+int Catalog::total_columns() const {
+  int total = 0;
+  for (const auto& t : tables_) total += t.num_columns();
+  return total;
+}
+
+}  // namespace byc::catalog

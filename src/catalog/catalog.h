@@ -1,0 +1,47 @@
+#ifndef BYC_CATALOG_CATALOG_H_
+#define BYC_CATALOG_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+
+namespace byc::catalog {
+
+/// The schema of one federated database (one data release in SDSS terms).
+/// A Catalog owns its tables; it is the reference frame for ObjectIds,
+/// query resolution, and yield estimation.
+class Catalog {
+ public:
+  explicit Catalog(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a table; returns its index. Fails on duplicate names.
+  Result<int> AddTable(Table table);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const Table& table(int i) const { return tables_[static_cast<size_t>(i)]; }
+  Table& mutable_table(int i) { return tables_[static_cast<size_t>(i)]; }
+
+  /// Index of the named table (case-sensitive), or NotFound.
+  Result<int> FindTable(std::string_view name) const;
+
+  /// Sum of all table sizes.
+  uint64_t total_size_bytes() const;
+
+  /// Total number of (table, column) pairs.
+  int total_columns() const;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace byc::catalog
+
+#endif  // BYC_CATALOG_CATALOG_H_

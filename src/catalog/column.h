@@ -1,0 +1,56 @@
+#ifndef BYC_CATALOG_COLUMN_H_
+#define BYC_CATALOG_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace byc::catalog {
+
+/// Storage types for catalog columns. Widths follow SQL Server conventions
+/// used by the SDSS archive (the paper computes per-column yields from
+/// "storage size of the attribute", e.g. objID = 8 bytes).
+enum class ColumnType : uint8_t {
+  kInt16,
+  kInt32,
+  kInt64,
+  kFloat32,
+  kFloat64,
+  kChar8,   // short fixed-width string (e.g. object class codes)
+  kChar32,  // fixed-width string (e.g. names)
+};
+
+/// Bytes of storage for one value of the given type.
+constexpr uint32_t ColumnTypeWidth(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt16:
+      return 2;
+    case ColumnType::kInt32:
+      return 4;
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kFloat32:
+      return 4;
+    case ColumnType::kFloat64:
+      return 8;
+    case ColumnType::kChar8:
+      return 8;
+    case ColumnType::kChar32:
+      return 32;
+  }
+  return 0;
+}
+
+std::string_view ColumnTypeName(ColumnType type);
+
+/// One column of a relational table.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kFloat32;
+
+  uint32_t width_bytes() const { return ColumnTypeWidth(type); }
+};
+
+}  // namespace byc::catalog
+
+#endif  // BYC_CATALOG_COLUMN_H_

@@ -1,0 +1,36 @@
+#include "catalog/object_id.h"
+
+#include "common/check.h"
+
+namespace byc::catalog {
+
+std::string ObjectId::ToString(const Catalog& catalog) const {
+  const Table& t = catalog.table(table);
+  if (is_table()) return t.name();
+  return t.name() + "." + t.column(column).name;
+}
+
+uint64_t ObjectSizeBytes(const Catalog& catalog, const ObjectId& id) {
+  BYC_CHECK_LT(id.table, catalog.num_tables());
+  const Table& t = catalog.table(id.table);
+  if (id.is_table()) return t.size_bytes();
+  BYC_CHECK_LT(id.column, t.num_columns());
+  return t.column_size_bytes(id.column);
+}
+
+std::vector<ObjectId> EnumerateObjects(const Catalog& catalog,
+                                       Granularity granularity) {
+  std::vector<ObjectId> out;
+  for (int t = 0; t < catalog.num_tables(); ++t) {
+    if (granularity == Granularity::kTable) {
+      out.push_back(ObjectId::ForTable(t));
+    } else {
+      for (int c = 0; c < catalog.table(t).num_columns(); ++c) {
+        out.push_back(ObjectId::ForColumn(t, c));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace byc::catalog

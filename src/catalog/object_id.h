@@ -1,0 +1,65 @@
+#ifndef BYC_CATALOG_OBJECT_ID_H_
+#define BYC_CATALOG_OBJECT_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "catalog/catalog.h"
+
+namespace byc::catalog {
+
+/// Granularity of cacheable database objects. The paper's §6.1 compares
+/// caching whole tables against caching individual columns (attributes).
+enum class Granularity : uint8_t {
+  kTable,
+  kColumn,
+};
+
+/// Identity of a cacheable database object within a Catalog: a whole table
+/// (column == kWholeTable) or one column of a table.
+struct ObjectId {
+  static constexpr int32_t kWholeTable = -1;
+
+  int32_t table = 0;
+  int32_t column = kWholeTable;
+
+  static ObjectId ForTable(int32_t table_idx) {
+    return ObjectId{table_idx, kWholeTable};
+  }
+  static ObjectId ForColumn(int32_t table_idx, int32_t column_idx) {
+    return ObjectId{table_idx, column_idx};
+  }
+
+  bool is_table() const { return column == kWholeTable; }
+
+  bool operator==(const ObjectId& other) const = default;
+
+  /// Dense key usable for hashing / array indexing (table in the high
+  /// bits, column+1 in the low bits).
+  uint64_t Key() const {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(table)) << 32) |
+           static_cast<uint32_t>(column + 1);
+  }
+
+  /// "PhotoObj" or "PhotoObj.ra".
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Size in bytes of the object (table size or column size).
+uint64_t ObjectSizeBytes(const Catalog& catalog, const ObjectId& id);
+
+/// All objects of the catalog at the given granularity, in a deterministic
+/// order (table index, then column index).
+std::vector<ObjectId> EnumerateObjects(const Catalog& catalog,
+                                       Granularity granularity);
+
+struct ObjectIdHash {
+  size_t operator()(const ObjectId& id) const {
+    return std::hash<uint64_t>{}(id.Key());
+  }
+};
+
+}  // namespace byc::catalog
+
+#endif  // BYC_CATALOG_OBJECT_ID_H_

@@ -1,0 +1,263 @@
+#include "catalog/sdss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace byc::catalog {
+
+namespace {
+
+uint64_t Scale(uint64_t rows, double row_scale) {
+  return static_cast<uint64_t>(std::llround(static_cast<double>(rows) *
+                                            row_scale));
+}
+
+/// PhotoObj: the photometric-object table, the workload's hottest table.
+/// Per-band photometric quantities are emitted for the five SDSS bands.
+/// Sized (~140 MB at EDR scale) so that, as in the paper, the hot tables
+/// fit in a cache of 20-30% of the database (Fig. 9's knee).
+Table MakePhotoObj(double row_scale) {
+  Table t("PhotoObj", Scale(460'000, row_scale));
+  t.AddColumn("objID", ColumnType::kInt64);
+  t.AddColumn("ra", ColumnType::kFloat64);
+  t.AddColumn("dec", ColumnType::kFloat64);
+  t.AddColumn("run", ColumnType::kInt32);
+  t.AddColumn("rerun", ColumnType::kInt32);
+  t.AddColumn("camcol", ColumnType::kInt32);
+  t.AddColumn("field", ColumnType::kInt32);
+  t.AddColumn("obj", ColumnType::kInt32);
+  t.AddColumn("mode", ColumnType::kInt16);
+  t.AddColumn("type", ColumnType::kInt16);
+  t.AddColumn("flags", ColumnType::kInt64);
+  t.AddColumn("rowc", ColumnType::kFloat32);
+  t.AddColumn("colc", ColumnType::kFloat32);
+  t.AddColumn("status", ColumnType::kInt32);
+  t.AddColumn("htmID", ColumnType::kInt64);
+  t.AddColumn("specObjID", ColumnType::kInt64);
+
+  static constexpr const char* kBands[] = {"u", "g", "r", "i", "z"};
+  static constexpr const char* kFamilies[] = {
+      "modelMag", "modelMagErr", "psfMag",   "psfMagErr", "petroMag",
+      "petroMagErr", "petroRad", "petroR50", "fiberMag",  "extinction",
+      "dered"};
+  for (const char* family : kFamilies) {
+    for (const char* band : kBands) {
+      t.AddColumn(std::string(family) + "_" + band, ColumnType::kFloat32);
+    }
+  }
+  return t;
+}
+
+/// SpecObj: spectroscopic objects; the paper's example query joins
+/// SpecObj with PhotoObj on objID and filters on specClass/zConf/z.
+Table MakeSpecObj(double row_scale) {
+  Table t("SpecObj", Scale(500'000, row_scale));
+  t.AddColumn("specObjID", ColumnType::kInt64);
+  t.AddColumn("objID", ColumnType::kInt64);
+  t.AddColumn("ra", ColumnType::kFloat64);
+  t.AddColumn("dec", ColumnType::kFloat64);
+  t.AddColumn("z", ColumnType::kFloat32);
+  t.AddColumn("zErr", ColumnType::kFloat32);
+  t.AddColumn("zConf", ColumnType::kFloat32);
+  t.AddColumn("zStatus", ColumnType::kInt16);
+  t.AddColumn("specClass", ColumnType::kInt16);
+  t.AddColumn("plate", ColumnType::kInt32);
+  t.AddColumn("mjd", ColumnType::kInt32);
+  t.AddColumn("fiberID", ColumnType::kInt32);
+  t.AddColumn("sn_0", ColumnType::kFloat32);
+  t.AddColumn("sn_1", ColumnType::kFloat32);
+  t.AddColumn("sn_2", ColumnType::kFloat32);
+  t.AddColumn("mag_0", ColumnType::kFloat32);
+  t.AddColumn("mag_1", ColumnType::kFloat32);
+  t.AddColumn("mag_2", ColumnType::kFloat32);
+  t.AddColumn("velDisp", ColumnType::kFloat32);
+  t.AddColumn("velDispErr", ColumnType::kFloat32);
+  t.AddColumn("eClass", ColumnType::kFloat32);
+  t.AddColumn("eCoeff_0", ColumnType::kFloat32);
+  t.AddColumn("eCoeff_1", ColumnType::kFloat32);
+  t.AddColumn("eCoeff_2", ColumnType::kFloat32);
+  t.AddColumn("eCoeff_3", ColumnType::kFloat32);
+  t.AddColumn("eCoeff_4", ColumnType::kFloat32);
+  return t;
+}
+
+Table MakeNeighbors(double row_scale) {
+  Table t("Neighbors", Scale(6'500'000, row_scale));
+  t.AddColumn("objID", ColumnType::kInt64);
+  t.AddColumn("neighborObjID", ColumnType::kInt64);
+  t.AddColumn("distance", ColumnType::kFloat32);
+  t.AddColumn("neighborType", ColumnType::kInt16);
+  t.AddColumn("neighborMode", ColumnType::kInt16);
+  return t;
+}
+
+Table MakeField(double row_scale) {
+  Table t("Field", Scale(120'000, row_scale));
+  t.AddColumn("fieldID", ColumnType::kInt64);
+  t.AddColumn("run", ColumnType::kInt32);
+  t.AddColumn("rerun", ColumnType::kInt32);
+  t.AddColumn("camcol", ColumnType::kInt32);
+  t.AddColumn("field", ColumnType::kInt32);
+  t.AddColumn("nObjects", ColumnType::kInt32);
+  t.AddColumn("nStars", ColumnType::kInt32);
+  t.AddColumn("nGalaxies", ColumnType::kInt32);
+  t.AddColumn("quality", ColumnType::kInt16);
+  t.AddColumn("mjd", ColumnType::kFloat64);
+  static constexpr const char* kBands[] = {"u", "g", "r", "i", "z"};
+  for (const char* band : kBands) {
+    t.AddColumn(std::string("psfWidth_") + band, ColumnType::kFloat32);
+  }
+  for (const char* band : kBands) {
+    t.AddColumn(std::string("sky_") + band, ColumnType::kFloat32);
+  }
+  t.AddColumn("gain", ColumnType::kFloat32);
+  return t;
+}
+
+Table MakeFrame(double row_scale) {
+  Table t("Frame", Scale(200'000, row_scale));
+  t.AddColumn("frameID", ColumnType::kInt64);
+  t.AddColumn("fieldID", ColumnType::kInt64);
+  t.AddColumn("filter", ColumnType::kChar8);
+  t.AddColumn("mu", ColumnType::kFloat64);
+  t.AddColumn("nu", ColumnType::kFloat64);
+  t.AddColumn("a", ColumnType::kFloat64);
+  t.AddColumn("b", ColumnType::kFloat64);
+  t.AddColumn("c", ColumnType::kFloat64);
+  t.AddColumn("d", ColumnType::kFloat64);
+  t.AddColumn("e", ColumnType::kFloat64);
+  t.AddColumn("f", ColumnType::kFloat64);
+  t.AddColumn("raMin", ColumnType::kFloat64);
+  t.AddColumn("raMax", ColumnType::kFloat64);
+  t.AddColumn("decMin", ColumnType::kFloat64);
+  t.AddColumn("decMax", ColumnType::kFloat64);
+  return t;
+}
+
+Table MakePlateX(double row_scale) {
+  Table t("PlateX", Scale(30'000, row_scale));
+  t.AddColumn("plateID", ColumnType::kInt64);
+  t.AddColumn("plate", ColumnType::kInt32);
+  t.AddColumn("mjd", ColumnType::kInt32);
+  t.AddColumn("ra", ColumnType::kFloat64);
+  t.AddColumn("dec", ColumnType::kFloat64);
+  t.AddColumn("nObjects", ColumnType::kInt32);
+  t.AddColumn("quality", ColumnType::kInt16);
+  t.AddColumn("program", ColumnType::kChar32);
+  return t;
+}
+
+Table MakePhotoZ(double row_scale) {
+  Table t("PhotoZ", Scale(1'500'000, row_scale));
+  t.AddColumn("objID", ColumnType::kInt64);
+  t.AddColumn("z", ColumnType::kFloat32);
+  t.AddColumn("zErr", ColumnType::kFloat32);
+  t.AddColumn("t", ColumnType::kFloat32);
+  t.AddColumn("tErr", ColumnType::kFloat32);
+  t.AddColumn("quality", ColumnType::kInt16);
+  return t;
+}
+
+Table MakeTiles(double row_scale) {
+  Table t("Tiles", Scale(50'000, row_scale));
+  t.AddColumn("tileID", ColumnType::kInt64);
+  t.AddColumn("ra", ColumnType::kFloat64);
+  t.AddColumn("dec", ColumnType::kFloat64);
+  t.AddColumn("completeness", ColumnType::kFloat32);
+  return t;
+}
+
+Table MakeMask(double row_scale) {
+  Table t("Mask", Scale(100'000, row_scale));
+  t.AddColumn("maskID", ColumnType::kInt64);
+  t.AddColumn("ra", ColumnType::kFloat64);
+  t.AddColumn("dec", ColumnType::kFloat64);
+  t.AddColumn("radius", ColumnType::kFloat32);
+  t.AddColumn("type", ColumnType::kInt16);
+  return t;
+}
+
+/// PhotoProfile: radial surface-brightness profile bins — a large, rarely
+/// queried table (the kind of object a bypass cache should never load).
+Table MakePhotoProfile(double row_scale) {
+  Table t("PhotoProfile", Scale(9'000'000, row_scale));
+  t.AddColumn("objID", ColumnType::kInt64);
+  t.AddColumn("bin", ColumnType::kInt32);
+  t.AddColumn("profMean", ColumnType::kFloat32);
+  t.AddColumn("profErr", ColumnType::kFloat32);
+  return t;
+}
+
+/// Cross-match tables against external surveys (FIRST radio, ROSAT X-ray,
+/// USNO astrometry): cold, moderate-size tables in the tail of the
+/// workload.
+Table MakeFirst(double row_scale) {
+  Table t("First", Scale(1'000'000, row_scale));
+  t.AddColumn("objID", ColumnType::kInt64);
+  t.AddColumn("firstID", ColumnType::kInt64);
+  t.AddColumn("peak", ColumnType::kFloat32);
+  t.AddColumn("integr", ColumnType::kFloat32);
+  t.AddColumn("rms", ColumnType::kFloat32);
+  t.AddColumn("major", ColumnType::kFloat32);
+  t.AddColumn("minor", ColumnType::kFloat32);
+  t.AddColumn("pa", ColumnType::kFloat32);
+  return t;
+}
+
+Table MakeRosat(double row_scale) {
+  Table t("Rosat", Scale(500'000, row_scale));
+  t.AddColumn("objID", ColumnType::kInt64);
+  t.AddColumn("rosatID", ColumnType::kInt64);
+  t.AddColumn("cps", ColumnType::kFloat32);
+  t.AddColumn("hr1", ColumnType::kFloat32);
+  t.AddColumn("hr2", ColumnType::kFloat32);
+  t.AddColumn("ext", ColumnType::kFloat32);
+  t.AddColumn("posErr", ColumnType::kFloat32);
+  return t;
+}
+
+Table MakeUsno(double row_scale) {
+  Table t("USNO", Scale(1'000'000, row_scale));
+  t.AddColumn("objID", ColumnType::kInt64);
+  t.AddColumn("usnoID", ColumnType::kInt64);
+  t.AddColumn("properMotion", ColumnType::kFloat32);
+  t.AddColumn("angle", ColumnType::kFloat32);
+  t.AddColumn("blue", ColumnType::kFloat32);
+  t.AddColumn("red", ColumnType::kFloat32);
+  t.AddColumn("delta", ColumnType::kFloat32);
+  return t;
+}
+
+}  // namespace
+
+Catalog MakeSdssCatalogSplitScale(const std::string& name, double hot_scale,
+                                  double cold_scale) {
+  BYC_CHECK_GT(hot_scale, 0.0);
+  BYC_CHECK_GT(cold_scale, 0.0);
+  Catalog catalog(name);
+  BYC_CHECK(catalog.AddTable(MakePhotoObj(hot_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeSpecObj(hot_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeNeighbors(cold_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeField(hot_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeFrame(hot_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakePlateX(hot_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakePhotoZ(hot_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeTiles(cold_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeMask(cold_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakePhotoProfile(cold_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeFirst(cold_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeRosat(cold_scale)).ok());
+  BYC_CHECK(catalog.AddTable(MakeUsno(cold_scale)).ok());
+  return catalog;
+}
+
+Catalog MakeSdssCatalog(const std::string& name, double row_scale) {
+  return MakeSdssCatalogSplitScale(name, row_scale, row_scale);
+}
+
+Catalog MakeSdssEdrCatalog() { return MakeSdssCatalog("EDR", 1.0); }
+
+Catalog MakeSdssDr1Catalog() { return MakeSdssCatalog("DR1", 2.3); }
+
+}  // namespace byc::catalog

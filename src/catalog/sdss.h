@@ -1,0 +1,38 @@
+#ifndef BYC_CATALOG_SDSS_H_
+#define BYC_CATALOG_SDSS_H_
+
+#include "catalog/catalog.h"
+
+namespace byc::catalog {
+
+/// Builders for SDSS-like catalogs modeled on the Sloan Digital Sky Survey
+/// public schema. The paper evaluates on two data releases of the largest
+/// SkyQuery federation node:
+///
+///  * EDR (Early Data Release)  — built here at ~0.7 GB total, matching
+///    the paper's note that the (hot) SDSS data is about 700 MB.
+///  * DR1 (Data Release 1)      — the same schema with ~2.3x the rows.
+///
+/// Table and column names, types, and storage widths follow the public
+/// SDSS SkyServer schema (PhotoObj, SpecObj, Neighbors, Field, ...); row
+/// counts are scaled so that object-size distributions — which drive all
+/// caching decisions — are realistic at simulation scale.
+Catalog MakeSdssEdrCatalog();
+Catalog MakeSdssDr1Catalog();
+
+/// Shared implementation: builds the SDSS schema with every table's row
+/// count multiplied by `row_scale` (EDR uses 1.0, DR1 uses 2.3).
+Catalog MakeSdssCatalog(const std::string& name, double row_scale);
+
+/// Variant with independent scales for the hot/warm tables (PhotoObj,
+/// SpecObj, PhotoZ, Field, Frame, PlateX) and the cold archive tables
+/// (Neighbors, PhotoProfile, cross-match surveys, Mask, Tiles). Used by
+/// the database-size-scaling study (§6.3's open question): growing only
+/// the cold archive grows the database without growing the workload's
+/// working set.
+Catalog MakeSdssCatalogSplitScale(const std::string& name, double hot_scale,
+                                  double cold_scale);
+
+}  // namespace byc::catalog
+
+#endif  // BYC_CATALOG_SDSS_H_

@@ -1,0 +1,53 @@
+#ifndef BYC_CATALOG_TABLE_H_
+#define BYC_CATALOG_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/column.h"
+
+namespace byc::catalog {
+
+/// A relational table: name, cardinality, and column layout. Tables are
+/// the unit of table-granularity caching; (table, column) pairs are the
+/// unit of column-granularity caching.
+class Table {
+ public:
+  Table(std::string name, uint64_t row_count)
+      : name_(std::move(name)), row_count_(row_count) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t row_count() const { return row_count_; }
+
+  /// Appends a column; returns its index.
+  int AddColumn(std::string name, ColumnType type);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the named column, or -1.
+  int FindColumn(std::string_view name) const;
+
+  /// Bytes per row (sum of column widths).
+  uint64_t row_width_bytes() const { return row_width_; }
+
+  /// Total table size in bytes: row_count * row_width.
+  uint64_t size_bytes() const { return row_count_ * row_width_; }
+
+  /// Size of one column across all rows.
+  uint64_t column_size_bytes(int i) const {
+    return row_count_ * column(i).width_bytes();
+  }
+
+ private:
+  std::string name_;
+  uint64_t row_count_;
+  std::vector<Column> columns_;
+  uint64_t row_width_ = 0;
+};
+
+}  // namespace byc::catalog
+
+#endif  // BYC_CATALOG_TABLE_H_

@@ -1,0 +1,32 @@
+#include "common/bytes.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace byc {
+
+std::string FormatBytes(double bytes) {
+  const char* suffix = "B";
+  double v = bytes;
+  if (std::fabs(v) >= kGB) {
+    v /= kGB;
+    suffix = "GB";
+  } else if (std::fabs(v) >= kMB) {
+    v /= kMB;
+    suffix = "MB";
+  } else if (std::fabs(v) >= kKB) {
+    v /= kKB;
+    suffix = "KB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix);
+  return buf;
+}
+
+std::string FormatGB(double bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", bytes / kGB);
+  return buf;
+}
+
+}  // namespace byc

@@ -1,0 +1,25 @@
+#ifndef BYC_COMMON_BYTES_H_
+#define BYC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace byc {
+
+/// Byte quantities. The network-cost economy of bypass-yield caching is
+/// denominated in bytes; doubles carry fractional yields produced by the
+/// proportional yield decomposition.
+inline constexpr double kKB = 1024.0;
+inline constexpr double kMB = 1024.0 * kKB;
+inline constexpr double kGB = 1024.0 * kMB;
+
+/// Formats a byte count with a binary-unit suffix, e.g. "1.50 GB".
+std::string FormatBytes(double bytes);
+
+/// Formats bytes as a GB figure with two decimals (the unit the paper's
+/// tables use), without a suffix: 1216.94.
+std::string FormatGB(double bytes);
+
+}  // namespace byc
+
+#endif  // BYC_COMMON_BYTES_H_

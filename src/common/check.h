@@ -1,0 +1,34 @@
+#ifndef BYC_COMMON_CHECK_H_
+#define BYC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace byc::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "BYC_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace byc::internal
+
+/// Invariant check that is active in all build types (unlike assert).
+/// Used for internal invariants whose violation indicates a library bug;
+/// recoverable conditions use Status instead.
+#define BYC_CHECK(cond)                                          \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::byc::internal::CheckFailed(#cond, __FILE__, __LINE__);   \
+    }                                                            \
+  } while (false)
+
+#define BYC_CHECK_GE(a, b) BYC_CHECK((a) >= (b))
+#define BYC_CHECK_GT(a, b) BYC_CHECK((a) > (b))
+#define BYC_CHECK_LE(a, b) BYC_CHECK((a) <= (b))
+#define BYC_CHECK_LT(a, b) BYC_CHECK((a) < (b))
+#define BYC_CHECK_EQ(a, b) BYC_CHECK((a) == (b))
+#define BYC_CHECK_NE(a, b) BYC_CHECK((a) != (b))
+
+#endif  // BYC_COMMON_CHECK_H_

@@ -1,0 +1,40 @@
+#ifndef BYC_COMMON_CSV_H_
+#define BYC_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace byc {
+
+/// Minimal CSV writer. Fields containing commas, quotes, or newlines are
+/// quoted per RFC 4180. Benches use this to emit figure series that can be
+/// plotted externally.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: header row from string views.
+  void WriteHeader(const std::vector<std::string_view>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Splits one CSV line into fields, honoring RFC 4180 quoting.
+/// Returns ParseError on an unterminated quoted field.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+}  // namespace byc
+
+#endif  // BYC_COMMON_CSV_H_

@@ -1,0 +1,83 @@
+#ifndef BYC_COMMON_RANDOM_H_
+#define BYC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace byc {
+
+/// Deterministic pseudo-random number generator (xoshiro256++). All
+/// randomness in the library — the synthetic workload generator and the
+/// randomized SpaceEffBY policy — flows through seeded Rng instances, so
+/// every simulation is reproducible from its seed.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give independent
+  /// streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform in [lo, hi]. Precondition: lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli trial with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Log-normally distributed value where the underlying normal has the
+  /// given mu and sigma.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(theta) sampler over {0, 1, ..., n-1} with rank 0 the most popular.
+/// Uses a precomputed CDF (n is small in our workloads: schema elements).
+class ZipfSampler {
+ public:
+  /// Precondition: n >= 1, theta >= 0 (theta == 0 degenerates to uniform).
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+  /// Probability mass of rank i.
+  double Pmf(size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace byc
+
+#endif  // BYC_COMMON_RANDOM_H_

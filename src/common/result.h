@@ -1,0 +1,83 @@
+#ifndef BYC_COMMON_RESULT_H_
+#define BYC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace byc {
+
+/// Value-or-error return type (akin to absl::StatusOr / arrow::Result).
+/// A Result is either OK and holds a T, or holds a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status makes
+  /// `return Status::NotFound(...);` work. An OK status is a programming
+  /// error (there would be no value) and is remapped to Internal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value into `lhs`. Usable in functions returning Status or
+/// Result<U>.
+#define BYC_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  BYC_ASSIGN_OR_RETURN_IMPL_(                       \
+      BYC_CONCAT_(_byc_result_, __LINE__), lhs, rexpr)
+
+#define BYC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define BYC_CONCAT_(a, b) BYC_CONCAT_IMPL_(a, b)
+#define BYC_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace byc
+
+#endif  // BYC_COMMON_RESULT_H_

@@ -1,0 +1,79 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace byc {
+
+void StatAccumulator::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string StatAccumulator::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.4g min=%.4g max=%.4g sd=%.4g", count_,
+                mean(), min(), max(), stddev());
+  return buf;
+}
+
+void QuantileSketch::Add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1 - frac) + values_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi) {
+  BYC_CHECK_GT(hi, lo);
+  BYC_CHECK_GE(buckets, 1u);
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  double idx = (x - lo_) / width_;
+  long i = static_cast<long>(std::floor(idx));
+  i = std::clamp<long>(i, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(i)];
+  ++total_;
+}
+
+double Histogram::BucketLow(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::BucketHigh(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+}  // namespace byc

@@ -1,0 +1,81 @@
+#ifndef BYC_COMMON_STATS_H_
+#define BYC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace byc {
+
+/// Streaming summary statistics (Welford's online algorithm for variance).
+class StatAccumulator {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const {
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    return count_ == 0 ? 0.0 : max_;
+  }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+  /// "count=... mean=... min=... max=... sd=..."
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact quantiles over a stored sample set. Suitable for the trace-scale
+/// data in this library (tens of thousands of points).
+class QuantileSketch {
+ public:
+  void Add(double x);
+  size_t count() const { return values_.size(); }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  /// Returns 0 for an empty sketch.
+  double Quantile(double q) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping,
+/// used by trace analyses.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t BucketCount(size_t i) const { return counts_[i]; }
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+  uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace byc
+
+#endif  // BYC_COMMON_STATS_H_

@@ -1,0 +1,34 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+namespace byc {
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell;
+      if (c + 1 < widths.size()) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace byc

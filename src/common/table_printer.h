@@ -1,0 +1,32 @@
+#ifndef BYC_COMMON_TABLE_PRINTER_H_
+#define BYC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace byc {
+
+/// Accumulates rows and prints a column-aligned plain-text table. The
+/// benches use this to reproduce the paper's tables as readable console
+/// output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  /// Renders with a header separator; columns sized to the widest cell.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace byc
+
+#endif  // BYC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,37 @@
+#ifndef BYC_CORE_ACCESS_H_
+#define BYC_CORE_ACCESS_H_
+
+#include <cstdint>
+
+#include "catalog/object_id.h"
+
+namespace byc::core {
+
+/// One object access: the currency of the bypass-yield model. A SQL query
+/// referencing several objects is decomposed (by the yield estimator +
+/// mediator) into one Access per object, each carrying that object's
+/// share of the query's result bytes. This matches OnlineBY's model in
+/// which "each query q_j refers to a single object o_i and yields a query
+/// result of size y_{i,j}" (§5.2).
+struct Access {
+  catalog::ObjectId object;
+  /// y_{i,j}: result bytes this access ships if bypassed, and saves if
+  /// served from cache.
+  double yield_bytes = 0;
+  /// s_i: bytes of cache space the object occupies.
+  uint64_t size_bytes = 0;
+  /// f_i: WAN cost of loading the object into the cache. Equals s_i on
+  /// uniform networks (cost-per-byte 1); on heterogeneous federations it
+  /// is weighted by the owning site's link cost, which is what makes
+  /// BYHR differ from BYU.
+  double fetch_cost = 0;
+  /// WAN cost of bypassing this access: yield_bytes weighted by the
+  /// owning site's link cost (== yield_bytes on uniform networks). The
+  /// algorithms measure savings in this currency so that expensive links
+  /// are preferentially relieved.
+  double bypass_cost = 0;
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_ACCESS_H_

@@ -1,0 +1,51 @@
+#ifndef BYC_CORE_BYPASS_OBJECT_CACHE_H_
+#define BYC_CORE_BYPASS_OBJECT_CACHE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "catalog/object_id.h"
+
+namespace byc::core {
+
+/// The bypass-object caching problem (§5.1): a request sequence of whole
+/// objects with varying sizes and fetch costs; a request to a resident
+/// object is free; otherwise the algorithm either bypasses the request
+/// (cost f_i, cache unchanged) or loads the object first (cost f_i,
+/// evicting as needed) so future requests are free.
+///
+/// OnlineBY reduces bypass-yield caching to this problem: it presents an
+/// object here each time the object's accumulated yield crosses its size
+/// (one "group" of queries whose bypass cost equals the fetch cost).
+/// Any α-competitive algorithm A_obj yields a (4α+2)-competitive
+/// bypass-yield algorithm (Theorem 5.1).
+class BypassObjectCache {
+ public:
+  /// What one request caused.
+  struct RequestOutcome {
+    bool loaded = false;
+    std::vector<catalog::ObjectId> evictions;
+  };
+
+  virtual ~BypassObjectCache() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Presents a request for the whole object.
+  virtual RequestOutcome OnRequest(const catalog::ObjectId& id,
+                                   uint64_t size_bytes, double fetch_cost) = 0;
+
+  virtual bool Contains(const catalog::ObjectId& id) const = 0;
+
+  virtual uint64_t used_bytes() const = 0;
+  virtual uint64_t capacity_bytes() const = 0;
+
+  /// Per-object state held for non-resident objects (admission rent,
+  /// etc.); 0 for algorithms like Landlord that track residents only.
+  virtual size_t metadata_entries() const { return 0; }
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_BYPASS_OBJECT_CACHE_H_

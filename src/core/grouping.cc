@@ -1,0 +1,63 @@
+#include "core/grouping.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+GroupedSequences GroupAccesses(const std::vector<Access>& accesses) {
+  GroupedSequences out;
+
+  // Per-object running BYU plus the trailing (incomplete-group) queries.
+  struct ObjectState {
+    double byu = 0;  // fraction of the current group completed
+    std::vector<Access> pending;
+  };
+  std::unordered_map<uint64_t, ObjectState> state;
+
+  for (const Access& access : accesses) {
+    BYC_CHECK_GT(access.size_bytes, 0u);
+    ObjectState& s = state[access.object.Key()];
+    double unit = access.yield_bytes / static_cast<double>(access.size_bytes);
+    double remaining = unit;
+    Access rest = access;  // the not-yet-grouped fraction of this query
+
+    while (s.byu + remaining >= 1.0) {
+      // This query completes the current group; split it fractionally.
+      double used = 1.0 - s.byu;  // units consumed from this query
+      double frac = remaining > 0 ? used / unit : 0;
+      Access part = access;
+      part.yield_bytes = access.yield_bytes * frac;
+      part.bypass_cost = access.bypass_cost * frac;
+
+      // The group's members: everything pending plus this fraction.
+      for (Access& p : s.pending) out.trimmed.push_back(std::move(p));
+      s.pending.clear();
+      out.trimmed.push_back(part);
+
+      Access object_request = access;
+      object_request.yield_bytes = static_cast<double>(access.size_bytes);
+      object_request.bypass_cost = access.fetch_cost;
+      out.object_sequence.push_back(object_request);
+
+      remaining -= used;
+      rest.yield_bytes -= part.yield_bytes;
+      rest.bypass_cost -= part.bypass_cost;
+      s.byu = 0;
+    }
+
+    if (remaining > 1e-12) {
+      s.byu += remaining;
+      s.pending.push_back(rest);
+    }
+  }
+
+  // Whatever never completed a group is dropped(σ).
+  for (auto& [key, s] : state) {
+    for (Access& p : s.pending) out.dropped.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace byc::core

@@ -1,0 +1,41 @@
+#ifndef BYC_CORE_GROUPING_H_
+#define BYC_CORE_GROUPING_H_
+
+#include <vector>
+
+#include "core/access.h"
+
+namespace byc::core {
+
+/// The sequence transformations from the proof of Theorem 5.1 (§5.2).
+/// Given a query sequence σ, the per-object sub-sequences σ_i are divided
+/// into consecutive *groups* g_k with Σ_{q∈g_k} y/s = 1 — splitting a
+/// query fractionally across group boundaries when necessary — so that
+/// bypassing one group costs exactly the fetch cost f_i:
+///
+///  * object(σ):  one whole-object request per completed group — the
+///    sequence OnlineBY feeds to A_obj;
+///  * trimmed(σ): σ with the left-over queries (the incomplete trailing
+///    group per object) dropped, fractional at the split points;
+///  * dropped(σ): exactly those left-over queries.
+///
+/// Lemma 5.1 relates offline optima across these sequences; the tests
+/// verify the relations empirically with the exact offline optimum.
+struct GroupedSequences {
+  /// Whole-object requests, in group-completion order. Yield equals the
+  /// object size (bypass cost equals fetch cost) by construction.
+  std::vector<Access> object_sequence;
+  /// σ restricted to queries (or query fractions) that belong to some
+  /// complete group, in original order.
+  std::vector<Access> trimmed;
+  /// The dropped remainder: per-object trailing queries whose cumulative
+  /// yield never completed a group.
+  std::vector<Access> dropped;
+};
+
+/// Performs the grouping transformation on an access sequence.
+GroupedSequences GroupAccesses(const std::vector<Access>& accesses);
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_GROUPING_H_

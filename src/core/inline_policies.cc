@@ -1,0 +1,60 @@
+#include "core/inline_policies.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+Decision InlineCachePolicy::OnAccess(const Access& access) {
+  ++now_;
+  if (store_.Contains(access.object)) {
+    heap_.Update(access.object, TouchPriority(access, /*hit=*/true));
+    return Decision{Action::kServeFromCache, {}};
+  }
+  if (!store_.Fits(access.size_bytes)) {
+    // The object can never fit; the request is forwarded to the server.
+    return Decision{Action::kBypass, {}};
+  }
+
+  Decision decision;
+  decision.action = Action::kLoadAndServe;
+  while (store_.free_bytes() < access.size_bytes) {
+    BYC_CHECK(!heap_.empty());
+    catalog::ObjectId victim = heap_.PeekMinKey();
+    double priority = heap_.PeekMinPriority();
+    heap_.Erase(victim);
+    BYC_CHECK(store_.Erase(victim).ok());
+    OnEvict(victim, priority);
+    decision.evictions.push_back(victim);
+  }
+  BYC_CHECK(store_.Insert(access.object, access.size_bytes, now_).ok());
+  heap_.Insert(access.object, TouchPriority(access, /*hit=*/false));
+  return decision;
+}
+
+void InlineCachePolicy::OnEvict(const catalog::ObjectId&, double) {}
+
+double LruKPolicy::TouchPriority(const Access& access, bool) {
+  std::vector<uint64_t>& refs = history_[access.object.Key()];
+  refs.push_back(now());
+  if (refs.size() > static_cast<size_t>(k_)) {
+    refs.erase(refs.begin());
+  }
+  if (refs.size() < static_cast<size_t>(k_)) {
+    // Backward-K distance is infinite: most eligible for eviction, with
+    // recency (scaled down) breaking ties among the under-referenced.
+    return -1.0 + static_cast<double>(now()) * 1e-12;
+  }
+  return static_cast<double>(refs.front());
+}
+
+void GdsPolicy::OnEvict(const catalog::ObjectId&, double priority) {
+  inflation_ = std::max(inflation_, priority);
+}
+
+void GdspPolicy::OnEvict(const catalog::ObjectId&, double priority) {
+  inflation_ = std::max(inflation_, priority);
+}
+
+}  // namespace byc::core

@@ -1,0 +1,146 @@
+#ifndef BYC_CORE_INLINE_POLICIES_H_
+#define BYC_CORE_INLINE_POLICIES_H_
+
+#include <unordered_map>
+
+#include "cache/cache_store.h"
+#include "cache/indexed_heap.h"
+#include "core/policy.h"
+
+namespace byc::core {
+
+/// Base for classical *in-line* proxy caches: a miss always loads the
+/// object and serves the query from the cache — there is no bypass
+/// decision (this is precisely why GDS "performs poorly because it caches
+/// all requests", §6.2). Objects larger than the whole cache are the one
+/// exception: they cannot possibly be cached, so such requests are
+/// forwarded (bypassed) as any real proxy would.
+///
+/// Subclasses define the utility ordering through TouchPriority(), called
+/// on every hit and load; eviction removes the minimum-priority object.
+class InlineCachePolicy : public CachePolicy {
+ public:
+  explicit InlineCachePolicy(uint64_t capacity_bytes)
+      : store_(capacity_bytes) {}
+
+  Decision OnAccess(const Access& access) final;
+  bool Contains(const catalog::ObjectId& id) const final {
+    return store_.Contains(id);
+  }
+  uint64_t used_bytes() const final { return store_.used_bytes(); }
+  uint64_t capacity_bytes() const final { return store_.capacity_bytes(); }
+
+ protected:
+  /// Priority (min evicts first) to assign on this touch.
+  virtual double TouchPriority(const Access& access, bool hit) = 0;
+
+  /// Hook invoked when `id` with priority `priority` is evicted.
+  virtual void OnEvict(const catalog::ObjectId& id, double priority);
+
+  uint64_t now() const { return now_; }
+
+ private:
+  uint64_t now_ = 0;
+  cache::CacheStore store_;
+  cache::IndexedMinHeap<catalog::ObjectId, catalog::ObjectIdHash> heap_;
+};
+
+/// Least-recently-used object cache.
+class LruPolicy : public InlineCachePolicy {
+ public:
+  explicit LruPolicy(uint64_t capacity_bytes)
+      : InlineCachePolicy(capacity_bytes) {}
+  std::string_view name() const override { return "LRU"; }
+
+ protected:
+  double TouchPriority(const Access&, bool) override {
+    return static_cast<double>(now());
+  }
+};
+
+/// Least-frequently-used object cache. Frequency counts persist across
+/// evictions (perfect-LFU), which suits the trace-replay setting.
+class LfuPolicy : public InlineCachePolicy {
+ public:
+  explicit LfuPolicy(uint64_t capacity_bytes)
+      : InlineCachePolicy(capacity_bytes) {}
+  std::string_view name() const override { return "LFU"; }
+
+ protected:
+  double TouchPriority(const Access& access, bool) override {
+    return static_cast<double>(++frequency_[access.object.Key()]);
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> frequency_;
+};
+
+/// LRU-K (O'Neil, O'Neil & Weikum, cited in §2 for database disk
+/// buffering): evicts the object whose K-th most recent reference is
+/// oldest, discriminating frequently from infrequently referenced
+/// objects better than plain LRU. Objects with fewer than K references
+/// order by -infinity (evicted first), ties falling back to recency via
+/// a small epsilon on the last access time.
+class LruKPolicy : public InlineCachePolicy {
+ public:
+  LruKPolicy(uint64_t capacity_bytes, int k)
+      : InlineCachePolicy(capacity_bytes), k_(k) {}
+  std::string_view name() const override { return "LRU-K"; }
+
+ protected:
+  double TouchPriority(const Access& access, bool hit) override;
+
+ private:
+  int k_;
+  /// Ring of the last K reference times per object key.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> history_;
+};
+
+/// Greedy-Dual-Size (Cao & Irani): H = L + cost/size, where L inflates to
+/// the H-value of each evicted object, aging out stale entries. The
+/// paper's principal in-line baseline ("a system that uses
+/// Greedy-Dual-Size (GDS) caching without bypass").
+class GdsPolicy : public InlineCachePolicy {
+ public:
+  explicit GdsPolicy(uint64_t capacity_bytes)
+      : InlineCachePolicy(capacity_bytes) {}
+  std::string_view name() const override { return "GDS"; }
+
+ protected:
+  double TouchPriority(const Access& access, bool) override {
+    return inflation_ +
+           access.fetch_cost / static_cast<double>(access.size_bytes);
+  }
+  void OnEvict(const catalog::ObjectId& id, double priority) override;
+
+ private:
+  double inflation_ = 0;  // the "L" value
+};
+
+/// GDS-Popularity (Jin & Bestavros): H = L + frequency * cost/size,
+/// adding the frequency dimension GDS lacks. Frequencies persist across
+/// evictions — the same design choice the paper's rate-based algorithm
+/// borrows ("uses frequency count similar to GDSP for all objects in the
+/// reference stream, not just those in the cache currently", §2).
+class GdspPolicy : public InlineCachePolicy {
+ public:
+  explicit GdspPolicy(uint64_t capacity_bytes)
+      : InlineCachePolicy(capacity_bytes) {}
+  std::string_view name() const override { return "GDSP"; }
+
+ protected:
+  double TouchPriority(const Access& access, bool) override {
+    double freq = static_cast<double>(++frequency_[access.object.Key()]);
+    return inflation_ +
+           freq * access.fetch_cost / static_cast<double>(access.size_bytes);
+  }
+  void OnEvict(const catalog::ObjectId& id, double priority) override;
+
+ private:
+  double inflation_ = 0;
+  std::unordered_map<uint64_t, uint64_t> frequency_;
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_INLINE_POLICIES_H_

@@ -1,0 +1,96 @@
+#include "core/irani_cache.h"
+
+#include "common/check.h"
+
+namespace byc::core {
+
+int IraniSizeClassCache::SizeClassOf(uint64_t size_bytes) {
+  BYC_CHECK_GT(size_bytes, 0u);
+  int c = 0;
+  while (size_bytes > 1) {
+    size_bytes >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+void IraniSizeClassCache::Mark(const catalog::ObjectId& id) {
+  auto it = residents_.find(id);
+  BYC_CHECK(it != residents_.end());
+  Resident& r = it->second;
+  if (r.marked) return;
+  r.marked = true;
+  SizeClass& sc = classes_[r.size_class];
+  sc.unmarked_fifo.erase(r.admit_seq);
+  sc.unmarked_bytes -= r.size_bytes;
+}
+
+void IraniSizeClassCache::UnmarkAll() {
+  ++phase_count_;
+  for (auto& [id, r] : residents_) {
+    if (!r.marked) continue;
+    r.marked = false;
+    SizeClass& sc = classes_[r.size_class];
+    sc.unmarked_fifo.emplace(r.admit_seq, id);
+    sc.unmarked_bytes += r.size_bytes;
+  }
+}
+
+void IraniSizeClassCache::MakeSpace(uint64_t needed,
+                                    std::vector<catalog::ObjectId>& out) {
+  while (store_.free_bytes() < needed) {
+    // Pick the class holding the most unmarked bytes.
+    SizeClass* best = nullptr;
+    for (auto& [cls, sc] : classes_) {
+      if (sc.unmarked_bytes == 0) continue;
+      if (best == nullptr || sc.unmarked_bytes > best->unmarked_bytes) {
+        best = &sc;
+      }
+    }
+    if (best == nullptr) {
+      // Every resident is marked: the phase is over.
+      BYC_CHECK(!residents_.empty());
+      UnmarkAll();
+      continue;
+    }
+    auto oldest = best->unmarked_fifo.begin();
+    catalog::ObjectId victim = oldest->second;
+    const Resident& r = residents_.at(victim);
+    best->unmarked_bytes -= r.size_bytes;
+    best->unmarked_fifo.erase(oldest);
+    residents_.erase(victim);
+    BYC_CHECK(store_.Erase(victim).ok());
+    rent_paid_.erase(victim.Key());
+    out.push_back(victim);
+  }
+}
+
+BypassObjectCache::RequestOutcome IraniSizeClassCache::OnRequest(
+    const catalog::ObjectId& id, uint64_t size_bytes, double fetch_cost) {
+  RequestOutcome outcome;
+  if (store_.Contains(id)) {
+    Mark(id);
+    return outcome;
+  }
+  if (!store_.Fits(size_bytes)) {
+    return outcome;
+  }
+  double& rent = rent_paid_[id.Key()];
+  if (rent < fetch_cost) {
+    rent += fetch_cost;  // bypassed request; rent accrues
+    return outcome;
+  }
+  rent = 0;
+  MakeSpace(size_bytes, outcome.evictions);
+  Resident r;
+  r.size_class = SizeClassOf(size_bytes);
+  r.size_bytes = size_bytes;
+  r.admit_seq = next_seq_++;
+  r.marked = true;  // a freshly requested object is marked for this phase
+  residents_.emplace(id, r);
+  BYC_CHECK(store_.Insert(id, size_bytes, 0).ok());
+  outcome.loaded = true;
+  return outcome;
+}
+
+}  // namespace byc::core

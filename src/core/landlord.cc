@@ -1,0 +1,84 @@
+#include "core/landlord.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+double LandlordCache::CreditOf(const catalog::ObjectId& id) const {
+  const cache::CacheStore::Entry* entry = store_.Find(id);
+  BYC_CHECK(entry != nullptr);
+  double normalized = heap_.PriorityOf(id) - inflation_;
+  return normalized * static_cast<double>(entry->size_bytes);
+}
+
+void LandlordCache::MakeSpace(uint64_t needed,
+                              std::vector<catalog::ObjectId>& out) {
+  while (store_.free_bytes() < needed) {
+    BYC_CHECK(!heap_.empty());
+    // Charge rent: raise the inflation to the minimum normalized credit,
+    // zeroing the poorest object, then evict it.
+    inflation_ = std::max(inflation_, heap_.PeekMinPriority());
+    catalog::ObjectId victim = heap_.PopMin();
+    BYC_CHECK(store_.Erase(victim).ok());
+    out.push_back(victim);
+  }
+}
+
+void LandlordCache::Admit(const catalog::ObjectId& id, uint64_t size_bytes,
+                          double fetch_cost) {
+  BYC_CHECK(store_.Insert(id, size_bytes, 0).ok());
+  heap_.Insert(id,
+               inflation_ + fetch_cost / static_cast<double>(size_bytes));
+}
+
+void LandlordCache::Refresh(const catalog::ObjectId& id, uint64_t size_bytes,
+                            double fetch_cost) {
+  heap_.Update(id,
+               inflation_ + fetch_cost / static_cast<double>(size_bytes));
+}
+
+BypassObjectCache::RequestOutcome LandlordCache::OnRequest(
+    const catalog::ObjectId& id, uint64_t size_bytes, double fetch_cost) {
+  RequestOutcome outcome;
+  if (store_.Contains(id)) {
+    Refresh(id, size_bytes, fetch_cost);
+    return outcome;
+  }
+  if (!store_.Fits(size_bytes)) {
+    return outcome;  // can never be cached; the request is bypassed
+  }
+  MakeSpace(size_bytes, outcome.evictions);
+  Admit(id, size_bytes, fetch_cost);
+  outcome.loaded = true;
+  return outcome;
+}
+
+BypassObjectCache::RequestOutcome RentToBuyCache::OnRequest(
+    const catalog::ObjectId& id, uint64_t size_bytes, double fetch_cost) {
+  RequestOutcome outcome;
+  if (Contains(id)) {
+    Refresh(id, size_bytes, fetch_cost);
+    return outcome;
+  }
+  if (!store_.Fits(size_bytes)) {
+    return outcome;
+  }
+  double& rent = rent_paid_[id.Key()];
+  if (rent >= fetch_cost) {
+    // Rent already covers the purchase: buy for this trip.
+    rent = 0;
+    MakeSpace(size_bytes, outcome.evictions);
+    for (const catalog::ObjectId& victim : outcome.evictions) {
+      rent_paid_.erase(victim.Key());  // evicted objects rent afresh
+    }
+    Admit(id, size_bytes, fetch_cost);
+    outcome.loaded = true;
+  } else {
+    rent += fetch_cost;  // this request is bypassed at cost f_i
+  }
+  return outcome;
+}
+
+}  // namespace byc::core

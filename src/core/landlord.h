@@ -1,0 +1,87 @@
+#ifndef BYC_CORE_LANDLORD_H_
+#define BYC_CORE_LANDLORD_H_
+
+#include <unordered_map>
+
+#include "cache/cache_store.h"
+#include "cache/indexed_heap.h"
+#include "core/bypass_object_cache.h"
+
+namespace byc::core {
+
+/// Young's Landlord algorithm for file caching, adapted to bypass-object
+/// caching with mandatory admission: every (fitting) requested object is
+/// loaded; space is made by the Landlord credit rule — each resident
+/// object holds credit (initialized and refreshed to its fetch cost);
+/// eviction repeatedly charges every resident object rent proportional to
+/// its size (uniformly decreasing credit/size) and evicts objects whose
+/// credit reaches zero.
+///
+/// The uniform rent charge is implemented with a global inflation offset
+/// over normalized credit (credit/size), so evictions cost O(log n)
+/// rather than touching every object.
+///
+/// Landlord is k/(k-h+1)-competitive for file caching; as the A_obj
+/// inside OnlineBY it keeps state only for resident objects, which is the
+/// property SpaceEffBY's O(1)-extra-space claim relies on.
+class LandlordCache : public BypassObjectCache {
+ public:
+  explicit LandlordCache(uint64_t capacity_bytes) : store_(capacity_bytes) {}
+
+  std::string_view name() const override { return "Landlord"; }
+  RequestOutcome OnRequest(const catalog::ObjectId& id, uint64_t size_bytes,
+                           double fetch_cost) override;
+  bool Contains(const catalog::ObjectId& id) const override {
+    return store_.Contains(id);
+  }
+  uint64_t used_bytes() const override { return store_.used_bytes(); }
+  uint64_t capacity_bytes() const override { return store_.capacity_bytes(); }
+
+  /// Current credit of a resident object (tests). Precondition: resident.
+  double CreditOf(const catalog::ObjectId& id) const;
+
+ protected:
+  /// Evicts minimum normalized-credit objects until `needed` bytes are
+  /// free, appending victims to `out`.
+  void MakeSpace(uint64_t needed, std::vector<catalog::ObjectId>& out);
+
+  /// Inserts with full credit. Precondition: enough free space.
+  void Admit(const catalog::ObjectId& id, uint64_t size_bytes,
+             double fetch_cost);
+
+  /// Refreshes a resident object's credit to its fetch cost.
+  void Refresh(const catalog::ObjectId& id, uint64_t size_bytes,
+               double fetch_cost);
+
+  cache::CacheStore store_;
+
+ private:
+  // Heap priority = credit/size + inflation at insert time; effective
+  // normalized credit = priority - inflation_.
+  cache::IndexedMinHeap<catalog::ObjectId, catalog::ObjectIdHash> heap_;
+  double inflation_ = 0;
+};
+
+/// Optional-caching variant: classical rent-to-buy admission on top of
+/// Landlord eviction. A request to a non-resident object is bypassed
+/// until the accumulated bypass cost matches the fetch cost ("rent skis
+/// as long as the total paid in rental costs does not match or exceed the
+/// purchase cost, then buy for the next trip", §5.1); only then is the
+/// object admitted. Rent resets on eviction.
+class RentToBuyCache : public LandlordCache {
+ public:
+  explicit RentToBuyCache(uint64_t capacity_bytes)
+      : LandlordCache(capacity_bytes) {}
+
+  std::string_view name() const override { return "RentToBuy"; }
+  RequestOutcome OnRequest(const catalog::ObjectId& id, uint64_t size_bytes,
+                           double fetch_cost) override;
+  size_t metadata_entries() const override { return rent_paid_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, double> rent_paid_;  // by ObjectId::Key()
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_LANDLORD_H_

@@ -1,0 +1,26 @@
+#include "core/metrics.h"
+
+namespace byc::core {
+
+double ByteYieldHitRate(const std::vector<QueryStat>& queries,
+                        uint64_t size_bytes, double fetch_cost) {
+  BYC_CHECK_GT(size_bytes, 0u);
+  double size = static_cast<double>(size_bytes);
+  double expected_yield = 0;
+  for (const QueryStat& q : queries) {
+    expected_yield += q.probability * q.yield_bytes;
+  }
+  return expected_yield * fetch_cost / (size * size);
+}
+
+double ByteYieldUtility(const std::vector<QueryStat>& queries,
+                        uint64_t size_bytes) {
+  BYC_CHECK_GT(size_bytes, 0u);
+  double expected_yield = 0;
+  for (const QueryStat& q : queries) {
+    expected_yield += q.probability * q.yield_bytes;
+  }
+  return expected_yield / static_cast<double>(size_bytes);
+}
+
+}  // namespace byc::core

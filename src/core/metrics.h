@@ -1,0 +1,38 @@
+#ifndef BYC_CORE_METRICS_H_
+#define BYC_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+/// One query's contribution to an object's access profile: probability of
+/// occurrence and yield in bytes.
+struct QueryStat {
+  double probability = 0;
+  double yield_bytes = 0;
+};
+
+/// Byte-yield hit rate (Eq. 1):
+///
+///   BYHR_i = sum_j p_ij * y_ij * f_i / s_i^2
+///
+/// the rate of network-bandwidth reduction per byte of cache delivered by
+/// caching object i, composed of the yield potential (sum_j p_ij y_ij /
+/// s_i) and the per-byte refetch penalty (f_i / s_i).
+double ByteYieldHitRate(const std::vector<QueryStat>& queries,
+                        uint64_t size_bytes, double fetch_cost);
+
+/// Byte-yield utility (Eq. 2): BYU_i = sum_j p_ij * y_ij / s_i — the
+/// specialization of BYHR for proportional fetch cost f_i = c * s_i,
+/// dropping the constant factor. BYU degenerates to hit rate in the page
+/// model (uniform sizes, yield == size) and BYHR to GDSP's utility in the
+/// object model (yield == size).
+double ByteYieldUtility(const std::vector<QueryStat>& queries,
+                        uint64_t size_bytes);
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_METRICS_H_

@@ -1,0 +1,24 @@
+#ifndef BYC_CORE_NO_CACHE_POLICY_H_
+#define BYC_CORE_NO_CACHE_POLICY_H_
+
+#include "core/policy.h"
+
+namespace byc::core {
+
+/// Baseline: the uncached SkyQuery federation. Every query ships to the
+/// servers; total WAN traffic equals the paper's "sequence cost" — the
+/// sum of all query-result sizes.
+class NoCachePolicy : public CachePolicy {
+ public:
+  std::string_view name() const override { return "NoCache"; }
+
+  Decision OnAccess(const Access&) override {
+    return Decision{Action::kBypass, {}};
+  }
+
+  bool Contains(const catalog::ObjectId&) const override { return false; }
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_NO_CACHE_POLICY_H_

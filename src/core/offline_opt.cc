@@ -1,0 +1,139 @@
+#include "core/offline_opt.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Instance {
+  std::vector<uint64_t> sizes;        // per distinct object
+  std::vector<double> fetch_costs;    // per distinct object
+  std::vector<int> object_of_access;  // access -> distinct-object index
+};
+
+Result<Instance> BuildInstance(const std::vector<Access>& accesses) {
+  Instance inst;
+  std::unordered_map<uint64_t, int> index_of;
+  inst.object_of_access.reserve(accesses.size());
+  for (const Access& a : accesses) {
+    auto [it, inserted] =
+        index_of.emplace(a.object.Key(), static_cast<int>(inst.sizes.size()));
+    if (inserted) {
+      if (inst.sizes.size() >=
+          static_cast<size_t>(kMaxOfflineOptObjects)) {
+        return Status::InvalidArgument(
+            "offline optimum limited to " +
+            std::to_string(kMaxOfflineOptObjects) + " distinct objects");
+      }
+      inst.sizes.push_back(a.size_bytes);
+      inst.fetch_costs.push_back(a.fetch_cost);
+    }
+    inst.object_of_access.push_back(it->second);
+  }
+  return inst;
+}
+
+/// Total size of the objects in `mask`.
+uint64_t MaskSize(const Instance& inst, uint32_t mask) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < inst.sizes.size(); ++i) {
+    if (mask & (1u << i)) total += inst.sizes[i];
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<double> OfflineOptimalCost(const std::vector<Access>& accesses,
+                                  uint64_t capacity_bytes) {
+  if (accesses.empty()) return 0.0;
+  BYC_ASSIGN_OR_RETURN(Instance inst, BuildInstance(accesses));
+  const int n = static_cast<int>(inst.sizes.size());
+  const uint32_t num_masks = 1u << n;
+
+  // Precompute feasibility; dp[mask] = min cost with cache contents
+  // `mask` after the accesses processed so far.
+  std::vector<uint64_t> mask_size(num_masks);
+  for (uint32_t mask = 0; mask < num_masks; ++mask) {
+    mask_size[mask] = MaskSize(inst, mask);
+  }
+  std::vector<double> dp(num_masks, kInf);
+  std::vector<double> ndp(num_masks);
+  dp[0] = 0;
+
+  for (size_t t = 0; t < accesses.size(); ++t) {
+    const int obj = inst.object_of_access[t];
+    const uint32_t bit = 1u << obj;
+    const double bypass = accesses[t].bypass_cost;
+    const double fetch = inst.fetch_costs[static_cast<size_t>(obj)];
+    std::fill(ndp.begin(), ndp.end(), kInf);
+
+    for (uint32_t mask = 0; mask < num_masks; ++mask) {
+      double base = dp[mask];
+      if (base == kInf) continue;
+      if (mask & bit) {
+        // Served in cache for free.
+        ndp[mask] = std::min(ndp[mask], base);
+        continue;
+      }
+      // Option 1: bypass, cache unchanged.
+      ndp[mask] = std::min(ndp[mask], base + bypass);
+      // Option 2: load the object now, evicting any subset (an optimal
+      // schedule never loads other objects here — they would be loaded
+      // right before their own next access instead).
+      double loaded = base + fetch;
+      uint32_t survivors = mask;
+      for (;;) {
+        uint32_t next_mask = survivors | bit;
+        if (mask_size[next_mask] <= capacity_bytes) {
+          ndp[next_mask] = std::min(ndp[next_mask], loaded);
+        }
+        if (survivors == 0) break;
+        survivors = (survivors - 1) & mask;
+      }
+    }
+    dp.swap(ndp);
+  }
+  double best = kInf;
+  for (double v : dp) best = std::min(best, v);
+  return best;
+}
+
+Result<double> OfflineStaticOptimalCost(const std::vector<Access>& accesses,
+                                        uint64_t capacity_bytes) {
+  if (accesses.empty()) return 0.0;
+  BYC_ASSIGN_OR_RETURN(Instance inst, BuildInstance(accesses));
+  const int n = static_cast<int>(inst.sizes.size());
+  const uint32_t num_masks = 1u << n;
+
+  // Aggregate bypass cost per object.
+  std::vector<double> total_bypass(static_cast<size_t>(n), 0);
+  for (size_t t = 0; t < accesses.size(); ++t) {
+    total_bypass[static_cast<size_t>(inst.object_of_access[t])] +=
+        accesses[t].bypass_cost;
+  }
+
+  double best = kInf;
+  for (uint32_t mask = 0; mask < num_masks; ++mask) {
+    if (MaskSize(inst, mask) > capacity_bytes) continue;
+    double cost = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        cost += inst.fetch_costs[static_cast<size_t>(i)];
+      } else {
+        cost += total_bypass[static_cast<size_t>(i)];
+      }
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+}  // namespace byc::core

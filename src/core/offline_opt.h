@@ -1,0 +1,41 @@
+#ifndef BYC_CORE_OFFLINE_OPT_H_
+#define BYC_CORE_OFFLINE_OPT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/access.h"
+
+namespace byc::core {
+
+/// Exact offline optimum for the bypass-yield caching problem (the
+/// OPT_yield of §5.2): the minimum total WAN cost of servicing an access
+/// sequence with full knowledge of the future.
+///
+/// Computed by dynamic programming over cache states (subsets of the
+/// distinct objects that fit in the capacity). Uses the exchange
+/// argument that an optimal schedule only loads an object immediately
+/// before serving an access to it (evictions are free and loading
+/// earlier never helps), giving O(3^n) work per access over n distinct
+/// objects. Exponential: intended for instances with at most
+/// `kMaxObjects` distinct objects — theory tests and the
+/// ext_offline_optimal bench, not production use.
+///
+/// Returns InvalidArgument when the sequence touches more than
+/// kMaxObjects distinct objects.
+inline constexpr int kMaxOfflineOptObjects = 14;
+
+Result<double> OfflineOptimalCost(const std::vector<Access>& accesses,
+                                  uint64_t capacity_bytes);
+
+/// The offline *static* optimum: the best single cache state held for
+/// the whole sequence (load its contents up front, never change). This
+/// is the quantity the paper's "optimal-static caching" baseline
+/// approximates greedily; exact here by subset enumeration (same object
+/// limit as above).
+Result<double> OfflineStaticOptimalCost(const std::vector<Access>& accesses,
+                                        uint64_t capacity_bytes);
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_OFFLINE_OPT_H_

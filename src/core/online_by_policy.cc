@@ -1,0 +1,70 @@
+#include "core/online_by_policy.h"
+
+#include "common/check.h"
+#include "core/irani_cache.h"
+#include "core/landlord.h"
+
+namespace byc::core {
+
+std::string_view AobjKindName(AobjKind kind) {
+  switch (kind) {
+    case AobjKind::kLandlord:
+      return "Landlord";
+    case AobjKind::kRentToBuy:
+      return "RentToBuy";
+    case AobjKind::kIraniSizeClass:
+      return "IraniSizeClass";
+  }
+  return "?";
+}
+
+std::unique_ptr<BypassObjectCache> MakeAobj(AobjKind kind,
+                                            uint64_t capacity_bytes) {
+  switch (kind) {
+    case AobjKind::kLandlord:
+      return std::make_unique<LandlordCache>(capacity_bytes);
+    case AobjKind::kRentToBuy:
+      return std::make_unique<RentToBuyCache>(capacity_bytes);
+    case AobjKind::kIraniSizeClass:
+      return std::make_unique<IraniSizeClassCache>(capacity_bytes);
+  }
+  BYC_CHECK(false);
+  return nullptr;
+}
+
+OnlineByPolicy::OnlineByPolicy(const Options& options)
+    : aobj_(MakeAobj(options.aobj, options.capacity_bytes)) {}
+
+double OnlineByPolicy::ByuOf(const catalog::ObjectId& id) const {
+  auto it = byu_.find(id.Key());
+  return it == byu_.end() ? 0.0 : it->second;
+}
+
+Decision OnlineByPolicy::OnAccess(const Access& access) {
+  BYC_CHECK_GT(access.size_bytes, 0u);
+  double& byu = byu_[access.object.Key()];
+  byu += access.bypass_cost / access.fetch_cost;
+
+  Decision decision;
+  // Each full unit of BYU is one whole-object request for A_obj. A yield
+  // larger than the object (join fan-out) can complete several groups at
+  // once; requests after the first hit the then-resident object.
+  while (byu >= 1.0) {
+    byu -= 1.0;
+    BypassObjectCache::RequestOutcome outcome =
+        aobj_->OnRequest(access.object, access.size_bytes, access.fetch_cost);
+    if (outcome.loaded) {
+      decision.action = Action::kLoadAndServe;
+      for (auto& v : outcome.evictions) decision.evictions.push_back(v);
+    }
+  }
+
+  if (decision.action == Action::kLoadAndServe) {
+    return decision;  // loaded on this access; the query is served in cache
+  }
+  decision.action = aobj_->Contains(access.object) ? Action::kServeFromCache
+                                                   : Action::kBypass;
+  return decision;
+}
+
+}  // namespace byc::core

@@ -1,0 +1,74 @@
+#ifndef BYC_CORE_ONLINE_BY_POLICY_H_
+#define BYC_CORE_ONLINE_BY_POLICY_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/bypass_object_cache.h"
+#include "core/policy.h"
+
+namespace byc::core {
+
+/// Which bypass-object caching algorithm backs OnlineBY / SpaceEffBY.
+enum class AobjKind : uint8_t {
+  kLandlord,       // mandatory admission, Landlord eviction
+  kRentToBuy,      // ski-rental admission + Landlord eviction (default)
+  kIraniSizeClass  // size classes x marking x optional admission
+};
+
+std::string_view AobjKindName(AobjKind kind);
+
+/// Constructs an A_obj of the given kind.
+std::unique_ptr<BypassObjectCache> MakeAobj(AobjKind kind,
+                                            uint64_t capacity_bytes);
+
+/// OnlineBY (§5.2): the deterministic on-line algorithm for bypass-yield
+/// caching. Per object it accumulates the byte-yield utility
+///
+///   BYU_i += y_ij / s_i
+///
+/// and each time the accumulator crosses 1 — i.e. the object's queries
+/// have yielded (bypassed) bytes worth its full size, a "group" whose
+/// bypass cost equals the fetch cost f_i — it presents the whole object
+/// to the underlying bypass-object algorithm A_obj, mirroring its cache
+/// exactly. Queries to resident objects are served in cache; all others
+/// are bypassed.
+///
+/// With an α-competitive A_obj this is (4α+2)-competitive (Theorem 5.1);
+/// with Irani's O(lg^2 k) algorithm, O(lg^2 k)-competitive (Cor. 5.2).
+/// Unlike Rate-Profile it needs no workload assumptions and no training.
+class OnlineByPolicy : public CachePolicy {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 0;
+    AobjKind aobj = AobjKind::kRentToBuy;
+  };
+
+  explicit OnlineByPolicy(const Options& options);
+
+  std::string_view name() const override { return "OnlineBY"; }
+  Decision OnAccess(const Access& access) override;
+  bool Contains(const catalog::ObjectId& id) const override {
+    return aobj_->Contains(id);
+  }
+  uint64_t used_bytes() const override { return aobj_->used_bytes(); }
+  uint64_t capacity_bytes() const override { return aobj_->capacity_bytes(); }
+
+  /// Current BYU accumulator of an object (tests). 0 when untracked.
+  double ByuOf(const catalog::ObjectId& id) const;
+
+  const BypassObjectCache& aobj() const { return *aobj_; }
+
+  /// BYU accumulators plus the A_obj's own admission state.
+  size_t metadata_entries() const override {
+    return byu_.size() + aobj_->metadata_entries();
+  }
+
+ private:
+  std::unique_ptr<BypassObjectCache> aobj_;
+  std::unordered_map<uint64_t, double> byu_;  // by ObjectId::Key()
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_ONLINE_BY_POLICY_H_

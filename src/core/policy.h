@@ -1,0 +1,72 @@
+#ifndef BYC_CORE_POLICY_H_
+#define BYC_CORE_POLICY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "catalog/object_id.h"
+#include "core/access.h"
+
+namespace byc::core {
+
+/// What the cache decided to do with one access.
+enum class Action : uint8_t {
+  /// The object is resident; the query part is evaluated in the cache at
+  /// zero WAN cost (D_C += yield).
+  kServeFromCache,
+  /// The query part ships to the back-end server and only its result
+  /// crosses the WAN (D_S += yield).
+  kBypass,
+  /// The cache first loads the object (D_L += fetch_cost), evicting the
+  /// listed victims, then serves the query locally (D_C += yield).
+  kLoadAndServe,
+};
+
+std::string_view ActionName(Action action);
+
+/// The outcome of one access: the action plus any evictions performed to
+/// make room (evictions are WAN-free; they only give up future savings).
+struct Decision {
+  Action action = Action::kBypass;
+  std::vector<catalog::ObjectId> evictions;
+};
+
+/// Interface implemented by every cache-management algorithm: the three
+/// bypass-yield algorithms (Rate-Profile, OnlineBY, SpaceEffBY) and the
+/// baselines (GDS, GDSP, LRU, LFU, static, no-cache).
+///
+/// The simulator presents accesses in trace order; logical time is the
+/// number of accesses seen so far ("Time is relative and measured in
+/// number of queries in a workload", §4). Implementations mutate their
+/// internal cache state and report the resulting Decision; the simulator
+/// does the WAN cost accounting and cross-checks residency.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Processes the next access in the stream.
+  virtual Decision OnAccess(const Access& access) = 0;
+
+  /// True iff the object is currently resident.
+  virtual bool Contains(const catalog::ObjectId& id) const = 0;
+
+  /// Bytes currently held (0 for cacheless policies).
+  virtual uint64_t used_bytes() const { return 0; }
+
+  /// Bytes of capacity (0 for cacheless policies).
+  virtual uint64_t capacity_bytes() const { return 0; }
+
+  /// Count of per-object metadata entries held for objects that are NOT
+  /// resident — the state the paper's SpaceEffBY exists to eliminate
+  /// ("Both RateProfile and OnlineBY need to store information for all
+  /// objects that can be potentially cached", §5). Residency bookkeeping
+  /// itself is excluded.
+  virtual size_t metadata_entries() const { return 0; }
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_POLICY_H_

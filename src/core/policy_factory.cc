@@ -1,0 +1,83 @@
+#include "core/policy_factory.h"
+
+#include "common/check.h"
+#include "core/inline_policies.h"
+#include "core/no_cache_policy.h"
+#include "core/rate_profile_policy.h"
+#include "core/space_eff_by_policy.h"
+#include "core/static_policy.h"
+
+namespace byc::core {
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoCache:
+      return "NoCache";
+    case PolicyKind::kLru:
+      return "LRU";
+    case PolicyKind::kLruK:
+      return "LRU-K";
+    case PolicyKind::kLfu:
+      return "LFU";
+    case PolicyKind::kGds:
+      return "GDS";
+    case PolicyKind::kGdsp:
+      return "GDSP";
+    case PolicyKind::kStatic:
+      return "StaticCache";
+    case PolicyKind::kRateProfile:
+      return "Rate-Profile";
+    case PolicyKind::kOnlineBy:
+      return "OnlineBY";
+    case PolicyKind::kSpaceEffBy:
+      return "SpaceEffBY";
+  }
+  return "?";
+}
+
+std::unique_ptr<CachePolicy> MakePolicy(const PolicyConfig& config) {
+  switch (config.kind) {
+    case PolicyKind::kNoCache:
+      return std::make_unique<NoCachePolicy>();
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>(config.capacity_bytes);
+    case PolicyKind::kLruK:
+      return std::make_unique<LruKPolicy>(config.capacity_bytes,
+                                          config.lru_k);
+    case PolicyKind::kLfu:
+      return std::make_unique<LfuPolicy>(config.capacity_bytes);
+    case PolicyKind::kGds:
+      return std::make_unique<GdsPolicy>(config.capacity_bytes);
+    case PolicyKind::kGdsp:
+      return std::make_unique<GdspPolicy>(config.capacity_bytes);
+    case PolicyKind::kStatic: {
+      StaticPolicy::Options options;
+      options.capacity_bytes = config.capacity_bytes;
+      options.charge_initial_load = config.static_charge_initial_load;
+      return std::make_unique<StaticPolicy>(options, config.static_contents);
+    }
+    case PolicyKind::kRateProfile: {
+      RateProfilePolicy::Options options;
+      options.capacity_bytes = config.capacity_bytes;
+      options.episode = config.episode;
+      return std::make_unique<RateProfilePolicy>(options);
+    }
+    case PolicyKind::kOnlineBy: {
+      OnlineByPolicy::Options options;
+      options.capacity_bytes = config.capacity_bytes;
+      options.aobj = config.online_aobj;
+      return std::make_unique<OnlineByPolicy>(options);
+    }
+    case PolicyKind::kSpaceEffBy: {
+      SpaceEffByPolicy::Options options;
+      options.capacity_bytes = config.capacity_bytes;
+      options.aobj = config.space_eff_aobj;
+      options.seed = config.seed;
+      return std::make_unique<SpaceEffByPolicy>(options);
+    }
+  }
+  BYC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace byc::core

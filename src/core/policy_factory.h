@@ -1,0 +1,54 @@
+#ifndef BYC_CORE_POLICY_FACTORY_H_
+#define BYC_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/online_by_policy.h"
+#include "core/policy.h"
+#include "core/query_profile.h"
+
+namespace byc::core {
+
+/// Every cache-management algorithm in the library.
+enum class PolicyKind : uint8_t {
+  kNoCache,
+  kLru,
+  kLruK,
+  kLfu,
+  kGds,
+  kGdsp,
+  kStatic,
+  kRateProfile,
+  kOnlineBy,
+  kSpaceEffBy,
+};
+
+std::string_view PolicyKindName(PolicyKind kind);
+
+/// Common construction recipe used by the benches and examples.
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kNoCache;
+  uint64_t capacity_bytes = 0;
+  /// Rate-Profile episode parameters.
+  EpisodeParams episode;
+  /// A_obj for OnlineBY / SpaceEffBY.
+  AobjKind online_aobj = AobjKind::kRentToBuy;
+  AobjKind space_eff_aobj = AobjKind::kLandlord;
+  /// SpaceEffBY randomization seed.
+  uint64_t seed = 0x5EEDBEEF;
+  /// K for the LRU-K baseline.
+  int lru_k = 2;
+  /// Static cache contents (object, size); required for kStatic — use
+  /// SelectStaticSet() on the flattened access stream.
+  std::vector<std::pair<catalog::ObjectId, uint64_t>> static_contents;
+  bool static_charge_initial_load = true;
+};
+
+/// Builds a fresh policy instance from the config.
+std::unique_ptr<CachePolicy> MakePolicy(const PolicyConfig& config);
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_POLICY_FACTORY_H_

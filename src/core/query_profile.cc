@@ -1,0 +1,111 @@
+#include "core/query_profile.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+double ObjectProfile::Larp(const Episode& e, uint64_t t) const {
+  BYC_CHECK_GE(t, e.start);
+  double elapsed = static_cast<double>(std::max<uint64_t>(t - e.start, 1));
+  double size = static_cast<double>(size_bytes_);
+  // Eq. 4 with the load penalty amortized over the episode: the rate
+  // profile the object would have shown had it been loaded at the
+  // episode start, net of the load investment. Positive exactly when the
+  // episode's cumulative yield has overcome the fetch cost, matching
+  // §4.3's "the rate will always be increasing until the load penalty
+  // has been overcome, i.e., until LARP > 0".
+  return (e.yield_sum - fetch_cost_) / (elapsed * size);
+}
+
+void ObjectProfile::PushPastLar(double lar, const EpisodeParams& params) {
+  past_lars_.push_back(lar);
+  while (past_lars_.size() > params.max_episodes) past_lars_.pop_front();
+}
+
+void ObjectProfile::CloseEpisode(const EpisodeParams& params) {
+  if (!has_current_) return;
+  PushPastLar(current_.peak_lar, params);
+  has_current_ = false;
+  current_ = Episode{};
+}
+
+void ObjectProfile::RecordAccess(uint64_t t, double yield,
+                                 const EpisodeParams& params) {
+  // Rule 2: a long idle gap ended the previous episode at its last access.
+  if (has_current_ && t > last_access_ &&
+      t - last_access_ > params.idle_limit) {
+    CloseEpisode(params);
+  }
+  if (!has_current_) {
+    has_current_ = true;
+    current_ = Episode{};
+    current_.start = t;
+  }
+
+  current_.yield_sum += yield;
+  double larp = Larp(current_, t);
+  if (!current_.peak_valid || larp > current_.peak_lar) {
+    current_.peak_lar = larp;
+    current_.peak_valid = true;
+  }
+  last_access_ = t;
+
+  // Rule 1: once the episode has proven profitable (positive peak), a
+  // drop below c * peak means the burst is over. While the peak is still
+  // negative the rate is only climbing toward recovering the load
+  // penalty, so the rule stays dormant (§4.3: "the rate will always be
+  // increasing until the load penalty has been overcome").
+  if (current_.peak_valid && current_.peak_lar > 0 &&
+      larp < params.termination_ratio * current_.peak_lar) {
+    CloseEpisode(params);
+  }
+}
+
+double ObjectProfile::CurrentLarp(uint64_t t) const {
+  if (!has_current_) return 0;
+  return Larp(current_, t);
+}
+
+double ObjectProfile::LoadAdjustedRate(uint64_t /*t*/,
+                                       const EpisodeParams& params) const {
+  // Episodes, most recent first: the open episode (unless it has gone
+  // stale, in which case it counts as merely the most recent closed one),
+  // then the history back-to-front.
+  double weighted_sum = 0;
+  double weight_total = 0;
+  double weight = 1.0;
+  if (has_current_) {
+    // A stale open episode contributes its peak like a closed one; a live
+    // open episode contributes its peak so far.
+    weighted_sum += weight * current_.peak_lar;
+    weight_total += weight;
+    weight *= params.weight_decay;
+  }
+  for (auto it = past_lars_.rbegin(); it != past_lars_.rend(); ++it) {
+    weighted_sum += weight * (*it);
+    weight_total += weight;
+    weight *= params.weight_decay;
+  }
+  if (weight_total == 0) return -fetch_cost_ / static_cast<double>(size_bytes_);
+  return weighted_sum / weight_total;
+}
+
+void ObjectProfile::OnLoaded(const EpisodeParams& params) {
+  CloseEpisode(params);
+}
+
+void ObjectProfile::OnEvicted(double final_rp, uint64_t cache_lifetime,
+                              const EpisodeParams& params) {
+  BYC_CHECK(!has_current_);
+  // The cache lifetime acts as one episode whose savings rate was the
+  // final RP; as an outside object it would additionally have paid the
+  // fetch cost, amortized over the lifetime as in Eq. 4.
+  double lifetime = static_cast<double>(std::max<uint64_t>(cache_lifetime, 1));
+  PushPastLar(final_rp - fetch_cost_ /
+                             (lifetime * static_cast<double>(size_bytes_)),
+              params);
+}
+
+}  // namespace byc::core

@@ -1,0 +1,93 @@
+#ifndef BYC_CORE_QUERY_PROFILE_H_
+#define BYC_CORE_QUERY_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace byc::core {
+
+/// Parameters of the episode heuristics (§4.3). Defaults are the paper's
+/// experimental values (c = 0.5, k = 1000); the ablation bench sweeps
+/// them and confirms the paper's claim that "results are robust to many
+/// parameterizations".
+struct EpisodeParams {
+  /// c: terminate an episode once its LARP falls below c times the
+  /// episode's peak LAR (applied once the peak is positive — while the
+  /// load penalty is still unrecovered the rate is only climbing).
+  double termination_ratio = 0.5;
+  /// k: terminate an episode when the object has not been accessed for k
+  /// queries.
+  uint64_t idle_limit = 1000;
+  /// Episode aging for the LAR average (Eq. 6): episode e (counted back
+  /// from the most recent) gets weight decay^e, so recent episodes weigh
+  /// more heavily.
+  double weight_decay = 0.5;
+  /// Metadata bound: only this many past episode LARs are retained per
+  /// object.
+  size_t max_episodes = 8;
+};
+
+/// Workload profile of one object that is *not* in the cache: its accesses
+/// divided into episodes (clustered bursts), each distilled to its
+/// load-adjusted rate of savings (Eq. 5), aggregated by the aged average
+/// of Eq. 6. The Rate-Profile algorithm compares this expected savings
+/// rate against the measured rate profiles of cached objects.
+class ObjectProfile {
+ public:
+  ObjectProfile(uint64_t size_bytes, double fetch_cost)
+      : size_bytes_(size_bytes), fetch_cost_(fetch_cost) {}
+
+  /// Records an access at logical time `t` yielding `yield` bytes,
+  /// applying the episode segmentation rules.
+  void RecordAccess(uint64_t t, double yield, const EpisodeParams& params);
+
+  /// LAR_i (Eq. 6): the episode-weighted expected rate of savings were
+  /// the object loaded now. `t` is the current logical time (a stale
+  /// in-progress episode is treated as closed). Returns the rate in
+  /// bytes-saved per query per byte of cache; negative means the load
+  /// cost is not expected to be recovered.
+  double LoadAdjustedRate(uint64_t t, const EpisodeParams& params) const;
+
+  /// LARP of the in-progress episode at time t (Eq. 4); 0 if none.
+  double CurrentLarp(uint64_t t) const;
+
+  /// Called when the object is loaded into the cache: the current episode
+  /// ends (the object's future accesses are cache hits, tracked by the
+  /// rate profile instead).
+  void OnLoaded(const EpisodeParams& params);
+
+  /// Called when the object is evicted after measuring `final_rp` over a
+  /// cache lifetime of `cache_lifetime` queries. The realized in-cache
+  /// rate, less the amortized fetch penalty, is recorded as an episode so
+  /// the knowledge survives eviction.
+  void OnEvicted(double final_rp, uint64_t cache_lifetime,
+                 const EpisodeParams& params);
+
+  uint64_t last_access() const { return last_access_; }
+  bool has_open_episode() const { return has_current_; }
+  size_t num_past_episodes() const { return past_lars_.size(); }
+
+ private:
+  struct Episode {
+    uint64_t start = 0;
+    double yield_sum = 0;
+    double peak_lar = 0;  // max over access times of LARP (Eq. 5)
+    bool peak_valid = false;
+  };
+
+  double Larp(const Episode& e, uint64_t t) const;
+  void CloseEpisode(const EpisodeParams& params);
+  void PushPastLar(double lar, const EpisodeParams& params);
+
+  uint64_t size_bytes_;
+  double fetch_cost_;
+  uint64_t last_access_ = 0;
+  bool has_current_ = false;
+  Episode current_;
+  std::deque<double> past_lars_;  // most recent at the back
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_QUERY_PROFILE_H_

@@ -1,0 +1,164 @@
+#include "core/rate_profile_policy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+RateProfilePolicy::RateProfilePolicy(const Options& options)
+    : options_(options), store_(options.capacity_bytes) {}
+
+double RateProfilePolicy::RateProfile(const CachedState& state,
+                                      uint64_t size_bytes) const {
+  uint64_t elapsed = std::max<uint64_t>(now_ - state.load_time, 1);
+  return state.yield_sum /
+         (static_cast<double>(elapsed) * static_cast<double>(size_bytes));
+}
+
+double RateProfilePolicy::RateProfileOf(const catalog::ObjectId& id) const {
+  auto it = cached_.find(id);
+  BYC_CHECK(it != cached_.end());
+  const cache::CacheStore::Entry* entry = store_.Find(id);
+  BYC_CHECK(entry != nullptr);
+  return RateProfile(it->second, entry->size_bytes);
+}
+
+double RateProfilePolicy::LoadAdjustedRateOf(const catalog::ObjectId& id,
+                                             uint64_t size_bytes,
+                                             double fetch_cost) const {
+  auto it = profiles_.find(id);
+  if (it == profiles_.end()) {
+    return -fetch_cost / static_cast<double>(size_bytes);
+  }
+  return it->second.LoadAdjustedRate(now_, options_.episode);
+}
+
+ObjectProfile& RateProfilePolicy::ProfileFor(const Access& access) {
+  auto it = profiles_.find(access.object);
+  if (it == profiles_.end()) {
+    if (profiles_.size() >= options_.max_profiles) PruneProfiles();
+    it = profiles_
+             .emplace(access.object,
+                      ObjectProfile(access.size_bytes, access.fetch_cost))
+             .first;
+  }
+  return it->second;
+}
+
+void RateProfilePolicy::PruneProfiles() {
+  // First pass: drop profiles idle for more than twice the episode idle
+  // limit — their open episodes are dead and their histories stale.
+  uint64_t idle_cut = 2 * options_.episode.idle_limit;
+  for (auto it = profiles_.begin(); it != profiles_.end();) {
+    if (!store_.Contains(it->first) && now_ > it->second.last_access() &&
+        now_ - it->second.last_access() > idle_cut) {
+      it = profiles_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (profiles_.size() < options_.max_profiles) return;
+  // Still over: drop the single oldest profile to admit the newcomer.
+  auto oldest = profiles_.end();
+  for (auto it = profiles_.begin(); it != profiles_.end(); ++it) {
+    if (store_.Contains(it->first)) continue;
+    if (oldest == profiles_.end() ||
+        it->second.last_access() < oldest->second.last_access()) {
+      oldest = it;
+    }
+  }
+  if (oldest != profiles_.end()) profiles_.erase(oldest);
+}
+
+Decision RateProfilePolicy::OnAccess(const Access& access) {
+  ++now_;
+
+  if (store_.Contains(access.object)) {
+    // Cache hit: the yield adds to the object's realized savings (Eq. 3).
+    cached_[access.object].yield_sum += access.bypass_cost;
+    return Decision{Action::kServeFromCache, {}};
+  }
+
+  // Miss: extend the object's query profile with this access.
+  ObjectProfile& profile = ProfileFor(access);
+  profile.RecordAccess(now_, access.bypass_cost, options_.episode);
+
+  if (!store_.Fits(access.size_bytes)) {
+    return Decision{Action::kBypass, {}};
+  }
+
+  double lar = profile.LoadAdjustedRate(now_, options_.episode);
+  if (lar <= 0) {
+    // The expected savings rate does not recover the load cost.
+    return Decision{Action::kBypass, {}};
+  }
+
+  uint64_t needed = access.size_bytes;
+  std::vector<catalog::ObjectId> victims;
+  if (store_.free_bytes() < needed) {
+    // Gather cached objects whose current savings rate is below the
+    // newcomer's expected rate, cheapest first.
+    struct Candidate {
+      catalog::ObjectId id;
+      double rp;
+      uint64_t size;
+    };
+    std::vector<Candidate> candidates;
+    store_.ForEach([&](const catalog::ObjectId& id,
+                       const cache::CacheStore::Entry& entry) {
+      const CachedState& state = cached_.at(id);
+      if (options_.protect_unrecovered_loads &&
+          state.yield_sum < state.fetch_cost) {
+        return;  // still repaying its load investment
+      }
+      double rp = RateProfile(state, entry.size_bytes);
+      if (rp < lar) candidates.push_back({id, rp, entry.size_bytes});
+    });
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.rp != b.rp) return a.rp < b.rp;
+                return a.id.Key() < b.id.Key();
+              });
+    uint64_t freeable = store_.free_bytes();
+    for (const Candidate& c : candidates) {
+      if (freeable >= needed) break;
+      victims.push_back(c.id);
+      freeable += c.size;
+    }
+    if (freeable < needed) {
+      // Not enough lower-rate objects to displace: bypass, leave the
+      // cache untouched (§4.2's conservative eviction).
+      return Decision{Action::kBypass, {}};
+    }
+  }
+
+  Decision decision;
+  decision.action = Action::kLoadAndServe;
+  for (const catalog::ObjectId& victim : victims) {
+    const cache::CacheStore::Entry* entry = store_.Find(victim);
+    BYC_CHECK(entry != nullptr);
+    const CachedState& state = cached_.at(victim);
+    double final_rp = RateProfile(state, entry->size_bytes);
+    uint64_t lifetime = std::max<uint64_t>(now_ - state.load_time, 1);
+    BYC_CHECK(store_.Erase(victim).ok());
+    cached_.erase(victim);
+    // Preserve what the cache lifetime taught us about the object.
+    auto pit = profiles_.find(victim);
+    if (pit != profiles_.end()) {
+      pit->second.OnEvicted(final_rp, lifetime, options_.episode);
+    }
+    decision.evictions.push_back(victim);
+  }
+
+  profile.OnLoaded(options_.episode);
+  BYC_CHECK(store_.Insert(access.object, access.size_bytes, now_).ok());
+  // The triggering query is served in cache right after the load, so its
+  // yield opens the object's realized-savings account.
+  cached_[access.object] =
+      CachedState{access.bypass_cost, now_, access.fetch_cost};
+  return decision;
+}
+
+}  // namespace byc::core

@@ -1,0 +1,92 @@
+#ifndef BYC_CORE_RATE_PROFILE_POLICY_H_
+#define BYC_CORE_RATE_PROFILE_POLICY_H_
+
+#include <unordered_map>
+
+#include "cache/cache_store.h"
+#include "core/policy.h"
+#include "core/query_profile.h"
+
+namespace byc::core {
+
+/// The paper's workload-driven Rate-Profile algorithm (§4).
+///
+/// Cached objects carry a rate profile (Eq. 3)
+///
+///   RP_i = sum_j y_ij / ((t - t_i) * s_i)
+///
+/// — the measured rate of network savings per byte of cache over the
+/// object's cache lifetime. Outside objects carry query profiles divided
+/// into episodes, distilled to the load-adjusted rate LAR (Eqs. 4-6) —
+/// the expected savings rate were the object loaded now, net of the load
+/// penalty.
+///
+/// On an access to an uncached object, the algorithm loads it when enough
+/// cached objects with RP below the object's LAR can be evicted to make
+/// space; otherwise the query is bypassed. Cached objects do not pay the
+/// (sunk) load cost in their RP, keeping eviction conservative so objects
+/// stay long enough to recover the load investment.
+class RateProfilePolicy : public CachePolicy {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 0;
+    EpisodeParams episode;
+    /// Metadata cap: profiles of long-idle objects are pruned once the
+    /// map exceeds this count (§4: "pruning limits the amount of
+    /// metadata").
+    size_t max_profiles = 65536;
+    /// Tuning for very small caches (§6.3: the algorithm "consistently
+    /// exchanges objects ... often evicting objects before the load cost
+    /// is recovered. We expect that this artifact can be removed by
+    /// tuning the algorithm"): when set, a cached object is not eligible
+    /// for eviction until its realized savings have repaid its fetch
+    /// cost, damping the exchange churn. Off by default (paper-faithful
+    /// §4 behaviour).
+    bool protect_unrecovered_loads = false;
+  };
+
+  explicit RateProfilePolicy(const Options& options);
+
+  std::string_view name() const override { return "Rate-Profile"; }
+  Decision OnAccess(const Access& access) override;
+  bool Contains(const catalog::ObjectId& id) const override {
+    return store_.Contains(id);
+  }
+  uint64_t used_bytes() const override { return store_.used_bytes(); }
+  uint64_t capacity_bytes() const override { return store_.capacity_bytes(); }
+
+  /// RP_i of a cached object at the current time; tests use this to check
+  /// Eq. 3 directly. Precondition: Contains(id).
+  double RateProfileOf(const catalog::ObjectId& id) const;
+
+  /// LAR of an uncached object's profile (0 profile -> load penalty
+  /// only). Exposed for tests and the ablation benches.
+  double LoadAdjustedRateOf(const catalog::ObjectId& id, uint64_t size_bytes,
+                            double fetch_cost) const;
+
+  size_t num_profiles() const { return profiles_.size(); }
+  size_t metadata_entries() const override { return profiles_.size(); }
+
+ private:
+  struct CachedState {
+    double yield_sum = 0;
+    uint64_t load_time = 0;
+    double fetch_cost = 0;  // the (sunk) load investment
+  };
+
+  double RateProfile(const CachedState& state, uint64_t size_bytes) const;
+  ObjectProfile& ProfileFor(const Access& access);
+  void PruneProfiles();
+
+  Options options_;
+  uint64_t now_ = 0;
+  cache::CacheStore store_;
+  std::unordered_map<catalog::ObjectId, CachedState, catalog::ObjectIdHash>
+      cached_;
+  std::unordered_map<catalog::ObjectId, ObjectProfile, catalog::ObjectIdHash>
+      profiles_;
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_RATE_PROFILE_POLICY_H_

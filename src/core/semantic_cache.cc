@@ -1,0 +1,61 @@
+#include "core/semantic_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+namespace {
+
+/// True iff sorted `needle` is a subset of sorted `haystack`.
+bool IsSubset(const std::vector<int64_t>& needle,
+              const std::vector<int64_t>& haystack) {
+  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                       needle.end());
+}
+
+}  // namespace
+
+void SemanticCache::EvictTo(uint64_t needed) {
+  while (!entries_.empty() &&
+         options_.capacity_bytes - used_bytes_ < needed) {
+    auto last = std::prev(entries_.end());
+    auto& bucket = by_signature_[last->footprint.schema_signature];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), last));
+    if (bucket.empty()) by_signature_.erase(last->footprint.schema_signature);
+    used_bytes_ -= last->size_bytes;
+    entries_.erase(last);
+  }
+}
+
+bool SemanticCache::OnQuery(const QueryFootprint& query) {
+  ++stats_.queries;
+  BYC_CHECK(std::is_sorted(query.cells.begin(), query.cells.end()));
+
+  auto bucket_it = by_signature_.find(query.schema_signature);
+  if (bucket_it != by_signature_.end()) {
+    for (auto entry_it : bucket_it->second) {
+      if (IsSubset(query.cells, entry_it->footprint.cells)) {
+        // Containment hit: answer from the stored result; refresh LRU.
+        entries_.splice(entries_.begin(), entries_, entry_it);
+        ++stats_.hits;
+        stats_.saved_bytes += query.result_bytes;
+        return true;
+      }
+    }
+  }
+
+  // Miss: the result ships from the servers and is stored as it passes.
+  stats_.wan_cost += query.result_bytes;
+  uint64_t size = static_cast<uint64_t>(query.result_bytes);
+  if (size > 0 && size <= options_.capacity_bytes) {
+    EvictTo(size);
+    entries_.push_front(Entry{query, size});
+    used_bytes_ += size;
+    by_signature_[query.schema_signature].push_back(entries_.begin());
+  }
+  return false;
+}
+
+}  // namespace byc::core

@@ -1,0 +1,82 @@
+#ifndef BYC_CORE_SEMANTIC_CACHE_H_
+#define BYC_CORE_SEMANTIC_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace byc::core {
+
+/// Semantic (query-result) cache, built for the paper's §6.1 study of
+/// what class of objects to cache. It reuses a previous query's stored
+/// result when the new query is *contained* in it: identical query schema
+/// (signature) and a celestial-object footprint that is a subset of the
+/// stored footprint.
+///
+/// The paper finds this model poorly suited to astronomy workloads —
+/// queries rarely repeat or refine one another ("astronomy workloads do
+/// not exhibit query reuse and query containment"); the benches confirm
+/// the near-zero hit rate on the synthetic traces.
+///
+/// Note semantic caching lies outside the bypass-yield framework: results
+/// are stored as they ship (no extra WAN cost to populate), and a miss
+/// always ships the result, so WAN cost = bytes of missed results.
+class SemanticCache {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 0;
+  };
+
+  struct QueryFootprint {
+    /// Hash of the query's schema shape (tables, projected columns,
+    /// predicate columns/operators) — candidate results must match it.
+    uint64_t schema_signature = 0;
+    /// Sorted, deduplicated identifiers of the celestial objects /
+    /// sky cells the query touches.
+    std::vector<int64_t> cells;
+    /// Result size in bytes.
+    double result_bytes = 0;
+  };
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t hits = 0;
+    double wan_cost = 0;    // bytes shipped for misses
+    double saved_bytes = 0; // bytes served out of cached results
+  };
+
+  explicit SemanticCache(const Options& options) : options_(options) {}
+
+  /// Processes the next query; returns true on a containment hit.
+  /// Misses store the shipped result, evicting least-recently-used
+  /// entries to respect capacity (results larger than the cache are not
+  /// stored).
+  bool OnQuery(const QueryFootprint& query);
+
+  const Stats& stats() const { return stats_; }
+  uint64_t used_bytes() const { return used_bytes_; }
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    QueryFootprint footprint;
+    uint64_t size_bytes = 0;
+  };
+
+  void EvictTo(uint64_t needed);
+
+  Options options_;
+  Stats stats_;
+  uint64_t used_bytes_ = 0;
+  /// LRU list, most recent at the front; the index maps signatures to
+  /// entries for candidate lookup.
+  std::list<Entry> entries_;
+  std::unordered_map<uint64_t, std::vector<std::list<Entry>::iterator>>
+      by_signature_;
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_SEMANTIC_CACHE_H_

@@ -1,0 +1,46 @@
+#ifndef BYC_CORE_SKI_RENTAL_H_
+#define BYC_CORE_SKI_RENTAL_H_
+
+#include "common/check.h"
+
+namespace byc::core {
+
+/// The classical on-line ski-rental (rent-to-buy) primitive (§5.1): rent
+/// as long as the total paid in rent is below the purchase cost, then buy.
+/// This achieves cost at most twice the offline optimum regardless of the
+/// future. OnlineBY runs one instance per object: bypassing a query is
+/// renting (cost = the query's yield-scaled bypass cost) and loading the
+/// object is buying (cost = f_i).
+class SkiRental {
+ public:
+  /// Precondition: buy_cost > 0.
+  explicit SkiRental(double buy_cost) : buy_cost_(buy_cost) {
+    BYC_CHECK_GT(buy_cost, 0);
+  }
+
+  /// Accumulates one rent payment. Returns true when cumulative rent has
+  /// matched or exceeded the buy cost — the signal to buy before the next
+  /// trip.
+  bool PayRent(double rent) {
+    BYC_CHECK_GE(rent, 0);
+    paid_ += rent;
+    return ShouldBuy();
+  }
+
+  bool ShouldBuy() const { return paid_ >= buy_cost_; }
+
+  double paid() const { return paid_; }
+  double buy_cost() const { return buy_cost_; }
+
+  /// Starts a fresh rental period (e.g. after the bought object was
+  /// evicted and must be re-earned).
+  void Reset() { paid_ = 0; }
+
+ private:
+  double buy_cost_;
+  double paid_ = 0;
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_SKI_RENTAL_H_

@@ -1,0 +1,29 @@
+#include "core/space_eff_by_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace byc::core {
+
+Decision SpaceEffByPolicy::OnAccess(const Access& access) {
+  BYC_CHECK_GT(access.size_bytes, 0u);
+  double p =
+      access.bypass_cost / access.fetch_cost;
+
+  Decision decision;
+  if (rng_.NextBool(std::min(p, 1.0))) {
+    BypassObjectCache::RequestOutcome outcome =
+        aobj_->OnRequest(access.object, access.size_bytes, access.fetch_cost);
+    if (outcome.loaded) {
+      decision.action = Action::kLoadAndServe;
+      decision.evictions = std::move(outcome.evictions);
+      return decision;
+    }
+  }
+  decision.action = aobj_->Contains(access.object) ? Action::kServeFromCache
+                                                   : Action::kBypass;
+  return decision;
+}
+
+}  // namespace byc::core

@@ -1,0 +1,51 @@
+#ifndef BYC_CORE_SPACE_EFF_BY_POLICY_H_
+#define BYC_CORE_SPACE_EFF_BY_POLICY_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/online_by_policy.h"
+#include "core/policy.h"
+
+namespace byc::core {
+
+/// SpaceEffBY (§5.3): the randomized, space-efficient on-line algorithm.
+/// Instead of maintaining a BYU accumulator per object (state for every
+/// object in the federation), it presents the object to A_obj with
+/// probability y_ij / s_i on each access — the same expected request rate
+/// with O(1) extra space beyond A_obj.
+///
+/// Pair it with the Landlord A_obj (the default here) to keep metadata
+/// for resident objects only, realizing the paper's minimal-space claim;
+/// rent-to-buy A_obj variants reintroduce per-object admission state.
+class SpaceEffByPolicy : public CachePolicy {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 0;
+    AobjKind aobj = AobjKind::kLandlord;
+    uint64_t seed = 0x5EEDBEEF;
+  };
+
+  explicit SpaceEffByPolicy(const Options& options)
+      : aobj_(MakeAobj(options.aobj, options.capacity_bytes)),
+        rng_(options.seed) {}
+
+  std::string_view name() const override { return "SpaceEffBY"; }
+  Decision OnAccess(const Access& access) override;
+  bool Contains(const catalog::ObjectId& id) const override {
+    return aobj_->Contains(id);
+  }
+  uint64_t used_bytes() const override { return aobj_->used_bytes(); }
+  uint64_t capacity_bytes() const override { return aobj_->capacity_bytes(); }
+  size_t metadata_entries() const override {
+    return aobj_->metadata_entries();
+  }
+
+ private:
+  std::unique_ptr<BypassObjectCache> aobj_;
+  Rng rng_;
+};
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_SPACE_EFF_BY_POLICY_H_

@@ -1,0 +1,85 @@
+#include "core/static_policy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace byc::core {
+
+std::string_view ActionName(Action action) {
+  switch (action) {
+    case Action::kServeFromCache:
+      return "serve";
+    case Action::kBypass:
+      return "bypass";
+    case Action::kLoadAndServe:
+      return "load";
+  }
+  return "?";
+}
+
+StaticPolicy::StaticPolicy(
+    const Options& options,
+    const std::vector<std::pair<catalog::ObjectId, uint64_t>>& contents)
+    : store_(options.capacity_bytes),
+      charge_initial_load_(options.charge_initial_load) {
+  for (const auto& [id, size] : contents) {
+    if (size > store_.free_bytes()) continue;
+    if (!store_.Insert(id, size, /*load_time=*/0).ok()) continue;
+    if (charge_initial_load_) uncharged_.insert(id);
+  }
+}
+
+Decision StaticPolicy::OnAccess(const Access& access) {
+  if (!store_.Contains(access.object)) {
+    return Decision{Action::kBypass, {}};
+  }
+  // Charge the initial population lazily: the first access to a
+  // statically cached object pays its fetch cost, so the static baseline
+  // accounts for the bandwidth invested to populate the cache.
+  auto it = uncharged_.find(access.object);
+  if (it != uncharged_.end()) {
+    uncharged_.erase(it);
+    return Decision{Action::kLoadAndServe, {}};
+  }
+  return Decision{Action::kServeFromCache, {}};
+}
+
+std::vector<std::pair<catalog::ObjectId, uint64_t>> SelectStaticSet(
+    const std::vector<Access>& accesses, uint64_t capacity_bytes) {
+  struct Agg {
+    double yield = 0;
+    uint64_t size = 0;
+    double fetch_cost = 0;
+  };
+  std::unordered_map<catalog::ObjectId, Agg, catalog::ObjectIdHash> totals;
+  for (const Access& a : accesses) {
+    Agg& agg = totals[a.object];
+    agg.yield += a.bypass_cost;
+    agg.size = a.size_bytes;
+    agg.fetch_cost = a.fetch_cost;
+  }
+
+  std::vector<std::pair<catalog::ObjectId, Agg>> items(totals.begin(),
+                                                       totals.end());
+  // Highest savings per byte of cache first; the yield must also exceed
+  // the one-time fetch investment for the object to be worth static
+  // placement at all.
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    double da = a.second.yield / static_cast<double>(a.second.size);
+    double db = b.second.yield / static_cast<double>(b.second.size);
+    if (da != db) return da > db;
+    return a.first.Key() < b.first.Key();
+  });
+
+  std::vector<std::pair<catalog::ObjectId, uint64_t>> out;
+  uint64_t used = 0;
+  for (const auto& [id, agg] : items) {
+    if (agg.yield <= agg.fetch_cost) continue;
+    if (used + agg.size > capacity_bytes) continue;
+    out.emplace_back(id, agg.size);
+    used += agg.size;
+  }
+  return out;
+}
+
+}  // namespace byc::core

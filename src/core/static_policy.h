@@ -1,0 +1,54 @@
+#ifndef BYC_CORE_STATIC_POLICY_H_
+#define BYC_CORE_STATIC_POLICY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache_store.h"
+#include "core/policy.h"
+
+namespace byc::core {
+
+/// Baseline: static caching (§6.2) — "a cache is populated with the
+/// optimal set of tables, and no cache loading or eviction occurs".
+/// Accesses to resident objects are served from cache; everything else is
+/// bypassed. The initial population is charged as load traffic on the
+/// first access (set charge_initial_load = false to model a pre-warmed
+/// cache instead).
+class StaticPolicy : public CachePolicy {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 0;
+    bool charge_initial_load = true;
+  };
+
+  /// `contents` must fit in the capacity; oversized sets are truncated in
+  /// the given order.
+  StaticPolicy(const Options& options,
+               const std::vector<std::pair<catalog::ObjectId, uint64_t>>&
+                   contents);
+
+  std::string_view name() const override { return "StaticCache"; }
+  Decision OnAccess(const Access& access) override;
+  bool Contains(const catalog::ObjectId& id) const override {
+    return store_.Contains(id);
+  }
+  uint64_t used_bytes() const override { return store_.used_bytes(); }
+  uint64_t capacity_bytes() const override { return store_.capacity_bytes(); }
+
+ private:
+  cache::CacheStore store_;
+  bool charge_initial_load_;
+  std::unordered_set<catalog::ObjectId, catalog::ObjectIdHash> uncharged_;
+};
+
+/// Offline selection of the static cache contents: aggregates each
+/// object's total yield over the access sequence and greedily packs the
+/// highest yield-per-byte objects into the capacity (the density greedy
+/// for the static knapsack). Returns (object, size) pairs.
+std::vector<std::pair<catalog::ObjectId, uint64_t>> SelectStaticSet(
+    const std::vector<Access>& accesses, uint64_t capacity_bytes);
+
+}  // namespace byc::core
+
+#endif  // BYC_CORE_STATIC_POLICY_H_

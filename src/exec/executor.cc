@@ -1,0 +1,250 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace byc::exec {
+
+namespace {
+
+bool EvalCmp(double lhs, query::CmpOp op, double rhs) {
+  switch (op) {
+    case query::CmpOp::kEq:
+      return lhs == rhs;
+    case query::CmpOp::kNe:
+      return lhs != rhs;
+    case query::CmpOp::kLt:
+      return lhs < rhs;
+    case query::CmpOp::kLe:
+      return lhs <= rhs;
+    case query::CmpOp::kGt:
+      return lhs > rhs;
+    case query::CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+double OutputRowWidth(const query::ResolvedQuery& query,
+                      const std::vector<const TableData*>& slot_data) {
+  double width = 0;
+  for (const query::ResolvedSelectItem& item : query.select) {
+    if (item.aggregate != query::Aggregate::kNone) {
+      width += 8.0;
+    } else {
+      const catalog::Table& t =
+          slot_data[static_cast<size_t>(item.column.table_slot)]->table();
+      width += t.column(item.column.column).width_bytes();
+    }
+  }
+  return width;
+}
+
+}  // namespace
+
+Result<ExecutionResult> Executor::Execute(
+    const query::ResolvedQuery& query) const {
+  const size_t num_slots = query.tables.size();
+  if (num_slots == 0) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  std::vector<const TableData*> slot_data(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    int table_idx = query.tables[slot];
+    if (table_idx < 0 ||
+        static_cast<size_t>(table_idx) >= tables_.size() ||
+        tables_[static_cast<size_t>(table_idx)] == nullptr) {
+      return Status::FailedPrecondition(
+          "no materialized data for catalog table " +
+          std::to_string(table_idx));
+    }
+    slot_data[slot] = tables_[static_cast<size_t>(table_idx)];
+  }
+
+  // Per-slot filter pass: surviving row indices.
+  std::vector<std::vector<uint32_t>> surviving(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    const TableData& data = *slot_data[slot];
+    std::vector<uint32_t>& rows = surviving[slot];
+    for (uint64_t r = 0; r < data.row_count(); ++r) {
+      bool pass = true;
+      for (const query::ResolvedFilter& f : query.filters) {
+        if (static_cast<size_t>(f.column.table_slot) != slot) continue;
+        if (!EvalCmp(data.Value(f.column.column, r), f.op, f.value)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  // Left-deep join pipeline: tuples hold one row index per joined slot.
+  std::vector<size_t> joined_slots = {0};
+  std::vector<std::vector<uint32_t>> tuples;
+  tuples.reserve(surviving[0].size());
+  for (uint32_t r : surviving[0]) tuples.push_back({r});
+
+  auto slot_position = [&](int slot) -> int {
+    for (size_t i = 0; i < joined_slots.size(); ++i) {
+      if (joined_slots[i] == static_cast<size_t>(slot)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  while (joined_slots.size() < num_slots) {
+    // Find a join predicate connecting a new slot to the joined set.
+    const query::ResolvedJoin* next_join = nullptr;
+    size_t new_slot = 0;
+    bool new_on_left = false;
+    for (const query::ResolvedJoin& j : query.joins) {
+      bool left_in = slot_position(j.left.table_slot) >= 0;
+      bool right_in = slot_position(j.right.table_slot) >= 0;
+      if (left_in && !right_in) {
+        next_join = &j;
+        new_slot = static_cast<size_t>(j.right.table_slot);
+        new_on_left = false;
+        break;
+      }
+      if (right_in && !left_in) {
+        next_join = &j;
+        new_slot = static_cast<size_t>(j.left.table_slot);
+        new_on_left = true;
+        break;
+      }
+    }
+
+    std::vector<std::vector<uint32_t>> next_tuples;
+    if (next_join == nullptr) {
+      // No connecting join: cartesian product with the next unjoined
+      // slot (legal in the dialect, rare in the workload).
+      for (size_t slot = 0; slot < num_slots; ++slot) {
+        if (slot_position(static_cast<int>(slot)) < 0) {
+          new_slot = slot;
+          break;
+        }
+      }
+      uint64_t projected =
+          static_cast<uint64_t>(tuples.size()) * surviving[new_slot].size();
+      if (projected > kMaxIntermediate) {
+        return Status::CapacityExceeded("cartesian product too large");
+      }
+      for (const auto& tuple : tuples) {
+        for (uint32_t r : surviving[new_slot]) {
+          auto extended = tuple;
+          extended.push_back(r);
+          next_tuples.push_back(std::move(extended));
+        }
+      }
+    } else {
+      const query::ResolvedColumn& new_col =
+          new_on_left ? next_join->left : next_join->right;
+      const query::ResolvedColumn& old_col =
+          new_on_left ? next_join->right : next_join->left;
+      // Build a hash table over the new slot's surviving rows.
+      const TableData& new_data = *slot_data[new_slot];
+      std::unordered_multimap<double, uint32_t> hash;
+      hash.reserve(surviving[new_slot].size());
+      for (uint32_t r : surviving[new_slot]) {
+        hash.emplace(new_data.Value(new_col.column, r), r);
+      }
+      // Probe with the joined tuples.
+      int old_pos = slot_position(old_col.table_slot);
+      BYC_CHECK_GE(old_pos, 0);
+      const TableData& old_data =
+          *slot_data[static_cast<size_t>(old_col.table_slot)];
+      for (const auto& tuple : tuples) {
+        double key = old_data.Value(old_col.column,
+                                    tuple[static_cast<size_t>(old_pos)]);
+        auto [begin, end] = hash.equal_range(key);
+        for (auto it = begin; it != end; ++it) {
+          if (next_tuples.size() >= kMaxIntermediate) {
+            return Status::CapacityExceeded("join result too large");
+          }
+          auto extended = tuple;
+          extended.push_back(it->second);
+          next_tuples.push_back(std::move(extended));
+        }
+      }
+    }
+    joined_slots.push_back(new_slot);
+    tuples.swap(next_tuples);
+  }
+
+  // Apply any remaining join predicates among already-joined slots
+  // (cycles, e.g. p-s, p-n, s-n).
+  for (const query::ResolvedJoin& j : query.joins) {
+    int lpos = slot_position(j.left.table_slot);
+    int rpos = slot_position(j.right.table_slot);
+    BYC_CHECK_GE(lpos, 0);
+    BYC_CHECK_GE(rpos, 0);
+    const TableData& ldata =
+        *slot_data[static_cast<size_t>(j.left.table_slot)];
+    const TableData& rdata =
+        *slot_data[static_cast<size_t>(j.right.table_slot)];
+    std::vector<std::vector<uint32_t>> kept;
+    kept.reserve(tuples.size());
+    for (auto& tuple : tuples) {
+      double lv = ldata.Value(j.left.column, tuple[static_cast<size_t>(lpos)]);
+      double rv =
+          rdata.Value(j.right.column, tuple[static_cast<size_t>(rpos)]);
+      if (lv == rv) kept.push_back(std::move(tuple));
+    }
+    tuples.swap(kept);
+  }
+
+  ExecutionResult result;
+  if (query.IsFullyAggregated()) {
+    result.result_rows = 1;
+    result.result_bytes = OutputRowWidth(query, slot_data);
+    for (const query::ResolvedSelectItem& item : query.select) {
+      int pos = slot_position(item.column.table_slot);
+      BYC_CHECK_GE(pos, 0);
+      const TableData& data =
+          *slot_data[static_cast<size_t>(item.column.table_slot)];
+      double count = static_cast<double>(tuples.size());
+      double sum = 0;
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const auto& tuple : tuples) {
+        double v =
+            data.Value(item.column.column, tuple[static_cast<size_t>(pos)]);
+        sum += v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      switch (item.aggregate) {
+        case query::Aggregate::kCount:
+          result.aggregates.push_back(count);
+          break;
+        case query::Aggregate::kSum:
+          result.aggregates.push_back(sum);
+          break;
+        case query::Aggregate::kAvg:
+          result.aggregates.push_back(count == 0 ? 0 : sum / count);
+          break;
+        case query::Aggregate::kMin:
+          result.aggregates.push_back(count == 0 ? 0 : lo);
+          break;
+        case query::Aggregate::kMax:
+          result.aggregates.push_back(count == 0 ? 0 : hi);
+          break;
+        case query::Aggregate::kNone:
+          BYC_CHECK(false);  // IsFullyAggregated excluded this
+          break;
+      }
+    }
+  } else {
+    result.result_rows = tuples.size();
+    result.result_bytes = static_cast<double>(tuples.size()) *
+                          OutputRowWidth(query, slot_data);
+  }
+  return result;
+}
+
+}  // namespace byc::exec

@@ -1,0 +1,61 @@
+#include "exec/table_data.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "query/column_stats.h"
+
+namespace byc::exec {
+
+TableData TableData::FromColumns(const catalog::Table& table,
+                                 std::vector<std::vector<double>> columns) {
+  BYC_CHECK_EQ(static_cast<int>(columns.size()), table.num_columns());
+  BYC_CHECK(!columns.empty());
+  BYC_CHECK(!columns[0].empty());
+  for (const auto& column : columns) {
+    BYC_CHECK_EQ(column.size(), columns[0].size());
+  }
+  TableData data(&table, columns[0].size());
+  data.columns_ = std::move(columns);
+  return data;
+}
+
+TableData TableData::Synthesize(
+    const catalog::Table& table, uint64_t row_count, uint64_t seed,
+    const std::vector<std::pair<int, uint64_t>>& fk_ranges) {
+  BYC_CHECK_GT(row_count, 0u);
+  TableData data(&table, row_count);
+  data.columns_.resize(static_cast<size_t>(table.num_columns()));
+
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::vector<double>& column = data.columns_[static_cast<size_t>(c)];
+    column.resize(row_count);
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(c + 1)));
+
+    if (c == 0) {
+      // The key column: dense identifiers 0..row_count-1.
+      for (uint64_t r = 0; r < row_count; ++r) {
+        column[r] = static_cast<double>(r);
+      }
+      continue;
+    }
+
+    auto fk = std::find_if(fk_ranges.begin(), fk_ranges.end(),
+                           [&](const auto& p) { return p.first == c; });
+    if (fk != fk_ranges.end()) {
+      // Foreign key: uniform over the referenced table's key range.
+      for (uint64_t r = 0; r < row_count; ++r) {
+        column[r] = static_cast<double>(rng.NextUint64(fk->second));
+      }
+      continue;
+    }
+
+    query::ColumnDistribution dist = query::ColumnDistribution::For(table, c);
+    for (uint64_t r = 0; r < row_count; ++r) {
+      column[r] = dist.Quantile(rng.NextDouble());
+    }
+  }
+  return data;
+}
+
+}  // namespace byc::exec

@@ -1,0 +1,64 @@
+#ifndef BYC_EXEC_TABLE_DATA_H_
+#define BYC_EXEC_TABLE_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/random.h"
+
+namespace byc::exec {
+
+/// In-memory columnar instance of one catalog table. Values are stored
+/// as doubles regardless of the declared column type (the query dialect
+/// compares numerics only); the declared type still governs storage
+/// width for yield accounting.
+///
+/// Data is synthesized deterministically from the column-distribution
+/// models of query/column_stats.h by inverse-CDF sampling, so the
+/// executor's measured selectivities statistically agree with the
+/// histogram estimator — exactly the property the estimator-validation
+/// experiments test.
+///
+/// Key columns (column 0) hold row identifiers: table rows are keyed
+/// 0..row_count-1, and foreign-key columns referencing another table
+/// draw uniformly from that table's key range, preserving the FK join
+/// semantics of the yield model.
+class TableData {
+ public:
+  /// Materializes `row_count` rows of `table` (the catalog row_count is
+  /// usually scaled down for execution; pass the desired count).
+  /// `fk_ranges` maps column index -> referenced table's row count for
+  /// foreign-key columns; unlisted columns sample their distribution.
+  static TableData Synthesize(
+      const catalog::Table& table, uint64_t row_count, uint64_t seed,
+      const std::vector<std::pair<int, uint64_t>>& fk_ranges = {});
+
+  /// Builds an instance from explicit column vectors (tests and
+  /// examples). All columns must have equal, nonzero length and there
+  /// must be one per catalog column. `table` must outlive the data.
+  static TableData FromColumns(const catalog::Table& table,
+                               std::vector<std::vector<double>> columns);
+
+  const catalog::Table& table() const { return *table_; }
+  uint64_t row_count() const { return rows_; }
+
+  double Value(int column, uint64_t row) const {
+    return columns_[static_cast<size_t>(column)][row];
+  }
+  const std::vector<double>& Column(int column) const {
+    return columns_[static_cast<size_t>(column)];
+  }
+
+ private:
+  TableData(const catalog::Table* table, uint64_t rows)
+      : table_(table), rows_(rows) {}
+
+  const catalog::Table* table_;
+  uint64_t rows_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace byc::exec
+
+#endif  // BYC_EXEC_TABLE_DATA_H_

@@ -1,0 +1,46 @@
+#include "federation/federation.h"
+
+namespace byc::federation {
+
+Federation Federation::SingleSite(catalog::Catalog catalog,
+                                  double cost_per_byte) {
+  Site site;
+  site.id = 0;
+  site.name = catalog.name() + "-node";
+  for (int t = 0; t < catalog.num_tables(); ++t) site.tables.push_back(t);
+  std::vector<int> table_site(static_cast<size_t>(catalog.num_tables()), 0);
+  return Federation(std::move(catalog), {std::move(site)},
+                    std::move(table_site),
+                    std::make_unique<net::UniformCostModel>(cost_per_byte));
+}
+
+Result<Federation> Federation::MultiSite(
+    catalog::Catalog catalog, std::vector<int> table_site,
+    std::vector<double> site_cost_per_byte) {
+  if (table_site.size() != static_cast<size_t>(catalog.num_tables())) {
+    return Status::InvalidArgument(
+        "table_site must have one entry per catalog table");
+  }
+  int num_sites = static_cast<int>(site_cost_per_byte.size());
+  if (num_sites == 0) {
+    return Status::InvalidArgument("federation needs at least one site");
+  }
+  std::vector<Site> sites(static_cast<size_t>(num_sites));
+  for (int s = 0; s < num_sites; ++s) {
+    sites[static_cast<size_t>(s)].id = s;
+    sites[static_cast<size_t>(s)].name =
+        catalog.name() + "-site" + std::to_string(s);
+  }
+  for (size_t t = 0; t < table_site.size(); ++t) {
+    int s = table_site[t];
+    if (s < 0 || s >= num_sites) {
+      return Status::InvalidArgument("table_site entry out of range");
+    }
+    sites[static_cast<size_t>(s)].tables.push_back(static_cast<int>(t));
+  }
+  return Federation(
+      std::move(catalog), std::move(sites), std::move(table_site),
+      std::make_unique<net::PerSiteCostModel>(std::move(site_cost_per_byte)));
+}
+
+}  // namespace byc::federation

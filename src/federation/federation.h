@@ -1,0 +1,79 @@
+#ifndef BYC_FEDERATION_FEDERATION_H_
+#define BYC_FEDERATION_FEDERATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/object_id.h"
+#include "common/result.h"
+#include "net/cost_model.h"
+
+namespace byc::federation {
+
+/// One member database of the federation. A site owns a set of tables and
+/// evaluates sub-queries against them ("move the program to the data"):
+/// only result bytes cross the WAN for bypassed queries.
+struct Site {
+  int id = 0;
+  std::string name;
+  std::vector<int> tables;  // catalog table indices owned by this site
+};
+
+/// A wide-area database federation: a catalog partitioned across sites,
+/// plus the WAN cost model. SkyQuery-style: the proxy cache sits with the
+/// mediator near the clients; all server->proxy/client traffic is WAN.
+class Federation {
+ public:
+  /// Single-site federation with uniform per-byte cost (the paper's EDR /
+  /// DR1 setting: traces come from the largest federating node).
+  static Federation SingleSite(catalog::Catalog catalog,
+                               double cost_per_byte = 1.0);
+
+  /// Multi-site federation. `table_site[t]` gives the owning site of
+  /// table t; `site_cost_per_byte[s]` the WAN cost of site s. Used by the
+  /// BYHR (heterogeneous-network) experiments.
+  static Result<Federation> MultiSite(catalog::Catalog catalog,
+                                      std::vector<int> table_site,
+                                      std::vector<double> site_cost_per_byte);
+
+  const catalog::Catalog& catalog() const { return catalog_; }
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+  const Site& site(int i) const { return sites_[static_cast<size_t>(i)]; }
+
+  /// Owning site of a table.
+  int SiteOfTable(int table_idx) const {
+    return table_site_[static_cast<size_t>(table_idx)];
+  }
+
+  /// WAN cost of shipping `bytes` of query results for `object`'s table
+  /// from its owning site.
+  double TransferCost(const catalog::ObjectId& object, double bytes) const {
+    return bytes * cost_model_->CostPerByte(SiteOfTable(object.table));
+  }
+
+  /// f_i: WAN cost of loading `object` into the proxy cache.
+  double FetchCost(const catalog::ObjectId& object) const {
+    return TransferCost(object,
+                        static_cast<double>(ObjectSizeBytes(catalog_, object)));
+  }
+
+ private:
+  Federation(catalog::Catalog catalog, std::vector<Site> sites,
+             std::vector<int> table_site,
+             std::unique_ptr<net::CostModel> cost_model)
+      : catalog_(std::move(catalog)),
+        sites_(std::move(sites)),
+        table_site_(std::move(table_site)),
+        cost_model_(std::move(cost_model)) {}
+
+  catalog::Catalog catalog_;
+  std::vector<Site> sites_;
+  std::vector<int> table_site_;
+  std::unique_ptr<net::CostModel> cost_model_;
+};
+
+}  // namespace byc::federation
+
+#endif  // BYC_FEDERATION_FEDERATION_H_

@@ -1,0 +1,47 @@
+#include "federation/mediator.h"
+
+#include <map>
+
+namespace byc::federation {
+
+std::vector<SubQuery> Mediator::Split(
+    const query::ResolvedQuery& query) const {
+  query::QueryYield yields =
+      estimator_.Estimate(query, catalog::Granularity::kTable);
+
+  std::map<int, SubQuery> by_site;
+  for (size_t slot = 0; slot < query.tables.size(); ++slot) {
+    int site = federation_->SiteOfTable(query.tables[slot]);
+    SubQuery& sub = by_site[site];
+    sub.site = site;
+    sub.table_slots.push_back(static_cast<int>(slot));
+  }
+  for (const query::ObjectYield& oy : yields.per_object) {
+    int site = federation_->SiteOfTable(oy.object.table);
+    by_site[site].result_bytes += oy.yield_bytes;
+  }
+
+  std::vector<SubQuery> out;
+  out.reserve(by_site.size());
+  for (auto& [site, sub] : by_site) out.push_back(std::move(sub));
+  return out;
+}
+
+std::vector<core::Access> Mediator::Decompose(
+    const query::ResolvedQuery& query) const {
+  query::QueryYield yields = estimator_.Estimate(query, granularity_);
+  std::vector<core::Access> out;
+  out.reserve(yields.per_object.size());
+  for (const query::ObjectYield& oy : yields.per_object) {
+    core::Access access;
+    access.object = oy.object;
+    access.yield_bytes = oy.yield_bytes;
+    access.size_bytes = ObjectSizeBytes(federation_->catalog(), oy.object);
+    access.fetch_cost = federation_->FetchCost(oy.object);
+    access.bypass_cost = federation_->TransferCost(oy.object, oy.yield_bytes);
+    out.push_back(access);
+  }
+  return out;
+}
+
+}  // namespace byc::federation

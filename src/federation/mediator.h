@@ -1,0 +1,56 @@
+#ifndef BYC_FEDERATION_MEDIATOR_H_
+#define BYC_FEDERATION_MEDIATOR_H_
+
+#include <vector>
+
+#include "core/access.h"
+#include "federation/federation.h"
+#include "query/yield.h"
+
+namespace byc::federation {
+
+/// A per-site sub-query produced by query splitting: the FROM slots of
+/// the original query that live at one site, and the result bytes that
+/// site ships if the sub-query is bypassed to it.
+struct SubQuery {
+  int site = 0;
+  std::vector<int> table_slots;
+  double result_bytes = 0;
+};
+
+/// The SkyQuery-style mediation middleware. The mediator receives a
+/// federation query, splits it into sub-queries evaluated in parallel at
+/// member databases, and — with the collocated bypass-yield cache —
+/// decides which parts to serve locally (§3). This class performs the
+/// mechanical parts: query splitting and decomposition of a query into
+/// the per-object Access stream the cache policies consume.
+class Mediator {
+ public:
+  Mediator(const Federation* federation, catalog::Granularity granularity)
+      : federation_(federation),
+        granularity_(granularity),
+        estimator_(&federation->catalog()) {}
+
+  catalog::Granularity granularity() const { return granularity_; }
+  const query::YieldEstimator& estimator() const { return estimator_; }
+
+  /// Splits a query across the federation's sites. Each site receives the
+  /// slots of tables it owns; its share of the result is proportional to
+  /// its objects' yield shares.
+  std::vector<SubQuery> Split(const query::ResolvedQuery& query) const;
+
+  /// Decomposes a query into per-object accesses: each referenced object
+  /// gets its yield share (paper §6 decomposition), its size, and its
+  /// fetch cost from the owning site. This is the stream the bypass-yield
+  /// policies and the simulator consume.
+  std::vector<core::Access> Decompose(const query::ResolvedQuery& query) const;
+
+ private:
+  const Federation* federation_;
+  catalog::Granularity granularity_;
+  query::YieldEstimator estimator_;
+};
+
+}  // namespace byc::federation
+
+#endif  // BYC_FEDERATION_MEDIATOR_H_

@@ -1,0 +1,64 @@
+#ifndef BYC_NET_COST_MODEL_H_
+#define BYC_NET_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace byc::net {
+
+/// Network cost model: the cost of moving one byte from a federation site
+/// across the WAN to the proxy/client side. The LAN between proxy and
+/// client is free (§3: "The local area network is not a shared resource").
+///
+/// The paper notes fetch cost is often proportional to object size
+/// (f_i = c * s_i) — single server, collocated servers, or uniform
+/// networks — which reduces BYHR to BYU. Heterogeneous per-site costs
+/// exercise the full BYHR metric (the ablation bench uses them).
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// WAN cost per byte shipped from `site_id`.
+  virtual double CostPerByte(int site_id) const = 0;
+};
+
+/// Uniform cost: every site ships at the same per-byte cost (the paper's
+/// default; cost is measured in bytes, so c = 1).
+class UniformCostModel : public CostModel {
+ public:
+  explicit UniformCostModel(double cost_per_byte = 1.0)
+      : cost_per_byte_(cost_per_byte) {
+    BYC_CHECK_GT(cost_per_byte_, 0);
+  }
+
+  double CostPerByte(int) const override { return cost_per_byte_; }
+
+ private:
+  double cost_per_byte_;
+};
+
+/// Per-site costs for heterogeneous wide-area links (e.g. a federation
+/// spanning well-connected and poorly-connected archives).
+class PerSiteCostModel : public CostModel {
+ public:
+  explicit PerSiteCostModel(std::vector<double> cost_per_byte)
+      : cost_per_byte_(std::move(cost_per_byte)) {
+    for (double c : cost_per_byte_) BYC_CHECK_GT(c, 0);
+  }
+
+  double CostPerByte(int site_id) const override {
+    BYC_CHECK_GE(site_id, 0);
+    BYC_CHECK_LT(static_cast<size_t>(site_id), cost_per_byte_.size());
+    return cost_per_byte_[static_cast<size_t>(site_id)];
+  }
+
+  int num_sites() const { return static_cast<int>(cost_per_byte_.size()); }
+
+ private:
+  std::vector<double> cost_per_byte_;
+};
+
+}  // namespace byc::net
+
+#endif  // BYC_NET_COST_MODEL_H_

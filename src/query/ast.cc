@@ -1,0 +1,98 @@
+#include "query/ast.h"
+
+namespace byc::query {
+
+std::string_view CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view AggregateName(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kNone:
+      return "";
+    case Aggregate::kCount:
+      return "count";
+    case Aggregate::kSum:
+      return "sum";
+    case Aggregate::kAvg:
+      return "avg";
+    case Aggregate::kMin:
+      return "min";
+    case Aggregate::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  // Shortest representation that stays exact enough for literals.
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string SelectQuery::ToString() const {
+  std::string out = "select ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = select[i];
+    if (item.aggregate != Aggregate::kNone) {
+      out += AggregateName(item.aggregate);
+      out += '(';
+      out += item.column.ToString();
+      out += ')';
+    } else {
+      out += item.column.ToString();
+    }
+    if (!item.alias.empty()) {
+      out += " as ";
+      out += item.alias;
+    }
+  }
+  out += " from ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table;
+    if (!from[i].alias.empty() && from[i].alias != from[i].table) {
+      out += ' ';
+      out += from[i].alias;
+    }
+  }
+  if (!where.empty()) {
+    out += " where ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += " and ";
+      const Predicate& p = where[i];
+      out += p.lhs.ToString();
+      out += ' ';
+      out += CmpOpName(p.op);
+      out += ' ';
+      if (p.kind == Predicate::Kind::kJoin) {
+        out += p.rhs.ToString();
+      } else {
+        AppendDouble(out, p.value);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace byc::query

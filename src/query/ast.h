@@ -1,0 +1,74 @@
+#ifndef BYC_QUERY_AST_H_
+#define BYC_QUERY_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace byc::query {
+
+/// Comparison operators in WHERE predicates.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CmpOpName(CmpOp op);
+
+/// Aggregate functions in the SELECT list. The SDSS workload mixes plain
+/// projections with aggregate queries (§6: "range queries, spatial
+/// searches, identity queries, and aggregate queries").
+enum class Aggregate : uint8_t { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view AggregateName(Aggregate agg);
+
+/// An unresolved column reference: optional table alias + column name.
+struct ColumnRef {
+  std::string table_alias;  // empty when unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table_alias.empty() ? column : table_alias + "." + column;
+  }
+};
+
+/// One item of the SELECT list: a column, optionally aggregated and
+/// optionally aliased ("s.z as redshift").
+struct SelectItem {
+  ColumnRef column;
+  Aggregate aggregate = Aggregate::kNone;
+  std::string alias;  // empty when none
+};
+
+/// One entry of the FROM list: table name with optional alias
+/// ("SpecObj s").
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+};
+
+/// One conjunct of the WHERE clause. Either a filter (column op literal)
+/// or an equi-join (column = column).
+struct Predicate {
+  enum class Kind : uint8_t { kFilter, kJoin };
+
+  Kind kind = Kind::kFilter;
+  ColumnRef lhs;
+  CmpOp op = CmpOp::kEq;
+  double value = 0;  // filter literal
+  ColumnRef rhs;     // join partner
+};
+
+/// A parsed (but not yet schema-bound) SELECT query in the dialect the
+/// paper's trace queries use: projections with aggregates and aliases,
+/// a comma-join FROM list, and an AND-conjunction WHERE clause.
+struct SelectQuery {
+  std::vector<SelectItem> select;
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;
+
+  /// Round-trips the query back to SQL text (for logs and examples).
+  std::string ToString() const;
+};
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_AST_H_

@@ -1,0 +1,176 @@
+#include "query/binder.h"
+
+#include <unordered_map>
+
+#include "query/parser.h"
+
+namespace byc::query {
+
+namespace {
+
+/// Maps FROM aliases to slots and resolves column references.
+class Scope {
+ public:
+  Scope(const catalog::Catalog& catalog, const ResolvedQuery& resolved)
+      : catalog_(catalog), resolved_(resolved) {}
+
+  Status AddAlias(const std::string& alias, int slot) {
+    if (!by_alias_.emplace(alias, slot).second) {
+      return Status::InvalidArgument("duplicate table alias '" + alias + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<ResolvedColumn> Resolve(const ColumnRef& ref) const {
+    if (!ref.table_alias.empty()) {
+      auto it = by_alias_.find(ref.table_alias);
+      if (it == by_alias_.end()) {
+        return Status::NotFound("unknown table alias '" + ref.table_alias +
+                                "'");
+      }
+      int slot = it->second;
+      const catalog::Table& table =
+          catalog_.table(resolved_.tables[static_cast<size_t>(slot)]);
+      int col = table.FindColumn(ref.column);
+      if (col < 0) {
+        return Status::NotFound("no column '" + ref.column + "' in table " +
+                                table.name());
+      }
+      return ResolvedColumn{slot, col};
+    }
+    // Unqualified: search all slots; must be unambiguous.
+    int found_slot = -1;
+    int found_col = -1;
+    for (size_t slot = 0; slot < resolved_.tables.size(); ++slot) {
+      const catalog::Table& table = catalog_.table(resolved_.tables[slot]);
+      int col = table.FindColumn(ref.column);
+      if (col >= 0) {
+        if (found_slot >= 0) {
+          return Status::InvalidArgument("ambiguous column '" + ref.column +
+                                         "'");
+        }
+        found_slot = static_cast<int>(slot);
+        found_col = col;
+      }
+    }
+    if (found_slot < 0) {
+      return Status::NotFound("unknown column '" + ref.column + "'");
+    }
+    return ResolvedColumn{found_slot, found_col};
+  }
+
+ private:
+  const catalog::Catalog& catalog_;
+  const ResolvedQuery& resolved_;
+  std::unordered_map<std::string, int> by_alias_;
+};
+
+}  // namespace
+
+Result<ResolvedQuery> Binder::Bind(const SelectQuery& query) const {
+  if (query.from.empty()) {
+    return Status::InvalidArgument("query has no FROM clause");
+  }
+  if (query.select.empty()) {
+    return Status::InvalidArgument("query has an empty SELECT list");
+  }
+
+  ResolvedQuery resolved;
+  Scope scope(*catalog_, resolved);
+  for (const TableRef& ref : query.from) {
+    BYC_ASSIGN_OR_RETURN(int table_idx, catalog_->FindTable(ref.table));
+    int slot = static_cast<int>(resolved.tables.size());
+    resolved.tables.push_back(table_idx);
+    const std::string& alias = ref.alias.empty() ? ref.table : ref.alias;
+    BYC_RETURN_IF_ERROR(scope.AddAlias(alias, slot));
+  }
+
+  for (const SelectItem& item : query.select) {
+    BYC_ASSIGN_OR_RETURN(ResolvedColumn col, scope.Resolve(item.column));
+    resolved.select.push_back(ResolvedSelectItem{col, item.aggregate});
+  }
+
+  for (const Predicate& pred : query.where) {
+    BYC_ASSIGN_OR_RETURN(ResolvedColumn lhs, scope.Resolve(pred.lhs));
+    if (pred.kind == Predicate::Kind::kJoin) {
+      BYC_ASSIGN_OR_RETURN(ResolvedColumn rhs, scope.Resolve(pred.rhs));
+      if (lhs.table_slot == rhs.table_slot) {
+        return Status::InvalidArgument(
+            "join predicate references a single table");
+      }
+      resolved.joins.push_back(ResolvedJoin{lhs, rhs});
+    } else {
+      const catalog::Table& table =
+          catalog_->table(resolved.tables[static_cast<size_t>(lhs.table_slot)]);
+      double sel = model_->FilterSelectivity(table, lhs.column, pred.op,
+                                             pred.value);
+      resolved.filters.push_back(
+          ResolvedFilter{lhs, pred.op, pred.value, sel});
+    }
+  }
+  return resolved;
+}
+
+Result<ResolvedQuery> ParseAndBind(const catalog::Catalog& catalog,
+                                   std::string_view sql) {
+  BYC_ASSIGN_OR_RETURN(SelectQuery parsed, ParseSelect(sql));
+  SelectivityModel model;
+  Binder binder(&catalog, &model);
+  return binder.Bind(parsed);
+}
+
+std::string ResolvedQuery::ToString(const catalog::Catalog& catalog) const {
+  auto slot_alias = [](int slot) {
+    std::string alias = "t";
+    alias += std::to_string(slot);
+    return alias;
+  };
+  auto col_name = [&](const ResolvedColumn& c) {
+    const catalog::Table& t = catalog.table(tables[static_cast<size_t>(c.table_slot)]);
+    return slot_alias(c.table_slot) + "." + t.column(c.column).name;
+  };
+
+  std::string out = "select ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (select[i].aggregate != Aggregate::kNone) {
+      out += AggregateName(select[i].aggregate);
+      out += '(';
+      out += col_name(select[i].column);
+      out += ')';
+    } else {
+      out += col_name(select[i].column);
+    }
+  }
+  out += " from ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += catalog.table(tables[i]).name();
+    out += ' ';
+    out += slot_alias(static_cast<int>(i));
+  }
+  if (!filters.empty() || !joins.empty()) {
+    out += " where ";
+    bool first = true;
+    for (const auto& j : joins) {
+      if (!first) out += " and ";
+      first = false;
+      out += col_name(j.left);
+      out += " = ";
+      out += col_name(j.right);
+    }
+    for (const auto& f : filters) {
+      if (!first) out += " and ";
+      first = false;
+      out += col_name(f.column);
+      out += ' ';
+      out += CmpOpName(f.op);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %g", f.value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace byc::query

@@ -1,0 +1,33 @@
+#ifndef BYC_QUERY_BINDER_H_
+#define BYC_QUERY_BINDER_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "query/resolved.h"
+#include "query/selectivity.h"
+
+namespace byc::query {
+
+/// Resolves a parsed SelectQuery against a catalog: looks up tables and
+/// columns, classifies predicates, and attaches selectivities from the
+/// model. Errors: unknown table/column, ambiguous unqualified column,
+/// unknown alias.
+class Binder {
+ public:
+  Binder(const catalog::Catalog* catalog, const SelectivityEstimator* model)
+      : catalog_(catalog), model_(model) {}
+
+  Result<ResolvedQuery> Bind(const SelectQuery& query) const;
+
+ private:
+  const catalog::Catalog* catalog_;
+  const SelectivityEstimator* model_;
+};
+
+/// Convenience: parse + bind in one call with a default selectivity model.
+Result<ResolvedQuery> ParseAndBind(const catalog::Catalog& catalog,
+                                   std::string_view sql);
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_BINDER_H_

@@ -1,0 +1,193 @@
+#include "query/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace byc::query {
+
+namespace {
+
+bool NameContains(const std::string& name, const char* needle) {
+  return name.find(needle) != std::string::npos;
+}
+
+bool IsKeyLike(const std::string& name) {
+  return name.size() >= 2 &&
+         (name.compare(name.size() - 2, 2, "ID") == 0 ||
+          name.compare(name.size() - 2, 2, "Id") == 0 ||
+          name.compare(name.size() - 2, 2, "id") == 0);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace
+
+ColumnDistribution ColumnDistribution::For(const catalog::Table& table,
+                                           int column) {
+  const catalog::Column& col = table.column(column);
+  const std::string& name = col.name;
+  ColumnDistribution d;
+
+  if (IsKeyLike(name) || col.type == catalog::ColumnType::kInt64) {
+    d.shape_ = Shape::kUniform;
+    d.min_ = 0;
+    d.max_ = static_cast<double>(std::max<uint64_t>(table.row_count(), 2));
+    d.distinct_ = static_cast<double>(std::max<uint64_t>(table.row_count(), 1));
+  } else if (NameContains(name, "Mag") || NameContains(name, "extinction") ||
+             NameContains(name, "dered")) {
+    d.shape_ = Shape::kNormal;
+    d.min_ = 12;
+    d.max_ = 28;
+    d.mu_ = 20;
+    d.sigma_ = 2.2;
+    d.distinct_ = 1e5;
+  } else if (name == "z" || NameContains(name, "zErr") ||
+             NameContains(name, "distance") || NameContains(name, "radius")) {
+    d.shape_ = Shape::kExponential;
+    d.min_ = 0;
+    d.max_ = 6;
+    d.rate_ = 1.0 / 0.35;
+    d.distinct_ = 1e5;
+  } else if (name == "ra") {
+    d.shape_ = Shape::kUniform;
+    d.min_ = 0;
+    d.max_ = 360;
+    d.distinct_ = 1e6;
+  } else if (name == "dec") {
+    d.shape_ = Shape::kUniform;
+    d.min_ = -25;
+    d.max_ = 85;
+    d.distinct_ = 1e6;
+  } else if (col.type == catalog::ColumnType::kInt16) {
+    // Class/flag codes: a handful of distinct values.
+    d.shape_ = Shape::kUniform;
+    d.min_ = 0;
+    d.max_ = 16;
+    d.distinct_ = 16;
+  } else {
+    d.shape_ = Shape::kUniform;
+    d.min_ = 0;
+    d.max_ = 30;
+    d.distinct_ = 1e4;
+  }
+  return d;
+}
+
+double ColumnDistribution::Cdf(double v) const {
+  if (v <= min_) return 0;
+  if (v >= max_) return 1;
+  switch (shape_) {
+    case Shape::kUniform:
+      return (v - min_) / (max_ - min_);
+    case Shape::kNormal: {
+      // Truncated normal on [min, max].
+      double lo = NormalCdf((min_ - mu_) / sigma_);
+      double hi = NormalCdf((max_ - mu_) / sigma_);
+      double at = NormalCdf((v - mu_) / sigma_);
+      return (at - lo) / (hi - lo);
+    }
+    case Shape::kExponential: {
+      // Truncated exponential on [min, max] (min is 0 by construction).
+      double span = max_ - min_;
+      double hi = 1.0 - std::exp(-rate_ * span);
+      double at = 1.0 - std::exp(-rate_ * (v - min_));
+      return at / hi;
+    }
+  }
+  return 0;
+}
+
+double ColumnDistribution::Quantile(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  double lo = min_;
+  double hi = max_;
+  for (int i = 0; i < 50; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (Cdf(mid) < u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+TableHistograms::TableHistograms(const catalog::Table& table, int buckets)
+    : buckets_(buckets) {
+  BYC_CHECK_GE(buckets, 2);
+  columns_.reserve(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ColumnDistribution dist = ColumnDistribution::For(table, c);
+    ColumnHistogram h;
+    h.lo = dist.min();
+    h.hi = dist.max();
+    h.width = (h.hi - h.lo) / buckets;
+    h.distinct = dist.distinct_values();
+    h.mass.resize(static_cast<size_t>(buckets));
+    double prev = 0;
+    for (int b = 0; b < buckets; ++b) {
+      double edge = b + 1 == buckets ? h.hi : h.lo + h.width * (b + 1);
+      double cdf = dist.Cdf(edge);
+      h.mass[static_cast<size_t>(b)] = cdf - prev;
+      prev = cdf;
+    }
+    columns_.push_back(std::move(h));
+  }
+}
+
+double TableHistograms::BucketMass(int column, int bucket) const {
+  return columns_[static_cast<size_t>(column)]
+      .mass[static_cast<size_t>(bucket)];
+}
+
+double TableHistograms::HistCdf(const ColumnHistogram& h, double v) const {
+  if (v <= h.lo) return 0;
+  if (v >= h.hi) return 1;
+  double pos = (v - h.lo) / h.width;
+  int full = static_cast<int>(pos);
+  full = std::min(full, buckets_ - 1);
+  double cdf = 0;
+  for (int b = 0; b < full; ++b) cdf += h.mass[static_cast<size_t>(b)];
+  cdf += h.mass[static_cast<size_t>(full)] *
+         (pos - static_cast<double>(full));
+  return std::clamp(cdf, 0.0, 1.0);
+}
+
+double TableHistograms::Selectivity(int column, CmpOp op,
+                                    double value) const {
+  const ColumnHistogram& h = columns_[static_cast<size_t>(column)];
+  double below = HistCdf(h, value);
+  double eq = std::clamp(1.0 / h.distinct, 0.0, 1.0);
+  double sel;
+  switch (op) {
+    case CmpOp::kLt:
+      sel = below;
+      break;
+    case CmpOp::kLe:
+      sel = below + eq;
+      break;
+    case CmpOp::kGt:
+      sel = 1.0 - below - eq;
+      break;
+    case CmpOp::kGe:
+      sel = 1.0 - below;
+      break;
+    case CmpOp::kEq:
+      sel = eq;
+      break;
+    case CmpOp::kNe:
+      sel = 1.0 - eq;
+      break;
+    default:
+      sel = 0.1;
+      break;
+  }
+  // Selectivities must stay in (0, 1] for the yield model.
+  return std::clamp(sel, 1e-9, 1.0);
+}
+
+}  // namespace byc::query

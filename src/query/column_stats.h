@@ -1,0 +1,88 @@
+#ifndef BYC_QUERY_COLUMN_STATS_H_
+#define BYC_QUERY_COLUMN_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "query/ast.h"
+
+namespace byc::query {
+
+/// Analytic model of one column's synthetic value distribution. The
+/// SDSS-like columns get domain-appropriate shapes, keyed off the column
+/// name and type (deterministic — no data is materialized):
+///
+///  * magnitudes ("...Mag...", "extinction", "dered"): truncated normal
+///    around 20 (the survey's depth profile);
+///  * redshift-like ("z", "zErr", "distance", "radius"): exponential
+///    hugging zero;
+///  * "ra": uniform [0, 360); "dec": uniform [-25, 85];
+///  * identifiers / int keys: uniform over [0, row_count);
+///  * everything else: uniform over a generic [0, 30) domain.
+class ColumnDistribution {
+ public:
+  /// Builds the distribution model for table.column(column).
+  static ColumnDistribution For(const catalog::Table& table, int column);
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// P(value <= v); clamped, monotone, 0 at min and 1 at max.
+  double Cdf(double v) const;
+
+  /// Inverse CDF (bisection on Cdf): the value v with Cdf(v) ~= u.
+  /// Clamps u to [0, 1]. Used to synthesize data that matches the
+  /// statistics model.
+  double Quantile(double u) const;
+
+  /// Estimated number of distinct values (drives equality selectivity).
+  double distinct_values() const { return distinct_; }
+
+ private:
+  enum class Shape { kUniform, kNormal, kExponential };
+
+  Shape shape_ = Shape::kUniform;
+  double min_ = 0;
+  double max_ = 1;
+  double mu_ = 0;      // normal mean
+  double sigma_ = 1;   // normal sd
+  double rate_ = 1;    // exponential rate
+  double distinct_ = 1;
+};
+
+/// Per-table equi-width histograms synthesized from the column
+/// distributions — the catalog-statistics structure a real optimizer
+/// would maintain. Range selectivities interpolate within buckets;
+/// equality uses the distinct-value estimate.
+class TableHistograms {
+ public:
+  explicit TableHistograms(const catalog::Table& table, int buckets = 64);
+
+  /// Estimated fraction of rows satisfying `column op value`.
+  double Selectivity(int column, CmpOp op, double value) const;
+
+  int num_buckets() const { return buckets_; }
+
+  /// Mass of one bucket of `column` (tests).
+  double BucketMass(int column, int bucket) const;
+
+ private:
+  struct ColumnHistogram {
+    double lo = 0;
+    double hi = 1;
+    double width = 1;
+    double distinct = 1;
+    std::vector<double> mass;  // sums to 1
+  };
+
+  /// P(value <= v) from the histogram with linear interpolation.
+  double HistCdf(const ColumnHistogram& h, double v) const;
+
+  int buckets_;
+  std::vector<ColumnHistogram> columns_;
+};
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_COLUMN_STATS_H_

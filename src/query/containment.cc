@@ -1,0 +1,160 @@
+#include "query/containment.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+namespace byc::query {
+
+namespace {
+
+bool SameColumn(const ResolvedColumn& a, const ResolvedColumn& b) {
+  return a.table_slot == b.table_slot && a.column == b.column;
+}
+
+/// Canonical (slot, col, slot, col) tuple for a join with sides ordered.
+std::array<int, 4> JoinKey(const ResolvedJoin& join) {
+  std::array<int, 4> left = {join.left.table_slot, join.left.column,
+                             join.right.table_slot, join.right.column};
+  std::array<int, 4> right = {join.right.table_slot, join.right.column,
+                              join.left.table_slot, join.left.column};
+  return std::min(left, right);
+}
+
+bool SameFilter(const ResolvedFilter& a, const ResolvedFilter& b) {
+  return SameColumn(a.column, b.column) && a.op == b.op && a.value == b.value;
+}
+
+}  // namespace
+
+bool FilterImplies(const ResolvedFilter& stronger,
+                   const ResolvedFilter& weaker) {
+  if (!SameColumn(stronger.column, weaker.column)) return false;
+  const double s = stronger.value;
+  const double w = weaker.value;
+  switch (weaker.op) {
+    case CmpOp::kGt:  // weaker: c > w
+      switch (stronger.op) {
+        case CmpOp::kGt:
+          return s >= w;
+        case CmpOp::kGe:
+          return s > w;
+        case CmpOp::kEq:
+          return s > w;
+        default:
+          return false;
+      }
+    case CmpOp::kGe:  // weaker: c >= w
+      switch (stronger.op) {
+        case CmpOp::kGt:
+          return s >= w;
+        case CmpOp::kGe:
+          return s >= w;
+        case CmpOp::kEq:
+          return s >= w;
+        default:
+          return false;
+      }
+    case CmpOp::kLt:  // weaker: c < w
+      switch (stronger.op) {
+        case CmpOp::kLt:
+          return s <= w;
+        case CmpOp::kLe:
+          return s < w;
+        case CmpOp::kEq:
+          return s < w;
+        default:
+          return false;
+      }
+    case CmpOp::kLe:  // weaker: c <= w
+      switch (stronger.op) {
+        case CmpOp::kLt:
+          return s <= w;
+        case CmpOp::kLe:
+          return s <= w;
+        case CmpOp::kEq:
+          return s <= w;
+        default:
+          return false;
+      }
+    case CmpOp::kEq:  // weaker: c == w
+      return stronger.op == CmpOp::kEq && s == w;
+    case CmpOp::kNe:  // weaker: c != w
+      switch (stronger.op) {
+        case CmpOp::kNe:
+          return s == w;
+        case CmpOp::kEq:
+          return s != w;
+        case CmpOp::kGt:
+          return s >= w;
+        case CmpOp::kGe:
+          return s > w;
+        case CmpOp::kLt:
+          return s <= w;
+        case CmpOp::kLe:
+          return s < w;
+        default:
+          return false;
+      }
+  }
+  return false;
+}
+
+bool QueryContains(const ResolvedQuery& cached,
+                   const ResolvedQuery& incoming) {
+  // Aggregated results are scalars, not reusable tuple sets.
+  for (const auto& item : cached.select) {
+    if (item.aggregate != Aggregate::kNone) return false;
+  }
+  for (const auto& item : incoming.select) {
+    if (item.aggregate != Aggregate::kNone) return false;
+  }
+
+  // Identical FROM lists (canonical slot order) and join structure.
+  if (cached.tables != incoming.tables) return false;
+  std::multiset<std::array<int, 4>> cached_joins, incoming_joins;
+  for (const auto& j : cached.joins) cached_joins.insert(JoinKey(j));
+  for (const auto& j : incoming.joins) incoming_joins.insert(JoinKey(j));
+  if (cached_joins != incoming_joins) return false;
+
+  // Every projected column of the incoming query must be stored.
+  auto cached_selects = [&](const ResolvedColumn& col) {
+    for (const auto& item : cached.select) {
+      if (SameColumn(item.column, col)) return true;
+    }
+    return false;
+  };
+  for (const auto& item : incoming.select) {
+    if (!cached_selects(item.column)) return false;
+  }
+
+  // Every cached filter must be implied by an incoming filter, or the
+  // cached result may be missing tuples the incoming query needs.
+  for (const ResolvedFilter& g : cached.filters) {
+    bool implied = false;
+    for (const ResolvedFilter& f : incoming.filters) {
+      if (FilterImplies(f, g)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return false;
+  }
+
+  // Every incoming filter must be re-applicable against the stored
+  // result: either it is literally one of the cached filters (already
+  // applied), or its column was stored in the projection.
+  for (const ResolvedFilter& f : incoming.filters) {
+    bool already_applied = false;
+    for (const ResolvedFilter& g : cached.filters) {
+      if (SameFilter(f, g)) {
+        already_applied = true;
+        break;
+      }
+    }
+    if (!already_applied && !cached_selects(f.column)) return false;
+  }
+  return true;
+}
+
+}  // namespace byc::query

@@ -1,0 +1,37 @@
+#ifndef BYC_QUERY_CONTAINMENT_H_
+#define BYC_QUERY_CONTAINMENT_H_
+
+#include "query/resolved.h"
+
+namespace byc::query {
+
+/// Sound (but incomplete) query-containment test for the conjunctive
+/// SELECT queries of this library: returns true only when every result
+/// tuple of `incoming` is certainly derivable from a stored result of
+/// `cached`. General conjunctive-query containment is NP-complete
+/// (Chandra & Merlin, cited in §6.1); this decidable fragment covers the
+/// refinement pattern a semantic cache can actually exploit:
+///
+///  * identical FROM table multiset (matched slot-by-slot after
+///    canonical ordering) and identical join structure;
+///  * every column `incoming` projects is projected by `cached`
+///    (no aggregates on either side — aggregate results are not
+///    decomposable);
+///  * `incoming`'s predicates imply `cached`'s: for every filter of
+///    `cached` there is a filter of `incoming` on the same column that
+///    is at least as restrictive (e.g. cached `mag > 17` is implied by
+///    incoming `mag > 19`; cached `z < 0.1` by incoming `z < 0.05`;
+///    equality implies any bound it satisfies).
+///
+/// Returns false whenever containment cannot be established.
+bool QueryContains(const ResolvedQuery& cached,
+                   const ResolvedQuery& incoming);
+
+/// Single-predicate implication: does `stronger` (on the same column)
+/// imply `weaker`? Exposed for tests and reuse.
+bool FilterImplies(const ResolvedFilter& stronger,
+                   const ResolvedFilter& weaker);
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_CONTAINMENT_H_

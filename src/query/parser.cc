@@ -1,0 +1,320 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+#include <vector>
+
+namespace byc::query {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kComma,
+  kLParen,
+  kRParen,
+  kOperator,  // = != <> < <= > >=
+  kDot,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0;
+  size_t offset = 0;
+};
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == ';') {
+        ++pos_;  // trailing statement terminator
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 (c == '.' && pos_ + 1 < sql_.size() &&
+                  std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+        BYC_ASSIGN_OR_RETURN(Token t, LexNumber());
+        tokens.push_back(std::move(t));
+      } else if (c == ',') {
+        tokens.push_back(Simple(TokenKind::kComma, ","));
+      } else if (c == '(') {
+        tokens.push_back(Simple(TokenKind::kLParen, "("));
+      } else if (c == ')') {
+        tokens.push_back(Simple(TokenKind::kRParen, ")"));
+      } else if (c == '.') {
+        tokens.push_back(Simple(TokenKind::kDot, "."));
+      } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+        BYC_ASSIGN_OR_RETURN(Token t, LexOperator());
+        tokens.push_back(std::move(t));
+      } else {
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(pos_));
+      }
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.offset = sql_.size();
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  Token Simple(TokenKind kind, std::string text) {
+    Token t{kind, std::move(text), 0, pos_};
+    ++pos_;
+    return t;
+  }
+
+  Token LexIdentifier() {
+    size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '_')) {
+      ++pos_;
+    }
+    return Token{TokenKind::kIdentifier,
+                 std::string(sql_.substr(start, pos_ - start)), 0, start};
+  }
+
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    if (sql_[pos_] == '-') ++pos_;
+    while (pos_ < sql_.size() &&
+           (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '.' || sql_[pos_] == 'e' || sql_[pos_] == 'E' ||
+            ((sql_[pos_] == '+' || sql_[pos_] == '-') &&
+             (sql_[pos_ - 1] == 'e' || sql_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    std::string text(sql_.substr(start, pos_ - start));
+    double value = 0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      return Status::ParseError("bad numeric literal '" + text + "'");
+    }
+    return Token{TokenKind::kNumber, std::move(text), value, start};
+  }
+
+  Result<Token> LexOperator() {
+    size_t start = pos_;
+    char c = sql_[pos_++];
+    std::string text(1, c);
+    if (pos_ < sql_.size()) {
+      char n = sql_[pos_];
+      if ((c == '<' && (n == '=' || n == '>')) || (c == '>' && n == '=') ||
+          (c == '!' && n == '=')) {
+        text += n;
+        ++pos_;
+      }
+    }
+    if (text == "!") {
+      return Status::ParseError("lone '!' at offset " + std::to_string(start));
+    }
+    return Token{TokenKind::kOperator, std::move(text), 0, start};
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+Result<CmpOp> ParseCmpOp(const std::string& text) {
+  if (text == "=") return CmpOp::kEq;
+  if (text == "!=" || text == "<>") return CmpOp::kNe;
+  if (text == "<") return CmpOp::kLt;
+  if (text == "<=") return CmpOp::kLe;
+  if (text == ">") return CmpOp::kGt;
+  if (text == ">=") return CmpOp::kGe;
+  return Status::ParseError("unknown operator '" + text + "'");
+}
+
+Result<Aggregate> ParseAggregate(const std::string& lower) {
+  if (lower == "count") return Aggregate::kCount;
+  if (lower == "sum") return Aggregate::kSum;
+  if (lower == "avg") return Aggregate::kAvg;
+  if (lower == "min") return Aggregate::kMin;
+  if (lower == "max") return Aggregate::kMax;
+  return Status::ParseError("unknown aggregate '" + lower + "'");
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> Parse() {
+    BYC_RETURN_IF_ERROR(ExpectKeyword("select"));
+    SelectQuery q;
+    for (;;) {
+      BYC_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      q.select.push_back(std::move(item));
+      if (!ConsumeIf(TokenKind::kComma)) break;
+    }
+    BYC_RETURN_IF_ERROR(ExpectKeyword("from"));
+    for (;;) {
+      BYC_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      q.from.push_back(std::move(ref));
+      if (!ConsumeIf(TokenKind::kComma)) break;
+    }
+    if (PeekKeyword("where")) {
+      Advance();
+      for (;;) {
+        BYC_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+        q.where.push_back(std::move(p));
+        if (!PeekKeyword("and")) break;
+        Advance();
+      }
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input after query: '" +
+                                Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool ConsumeIf(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == TokenKind::kIdentifier && ToLower(Peek().text) == kw;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::ParseError("expected '" + std::string(kw) + "', got '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected identifier, got '" + Peek().text +
+                                "'");
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  /// alias '.' column  |  column
+  Result<ColumnRef> ParseColumnRef() {
+    BYC_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    ColumnRef ref;
+    if (ConsumeIf(TokenKind::kDot)) {
+      ref.table_alias = std::move(first);
+      BYC_ASSIGN_OR_RETURN(ref.column, ExpectIdentifier());
+    } else {
+      ref.column = std::move(first);
+    }
+    return ref;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    // Aggregate call: ident '(' columnref ')'.
+    if (Peek().kind == TokenKind::kIdentifier &&
+        Peek(1).kind == TokenKind::kLParen) {
+      BYC_ASSIGN_OR_RETURN(item.aggregate, ParseAggregate(ToLower(Peek().text)));
+      Advance();  // aggregate name
+      Advance();  // '('
+      BYC_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+      if (!ConsumeIf(TokenKind::kRParen)) {
+        return Status::ParseError("expected ')' after aggregate argument");
+      }
+    } else {
+      BYC_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+    }
+    if (PeekKeyword("as")) {
+      Advance();
+      BYC_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    BYC_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+    // Optional alias (any identifier that is not a clause keyword).
+    if (Peek().kind == TokenKind::kIdentifier && !PeekKeyword("where")) {
+      ref.alias = Peek().text;
+      Advance();
+    } else {
+      ref.alias = ref.table;
+    }
+    return ref;
+  }
+
+  Result<Predicate> ParsePredicate() {
+    Predicate p;
+    BYC_ASSIGN_OR_RETURN(p.lhs, ParseColumnRef());
+    if (Peek().kind != TokenKind::kOperator) {
+      return Status::ParseError("expected comparison operator, got '" +
+                                Peek().text + "'");
+    }
+    BYC_ASSIGN_OR_RETURN(p.op, ParseCmpOp(Peek().text));
+    Advance();
+    if (Peek().kind == TokenKind::kNumber) {
+      p.kind = Predicate::Kind::kFilter;
+      p.value = Peek().number;
+      Advance();
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      if (p.op != CmpOp::kEq) {
+        return Status::ParseError(
+            "column-to-column predicates must use '='");
+      }
+      p.kind = Predicate::Kind::kJoin;
+      BYC_ASSIGN_OR_RETURN(p.rhs, ParseColumnRef());
+    } else {
+      return Status::ParseError("expected literal or column, got '" +
+                                Peek().text + "'");
+    }
+    return p;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectQuery> ParseSelect(std::string_view sql) {
+  Lexer lexer(sql);
+  BYC_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace byc::query

@@ -1,0 +1,26 @@
+#ifndef BYC_QUERY_PARSER_H_
+#define BYC_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace byc::query {
+
+/// Parses one SELECT statement in the trace dialect:
+///
+///   select p.objID, p.ra, s.z as redshift, count(s.plate)
+///   from SpecObj s, PhotoObj p
+///   where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95
+///
+/// Supported: qualified/unqualified column refs, aggregate functions
+/// (count/sum/avg/min/max), select aliases via AS, comma-joined FROM list
+/// with table aliases, AND-conjoined WHERE with numeric comparisons
+/// (= != <> < <= > >=) and equi-joins (column = column). Keywords are
+/// case-insensitive; a trailing semicolon is allowed.
+Result<SelectQuery> ParseSelect(std::string_view sql);
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_PARSER_H_

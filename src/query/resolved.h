@@ -1,0 +1,68 @@
+#ifndef BYC_QUERY_RESOLVED_H_
+#define BYC_QUERY_RESOLVED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/ast.h"
+
+namespace byc::query {
+
+/// A column reference resolved against a catalog: `table_slot` indexes
+/// into ResolvedQuery::tables (so self-joins keep distinct slots), and
+/// `column` indexes into that table's column list.
+struct ResolvedColumn {
+  int table_slot = 0;
+  int column = 0;
+};
+
+/// A resolved SELECT-list item.
+struct ResolvedSelectItem {
+  ResolvedColumn column;
+  Aggregate aggregate = Aggregate::kNone;
+};
+
+/// A resolved filter predicate (column op literal) with its estimated
+/// selectivity in (0, 1].
+struct ResolvedFilter {
+  ResolvedColumn column;
+  CmpOp op = CmpOp::kEq;
+  double value = 0;
+  double selectivity = 1.0;
+};
+
+/// A resolved equi-join predicate.
+struct ResolvedJoin {
+  ResolvedColumn left;
+  ResolvedColumn right;
+};
+
+/// A schema-bound query: everything the yield estimator and the federation
+/// simulator need, with no remaining name lookups. The synthetic workload
+/// generator constructs ResolvedQuery directly; the SQL front end produces
+/// it through the Binder.
+struct ResolvedQuery {
+  std::vector<int> tables;  // catalog table index per FROM slot
+  std::vector<ResolvedSelectItem> select;
+  std::vector<ResolvedFilter> filters;
+  std::vector<ResolvedJoin> joins;
+
+  /// True when every SELECT item is aggregated (the result collapses to a
+  /// single row).
+  bool IsFullyAggregated() const {
+    if (select.empty()) return false;
+    for (const auto& item : select) {
+      if (item.aggregate == Aggregate::kNone) return false;
+    }
+    return true;
+  }
+
+  /// Renders back to readable SQL against the catalog (aliases t0, t1...).
+  std::string ToString(const catalog::Catalog& catalog) const;
+};
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_RESOLVED_H_

@@ -1,0 +1,36 @@
+#include "query/result_cache.h"
+
+#include "query/containment.h"
+
+namespace byc::query {
+
+bool ResultCache::OnQuery(const ResolvedQuery& query, double result_bytes) {
+  ++stats_.queries;
+
+  size_t examined = 0;
+  for (auto it = entries_.begin();
+       it != entries_.end() && examined < options_.max_candidates;
+       ++it, ++examined) {
+    if (QueryContains(it->query, query)) {
+      entries_.splice(entries_.begin(), entries_, it);
+      ++stats_.hits;
+      stats_.saved_bytes += result_bytes;
+      return true;
+    }
+  }
+
+  stats_.wan_cost += result_bytes;
+  uint64_t size = static_cast<uint64_t>(result_bytes);
+  if (size > 0 && size <= options_.capacity_bytes) {
+    while (!entries_.empty() &&
+           options_.capacity_bytes - used_bytes_ < size) {
+      used_bytes_ -= entries_.back().size_bytes;
+      entries_.pop_back();
+    }
+    entries_.push_front(Entry{query, size});
+    used_bytes_ += size;
+  }
+  return false;
+}
+
+}  // namespace byc::query

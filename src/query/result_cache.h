@@ -1,0 +1,60 @@
+#ifndef BYC_QUERY_RESULT_CACHE_H_
+#define BYC_QUERY_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+
+#include "query/resolved.h"
+
+namespace byc::query {
+
+/// A semantic query-result cache driven by *real* predicate containment
+/// (QueryContains) rather than footprint heuristics: an incoming query is
+/// answered from a stored result when the stored query provably contains
+/// it. This is the strongest form of the semantic caching the paper's
+/// §6.1 weighs against schema-object caching.
+///
+/// Candidate matching scans the LRU list (bounded by max_candidates):
+/// containment can cross schema signatures (a refinement adds
+/// predicates), so signature indexing would miss hits.
+class ResultCache {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 0;
+    /// Stored results examined per lookup before giving up.
+    size_t max_candidates = 128;
+  };
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t hits = 0;
+    double wan_cost = 0;
+    double saved_bytes = 0;
+  };
+
+  explicit ResultCache(const Options& options) : options_(options) {}
+
+  /// Processes a query whose (estimated) result size is `result_bytes`.
+  /// Returns true on a containment hit. Misses ship and store the
+  /// result, evicting LRU entries to respect capacity.
+  bool OnQuery(const ResolvedQuery& query, double result_bytes);
+
+  const Stats& stats() const { return stats_; }
+  uint64_t used_bytes() const { return used_bytes_; }
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    ResolvedQuery query;
+    uint64_t size_bytes = 0;
+  };
+
+  Options options_;
+  Stats stats_;
+  uint64_t used_bytes_ = 0;
+  std::list<Entry> entries_;  // most recently used first
+};
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_RESULT_CACHE_H_

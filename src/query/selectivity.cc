@@ -1,0 +1,76 @@
+#include "query/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace byc::query {
+
+namespace {
+
+bool IsKeyLike(const std::string& name) {
+  return name.size() >= 2 &&
+         (name.compare(name.size() - 2, 2, "ID") == 0 ||
+          name.compare(name.size() - 2, 2, "Id") == 0 ||
+          name.compare(name.size() - 2, 2, "id") == 0);
+}
+
+uint64_t HashMix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+double SelectivityModel::FilterSelectivity(const catalog::Table& table,
+                                           int column, CmpOp op,
+                                           double value) const {
+  const std::string& name = table.column(column).name;
+  if (op == CmpOp::kEq && IsKeyLike(name)) {
+    // Identity query: one matching row.
+    return 1.0 / static_cast<double>(std::max<uint64_t>(table.row_count(), 1));
+  }
+
+  double base;
+  switch (op) {
+    case CmpOp::kEq:
+      base = options_.equality_selectivity;
+      break;
+    case CmpOp::kNe:
+      base = 1.0 - options_.equality_selectivity;
+      break;
+    default:
+      base = options_.range_selectivity;
+      break;
+  }
+
+  if (options_.jitter > 1.0) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    uint64_t h = HashMix(bits ^ (static_cast<uint64_t>(column) << 48) ^
+                         HashMix(table.row_count()));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    double log_j = std::log(options_.jitter);
+    base *= std::exp((2 * u - 1) * log_j);
+  }
+  return std::clamp(base, 1e-9, 1.0);
+}
+
+double HistogramSelectivityModel::FilterSelectivity(
+    const catalog::Table& table, int column, CmpOp op, double value) const {
+  auto it = cache_.find(&table);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(&table,
+                      std::make_unique<TableHistograms>(table, buckets_))
+             .first;
+  }
+  return it->second->Selectivity(column, op, value);
+}
+
+}  // namespace byc::query

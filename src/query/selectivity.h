@@ -1,0 +1,79 @@
+#ifndef BYC_QUERY_SELECTIVITY_H_
+#define BYC_QUERY_SELECTIVITY_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "query/ast.h"
+#include "query/column_stats.h"
+
+namespace byc::query {
+
+/// Interface the binder uses to attach selectivities to parsed filters.
+/// (The synthetic workload generator sets exact selectivities directly
+/// and does not go through an estimator.)
+class SelectivityEstimator {
+ public:
+  virtual ~SelectivityEstimator() = default;
+
+  /// Estimated fraction of `table`'s rows passing `column op value`,
+  /// always in (0, 1].
+  virtual double FilterSelectivity(const catalog::Table& table, int column,
+                                   CmpOp op, double value) const = 0;
+};
+
+/// Heuristic estimator used when binding SQL text without statistics.
+/// Deterministic: the same predicate always gets the same selectivity,
+/// so replays are stable.
+///
+/// Heuristics (in the spirit of textbook System-R defaults):
+///  * equality on a key-like column (name ends in "ID") -> 1 / row_count
+///    (identity queries return a handful of rows);
+///  * other equality -> `equality_selectivity`;
+///  * range comparisons -> `range_selectivity`;
+///  * inequality (!=) -> 1 - equality_selectivity;
+/// each jittered deterministically by the literal value so distinct
+/// constants give distinct (but reproducible) selectivities.
+class SelectivityModel : public SelectivityEstimator {
+ public:
+  struct Options {
+    double equality_selectivity = 0.05;
+    double range_selectivity = 0.10;
+    /// Multiplicative jitter range [1/jitter, jitter] applied from a hash
+    /// of the predicate; 1.0 disables jitter.
+    double jitter = 2.0;
+  };
+
+  SelectivityModel() : SelectivityModel(Options{}) {}
+  explicit SelectivityModel(const Options& options) : options_(options) {}
+
+  double FilterSelectivity(const catalog::Table& table, int column, CmpOp op,
+                           double value) const override;
+
+ private:
+  Options options_;
+};
+
+/// Statistics-backed estimator: per-table equi-width histograms
+/// synthesized from the columns' modeled value distributions
+/// (column_stats.h) — range predicates get CDF-accurate selectivities
+/// ("mag > 17" really selects the bright tail) instead of flat defaults.
+/// Histograms build lazily per table and are cached.
+class HistogramSelectivityModel : public SelectivityEstimator {
+ public:
+  explicit HistogramSelectivityModel(int buckets = 64) : buckets_(buckets) {}
+
+  double FilterSelectivity(const catalog::Table& table, int column, CmpOp op,
+                           double value) const override;
+
+ private:
+  int buckets_;
+  mutable std::unordered_map<const catalog::Table*,
+                             std::unique_ptr<TableHistograms>>
+      cache_;
+};
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_SELECTIVITY_H_

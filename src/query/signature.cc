@@ -1,0 +1,36 @@
+#include "query/signature.h"
+
+namespace byc::query {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint64_t SchemaSignature(const ResolvedQuery& query) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (int t : query.tables) h = Mix(h, 0x1000 + static_cast<uint64_t>(t));
+  for (const ResolvedSelectItem& s : query.select) {
+    h = Mix(h, 0x2000 + static_cast<uint64_t>(s.column.table_slot));
+    h = Mix(h, static_cast<uint64_t>(s.column.column));
+    h = Mix(h, static_cast<uint64_t>(s.aggregate));
+  }
+  for (const ResolvedFilter& f : query.filters) {
+    h = Mix(h, 0x3000 + static_cast<uint64_t>(f.column.table_slot));
+    h = Mix(h, static_cast<uint64_t>(f.column.column));
+    h = Mix(h, static_cast<uint64_t>(f.op));
+  }
+  for (const ResolvedJoin& j : query.joins) {
+    h = Mix(h, 0x4000 + static_cast<uint64_t>(j.left.table_slot));
+    h = Mix(h, static_cast<uint64_t>(j.left.column));
+    h = Mix(h, static_cast<uint64_t>(j.right.table_slot));
+    h = Mix(h, static_cast<uint64_t>(j.right.column));
+  }
+  return h;
+}
+
+}  // namespace byc::query

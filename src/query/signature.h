@@ -1,0 +1,21 @@
+#ifndef BYC_QUERY_SIGNATURE_H_
+#define BYC_QUERY_SIGNATURE_H_
+
+#include <cstdint>
+
+#include "query/resolved.h"
+
+namespace byc::query {
+
+/// Hash of a query's *schema shape*: tables, projected columns with
+/// aggregates, predicate columns and operators, and join structure —
+/// everything except the literal values and selectivities. Two queries
+/// with equal signatures "conduct queries with similar schema against
+/// different data" (§1.1); the semantic cache uses signatures to find
+/// containment candidates, and the trace analyses use them to measure
+/// schema reuse.
+uint64_t SchemaSignature(const ResolvedQuery& query);
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_SIGNATURE_H_

@@ -1,0 +1,113 @@
+#include "query/yield.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace byc::query {
+
+namespace {
+
+constexpr double kAggregateOutputWidth = 8.0;
+
+}  // namespace
+
+double YieldEstimator::EstimateResultRows(const ResolvedQuery& query) const {
+  BYC_CHECK(!query.tables.empty());
+  if (query.IsFullyAggregated()) return 1.0;
+
+  // Per-slot filtered cardinality under predicate independence.
+  std::vector<double> filtered_rows(query.tables.size());
+  std::vector<double> filtered_frac(query.tables.size(), 1.0);
+  for (const ResolvedFilter& f : query.filters) {
+    filtered_frac[static_cast<size_t>(f.column.table_slot)] *= f.selectivity;
+  }
+  for (size_t slot = 0; slot < query.tables.size(); ++slot) {
+    double rows = static_cast<double>(
+        catalog_->table(query.tables[slot]).row_count());
+    filtered_rows[slot] = rows * filtered_frac[slot];
+  }
+
+  if (query.tables.size() == 1) return filtered_rows[0];
+
+  // Foreign-key join model: the join fans no wider than the smallest
+  // filtered relation; every other relation thins it by its filtered
+  // fraction. (PhotoObj JOIN SpecObj on objID produces at most
+  // |filtered SpecObj| rows, further filtered by PhotoObj's predicates.)
+  size_t smallest = 0;
+  for (size_t slot = 1; slot < filtered_rows.size(); ++slot) {
+    if (filtered_rows[slot] < filtered_rows[smallest]) smallest = slot;
+  }
+  double rows = filtered_rows[smallest];
+  for (size_t slot = 0; slot < filtered_rows.size(); ++slot) {
+    if (slot != smallest) rows *= filtered_frac[slot];
+  }
+  return rows;
+}
+
+double YieldEstimator::OutputRowWidth(const ResolvedQuery& query) const {
+  double width = 0;
+  for (const ResolvedSelectItem& item : query.select) {
+    if (item.aggregate != Aggregate::kNone) {
+      width += kAggregateOutputWidth;
+    } else {
+      const catalog::Table& t = catalog_->table(
+          query.tables[static_cast<size_t>(item.column.table_slot)]);
+      width += t.column(item.column.column).width_bytes();
+    }
+  }
+  return width;
+}
+
+QueryYield YieldEstimator::Estimate(const ResolvedQuery& query,
+                                    catalog::Granularity granularity) const {
+  QueryYield out;
+  out.result_rows = EstimateResultRows(query);
+  out.total_bytes = out.result_rows * OutputRowWidth(query);
+
+  // Unique referenced (table, column) pairs across SELECT, filters, and
+  // joins. Slots of the same catalog table merge (the paper counts
+  // attributes per table).
+  std::set<std::pair<int, int>> referenced;
+  auto add_ref = [&](const ResolvedColumn& c) {
+    referenced.emplace(query.tables[static_cast<size_t>(c.table_slot)],
+                       c.column);
+  };
+  for (const auto& item : query.select) add_ref(item.column);
+  for (const auto& f : query.filters) add_ref(f.column);
+  for (const auto& j : query.joins) {
+    add_ref(j.left);
+    add_ref(j.right);
+  }
+  BYC_CHECK(!referenced.empty());
+
+  if (granularity == catalog::Granularity::kTable) {
+    // Share proportional to each table's count of unique attributes.
+    std::map<int, int> attrs_per_table;
+    for (const auto& [table, column] : referenced) ++attrs_per_table[table];
+    double total = 0;
+    for (const auto& [table, count] : attrs_per_table) total += count;
+    for (const auto& [table, count] : attrs_per_table) {
+      out.per_object.push_back(
+          ObjectYield{catalog::ObjectId::ForTable(table),
+                      out.total_bytes * static_cast<double>(count) / total});
+    }
+  } else {
+    // Share proportional to each referenced column's storage width.
+    double total_width = 0;
+    for (const auto& [table, column] : referenced) {
+      total_width += catalog_->table(table).column(column).width_bytes();
+    }
+    for (const auto& [table, column] : referenced) {
+      double width = catalog_->table(table).column(column).width_bytes();
+      out.per_object.push_back(
+          ObjectYield{catalog::ObjectId::ForColumn(table, column),
+                      out.total_bytes * width / total_width});
+    }
+  }
+  return out;
+}
+
+}  // namespace byc::query

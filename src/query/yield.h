@@ -1,0 +1,65 @@
+#ifndef BYC_QUERY_YIELD_H_
+#define BYC_QUERY_YIELD_H_
+
+#include <vector>
+
+#include "catalog/object_id.h"
+#include "query/resolved.h"
+
+namespace byc::query {
+
+/// Yield of one cacheable object within a query: the object's share of
+/// the query's result bytes, computed by the paper's decomposition rules.
+struct ObjectYield {
+  catalog::ObjectId object;
+  double yield_bytes = 0;
+};
+
+/// The estimated yield of an entire query.
+struct QueryYield {
+  /// Estimated result cardinality (rows; 1 for fully aggregated queries).
+  double result_rows = 0;
+  /// Estimated result size in bytes — the yield `y` of the query, which
+  /// is both the cost of bypassing it and the savings of serving it from
+  /// cache (§3).
+  double total_bytes = 0;
+  /// Per-object decomposition at the requested granularity. Shares sum to
+  /// total_bytes (modulo floating-point rounding).
+  std::vector<ObjectYield> per_object;
+};
+
+/// Estimates query yields (result sizes) and decomposes them onto
+/// cacheable objects, mirroring the paper's prototype (§6):
+///
+///  * result size = estimated result rows x output row width, where rows
+///    follow an independence-assumption selectivity model and equi-joins
+///    use a smallest-relation foreign-key model;
+///  * table granularity: "yield for each table or view in a joined query
+///    is divided in proportion to the table's contribution to the unique
+///    attributes in the query";
+///  * column granularity: "query yield is proportional to each attribute
+///    based on a ratio of storage size of the attribute to the total
+///    storage sizes of all columns referenced in the query" (the paper's
+///    example: objID contributes 8/46 of the yield).
+class YieldEstimator {
+ public:
+  explicit YieldEstimator(const catalog::Catalog* catalog)
+      : catalog_(catalog) {}
+
+  /// Full estimate with per-object decomposition.
+  QueryYield Estimate(const ResolvedQuery& query,
+                      catalog::Granularity granularity) const;
+
+  /// Estimated result cardinality only.
+  double EstimateResultRows(const ResolvedQuery& query) const;
+
+  /// Bytes per result row (8 bytes per aggregate output).
+  double OutputRowWidth(const ResolvedQuery& query) const;
+
+ private:
+  const catalog::Catalog* catalog_;
+};
+
+}  // namespace byc::query
+
+#endif  // BYC_QUERY_YIELD_H_

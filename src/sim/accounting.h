@@ -1,0 +1,37 @@
+#ifndef BYC_SIM_ACCOUNTING_H_
+#define BYC_SIM_ACCOUNTING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace byc::sim {
+
+/// WAN cost ledger of one simulation run, in the paper's three flows
+/// (Fig. 1): D_S (bypass), D_L (cache loads), D_C (served from cache —
+/// LAN-only, not WAN). The minimized quantity is D_S + D_L; the
+/// application always receives D_A = D_S + D_C.
+///
+/// Costs are byte-counts weighted by link cost (equal to plain bytes on
+/// uniform networks, matching the paper's GB figures).
+struct CostBreakdown {
+  double bypass_cost = 0;  // D_S: results shipped server -> client
+  double fetch_cost = 0;   // D_L: objects loaded into the cache
+  double served_cost = 0;  // D_C: results produced out of the cache
+
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t bypasses = 0;
+  uint64_t loads = 0;
+  uint64_t evictions = 0;
+
+  /// The paper's "Total Cost": WAN traffic.
+  double total_wan() const { return bypass_cost + fetch_cost; }
+  /// D_A: data delivered to the application.
+  double delivered() const { return bypass_cost + served_cost; }
+
+  std::string ToString() const;
+};
+
+}  // namespace byc::sim
+
+#endif  // BYC_SIM_ACCOUNTING_H_

@@ -1,0 +1,85 @@
+#ifndef BYC_SIM_HIERARCHY_H_
+#define BYC_SIM_HIERARCHY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/accounting.h"
+
+namespace byc::sim {
+
+/// Two-level bypass-yield cache hierarchy — the extension the paper
+/// defers ("At this time, we do not consider hierarchies of caches or
+/// coordinated caching within hierarchies", §3).
+///
+/// Topology: K child caches (one per client community / regional
+/// mediator) share one parent cache sitting between them and the
+/// federation. The parent link (child <-> parent) is cheaper per byte
+/// than the server link (anything <-> federation servers):
+///
+///   servers --(server_cost/byte)--> parent --(parent_cost/byte)--> child
+///
+/// Access flow: each access is routed to its community's child cache.
+///  * child serves        -> free;
+///  * child loads         -> the object ships from the parent if the
+///    parent holds it (size x parent_cost), else from the servers
+///    (fetch_cost); either way the access is then served locally;
+///  * child bypasses      -> the access is offered to the parent:
+///      - parent serves   -> results cross only the parent link
+///                           (yield x parent_cost);
+///      - parent loads    -> fetch_cost from the servers, results then
+///                           cross the parent link;
+///      - parent bypasses -> the query runs at the servers and results
+///                           ship directly to the client (bypass_cost),
+///                           preserving federation parallelism.
+///
+/// Child policies decide on server-priced accesses (conservative: a
+/// child cannot know ahead of time whether the parent will hold an
+/// object); the accounting charges actual link-priced traffic.
+class HierarchySimulator {
+ public:
+  struct Options {
+    int num_children = 4;
+    /// Per-byte cost of the child<->parent link, as a fraction of the
+    /// server link cost already baked into fetch/bypass costs (0.25 =
+    /// the parent is 4x closer than the federation).
+    double parent_link_fraction = 0.25;
+  };
+
+  struct LevelCosts {
+    /// Traffic on the server links (the scarce WAN resource).
+    double server_traffic = 0;
+    /// Traffic on the child<->parent links (already cost-weighted by
+    /// parent_link_fraction).
+    double parent_link_traffic = 0;
+    double total() const { return server_traffic + parent_link_traffic; }
+  };
+
+  /// `children[i]` is community i's cache; `parent` the shared cache.
+  HierarchySimulator(Options options,
+                     std::vector<std::unique_ptr<core::CachePolicy>> children,
+                     std::unique_ptr<core::CachePolicy> parent);
+
+  /// Routes one access for community `child_index` through the
+  /// hierarchy; returns the WAN cost incurred and updates the ledger.
+  double OnAccess(int child_index, const core::Access& access);
+
+  const LevelCosts& costs() const { return costs_; }
+  const CostBreakdown& child_totals() const { return child_totals_; }
+  const CostBreakdown& parent_totals() const { return parent_totals_; }
+  int num_children() const { return static_cast<int>(children_.size()); }
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<core::CachePolicy>> children_;
+  std::unique_ptr<core::CachePolicy> parent_;
+  LevelCosts costs_;
+  CostBreakdown child_totals_;
+  CostBreakdown parent_totals_;
+};
+
+}  // namespace byc::sim
+
+#endif  // BYC_SIM_HIERARCHY_H_

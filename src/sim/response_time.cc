@@ -1,0 +1,53 @@
+#include "sim/response_time.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace byc::sim {
+
+ResponseTimeResult RunWithResponseTimes(
+    core::CachePolicy& policy,
+    const std::vector<std::vector<core::Access>>& queries,
+    const LinkModel& link) {
+  BYC_CHECK_GT(link.bandwidth_bytes_per_second, 0);
+  BYC_CHECK_GT(link.lan_bandwidth_bytes_per_second, 0);
+
+  ResponseTimeResult result;
+  for (const auto& accesses : queries) {
+    double slowest = 0;
+    for (const core::Access& access : accesses) {
+      core::Decision d = policy.OnAccess(access);
+      ++result.totals.accesses;
+      result.totals.evictions += d.evictions.size();
+      double seconds = 0;
+      switch (d.action) {
+        case core::Action::kServeFromCache:
+          ++result.totals.hits;
+          result.totals.served_cost += access.bypass_cost;
+          seconds = link.LanSeconds(access.yield_bytes);
+          break;
+        case core::Action::kBypass:
+          ++result.totals.bypasses;
+          result.totals.bypass_cost += access.bypass_cost;
+          seconds = link.WanSeconds(access.yield_bytes);
+          break;
+        case core::Action::kLoadAndServe:
+          ++result.totals.loads;
+          result.totals.fetch_cost += access.fetch_cost;
+          result.totals.served_cost += access.bypass_cost;
+          // The load blocks this access, then the result moves locally.
+          seconds =
+              link.WanSeconds(static_cast<double>(access.size_bytes)) +
+              link.LanSeconds(access.yield_bytes);
+          break;
+      }
+      slowest = std::max(slowest, seconds);
+    }
+    result.response.Add(slowest);
+    result.response_quantiles.Add(slowest);
+  }
+  return result;
+}
+
+}  // namespace byc::sim

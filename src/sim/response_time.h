@@ -1,0 +1,59 @@
+#ifndef BYC_SIM_RESPONSE_TIME_H_
+#define BYC_SIM_RESPONSE_TIME_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "core/policy.h"
+#include "sim/accounting.h"
+
+namespace byc::sim {
+
+/// Simple WAN link timing: latency plus bandwidth-limited transfer.
+struct LinkModel {
+  /// One-way setup latency per transfer (seconds).
+  double rtt_seconds = 0.05;
+  /// Sustained throughput (bytes/second). Default: ~100 Mbit/s WAN.
+  double bandwidth_bytes_per_second = 12.5e6;
+  /// The mediator/client LAN, which the paper treats as free and
+  /// scalable; it still takes nonzero time to move bytes locally.
+  double lan_bandwidth_bytes_per_second = 1.25e9;  // ~10 Gbit/s
+
+  double WanSeconds(double bytes) const {
+    return rtt_seconds + bytes / bandwidth_bytes_per_second;
+  }
+  double LanSeconds(double bytes) const {
+    return bytes / lan_bandwidth_bytes_per_second;
+  }
+};
+
+/// Per-policy response-time results.
+struct ResponseTimeResult {
+  CostBreakdown totals;
+  /// Per-query response times in seconds.
+  StatAccumulator response;
+  QuantileSketch response_quantiles;
+};
+
+/// Replays pre-decomposed queries through a policy and models each
+/// query's response time under the federation's parallel evaluation
+/// (§1: "sub-queries are evaluated in parallel"):
+///
+///  * bypassed accesses run at their sites concurrently — each
+///    contributes rtt + result/bandwidth, and the query waits for the
+///    slowest;
+///  * a load blocks its access for rtt + object/bandwidth before the
+///    result moves over the LAN;
+///  * cache-served accesses move result bytes over the LAN only.
+///
+/// The query's response time is the maximum over its accesses. This is
+/// the paper's motivating "responsiveness" metric: altruistic caching
+/// must not merely save bytes, it must not slow queries down.
+ResponseTimeResult RunWithResponseTimes(
+    core::CachePolicy& policy,
+    const std::vector<std::vector<core::Access>>& queries,
+    const LinkModel& link);
+
+}  // namespace byc::sim
+
+#endif  // BYC_SIM_RESPONSE_TIME_H_

@@ -1,0 +1,90 @@
+#include "sim/simulator.h"
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace byc::sim {
+
+std::string CostBreakdown::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "bypass=%s fetch=%s total=%s served=%s "
+                "(hits=%llu bypasses=%llu loads=%llu evictions=%llu)",
+                FormatBytes(bypass_cost).c_str(),
+                FormatBytes(fetch_cost).c_str(),
+                FormatBytes(total_wan()).c_str(),
+                FormatBytes(served_cost).c_str(),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(bypasses),
+                static_cast<unsigned long long>(loads),
+                static_cast<unsigned long long>(evictions));
+  return buf;
+}
+
+std::vector<std::vector<core::Access>> Simulator::DecomposeTrace(
+    const workload::Trace& trace) const {
+  std::vector<std::vector<core::Access>> out;
+  out.reserve(trace.queries.size());
+  for (const workload::TraceQuery& tq : trace.queries) {
+    out.push_back(mediator_.Decompose(tq.query));
+  }
+  return out;
+}
+
+std::vector<core::Access> Simulator::Flatten(
+    const std::vector<std::vector<core::Access>>& queries) {
+  std::vector<core::Access> out;
+  size_t total = 0;
+  for (const auto& q : queries) total += q.size();
+  out.reserve(total);
+  for (const auto& q : queries) out.insert(out.end(), q.begin(), q.end());
+  return out;
+}
+
+SimResult Simulator::Run(
+    core::CachePolicy& policy,
+    const std::vector<std::vector<core::Access>>& queries) const {
+  SimResult result;
+  result.policy_name = std::string(policy.name());
+
+  uint32_t qidx = 0;
+  for (const auto& accesses : queries) {
+    for (const core::Access& access : accesses) {
+      core::Decision decision = policy.OnAccess(access);
+      ++result.totals.accesses;
+      result.totals.evictions += decision.evictions.size();
+      switch (decision.action) {
+        case core::Action::kServeFromCache:
+          BYC_CHECK(policy.Contains(access.object));
+          result.totals.served_cost += access.bypass_cost;
+          ++result.totals.hits;
+          break;
+        case core::Action::kBypass:
+          result.totals.bypass_cost += access.bypass_cost;
+          ++result.totals.bypasses;
+          break;
+        case core::Action::kLoadAndServe:
+          BYC_CHECK(policy.Contains(access.object));
+          result.totals.fetch_cost += access.fetch_cost;
+          result.totals.served_cost += access.bypass_cost;
+          ++result.totals.loads;
+          break;
+      }
+    }
+    ++qidx;
+    if (options_.sample_every != 0 &&
+        (qidx % options_.sample_every == 0 || qidx == queries.size())) {
+      result.series.push_back(TimePoint{qidx, result.totals.total_wan()});
+    }
+  }
+  return result;
+}
+
+SimResult Simulator::Run(core::CachePolicy& policy,
+                         const workload::Trace& trace) const {
+  return Run(policy, DecomposeTrace(trace));
+}
+
+}  // namespace byc::sim

@@ -1,0 +1,72 @@
+#ifndef BYC_SIM_SIMULATOR_H_
+#define BYC_SIM_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "federation/mediator.h"
+#include "sim/accounting.h"
+#include "workload/trace.h"
+
+namespace byc::sim {
+
+/// One sample of the cumulative-WAN-traffic curve (Figs. 7 and 8).
+struct TimePoint {
+  uint32_t query_index = 0;
+  double cumulative_wan = 0;
+};
+
+/// Result of replaying a trace through one policy.
+struct SimResult {
+  std::string policy_name;
+  CostBreakdown totals;
+  std::vector<TimePoint> series;
+};
+
+/// Replays query traces through a cache policy, doing the mediator-side
+/// decomposition and the WAN cost accounting. Consistency between the
+/// policy's reported decisions and its residency is cross-checked on
+/// every access.
+class Simulator {
+ public:
+  struct Options {
+    /// Sample the cumulative-cost series every N queries (0: no series).
+    uint32_t sample_every = 64;
+  };
+
+  Simulator(const federation::Federation* federation,
+            catalog::Granularity granularity)
+      : mediator_(federation, granularity), options_(Options{}) {}
+
+  Simulator(const federation::Federation* federation,
+            catalog::Granularity granularity, const Options& options)
+      : mediator_(federation, granularity), options_(options) {}
+
+  const federation::Mediator& mediator() const { return mediator_; }
+
+  /// Decomposes a trace into per-query access lists once; reuse the
+  /// result to replay the same trace through many policies.
+  std::vector<std::vector<core::Access>> DecomposeTrace(
+      const workload::Trace& trace) const;
+
+  /// Replays pre-decomposed accesses through `policy`.
+  SimResult Run(core::CachePolicy& policy,
+                const std::vector<std::vector<core::Access>>& queries) const;
+
+  /// Convenience: decompose + run.
+  SimResult Run(core::CachePolicy& policy,
+                const workload::Trace& trace) const;
+
+  /// Flattens per-query accesses (for offline static-set selection).
+  static std::vector<core::Access> Flatten(
+      const std::vector<std::vector<core::Access>>& queries);
+
+ private:
+  federation::Mediator mediator_;
+  Options options_;
+};
+
+}  // namespace byc::sim
+
+#endif  // BYC_SIM_SIMULATOR_H_

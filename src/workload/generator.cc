@@ -1,0 +1,470 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "query/yield.h"
+
+namespace byc::workload {
+
+GeneratorOptions MakeEdrOptions() {
+  GeneratorOptions options;
+  options.seed = 20050405;
+  options.num_queries = 27'663;
+  options.target_sequence_cost = 1216.94 * kGB;
+  return options;
+}
+
+GeneratorOptions MakeDr1Options() {
+  GeneratorOptions options;
+  options.seed = 20050406;
+  options.num_queries = 24'567;
+  options.target_sequence_cost = 1980.4 * kGB;
+  // DR1's published breakdown shows much higher bypass costs: a more
+  // dispersed workload with a heavier cold tail and stronger drift.
+  options.p_range = 0.49;
+  options.p_spatial = 0.09;
+  options.p_identity = 0.14;
+  options.p_aggregate = 0.11;
+  options.p_join = 0.12;  // remainder (5%) is cold-tail
+  options.phase_churn = 0.55;
+  options.num_phases = 10;
+  options.template_zipf_theta = 0.9;
+  return options;
+}
+
+namespace {
+
+constexpr int kNumClasses = 5;  // range, spatial, identity, aggregate, join
+
+int ClassOf(QueryClass klass) { return static_cast<int>(klass); }
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(const catalog::Catalog* catalog,
+                               const GeneratorOptions& options)
+    : catalog_(catalog), options_(options) {
+  photo_obj_ = catalog_->FindTable("PhotoObj").value();
+  spec_obj_ = catalog_->FindTable("SpecObj").value();
+  for (const char* name : {"PhotoZ", "Field", "Frame", "PlateX"}) {
+    Result<int> idx = catalog_->FindTable(name);
+    if (idx.ok()) warm_tables_.push_back(*idx);
+  }
+  for (const char* name : {"Neighbors", "PhotoProfile", "First", "Rosat",
+                           "USNO", "Mask", "Tiles"}) {
+    Result<int> idx = catalog_->FindTable(name);
+    if (idx.ok()) cold_tables_.push_back(*idx);
+  }
+  BYC_CHECK(!warm_tables_.empty());
+  BYC_CHECK(!cold_tables_.empty());
+
+  // Seed-shuffled column order per table; the hot pool is its prefix, so
+  // every trace concentrates on a small, stable slice of the schema.
+  Rng rng(options_.seed ^ 0xC01DFACEULL);
+  column_order_.resize(static_cast<size_t>(catalog_->num_tables()));
+  for (int t = 0; t < catalog_->num_tables(); ++t) {
+    auto& order = column_order_[static_cast<size_t>(t)];
+    order.resize(static_cast<size_t>(catalog_->table(t).num_columns()));
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    // Keep column 0 (the key) at the front; shuffle the rest.
+    std::vector<int> tail(order.begin() + 1, order.end());
+    rng.Shuffle(tail);
+    std::copy(tail.begin(), tail.end(), order.begin() + 1);
+  }
+}
+
+std::vector<int> TraceGenerator::PickHotColumns(Rng& rng, int table,
+                                                int count) {
+  const auto& order = column_order_[static_cast<size_t>(table)];
+  int pool = std::min<int>(options_.hot_columns_per_table,
+                           static_cast<int>(order.size()));
+  count = std::min(count, static_cast<int>(order.size()));
+  BYC_CHECK_GE(count, 1);
+  if (count >= pool) {
+    // Survey-wide selection: the whole hot pool plus the next columns of
+    // the (stable) shuffled order.
+    return std::vector<int>(order.begin(), order.begin() + count);
+  }
+  // The key column always participates (astronomy queries carry objID),
+  // then Zipf-weighted picks from the hot pool favor its head.
+  std::vector<int> picked = {order[0]};
+  ZipfSampler zipf(static_cast<size_t>(pool), 0.8);
+  while (static_cast<int>(picked.size()) < count) {
+    int col = order[zipf.Sample(rng)];
+    if (std::find(picked.begin(), picked.end(), col) == picked.end()) {
+      picked.push_back(col);
+    }
+  }
+  return picked;
+}
+
+TraceGenerator::Template TraceGenerator::MakeRangeTemplate(Rng& rng) {
+  Template tmpl;
+  tmpl.klass = QueryClass::kRange;
+  // Mostly the hot photometric table, sometimes spectra or a warm table.
+  int table;
+  double r = rng.NextDouble();
+  if (r < 0.70) {
+    table = photo_obj_;
+  } else if (r < 0.85) {
+    table = spec_obj_;
+  } else {
+    table = warm_tables_[rng.NextUint64(warm_tables_.size())];
+  }
+  query::ResolvedQuery& q = tmpl.skeleton;
+  q.tables = {table};
+  // Some range templates are survey-wide scans selecting the whole
+  // row (the bulk "SELECT p.*"-style exports common in archive traces);
+  // the rest project a subset of the hot pool.
+  int width = rng.NextBool(0.35)
+                  ? catalog_->table(table).num_columns()
+                  : static_cast<int>(rng.NextInt64(14, 52));
+  for (int col : PickHotColumns(rng, table, width)) {
+    q.select.push_back({{0, col}, query::Aggregate::kNone});
+  }
+  int num_filters = static_cast<int>(rng.NextInt64(1, 2));
+  double base_sel = std::clamp(rng.NextLogNormal(std::log(0.65), 0.5), 0.02,
+                               1.0);
+  std::vector<int> fcols =
+      PickHotColumns(rng, table, num_filters + 1);  // [0] is the key
+  for (int i = 0; i < num_filters; ++i) {
+    query::ResolvedFilter f;
+    f.column = {0, fcols[static_cast<size_t>(i + 1)]};
+    f.op = rng.NextBool(0.5) ? query::CmpOp::kGt : query::CmpOp::kLt;
+    f.value = rng.NextDouble(0, 30);
+    f.selectivity = std::pow(base_sel, 1.0 / num_filters);
+    q.filters.push_back(f);
+  }
+  return tmpl;
+}
+
+TraceGenerator::Template TraceGenerator::MakeSpatialTemplate(Rng& rng) {
+  Template tmpl;
+  tmpl.klass = QueryClass::kSpatial;
+  Result<int> neighbors = catalog_->FindTable("Neighbors");
+  int partner = neighbors.ok() ? *neighbors : cold_tables_[0];
+  query::ResolvedQuery& q = tmpl.skeleton;
+  q.tables = {photo_obj_, partner};
+  for (int col : PickHotColumns(rng, photo_obj_,
+                                static_cast<int>(rng.NextInt64(8, 20)))) {
+    q.select.push_back({{0, col}, query::Aggregate::kNone});
+  }
+  const catalog::Table& pt = catalog_->table(partner);
+  for (int c = 0; c < std::min(3, pt.num_columns()); ++c) {
+    q.select.push_back({{1, c}, query::Aggregate::kNone});
+  }
+  // Equi-join on the shared object identifier.
+  q.joins.push_back({{0, 0}, {1, 0}});
+  // Radius cut on the partner plus a photometric cut.
+  query::ResolvedFilter radius;
+  radius.column = {1, std::min(2, pt.num_columns() - 1)};
+  radius.op = query::CmpOp::kLt;
+  radius.value = rng.NextDouble(0.5, 5.0);
+  radius.selectivity = std::clamp(rng.NextLogNormal(std::log(0.3), 0.4),
+                                  0.01, 0.9);
+  q.filters.push_back(radius);
+  query::ResolvedFilter photo;
+  photo.column = {0, PickHotColumns(rng, photo_obj_, 2)[1]};
+  photo.op = query::CmpOp::kGt;
+  photo.value = rng.NextDouble(14, 24);
+  photo.selectivity = std::clamp(rng.NextLogNormal(std::log(0.6), 0.3),
+                                 0.05, 0.98);
+  q.filters.push_back(photo);
+  return tmpl;
+}
+
+TraceGenerator::Template TraceGenerator::MakeIdentityTemplate(Rng& rng) {
+  Template tmpl;
+  tmpl.klass = QueryClass::kIdentity;
+  int table = rng.NextBool(0.75) ? photo_obj_ : spec_obj_;
+  query::ResolvedQuery& q = tmpl.skeleton;
+  q.tables = {table};
+  for (int col : PickHotColumns(rng, table,
+                                static_cast<int>(rng.NextInt64(6, 14)))) {
+    q.select.push_back({{0, col}, query::Aggregate::kNone});
+  }
+  query::ResolvedFilter f;
+  f.column = {0, 0};  // the key column
+  f.op = query::CmpOp::kEq;
+  f.value = 0;  // instantiation draws the identifier
+  f.selectivity =
+      1.0 / static_cast<double>(catalog_->table(table).row_count());
+  q.filters.push_back(f);
+  return tmpl;
+}
+
+TraceGenerator::Template TraceGenerator::MakeAggregateTemplate(Rng& rng) {
+  Template tmpl;
+  tmpl.klass = QueryClass::kAggregate;
+  int table;
+  double r = rng.NextDouble();
+  if (r < 0.55) {
+    table = photo_obj_;
+  } else if (r < 0.8) {
+    table = spec_obj_;
+  } else {
+    table = warm_tables_[rng.NextUint64(warm_tables_.size())];
+  }
+  query::ResolvedQuery& q = tmpl.skeleton;
+  q.tables = {table};
+  std::vector<int> cols =
+      PickHotColumns(rng, table, static_cast<int>(rng.NextInt64(2, 4)));
+  q.select.push_back({{0, cols[0]}, query::Aggregate::kCount});
+  static constexpr query::Aggregate kAggs[] = {query::Aggregate::kAvg,
+                                               query::Aggregate::kMin,
+                                               query::Aggregate::kMax,
+                                               query::Aggregate::kSum};
+  for (size_t i = 1; i < cols.size(); ++i) {
+    q.select.push_back({{0, cols[i]}, kAggs[rng.NextUint64(4)]});
+  }
+  query::ResolvedFilter f;
+  f.column = {0, PickHotColumns(rng, table, 2)[1]};
+  f.op = query::CmpOp::kGt;
+  f.value = rng.NextDouble(0, 30);
+  f.selectivity = std::clamp(rng.NextLogNormal(std::log(0.4), 0.5), 0.02,
+                             0.95);
+  q.filters.push_back(f);
+  return tmpl;
+}
+
+TraceGenerator::Template TraceGenerator::MakeJoinTemplate(Rng& rng) {
+  Template tmpl;
+  tmpl.klass = QueryClass::kJoin;
+  // The paper's running example: SpecObj joined to PhotoObj on objID with
+  // spectroscopic and photometric cuts.
+  query::ResolvedQuery& q = tmpl.skeleton;
+  int partner = rng.NextBool(0.8)
+                    ? spec_obj_
+                    : warm_tables_[rng.NextUint64(warm_tables_.size())];
+  q.tables = {photo_obj_, partner};
+  for (int col : PickHotColumns(rng, photo_obj_,
+                                static_cast<int>(rng.NextInt64(10, 32)))) {
+    q.select.push_back({{0, col}, query::Aggregate::kNone});
+  }
+  for (int col : PickHotColumns(rng, partner,
+                                static_cast<int>(rng.NextInt64(6, 14)))) {
+    q.select.push_back({{1, col}, query::Aggregate::kNone});
+  }
+  q.joins.push_back({{0, 0}, {1, 0}});
+  int partner_filters = static_cast<int>(rng.NextInt64(1, 2));
+  std::vector<int> pf = PickHotColumns(rng, partner, partner_filters + 1);
+  double base_sel = std::clamp(rng.NextLogNormal(std::log(0.55), 0.4), 0.05,
+                               0.95);
+  for (int i = 0; i < partner_filters; ++i) {
+    query::ResolvedFilter f;
+    f.column = {1, pf[static_cast<size_t>(i + 1)]};
+    f.op = rng.NextBool(0.5) ? query::CmpOp::kGt : query::CmpOp::kLt;
+    f.value = rng.NextDouble(0, 30);
+    f.selectivity = std::pow(base_sel, 1.0 / partner_filters);
+    q.filters.push_back(f);
+  }
+  query::ResolvedFilter photo;
+  photo.column = {0, PickHotColumns(rng, photo_obj_, 2)[1]};
+  photo.op = query::CmpOp::kGt;
+  photo.value = rng.NextDouble(14, 24);
+  photo.selectivity = std::clamp(rng.NextLogNormal(std::log(0.7), 0.3), 0.1,
+                                 0.98);
+  q.filters.push_back(photo);
+  return tmpl;
+}
+
+TraceGenerator::Template TraceGenerator::MakeColdTemplate(Rng& rng) {
+  Template tmpl;
+  tmpl.klass = QueryClass::kRange;  // cold scans are range-shaped
+  int table = cold_tables_[rng.NextUint64(cold_tables_.size())];
+  const catalog::Table& t = catalog_->table(table);
+  query::ResolvedQuery& q = tmpl.skeleton;
+  q.tables = {table};
+  int width = std::min<int>(t.num_columns(),
+                            static_cast<int>(rng.NextInt64(4, 8)));
+  for (int c = 0; c < width; ++c) {
+    q.select.push_back({{0, c}, query::Aggregate::kNone});
+  }
+  query::ResolvedFilter f;
+  f.column = {0, std::min(1, t.num_columns() - 1)};
+  f.op = query::CmpOp::kGt;
+  f.value = rng.NextDouble(0, 10);
+  f.selectivity = std::clamp(rng.NextLogNormal(std::log(0.45), 0.5), 0.05,
+                             1.0);
+  q.filters.push_back(f);
+  return tmpl;
+}
+
+void TraceGenerator::BuildTemplates() {
+  Rng rng(options_.seed ^ 0x7E3A17E5ULL);
+  class_index_.assign(kNumClasses, {});
+  auto add = [&](Template tmpl) {
+    class_index_[ClassOf(tmpl.klass)].push_back(
+        static_cast<int>(hot_templates_.size()));
+    hot_templates_.push_back(std::move(tmpl));
+  };
+  for (int i = 0; i < options_.templates_per_class; ++i) {
+    add(MakeRangeTemplate(rng));
+    add(MakeSpatialTemplate(rng));
+    add(MakeIdentityTemplate(rng));
+    add(MakeAggregateTemplate(rng));
+    add(MakeJoinTemplate(rng));
+  }
+  // A wider, flatter pool of cold templates: no template reuse to speak
+  // of, matching the uncachable tail of the real traces.
+  int num_cold = 3 * options_.templates_per_class;
+  for (int i = 0; i < num_cold; ++i) {
+    cold_templates_.push_back(MakeColdTemplate(rng));
+  }
+
+  // Phase popularity: each phase reshuffles a churn fraction of every
+  // class's template ranking, shifting which schemas are hot.
+  phase_class_rank_.resize(static_cast<size_t>(options_.num_phases));
+  for (int p = 0; p < options_.num_phases; ++p) {
+    auto& ranks = phase_class_rank_[static_cast<size_t>(p)];
+    if (p == 0) {
+      ranks.assign(class_index_.begin(), class_index_.end());
+      continue;
+    }
+    ranks = phase_class_rank_[static_cast<size_t>(p - 1)];
+    for (auto& order : ranks) {
+      size_t churn =
+          static_cast<size_t>(std::ceil(options_.phase_churn *
+                                        static_cast<double>(order.size())));
+      // Permute `churn` randomly chosen positions among themselves.
+      std::vector<size_t> positions(order.size());
+      for (size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+      rng.Shuffle(positions);
+      positions.resize(std::min(churn, positions.size()));
+      std::vector<int> values;
+      values.reserve(positions.size());
+      for (size_t pos : positions) values.push_back(order[pos]);
+      rng.Shuffle(values);
+      for (size_t i = 0; i < positions.size(); ++i) {
+        order[positions[i]] = values[i];
+      }
+    }
+  }
+}
+
+TraceQuery TraceGenerator::Instantiate(const Template& tmpl, Rng& rng) {
+  TraceQuery tq;
+  tq.klass = tmpl.klass;
+  tq.query = tmpl.skeleton;
+
+  double combined_sel = 1.0;
+  for (query::ResolvedFilter& f : tq.query.filters) {
+    bool identity_key =
+        f.op == query::CmpOp::kEq && f.column.column == 0;
+    if (identity_key) {
+      // Fresh identifier: same schema, different data.
+      int table = tq.query.tables[static_cast<size_t>(f.column.table_slot)];
+      uint64_t rows = catalog_->table(table).row_count();
+      int64_t id = rng.NextInt64(0, static_cast<int64_t>(rows) - 1);
+      f.value = static_cast<double>(id);
+      tq.cells.push_back(id);
+      continue;
+    }
+    f.value += rng.NextGaussian() * 0.5;  // nudge the literal
+    double jitter = rng.NextLogNormal(0.0, options_.selectivity_sigma);
+    f.selectivity = std::clamp(f.selectivity * jitter, 1e-7, 1.0);
+    combined_sel *= f.selectivity;
+  }
+
+  // Region footprint for the containment analysis: a contiguous run of
+  // sky cells anchored uniformly, spanning wider for less selective
+  // queries.
+  if (tmpl.klass == QueryClass::kRange ||
+      tmpl.klass == QueryClass::kSpatial) {
+    int64_t span = std::clamp<int64_t>(
+        static_cast<int64_t>(std::sqrt(combined_sel) * 64.0), 1, 64);
+    int64_t anchor = rng.NextInt64(0, options_.num_sky_cells - span);
+    for (int64_t c = 0; c < span; ++c) tq.cells.push_back(anchor + c);
+  }
+  return tq;
+}
+
+Trace TraceGenerator::Generate() {
+  if (hot_templates_.empty()) BuildTemplates();
+
+  Rng rng(options_.seed);
+  Trace trace;
+  trace.name = catalog_->name();
+  trace.queries.reserve(options_.num_queries);
+
+  double p_hot = options_.p_range + options_.p_spatial +
+                 options_.p_identity + options_.p_aggregate + options_.p_join;
+  BYC_CHECK_LE(p_hot, 1.0 + 1e-9);
+  ZipfSampler template_zipf(
+      static_cast<size_t>(options_.templates_per_class),
+      options_.template_zipf_theta);
+
+  for (size_t i = 0; i < options_.num_queries; ++i) {
+    size_t phase =
+        i * static_cast<size_t>(options_.num_phases) / options_.num_queries;
+    phase = std::min(phase, phase_class_rank_.size() - 1);
+
+    double r = rng.NextDouble();
+    const Template* tmpl;
+    if (r >= p_hot) {
+      tmpl = &cold_templates_[rng.NextUint64(cold_templates_.size())];
+    } else {
+      int klass;
+      if (r < options_.p_range) {
+        klass = ClassOf(QueryClass::kRange);
+      } else if (r < options_.p_range + options_.p_spatial) {
+        klass = ClassOf(QueryClass::kSpatial);
+      } else if (r < options_.p_range + options_.p_spatial +
+                         options_.p_identity) {
+        klass = ClassOf(QueryClass::kIdentity);
+      } else if (r < p_hot - options_.p_join) {
+        klass = ClassOf(QueryClass::kAggregate);
+      } else {
+        klass = ClassOf(QueryClass::kJoin);
+      }
+      const auto& order = phase_class_rank_[phase][static_cast<size_t>(klass)];
+      size_t rank = std::min(template_zipf.Sample(rng), order.size() - 1);
+      tmpl = &hot_templates_[static_cast<size_t>(order[rank])];
+    }
+    trace.queries.push_back(Instantiate(*tmpl, rng));
+  }
+
+  if (options_.target_sequence_cost > 0) Calibrate(trace);
+  return trace;
+}
+
+double TraceGenerator::SequenceCost(const Trace& trace) const {
+  query::YieldEstimator estimator(catalog_);
+  double total = 0;
+  for (const TraceQuery& tq : trace.queries) {
+    total += estimator.EstimateResultRows(tq.query) *
+             estimator.OutputRowWidth(tq.query);
+  }
+  return total;
+}
+
+void TraceGenerator::Calibrate(Trace& trace) {
+  // Rescale non-identity filter selectivities so the sequence cost lands
+  // on the published target. Each query's yield is ~linear in a uniform
+  // rescaling of its filters' product, so a few multiplicative iterations
+  // converge; clamping at 1 (full scans) makes late iterations lean on
+  // the remaining headroom.
+  for (int iter = 0; iter < 6; ++iter) {
+    double actual = SequenceCost(trace);
+    double alpha = options_.target_sequence_cost / actual;
+    if (std::abs(alpha - 1.0) < 0.01) return;
+    for (TraceQuery& tq : trace.queries) {
+      int scalable = 0;
+      for (const query::ResolvedFilter& f : tq.query.filters) {
+        if (!(f.op == query::CmpOp::kEq && f.column.column == 0)) {
+          ++scalable;
+        }
+      }
+      if (scalable == 0) continue;
+      double per_filter = std::pow(alpha, 1.0 / scalable);
+      for (query::ResolvedFilter& f : tq.query.filters) {
+        if (f.op == query::CmpOp::kEq && f.column.column == 0) continue;
+        f.selectivity = std::clamp(f.selectivity * per_filter, 1e-7, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace byc::workload

@@ -1,0 +1,127 @@
+#ifndef BYC_WORKLOAD_GENERATOR_H_
+#define BYC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "workload/trace.h"
+
+namespace byc::workload {
+
+/// Knobs of the synthetic SDSS-like trace generator. Defaults follow the
+/// EDR trace's published aggregates; see MakeEdrOptions()/MakeDr1Options()
+/// for the two calibrated presets used by the benches.
+struct GeneratorOptions {
+  uint64_t seed = 20050405;
+  /// Number of SQL requests in the trace (EDR: 27,663; DR1: 24,567).
+  size_t num_queries = 27'663;
+  /// Target sequence cost (sum of all query-result sizes) in bytes; the
+  /// generator calibrates filter selectivities to land within ~1% of this
+  /// (0 disables calibration). EDR: 1216.94 GB, DR1: 1980.4 GB.
+  double target_sequence_cost = 0;
+
+  /// Query-class mix. Must sum to <= 1; the remainder becomes cold-tail
+  /// queries against the large rarely-used tables (PhotoProfile,
+  /// Neighbors, cross-match tables) — the accesses an altruistic cache
+  /// must bypass and an in-line cache fatally loads.
+  double p_range = 0.52;
+  double p_spatial = 0.07;
+  double p_identity = 0.13;
+  double p_aggregate = 0.10;
+  double p_join = 0.13;
+
+  /// Schema locality: number of templates per hot query class and the
+  /// Zipf skew with which queries reuse them. Templates fix the column
+  /// sets ("schema reuse: conducting queries with similar schema against
+  /// different data", §1.1); instantiation varies literals and region.
+  int templates_per_class = 12;
+  double template_zipf_theta = 1.1;
+
+  /// Hot-column pool per table: templates draw their columns from the
+  /// first `hot_columns_per_table` of a seed-shuffled column order, which
+  /// concentrates accesses on a small fraction of the schema (Fig. 5/6).
+  int hot_columns_per_table = 32;
+
+  /// Workload drift: the trace is divided into `num_phases` epochs; at
+  /// each phase boundary a `phase_churn` fraction of template popularity
+  /// ranks reshuffle, creating the bursts/episodes the Rate-Profile
+  /// algorithm's episode machinery targets.
+  int num_phases = 8;
+  double phase_churn = 0.35;
+
+  /// Lognormal sigma for per-query selectivity jitter around a template's
+  /// base selectivity.
+  double selectivity_sigma = 0.30;
+
+  /// Sky-cell universe for the containment analysis (Fig. 4): region
+  /// queries cover short runs of cells anchored uniformly at random, so
+  /// object-identifier reuse across queries is rare.
+  int64_t num_sky_cells = 262'144;
+};
+
+/// EDR-shaped preset: 27,663 queries, 1216.94 GB sequence cost.
+GeneratorOptions MakeEdrOptions();
+
+/// DR1-shaped preset: 24,567 queries, 1980.4 GB sequence cost, a more
+/// dispersed workload (heavier cold tail, stronger drift) matching the
+/// paper's higher DR1 bypass costs.
+GeneratorOptions MakeDr1Options();
+
+/// Synthesizes SDSS-like query traces against a catalog. Deterministic
+/// given (catalog, options): the same seed always produces the same
+/// trace.
+class TraceGenerator {
+ public:
+  TraceGenerator(const catalog::Catalog* catalog,
+                 const GeneratorOptions& options);
+
+  /// Generates and (if a target is set) calibrates the trace.
+  Trace Generate();
+
+  /// Sum of all query yields in bytes (the sequence cost) under the
+  /// library's yield estimator; exposed for tests and calibration checks.
+  double SequenceCost(const Trace& trace) const;
+
+ private:
+  struct Template {
+    QueryClass klass = QueryClass::kRange;
+    query::ResolvedQuery skeleton;
+  };
+
+  void BuildTemplates();
+  Template MakeRangeTemplate(Rng& rng);
+  Template MakeSpatialTemplate(Rng& rng);
+  Template MakeIdentityTemplate(Rng& rng);
+  Template MakeAggregateTemplate(Rng& rng);
+  Template MakeJoinTemplate(Rng& rng);
+  Template MakeColdTemplate(Rng& rng);
+
+  /// Picks 'count' distinct columns of `table` from its hot pool.
+  std::vector<int> PickHotColumns(Rng& rng, int table, int count);
+
+  TraceQuery Instantiate(const Template& tmpl, Rng& rng);
+  void Calibrate(Trace& trace);
+
+  const catalog::Catalog* catalog_;
+  GeneratorOptions options_;
+  int photo_obj_;
+  int spec_obj_;
+  std::vector<int> warm_tables_;
+  std::vector<int> cold_tables_;
+  /// Per-table seed-shuffled column order; the hot pool is its prefix.
+  std::vector<std::vector<int>> column_order_;
+  std::vector<Template> hot_templates_;
+  std::vector<Template> cold_templates_;
+  /// Hot-template indices grouped by query class (range, spatial,
+  /// identity, aggregate, join).
+  std::vector<std::vector<int>> class_index_;
+  /// phase_class_rank_[phase][class]: popularity-ordered permutation of
+  /// class_index_[class] for that phase.
+  std::vector<std::vector<std::vector<int>>> phase_class_rank_;
+};
+
+}  // namespace byc::workload
+
+#endif  // BYC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,306 @@
+#include "workload/trace.h"
+
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace byc::workload {
+
+// Trace text format, one query per line:
+//
+//   <class>|<tables>|<select>|<filters>|<joins>|<cells>
+//
+//   class   : R S I A J
+//   tables  : comma-separated catalog table indices (FROM slots in order)
+//   select  : comma-separated slot:column:aggcode  (aggcode 0 = none,
+//             1..5 = count/sum/avg/min/max)
+//   filters : comma-separated slot:column:opcode:value:selectivity
+//             (opcode 0..5 = = != < <= > >=; value/selectivity use %.17g)
+//   joins   : comma-separated lslot:lcol:rslot:rcol
+//   cells   : comma-separated int64 cell / object identifiers
+//
+// Empty sections stay empty between the pipes. Lines starting with '#'
+// and blank lines are ignored on read; the header line "trace <name>"
+// carries the trace name.
+
+std::string_view QueryClassName(QueryClass klass) {
+  switch (klass) {
+    case QueryClass::kRange:
+      return "range";
+    case QueryClass::kSpatial:
+      return "spatial";
+    case QueryClass::kIdentity:
+      return "identity";
+    case QueryClass::kAggregate:
+      return "aggregate";
+    case QueryClass::kJoin:
+      return "join";
+  }
+  return "?";
+}
+
+namespace {
+
+char ClassCode(QueryClass klass) {
+  switch (klass) {
+    case QueryClass::kRange:
+      return 'R';
+    case QueryClass::kSpatial:
+      return 'S';
+    case QueryClass::kIdentity:
+      return 'I';
+    case QueryClass::kAggregate:
+      return 'A';
+    case QueryClass::kJoin:
+      return 'J';
+  }
+  return '?';
+}
+
+Result<QueryClass> ClassFromCode(char c) {
+  switch (c) {
+    case 'R':
+      return QueryClass::kRange;
+    case 'S':
+      return QueryClass::kSpatial;
+    case 'I':
+      return QueryClass::kIdentity;
+    case 'A':
+      return QueryClass::kAggregate;
+    case 'J':
+      return QueryClass::kJoin;
+    default:
+      return Status::ParseError(std::string("unknown query class code '") +
+                                c + "'");
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+std::vector<std::string_view> SplitView(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+template <typename T>
+Result<T> ParseNumber(std::string_view s) {
+  T value{};
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::ParseError("bad number '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+// std::from_chars for double is available in libstdc++ 11+; keep a
+// fallback via strtod for robustness.
+Result<double> ParseDouble(std::string_view s) {
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) {
+    return Status::ParseError("bad double '" + buf + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status WriteTrace(const Trace& trace, std::ostream& out) {
+  out << "trace " << trace.name << '\n';
+  std::string line;
+  for (const TraceQuery& tq : trace.queries) {
+    line.clear();
+    line += ClassCode(tq.klass);
+    line += '|';
+    const query::ResolvedQuery& q = tq.query;
+    for (size_t i = 0; i < q.tables.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(q.tables[i]);
+    }
+    line += '|';
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      if (i > 0) line += ',';
+      const auto& s = q.select[i];
+      line += std::to_string(s.column.table_slot);
+      line += ':';
+      line += std::to_string(s.column.column);
+      line += ':';
+      line += std::to_string(static_cast<int>(s.aggregate));
+    }
+    line += '|';
+    for (size_t i = 0; i < q.filters.size(); ++i) {
+      if (i > 0) line += ',';
+      const auto& f = q.filters[i];
+      line += std::to_string(f.column.table_slot);
+      line += ':';
+      line += std::to_string(f.column.column);
+      line += ':';
+      line += std::to_string(static_cast<int>(f.op));
+      line += ':';
+      AppendDouble(line, f.value);
+      line += ':';
+      AppendDouble(line, f.selectivity);
+    }
+    line += '|';
+    for (size_t i = 0; i < q.joins.size(); ++i) {
+      if (i > 0) line += ',';
+      const auto& j = q.joins[i];
+      line += std::to_string(j.left.table_slot);
+      line += ':';
+      line += std::to_string(j.left.column);
+      line += ':';
+      line += std::to_string(j.right.table_slot);
+      line += ':';
+      line += std::to_string(j.right.column);
+    }
+    line += '|';
+    for (size_t i = 0; i < tq.cells.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(tq.cells[i]);
+    }
+    out << line << '\n';
+  }
+  if (!out) return Status::IoError("trace write failed");
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateColumn(const catalog::Catalog& catalog,
+                      const query::ResolvedQuery& q,
+                      const query::ResolvedColumn& col) {
+  if (col.table_slot < 0 ||
+      static_cast<size_t>(col.table_slot) >= q.tables.size()) {
+    return Status::ParseError("table slot out of range");
+  }
+  const catalog::Table& t =
+      catalog.table(q.tables[static_cast<size_t>(col.table_slot)]);
+  if (col.column < 0 || col.column >= t.num_columns()) {
+    return Status::ParseError("column index out of range");
+  }
+  return Status::OK();
+}
+
+Result<TraceQuery> ParseTraceLine(const catalog::Catalog& catalog,
+                                  std::string_view line) {
+  std::vector<std::string_view> sections = SplitView(line, '|');
+  if (sections.size() != 6) {
+    return Status::ParseError("expected 6 '|'-separated sections");
+  }
+  if (sections[0].size() != 1) {
+    return Status::ParseError("bad class section");
+  }
+  TraceQuery tq;
+  BYC_ASSIGN_OR_RETURN(tq.klass, ClassFromCode(sections[0][0]));
+
+  query::ResolvedQuery& q = tq.query;
+  if (!sections[1].empty()) {
+    for (std::string_view part : SplitView(sections[1], ',')) {
+      BYC_ASSIGN_OR_RETURN(int table, ParseNumber<int>(part));
+      if (table < 0 || table >= catalog.num_tables()) {
+        return Status::ParseError("table index out of range");
+      }
+      q.tables.push_back(table);
+    }
+  }
+  if (!sections[2].empty()) {
+    for (std::string_view part : SplitView(sections[2], ',')) {
+      auto fields = SplitView(part, ':');
+      if (fields.size() != 3) return Status::ParseError("bad select item");
+      query::ResolvedSelectItem item;
+      BYC_ASSIGN_OR_RETURN(item.column.table_slot,
+                           ParseNumber<int>(fields[0]));
+      BYC_ASSIGN_OR_RETURN(item.column.column, ParseNumber<int>(fields[1]));
+      BYC_ASSIGN_OR_RETURN(int agg, ParseNumber<int>(fields[2]));
+      if (agg < 0 || agg > 5) return Status::ParseError("bad aggregate code");
+      item.aggregate = static_cast<query::Aggregate>(agg);
+      BYC_RETURN_IF_ERROR(ValidateColumn(catalog, q, item.column));
+      q.select.push_back(item);
+    }
+  }
+  if (!sections[3].empty()) {
+    for (std::string_view part : SplitView(sections[3], ',')) {
+      auto fields = SplitView(part, ':');
+      if (fields.size() != 5) return Status::ParseError("bad filter");
+      query::ResolvedFilter f;
+      BYC_ASSIGN_OR_RETURN(f.column.table_slot, ParseNumber<int>(fields[0]));
+      BYC_ASSIGN_OR_RETURN(f.column.column, ParseNumber<int>(fields[1]));
+      BYC_ASSIGN_OR_RETURN(int op, ParseNumber<int>(fields[2]));
+      if (op < 0 || op > 5) return Status::ParseError("bad op code");
+      f.op = static_cast<query::CmpOp>(op);
+      BYC_ASSIGN_OR_RETURN(f.value, ParseDouble(fields[3]));
+      BYC_ASSIGN_OR_RETURN(f.selectivity, ParseDouble(fields[4]));
+      if (!(f.selectivity > 0) || f.selectivity > 1 ||
+          !std::isfinite(f.selectivity)) {
+        return Status::ParseError("selectivity out of (0,1]");
+      }
+      BYC_RETURN_IF_ERROR(ValidateColumn(catalog, q, f.column));
+      q.filters.push_back(f);
+    }
+  }
+  if (!sections[4].empty()) {
+    for (std::string_view part : SplitView(sections[4], ',')) {
+      auto fields = SplitView(part, ':');
+      if (fields.size() != 4) return Status::ParseError("bad join");
+      query::ResolvedJoin j;
+      BYC_ASSIGN_OR_RETURN(j.left.table_slot, ParseNumber<int>(fields[0]));
+      BYC_ASSIGN_OR_RETURN(j.left.column, ParseNumber<int>(fields[1]));
+      BYC_ASSIGN_OR_RETURN(j.right.table_slot, ParseNumber<int>(fields[2]));
+      BYC_ASSIGN_OR_RETURN(j.right.column, ParseNumber<int>(fields[3]));
+      BYC_RETURN_IF_ERROR(ValidateColumn(catalog, q, j.left));
+      BYC_RETURN_IF_ERROR(ValidateColumn(catalog, q, j.right));
+      q.joins.push_back(j);
+    }
+  }
+  if (!sections[5].empty()) {
+    for (std::string_view part : SplitView(sections[5], ',')) {
+      BYC_ASSIGN_OR_RETURN(int64_t cell, ParseNumber<int64_t>(part));
+      tq.cells.push_back(cell);
+    }
+  }
+  if (q.tables.empty() || q.select.empty()) {
+    return Status::ParseError("query needs tables and a select list");
+  }
+  return tq;
+}
+
+}  // namespace
+
+Result<Trace> ReadTrace(const catalog::Catalog& catalog, std::istream& in) {
+  Trace trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("trace ", 0) == 0) {
+      trace.name = line.substr(6);
+      continue;
+    }
+    Result<TraceQuery> tq = ParseTraceLine(catalog, line);
+    if (!tq.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                tq.status().message());
+    }
+    trace.queries.push_back(std::move(tq).value());
+  }
+  return trace;
+}
+
+}  // namespace byc::workload

@@ -1,0 +1,55 @@
+#ifndef BYC_WORKLOAD_TRACE_H_
+#define BYC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "query/resolved.h"
+
+namespace byc::workload {
+
+/// Query classes present in the SDSS traces (§6: "The SDSS traces include
+/// variety of access patterns, such as range queries, spatial searches,
+/// identity queries, and aggregate queries"); joins are the multi-table
+/// queries the paper's running example shows.
+enum class QueryClass : uint8_t {
+  kRange,
+  kSpatial,
+  kIdentity,
+  kAggregate,
+  kJoin,
+};
+
+std::string_view QueryClassName(QueryClass klass);
+
+/// One trace entry: the schema-bound query plus the celestial-object
+/// footprint used by the containment analysis (Fig. 4) — the sky cells a
+/// region query covers, or the object identifiers an identity query
+/// names.
+struct TraceQuery {
+  query::ResolvedQuery query;
+  QueryClass klass = QueryClass::kRange;
+  std::vector<int64_t> cells;
+};
+
+/// A replayable query trace against one catalog.
+struct Trace {
+  std::string name;
+  std::vector<TraceQuery> queries;
+};
+
+/// Serializes a trace to a line-oriented text format (one query per line)
+/// that round-trips exactly. The format is documented in trace.cc.
+Status WriteTrace(const Trace& trace, std::ostream& out);
+
+/// Parses a trace written by WriteTrace and validates all indices against
+/// the catalog.
+Result<Trace> ReadTrace(const catalog::Catalog& catalog, std::istream& in);
+
+}  // namespace byc::workload
+
+#endif  // BYC_WORKLOAD_TRACE_H_

@@ -1,0 +1,120 @@
+#include "workload/trace_stats.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "query/yield.h"
+
+namespace byc::workload {
+
+ContainmentStats AnalyzeContainment(const Trace& trace, size_t window) {
+  ContainmentStats stats;
+  stats.window = window;
+
+  std::deque<const TraceQuery*> recent;
+  std::unordered_map<int64_t, uint32_t> cell_refcount;  // cells in window
+  std::set<int64_t> universe;
+
+  uint32_t ordinal = 0;
+  double overlap_sum = 0;
+  for (const TraceQuery& tq : trace.queries) {
+    if (tq.klass != QueryClass::kRange && tq.klass != QueryClass::kSpatial) {
+      continue;
+    }
+    if (tq.cells.empty()) continue;
+
+    uint32_t reused = 0;
+    for (int64_t cell : tq.cells) {
+      universe.insert(cell);
+      if (cell_refcount.count(cell) != 0) ++reused;
+    }
+    if (ordinal > 0) {
+      ++stats.num_queries;
+      double overlap =
+          static_cast<double>(reused) / static_cast<double>(tq.cells.size());
+      overlap_sum += overlap;
+      if (reused == tq.cells.size()) ++stats.fully_contained;
+      stats.reuse_scatter.emplace_back(ordinal, reused);
+    }
+
+    // Slide the window.
+    recent.push_back(&tq);
+    for (int64_t cell : tq.cells) ++cell_refcount[cell];
+    if (recent.size() > window) {
+      const TraceQuery* old = recent.front();
+      recent.pop_front();
+      for (int64_t cell : old->cells) {
+        auto it = cell_refcount.find(cell);
+        if (--it->second == 0) cell_refcount.erase(it);
+      }
+    }
+    ++ordinal;
+  }
+
+  stats.mean_overlap =
+      stats.num_queries == 0 ? 0 : overlap_sum / static_cast<double>(stats.num_queries);
+  stats.universe_cells = universe.size();
+  return stats;
+}
+
+LocalityStats AnalyzeSchemaLocality(const catalog::Catalog& catalog,
+                                    const Trace& trace,
+                                    catalog::Granularity granularity) {
+  LocalityStats stats;
+  query::YieldEstimator estimator(&catalog);
+
+  std::unordered_map<catalog::ObjectId, ObjectUsage, catalog::ObjectIdHash>
+      usage;
+  uint32_t qidx = 0;
+  for (const TraceQuery& tq : trace.queries) {
+    query::QueryYield yields = estimator.Estimate(tq.query, granularity);
+    for (const query::ObjectYield& oy : yields.per_object) {
+      ObjectUsage& u = usage[oy.object];
+      if (u.accesses == 0) {
+        u.object = oy.object;
+        u.first_query = qidx;
+      }
+      ++u.accesses;
+      u.last_query = qidx;
+      ++stats.total_references;
+    }
+    ++qidx;
+  }
+
+  stats.usage.reserve(usage.size());
+  for (const auto& [id, u] : usage) stats.usage.push_back(u);
+  std::sort(stats.usage.begin(), stats.usage.end(),
+            [](const ObjectUsage& a, const ObjectUsage& b) {
+              if (a.accesses != b.accesses) return a.accesses > b.accesses;
+              return a.object.Key() < b.object.Key();
+            });
+
+  size_t total_objects = EnumerateObjects(catalog, granularity).size();
+  stats.untouched_objects = total_objects - stats.usage.size();
+
+  uint64_t covered = 0;
+  uint64_t threshold =
+      static_cast<uint64_t>(0.9 * static_cast<double>(stats.total_references));
+  for (const ObjectUsage& u : stats.usage) {
+    covered += u.accesses;
+    ++stats.objects_for_90pct;
+    if (covered >= threshold) break;
+  }
+
+  size_t hot = std::min<size_t>(10, stats.usage.size());
+  double span_sum = 0;
+  for (size_t i = 0; i < hot; ++i) {
+    span_sum += static_cast<double>(stats.usage[i].last_query -
+                                    stats.usage[i].first_query);
+  }
+  if (hot > 0 && trace.queries.size() > 1) {
+    stats.hot_span_fraction =
+        span_sum / static_cast<double>(hot) /
+        static_cast<double>(trace.queries.size() - 1);
+  }
+  return stats;
+}
+
+}  // namespace byc::workload

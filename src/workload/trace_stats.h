@@ -1,0 +1,63 @@
+#ifndef BYC_WORKLOAD_TRACE_STATS_H_
+#define BYC_WORKLOAD_TRACE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/object_id.h"
+#include "workload/trace.h"
+
+namespace byc::workload {
+
+/// Query-containment analysis (Fig. 4): over the region (range/spatial)
+/// queries of a trace, how often is a query's celestial-object footprint
+/// already covered by the previous `window` such queries — i.e., could a
+/// semantic/query cache have answered it from prior results?
+struct ContainmentStats {
+  size_t window = 50;
+  /// Number of region queries analyzed.
+  size_t num_queries = 0;
+  /// Queries whose entire cell set appeared in the window's union.
+  size_t fully_contained = 0;
+  /// Mean fraction of a query's cells already present in the window.
+  double mean_overlap = 0;
+  /// Distinct cells touched across the analyzed queries.
+  size_t universe_cells = 0;
+  /// (query ordinal, reused-cell count) scatter samples for plotting.
+  std::vector<std::pair<uint32_t, uint32_t>> reuse_scatter;
+};
+
+ContainmentStats AnalyzeContainment(const Trace& trace, size_t window);
+
+/// Schema-locality analysis (Figs. 5 and 6): per-object access counts and
+/// lifetimes at a chosen granularity, plus concentration summaries — the
+/// evidence that SDSS workloads reuse schema elements even though they do
+/// not reuse data objects.
+struct ObjectUsage {
+  catalog::ObjectId object;
+  uint64_t accesses = 0;
+  uint32_t first_query = 0;
+  uint32_t last_query = 0;
+};
+
+struct LocalityStats {
+  std::vector<ObjectUsage> usage;  // sorted by descending access count
+  /// Total object-reference events.
+  uint64_t total_references = 0;
+  /// Objects of the catalog never referenced.
+  size_t untouched_objects = 0;
+  /// Smallest number of objects covering 90% of references.
+  size_t objects_for_90pct = 0;
+  /// Mean active span (last - first query) of the ten hottest objects,
+  /// as a fraction of the trace length — "heavy and long lasting periods
+  /// of reuse".
+  double hot_span_fraction = 0;
+};
+
+LocalityStats AnalyzeSchemaLocality(const catalog::Catalog& catalog,
+                                    const Trace& trace,
+                                    catalog::Granularity granularity);
+
+}  // namespace byc::workload
+
+#endif  // BYC_WORKLOAD_TRACE_STATS_H_

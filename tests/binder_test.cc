@@ -1,0 +1,183 @@
+#include "query/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+#include "query/parser.h"
+
+namespace byc::query {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : catalog_(catalog::MakeSdssEdrCatalog()) {}
+
+  Result<ResolvedQuery> Bind(std::string_view sql) {
+    return ParseAndBind(catalog_, sql);
+  }
+
+  catalog::Catalog catalog_;
+};
+
+TEST_F(BinderTest, ResolvesPaperExample) {
+  auto r = Bind(
+      "select p.objID, p.ra, p.dec, p.modelMag_g, s.z as redshift "
+      "from SpecObj s, PhotoObj p "
+      "where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95 "
+      "and p.modelMag_g > 17.0 and s.z < 0.01");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ResolvedQuery& q = *r;
+  ASSERT_EQ(q.tables.size(), 2u);
+  EXPECT_EQ(q.tables[0], *catalog_.FindTable("SpecObj"));
+  EXPECT_EQ(q.tables[1], *catalog_.FindTable("PhotoObj"));
+  ASSERT_EQ(q.select.size(), 5u);
+  EXPECT_EQ(q.select[0].column.table_slot, 1);  // p.objID
+  EXPECT_EQ(q.select[4].column.table_slot, 0);  // s.z
+  ASSERT_EQ(q.joins.size(), 1u);
+  ASSERT_EQ(q.filters.size(), 4u);
+  for (const auto& f : q.filters) {
+    EXPECT_GT(f.selectivity, 0);
+    EXPECT_LE(f.selectivity, 1);
+  }
+}
+
+TEST_F(BinderTest, UnqualifiedColumnResolvesWhenUnique) {
+  auto r = Bind("select zConf from SpecObj");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->select[0].column.table_slot, 0);
+}
+
+TEST_F(BinderTest, AmbiguousUnqualifiedColumnFails) {
+  // objID exists in both tables.
+  auto r = Bind("select objID from SpecObj s, PhotoObj p");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, UnknownTableFails) {
+  auto r = Bind("select x from Galaxy");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(BinderTest, UnknownColumnFails) {
+  auto r = Bind("select p.nonexistent from PhotoObj p");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(BinderTest, UnknownAliasFails) {
+  auto r = Bind("select q.ra from PhotoObj p");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("alias"), std::string::npos);
+}
+
+TEST_F(BinderTest, DuplicateAliasFails) {
+  auto r = Bind("select p.ra from PhotoObj p, SpecObj p");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST_F(BinderTest, SelfJoinKeepsDistinctSlots) {
+  auto r = Bind(
+      "select a.objID, b.distance from Neighbors a, Neighbors b "
+      "where a.neighborObjID = b.objID");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tables[0], r->tables[1]);
+  ASSERT_EQ(r->joins.size(), 1u);
+  EXPECT_NE(r->joins[0].left.table_slot, r->joins[0].right.table_slot);
+}
+
+TEST_F(BinderTest, SingleTableJoinPredicateFails) {
+  auto r = Bind("select p.ra from PhotoObj p where p.objID = p.htmID");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(BinderTest, IdentityQueryGetsTinySelectivity) {
+  auto r = Bind("select p.ra from PhotoObj p where p.objID = 12345");
+  ASSERT_TRUE(r.ok());
+  const catalog::Table& photo =
+      catalog_.table(*catalog_.FindTable("PhotoObj"));
+  EXPECT_DOUBLE_EQ(r->filters[0].selectivity,
+                   1.0 / static_cast<double>(photo.row_count()));
+}
+
+TEST_F(BinderTest, ResolvedToStringIsReadable) {
+  auto r = Bind("select p.ra from PhotoObj p where p.modelMag_g > 17");
+  ASSERT_TRUE(r.ok());
+  std::string text = r->ToString(catalog_);
+  EXPECT_NE(text.find("PhotoObj"), std::string::npos);
+  EXPECT_NE(text.find("modelMag_g"), std::string::npos);
+  EXPECT_NE(text.find(">"), std::string::npos);
+}
+
+TEST_F(BinderTest, FullyAggregatedDetection) {
+  auto agg = Bind("select count(s.z), avg(s.zErr) from SpecObj s");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg->IsFullyAggregated());
+  auto mixed = Bind("select s.z, count(s.zErr) from SpecObj s");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_FALSE(mixed->IsFullyAggregated());
+}
+
+TEST(SelectivityModelTest, DeterministicPerPredicate) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  const catalog::Table& photo =
+      catalog.table(*catalog.FindTable("PhotoObj"));
+  SelectivityModel model;
+  int col = photo.FindColumn("modelMag_g");
+  double a = model.FilterSelectivity(photo, col, CmpOp::kGt, 17.0);
+  double b = model.FilterSelectivity(photo, col, CmpOp::kGt, 17.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SelectivityModelTest, DistinctLiteralsJitterDifferently) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  const catalog::Table& photo =
+      catalog.table(*catalog.FindTable("PhotoObj"));
+  SelectivityModel model;
+  int col = photo.FindColumn("modelMag_g");
+  double a = model.FilterSelectivity(photo, col, CmpOp::kGt, 17.0);
+  double b = model.FilterSelectivity(photo, col, CmpOp::kGt, 18.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(SelectivityModelTest, KeyEqualityIsOneRow) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  const catalog::Table& photo =
+      catalog.table(*catalog.FindTable("PhotoObj"));
+  SelectivityModel model;
+  double sel = model.FilterSelectivity(photo, photo.FindColumn("objID"),
+                                       CmpOp::kEq, 42.0);
+  EXPECT_DOUBLE_EQ(sel, 1.0 / static_cast<double>(photo.row_count()));
+}
+
+TEST(SelectivityModelTest, InequalityIsComplementOfEquality) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  const catalog::Table& photo =
+      catalog.table(*catalog.FindTable("PhotoObj"));
+  SelectivityModel::Options options;
+  options.jitter = 1.0;  // disable jitter for exact comparison
+  SelectivityModel model(options);
+  int col = photo.FindColumn("modelMag_g");
+  double eq = model.FilterSelectivity(photo, col, CmpOp::kEq, 5.0);
+  double ne = model.FilterSelectivity(photo, col, CmpOp::kNe, 5.0);
+  EXPECT_DOUBLE_EQ(eq + ne, 1.0);
+}
+
+TEST(SelectivityModelTest, AlwaysInUnitRange) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  const catalog::Table& photo =
+      catalog.table(*catalog.FindTable("PhotoObj"));
+  SelectivityModel model;
+  for (double v = -100; v < 100; v += 7.3) {
+    for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kGe}) {
+      double sel = model.FilterSelectivity(photo, 20, op, v);
+      EXPECT_GT(sel, 0);
+      EXPECT_LE(sel, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace byc::query

@@ -1,0 +1,103 @@
+#include "cache/cache_store.h"
+
+#include <gtest/gtest.h>
+
+namespace byc::cache {
+namespace {
+
+using catalog::ObjectId;
+
+TEST(CacheStoreTest, StartsEmpty) {
+  CacheStore store(1000);
+  EXPECT_EQ(store.capacity_bytes(), 1000u);
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_EQ(store.free_bytes(), 1000u);
+  EXPECT_EQ(store.num_objects(), 0u);
+}
+
+TEST(CacheStoreTest, InsertTracksUsage) {
+  CacheStore store(1000);
+  ASSERT_TRUE(store.Insert(ObjectId::ForTable(0), 400, 1).ok());
+  ASSERT_TRUE(store.Insert(ObjectId::ForColumn(1, 2), 300, 2).ok());
+  EXPECT_EQ(store.used_bytes(), 700u);
+  EXPECT_EQ(store.free_bytes(), 300u);
+  EXPECT_TRUE(store.Contains(ObjectId::ForTable(0)));
+  EXPECT_FALSE(store.Contains(ObjectId::ForTable(1)));
+}
+
+TEST(CacheStoreTest, InsertBeyondCapacityFails) {
+  CacheStore store(1000);
+  ASSERT_TRUE(store.Insert(ObjectId::ForTable(0), 800, 1).ok());
+  Status s = store.Insert(ObjectId::ForTable(1), 300, 2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(store.used_bytes(), 800u);
+}
+
+TEST(CacheStoreTest, ExactFitSucceeds) {
+  CacheStore store(1000);
+  EXPECT_TRUE(store.Insert(ObjectId::ForTable(0), 1000, 1).ok());
+  EXPECT_EQ(store.free_bytes(), 0u);
+}
+
+TEST(CacheStoreTest, DuplicateInsertFails) {
+  CacheStore store(1000);
+  ASSERT_TRUE(store.Insert(ObjectId::ForTable(0), 100, 1).ok());
+  Status s = store.Insert(ObjectId::ForTable(0), 100, 2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CacheStoreTest, EraseReleasesSpace) {
+  CacheStore store(1000);
+  ASSERT_TRUE(store.Insert(ObjectId::ForTable(0), 600, 1).ok());
+  ASSERT_TRUE(store.Erase(ObjectId::ForTable(0)).ok());
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_FALSE(store.Contains(ObjectId::ForTable(0)));
+  // Space is reusable.
+  EXPECT_TRUE(store.Insert(ObjectId::ForTable(1), 1000, 2).ok());
+}
+
+TEST(CacheStoreTest, EraseMissingFails) {
+  CacheStore store(1000);
+  EXPECT_TRUE(store.Erase(ObjectId::ForTable(0)).IsNotFound());
+}
+
+TEST(CacheStoreTest, FindReturnsEntryMetadata) {
+  CacheStore store(1000);
+  ASSERT_TRUE(store.Insert(ObjectId::ForColumn(3, 4), 250, 77).ok());
+  const CacheStore::Entry* entry = store.Find(ObjectId::ForColumn(3, 4));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->size_bytes, 250u);
+  EXPECT_EQ(entry->load_time, 77u);
+  EXPECT_EQ(store.Find(ObjectId::ForTable(9)), nullptr);
+}
+
+TEST(CacheStoreTest, FitsChecksWholeCapacityNotFreeSpace) {
+  CacheStore store(1000);
+  ASSERT_TRUE(store.Insert(ObjectId::ForTable(0), 900, 1).ok());
+  EXPECT_TRUE(store.Fits(1000));   // could fit after evictions
+  EXPECT_FALSE(store.Fits(1001));  // can never fit
+}
+
+TEST(CacheStoreTest, SnapshotAndForEach) {
+  CacheStore store(1000);
+  ASSERT_TRUE(store.Insert(ObjectId::ForTable(0), 100, 1).ok());
+  ASSERT_TRUE(store.Insert(ObjectId::ForTable(1), 200, 2).ok());
+  auto snapshot = store.Snapshot();
+  EXPECT_EQ(snapshot.size(), 2u);
+  uint64_t sum = 0;
+  store.ForEach([&](const ObjectId&, const CacheStore::Entry& e) {
+    sum += e.size_bytes;
+  });
+  EXPECT_EQ(sum, 300u);
+}
+
+TEST(CacheStoreTest, ZeroCapacityRejectsEverything) {
+  CacheStore store(0);
+  EXPECT_FALSE(store.Insert(ObjectId::ForTable(0), 1, 1).ok());
+  EXPECT_TRUE(store.Fits(0));
+}
+
+}  // namespace
+}  // namespace byc::cache

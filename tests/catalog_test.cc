@@ -1,0 +1,206 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/object_id.h"
+#include "catalog/sdss.h"
+
+namespace byc::catalog {
+namespace {
+
+Table MakeToyTable() {
+  Table t("Toy", 100);
+  t.AddColumn("id", ColumnType::kInt64);
+  t.AddColumn("x", ColumnType::kFloat32);
+  t.AddColumn("flag", ColumnType::kInt16);
+  return t;
+}
+
+TEST(ColumnTest, TypeWidths) {
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kInt16), 2u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kInt32), 4u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kInt64), 8u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kFloat32), 4u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kFloat64), 8u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kChar8), 8u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kChar32), 32u);
+}
+
+TEST(TableTest, RowWidthAccumulates) {
+  Table t = MakeToyTable();
+  EXPECT_EQ(t.row_width_bytes(), 8u + 4u + 2u);
+  EXPECT_EQ(t.size_bytes(), 100u * 14u);
+}
+
+TEST(TableTest, ColumnSize) {
+  Table t = MakeToyTable();
+  EXPECT_EQ(t.column_size_bytes(0), 800u);
+  EXPECT_EQ(t.column_size_bytes(1), 400u);
+  EXPECT_EQ(t.column_size_bytes(2), 200u);
+}
+
+TEST(TableTest, FindColumn) {
+  Table t = MakeToyTable();
+  EXPECT_EQ(t.FindColumn("x"), 1);
+  EXPECT_EQ(t.FindColumn("missing"), -1);
+  EXPECT_EQ(t.FindColumn("X"), -1);  // case sensitive
+}
+
+TEST(CatalogTest, AddAndFindTables) {
+  Catalog cat("test");
+  ASSERT_TRUE(cat.AddTable(MakeToyTable()).ok());
+  Result<int> idx = cat.FindTable("Toy");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 0);
+  EXPECT_FALSE(cat.FindTable("Nope").ok());
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog cat("test");
+  ASSERT_TRUE(cat.AddTable(MakeToyTable()).ok());
+  Result<int> dup = cat.AddTable(MakeToyTable());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, TotalsAggregate) {
+  Catalog cat("test");
+  ASSERT_TRUE(cat.AddTable(MakeToyTable()).ok());
+  Table other("Other", 10);
+  other.AddColumn("a", ColumnType::kFloat64);
+  ASSERT_TRUE(cat.AddTable(std::move(other)).ok());
+  EXPECT_EQ(cat.total_size_bytes(), 1400u + 80u);
+  EXPECT_EQ(cat.total_columns(), 4);
+}
+
+TEST(ObjectIdTest, TableVsColumn) {
+  ObjectId table = ObjectId::ForTable(3);
+  ObjectId column = ObjectId::ForColumn(3, 7);
+  EXPECT_TRUE(table.is_table());
+  EXPECT_FALSE(column.is_table());
+  EXPECT_NE(table, column);
+  EXPECT_EQ(table, ObjectId::ForTable(3));
+}
+
+TEST(ObjectIdTest, KeysAreUnique) {
+  std::set<uint64_t> keys;
+  for (int t = 0; t < 10; ++t) {
+    keys.insert(ObjectId::ForTable(t).Key());
+    for (int c = 0; c < 20; ++c) {
+      keys.insert(ObjectId::ForColumn(t, c).Key());
+    }
+  }
+  EXPECT_EQ(keys.size(), 10u * 21u);
+}
+
+TEST(ObjectIdTest, ToStringUsesNames) {
+  Catalog cat("test");
+  ASSERT_TRUE(cat.AddTable(MakeToyTable()).ok());
+  EXPECT_EQ(ObjectId::ForTable(0).ToString(cat), "Toy");
+  EXPECT_EQ(ObjectId::ForColumn(0, 1).ToString(cat), "Toy.x");
+}
+
+TEST(ObjectIdTest, SizeBytes) {
+  Catalog cat("test");
+  ASSERT_TRUE(cat.AddTable(MakeToyTable()).ok());
+  EXPECT_EQ(ObjectSizeBytes(cat, ObjectId::ForTable(0)), 1400u);
+  EXPECT_EQ(ObjectSizeBytes(cat, ObjectId::ForColumn(0, 0)), 800u);
+}
+
+TEST(ObjectIdTest, EnumerateBothGranularities) {
+  Catalog cat("test");
+  ASSERT_TRUE(cat.AddTable(MakeToyTable()).ok());
+  EXPECT_EQ(EnumerateObjects(cat, Granularity::kTable).size(), 1u);
+  EXPECT_EQ(EnumerateObjects(cat, Granularity::kColumn).size(), 3u);
+}
+
+// --- SDSS catalog properties, parameterized over both releases. ---
+
+struct SdssCase {
+  const char* name;
+  double row_scale;
+};
+
+class SdssCatalogTest : public ::testing::TestWithParam<SdssCase> {};
+
+TEST_P(SdssCatalogTest, HasExpectedTables) {
+  Catalog cat = MakeSdssCatalog(GetParam().name, GetParam().row_scale);
+  for (const char* table : {"PhotoObj", "SpecObj", "Neighbors", "Field",
+                            "Frame", "PlateX", "PhotoZ", "Tiles", "Mask",
+                            "PhotoProfile", "First", "Rosat", "USNO"}) {
+    EXPECT_TRUE(cat.FindTable(table).ok()) << table;
+  }
+}
+
+TEST_P(SdssCatalogTest, PaperExampleColumnsExist) {
+  Catalog cat = MakeSdssCatalog(GetParam().name, GetParam().row_scale);
+  const Table& photo = cat.table(*cat.FindTable("PhotoObj"));
+  EXPECT_GE(photo.FindColumn("objID"), 0);
+  EXPECT_GE(photo.FindColumn("ra"), 0);
+  EXPECT_GE(photo.FindColumn("dec"), 0);
+  EXPECT_GE(photo.FindColumn("modelMag_g"), 0);
+  const Table& spec = cat.table(*cat.FindTable("SpecObj"));
+  EXPECT_GE(spec.FindColumn("objID"), 0);
+  EXPECT_GE(spec.FindColumn("z"), 0);
+  EXPECT_GE(spec.FindColumn("zConf"), 0);
+  EXPECT_GE(spec.FindColumn("specClass"), 0);
+}
+
+TEST_P(SdssCatalogTest, KeyColumnsComeFirst) {
+  Catalog cat = MakeSdssCatalog(GetParam().name, GetParam().row_scale);
+  for (int t = 0; t < cat.num_tables(); ++t) {
+    EXPECT_EQ(cat.table(t).column(0).type, ColumnType::kInt64)
+        << cat.table(t).name();
+  }
+}
+
+TEST_P(SdssCatalogTest, HotTablesFitInThirtyPercentCache) {
+  // The paper's Fig. 9 knee: a cache of 20-30% of the database suffices.
+  // That requires the hot tables (PhotoObj + SpecObj) to fit there.
+  Catalog cat = MakeSdssCatalog(GetParam().name, GetParam().row_scale);
+  uint64_t hot = cat.table(*cat.FindTable("PhotoObj")).size_bytes() +
+                 cat.table(*cat.FindTable("SpecObj")).size_bytes();
+  EXPECT_LT(hot, cat.total_size_bytes() * 3 / 10);
+}
+
+TEST_P(SdssCatalogTest, ColdTablesAreMajority) {
+  // The uncachable tail must be large enough that in-line caching hurts.
+  Catalog cat = MakeSdssCatalog(GetParam().name, GetParam().row_scale);
+  uint64_t cold = 0;
+  for (const char* name : {"Neighbors", "PhotoProfile", "First", "Rosat",
+                           "USNO"}) {
+    cold += cat.table(*cat.FindTable(name)).size_bytes();
+  }
+  EXPECT_GT(cold, cat.total_size_bytes() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Releases, SdssCatalogTest,
+    ::testing::Values(SdssCase{"EDR", 1.0}, SdssCase{"DR1", 2.3}),
+    [](const ::testing::TestParamInfo<SdssCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SdssCatalogTest, EdrIsAbout700MB) {
+  Catalog cat = MakeSdssEdrCatalog();
+  double mb = static_cast<double>(cat.total_size_bytes()) / (1024.0 * 1024.0);
+  EXPECT_GT(mb, 600);
+  EXPECT_LT(mb, 800);
+}
+
+TEST(SdssCatalogTest, Dr1ScalesRows) {
+  Catalog edr = MakeSdssEdrCatalog();
+  Catalog dr1 = MakeSdssDr1Catalog();
+  const Table& e = edr.table(*edr.FindTable("PhotoObj"));
+  const Table& d = dr1.table(*dr1.FindTable("PhotoObj"));
+  EXPECT_NEAR(static_cast<double>(d.row_count()) /
+                  static_cast<double>(e.row_count()),
+              2.3, 0.01);
+  // Same schema.
+  EXPECT_EQ(e.num_columns(), d.num_columns());
+}
+
+}  // namespace
+}  // namespace byc::catalog

@@ -1,0 +1,150 @@
+#include "query/column_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+#include "query/binder.h"
+#include "query/parser.h"
+#include "query/selectivity.h"
+
+namespace byc::query {
+namespace {
+
+class ColumnStatsTest : public ::testing::Test {
+ protected:
+  ColumnStatsTest()
+      : catalog_(catalog::MakeSdssEdrCatalog()),
+        photo_(catalog_.table(*catalog_.FindTable("PhotoObj"))),
+        spec_(catalog_.table(*catalog_.FindTable("SpecObj"))) {}
+
+  catalog::Catalog catalog_;
+  const catalog::Table& photo_;
+  const catalog::Table& spec_;
+};
+
+TEST_F(ColumnStatsTest, CdfIsMonotoneAndNormalized) {
+  for (int c = 0; c < photo_.num_columns(); c += 7) {
+    ColumnDistribution d = ColumnDistribution::For(photo_, c);
+    EXPECT_DOUBLE_EQ(d.Cdf(d.min() - 1), 0.0);
+    EXPECT_DOUBLE_EQ(d.Cdf(d.max() + 1), 1.0);
+    double prev = -1;
+    for (int i = 0; i <= 20; ++i) {
+      double v = d.min() + (d.max() - d.min()) * i / 20.0;
+      double cdf = d.Cdf(v);
+      EXPECT_GE(cdf, prev);
+      EXPECT_GE(cdf, 0);
+      EXPECT_LE(cdf, 1);
+      prev = cdf;
+    }
+  }
+}
+
+TEST_F(ColumnStatsTest, RaIsUniformOverTheSky) {
+  int ra = photo_.FindColumn("ra");
+  ColumnDistribution d = ColumnDistribution::For(photo_, ra);
+  EXPECT_NEAR(d.Cdf(180.0), 0.5, 1e-9);
+  EXPECT_NEAR(d.Cdf(90.0), 0.25, 1e-9);
+}
+
+TEST_F(ColumnStatsTest, MagnitudesCenterNearTwenty) {
+  int mag = photo_.FindColumn("modelMag_g");
+  ColumnDistribution d = ColumnDistribution::For(photo_, mag);
+  EXPECT_NEAR(d.Cdf(20.0), 0.5, 0.02);
+  // The bright tail is small: few objects brighter than 15th magnitude.
+  EXPECT_LT(d.Cdf(15.0), 0.05);
+}
+
+TEST_F(ColumnStatsTest, RedshiftHugsZero) {
+  int z = spec_.FindColumn("z");
+  ColumnDistribution d = ColumnDistribution::For(spec_, z);
+  EXPECT_GT(d.Cdf(0.5), 0.7);  // most objects at low redshift
+  EXPECT_LT(d.Cdf(0.05), 0.3);
+}
+
+TEST_F(ColumnStatsTest, KeysHaveRowCountDistincts) {
+  ColumnDistribution d = ColumnDistribution::For(photo_, 0);  // objID
+  EXPECT_DOUBLE_EQ(d.distinct_values(),
+                   static_cast<double>(photo_.row_count()));
+}
+
+TEST_F(ColumnStatsTest, HistogramTracksAnalyticCdf) {
+  TableHistograms hist(photo_, 64);
+  int mag = photo_.FindColumn("modelMag_g");
+  ColumnDistribution d = ColumnDistribution::For(photo_, mag);
+  for (double v : {14.0, 17.0, 20.0, 23.0, 26.0}) {
+    double analytic = 1.0 - d.Cdf(v);
+    double from_hist = hist.Selectivity(mag, CmpOp::kGt, v);
+    EXPECT_NEAR(from_hist, analytic, 0.02) << "v=" << v;
+  }
+}
+
+TEST_F(ColumnStatsTest, BucketMassesSumToOne) {
+  TableHistograms hist(spec_, 32);
+  for (int c = 0; c < spec_.num_columns(); c += 5) {
+    double sum = 0;
+    for (int b = 0; b < hist.num_buckets(); ++b) {
+      sum += hist.BucketMass(c, b);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << spec_.column(c).name;
+  }
+}
+
+TEST_F(ColumnStatsTest, ComplementaryOperatorsSumToOne) {
+  TableHistograms hist(photo_, 64);
+  int mag = photo_.FindColumn("psfMag_r");
+  for (double v : {16.0, 19.5, 22.0}) {
+    double lt = hist.Selectivity(mag, CmpOp::kLt, v);
+    double ge = hist.Selectivity(mag, CmpOp::kGe, v);
+    EXPECT_NEAR(lt + ge, 1.0, 1e-6);
+    double le = hist.Selectivity(mag, CmpOp::kLe, v);
+    double gt = hist.Selectivity(mag, CmpOp::kGt, v);
+    EXPECT_NEAR(le + gt, 1.0, 1e-6);
+  }
+}
+
+TEST_F(ColumnStatsTest, EqualityUsesDistinctCount) {
+  TableHistograms hist(photo_, 64);
+  // objID equality: one row.
+  EXPECT_NEAR(hist.Selectivity(0, CmpOp::kEq, 12345),
+              1.0 / static_cast<double>(photo_.row_count()), 1e-12);
+  // int16 class codes: 1/16.
+  int type_col = photo_.FindColumn("type");
+  EXPECT_NEAR(hist.Selectivity(type_col, CmpOp::kEq, 3), 1.0 / 16, 1e-9);
+}
+
+TEST_F(ColumnStatsTest, SelectivityAlwaysPositive) {
+  TableHistograms hist(photo_, 64);
+  for (double v : {-1e9, 0.0, 20.0, 1e9}) {
+    for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe,
+                     CmpOp::kEq, CmpOp::kNe}) {
+      double sel = hist.Selectivity(5, op, v);
+      EXPECT_GT(sel, 0);
+      EXPECT_LE(sel, 1);
+    }
+  }
+}
+
+TEST_F(ColumnStatsTest, HistogramModelPlugsIntoBinder) {
+  HistogramSelectivityModel model;
+  Binder binder(&catalog_, &model);
+  auto parsed = ParseSelect(
+      "select p.ra from PhotoObj p where p.modelMag_g > 17 and p.ra < 90");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = binder.Bind(*parsed);
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->filters.size(), 2u);
+  // mag > 17 keeps most of the (faint-dominated) survey.
+  EXPECT_GT(bound->filters[0].selectivity, 0.85);
+  // ra < 90 keeps a quarter of the sky.
+  EXPECT_NEAR(bound->filters[1].selectivity, 0.25, 0.02);
+}
+
+TEST_F(ColumnStatsTest, HistogramModelIsDeterministicAndCached) {
+  HistogramSelectivityModel model;
+  double a = model.FilterSelectivity(photo_, 2, CmpOp::kLt, 40.0);
+  double b = model.FilterSelectivity(photo_, 2, CmpOp::kLt, 40.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace byc::query

@@ -1,0 +1,190 @@
+#include "query/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+#include "common/check.h"
+#include "query/binder.h"
+
+namespace byc::query {
+namespace {
+
+class QueryContainmentTest : public ::testing::Test {
+ protected:
+  QueryContainmentTest() : catalog_(catalog::MakeSdssEdrCatalog()) {}
+
+  ResolvedQuery Bind(std::string_view sql) {
+    auto r = ParseAndBind(catalog_, sql);
+    BYC_CHECK(r.ok());
+    return std::move(r).value();
+  }
+
+  catalog::Catalog catalog_;
+};
+
+ResolvedFilter Filter(CmpOp op, double value, int col = 1, int slot = 0) {
+  ResolvedFilter f;
+  f.column = {slot, col};
+  f.op = op;
+  f.value = value;
+  return f;
+}
+
+// --- FilterImplies truth table ---
+
+TEST(FilterImpliesTest, GreaterThanChain) {
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kGt, 19), Filter(CmpOp::kGt, 17)));
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kGt, 17), Filter(CmpOp::kGt, 17)));
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kGt, 15), Filter(CmpOp::kGt, 17)));
+}
+
+TEST(FilterImpliesTest, MixedBoundKinds) {
+  // c >= 18 implies c > 17; c >= 17 does NOT imply c > 17.
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kGe, 18), Filter(CmpOp::kGt, 17)));
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kGe, 17), Filter(CmpOp::kGt, 17)));
+  // c > 17 implies c >= 17.
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kGt, 17), Filter(CmpOp::kGe, 17)));
+  // c < 0.05 implies c < 0.1 and c <= 0.1.
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kLt, 0.05), Filter(CmpOp::kLt, 0.1)));
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kLt, 0.05), Filter(CmpOp::kLe, 0.1)));
+  // c <= 0.1 does NOT imply c < 0.1.
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kLe, 0.1), Filter(CmpOp::kLt, 0.1)));
+}
+
+TEST(FilterImpliesTest, EqualityImpliesSatisfiedBounds) {
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kEq, 20), Filter(CmpOp::kGt, 17)));
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kEq, 20), Filter(CmpOp::kLe, 20)));
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kEq, 15), Filter(CmpOp::kGt, 17)));
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kEq, 5), Filter(CmpOp::kEq, 5)));
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kEq, 5), Filter(CmpOp::kEq, 6)));
+}
+
+TEST(FilterImpliesTest, NotEqualCases) {
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kNe, 7), Filter(CmpOp::kNe, 7)));
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kEq, 8), Filter(CmpOp::kNe, 7)));
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kEq, 7), Filter(CmpOp::kNe, 7)));
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kGt, 7), Filter(CmpOp::kNe, 7)));
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kGt, 6), Filter(CmpOp::kNe, 7)));
+  EXPECT_TRUE(FilterImplies(Filter(CmpOp::kLe, 6.5), Filter(CmpOp::kNe, 7)));
+}
+
+TEST(FilterImpliesTest, DifferentColumnsNeverImply) {
+  ResolvedFilter a = Filter(CmpOp::kGt, 19, /*col=*/1);
+  ResolvedFilter b = Filter(CmpOp::kGt, 17, /*col=*/2);
+  EXPECT_FALSE(FilterImplies(a, b));
+}
+
+TEST(FilterImpliesTest, BoundsNeverImplyEquality) {
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kGe, 5), Filter(CmpOp::kEq, 5)));
+  EXPECT_FALSE(FilterImplies(Filter(CmpOp::kGt, 4), Filter(CmpOp::kEq, 5)));
+}
+
+// --- QueryContains on real queries ---
+
+TEST_F(QueryContainmentTest, IdenticalQueryIsContained) {
+  auto q = Bind("select p.ra, p.dec from PhotoObj p where p.modelMag_g > 17");
+  EXPECT_TRUE(QueryContains(q, q));
+}
+
+TEST_F(QueryContainmentTest, RefinementIsContained) {
+  auto cached =
+      Bind("select p.ra, p.dec from PhotoObj p where p.modelMag_g > 17");
+  auto incoming =
+      Bind("select p.ra from PhotoObj p where p.modelMag_g > 19");
+  // Narrower projection, strictly stronger predicate: containment —
+  // but only if the filter column can be re-applied. modelMag_g is not
+  // in the cached projection and the predicates differ, so the stored
+  // tuples cannot be re-filtered.
+  EXPECT_FALSE(QueryContains(cached, incoming));
+
+  auto cached_with_col = Bind(
+      "select p.ra, p.dec, p.modelMag_g from PhotoObj p "
+      "where p.modelMag_g > 17");
+  EXPECT_TRUE(QueryContains(cached_with_col, incoming));
+}
+
+TEST_F(QueryContainmentTest, IdenticalPredicateNeedsNoStoredColumn) {
+  auto cached =
+      Bind("select p.ra from PhotoObj p where p.modelMag_g > 17");
+  auto incoming =
+      Bind("select p.ra from PhotoObj p where p.modelMag_g > 17");
+  // Same predicate was already applied when the result was stored.
+  EXPECT_TRUE(QueryContains(cached, incoming));
+}
+
+TEST_F(QueryContainmentTest, WiderPredicateNotContained) {
+  auto cached = Bind(
+      "select p.ra, p.modelMag_g from PhotoObj p where p.modelMag_g > 19");
+  auto incoming = Bind(
+      "select p.ra from PhotoObj p where p.modelMag_g > 17");
+  // The incoming query needs tuples the cached result filtered away.
+  EXPECT_FALSE(QueryContains(cached, incoming));
+}
+
+TEST_F(QueryContainmentTest, MissingProjectionNotContained) {
+  auto cached = Bind("select p.ra from PhotoObj p");
+  auto incoming = Bind("select p.ra, p.dec from PhotoObj p");
+  EXPECT_FALSE(QueryContains(cached, incoming));
+}
+
+TEST_F(QueryContainmentTest, UnfilteredSupersetContainsFiltered) {
+  auto cached = Bind("select p.ra, p.modelMag_g from PhotoObj p");
+  auto incoming =
+      Bind("select p.ra from PhotoObj p where p.modelMag_g > 21");
+  EXPECT_TRUE(QueryContains(cached, incoming));
+}
+
+TEST_F(QueryContainmentTest, DifferentTablesNotContained) {
+  auto cached = Bind("select p.ra from PhotoObj p");
+  auto incoming = Bind("select f.mjd from Field f");
+  EXPECT_FALSE(QueryContains(cached, incoming));
+}
+
+TEST_F(QueryContainmentTest, JoinStructureMustMatch) {
+  auto joined = Bind(
+      "select s.z, p.ra from SpecObj s, PhotoObj p where p.objID = s.objID");
+  auto cartesian = Bind("select s.z, p.ra from SpecObj s, PhotoObj p");
+  EXPECT_FALSE(QueryContains(cartesian, joined));
+  EXPECT_FALSE(QueryContains(joined, cartesian));
+  EXPECT_TRUE(QueryContains(joined, joined));
+}
+
+TEST_F(QueryContainmentTest, JoinSidesAreOrderInsensitive) {
+  auto a = Bind(
+      "select s.z, p.ra from SpecObj s, PhotoObj p where p.objID = s.objID");
+  auto b = Bind(
+      "select s.z, p.ra from SpecObj s, PhotoObj p where s.objID = p.objID");
+  EXPECT_TRUE(QueryContains(a, b));
+  EXPECT_TRUE(QueryContains(b, a));
+}
+
+TEST_F(QueryContainmentTest, AggregatesNeverContained) {
+  auto cached = Bind("select p.ra, p.modelMag_g from PhotoObj p");
+  auto agg = Bind("select count(p.ra) from PhotoObj p");
+  EXPECT_FALSE(QueryContains(cached, agg));
+  EXPECT_FALSE(QueryContains(agg, cached));
+}
+
+TEST_F(QueryContainmentTest, MultiPredicateRefinement) {
+  auto cached = Bind(
+      "select s.z, s.zConf, s.specClass from SpecObj s "
+      "where s.zConf > 0.9 and s.z < 0.2");
+  auto incoming = Bind(
+      "select s.z from SpecObj s "
+      "where s.zConf > 0.95 and s.z < 0.1 and s.specClass = 2");
+  // Both cached predicates are implied; the extra specClass filter can
+  // re-apply against the stored specClass column.
+  EXPECT_TRUE(QueryContains(cached, incoming));
+}
+
+TEST_F(QueryContainmentTest, ExtraUnappliablePredicateBlocksContainment) {
+  auto cached = Bind(
+      "select s.z from SpecObj s where s.zConf > 0.9");
+  auto incoming = Bind(
+      "select s.z from SpecObj s where s.zConf > 0.95 and s.specClass = 2");
+  // specClass was neither stored nor applied.
+  EXPECT_FALSE(QueryContains(cached, incoming));
+}
+
+}  // namespace
+}  // namespace byc::query

@@ -1,0 +1,123 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace byc {
+namespace {
+
+std::string WriteOneRow(const std::vector<std::string>& fields) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow(fields);
+  return out.str();
+}
+
+TEST(CsvWriterTest, PlainFields) {
+  EXPECT_EQ(WriteOneRow({"a", "b", "c"}), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesFieldsWithCommas) {
+  EXPECT_EQ(WriteOneRow({"a,b", "c"}), "\"a,b\",c\n");
+}
+
+TEST(CsvWriterTest, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(WriteOneRow({"say \"hi\""}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  EXPECT_EQ(WriteOneRow({"two\nlines"}), "\"two\nlines\"\n");
+}
+
+TEST(CsvWriterTest, EmptyFieldsPreserved) {
+  EXPECT_EQ(WriteOneRow({"", "x", ""}), ",x,\n");
+}
+
+TEST(CsvWriterTest, HeaderFromViews) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteHeader({"query", "cost_gb"});
+  EXPECT_EQ(out.str(), "query,cost_gb\n");
+}
+
+TEST(CsvParseTest, SplitsPlainFields) {
+  auto r = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParseTest, HandlesQuotedComma) {
+  auto r = ParseCsvLine("\"a,b\",c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvParseTest, HandlesEscapedQuotes) {
+  auto r = ParseCsvLine("\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(CsvParseTest, EmptyLineIsOneEmptyField) {
+  auto r = ParseCsvLine("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], "");
+}
+
+TEST(CsvParseTest, StripsCarriageReturn) {
+  auto r = ParseCsvLine("a,b\r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto r = ParseCsvLine("\"unterminated");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvRoundTripTest, WriterOutputParsesBack) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with\"quote",
+                                     "", "multi\nline"};
+  std::string line = WriteOneRow(fields);
+  line.pop_back();  // strip trailing newline
+  auto r = ParseCsvLine(line);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, fields);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "cost"});
+  printer.AddRow({"GDS", "1216.94"});
+  printer.AddRow({"Rate-Profile", "84.24"});
+  std::ostringstream out;
+  printer.Print(out);
+  std::string text = out.str();
+  // Header present, separator present, rows aligned under header.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("Rate-Profile"), std::string::npos);
+  // Every line before the cost column has the same prefix width.
+  size_t header_pos = text.find("cost");
+  size_t row_pos = text.find("84.24");
+  ASSERT_NE(header_pos, std::string::npos);
+  ASSERT_NE(row_pos, std::string::npos);
+  size_t header_col = header_pos - text.rfind('\n', header_pos) - 1;
+  size_t row_col = row_pos - text.rfind('\n', row_pos) - 1;
+  EXPECT_EQ(header_col, row_col);
+}
+
+TEST(TablePrinterTest, ShortRowsPadWithEmptyCells) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"only"});
+  std::ostringstream out;
+  printer.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace byc

@@ -1,0 +1,73 @@
+// End-to-end determinism: the entire pipeline — catalog, calibrated
+// trace generation, mediation, and every policy — must produce
+// bit-identical cost ledgers across independent runs in one process.
+// This is what makes every number in EXPERIMENTS.md reproducible.
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+#include "core/policy_factory.h"
+#include "core/static_policy.h"
+#include "federation/federation.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace byc {
+namespace {
+
+struct PipelineResult {
+  double sequence_cost = 0;
+  std::vector<double> policy_totals;
+  std::vector<uint64_t> policy_evictions;
+};
+
+PipelineResult RunPipeline() {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  workload::GeneratorOptions options = workload::MakeEdrOptions();
+  options.num_queries = 2500;
+  options.target_sequence_cost *= 2500.0 / 27663.0;
+  workload::TraceGenerator gen(&catalog, options);
+  workload::Trace trace = gen.Generate();
+
+  PipelineResult out;
+  out.sequence_cost = gen.SequenceCost(trace);
+
+  auto federation = federation::Federation::SingleSite(std::move(catalog));
+  sim::Simulator simulator(&federation, catalog::Granularity::kColumn);
+  auto queries = simulator.DecomposeTrace(trace);
+  auto flat = sim::Simulator::Flatten(queries);
+  uint64_t capacity = federation.catalog().total_size_bytes() * 3 / 10;
+
+  for (core::PolicyKind kind :
+       {core::PolicyKind::kRateProfile, core::PolicyKind::kOnlineBy,
+        core::PolicyKind::kSpaceEffBy, core::PolicyKind::kGds,
+        core::PolicyKind::kGdsp, core::PolicyKind::kLru,
+        core::PolicyKind::kLruK, core::PolicyKind::kLfu,
+        core::PolicyKind::kStatic}) {
+    core::PolicyConfig config;
+    config.kind = kind;
+    config.capacity_bytes = capacity;
+    if (kind == core::PolicyKind::kStatic) {
+      config.static_contents = core::SelectStaticSet(flat, capacity);
+    }
+    auto policy = core::MakePolicy(config);
+    sim::SimResult r = simulator.Run(*policy, queries);
+    out.policy_totals.push_back(r.totals.total_wan());
+    out.policy_evictions.push_back(r.totals.evictions);
+  }
+  return out;
+}
+
+TEST(DeterminismTest, FullPipelineIsBitReproducible) {
+  PipelineResult a = RunPipeline();
+  PipelineResult b = RunPipeline();
+  EXPECT_EQ(a.sequence_cost, b.sequence_cost);
+  ASSERT_EQ(a.policy_totals.size(), b.policy_totals.size());
+  for (size_t i = 0; i < a.policy_totals.size(); ++i) {
+    EXPECT_EQ(a.policy_totals[i], b.policy_totals[i]) << "policy " << i;
+    EXPECT_EQ(a.policy_evictions[i], b.policy_evictions[i]) << "policy " << i;
+  }
+}
+
+}  // namespace
+}  // namespace byc

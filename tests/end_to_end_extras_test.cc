@@ -1,0 +1,105 @@
+// Cross-module integration checks that lock in the extension claims at
+// workload scale: hierarchy benefit on a real trace, and trace-file
+// round-trips that preserve replay results exactly.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "catalog/sdss.h"
+#include "core/rate_profile_policy.h"
+#include "federation/federation.h"
+#include "query/signature.h"
+#include "sim/hierarchy.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace byc {
+namespace {
+
+workload::Trace MakeMiniEdr(const catalog::Catalog& catalog,
+                            size_t num_queries) {
+  workload::GeneratorOptions options = workload::MakeEdrOptions();
+  options.num_queries = num_queries;
+  options.target_sequence_cost *=
+      static_cast<double>(num_queries) / 27663.0;
+  workload::TraceGenerator gen(&catalog, options);
+  return gen.Generate();
+}
+
+TEST(HierarchyIntegrationTest, SharedParentBeatsChildrenOnly) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  workload::Trace trace = MakeMiniEdr(catalog, 4000);
+  auto federation = federation::Federation::SingleSite(std::move(catalog));
+  sim::Simulator simulator(&federation, catalog::Granularity::kColumn);
+  auto queries = simulator.DecomposeTrace(trace);
+
+  const int kChildren = 4;
+  std::vector<int> community(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    community[i] = static_cast<int>(
+        query::SchemaSignature(trace.queries[i].query) %
+        static_cast<uint64_t>(kChildren));
+  }
+  uint64_t child_cap = federation.catalog().total_size_bytes() / 20;
+
+  auto run = [&](uint64_t parent_cap) {
+    sim::HierarchySimulator::Options options;
+    options.num_children = kChildren;
+    options.parent_link_fraction = 0.25;
+    std::vector<std::unique_ptr<core::CachePolicy>> kids;
+    for (int i = 0; i < kChildren; ++i) {
+      core::RateProfilePolicy::Options rp;
+      rp.capacity_bytes = child_cap;
+      kids.push_back(std::make_unique<core::RateProfilePolicy>(rp));
+    }
+    core::RateProfilePolicy::Options parent_rp;
+    parent_rp.capacity_bytes = parent_cap;
+    sim::HierarchySimulator hierarchy(
+        options, std::move(kids),
+        std::make_unique<core::RateProfilePolicy>(parent_rp));
+    double total = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      for (const core::Access& a : queries[i]) {
+        total += hierarchy.OnAccess(community[i], a);
+      }
+    }
+    return total;
+  };
+
+  double children_only = run(0);
+  double with_parent = run(federation.catalog().total_size_bytes() / 5);
+  EXPECT_LT(with_parent, children_only * 0.8);
+}
+
+TEST(TraceRoundTripIntegrationTest, ReplayAfterFileRoundTripIsIdentical) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  workload::Trace trace = MakeMiniEdr(catalog, 2000);
+
+  std::stringstream file;
+  ASSERT_TRUE(workload::WriteTrace(trace, file).ok());
+  auto reread = workload::ReadTrace(catalog, file);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+
+  auto federation = federation::Federation::SingleSite(std::move(catalog));
+  sim::Simulator simulator(&federation, catalog::Granularity::kColumn);
+  uint64_t capacity = federation.catalog().total_size_bytes() * 3 / 10;
+
+  auto replay = [&](const workload::Trace& t) {
+    core::RateProfilePolicy::Options options;
+    options.capacity_bytes = capacity;
+    core::RateProfilePolicy policy(options);
+    return simulator.Run(policy, t).totals;
+  };
+  sim::CostBreakdown original = replay(trace);
+  sim::CostBreakdown round_tripped = replay(*reread);
+  EXPECT_EQ(original.bypass_cost, round_tripped.bypass_cost);
+  EXPECT_EQ(original.fetch_cost, round_tripped.fetch_cost);
+  EXPECT_EQ(original.served_cost, round_tripped.served_cost);
+  EXPECT_EQ(original.hits, round_tripped.hits);
+  EXPECT_EQ(original.evictions, round_tripped.evictions);
+}
+
+}  // namespace
+}  // namespace byc

@@ -1,0 +1,176 @@
+#include "federation/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+#include "federation/mediator.h"
+#include "net/cost_model.h"
+#include "query/binder.h"
+
+namespace byc::federation {
+namespace {
+
+TEST(CostModelTest, UniformChargesSameEverywhere) {
+  net::UniformCostModel model(2.5);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(0), 2.5);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(7), 2.5);
+}
+
+TEST(CostModelTest, PerSiteCharges) {
+  net::PerSiteCostModel model({1.0, 3.0, 0.5});
+  EXPECT_EQ(model.num_sites(), 3);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(1), 3.0);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(2), 0.5);
+}
+
+TEST(FederationTest, SingleSiteOwnsAllTables) {
+  auto fed = Federation::SingleSite(catalog::MakeSdssEdrCatalog());
+  EXPECT_EQ(fed.num_sites(), 1);
+  EXPECT_EQ(fed.site(0).tables.size(),
+            static_cast<size_t>(fed.catalog().num_tables()));
+  for (int t = 0; t < fed.catalog().num_tables(); ++t) {
+    EXPECT_EQ(fed.SiteOfTable(t), 0);
+  }
+}
+
+TEST(FederationTest, FetchCostEqualsSizeOnUnitCostNetwork) {
+  auto fed = Federation::SingleSite(catalog::MakeSdssEdrCatalog(), 1.0);
+  catalog::ObjectId table0 = catalog::ObjectId::ForTable(0);
+  EXPECT_DOUBLE_EQ(
+      fed.FetchCost(table0),
+      static_cast<double>(ObjectSizeBytes(fed.catalog(), table0)));
+}
+
+TEST(FederationTest, FetchCostScalesWithLinkCost) {
+  auto fed = Federation::SingleSite(catalog::MakeSdssEdrCatalog(), 3.0);
+  catalog::ObjectId col = catalog::ObjectId::ForColumn(0, 2);
+  EXPECT_DOUBLE_EQ(
+      fed.FetchCost(col),
+      3.0 * static_cast<double>(ObjectSizeBytes(fed.catalog(), col)));
+  EXPECT_DOUBLE_EQ(fed.TransferCost(col, 100.0), 300.0);
+}
+
+TEST(FederationTest, MultiSitePartitionsTables) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  int n = catalog.num_tables();
+  std::vector<int> table_site(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) table_site[static_cast<size_t>(t)] = t % 3;
+  auto fed = Federation::MultiSite(std::move(catalog), table_site,
+                                   {1.0, 2.0, 4.0});
+  ASSERT_TRUE(fed.ok());
+  EXPECT_EQ(fed->num_sites(), 3);
+  size_t owned = 0;
+  for (int s = 0; s < 3; ++s) owned += fed->site(s).tables.size();
+  EXPECT_EQ(owned, static_cast<size_t>(n));
+  // Table 1 lives at site 1 with cost 2.0.
+  EXPECT_EQ(fed->SiteOfTable(1), 1);
+  catalog::ObjectId t1 = catalog::ObjectId::ForTable(1);
+  EXPECT_DOUBLE_EQ(
+      fed->FetchCost(t1),
+      2.0 * static_cast<double>(ObjectSizeBytes(fed->catalog(), t1)));
+}
+
+TEST(FederationTest, MultiSiteValidatesInputs) {
+  EXPECT_FALSE(Federation::MultiSite(catalog::MakeSdssEdrCatalog(), {0},
+                                     {1.0})
+                   .ok());  // wrong table_site length
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  std::vector<int> bad(static_cast<size_t>(catalog.num_tables()), 5);
+  EXPECT_FALSE(
+      Federation::MultiSite(std::move(catalog), bad, {1.0}).ok());
+  EXPECT_FALSE(Federation::MultiSite(catalog::MakeSdssEdrCatalog(),
+                                     std::vector<int>(13, 0), {})
+                   .ok());  // no sites
+}
+
+class MediatorTest : public ::testing::Test {
+ protected:
+  MediatorTest()
+      : fed_(Federation::SingleSite(catalog::MakeSdssEdrCatalog())) {}
+
+  query::ResolvedQuery Bind(std::string_view sql) {
+    auto r = query::ParseAndBind(fed_.catalog(), sql);
+    BYC_CHECK(r.ok());
+    return std::move(r).value();
+  }
+
+  Federation fed_;
+};
+
+TEST_F(MediatorTest, DecomposeCoversQueryYield) {
+  Mediator mediator(&fed_, catalog::Granularity::kColumn);
+  auto q = Bind(
+      "select p.objID, p.ra, s.z from SpecObj s, PhotoObj p "
+      "where p.objID = s.objID and s.zConf > 0.9");
+  auto accesses = mediator.Decompose(q);
+  ASSERT_FALSE(accesses.empty());
+  query::QueryYield yields =
+      mediator.estimator().Estimate(q, catalog::Granularity::kColumn);
+  double sum = 0;
+  for (const auto& a : accesses) {
+    sum += a.yield_bytes;
+    EXPECT_GT(a.size_bytes, 0u);
+    EXPECT_DOUBLE_EQ(a.fetch_cost, static_cast<double>(a.size_bytes));
+    EXPECT_DOUBLE_EQ(a.bypass_cost, a.yield_bytes);  // unit-cost network
+  }
+  EXPECT_NEAR(sum, yields.total_bytes, 1e-6);
+}
+
+TEST_F(MediatorTest, TableGranularityEmitsTables) {
+  Mediator mediator(&fed_, catalog::Granularity::kTable);
+  auto q = Bind("select p.ra from PhotoObj p where p.modelMag_g > 17");
+  auto accesses = mediator.Decompose(q);
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_TRUE(accesses[0].object.is_table());
+}
+
+TEST_F(MediatorTest, SplitSingleSiteProducesOneSubQuery) {
+  Mediator mediator(&fed_, catalog::Granularity::kTable);
+  auto q = Bind(
+      "select p.ra, s.z from SpecObj s, PhotoObj p where p.objID = s.objID");
+  auto subs = mediator.Split(q);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].site, 0);
+  EXPECT_EQ(subs[0].table_slots.size(), 2u);
+  query::QueryYield yields =
+      mediator.estimator().Estimate(q, catalog::Granularity::kTable);
+  EXPECT_NEAR(subs[0].result_bytes, yields.total_bytes, 1e-6);
+}
+
+TEST(MediatorMultiSiteTest, SplitsAcrossOwningSites) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  int photo = *catalog.FindTable("PhotoObj");
+  int spec = *catalog.FindTable("SpecObj");
+  std::vector<int> table_site(static_cast<size_t>(catalog.num_tables()), 0);
+  table_site[static_cast<size_t>(spec)] = 1;
+  auto fed =
+      Federation::MultiSite(std::move(catalog), table_site, {1.0, 5.0});
+  ASSERT_TRUE(fed.ok());
+  Mediator mediator(&*fed, catalog::Granularity::kTable);
+  auto r = query::ParseAndBind(
+      fed->catalog(),
+      "select p.ra, s.z from SpecObj s, PhotoObj p where p.objID = s.objID");
+  ASSERT_TRUE(r.ok());
+  auto subs = mediator.Split(*r);
+  ASSERT_EQ(subs.size(), 2u);
+  // Each site received its own slots; yields split between them.
+  EXPECT_NE(subs[0].site, subs[1].site);
+  EXPECT_GT(subs[0].result_bytes, 0);
+  EXPECT_GT(subs[1].result_bytes, 0);
+
+  // Accesses to SpecObj objects cost 5x per byte.
+  auto accesses = mediator.Decompose(*r);
+  for (const auto& a : accesses) {
+    if (a.object.table == spec) {
+      EXPECT_DOUBLE_EQ(a.bypass_cost, 5.0 * a.yield_bytes);
+      EXPECT_DOUBLE_EQ(a.fetch_cost,
+                       5.0 * static_cast<double>(a.size_bytes));
+    } else if (a.object.table == photo) {
+      EXPECT_DOUBLE_EQ(a.bypass_cost, a.yield_bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace byc::federation

@@ -1,0 +1,211 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "catalog/sdss.h"
+#include "common/bytes.h"
+#include "query/signature.h"
+#include "workload/trace_stats.h"
+
+namespace byc::workload {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : catalog_(catalog::MakeSdssEdrCatalog()) {}
+
+  Trace Generate(GeneratorOptions options) {
+    TraceGenerator gen(&catalog_, options);
+    return gen.Generate();
+  }
+
+  catalog::Catalog catalog_;
+};
+
+TEST_F(GeneratorTest, ProducesRequestedQueryCount) {
+  GeneratorOptions options;
+  options.num_queries = 500;
+  options.target_sequence_cost = 0;
+  Trace trace = Generate(options);
+  EXPECT_EQ(trace.queries.size(), 500u);
+  EXPECT_EQ(trace.name, "EDR");
+}
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorOptions options;
+  options.num_queries = 300;
+  options.target_sequence_cost = 0;
+  Trace a = Generate(options);
+  Trace b = Generate(options);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    ASSERT_EQ(a.queries[i].klass, b.queries[i].klass);
+    ASSERT_EQ(a.queries[i].cells, b.queries[i].cells);
+    ASSERT_EQ(query::SchemaSignature(a.queries[i].query),
+              query::SchemaSignature(b.queries[i].query));
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsProduceDifferentTraces) {
+  GeneratorOptions a_options, b_options;
+  a_options.num_queries = b_options.num_queries = 200;
+  a_options.target_sequence_cost = b_options.target_sequence_cost = 0;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  Trace a = Generate(a_options);
+  Trace b = Generate(b_options);
+  int diffs = 0;
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    diffs += a.queries[i].klass != b.queries[i].klass;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST_F(GeneratorTest, ClassMixTracksConfiguredProbabilities) {
+  GeneratorOptions options;
+  options.num_queries = 8000;
+  options.target_sequence_cost = 0;
+  Trace trace = Generate(options);
+  std::map<QueryClass, int> counts;
+  for (const auto& tq : trace.queries) ++counts[tq.klass];
+  double n = static_cast<double>(trace.queries.size());
+  // Cold-tail queries are emitted as kRange, so range absorbs the
+  // remainder mass.
+  double p_cold = 1.0 - options.p_range - options.p_spatial -
+                  options.p_identity - options.p_aggregate - options.p_join;
+  EXPECT_NEAR(counts[QueryClass::kRange] / n, options.p_range + p_cold,
+              0.02);
+  EXPECT_NEAR(counts[QueryClass::kSpatial] / n, options.p_spatial, 0.02);
+  EXPECT_NEAR(counts[QueryClass::kIdentity] / n, options.p_identity, 0.02);
+  EXPECT_NEAR(counts[QueryClass::kAggregate] / n, options.p_aggregate, 0.02);
+  EXPECT_NEAR(counts[QueryClass::kJoin] / n, options.p_join, 0.02);
+}
+
+TEST_F(GeneratorTest, CalibrationHitsPublishedSequenceCost) {
+  GeneratorOptions options = MakeEdrOptions();
+  options.num_queries = 4000;  // scaled-down trace, scaled-down target
+  options.target_sequence_cost = 1216.94 * kGB * 4000 / 27663;
+  TraceGenerator gen(&catalog_, options);
+  Trace trace = gen.Generate();
+  double cost = gen.SequenceCost(trace);
+  EXPECT_NEAR(cost / options.target_sequence_cost, 1.0, 0.03);
+}
+
+TEST_F(GeneratorTest, SelectivitiesStayInRange) {
+  GeneratorOptions options;
+  options.num_queries = 1000;
+  options.target_sequence_cost = 0;
+  Trace trace = Generate(options);
+  for (const auto& tq : trace.queries) {
+    for (const auto& f : tq.query.filters) {
+      EXPECT_GT(f.selectivity, 0);
+      EXPECT_LE(f.selectivity, 1);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, IdentityQueriesCarryFreshIdentifiers) {
+  GeneratorOptions options;
+  options.num_queries = 3000;
+  options.target_sequence_cost = 0;
+  Trace trace = Generate(options);
+  std::map<int64_t, int> id_counts;
+  int identity_queries = 0;
+  for (const auto& tq : trace.queries) {
+    if (tq.klass != QueryClass::kIdentity) continue;
+    ++identity_queries;
+    ASSERT_EQ(tq.cells.size(), 1u);
+    ++id_counts[tq.cells[0]];
+  }
+  ASSERT_GT(identity_queries, 100);
+  // "Schema reuse against different data": almost all identifiers are
+  // distinct.
+  int repeats = 0;
+  for (const auto& [id, count] : id_counts) repeats += count - 1;
+  EXPECT_LT(repeats, identity_queries / 20);
+}
+
+TEST_F(GeneratorTest, SchemaReuseIsHeavy) {
+  // Few distinct schema signatures despite thousands of queries (§1.1:
+  // workloads "exhibit schema reuse").
+  GeneratorOptions options;
+  options.num_queries = 5000;
+  options.target_sequence_cost = 0;
+  Trace trace = Generate(options);
+  std::map<uint64_t, int> signature_counts;
+  for (const auto& tq : trace.queries) {
+    ++signature_counts[query::SchemaSignature(tq.query)];
+  }
+  EXPECT_LT(signature_counts.size(), 200u);
+  // The head signatures dominate.
+  int max_count = 0;
+  for (const auto& [sig, count] : signature_counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GT(max_count, 200);
+}
+
+TEST_F(GeneratorTest, QueryContainmentIsRare) {
+  GeneratorOptions options;
+  options.num_queries = 5000;
+  options.target_sequence_cost = 0;
+  Trace trace = Generate(options);
+  ContainmentStats stats = AnalyzeContainment(trace, 50);
+  ASSERT_GT(stats.num_queries, 1000u);
+  EXPECT_LT(static_cast<double>(stats.fully_contained) /
+                static_cast<double>(stats.num_queries),
+            0.02);
+  EXPECT_LT(stats.mean_overlap, 0.05);
+}
+
+TEST_F(GeneratorTest, SchemaLocalityConcentratesReferences) {
+  GeneratorOptions options;
+  options.num_queries = 5000;
+  options.target_sequence_cost = 0;
+  Trace trace = Generate(options);
+  LocalityStats stats = AnalyzeSchemaLocality(catalog_, trace,
+                                              catalog::Granularity::kColumn);
+  // 90% of references land in well under half the schema's columns.
+  EXPECT_LT(stats.objects_for_90pct,
+            static_cast<size_t>(catalog_.total_columns()) / 2);
+  // And the hot columns stay hot across the whole trace.
+  EXPECT_GT(stats.hot_span_fraction, 0.9);
+}
+
+TEST_F(GeneratorTest, Dr1PresetIsMoreDispersed) {
+  auto dr1_catalog = catalog::MakeSdssDr1Catalog();
+  GeneratorOptions edr = MakeEdrOptions();
+  GeneratorOptions dr1 = MakeDr1Options();
+  EXPECT_LT(dr1.num_queries, edr.num_queries);
+  EXPECT_GT(dr1.target_sequence_cost, edr.target_sequence_cost);
+  EXPECT_GT(dr1.phase_churn, edr.phase_churn);
+  // Cold mass (remainder) is larger for DR1.
+  double edr_cold = 1 - edr.p_range - edr.p_spatial - edr.p_identity -
+                    edr.p_aggregate - edr.p_join;
+  double dr1_cold = 1 - dr1.p_range - dr1.p_spatial - dr1.p_identity -
+                    dr1.p_aggregate - dr1.p_join;
+  EXPECT_GT(dr1_cold, edr_cold);
+}
+
+TEST_F(GeneratorTest, RegionQueriesCoverBoundedCellRuns) {
+  GeneratorOptions options;
+  options.num_queries = 2000;
+  options.target_sequence_cost = 0;
+  Trace trace = Generate(options);
+  for (const auto& tq : trace.queries) {
+    if (tq.klass != QueryClass::kRange && tq.klass != QueryClass::kSpatial)
+      continue;
+    ASSERT_FALSE(tq.cells.empty());
+    ASSERT_LE(tq.cells.size(), 64u);
+    for (size_t i = 1; i < tq.cells.size(); ++i) {
+      ASSERT_EQ(tq.cells[i], tq.cells[i - 1] + 1);  // contiguous run
+    }
+    ASSERT_GE(tq.cells.front(), 0);
+    ASSERT_LT(tq.cells.back(), options.num_sky_cells);
+  }
+}
+
+}  // namespace
+}  // namespace byc::workload

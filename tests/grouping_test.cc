@@ -1,0 +1,211 @@
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "core/landlord.h"
+#include "core/offline_opt.h"
+#include "core/online_by_policy.h"
+#include "test_util.h"
+
+namespace byc::core {
+namespace {
+
+using test::MakeAccess;
+
+double TotalYield(const std::vector<Access>& accesses) {
+  double sum = 0;
+  for (const Access& a : accesses) sum += a.yield_bytes;
+  return sum;
+}
+
+TEST(GroupingTest, ExactUnitsFormOneGroupEach) {
+  // Each access yields exactly the object size: one group per access.
+  std::vector<Access> accesses(3, MakeAccess(0, 100.0, 100));
+  GroupedSequences g = GroupAccesses(accesses);
+  EXPECT_EQ(g.object_sequence.size(), 3u);
+  EXPECT_TRUE(g.dropped.empty());
+  EXPECT_EQ(g.trimmed.size(), 3u);
+  for (const Access& req : g.object_sequence) {
+    EXPECT_DOUBLE_EQ(req.bypass_cost, req.fetch_cost);
+    EXPECT_DOUBLE_EQ(req.yield_bytes, 100.0);
+  }
+}
+
+TEST(GroupingTest, SubUnitYieldsAccumulate) {
+  // 0.4 units each: accesses 1-3 complete group one (0.4+0.4+0.2 of the
+  // third), the remainder starts group two which never completes.
+  std::vector<Access> accesses(4, MakeAccess(0, 40.0, 100));
+  GroupedSequences g = GroupAccesses(accesses);
+  EXPECT_EQ(g.object_sequence.size(), 1u);
+  // Trimmed: accesses 1, 2, and the 0.2/0.4 = half of access 3.
+  ASSERT_EQ(g.trimmed.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.trimmed[2].yield_bytes, 20.0);
+  // Dropped: half of access 3 plus access 4.
+  ASSERT_EQ(g.dropped.size(), 2u);
+  EXPECT_NEAR(TotalYield(g.dropped), 20.0 + 40.0, 1e-9);
+}
+
+TEST(GroupingTest, YieldMassIsConserved) {
+  Rng rng(5);
+  std::vector<Access> accesses;
+  for (int i = 0; i < 300; ++i) {
+    int obj = static_cast<int>(rng.NextUint64(6));
+    uint64_t size = 50u + 30u * static_cast<uint64_t>(obj);
+    accesses.push_back(
+        MakeAccess(obj, rng.NextExponential(40.0), size));
+  }
+  GroupedSequences g = GroupAccesses(accesses);
+  EXPECT_NEAR(TotalYield(g.trimmed) + TotalYield(g.dropped),
+              TotalYield(accesses), 1e-6);
+}
+
+TEST(GroupingTest, GroupsCarryExactlyUnitYield) {
+  Rng rng(6);
+  std::vector<Access> accesses;
+  for (int i = 0; i < 400; ++i) {
+    accesses.push_back(MakeAccess(static_cast<int>(rng.NextUint64(4)),
+                                  rng.NextExponential(60.0), 100));
+  }
+  GroupedSequences g = GroupAccesses(accesses);
+  // Per object: trimmed yield == groups x size.
+  std::unordered_map<uint64_t, double> trimmed_yield;
+  std::unordered_map<uint64_t, int> groups;
+  for (const Access& a : g.trimmed) {
+    trimmed_yield[a.object.Key()] += a.yield_bytes;
+  }
+  for (const Access& a : g.object_sequence) ++groups[a.object.Key()];
+  for (const auto& [key, yield] : trimmed_yield) {
+    EXPECT_NEAR(yield, 100.0 * groups[key], 1e-6);
+  }
+}
+
+TEST(GroupingTest, GiantYieldCompletesMultipleGroups) {
+  std::vector<Access> accesses = {MakeAccess(0, 250.0, 100)};
+  GroupedSequences g = GroupAccesses(accesses);
+  EXPECT_EQ(g.object_sequence.size(), 2u);
+  ASSERT_EQ(g.dropped.size(), 1u);
+  EXPECT_NEAR(g.dropped[0].yield_bytes, 50.0, 1e-9);
+}
+
+TEST(GroupingTest, DroppedQueriesHaveSubFetchBypassCost) {
+  // Observation 5.3's premise: per object, the dropped queries' total
+  // bypass cost is below the fetch cost (else they'd form a group).
+  Rng rng(7);
+  std::vector<Access> accesses;
+  for (int i = 0; i < 500; ++i) {
+    int obj = static_cast<int>(rng.NextUint64(8));
+    uint64_t size = 60u + 20u * static_cast<uint64_t>(obj);
+    accesses.push_back(MakeAccess(obj, rng.NextExponential(30.0), size));
+  }
+  GroupedSequences g = GroupAccesses(accesses);
+  std::unordered_map<uint64_t, double> dropped_cost;
+  std::unordered_map<uint64_t, double> fetch;
+  for (const Access& a : g.dropped) {
+    dropped_cost[a.object.Key()] += a.bypass_cost;
+    fetch[a.object.Key()] = a.fetch_cost;
+  }
+  for (const auto& [key, cost] : dropped_cost) {
+    EXPECT_LT(cost, fetch[key] + 1e-6);
+  }
+}
+
+TEST(GroupingTest, Lemma51HoldsEmpirically) {
+  // Lemma 5.1: cost of OPT_object on object(σ) is at most 2x the cost
+  // of OPT_yield on trimmed(σ). OPT_object is the yield optimum applied
+  // to the whole-object request sequence (each request's bypass cost
+  // equals the fetch cost).
+  Rng rng(8);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<Access> accesses;
+    for (int i = 0; i < 200; ++i) {
+      int obj = static_cast<int>(rng.NextUint64(5));
+      uint64_t size = 80u + 40u * static_cast<uint64_t>(obj);
+      accesses.push_back(MakeAccess(obj, rng.NextExponential(70.0), size));
+    }
+    GroupedSequences g = GroupAccesses(accesses);
+    const uint64_t capacity = 260;
+    auto opt_object = OfflineOptimalCost(g.object_sequence, capacity);
+    auto opt_trimmed = OfflineOptimalCost(g.trimmed, capacity);
+    ASSERT_TRUE(opt_object.ok() && opt_trimmed.ok());
+    EXPECT_LE(*opt_object, 2.0 * *opt_trimmed + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(GroupingTest, ObjectSequenceMatchesOnlineByRequestCount) {
+  // The grouping is exactly what OnlineBY's BYU accumulation performs:
+  // group counts equal the number of A_obj requests OnlineBY generates.
+  Rng rng(9);
+  std::vector<Access> accesses;
+  for (int i = 0; i < 300; ++i) {
+    accesses.push_back(MakeAccess(static_cast<int>(rng.NextUint64(3)),
+                                  rng.NextExponential(50.0), 120));
+  }
+  GroupedSequences g = GroupAccesses(accesses);
+
+  // Count BYU crossings the way OnlineBY does.
+  std::unordered_map<uint64_t, double> byu;
+  size_t crossings = 0;
+  for (const Access& a : accesses) {
+    double& b = byu[a.object.Key()];
+    b += a.yield_bytes / static_cast<double>(a.size_bytes);
+    while (b >= 1.0) {
+      b -= 1.0;
+      ++crossings;
+    }
+  }
+  EXPECT_EQ(g.object_sequence.size(), crossings);
+}
+
+TEST(GroupingTest, OnlineByIsAobjComposedWithGrouping) {
+  // The reduction, verified structurally: running A_obj directly over
+  // object(sigma) produces the same residency evolution as OnlineBY over
+  // sigma, because OnlineBY *is* the grouping transformation applied
+  // on-line.
+  Rng rng(10);
+  std::vector<Access> accesses;
+  for (int i = 0; i < 500; ++i) {
+    int obj = static_cast<int>(rng.NextUint64(5));
+    uint64_t size = 100u + 50u * static_cast<uint64_t>(obj);
+    accesses.push_back(MakeAccess(obj, rng.NextExponential(80.0), size));
+  }
+  GroupedSequences g = GroupAccesses(accesses);
+
+  const uint64_t capacity = 500;
+  // Reference: A_obj fed the object sequence directly.
+  RentToBuyCache reference(capacity);
+  std::vector<bool> ref_loaded;
+  for (const Access& req : g.object_sequence) {
+    ref_loaded.push_back(
+        reference.OnRequest(req.object, req.size_bytes, req.fetch_cost)
+            .loaded);
+  }
+
+  // OnlineBY over the raw accesses.
+  OnlineByPolicy::Options options;
+  options.capacity_bytes = capacity;
+  options.aobj = AobjKind::kRentToBuy;
+  OnlineByPolicy policy(options);
+  for (const Access& a : accesses) policy.OnAccess(a);
+  // Compare final residency rather than per-event logs: an access that
+  // completes two groups folds two A_obj requests into one decision.
+  for (int obj = 0; obj < 5; ++obj) {
+    catalog::ObjectId id = catalog::ObjectId::ForTable(obj);
+    EXPECT_EQ(policy.Contains(id), reference.Contains(id)) << obj;
+  }
+  // And the number of loads seen by each must agree.
+  size_t ref_loads = 0;
+  for (bool loaded : ref_loaded) ref_loads += loaded;
+  // Replay OnlineBY counting kLoadAndServe decisions.
+  OnlineByPolicy policy2(options);
+  size_t online_loads = 0;
+  for (const Access& a : accesses) {
+    online_loads += policy2.OnAccess(a).action == Action::kLoadAndServe;
+  }
+  EXPECT_EQ(online_loads, ref_loads);
+}
+
+}  // namespace
+}  // namespace byc::core

@@ -1,0 +1,138 @@
+#include "sim/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/no_cache_policy.h"
+#include "core/rate_profile_policy.h"
+#include "core/static_policy.h"
+#include "test_util.h"
+
+namespace byc::sim {
+namespace {
+
+using core::Access;
+using test::MakeAccess;
+
+std::unique_ptr<core::CachePolicy> MakeRate(uint64_t capacity) {
+  core::RateProfilePolicy::Options options;
+  options.capacity_bytes = capacity;
+  return std::make_unique<core::RateProfilePolicy>(options);
+}
+
+std::unique_ptr<core::CachePolicy> MakeStaticWith(
+    std::vector<std::pair<catalog::ObjectId, uint64_t>> contents,
+    uint64_t capacity) {
+  core::StaticPolicy::Options options;
+  options.capacity_bytes = capacity;
+  options.charge_initial_load = false;
+  return std::make_unique<core::StaticPolicy>(options, contents);
+}
+
+HierarchySimulator MakeSimulator(int children, uint64_t child_capacity,
+                                 uint64_t parent_capacity,
+                                 double link_fraction = 0.25) {
+  HierarchySimulator::Options options;
+  options.num_children = children;
+  options.parent_link_fraction = link_fraction;
+  std::vector<std::unique_ptr<core::CachePolicy>> kids;
+  for (int i = 0; i < children; ++i) kids.push_back(MakeRate(child_capacity));
+  return HierarchySimulator(options, std::move(kids),
+                            MakeRate(parent_capacity));
+}
+
+TEST(HierarchyTest, ColdAccessBypassesBothLevelsAtFullCost) {
+  auto sim = MakeSimulator(2, 1000, 1000);
+  // First-ever access: both levels bypass; the query runs at the servers.
+  double cost = sim.OnAccess(0, MakeAccess(0, 50.0, 100));
+  EXPECT_DOUBLE_EQ(cost, 50.0);
+  EXPECT_DOUBLE_EQ(sim.costs().server_traffic, 50.0);
+  EXPECT_DOUBLE_EQ(sim.costs().parent_link_traffic, 0.0);
+  EXPECT_EQ(sim.child_totals().bypasses, 1u);
+  EXPECT_EQ(sim.parent_totals().bypasses, 1u);
+}
+
+TEST(HierarchyTest, ChildHitIsFree) {
+  auto sim = MakeSimulator(1, 1000, 1000);
+  Access hot = MakeAccess(0, 150.0, 100);  // loads immediately (y > f)
+  sim.OnAccess(0, hot);
+  double cost = sim.OnAccess(0, hot);
+  EXPECT_DOUBLE_EQ(cost, 0.0);
+  EXPECT_EQ(sim.child_totals().hits, 1u);
+}
+
+TEST(HierarchyTest, ParentServesSiblingsOverCheapLink) {
+  // The parent holds the object statically; children have no cache.
+  HierarchySimulator::Options options;
+  options.num_children = 2;
+  options.parent_link_fraction = 0.25;
+  std::vector<std::unique_ptr<core::CachePolicy>> kids;
+  for (int i = 0; i < 2; ++i) kids.push_back(std::make_unique<core::NoCachePolicy>());
+  auto parent = MakeStaticWith({{catalog::ObjectId::ForTable(0), 100}}, 1000);
+  HierarchySimulator sim(options, std::move(kids), std::move(parent));
+
+  Access access = MakeAccess(0, 80.0, 100);
+  double c0 = sim.OnAccess(0, access);
+  double c1 = sim.OnAccess(1, access);
+  // Both communities are served from the parent at a quarter the cost.
+  EXPECT_DOUBLE_EQ(c0, 80.0 * 0.25);
+  EXPECT_DOUBLE_EQ(c1, 80.0 * 0.25);
+  EXPECT_DOUBLE_EQ(sim.costs().server_traffic, 0.0);
+  EXPECT_EQ(sim.parent_totals().hits, 2u);
+}
+
+TEST(HierarchyTest, ChildLoadsFromResidentParentAtLinkCost) {
+  HierarchySimulator::Options options;
+  options.num_children = 1;
+  options.parent_link_fraction = 0.25;
+  std::vector<std::unique_ptr<core::CachePolicy>> kids;
+  kids.push_back(MakeRate(1000));
+  auto parent = MakeStaticWith({{catalog::ObjectId::ForTable(0), 100}}, 1000);
+  HierarchySimulator sim(options, std::move(kids), std::move(parent));
+
+  // Yield above fetch cost: the child loads on first access — from the
+  // parent, at link cost 100 * 0.25.
+  double cost = sim.OnAccess(0, MakeAccess(0, 150.0, 100));
+  EXPECT_DOUBLE_EQ(cost, 25.0);
+  EXPECT_DOUBLE_EQ(sim.costs().parent_link_traffic, 25.0);
+  EXPECT_DOUBLE_EQ(sim.costs().server_traffic, 0.0);
+}
+
+TEST(HierarchyTest, ChildLoadsFromServersWhenParentLacksObject) {
+  auto sim = MakeSimulator(1, 1000, 0);  // parent can hold nothing
+  double cost = sim.OnAccess(0, MakeAccess(0, 150.0, 100));
+  EXPECT_DOUBLE_EQ(cost, 100.0);  // full fetch from the federation
+  EXPECT_DOUBLE_EQ(sim.costs().server_traffic, 100.0);
+}
+
+TEST(HierarchyTest, ParentAggregatesDemandAcrossChildren) {
+  // Each child alone sees too little traffic to justify a load, but the
+  // parent sees the union and starts serving the whole population.
+  auto sim = MakeSimulator(4, 0, 10000);  // cacheless children
+  Access access = MakeAccess(0, 60.0, 100);
+  double total = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int child = 0; child < 4; ++child) {
+      total += sim.OnAccess(child, access);
+    }
+  }
+  EXPECT_GT(sim.parent_totals().hits, 12u);  // most accesses parent-served
+  // Far below the uncached cost of 24 * 60.
+  EXPECT_LT(total, 24 * 60.0 * 0.5);
+}
+
+TEST(HierarchyTest, RejectsBadConfiguration) {
+  HierarchySimulator::Options options;
+  options.num_children = 2;
+  std::vector<std::unique_ptr<core::CachePolicy>> kids;
+  kids.push_back(MakeRate(10));
+  kids.push_back(MakeRate(10));
+  EXPECT_DEATH(
+      {
+        HierarchySimulator sim(options, std::move(kids), nullptr);
+        (void)sim;
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace byc::sim

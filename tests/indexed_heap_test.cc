@@ -1,0 +1,144 @@
+#include "cache/indexed_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+
+namespace byc::cache {
+namespace {
+
+using Heap = IndexedMinHeap<int>;
+
+TEST(IndexedHeapTest, EmptyBehavior) {
+  Heap heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_FALSE(heap.Contains(1));
+}
+
+TEST(IndexedHeapTest, InsertAndPeekMin) {
+  Heap heap;
+  heap.Insert(1, 5.0);
+  heap.Insert(2, 3.0);
+  heap.Insert(3, 7.0);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.PeekMinKey(), 2);
+  EXPECT_DOUBLE_EQ(heap.PeekMinPriority(), 3.0);
+}
+
+TEST(IndexedHeapTest, PopMinDrainsInOrder) {
+  Heap heap;
+  for (int i : {5, 1, 4, 2, 3}) heap.Insert(i, i);
+  for (int expected = 1; expected <= 5; ++expected) {
+    EXPECT_EQ(heap.PopMin(), expected);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedHeapTest, UpdateMovesKeyUp) {
+  Heap heap;
+  heap.Insert(1, 10.0);
+  heap.Insert(2, 20.0);
+  heap.Update(2, 5.0);
+  EXPECT_EQ(heap.PeekMinKey(), 2);
+}
+
+TEST(IndexedHeapTest, UpdateMovesKeyDown) {
+  Heap heap;
+  heap.Insert(1, 10.0);
+  heap.Insert(2, 20.0);
+  heap.Update(1, 30.0);
+  EXPECT_EQ(heap.PeekMinKey(), 2);
+}
+
+TEST(IndexedHeapTest, UpsertInsertsThenUpdates) {
+  Heap heap;
+  heap.Upsert(1, 4.0);
+  EXPECT_DOUBLE_EQ(heap.PriorityOf(1), 4.0);
+  heap.Upsert(1, 2.0);
+  EXPECT_DOUBLE_EQ(heap.PriorityOf(1), 2.0);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(IndexedHeapTest, EraseMiddleKeepsOrder) {
+  Heap heap;
+  for (int i = 0; i < 10; ++i) heap.Insert(i, i);
+  heap.Erase(4);
+  EXPECT_FALSE(heap.Contains(4));
+  EXPECT_TRUE(heap.CheckInvariants());
+  std::vector<int> drained;
+  while (!heap.empty()) drained.push_back(heap.PopMin());
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 5, 6, 7, 8, 9}));
+}
+
+TEST(IndexedHeapTest, EraseLastElement) {
+  Heap heap;
+  heap.Insert(1, 1.0);
+  heap.Erase(1);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+TEST(IndexedHeapTest, TiedPrioritiesAllDrain) {
+  Heap heap;
+  for (int i = 0; i < 5; ++i) heap.Insert(i, 1.0);
+  std::set<int> drained;
+  while (!heap.empty()) drained.insert(heap.PopMin());
+  EXPECT_EQ(drained.size(), 5u);
+}
+
+TEST(IndexedHeapTest, ForEachVisitsAll) {
+  Heap heap;
+  for (int i = 0; i < 4; ++i) heap.Insert(i, i * 2.0);
+  std::map<int, double> seen;
+  heap.ForEach([&](int key, double priority) { seen[key] = priority; });
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_DOUBLE_EQ(seen[3], 6.0);
+}
+
+// Randomized differential test against a reference implementation.
+TEST(IndexedHeapTest, RandomizedMatchesReference) {
+  Heap heap;
+  std::map<int, double> reference;
+  Rng rng(2005);
+
+  for (int step = 0; step < 20000; ++step) {
+    int key = static_cast<int>(rng.NextUint64(200));
+    double op = rng.NextDouble();
+    if (op < 0.45) {
+      double priority = rng.NextDouble(0, 100);
+      if (reference.count(key) == 0) {
+        heap.Insert(key, priority);
+        reference[key] = priority;
+      } else {
+        heap.Update(key, priority);
+        reference[key] = priority;
+      }
+    } else if (op < 0.7) {
+      if (reference.count(key) != 0) {
+        heap.Erase(key);
+        reference.erase(key);
+      }
+    } else if (!reference.empty()) {
+      // PopMin must return a key with the global minimum priority.
+      double min_priority = heap.PeekMinPriority();
+      for (const auto& [k, p] : reference) {
+        ASSERT_LE(min_priority, p + 1e-12);
+      }
+      int popped = heap.PopMin();
+      ASSERT_EQ(reference.at(popped), min_priority);
+      reference.erase(popped);
+    }
+    ASSERT_EQ(heap.size(), reference.size());
+    if (step % 500 == 0) {
+      ASSERT_TRUE(heap.CheckInvariants());
+    }
+  }
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace byc::cache

@@ -1,0 +1,233 @@
+#include "core/inline_policies.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace byc::core {
+namespace {
+
+using test::MakeAccess;
+
+TEST(InlinePolicyTest, MissAlwaysLoads) {
+  LruPolicy policy(1000);
+  Decision d = policy.OnAccess(MakeAccess(0, 5.0, 100));
+  EXPECT_EQ(d.action, Action::kLoadAndServe);
+  EXPECT_TRUE(policy.Contains(catalog::ObjectId::ForTable(0)));
+}
+
+TEST(InlinePolicyTest, HitServesFromCache) {
+  LruPolicy policy(1000);
+  Access access = MakeAccess(0, 5.0, 100);
+  policy.OnAccess(access);
+  EXPECT_EQ(policy.OnAccess(access).action, Action::kServeFromCache);
+}
+
+TEST(InlinePolicyTest, OversizedObjectBypassed) {
+  LruPolicy policy(100);
+  Decision d = policy.OnAccess(MakeAccess(0, 5.0, 500));
+  EXPECT_EQ(d.action, Action::kBypass);
+  EXPECT_FALSE(policy.Contains(catalog::ObjectId::ForTable(0)));
+}
+
+TEST(LruTest, EvictsLeastRecentlyUsed) {
+  LruPolicy policy(300);
+  Access a = MakeAccess(0, 1.0, 100);
+  Access b = MakeAccess(1, 1.0, 100);
+  Access c = MakeAccess(2, 1.0, 100);
+  policy.OnAccess(a);
+  policy.OnAccess(b);
+  policy.OnAccess(c);
+  policy.OnAccess(a);  // refresh a: b is now LRU
+  Decision d = policy.OnAccess(MakeAccess(3, 1.0, 100));
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], b.object);
+  EXPECT_TRUE(policy.Contains(a.object));
+}
+
+TEST(LfuTest, EvictsLeastFrequentlyUsed) {
+  LfuPolicy policy(300);
+  Access a = MakeAccess(0, 1.0, 100);
+  Access b = MakeAccess(1, 1.0, 100);
+  Access c = MakeAccess(2, 1.0, 100);
+  policy.OnAccess(a);
+  policy.OnAccess(a);
+  policy.OnAccess(a);
+  policy.OnAccess(b);
+  policy.OnAccess(c);
+  policy.OnAccess(c);
+  // b has frequency 1: the victim.
+  Decision d = policy.OnAccess(MakeAccess(3, 1.0, 100));
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], b.object);
+}
+
+TEST(LfuTest, FrequencyPersistsAcrossEviction) {
+  LfuPolicy policy(200);
+  Access a = MakeAccess(0, 1.0, 100);
+  for (int i = 0; i < 5; ++i) policy.OnAccess(a);  // freq 5
+  Access b = MakeAccess(1, 1.0, 100);
+  Access c = MakeAccess(2, 1.0, 100);
+  policy.OnAccess(b);
+  policy.OnAccess(c);  // evicts b (freq 1), not a (freq 5)
+  EXPECT_TRUE(policy.Contains(a.object));
+  EXPECT_FALSE(policy.Contains(b.object));
+  // When b returns its count resumes at 2, still below a's.
+  Decision d = policy.OnAccess(b);
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], c.object);
+}
+
+TEST(GdsTest, EvictsLowestCostDensity) {
+  GdsPolicy policy(300);
+  // H = L + fetch/size; equal sizes, different fetch costs.
+  Access cheap = MakeAccess(0, 1.0, 100);
+  cheap.fetch_cost = 50.0;
+  Access dear = MakeAccess(1, 1.0, 100);
+  dear.fetch_cost = 500.0;
+  Access mid = MakeAccess(2, 1.0, 100);
+  mid.fetch_cost = 200.0;
+  policy.OnAccess(cheap);
+  policy.OnAccess(dear);
+  policy.OnAccess(mid);
+  Decision d = policy.OnAccess(MakeAccess(3, 1.0, 100));
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], cheap.object);
+}
+
+TEST(GdsTest, InflationAgesOldEntries) {
+  GdsPolicy policy(200);
+  // Load a high-value object, then churn through many cheap ones: the
+  // inflation L rises until the stale high-value entry gets displaced.
+  Access valuable = MakeAccess(0, 1.0, 100);
+  valuable.fetch_cost = 300.0;  // H = 3
+  policy.OnAccess(valuable);
+  bool evicted = false;
+  for (int i = 1; i < 30 && !evicted; ++i) {
+    Access churn = MakeAccess(i, 1.0, 100);
+    churn.fetch_cost = 100.0;
+    Decision d = policy.OnAccess(churn);
+    for (const auto& v : d.evictions) evicted |= v == valuable.object;
+  }
+  EXPECT_TRUE(evicted);
+}
+
+TEST(GdsTest, HitRefreshesPriorityAtCurrentInflation) {
+  GdsPolicy policy(200);
+  Access a = MakeAccess(0, 1.0, 100);
+  a.fetch_cost = 100.0;  // H = 1.0
+  Access b = MakeAccess(1, 1.0, 100);
+  b.fetch_cost = 140.0;  // H = 1.4
+  policy.OnAccess(a);
+  policy.OnAccess(b);
+  // c evicts a (the minimum, H = 1): L rises to 1; c gets H = 2.
+  Access c = MakeAccess(2, 1.0, 100);
+  c.fetch_cost = 100.0;
+  Decision dc = policy.OnAccess(c);
+  ASSERT_EQ(dc.evictions.size(), 1u);
+  ASSERT_EQ(dc.evictions[0], a.object);
+  // b's stale H (1.4) would lose to c (2.0); a hit re-bases it at the
+  // current inflation: H = 1 + 1.4 = 2.4 > 2.0.
+  policy.OnAccess(b);
+  Access d_obj = MakeAccess(3, 1.0, 100);
+  d_obj.fetch_cost = 10.0;
+  Decision d = policy.OnAccess(d_obj);
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], c.object);
+  EXPECT_TRUE(policy.Contains(b.object));
+}
+
+TEST(GdspTest, PopularityProtectsFrequentObjects) {
+  GdspPolicy policy(200);
+  Access frequent = MakeAccess(0, 1.0, 100);
+  Access rare = MakeAccess(1, 1.0, 100);
+  for (int i = 0; i < 5; ++i) policy.OnAccess(frequent);
+  policy.OnAccess(rare);
+  // Same size and fetch cost; frequency should decide the victim.
+  Decision d = policy.OnAccess(MakeAccess(2, 1.0, 100));
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], rare.object);
+}
+
+TEST(GdspTest, FrequencyPersistsAcrossEviction) {
+  GdspPolicy policy(100);
+  Access a = MakeAccess(0, 1.0, 100);
+  for (int i = 0; i < 4; ++i) policy.OnAccess(a);  // freq 4
+  policy.OnAccess(MakeAccess(1, 1.0, 100));        // evicts a
+  EXPECT_FALSE(policy.Contains(a.object));
+  // Returning a resumes with freq 5 * 1.0 + inflation: it beats a fresh
+  // object immediately.
+  policy.OnAccess(a);
+  Decision d = policy.OnAccess(MakeAccess(2, 1.0, 100));
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], a.object);  // still evicted: same H base...
+}
+
+TEST(LruKTest, UnderReferencedObjectsEvictFirst) {
+  LruKPolicy policy(300, /*k=*/2);
+  Access a = MakeAccess(0, 1.0, 100);
+  Access b = MakeAccess(1, 1.0, 100);
+  Access c = MakeAccess(2, 1.0, 100);
+  policy.OnAccess(a);
+  policy.OnAccess(a);  // a has 2 references: finite backward-K distance
+  policy.OnAccess(b);
+  policy.OnAccess(b);
+  policy.OnAccess(c);  // c has 1 reference: infinite distance
+  Decision d = policy.OnAccess(MakeAccess(3, 1.0, 100));
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], c.object);
+}
+
+TEST(LruKTest, EvictsOldestKthReference) {
+  LruKPolicy policy(300, /*k=*/2);
+  Access a = MakeAccess(0, 1.0, 100);
+  Access b = MakeAccess(1, 1.0, 100);
+  Access c = MakeAccess(2, 1.0, 100);
+  // Interleave so all have 2+ references; a's 2nd-most-recent is oldest.
+  policy.OnAccess(a);  // t1
+  policy.OnAccess(a);  // t2 -> a's K-distance anchor: t1
+  policy.OnAccess(b);  // t3
+  policy.OnAccess(c);  // t4
+  policy.OnAccess(b);  // t5 -> b anchor: t3
+  policy.OnAccess(c);  // t6 -> c anchor: t4
+  Decision d = policy.OnAccess(MakeAccess(3, 1.0, 100));
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], a.object);
+}
+
+TEST(LruKTest, RecencyBreaksTiesAmongUnderReferenced) {
+  LruKPolicy policy(200, /*k=*/3);
+  Access a = MakeAccess(0, 1.0, 100);
+  Access b = MakeAccess(1, 1.0, 100);
+  policy.OnAccess(a);  // both under-referenced (k=3)
+  policy.OnAccess(b);
+  policy.OnAccess(a);  // a more recent
+  Decision d = policy.OnAccess(MakeAccess(2, 1.0, 100));
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], b.object);
+}
+
+TEST(LruKTest, KEqualOneBehavesLikeLru) {
+  LruKPolicy lruk(300, /*k=*/1);
+  LruPolicy lru(300);
+  Rng rng = Rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    Access access = MakeAccess(static_cast<int>(rng.NextUint64(7)), 1.0, 100);
+    EXPECT_EQ(lruk.OnAccess(access).action, lru.OnAccess(access).action)
+        << "step " << i;
+  }
+}
+
+TEST(InlinePolicyTest, EvictionsFreeExactlyEnoughSpace) {
+  LruPolicy policy(1000);
+  for (int i = 0; i < 10; ++i) {
+    policy.OnAccess(MakeAccess(i, 1.0, 100));
+  }
+  Decision d = policy.OnAccess(MakeAccess(99, 1.0, 250));
+  EXPECT_EQ(d.evictions.size(), 3u);  // 3 x 100 frees 300 >= 250
+  EXPECT_LE(policy.used_bytes(), policy.capacity_bytes());
+}
+
+}  // namespace
+}  // namespace byc::core

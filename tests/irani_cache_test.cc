@@ -1,0 +1,109 @@
+#include "core/irani_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace byc::core {
+namespace {
+
+using catalog::ObjectId;
+
+/// Requests the object twice to pass rent-to-buy admission.
+void Admit(IraniSizeClassCache& cache, const ObjectId& id, uint64_t size) {
+  cache.OnRequest(id, size, static_cast<double>(size));
+  cache.OnRequest(id, size, static_cast<double>(size));
+}
+
+TEST(IraniCacheTest, RentToBuyAdmission) {
+  IraniSizeClassCache cache(1000);
+  ObjectId id = ObjectId::ForTable(0);
+  auto first = cache.OnRequest(id, 200, 200.0);
+  EXPECT_FALSE(first.loaded);
+  auto second = cache.OnRequest(id, 200, 200.0);
+  EXPECT_TRUE(second.loaded);
+  EXPECT_TRUE(cache.Contains(id));
+}
+
+TEST(IraniCacheTest, OversizedBypassed) {
+  IraniSizeClassCache cache(100);
+  ObjectId id = ObjectId::ForTable(0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cache.OnRequest(id, 500, 500.0).loaded);
+  }
+}
+
+TEST(IraniCacheTest, EvictsFromClassWithMostUnmarkedBytes) {
+  IraniSizeClassCache cache(1000);
+  // Class ~7 (size 200) and class ~9 (size 600).
+  Admit(cache, ObjectId::ForTable(0), 200);
+  Admit(cache, ObjectId::ForTable(1), 600);
+  // Unmark both by forcing a phase change: fill the cache so eviction
+  // must happen when everything is marked.
+  // (Fresh objects are marked; evicting requires a phase reset.)
+  uint64_t phases_before = cache.phase_count();
+  Admit(cache, ObjectId::ForTable(2), 400);
+  EXPECT_GT(cache.phase_count(), phases_before);
+  // After the reset, the 600-byte class had the most unmarked bytes, so
+  // table 1 went first.
+  EXPECT_FALSE(cache.Contains(ObjectId::ForTable(1)));
+  EXPECT_TRUE(cache.Contains(ObjectId::ForTable(2)));
+}
+
+TEST(IraniCacheTest, MarkedObjectsSurviveEvictionWithinPhase) {
+  IraniSizeClassCache cache(1000);
+  Admit(cache, ObjectId::ForTable(0), 300);
+  Admit(cache, ObjectId::ForTable(1), 300);
+  Admit(cache, ObjectId::ForTable(2), 400);  // cache now full, all marked
+  // Admitting A forces a phase reset (everything was marked) and evicts
+  // the oldest now-unmarked object, table 0.
+  Admit(cache, ObjectId::ForTable(3), 300);
+  ASSERT_FALSE(cache.Contains(ObjectId::ForTable(0)));
+  ASSERT_GE(cache.phase_count(), 1u);
+  // Re-mark table 1 by touching it; table 2 stays unmarked.
+  cache.OnRequest(ObjectId::ForTable(1), 300, 300.0);
+  // The next admission must take the unmarked table 2, not the
+  // re-marked table 1.
+  Admit(cache, ObjectId::ForTable(4), 300);
+  EXPECT_TRUE(cache.Contains(ObjectId::ForTable(1)));
+  EXPECT_FALSE(cache.Contains(ObjectId::ForTable(2)));
+}
+
+TEST(IraniCacheTest, FifoWithinClass) {
+  IraniSizeClassCache cache(900);
+  Admit(cache, ObjectId::ForTable(0), 300);
+  Admit(cache, ObjectId::ForTable(1), 300);
+  Admit(cache, ObjectId::ForTable(2), 300);
+  // Force phase reset + eviction: the oldest unmarked in the (single)
+  // class goes first.
+  ObjectId newcomer = ObjectId::ForTable(3);
+  cache.OnRequest(newcomer, 300, 300.0);
+  auto outcome = cache.OnRequest(newcomer, 300, 300.0);
+  ASSERT_TRUE(outcome.loaded);
+  ASSERT_FALSE(outcome.evictions.empty());
+  EXPECT_EQ(outcome.evictions[0], ObjectId::ForTable(0));
+}
+
+TEST(IraniCacheTest, EvictedObjectRentsAfresh) {
+  IraniSizeClassCache cache(300);
+  ObjectId a = ObjectId::ForTable(0);
+  ObjectId b = ObjectId::ForTable(1);
+  Admit(cache, a, 300);
+  Admit(cache, b, 300);  // evicts a after phase reset
+  ASSERT_FALSE(cache.Contains(a));
+  EXPECT_FALSE(cache.OnRequest(a, 300, 300.0).loaded);  // rents again
+}
+
+TEST(IraniCacheTest, SizeClassesAreLogarithmic) {
+  // Objects within a factor-of-two size band land in one class; the
+  // structure is observable through eviction grouping. Here we only
+  // check stability across many mixed-size admissions.
+  IraniSizeClassCache cache(2000);
+  for (int i = 0; i < 40; ++i) {
+    uint64_t size = 16u << (i % 5);  // five classes
+    Admit(cache, ObjectId::ForTable(i), size);
+    ASSERT_LE(cache.used_bytes(), 2000u);
+  }
+  EXPECT_GT(cache.phase_count(), 0u);
+}
+
+}  // namespace
+}  // namespace byc::core

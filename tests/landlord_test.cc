@@ -1,0 +1,147 @@
+#include "core/landlord.h"
+
+#include <gtest/gtest.h>
+
+namespace byc::core {
+namespace {
+
+using catalog::ObjectId;
+
+TEST(LandlordTest, LoadsOnFirstRequest) {
+  LandlordCache cache(1000);
+  auto outcome = cache.OnRequest(ObjectId::ForTable(0), 400, 400.0);
+  EXPECT_TRUE(outcome.loaded);
+  EXPECT_TRUE(outcome.evictions.empty());
+  EXPECT_TRUE(cache.Contains(ObjectId::ForTable(0)));
+  EXPECT_EQ(cache.used_bytes(), 400u);
+}
+
+TEST(LandlordTest, OversizedObjectBypassed) {
+  LandlordCache cache(1000);
+  auto outcome = cache.OnRequest(ObjectId::ForTable(0), 2000, 2000.0);
+  EXPECT_FALSE(outcome.loaded);
+  EXPECT_FALSE(cache.Contains(ObjectId::ForTable(0)));
+}
+
+TEST(LandlordTest, CreditInitializedToFetchCost) {
+  LandlordCache cache(1000);
+  cache.OnRequest(ObjectId::ForTable(0), 400, 700.0);
+  EXPECT_DOUBLE_EQ(cache.CreditOf(ObjectId::ForTable(0)), 700.0);
+}
+
+TEST(LandlordTest, EvictsLowestCreditDensityFirst) {
+  LandlordCache cache(1000);
+  // Same size, different fetch costs: credit density differs.
+  cache.OnRequest(ObjectId::ForTable(0), 500, 100.0);  // poor
+  cache.OnRequest(ObjectId::ForTable(1), 500, 900.0);  // rich
+  auto outcome = cache.OnRequest(ObjectId::ForTable(2), 500, 500.0);
+  ASSERT_TRUE(outcome.loaded);
+  ASSERT_EQ(outcome.evictions.size(), 1u);
+  EXPECT_EQ(outcome.evictions[0], ObjectId::ForTable(0));
+  EXPECT_TRUE(cache.Contains(ObjectId::ForTable(1)));
+}
+
+TEST(LandlordTest, RentChargeLowersSurvivorCredit) {
+  LandlordCache cache(1000);
+  cache.OnRequest(ObjectId::ForTable(0), 500, 200.0);  // density 0.4
+  cache.OnRequest(ObjectId::ForTable(1), 500, 800.0);  // density 1.6
+  // Evicting table 0 charges delta = 0.4 per byte to everyone.
+  cache.OnRequest(ObjectId::ForTable(2), 500, 500.0);
+  // Survivor's credit fell by 0.4 * 500 = 200.
+  EXPECT_NEAR(cache.CreditOf(ObjectId::ForTable(1)), 800.0 - 200.0, 1e-9);
+}
+
+TEST(LandlordTest, HitRefreshesCredit) {
+  LandlordCache cache(1000);
+  cache.OnRequest(ObjectId::ForTable(0), 500, 200.0);
+  cache.OnRequest(ObjectId::ForTable(1), 500, 800.0);
+  cache.OnRequest(ObjectId::ForTable(2), 500, 500.0);  // evicts 0, taxes 1
+  ASSERT_NEAR(cache.CreditOf(ObjectId::ForTable(1)), 600.0, 1e-9);
+  auto outcome = cache.OnRequest(ObjectId::ForTable(1), 500, 800.0);
+  EXPECT_FALSE(outcome.loaded);  // hit
+  EXPECT_NEAR(cache.CreditOf(ObjectId::ForTable(1)), 800.0, 1e-9);
+}
+
+TEST(LandlordTest, MultipleEvictionsForLargeObject) {
+  LandlordCache cache(1000);
+  for (int i = 0; i < 4; ++i) {
+    cache.OnRequest(ObjectId::ForTable(i), 250, 100.0);
+  }
+  auto outcome = cache.OnRequest(ObjectId::ForTable(9), 800, 800.0);
+  ASSERT_TRUE(outcome.loaded);
+  EXPECT_GE(outcome.evictions.size(), 3u);
+  EXPECT_LE(cache.used_bytes(), 1000u);
+}
+
+TEST(RentToBuyTest, FirstRequestIsBypassedSecondBuys) {
+  RentToBuyCache cache(1000);
+  ObjectId id = ObjectId::ForTable(0);
+  auto first = cache.OnRequest(id, 400, 400.0);
+  EXPECT_FALSE(first.loaded);
+  EXPECT_FALSE(cache.Contains(id));
+  auto second = cache.OnRequest(id, 400, 400.0);
+  EXPECT_TRUE(second.loaded);
+  EXPECT_TRUE(cache.Contains(id));
+}
+
+TEST(RentToBuyTest, HitAfterAdmissionIsFree) {
+  RentToBuyCache cache(1000);
+  ObjectId id = ObjectId::ForTable(0);
+  cache.OnRequest(id, 400, 400.0);
+  cache.OnRequest(id, 400, 400.0);
+  auto third = cache.OnRequest(id, 400, 400.0);
+  EXPECT_FALSE(third.loaded);
+  EXPECT_TRUE(cache.Contains(id));
+}
+
+TEST(RentToBuyTest, RentResetsAfterEviction) {
+  RentToBuyCache cache(500);
+  ObjectId a = ObjectId::ForTable(0);
+  ObjectId b = ObjectId::ForTable(1);
+  // Admit a (two requests).
+  cache.OnRequest(a, 500, 500.0);
+  cache.OnRequest(a, 500, 500.0);
+  ASSERT_TRUE(cache.Contains(a));
+  // Admit b, evicting a.
+  cache.OnRequest(b, 500, 500.0);
+  auto admit_b = cache.OnRequest(b, 500, 500.0);
+  ASSERT_TRUE(admit_b.loaded);
+  ASSERT_FALSE(cache.Contains(a));
+  // a must rent again from scratch: first request after eviction does
+  // not re-admit.
+  auto again = cache.OnRequest(a, 500, 500.0);
+  EXPECT_FALSE(again.loaded);
+}
+
+TEST(RentToBuyTest, OversizedNeverAccumulatesRent) {
+  RentToBuyCache cache(100);
+  ObjectId id = ObjectId::ForTable(0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(cache.OnRequest(id, 400, 400.0).loaded);
+  }
+}
+
+TEST(RentToBuyTest, CostNeverExceedsTwiceLandlordOnRepeatedRequests) {
+  // Sanity: for a single hot object, rent-to-buy pays one extra fetch
+  // relative to immediate admission — the classic 2x worst case, never
+  // more.
+  const double fetch = 300.0;
+  RentToBuyCache rtb(1000);
+  LandlordCache landlord(1000);
+  ObjectId id = ObjectId::ForTable(0);
+  double cost_rtb = 0, cost_landlord = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto o1 = rtb.OnRequest(id, 300, fetch);
+    if (o1.loaded) {
+      cost_rtb += fetch;
+    } else if (!rtb.Contains(id)) {
+      cost_rtb += fetch;  // bypassed request ships results worth f
+    }
+    auto o2 = landlord.OnRequest(id, 300, fetch);
+    if (o2.loaded) cost_landlord += fetch;
+  }
+  EXPECT_LE(cost_rtb, 2 * cost_landlord);
+}
+
+}  // namespace
+}  // namespace byc::core

@@ -1,0 +1,149 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/ski_rental.h"
+
+namespace byc::core {
+namespace {
+
+TEST(MetricsTest, ByhrMatchesEquationOne) {
+  // BYHR = sum(p*y) * f / s^2 (Eq. 1).
+  std::vector<QueryStat> queries = {{0.5, 100.0}, {0.25, 400.0}};
+  // sum(p*y) = 50 + 100 = 150; f = 2000, s = 1000.
+  EXPECT_DOUBLE_EQ(ByteYieldHitRate(queries, 1000, 2000),
+                   150.0 * 2000.0 / (1000.0 * 1000.0));
+}
+
+TEST(MetricsTest, ByuMatchesEquationTwo) {
+  std::vector<QueryStat> queries = {{0.5, 100.0}, {0.25, 400.0}};
+  EXPECT_DOUBLE_EQ(ByteYieldUtility(queries, 1000), 150.0 / 1000.0);
+}
+
+TEST(MetricsTest, ByhrReducesToByuForProportionalFetchCost) {
+  // With f = c*s, BYHR = c * BYU / s... specifically BYHR = BYU * c / s *
+  // s / s = (c/s)*BYU: the orderings coincide for any fixed c.
+  std::vector<QueryStat> a = {{0.4, 500.0}};
+  std::vector<QueryStat> b = {{0.1, 300.0}};
+  const double c = 3.0;
+  uint64_t size = 2000;
+  double byhr_a = ByteYieldHitRate(a, size, c * static_cast<double>(size));
+  double byhr_b = ByteYieldHitRate(b, size, c * static_cast<double>(size));
+  double byu_a = ByteYieldUtility(a, size);
+  double byu_b = ByteYieldUtility(b, size);
+  EXPECT_DOUBLE_EQ(byhr_a, byu_a * c / 1.0);
+  EXPECT_GT(byhr_a, byhr_b);
+  EXPECT_GT(byu_a, byu_b);
+}
+
+TEST(MetricsTest, ByuDegeneratesToHitRateInPageModel) {
+  // Page model: uniform size, yield == size. BYU becomes sum(p) — the
+  // object's hit probability.
+  std::vector<QueryStat> queries = {{0.2, 4096.0}, {0.1, 4096.0}};
+  EXPECT_DOUBLE_EQ(ByteYieldUtility(queries, 4096), 0.3);
+}
+
+TEST(MetricsTest, ByhrDegeneratesToGdspUtilityInObjectModel) {
+  // Object model: yield == size. BYHR = sum(p) * f / s — GDSP's
+  // popularity * cost/size.
+  std::vector<QueryStat> queries = {{0.2, 500.0}, {0.3, 500.0}};
+  EXPECT_DOUBLE_EQ(ByteYieldHitRate(queries, 500, 900),
+                   0.5 * 900.0 / 500.0);
+}
+
+TEST(MetricsTest, EmptyProfileIsZero) {
+  EXPECT_DOUBLE_EQ(ByteYieldUtility({}, 100), 0.0);
+  EXPECT_DOUBLE_EQ(ByteYieldHitRate({}, 100, 100), 0.0);
+}
+
+TEST(MetricsTest, HigherYieldRaisesUtility) {
+  std::vector<QueryStat> low = {{1.0, 10.0}};
+  std::vector<QueryStat> high = {{1.0, 1000.0}};
+  EXPECT_LT(ByteYieldUtility(low, 500), ByteYieldUtility(high, 500));
+}
+
+TEST(MetricsTest, LargerObjectLowersUtility) {
+  std::vector<QueryStat> queries = {{1.0, 100.0}};
+  EXPECT_GT(ByteYieldUtility(queries, 100), ByteYieldUtility(queries, 1000));
+}
+
+TEST(SkiRentalTest, BuysOnceRentMatchesCost) {
+  SkiRental ski(100);
+  EXPECT_FALSE(ski.ShouldBuy());
+  EXPECT_FALSE(ski.PayRent(50));
+  EXPECT_TRUE(ski.PayRent(50));  // exactly matches
+  EXPECT_TRUE(ski.ShouldBuy());
+  EXPECT_DOUBLE_EQ(ski.paid(), 100);
+}
+
+TEST(SkiRentalTest, ResetStartsOver) {
+  SkiRental ski(100);
+  ski.PayRent(200);
+  ski.Reset();
+  EXPECT_FALSE(ski.ShouldBuy());
+  EXPECT_DOUBLE_EQ(ski.paid(), 0);
+}
+
+TEST(SkiRentalTest, ZeroRentNeverTriggers) {
+  SkiRental ski(10);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(ski.PayRent(0));
+}
+
+// The classical guarantee with rents that divide the buy cost evenly:
+// rent-until-paid-then-buy never costs more than twice the offline
+// optimum, for any number of trips.
+TEST(SkiRentalTest, TwoCompetitiveWithDivisibleRents) {
+  const double buy = 120.0;
+  for (int num_trips : {0, 1, 2, 5, 10, 100, 500}) {
+    for (double rent : {1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0}) {
+      SkiRental ski(buy);
+      double online_cost = 0;
+      for (int trip = 0; trip < num_trips; ++trip) {
+        if (ski.ShouldBuy()) {
+          online_cost += buy;
+          break;  // owns skis; no further cost
+        }
+        online_cost += rent;  // rents this trip
+        ski.PayRent(rent);
+      }
+      double opt = std::min(buy, rent * num_trips);
+      EXPECT_LE(online_cost, 2 * opt + 1e-9)
+          << "trips=" << num_trips << " rent=" << rent;
+    }
+  }
+}
+
+// With arbitrary (non-divisible) rents bounded by the buy cost, the bound
+// relaxes by one overshoot payment: cost <= 2*OPT + max_rent.
+TEST(SkiRentalTest, NearTwoCompetitiveWithArbitraryRents) {
+  const double buy = 137.0;
+  Rng rng = Rng(61);
+  for (int seq = 0; seq < 200; ++seq) {
+    int num_trips = static_cast<int>(rng.NextUint64(40));
+    SkiRental ski(buy);
+    double online_cost = 0;
+    double rent_total = 0;
+    double max_rent = 0;
+    bool bought = false;
+    for (int trip = 0; trip < num_trips; ++trip) {
+      if (ski.ShouldBuy()) {
+        online_cost += buy;
+        bought = true;
+        break;
+      }
+      double rent = rng.NextDouble(0.1, buy);
+      max_rent = std::max(max_rent, rent);
+      rent_total += rent;
+      online_cost += rent;
+      ski.PayRent(rent);
+    }
+    double opt = bought ? buy : std::min(buy, rent_total);
+    EXPECT_LE(online_cost, 2 * opt + max_rent + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace byc::core

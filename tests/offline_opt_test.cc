@@ -1,0 +1,214 @@
+#include "core/offline_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/policy_factory.h"
+#include "core/static_policy.h"
+#include "test_util.h"
+
+namespace byc::core {
+namespace {
+
+using test::MakeAccess;
+
+double PolicyCost(PolicyKind kind, const std::vector<Access>& accesses,
+                  uint64_t capacity) {
+  PolicyConfig config;
+  config.kind = kind;
+  config.capacity_bytes = capacity;
+  auto policy = MakePolicy(config);
+  double cost = 0;
+  for (const Access& a : accesses) {
+    Decision d = policy->OnAccess(a);
+    if (d.action == Action::kBypass) cost += a.bypass_cost;
+    if (d.action == Action::kLoadAndServe) cost += a.fetch_cost;
+  }
+  return cost;
+}
+
+TEST(OfflineOptTest, EmptySequenceIsFree) {
+  auto r = OfflineOptimalCost({}, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+}
+
+TEST(OfflineOptTest, SingleObjectRentOrBuy) {
+  // 5 accesses of bypass cost 30 against fetch cost 100: OPT loads
+  // before the first access (100) rather than bypassing all (150).
+  std::vector<Access> accesses(5, MakeAccess(0, 30.0, 100));
+  auto r = OfflineOptimalCost(accesses, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 100.0);
+  // 2 accesses: bypassing (60) beats loading (100).
+  accesses.resize(2);
+  EXPECT_DOUBLE_EQ(*OfflineOptimalCost(accesses, 100), 60.0);
+}
+
+TEST(OfflineOptTest, ObjectTooBigMustBypass) {
+  std::vector<Access> accesses(4, MakeAccess(0, 30.0, 500));
+  auto r = OfflineOptimalCost(accesses, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 120.0);
+}
+
+TEST(OfflineOptTest, SwapsCacheContentsWhenWorthIt) {
+  // Capacity for one object. A burst on object 0, then a burst on 1:
+  // OPT loads 0, evicts it for 1 at the phase change.
+  std::vector<Access> accesses;
+  for (int i = 0; i < 10; ++i) accesses.push_back(MakeAccess(0, 50.0, 100));
+  for (int i = 0; i < 10; ++i) accesses.push_back(MakeAccess(1, 50.0, 100));
+  auto r = OfflineOptimalCost(accesses, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 200.0);  // two loads, everything else in cache
+}
+
+TEST(OfflineOptTest, KeepsBothWhenTheyFit) {
+  std::vector<Access> accesses;
+  for (int i = 0; i < 10; ++i) {
+    accesses.push_back(MakeAccess(0, 50.0, 100));
+    accesses.push_back(MakeAccess(1, 50.0, 100));
+  }
+  EXPECT_DOUBLE_EQ(*OfflineOptimalCost(accesses, 200), 200.0);
+  // With room for only one, the other's accesses are bypassed (keeping
+  // one cached: 100 + 10*50; swapping every time would cost 20*100).
+  EXPECT_DOUBLE_EQ(*OfflineOptimalCost(accesses, 100), 600.0);
+}
+
+TEST(OfflineOptTest, InterleavedBeatsGreedy) {
+  // OPT can prefer bypassing a short burst to protect a long-lived
+  // resident. Object 0 is worth keeping forever; object 1 appears twice.
+  std::vector<Access> accesses;
+  accesses.push_back(MakeAccess(0, 100.0, 100));
+  accesses.push_back(MakeAccess(1, 60.0, 100));
+  accesses.push_back(MakeAccess(0, 100.0, 100));
+  accesses.push_back(MakeAccess(1, 60.0, 100));
+  accesses.push_back(MakeAccess(0, 100.0, 100));
+  // Capacity 100: load 0 up front (100), bypass 1 twice (120) = 220.
+  EXPECT_DOUBLE_EQ(*OfflineOptimalCost(accesses, 100), 220.0);
+}
+
+TEST(OfflineOptTest, RejectsTooManyObjects) {
+  std::vector<Access> accesses;
+  for (int i = 0; i < kMaxOfflineOptObjects + 1; ++i) {
+    accesses.push_back(MakeAccess(i, 1.0, 10));
+  }
+  EXPECT_FALSE(OfflineOptimalCost(accesses, 100).ok());
+}
+
+TEST(OfflineOptTest, NeverWorseThanAllBypass) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Access> accesses;
+    double all_bypass = 0;
+    for (int i = 0; i < 60; ++i) {
+      int obj = static_cast<int>(rng.NextUint64(5));
+      uint64_t size = 50u * (1 + static_cast<uint64_t>(obj));
+      double yield = rng.NextExponential(40.0);
+      accesses.push_back(MakeAccess(obj, yield, size));
+      all_bypass += yield;
+    }
+    auto opt = OfflineOptimalCost(accesses, 200);
+    ASSERT_TRUE(opt.ok());
+    EXPECT_LE(*opt, all_bypass + 1e-9);
+  }
+}
+
+TEST(OfflineOptTest, MonotoneInCapacity) {
+  Rng rng(11);
+  std::vector<Access> accesses;
+  for (int i = 0; i < 80; ++i) {
+    int obj = static_cast<int>(rng.NextUint64(6));
+    accesses.push_back(
+        MakeAccess(obj, rng.NextExponential(50.0), 60u + 20u * obj));
+  }
+  double prev = 1e300;
+  for (uint64_t capacity : {0u, 100u, 200u, 400u, 800u}) {
+    double opt = *OfflineOptimalCost(accesses, capacity);
+    EXPECT_LE(opt, prev + 1e-9);
+    prev = opt;
+  }
+}
+
+TEST(OfflineOptTest, LowerBoundsEveryOnlinePolicy) {
+  // The defining property: OPT is a lower bound for every on-line
+  // algorithm, on arbitrary access streams.
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Access> accesses;
+    for (int i = 0; i < 100; ++i) {
+      int obj = static_cast<int>(rng.NextUint64(6));
+      uint64_t size = 64u << (obj % 3);
+      accesses.push_back(MakeAccess(obj, rng.NextExponential(60.0), size));
+    }
+    const uint64_t capacity = 300;
+    double opt = *OfflineOptimalCost(accesses, capacity);
+    for (PolicyKind kind :
+         {PolicyKind::kNoCache, PolicyKind::kRateProfile,
+          PolicyKind::kOnlineBy, PolicyKind::kSpaceEffBy, PolicyKind::kGds,
+          PolicyKind::kLru}) {
+      EXPECT_GE(PolicyCost(kind, accesses, capacity), opt - 1e-9)
+          << PolicyKindName(kind) << " trial " << trial;
+    }
+  }
+}
+
+TEST(OfflineStaticOptTest, MatchesHandComputedCase) {
+  // Object 0: 10 accesses x 30 bypass = 300 total, fetch 100 -> cache it.
+  // Object 1: 2 accesses x 10 = 20 total, fetch 100 -> leave it.
+  std::vector<Access> accesses;
+  for (int i = 0; i < 10; ++i) accesses.push_back(MakeAccess(0, 30.0, 100));
+  for (int i = 0; i < 2; ++i) accesses.push_back(MakeAccess(1, 10.0, 100));
+  auto r = OfflineStaticOptimalCost(accesses, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 100.0 + 20.0);
+}
+
+TEST(OfflineStaticOptTest, DynamicOptNeverWorseThanStaticOpt) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Access> accesses;
+    for (int i = 0; i < 70; ++i) {
+      int obj = static_cast<int>(rng.NextUint64(5));
+      accesses.push_back(
+          MakeAccess(obj, rng.NextExponential(45.0), 80u + 40u * obj));
+    }
+    const uint64_t capacity = 250;
+    double dynamic = *OfflineOptimalCost(accesses, capacity);
+    double static_opt = *OfflineStaticOptimalCost(accesses, capacity);
+    EXPECT_LE(dynamic, static_opt + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(OfflineStaticOptTest, GreedySelectionIsNearExactOptimum) {
+  // The library's greedy SelectStaticSet should track the exact static
+  // optimum on random instances (density greedy is near-optimal when no
+  // single object dominates the capacity).
+  Rng rng(19);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Access> accesses;
+    for (int i = 0; i < 120; ++i) {
+      int obj = static_cast<int>(rng.NextUint64(8));
+      accesses.push_back(
+          MakeAccess(obj, rng.NextExponential(30.0), 40u + 15u * obj));
+    }
+    const uint64_t capacity = 400;
+    double exact = *OfflineStaticOptimalCost(accesses, capacity);
+    PolicyConfig config;
+    config.kind = PolicyKind::kStatic;
+    config.capacity_bytes = capacity;
+    config.static_contents = SelectStaticSet(accesses, capacity);
+    auto policy = MakePolicy(config);
+    double greedy = 0;
+    for (const Access& a : accesses) {
+      Decision d = policy->OnAccess(a);
+      if (d.action == Action::kBypass) greedy += a.bypass_cost;
+      if (d.action == Action::kLoadAndServe) greedy += a.fetch_cost;
+    }
+    EXPECT_GE(greedy, exact - 1e-9);
+    EXPECT_LE(greedy, exact * 1.5 + 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace byc::core

@@ -1,0 +1,184 @@
+#include "core/online_by_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/space_eff_by_policy.h"
+#include "test_util.h"
+
+namespace byc::core {
+namespace {
+
+using test::MakeAccess;
+
+OnlineByPolicy::Options Opts(uint64_t capacity,
+                             AobjKind aobj = AobjKind::kRentToBuy) {
+  OnlineByPolicy::Options options;
+  options.capacity_bytes = capacity;
+  options.aobj = aobj;
+  return options;
+}
+
+TEST(OnlineByTest, ByuAccumulatesYieldOverSize) {
+  OnlineByPolicy policy(Opts(10000));
+  Access access = MakeAccess(0, 30.0, 100);
+  policy.OnAccess(access);
+  EXPECT_DOUBLE_EQ(policy.ByuOf(access.object), 0.3);
+  policy.OnAccess(access);
+  EXPECT_DOUBLE_EQ(policy.ByuOf(access.object), 0.6);
+}
+
+TEST(OnlineByTest, CrossingOneGeneratesObjectRequest) {
+  OnlineByPolicy policy(Opts(10000));
+  Access access = MakeAccess(0, 60.0, 100);
+  policy.OnAccess(access);  // BYU 0.6
+  Decision d = policy.OnAccess(access);  // BYU 1.2 -> request, minus 1
+  EXPECT_NEAR(policy.ByuOf(access.object), 0.2, 1e-12);
+  // RentToBuy bypasses the first object-request.
+  EXPECT_EQ(d.action, Action::kBypass);
+}
+
+TEST(OnlineByTest, SecondGroupLoadsUnderRentToBuy) {
+  OnlineByPolicy policy(Opts(10000));
+  Access access = MakeAccess(0, 100.0, 100);  // one group per access
+  Decision d1 = policy.OnAccess(access);
+  EXPECT_EQ(d1.action, Action::kBypass);  // group 1: rent
+  Decision d2 = policy.OnAccess(access);
+  EXPECT_EQ(d2.action, Action::kLoadAndServe);  // group 2: buy
+  EXPECT_TRUE(policy.Contains(access.object));
+  Decision d3 = policy.OnAccess(access);
+  EXPECT_EQ(d3.action, Action::kServeFromCache);
+}
+
+TEST(OnlineByTest, LandlordAobjLoadsOnFirstGroup) {
+  OnlineByPolicy policy(Opts(10000, AobjKind::kLandlord));
+  Access access = MakeAccess(0, 100.0, 100);
+  Decision d1 = policy.OnAccess(access);
+  EXPECT_EQ(d1.action, Action::kLoadAndServe);
+}
+
+TEST(OnlineByTest, SubUnitYieldsNeverTriggerRequests) {
+  OnlineByPolicy policy(Opts(10000, AobjKind::kLandlord));
+  Access access = MakeAccess(0, 10.0, 1000);
+  for (int i = 0; i < 99; ++i) {
+    EXPECT_EQ(policy.OnAccess(access).action, Action::kBypass);
+  }
+  // The 100th access crosses BYU = 1 and (Landlord) loads.
+  EXPECT_EQ(policy.OnAccess(access).action, Action::kLoadAndServe);
+}
+
+TEST(OnlineByTest, GiantYieldCompletesMultipleGroupsAtOnce) {
+  OnlineByPolicy policy(Opts(10000, AobjKind::kRentToBuy));
+  // yield = 2.5x size: 2 groups complete in one access -> rent then buy
+  // within the same access.
+  Access access = MakeAccess(0, 250.0, 100);
+  Decision d = policy.OnAccess(access);
+  EXPECT_EQ(d.action, Action::kLoadAndServe);
+  EXPECT_NEAR(policy.ByuOf(access.object), 0.5, 1e-12);
+}
+
+TEST(OnlineByTest, ResidencyMirrorsAobj) {
+  OnlineByPolicy policy(Opts(300, AobjKind::kLandlord));
+  Access a = MakeAccess(0, 200.0, 200);
+  Access b = MakeAccess(1, 200.0, 200);
+  policy.OnAccess(a);  // loads a
+  EXPECT_TRUE(policy.Contains(a.object));
+  policy.OnAccess(b);  // loads b, evicting a
+  EXPECT_TRUE(policy.Contains(b.object));
+  EXPECT_FALSE(policy.Contains(a.object));
+  EXPECT_EQ(policy.used_bytes(), policy.aobj().used_bytes());
+}
+
+TEST(OnlineByTest, ObjectLargerThanCacheAlwaysBypassed) {
+  OnlineByPolicy policy(Opts(100));
+  Access big = MakeAccess(0, 900.0, 300);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.OnAccess(big).action, Action::kBypass);
+  }
+}
+
+// Single-object competitive sanity check: for any repetition count, the
+// cost of OnlineBY(RentToBuy) is within a small constant of the offline
+// optimum min(total yield, fetch + leftovers).
+TEST(OnlineByTest, SingleObjectCostWithinConstantOfOptimal) {
+  const uint64_t size = 100;
+  const double yield = 40.0;  // 0.4 groups per access
+  for (int n : {1, 2, 3, 5, 8, 13, 40, 200}) {
+    OnlineByPolicy policy(Opts(1000));
+    double online_cost = 0;
+    for (int i = 0; i < n; ++i) {
+      Decision d = policy.OnAccess(MakeAccess(0, yield, size));
+      if (d.action == Action::kBypass) online_cost += yield;
+      if (d.action == Action::kLoadAndServe)
+        online_cost += static_cast<double>(size);
+    }
+    double opt = std::min(yield * n, static_cast<double>(size));
+    // Theorem 5.1 allows (4a+2) OPT; the single-object case lands well
+    // inside 6x even with grouping round-off.
+    EXPECT_LE(online_cost, 6 * opt + 1e-9) << "n=" << n;
+  }
+}
+
+TEST(SpaceEffByTest, DeterministicForFixedSeed) {
+  SpaceEffByPolicy::Options options;
+  options.capacity_bytes = 1000;
+  options.seed = 99;
+  SpaceEffByPolicy a(options), b(options);
+  for (int i = 0; i < 200; ++i) {
+    Access access = MakeAccess(i % 7, 50.0, 100);
+    EXPECT_EQ(a.OnAccess(access).action, b.OnAccess(access).action);
+  }
+}
+
+TEST(SpaceEffByTest, ZeroYieldNeverLoads) {
+  SpaceEffByPolicy::Options options;
+  options.capacity_bytes = 1000;
+  SpaceEffByPolicy policy(options);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(policy.OnAccess(MakeAccess(0, 0.0, 100)).action,
+              Action::kBypass);
+  }
+}
+
+TEST(SpaceEffByTest, FullYieldLoadsImmediatelyUnderLandlord) {
+  SpaceEffByPolicy::Options options;
+  options.capacity_bytes = 1000;
+  options.aobj = AobjKind::kLandlord;
+  SpaceEffByPolicy policy(options);
+  // p = min(1, y/s) = 1: the first access must present the object.
+  Decision d = policy.OnAccess(MakeAccess(0, 100.0, 100));
+  EXPECT_EQ(d.action, Action::kLoadAndServe);
+}
+
+TEST(SpaceEffByTest, LoadProbabilityTracksYieldFraction) {
+  // Over many independent objects with p = 0.3, roughly 30% of first
+  // accesses should load (Landlord admits on first request).
+  SpaceEffByPolicy::Options options;
+  options.capacity_bytes = 1u << 30;
+  options.aobj = AobjKind::kLandlord;
+  options.seed = 7;
+  SpaceEffByPolicy policy(options);
+  int loads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Decision d = policy.OnAccess(MakeAccess(i, 30.0, 100));
+    loads += d.action == Action::kLoadAndServe;
+  }
+  EXPECT_NEAR(static_cast<double>(loads) / n, 0.3, 0.02);
+}
+
+TEST(SpaceEffByTest, DifferentSeedsDiverge) {
+  SpaceEffByPolicy::Options a_options, b_options;
+  a_options.capacity_bytes = b_options.capacity_bytes = 1u << 20;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  SpaceEffByPolicy a(a_options), b(b_options);
+  int diffs = 0;
+  for (int i = 0; i < 500; ++i) {
+    Access access = MakeAccess(i, 50.0, 100);
+    diffs += a.OnAccess(access).action != b.OnAccess(access).action;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+}  // namespace
+}  // namespace byc::core

@@ -1,0 +1,162 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace byc::query {
+namespace {
+
+TEST(ParserTest, MinimalQuery) {
+  auto r = ParseSelect("select x from T");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->select.size(), 1u);
+  EXPECT_EQ(r->select[0].column.column, "x");
+  EXPECT_TRUE(r->select[0].column.table_alias.empty());
+  ASSERT_EQ(r->from.size(), 1u);
+  EXPECT_EQ(r->from[0].table, "T");
+  EXPECT_EQ(r->from[0].alias, "T");
+  EXPECT_TRUE(r->where.empty());
+}
+
+TEST(ParserTest, PaperExampleQuery) {
+  // The running example from §6 of the paper.
+  auto r = ParseSelect(
+      "select p.objID, p.ra, p.dec, p.modelMag_g, s.z as redshift "
+      "from SpecObj s, PhotoObj p "
+      "where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95 "
+      "and p.modelMag_g > 17.0 and s.z < 0.01");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectQuery& q = *r;
+  ASSERT_EQ(q.select.size(), 5u);
+  EXPECT_EQ(q.select[0].column.table_alias, "p");
+  EXPECT_EQ(q.select[0].column.column, "objID");
+  EXPECT_EQ(q.select[4].alias, "redshift");
+  ASSERT_EQ(q.from.size(), 2u);
+  EXPECT_EQ(q.from[0].table, "SpecObj");
+  EXPECT_EQ(q.from[0].alias, "s");
+  ASSERT_EQ(q.where.size(), 5u);
+  EXPECT_EQ(q.where[0].kind, Predicate::Kind::kJoin);
+  EXPECT_EQ(q.where[0].rhs.column, "objID");
+  EXPECT_EQ(q.where[1].kind, Predicate::Kind::kFilter);
+  EXPECT_EQ(q.where[1].op, CmpOp::kEq);
+  EXPECT_DOUBLE_EQ(q.where[1].value, 2.0);
+  EXPECT_EQ(q.where[2].op, CmpOp::kGt);
+  EXPECT_DOUBLE_EQ(q.where[2].value, 0.95);
+  EXPECT_EQ(q.where[4].op, CmpOp::kLt);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  auto r = ParseSelect("SELECT x FROM T WHERE x > 1 AND y < 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->where.size(), 2u);
+}
+
+TEST(ParserTest, AggregateFunctions) {
+  auto r = ParseSelect(
+      "select count(objID), avg(z), min(z), max(z), sum(fiberID) from SpecObj");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->select.size(), 5u);
+  EXPECT_EQ(r->select[0].aggregate, Aggregate::kCount);
+  EXPECT_EQ(r->select[1].aggregate, Aggregate::kAvg);
+  EXPECT_EQ(r->select[2].aggregate, Aggregate::kMin);
+  EXPECT_EQ(r->select[3].aggregate, Aggregate::kMax);
+  EXPECT_EQ(r->select[4].aggregate, Aggregate::kSum);
+}
+
+TEST(ParserTest, AggregateWithAliasAndQualifiedColumn) {
+  auto r = ParseSelect("select avg(s.z) as mean_z from SpecObj s");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->select[0].aggregate, Aggregate::kAvg);
+  EXPECT_EQ(r->select[0].column.table_alias, "s");
+  EXPECT_EQ(r->select[0].alias, "mean_z");
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  auto r = ParseSelect(
+      "select x from T where a = 1 and b != 2 and c <> 3 and d < 4 "
+      "and e <= 5 and f > 6 and g >= 7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->where.size(), 7u);
+  EXPECT_EQ(r->where[0].op, CmpOp::kEq);
+  EXPECT_EQ(r->where[1].op, CmpOp::kNe);
+  EXPECT_EQ(r->where[2].op, CmpOp::kNe);
+  EXPECT_EQ(r->where[3].op, CmpOp::kLt);
+  EXPECT_EQ(r->where[4].op, CmpOp::kLe);
+  EXPECT_EQ(r->where[5].op, CmpOp::kGt);
+  EXPECT_EQ(r->where[6].op, CmpOp::kGe);
+}
+
+TEST(ParserTest, NumericLiteralForms) {
+  auto r = ParseSelect(
+      "select x from T where a > 17 and b < 0.95 and c > -3.5 and d < 1e3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->where[0].value, 17.0);
+  EXPECT_DOUBLE_EQ(r->where[1].value, 0.95);
+  EXPECT_DOUBLE_EQ(r->where[2].value, -3.5);
+  EXPECT_DOUBLE_EQ(r->where[3].value, 1000.0);
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseSelect("select x from T;").ok());
+}
+
+TEST(ParserTest, ErrorOnMissingSelect) {
+  auto r = ParseSelect("from T");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(ParserTest, ErrorOnMissingFrom) {
+  EXPECT_FALSE(ParseSelect("select x").ok());
+}
+
+TEST(ParserTest, ErrorOnDanglingComma) {
+  EXPECT_FALSE(ParseSelect("select x, from T").ok());
+}
+
+TEST(ParserTest, ErrorOnUnknownAggregate) {
+  EXPECT_FALSE(ParseSelect("select median(x) from T").ok());
+}
+
+TEST(ParserTest, ErrorOnMissingCloseParen) {
+  EXPECT_FALSE(ParseSelect("select count(x from T").ok());
+}
+
+TEST(ParserTest, ErrorOnJoinWithInequality) {
+  EXPECT_FALSE(ParseSelect("select x from T a, U b where a.x > b.y").ok());
+}
+
+TEST(ParserTest, ErrorOnTrailingGarbage) {
+  EXPECT_FALSE(ParseSelect("select x from T where a > 1 order").ok());
+}
+
+TEST(ParserTest, ErrorOnBadCharacter) {
+  auto r = ParseSelect("select x from T where a > #");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnLoneBang) {
+  EXPECT_FALSE(ParseSelect("select x from T where a ! 1").ok());
+}
+
+TEST(AstTest, ToStringRoundTripsThroughParser) {
+  auto first = ParseSelect(
+      "select p.objID, avg(s.z) as mz from SpecObj s, PhotoObj p "
+      "where p.objID = s.objID and s.zConf > 0.95");
+  ASSERT_TRUE(first.ok());
+  std::string sql = first->ToString();
+  auto second = ParseSelect(sql);
+  ASSERT_TRUE(second.ok()) << sql;
+  EXPECT_EQ(second->ToString(), sql);
+}
+
+TEST(AstTest, CmpOpNames) {
+  EXPECT_EQ(CmpOpName(CmpOp::kEq), "=");
+  EXPECT_EQ(CmpOpName(CmpOp::kNe), "!=");
+  EXPECT_EQ(CmpOpName(CmpOp::kLe), "<=");
+  EXPECT_EQ(CmpOpName(CmpOp::kGe), ">=");
+}
+
+}  // namespace
+}  // namespace byc::query

@@ -1,0 +1,117 @@
+#include "core/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace byc::core {
+namespace {
+
+const PolicyKind kAllKinds[] = {
+    PolicyKind::kNoCache, PolicyKind::kLru,     PolicyKind::kLruK,
+    PolicyKind::kLfu,     PolicyKind::kGds,     PolicyKind::kGdsp,
+    PolicyKind::kStatic,  PolicyKind::kRateProfile,
+    PolicyKind::kOnlineBy, PolicyKind::kSpaceEffBy};
+
+TEST(PolicyFactoryTest, ConstructsEveryKind) {
+  for (PolicyKind kind : kAllKinds) {
+    PolicyConfig config;
+    config.kind = kind;
+    config.capacity_bytes = 1000;
+    auto policy = MakePolicy(config);
+    ASSERT_NE(policy, nullptr) << PolicyKindName(kind);
+    // The instance reports a consistent name for its kind.
+    EXPECT_EQ(policy->name(), PolicyKindName(kind));
+  }
+}
+
+TEST(PolicyFactoryTest, KindNamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (PolicyKind kind : kAllKinds) {
+    std::string_view name = PolicyKindName(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+}
+
+TEST(PolicyFactoryTest, CapacityIsWiredThrough) {
+  for (PolicyKind kind : kAllKinds) {
+    if (kind == PolicyKind::kNoCache) continue;
+    PolicyConfig config;
+    config.kind = kind;
+    config.capacity_bytes = 12345;
+    auto policy = MakePolicy(config);
+    EXPECT_EQ(policy->capacity_bytes(), 12345u) << PolicyKindName(kind);
+  }
+}
+
+TEST(PolicyFactoryTest, StaticContentsArePreloaded) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kStatic;
+  config.capacity_bytes = 1000;
+  config.static_charge_initial_load = false;
+  config.static_contents = {{catalog::ObjectId::ForTable(3), 400}};
+  auto policy = MakePolicy(config);
+  EXPECT_TRUE(policy->Contains(catalog::ObjectId::ForTable(3)));
+  EXPECT_EQ(policy->used_bytes(), 400u);
+}
+
+TEST(PolicyFactoryTest, EpisodeParamsReachRateProfile) {
+  // A pathological idle limit of 0 forces an episode split on every
+  // access; behaviour must differ from the default configuration on a
+  // bursty stream.
+  auto run = [](uint64_t idle_limit) {
+    PolicyConfig config;
+    config.kind = PolicyKind::kRateProfile;
+    config.capacity_bytes = 1000;
+    config.episode.idle_limit = idle_limit;
+    auto policy = MakePolicy(config);
+    int loads = 0;
+    for (int i = 0; i < 40; ++i) {
+      core::Access access = test::MakeAccess(i % 2, 60.0, 100);
+      loads += policy->OnAccess(access).action == Action::kLoadAndServe;
+    }
+    return loads;
+  };
+  EXPECT_NE(run(1), run(100000));
+}
+
+TEST(PolicyFactoryTest, AobjKindReachesOnlineBy) {
+  auto first_action = [](AobjKind aobj) {
+    PolicyConfig config;
+    config.kind = PolicyKind::kOnlineBy;
+    config.capacity_bytes = 1000;
+    config.online_aobj = aobj;
+    auto policy = MakePolicy(config);
+    return policy->OnAccess(test::MakeAccess(0, 100.0, 100)).action;
+  };
+  // Landlord admits the first completed group; RentToBuy bypasses it.
+  EXPECT_EQ(first_action(AobjKind::kLandlord), Action::kLoadAndServe);
+  EXPECT_EQ(first_action(AobjKind::kRentToBuy), Action::kBypass);
+}
+
+TEST(PolicyFactoryTest, LruKParameterChangesBehaviour) {
+  auto victim_with_k = [](int k) {
+    PolicyConfig config;
+    config.kind = PolicyKind::kLruK;
+    config.capacity_bytes = 200;
+    config.lru_k = k;
+    auto policy = MakePolicy(config);
+    core::Access a = test::MakeAccess(0, 1.0, 100);
+    core::Access b = test::MakeAccess(1, 1.0, 100);
+    policy->OnAccess(a);
+    policy->OnAccess(a);
+    policy->OnAccess(b);
+    Decision d = policy->OnAccess(test::MakeAccess(2, 1.0, 100));
+    return d.evictions.at(0);
+  };
+  // k=1: plain recency evicts a (older last touch)... a was touched at
+  // t2, b at t3 -> a evicted. k=2: b has only one reference -> b evicted.
+  EXPECT_EQ(victim_with_k(1), catalog::ObjectId::ForTable(0));
+  EXPECT_EQ(victim_with_k(2), catalog::ObjectId::ForTable(1));
+}
+
+}  // namespace
+}  // namespace byc::core

@@ -1,0 +1,142 @@
+// Randomized invariant fuzzing across every cache policy: arbitrary
+// access streams (skewed sizes, yields, objects) must never violate the
+// policy contract — capacity respected, residency consistent with
+// decisions, evictions only of resident objects, and deterministic
+// replay for deterministic policies.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "common/random.h"
+#include "core/policy_factory.h"
+#include "test_util.h"
+
+namespace byc::core {
+namespace {
+
+struct FuzzCase {
+  PolicyKind kind;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<FuzzCase>& info) {
+  std::string name(PolicyKindName(info.param.kind));
+  // gtest parameter names must be alphanumeric ("Rate-Profile" is not).
+  std::erase_if(name, [](char c) { return !std::isalnum(c); });
+  return name + "_seed" + std::to_string(info.param.seed);
+}
+
+class PolicyFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+Access RandomAccess(Rng& rng, int num_objects) {
+  int table = static_cast<int>(rng.NextUint64(num_objects));
+  // Object size is a stable function of its id (realistic and required:
+  // an object's size must not change between accesses).
+  uint64_t size = 64u << (table % 6);
+  double yield = rng.NextExponential(static_cast<double>(size) / 3.0);
+  Access access = test::MakeAccess(table, yield, size);
+  return access;
+}
+
+TEST_P(PolicyFuzzTest, InvariantsHoldOnRandomStreams) {
+  const FuzzCase& fuzz = GetParam();
+  PolicyConfig config;
+  config.kind = fuzz.kind;
+  config.capacity_bytes = 4096;
+  config.seed = fuzz.seed;
+  auto policy = MakePolicy(config);
+
+  Rng rng(fuzz.seed);
+  std::set<uint64_t> resident;  // our mirror of the policy's store
+  uint64_t resident_bytes = 0;
+  auto size_of = [](int table) -> uint64_t { return 64u << (table % 6); };
+
+  for (int step = 0; step < 20000; ++step) {
+    Access access = RandomAccess(rng, 40);
+    bool was_resident = policy->Contains(access.object);
+    ASSERT_EQ(was_resident, resident.count(access.object.Key()) != 0);
+
+    Decision d = policy->OnAccess(access);
+
+    for (const catalog::ObjectId& victim : d.evictions) {
+      // Evictions only of (distinct) resident objects, never the one
+      // being served.
+      ASSERT_TRUE(resident.count(victim.Key()) != 0)
+          << "evicted non-resident object at step " << step;
+      ASSERT_FALSE(victim == access.object);
+      resident.erase(victim.Key());
+      resident_bytes -= size_of(victim.table);
+    }
+
+    switch (d.action) {
+      case Action::kServeFromCache:
+        ASSERT_TRUE(was_resident) << "served a miss at step " << step;
+        ASSERT_TRUE(policy->Contains(access.object));
+        break;
+      case Action::kBypass:
+        // A bypass never changes residency of the accessed object.
+        ASSERT_EQ(policy->Contains(access.object), was_resident);
+        if (was_resident) {
+          // Policies never bypass accesses to resident objects.
+          ADD_FAILURE() << "bypassed a resident object at step " << step;
+        }
+        break;
+      case Action::kLoadAndServe:
+        ASSERT_FALSE(was_resident) << "re-loaded a resident object";
+        ASSERT_TRUE(policy->Contains(access.object));
+        resident.insert(access.object.Key());
+        resident_bytes += access.size_bytes;
+        break;
+    }
+
+    ASSERT_LE(resident_bytes, config.capacity_bytes)
+        << "capacity exceeded at step " << step;
+    ASSERT_EQ(policy->used_bytes(), policy->used_bytes());
+    if (policy->capacity_bytes() != 0) {
+      ASSERT_LE(policy->used_bytes(), policy->capacity_bytes());
+      ASSERT_EQ(policy->used_bytes(), resident_bytes);
+    }
+  }
+}
+
+TEST_P(PolicyFuzzTest, DeterministicReplay) {
+  const FuzzCase& fuzz = GetParam();
+  auto run = [&]() {
+    PolicyConfig config;
+    config.kind = fuzz.kind;
+    config.capacity_bytes = 4096;
+    config.seed = fuzz.seed;
+    auto policy = MakePolicy(config);
+    Rng rng(fuzz.seed + 1);
+    std::vector<int> actions;
+    for (int step = 0; step < 3000; ++step) {
+      Access access = RandomAccess(rng, 25);
+      actions.push_back(static_cast<int>(policy->OnAccess(access).action));
+    }
+    return actions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyFuzzTest,
+    ::testing::Values(FuzzCase{PolicyKind::kNoCache, 1},
+                      FuzzCase{PolicyKind::kLru, 1},
+                      FuzzCase{PolicyKind::kLru, 2},
+                      FuzzCase{PolicyKind::kLfu, 1},
+                      FuzzCase{PolicyKind::kGds, 1},
+                      FuzzCase{PolicyKind::kGds, 2},
+                      FuzzCase{PolicyKind::kGdsp, 1},
+                      FuzzCase{PolicyKind::kRateProfile, 1},
+                      FuzzCase{PolicyKind::kRateProfile, 2},
+                      FuzzCase{PolicyKind::kRateProfile, 3},
+                      FuzzCase{PolicyKind::kOnlineBy, 1},
+                      FuzzCase{PolicyKind::kOnlineBy, 2},
+                      FuzzCase{PolicyKind::kSpaceEffBy, 1},
+                      FuzzCase{PolicyKind::kSpaceEffBy, 2}),
+    CaseName);
+
+}  // namespace
+}  // namespace byc::core

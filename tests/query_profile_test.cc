@@ -1,0 +1,155 @@
+#include "core/query_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace byc::core {
+namespace {
+
+EpisodeParams DefaultParams() { return EpisodeParams{}; }
+
+TEST(ObjectProfileTest, FreshProfileHasLoadPenaltyRate) {
+  ObjectProfile profile(1000, 1000.0);
+  EXPECT_DOUBLE_EQ(profile.LoadAdjustedRate(1, DefaultParams()), -1.0);
+  EXPECT_FALSE(profile.has_open_episode());
+}
+
+TEST(ObjectProfileTest, FirstAccessOpensEpisode) {
+  ObjectProfile profile(1000, 1000.0);
+  profile.RecordAccess(10, 100.0, DefaultParams());
+  EXPECT_TRUE(profile.has_open_episode());
+  EXPECT_EQ(profile.last_access(), 10u);
+  // LARP = (100 - 1000) / (1 * 1000) = -0.9.
+  EXPECT_DOUBLE_EQ(profile.CurrentLarp(10), -0.9);
+}
+
+TEST(ObjectProfileTest, LarpTurnsPositiveWhenYieldExceedsFetchCost) {
+  ObjectProfile profile(1000, 1000.0);
+  EpisodeParams params;
+  profile.RecordAccess(1, 600.0, params);
+  EXPECT_LT(profile.CurrentLarp(1), 0);
+  profile.RecordAccess(2, 600.0, params);
+  // (1200 - 1000) / (1 * 1000) = 0.2 at t=2 (elapsed=1).
+  EXPECT_DOUBLE_EQ(profile.CurrentLarp(2), 0.2);
+  EXPECT_GT(profile.LoadAdjustedRate(2, params), 0);
+}
+
+TEST(ObjectProfileTest, LarDecaysWithElapsedTime) {
+  ObjectProfile profile(1000, 1000.0);
+  EpisodeParams params;
+  profile.RecordAccess(1, 2000.0, params);
+  double at_start = profile.CurrentLarp(1);
+  double later = profile.CurrentLarp(100);
+  EXPECT_GT(at_start, later);
+  EXPECT_GT(later, 0);
+}
+
+TEST(ObjectProfileTest, IdleGapClosesEpisode) {
+  ObjectProfile profile(1000, 1000.0);
+  EpisodeParams params;
+  params.idle_limit = 100;
+  profile.RecordAccess(1, 500.0, params);
+  EXPECT_EQ(profile.num_past_episodes(), 0u);
+  // Next access far beyond the idle limit: old episode closes, new opens.
+  profile.RecordAccess(500, 500.0, params);
+  EXPECT_EQ(profile.num_past_episodes(), 1u);
+  EXPECT_TRUE(profile.has_open_episode());
+}
+
+TEST(ObjectProfileTest, AccessWithinIdleLimitContinuesEpisode) {
+  ObjectProfile profile(1000, 1000.0);
+  EpisodeParams params;
+  params.idle_limit = 100;
+  profile.RecordAccess(1, 500.0, params);
+  profile.RecordAccess(50, 500.0, params);
+  EXPECT_EQ(profile.num_past_episodes(), 0u);
+}
+
+TEST(ObjectProfileTest, RateCollapseClosesEpisode) {
+  // Once an episode has a positive peak, a fall below c * peak ends it.
+  ObjectProfile profile(100, 100.0);
+  EpisodeParams params;
+  params.termination_ratio = 0.5;
+  params.idle_limit = 1000000;  // disable rule 2
+  // Burst: large yields quickly -> peak LARP well above zero.
+  profile.RecordAccess(1, 500.0, params);
+  EXPECT_EQ(profile.num_past_episodes(), 0u);
+  double peak = profile.CurrentLarp(1);
+  EXPECT_GT(peak, 0);
+  // A trickle access much later: LARP decays below half the peak.
+  profile.RecordAccess(900, 1.0, params);
+  EXPECT_EQ(profile.num_past_episodes(), 1u);
+}
+
+TEST(ObjectProfileTest, NegativePeakDoesNotTriggerRuleOne) {
+  // While the load penalty is unrecovered (peak < 0), rule 1 must stay
+  // dormant even though LARP values drift.
+  ObjectProfile profile(1000, 10000.0);
+  EpisodeParams params;
+  params.idle_limit = 1000000;
+  for (uint64_t t = 1; t <= 50; ++t) {
+    profile.RecordAccess(t * 10, 1.0, params);
+  }
+  EXPECT_EQ(profile.num_past_episodes(), 0u);
+  EXPECT_TRUE(profile.has_open_episode());
+}
+
+TEST(ObjectProfileTest, OnLoadedClosesEpisode) {
+  ObjectProfile profile(1000, 1000.0);
+  EpisodeParams params;
+  profile.RecordAccess(1, 2000.0, params);
+  profile.OnLoaded(params);
+  EXPECT_FALSE(profile.has_open_episode());
+  EXPECT_EQ(profile.num_past_episodes(), 1u);
+}
+
+TEST(ObjectProfileTest, LarWeighsRecentEpisodesMoreHeavily) {
+  ObjectProfile profile(1000, 1000.0);
+  EpisodeParams params;
+  params.idle_limit = 10;
+  params.weight_decay = 0.5;
+  // Old episode: strongly positive (yield 3000 at one tick).
+  profile.RecordAccess(1, 3000.0, params);
+  // Gap; new weak episode (negative LAR).
+  profile.RecordAccess(1000, 10.0, params);
+  double lar_mixed = profile.LoadAdjustedRate(1000, params);
+  // The recent (weak) episode dominates: LAR must sit below the old
+  // episode's LAR of (3000-1000)/1000 = 2.0 and above the weak one's.
+  double strong = 2.0;
+  double weak = (10.0 - 1000.0) / 1000.0;
+  EXPECT_LT(lar_mixed, strong);
+  EXPECT_GT(lar_mixed, weak);
+  // And closer to the weak one than the simple average would be.
+  EXPECT_LT(lar_mixed, (strong + weak) / 2);
+}
+
+TEST(ObjectProfileTest, EpisodeHistoryIsBounded) {
+  ObjectProfile profile(100, 100.0);
+  EpisodeParams params;
+  params.idle_limit = 1;
+  params.max_episodes = 4;
+  for (uint64_t t = 1; t <= 100; t += 10) {
+    profile.RecordAccess(t, 50.0, params);  // every access a new episode
+  }
+  EXPECT_LE(profile.num_past_episodes(), 4u);
+}
+
+TEST(ObjectProfileTest, OnEvictedRecordsAmortizedEpisode) {
+  ObjectProfile profile(1000, 1000.0);
+  EpisodeParams params;
+  // Eviction after a lifetime of 100 queries with RP 0.5: the equivalent
+  // outside-episode LAR is 0.5 - f/(lifetime*s) = 0.5 - 0.01.
+  profile.OnEvicted(0.5, 100, params);
+  EXPECT_EQ(profile.num_past_episodes(), 1u);
+  EXPECT_NEAR(profile.LoadAdjustedRate(200, params), 0.49, 1e-12);
+}
+
+TEST(ObjectProfileTest, ZeroElapsedUsesFloorOfOne) {
+  ObjectProfile profile(1000, 500.0);
+  EpisodeParams params;
+  profile.RecordAccess(7, 700.0, params);
+  // elapsed = max(7-7, 1) = 1: no division by zero.
+  EXPECT_DOUBLE_EQ(profile.CurrentLarp(7), (700.0 - 500.0) / 1000.0);
+}
+
+}  // namespace
+}  // namespace byc::core

@@ -1,0 +1,177 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace byc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedUniformHitsAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextUint64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextInt64RespectsRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolEdgeCases) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_FALSE(rng.NextBool(-1.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+  EXPECT_TRUE(rng.NextBool(2.0));
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(31);
+  std::vector<double> vals;
+  for (int i = 0; i < 20001; ++i) vals.push_back(rng.NextLogNormal(0.0, 0.5));
+  std::nth_element(vals.begin(), vals.begin() + 10000, vals.end());
+  // Median of lognormal(mu, sigma) is exp(mu) = 1.
+  EXPECT_NEAR(vals[10000], 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfSampler zipf(4, 0.0);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.25, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(37, 1.1);
+  double sum = 0;
+  for (size_t i = 0; i < zipf.n(); ++i) sum += zipf.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  ZipfSampler zipf(16, 1.0);
+  for (size_t i = 1; i < zipf.n(); ++i) {
+    EXPECT_GT(zipf.Pmf(i - 1), zipf.Pmf(i));
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(43);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler zipf(8, 1.0);
+  Rng rng(47);
+  std::vector<int> counts(8, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, zipf.Pmf(i), 0.01);
+  }
+}
+
+TEST(ZipfTest, HighThetaConcentratesOnHead) {
+  ZipfSampler zipf(100, 2.0);
+  Rng rng(53);
+  int head = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) head += zipf.Sample(rng) < 3;
+  EXPECT_GT(head, n / 2);
+}
+
+}  // namespace
+}  // namespace byc

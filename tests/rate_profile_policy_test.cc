@@ -1,0 +1,222 @@
+#include "core/rate_profile_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace byc::core {
+namespace {
+
+using test::MakeAccess;
+
+RateProfilePolicy::Options SmallCache(uint64_t capacity) {
+  RateProfilePolicy::Options options;
+  options.capacity_bytes = capacity;
+  options.episode.idle_limit = 1000;
+  return options;
+}
+
+TEST(RateProfileTest, ColdFirstAccessIsBypassed) {
+  RateProfilePolicy policy(SmallCache(10000));
+  // Yield below the fetch cost: the episode cannot have recovered the
+  // load penalty yet, so the access bypasses.
+  Decision d = policy.OnAccess(MakeAccess(0, 80.0, 100));
+  EXPECT_EQ(d.action, Action::kBypass);
+  EXPECT_FALSE(policy.Contains(catalog::ObjectId::ForTable(0)));
+}
+
+TEST(RateProfileTest, YieldAboveFetchCostLoadsImmediately) {
+  RateProfilePolicy policy(SmallCache(10000));
+  // A single query yielding 5x the fetch cost already proves the load
+  // worthwhile: LARP = (y - f)/s > 0 on the first access.
+  Decision d = policy.OnAccess(MakeAccess(0, 500.0, 100));
+  EXPECT_EQ(d.action, Action::kLoadAndServe);
+  EXPECT_TRUE(policy.Contains(catalog::ObjectId::ForTable(0)));
+}
+
+TEST(RateProfileTest, HotObjectGetsLoadedOnceYieldRecoversFetchCost) {
+  RateProfilePolicy policy(SmallCache(10000));
+  Access access = MakeAccess(0, 80.0, 100);
+  // 80-byte yields against a 100-byte object: the episode LARP turns
+  // positive on the second access; with free space the object loads.
+  Decision d1 = policy.OnAccess(access);
+  EXPECT_EQ(d1.action, Action::kBypass);
+  Decision d2 = policy.OnAccess(access);
+  EXPECT_EQ(d2.action, Action::kLoadAndServe);
+  EXPECT_TRUE(policy.Contains(access.object));
+  Decision d3 = policy.OnAccess(access);
+  EXPECT_EQ(d3.action, Action::kServeFromCache);
+}
+
+TEST(RateProfileTest, TrickleObjectIsNeverLoaded) {
+  RateProfilePolicy policy(SmallCache(10000));
+  // Yield far below fetch cost, spread out: LAR stays negative.
+  for (int i = 0; i < 50; ++i) {
+    Decision d = policy.OnAccess(MakeAccess(0, 1.0, 1000));
+    EXPECT_EQ(d.action, Action::kBypass) << "access " << i;
+  }
+}
+
+TEST(RateProfileTest, ObjectLargerThanCacheIsBypassed) {
+  RateProfilePolicy policy(SmallCache(100));
+  Access big = MakeAccess(0, 10000.0, 500);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy.OnAccess(big).action, Action::kBypass);
+  }
+}
+
+TEST(RateProfileTest, RateProfileMatchesEquationThree) {
+  RateProfilePolicy policy(SmallCache(10000));
+  Access access = MakeAccess(0, 80.0, 100);
+  policy.OnAccess(access);                   // t=1 bypass (80 < 100)
+  ASSERT_EQ(policy.OnAccess(access).action,  // t=2: 160 > 100 -> load
+            Action::kLoadAndServe);
+  policy.OnAccess(access);  // t=3 hit
+  policy.OnAccess(access);  // t=4 hit
+  // RP = (80 + 80 + 80) / ((4 - 2) * 100): the load-time query plus two
+  // hits over a lifetime of 2 ticks (Eq. 3).
+  EXPECT_DOUBLE_EQ(policy.RateProfileOf(access.object), 240.0 / 200.0);
+}
+
+TEST(RateProfileTest, EvictsLowestRateObjectWhenFull) {
+  RateProfilePolicy policy(SmallCache(250));
+  Access hot = MakeAccess(0, 80.0, 100);
+  Access warm = MakeAccess(1, 60.0, 100);
+  // Load both (each needs two accesses to prove itself).
+  policy.OnAccess(hot);
+  ASSERT_EQ(policy.OnAccess(hot).action, Action::kLoadAndServe);
+  policy.OnAccess(warm);
+  ASSERT_EQ(policy.OnAccess(warm).action, Action::kLoadAndServe);
+  // Keep the hot object hot; starve the warm one.
+  for (int i = 0; i < 20; ++i) policy.OnAccess(hot);
+
+  // A new strong object needs 100 bytes; only 50 remain free. The warm
+  // object (lower RP) must be the victim.
+  Access incoming = MakeAccess(2, 90.0, 100);
+  policy.OnAccess(incoming);
+  Decision d = policy.OnAccess(incoming);
+  ASSERT_EQ(d.action, Action::kLoadAndServe);
+  ASSERT_EQ(d.evictions.size(), 1u);
+  EXPECT_EQ(d.evictions[0], warm.object);
+  EXPECT_TRUE(policy.Contains(hot.object));
+  EXPECT_FALSE(policy.Contains(warm.object));
+}
+
+TEST(RateProfileTest, ConservativeEvictionBypassesWhenCacheIsBusy) {
+  RateProfilePolicy policy(SmallCache(100));
+  Access resident = MakeAccess(0, 90.0, 100);
+  policy.OnAccess(resident);
+  ASSERT_EQ(policy.OnAccess(resident).action, Action::kLoadAndServe);
+  for (int i = 0; i < 10; ++i) policy.OnAccess(resident);  // very high RP
+
+  // A modest newcomer cannot displace the high-RP resident: bypass, no
+  // evictions.
+  Access newcomer = MakeAccess(1, 55.0, 100);
+  policy.OnAccess(newcomer);
+  Decision d = policy.OnAccess(newcomer);
+  EXPECT_EQ(d.action, Action::kBypass);
+  EXPECT_TRUE(d.evictions.empty());
+  EXPECT_TRUE(policy.Contains(resident.object));
+}
+
+TEST(RateProfileTest, LoadChargesOnlyObjectsItEvicts) {
+  // Multiple small victims for one large newcomer.
+  RateProfilePolicy policy(SmallCache(300));
+  Access a = MakeAccess(0, 60.0, 100);
+  Access b = MakeAccess(1, 60.0, 100);
+  Access c = MakeAccess(2, 60.0, 100);
+  for (Access* obj : {&a, &b, &c}) {
+    policy.OnAccess(*obj);
+    ASSERT_EQ(policy.OnAccess(*obj).action, Action::kLoadAndServe);
+  }
+  // Newcomer yielding above its fetch cost loads at once and needs 200
+  // bytes -> exactly two victims with the lowest RPs.
+  Access big = MakeAccess(3, 250.0, 200);
+  Decision d = policy.OnAccess(big);
+  ASSERT_EQ(d.action, Action::kLoadAndServe);
+  EXPECT_EQ(d.evictions.size(), 2u);
+  EXPECT_TRUE(policy.Contains(big.object));
+  // The most recently loaded (highest-RP) small object survives.
+  EXPECT_TRUE(policy.Contains(c.object));
+}
+
+TEST(RateProfileTest, EvictedObjectCanEarnItsWayBack) {
+  RateProfilePolicy policy(SmallCache(100));
+  Access first = MakeAccess(0, 80.0, 100);
+  policy.OnAccess(first);
+  ASSERT_EQ(policy.OnAccess(first).action, Action::kLoadAndServe);
+
+  // A much stronger object displaces it (immediate load: yield > fetch).
+  Access second = MakeAccess(1, 2000.0, 100);
+  policy.OnAccess(second);
+  EXPECT_TRUE(policy.Contains(second.object));
+  EXPECT_FALSE(policy.Contains(first.object));
+
+  // The first object comes back far hotter and reclaims the space from
+  // the (now idle, decaying-RP) usurper.
+  Access comeback = MakeAccess(0, 5000.0, 100);
+  for (int i = 0; i < 40 && !policy.Contains(comeback.object); ++i) {
+    policy.OnAccess(comeback);
+  }
+  EXPECT_TRUE(policy.Contains(comeback.object));
+}
+
+TEST(RateProfileTest, ProfileCountIsBounded) {
+  RateProfilePolicy::Options options = SmallCache(1000);
+  options.max_profiles = 16;
+  RateProfilePolicy policy(options);
+  for (int t = 0; t < 100; ++t) {
+    policy.OnAccess(MakeAccess(t, 1.0, 100));
+  }
+  EXPECT_LE(policy.num_profiles(), 17u);  // cap plus the in-flight insert
+}
+
+TEST(RateProfileTest, LoadAdjustedRateOfUnknownObjectIsLoadPenalty) {
+  RateProfilePolicy policy(SmallCache(1000));
+  double lar =
+      policy.LoadAdjustedRateOf(catalog::ObjectId::ForTable(9), 100, 100.0);
+  EXPECT_DOUBLE_EQ(lar, -1.0);
+}
+
+TEST(RateProfileTest, ZeroYieldAccessesNeverTriggerLoads) {
+  RateProfilePolicy policy(SmallCache(1000));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.OnAccess(MakeAccess(0, 0.0, 100)).action,
+              Action::kBypass);
+  }
+}
+
+TEST(RateProfileTest, ProtectedLoadsCannotBeEvictedUntilRepaid) {
+  RateProfilePolicy::Options options = SmallCache(100);
+  options.protect_unrecovered_loads = true;
+  RateProfilePolicy policy(options);
+  // Resident object loaded with yield 80 < fetch 100: not yet repaid.
+  Access resident = MakeAccess(0, 80.0, 100);
+  policy.OnAccess(resident);
+  ASSERT_EQ(policy.OnAccess(resident).action, Action::kLoadAndServe);
+  // A much stronger newcomer cannot displace it while it is unrepaid.
+  Access strong = MakeAccess(1, 5000.0, 100);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy.OnAccess(strong).action, Action::kBypass) << i;
+  }
+  EXPECT_TRUE(policy.Contains(resident.object));
+  // One more hit repays the load (80+80 = 160 >= 100): now evictable.
+  policy.OnAccess(resident);
+  Decision d = policy.OnAccess(strong);
+  EXPECT_EQ(d.action, Action::kLoadAndServe);
+  EXPECT_FALSE(policy.Contains(resident.object));
+}
+
+TEST(RateProfileTest, VanillaEvictsUnrepaidLoads) {
+  RateProfilePolicy policy(SmallCache(100));  // default: no protection
+  Access resident = MakeAccess(0, 80.0, 100);
+  policy.OnAccess(resident);
+  ASSERT_EQ(policy.OnAccess(resident).action, Action::kLoadAndServe);
+  Access strong = MakeAccess(1, 5000.0, 100);
+  Decision d = policy.OnAccess(strong);
+  EXPECT_EQ(d.action, Action::kLoadAndServe);  // displaces immediately
+  EXPECT_FALSE(policy.Contains(resident.object));
+}
+
+}  // namespace
+}  // namespace byc::core

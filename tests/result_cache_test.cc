@@ -1,0 +1,92 @@
+#include "query/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+#include "common/check.h"
+#include "query/binder.h"
+
+namespace byc::query {
+namespace {
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  ResultCacheTest() : catalog_(catalog::MakeSdssEdrCatalog()) {}
+
+  ResolvedQuery Bind(std::string_view sql) {
+    auto r = ParseAndBind(catalog_, sql);
+    BYC_CHECK(r.ok());
+    return std::move(r).value();
+  }
+
+  catalog::Catalog catalog_;
+};
+
+TEST_F(ResultCacheTest, RepeatHitsViaContainment) {
+  ResultCache cache({1 << 20, 128});
+  auto q = Bind("select p.ra from PhotoObj p where p.modelMag_g > 17");
+  EXPECT_FALSE(cache.OnQuery(q, 1000));
+  EXPECT_TRUE(cache.OnQuery(q, 1000));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().wan_cost, 1000);
+}
+
+TEST_F(ResultCacheTest, RefinementHitsWhenColumnsStored) {
+  ResultCache cache({1 << 20, 128});
+  auto broad = Bind(
+      "select p.ra, p.modelMag_g from PhotoObj p where p.modelMag_g > 17");
+  auto narrow =
+      Bind("select p.ra from PhotoObj p where p.modelMag_g > 20");
+  cache.OnQuery(broad, 5000);
+  EXPECT_TRUE(cache.OnQuery(narrow, 800));
+  EXPECT_DOUBLE_EQ(cache.stats().saved_bytes, 800);
+}
+
+TEST_F(ResultCacheTest, BroadeningMisses) {
+  ResultCache cache({1 << 20, 128});
+  auto narrow = Bind(
+      "select p.ra, p.modelMag_g from PhotoObj p where p.modelMag_g > 20");
+  auto broad =
+      Bind("select p.ra from PhotoObj p where p.modelMag_g > 17");
+  cache.OnQuery(narrow, 800);
+  EXPECT_FALSE(cache.OnQuery(broad, 5000));
+}
+
+TEST_F(ResultCacheTest, CandidateScanIsBounded) {
+  ResultCache cache({1u << 24, 2});
+  // Fill with three distinct queries; the oldest falls outside the
+  // 2-candidate scan window even though it would contain the probe.
+  auto a = Bind("select p.ra from PhotoObj p where p.modelMag_g > 17");
+  auto b = Bind("select s.z from SpecObj s");
+  auto c = Bind("select f.mjd from Field f");
+  cache.OnQuery(a, 100);
+  cache.OnQuery(b, 100);
+  cache.OnQuery(c, 100);
+  // a is now third in LRU order: not examined.
+  EXPECT_FALSE(cache.OnQuery(a, 100));
+}
+
+TEST_F(ResultCacheTest, LruEvictionOnCapacity) {
+  ResultCache cache({250, 128});
+  auto a = Bind("select p.ra from PhotoObj p");
+  auto b = Bind("select s.z from SpecObj s");
+  auto c = Bind("select f.mjd from Field f");
+  cache.OnQuery(a, 100);
+  cache.OnQuery(b, 100);
+  EXPECT_TRUE(cache.OnQuery(a, 100));  // refresh a
+  cache.OnQuery(c, 100);               // evicts b
+  EXPECT_EQ(cache.num_entries(), 2u);
+  EXPECT_TRUE(cache.OnQuery(a, 100));
+  EXPECT_FALSE(cache.OnQuery(b, 100));
+}
+
+TEST_F(ResultCacheTest, OversizedResultsNotStored) {
+  ResultCache cache({100, 128});
+  auto q = Bind("select p.ra from PhotoObj p");
+  cache.OnQuery(q, 1e6);
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_FALSE(cache.OnQuery(q, 1e6));
+}
+
+}  // namespace
+}  // namespace byc::query

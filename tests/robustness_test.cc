@@ -1,0 +1,125 @@
+// Robustness fuzzing of the text front ends: arbitrary input must come
+// back as a clean ParseError/Status — never a crash, hang, or silent
+// acceptance of garbage.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "catalog/sdss.h"
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "query/parser.h"
+#include "workload/trace.h"
+
+namespace byc {
+namespace {
+
+std::string RandomString(Rng& rng, size_t max_len,
+                         std::string_view alphabet) {
+  size_t len = rng.NextUint64(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += alphabet[rng.NextUint64(alphabet.size())];
+  }
+  return out;
+}
+
+TEST(ParserFuzzTest, RandomSqlNeverCrashes) {
+  Rng rng(271828);
+  const std::string_view alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .,()<>=!*;'\"_-+";
+  for (int i = 0; i < 5000; ++i) {
+    std::string input = RandomString(rng, 120, alphabet);
+    auto r = query::ParseSelect(input);
+    if (r.ok()) {
+      // Whatever parsed must round-trip through its own printer.
+      auto again = query::ParseSelect(r->ToString());
+      EXPECT_TRUE(again.ok()) << input;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidQueriesNeverCrash) {
+  Rng rng(314159);
+  const std::string base =
+      "select p.objID, p.ra, s.z as redshift from SpecObj s, PhotoObj p "
+      "where p.objID = s.objID and s.zConf > 0.95 and s.z < 0.01";
+  for (int i = 0; i < 5000; ++i) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.NextUint64(mutated.size());
+      switch (rng.NextUint64(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.NextUint64(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1,
+                         static_cast<char>(32 + rng.NextUint64(95)));
+          break;
+      }
+    }
+    (void)query::ParseSelect(mutated);  // must simply not crash
+  }
+}
+
+TEST(TraceFuzzTest, RandomTraceLinesNeverCrash) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  Rng rng(161803);
+  const std::string_view alphabet = "0123456789|:,.-RSIAJ efgh";
+  for (int i = 0; i < 3000; ++i) {
+    std::stringstream in;
+    in << RandomString(rng, 100, alphabet) << "\n";
+    (void)workload::ReadTrace(catalog, in);  // Status, not a crash
+  }
+}
+
+TEST(TraceFuzzTest, MutatedValidTraceNeverCrashes) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  const std::string valid =
+      "R|0|0:1:0,0:2:3|0:3:4:17.5:0.25|0:0:1:1|5,6,7";
+  Rng rng(141421);
+  for (int i = 0; i < 3000; ++i) {
+    std::string mutated = valid;
+    size_t pos = rng.NextUint64(mutated.size());
+    mutated[pos] = static_cast<char>(32 + rng.NextUint64(95));
+    std::stringstream in;
+    in << mutated << "\n";
+    auto r = workload::ReadTrace(catalog, in);
+    if (r.ok() && !r->queries.empty()) {
+      // Anything accepted must be internally consistent enough to write
+      // back out.
+      std::stringstream out;
+      EXPECT_TRUE(workload::WriteTrace(*r, out).ok());
+    }
+  }
+}
+
+TEST(CsvFuzzTest, RandomLinesParseOrFailCleanly) {
+  Rng rng(662607);
+  const std::string_view alphabet = "ab,\"\r x";
+  for (int i = 0; i < 5000; ++i) {
+    std::string line = RandomString(rng, 40, alphabet);
+    auto r = ParseCsvLine(line);
+    if (r.ok()) {
+      EXPECT_GE(r->size(), 1u);
+    } else {
+      EXPECT_TRUE(r.status().IsParseError());
+    }
+  }
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ BYC_CHECK(1 == 2); }, "BYC_CHECK failed");
+  EXPECT_DEATH({ BYC_CHECK_GT(0, 1); }, "BYC_CHECK failed");
+}
+
+}  // namespace
+}  // namespace byc

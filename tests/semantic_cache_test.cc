@@ -1,0 +1,102 @@
+#include "core/semantic_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace byc::core {
+namespace {
+
+SemanticCache::QueryFootprint Footprint(uint64_t signature,
+                                        std::vector<int64_t> cells,
+                                        double bytes) {
+  SemanticCache::QueryFootprint fp;
+  fp.schema_signature = signature;
+  fp.cells = std::move(cells);
+  fp.result_bytes = bytes;
+  return fp;
+}
+
+TEST(SemanticCacheTest, FirstQueryMisses) {
+  SemanticCache cache({1 << 20});
+  EXPECT_FALSE(cache.OnQuery(Footprint(1, {1, 2, 3}, 100)));
+  EXPECT_EQ(cache.stats().queries, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().wan_cost, 100);
+}
+
+TEST(SemanticCacheTest, IdenticalRepeatHits) {
+  SemanticCache cache({1 << 20});
+  auto fp = Footprint(1, {1, 2, 3}, 100);
+  cache.OnQuery(fp);
+  EXPECT_TRUE(cache.OnQuery(fp));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().saved_bytes, 100);
+  EXPECT_DOUBLE_EQ(cache.stats().wan_cost, 100);  // only the first miss
+}
+
+TEST(SemanticCacheTest, ContainedSubsetHits) {
+  SemanticCache cache({1 << 20});
+  cache.OnQuery(Footprint(1, {1, 2, 3, 4, 5}, 500));
+  // A refinement covering a subset of the stored footprint hits.
+  EXPECT_TRUE(cache.OnQuery(Footprint(1, {2, 4}, 80)));
+}
+
+TEST(SemanticCacheTest, OverlappingButNotContainedMisses) {
+  SemanticCache cache({1 << 20});
+  cache.OnQuery(Footprint(1, {1, 2, 3}, 300));
+  EXPECT_FALSE(cache.OnQuery(Footprint(1, {3, 4}, 80)));
+}
+
+TEST(SemanticCacheTest, DifferentSchemaNeverHits) {
+  SemanticCache cache({1 << 20});
+  cache.OnQuery(Footprint(1, {1, 2, 3}, 300));
+  // Same cells, different query schema: the stored result has the wrong
+  // columns.
+  EXPECT_FALSE(cache.OnQuery(Footprint(2, {1, 2}, 80)));
+}
+
+TEST(SemanticCacheTest, EmptyFootprintHitsAnySameSchemaEntry) {
+  SemanticCache cache({1 << 20});
+  cache.OnQuery(Footprint(1, {5}, 100));
+  // An empty cell set is trivially contained.
+  EXPECT_TRUE(cache.OnQuery(Footprint(1, {}, 10)));
+}
+
+TEST(SemanticCacheTest, LruEvictionUnderPressure) {
+  SemanticCache cache({250});
+  cache.OnQuery(Footprint(1, {1}, 100));
+  cache.OnQuery(Footprint(2, {2}, 100));
+  // Touch entry 1 so entry 2 is the LRU victim.
+  EXPECT_TRUE(cache.OnQuery(Footprint(1, {1}, 100)));
+  cache.OnQuery(Footprint(3, {3}, 100));  // evicts entry 2
+  EXPECT_EQ(cache.num_entries(), 2u);
+  EXPECT_TRUE(cache.OnQuery(Footprint(1, {1}, 100)));
+  EXPECT_FALSE(cache.OnQuery(Footprint(2, {2}, 100)));
+}
+
+TEST(SemanticCacheTest, ResultsLargerThanCacheNotStored) {
+  SemanticCache cache({100});
+  cache.OnQuery(Footprint(1, {1}, 5000));
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.OnQuery(Footprint(1, {1}, 5000)));
+}
+
+TEST(SemanticCacheTest, UsedBytesTracksEntries) {
+  SemanticCache cache({1000});
+  cache.OnQuery(Footprint(1, {1}, 300));
+  cache.OnQuery(Footprint(2, {2}, 200));
+  EXPECT_EQ(cache.used_bytes(), 500u);
+  EXPECT_EQ(cache.num_entries(), 2u);
+}
+
+TEST(SemanticCacheTest, HitsDoNotGrowCache) {
+  SemanticCache cache({1000});
+  cache.OnQuery(Footprint(1, {1, 2}, 300));
+  uint64_t used = cache.used_bytes();
+  cache.OnQuery(Footprint(1, {1}, 50));
+  EXPECT_EQ(cache.used_bytes(), used);
+  EXPECT_EQ(cache.num_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace byc::core

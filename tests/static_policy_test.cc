@@ -1,0 +1,103 @@
+#include "core/static_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace byc::core {
+namespace {
+
+using catalog::ObjectId;
+using test::MakeAccess;
+
+TEST(StaticPolicyTest, ServesResidentBypassesRest) {
+  StaticPolicy::Options options;
+  options.capacity_bytes = 1000;
+  options.charge_initial_load = false;
+  StaticPolicy policy(options, {{ObjectId::ForTable(0), 400}});
+  EXPECT_EQ(policy.OnAccess(MakeAccess(0, 10.0, 400)).action,
+            Action::kServeFromCache);
+  EXPECT_EQ(policy.OnAccess(MakeAccess(1, 10.0, 100)).action,
+            Action::kBypass);
+}
+
+TEST(StaticPolicyTest, NoLoadsOrEvictionsEver) {
+  StaticPolicy::Options options;
+  options.capacity_bytes = 1000;
+  options.charge_initial_load = false;
+  StaticPolicy policy(options, {{ObjectId::ForTable(0), 400}});
+  for (int i = 0; i < 100; ++i) {
+    Decision d = policy.OnAccess(MakeAccess(i % 5, 10.0, 100));
+    EXPECT_TRUE(d.evictions.empty());
+    EXPECT_NE(d.action, Action::kLoadAndServe);
+  }
+  EXPECT_EQ(policy.used_bytes(), 400u);
+}
+
+TEST(StaticPolicyTest, InitialLoadChargedLazilyOnce) {
+  StaticPolicy::Options options;
+  options.capacity_bytes = 1000;
+  options.charge_initial_load = true;
+  StaticPolicy policy(options, {{ObjectId::ForTable(0), 400}});
+  Access access = MakeAccess(0, 10.0, 400);
+  EXPECT_EQ(policy.OnAccess(access).action, Action::kLoadAndServe);
+  EXPECT_EQ(policy.OnAccess(access).action, Action::kServeFromCache);
+  EXPECT_EQ(policy.OnAccess(access).action, Action::kServeFromCache);
+}
+
+TEST(StaticPolicyTest, OversizedContentsTruncated) {
+  StaticPolicy::Options options;
+  options.capacity_bytes = 500;
+  options.charge_initial_load = false;
+  StaticPolicy policy(options, {{ObjectId::ForTable(0), 400},
+                                {ObjectId::ForTable(1), 300},
+                                {ObjectId::ForTable(2), 100}});
+  // Table 1 does not fit after table 0; table 2 still does.
+  EXPECT_TRUE(policy.Contains(ObjectId::ForTable(0)));
+  EXPECT_FALSE(policy.Contains(ObjectId::ForTable(1)));
+  EXPECT_TRUE(policy.Contains(ObjectId::ForTable(2)));
+  EXPECT_EQ(policy.used_bytes(), 500u);
+}
+
+TEST(SelectStaticSetTest, PicksHighestDensityObjects) {
+  std::vector<Access> accesses;
+  // Object 0: 1000 yield over 100 bytes (density 10).
+  // Object 1: 1500 yield over 500 bytes (density 3).
+  // Object 2: 50 yield over 10 bytes (density 5).
+  for (int i = 0; i < 10; ++i) accesses.push_back(MakeAccess(0, 100.0, 100));
+  for (int i = 0; i < 3; ++i) accesses.push_back(MakeAccess(1, 500.0, 500));
+  accesses.push_back(MakeAccess(2, 50.0, 10));
+  auto set = SelectStaticSet(accesses, 120);
+  // Capacity 120: object 0 (100) + object 2 (10) fit; object 1 does not.
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0].first, catalog::ObjectId::ForTable(0));
+  EXPECT_EQ(set[1].first, catalog::ObjectId::ForTable(2));
+}
+
+TEST(SelectStaticSetTest, SkipsObjectsNotWorthTheirFetchCost) {
+  std::vector<Access> accesses;
+  // Total yield 50 < fetch cost 100: caching never pays off.
+  accesses.push_back(MakeAccess(0, 50.0, 100));
+  auto set = SelectStaticSet(accesses, 1000);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(SelectStaticSetTest, SkipsButContinuesPastOversizedObjects) {
+  std::vector<Access> accesses;
+  for (int i = 0; i < 10; ++i) {
+    accesses.push_back(MakeAccess(0, 900.0, 600));  // density 15, too big
+    accesses.push_back(MakeAccess(1, 300.0, 100));  // density 30
+    accesses.push_back(MakeAccess(2, 200.0, 100));  // density 20
+  }
+  auto set = SelectStaticSet(accesses, 250);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0].first, catalog::ObjectId::ForTable(1));
+  EXPECT_EQ(set[1].first, catalog::ObjectId::ForTable(2));
+}
+
+TEST(SelectStaticSetTest, EmptyAccessesGiveEmptySet) {
+  EXPECT_TRUE(SelectStaticSet({}, 1000).empty());
+}
+
+}  // namespace
+}  // namespace byc::core

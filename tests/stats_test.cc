@@ -1,0 +1,133 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace byc {
+namespace {
+
+TEST(StatAccumulatorTest, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulatorTest, BasicMoments) {
+  StatAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.variance(), 4.0, 1e-12);  // classic example set
+  EXPECT_NEAR(acc.stddev(), 2.0, 1e-12);
+}
+
+TEST(StatAccumulatorTest, SingleValue) {
+  StatAccumulator acc;
+  acc.Add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulatorTest, NegativeValues) {
+  StatAccumulator acc;
+  acc.Add(-10);
+  acc.Add(10);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -10.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 10.0);
+}
+
+TEST(StatAccumulatorTest, ToStringMentionsCount) {
+  StatAccumulator acc;
+  acc.Add(1);
+  EXPECT_NE(acc.ToString().find("count=1"), std::string::npos);
+}
+
+TEST(QuantileSketchTest, EmptyReturnsZero) {
+  QuantileSketch q;
+  EXPECT_EQ(q.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, ExactOrderStatistics) {
+  QuantileSketch q;
+  for (int i = 1; i <= 101; ++i) q.Add(i);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 51.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 101.0);
+}
+
+TEST(QuantileSketchTest, InterpolatesBetweenValues) {
+  QuantileSketch q;
+  q.Add(0);
+  q.Add(10);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.25), 2.5);
+}
+
+TEST(QuantileSketchTest, ClampsOutOfRangeQ) {
+  QuantileSketch q;
+  q.Add(1);
+  q.Add(2);
+  EXPECT_DOUBLE_EQ(q.Quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.5), 2.0);
+}
+
+TEST(QuantileSketchTest, InterleavedAddAndQuery) {
+  QuantileSketch q;
+  q.Add(3);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 3.0);
+  q.Add(1);
+  q.Add(2);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 2.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0, 10, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(4), 10.0);
+}
+
+TEST(HistogramTest, CountsFallInCorrectBuckets) {
+  Histogram h(0, 10, 5);
+  h.Add(0.5);
+  h.Add(1.9);
+  h.Add(2.0);
+  h.Add(9.9);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  Histogram h(0, 10, 5);
+  h.Add(-100);
+  h.Add(100);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(4), 1u);
+}
+
+TEST(BytesTest, FormatPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3.5 * kMB), "3.50 MB");
+  EXPECT_EQ(FormatBytes(1.25 * kGB), "1.25 GB");
+}
+
+TEST(BytesTest, FormatGBMatchesPaperStyle) {
+  EXPECT_EQ(FormatGB(1216.94 * kGB), "1216.94");
+  EXPECT_EQ(FormatGB(0), "0.00");
+}
+
+}  // namespace
+}  // namespace byc

@@ -1,0 +1,31 @@
+#ifndef BYC_TESTS_TEST_UTIL_H_
+#define BYC_TESTS_TEST_UTIL_H_
+
+#include "core/access.h"
+
+namespace byc::test {
+
+/// Builds an access to the table-level object `table` with the given
+/// yield and size. Fetch cost defaults to the size (uniform unit-cost
+/// network), and bypass cost to the yield.
+inline core::Access MakeAccess(int table, double yield, uint64_t size) {
+  core::Access access;
+  access.object = catalog::ObjectId::ForTable(table);
+  access.yield_bytes = yield;
+  access.size_bytes = size;
+  access.fetch_cost = static_cast<double>(size);
+  access.bypass_cost = yield;
+  return access;
+}
+
+/// Column-level variant.
+inline core::Access MakeColumnAccess(int table, int column, double yield,
+                                     uint64_t size) {
+  core::Access access = MakeAccess(table, yield, size);
+  access.object = catalog::ObjectId::ForColumn(table, column);
+  return access;
+}
+
+}  // namespace byc::test
+
+#endif  // BYC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+#include "workload/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+
+namespace byc::workload {
+namespace {
+
+TraceQuery RegionQuery(std::vector<int64_t> cells) {
+  TraceQuery tq;
+  tq.klass = QueryClass::kRange;
+  tq.query.tables = {0};
+  tq.query.select.push_back({{0, 0}, query::Aggregate::kNone});
+  tq.cells = std::move(cells);
+  return tq;
+}
+
+TraceQuery IdentityQuery(int64_t id) {
+  TraceQuery tq = RegionQuery({id});
+  tq.klass = QueryClass::kIdentity;
+  return tq;
+}
+
+TEST(ContainmentTest, RepeatedRegionIsContained) {
+  Trace trace;
+  trace.queries.push_back(RegionQuery({1, 2, 3}));
+  trace.queries.push_back(RegionQuery({1, 2, 3}));
+  trace.queries.push_back(RegionQuery({2, 3}));
+  ContainmentStats stats = AnalyzeContainment(trace, 50);
+  EXPECT_EQ(stats.num_queries, 2u);  // the first query has no history
+  EXPECT_EQ(stats.fully_contained, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_overlap, 1.0);
+  EXPECT_EQ(stats.universe_cells, 3u);
+}
+
+TEST(ContainmentTest, DisjointRegionsNeverContained) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.queries.push_back(RegionQuery({i * 100, i * 100 + 1}));
+  }
+  ContainmentStats stats = AnalyzeContainment(trace, 50);
+  EXPECT_EQ(stats.fully_contained, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_overlap, 0.0);
+  EXPECT_EQ(stats.universe_cells, 20u);
+}
+
+TEST(ContainmentTest, WindowLimitsHistory) {
+  Trace trace;
+  trace.queries.push_back(RegionQuery({7}));
+  // 60 unrelated queries push the first out of a 50-query window.
+  for (int i = 0; i < 60; ++i) {
+    trace.queries.push_back(RegionQuery({1000 + i}));
+  }
+  trace.queries.push_back(RegionQuery({7}));
+  ContainmentStats small_window = AnalyzeContainment(trace, 50);
+  EXPECT_EQ(small_window.fully_contained, 0u);
+  ContainmentStats big_window = AnalyzeContainment(trace, 100);
+  EXPECT_EQ(big_window.fully_contained, 1u);
+}
+
+TEST(ContainmentTest, IgnoresNonRegionQueries) {
+  Trace trace;
+  trace.queries.push_back(IdentityQuery(5));
+  trace.queries.push_back(RegionQuery({1, 2}));
+  trace.queries.push_back(IdentityQuery(6));
+  ContainmentStats stats = AnalyzeContainment(trace, 50);
+  // Only the single region query enters, and it has no prior history.
+  EXPECT_EQ(stats.num_queries, 0u);
+}
+
+TEST(ContainmentTest, PartialOverlapMeasured) {
+  Trace trace;
+  trace.queries.push_back(RegionQuery({1, 2, 3, 4}));
+  trace.queries.push_back(RegionQuery({3, 4, 5, 6}));  // half reused
+  ContainmentStats stats = AnalyzeContainment(trace, 50);
+  EXPECT_EQ(stats.num_queries, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_overlap, 0.5);
+  EXPECT_EQ(stats.fully_contained, 0u);
+  ASSERT_EQ(stats.reuse_scatter.size(), 1u);
+  EXPECT_EQ(stats.reuse_scatter[0].second, 2u);
+}
+
+TEST(LocalityTest, CountsPerObjectAccesses) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  Trace trace;
+  // Three queries over the same single column of table 0.
+  for (int i = 0; i < 3; ++i) {
+    TraceQuery tq;
+    tq.query.tables = {0};
+    tq.query.select.push_back({{0, 1}, query::Aggregate::kNone});
+    trace.queries.push_back(tq);
+  }
+  LocalityStats stats =
+      AnalyzeSchemaLocality(catalog, trace, catalog::Granularity::kColumn);
+  ASSERT_EQ(stats.usage.size(), 1u);
+  EXPECT_EQ(stats.usage[0].accesses, 3u);
+  EXPECT_EQ(stats.usage[0].first_query, 0u);
+  EXPECT_EQ(stats.usage[0].last_query, 2u);
+  EXPECT_EQ(stats.total_references, 3u);
+  EXPECT_EQ(stats.objects_for_90pct, 1u);
+  EXPECT_EQ(stats.untouched_objects,
+            static_cast<size_t>(catalog.total_columns()) - 1);
+}
+
+TEST(LocalityTest, TableGranularityMergesColumns) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  Trace trace;
+  TraceQuery tq;
+  tq.query.tables = {0};
+  tq.query.select.push_back({{0, 1}, query::Aggregate::kNone});
+  tq.query.select.push_back({{0, 2}, query::Aggregate::kNone});
+  trace.queries.push_back(tq);
+  LocalityStats stats =
+      AnalyzeSchemaLocality(catalog, trace, catalog::Granularity::kTable);
+  ASSERT_EQ(stats.usage.size(), 1u);
+  EXPECT_TRUE(stats.usage[0].object.is_table());
+  EXPECT_EQ(stats.total_references, 1u);
+}
+
+TEST(LocalityTest, SortsHottestFirst) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  Trace trace;
+  auto push = [&](int column, int times) {
+    for (int i = 0; i < times; ++i) {
+      TraceQuery tq;
+      tq.query.tables = {0};
+      tq.query.select.push_back({{0, column}, query::Aggregate::kNone});
+      trace.queries.push_back(tq);
+    }
+  };
+  push(1, 2);
+  push(2, 7);
+  push(3, 4);
+  LocalityStats stats =
+      AnalyzeSchemaLocality(catalog, trace, catalog::Granularity::kColumn);
+  ASSERT_EQ(stats.usage.size(), 3u);
+  EXPECT_EQ(stats.usage[0].accesses, 7u);
+  EXPECT_EQ(stats.usage[1].accesses, 4u);
+  EXPECT_EQ(stats.usage[2].accesses, 2u);
+}
+
+TEST(LocalityTest, EmptyTraceIsSafe) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  Trace trace;
+  LocalityStats stats =
+      AnalyzeSchemaLocality(catalog, trace, catalog::Granularity::kColumn);
+  EXPECT_TRUE(stats.usage.empty());
+  EXPECT_EQ(stats.total_references, 0u);
+  EXPECT_DOUBLE_EQ(stats.hot_span_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace byc::workload

@@ -1,0 +1,127 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "catalog/sdss.h"
+#include "workload/generator.h"
+
+namespace byc::workload {
+namespace {
+
+TraceQuery MakeSimpleQuery() {
+  TraceQuery tq;
+  tq.klass = QueryClass::kRange;
+  tq.query.tables = {0};
+  tq.query.select.push_back({{0, 1}, query::Aggregate::kNone});
+  tq.query.select.push_back({{0, 2}, query::Aggregate::kAvg});
+  query::ResolvedFilter f;
+  f.column = {0, 3};
+  f.op = query::CmpOp::kGt;
+  f.value = 17.25;
+  f.selectivity = 0.125;
+  tq.query.filters.push_back(f);
+  tq.cells = {100, 101, 102};
+  return tq;
+}
+
+TEST(TraceIoTest, RoundTripsSimpleTrace) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  Trace trace;
+  trace.name = "EDR";
+  trace.queries.push_back(MakeSimpleQuery());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(trace, buffer).ok());
+  auto read = ReadTrace(catalog, buffer);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->queries.size(), 1u);
+  EXPECT_EQ(read->name, "EDR");
+  const TraceQuery& tq = read->queries[0];
+  EXPECT_EQ(tq.klass, QueryClass::kRange);
+  EXPECT_EQ(tq.query.tables, std::vector<int>{0});
+  ASSERT_EQ(tq.query.select.size(), 2u);
+  EXPECT_EQ(tq.query.select[1].aggregate, query::Aggregate::kAvg);
+  ASSERT_EQ(tq.query.filters.size(), 1u);
+  EXPECT_DOUBLE_EQ(tq.query.filters[0].value, 17.25);
+  EXPECT_DOUBLE_EQ(tq.query.filters[0].selectivity, 0.125);
+  EXPECT_EQ(tq.cells, (std::vector<int64_t>{100, 101, 102}));
+}
+
+TEST(TraceIoTest, RoundTripsGeneratedTraceExactly) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  GeneratorOptions options = MakeEdrOptions();
+  options.num_queries = 300;
+  options.target_sequence_cost = 0;  // skip calibration for speed
+  TraceGenerator gen(&catalog, options);
+  Trace trace = gen.Generate();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(trace, buffer).ok());
+  auto read = ReadTrace(catalog, buffer);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->queries.size(), trace.queries.size());
+  for (size_t i = 0; i < trace.queries.size(); ++i) {
+    const TraceQuery& orig = trace.queries[i];
+    const TraceQuery& got = read->queries[i];
+    ASSERT_EQ(got.klass, orig.klass) << i;
+    ASSERT_EQ(got.query.tables, orig.query.tables) << i;
+    ASSERT_EQ(got.query.select.size(), orig.query.select.size()) << i;
+    ASSERT_EQ(got.query.filters.size(), orig.query.filters.size()) << i;
+    for (size_t f = 0; f < orig.query.filters.size(); ++f) {
+      ASSERT_DOUBLE_EQ(got.query.filters[f].selectivity,
+                       orig.query.filters[f].selectivity);
+      ASSERT_DOUBLE_EQ(got.query.filters[f].value,
+                       orig.query.filters[f].value);
+    }
+    ASSERT_EQ(got.query.joins.size(), orig.query.joins.size()) << i;
+    ASSERT_EQ(got.cells, orig.cells) << i;
+  }
+}
+
+TEST(TraceIoTest, IgnoresCommentsAndBlankLines) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  std::stringstream buffer;
+  buffer << "# a comment\n\ntrace test\nR|0|0:1:0||,|\n";
+  // Note the cells section contains ",". That is invalid; use a clean one.
+  std::stringstream ok;
+  ok << "# comment\n\ntrace test\nR|0|0:1:0|||\n";
+  auto read = ReadTrace(catalog, ok);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->name, "test");
+  EXPECT_EQ(read->queries.size(), 1u);
+}
+
+TEST(TraceIoTest, RejectsMalformedLines) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  for (const char* bad : {
+           "X|0|0:1:0|||",      // unknown class
+           "R|999|0:1:0|||",    // table out of range
+           "R|0|0:9999:0|||",   // column out of range
+           "R|0|0:1:7|||",      // bad aggregate code
+           "R|0|0:1:0|0:1:9:1:0.5||",  // bad op code
+           "R|0|0:1:0|0:1:2:1:1.5||",  // selectivity > 1
+           "R|0|0:1:0|0:1:2:1:0||",    // selectivity 0
+           "R|0|0:1:0||0:1:0|",        // join with too few fields
+           "R|0||||",           // empty select list
+           "R||0:1:0|||",       // no tables
+           "R|0|0:1:0||",       // wrong section count
+       }) {
+    std::stringstream in;
+    in << bad << "\n";
+    auto read = ReadTrace(catalog, in);
+    EXPECT_FALSE(read.ok()) << bad;
+  }
+}
+
+TEST(TraceIoTest, QueryClassNames) {
+  EXPECT_EQ(QueryClassName(QueryClass::kRange), "range");
+  EXPECT_EQ(QueryClassName(QueryClass::kSpatial), "spatial");
+  EXPECT_EQ(QueryClassName(QueryClass::kIdentity), "identity");
+  EXPECT_EQ(QueryClassName(QueryClass::kAggregate), "aggregate");
+  EXPECT_EQ(QueryClassName(QueryClass::kJoin), "join");
+}
+
+}  // namespace
+}  // namespace byc::workload

@@ -1,0 +1,235 @@
+#include "query/yield.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.h"
+
+#include "catalog/sdss.h"
+#include "query/binder.h"
+#include "query/signature.h"
+
+namespace byc::query {
+namespace {
+
+/// A two-table catalog whose column widths reproduce the paper's §6
+/// yield-decomposition example: the query references 8 columns totalling
+/// 46 bytes, of which p.objID (8 bytes) gets 8/46 of the yield.
+catalog::Catalog MakeExampleCatalog() {
+  catalog::Catalog cat("example");
+  catalog::Table photo("PhotoObj", 1000);
+  photo.AddColumn("objID", catalog::ColumnType::kInt64);      // 8
+  photo.AddColumn("ra", catalog::ColumnType::kFloat64);       // 8
+  photo.AddColumn("dec", catalog::ColumnType::kFloat64);      // 8
+  photo.AddColumn("modelMag_g", catalog::ColumnType::kFloat32);  // 4
+  BYC_CHECK(cat.AddTable(std::move(photo)).ok());
+  catalog::Table spec("SpecObj", 100);
+  spec.AddColumn("objID", catalog::ColumnType::kInt64);       // 8
+  spec.AddColumn("z", catalog::ColumnType::kFloat32);         // 4
+  spec.AddColumn("zConf", catalog::ColumnType::kFloat32);     // 4
+  spec.AddColumn("specClass", catalog::ColumnType::kInt16);   // 2
+  BYC_CHECK(cat.AddTable(std::move(spec)).ok());
+  return cat;
+}
+
+TEST(YieldTest, SingleTableRowEstimate) {
+  auto cat = MakeExampleCatalog();
+  auto r = ParseAndBind(cat, "select p.ra from PhotoObj p");
+  ASSERT_TRUE(r.ok());
+  YieldEstimator est(&cat);
+  EXPECT_DOUBLE_EQ(est.EstimateResultRows(*r), 1000.0);
+  EXPECT_DOUBLE_EQ(est.OutputRowWidth(*r), 8.0);
+}
+
+TEST(YieldTest, FilterScalesRows) {
+  auto cat = MakeExampleCatalog();
+  auto r = ParseAndBind(cat, "select p.ra from PhotoObj p where p.ra > 1");
+  ASSERT_TRUE(r.ok());
+  r->filters[0].selectivity = 0.25;
+  YieldEstimator est(&cat);
+  EXPECT_DOUBLE_EQ(est.EstimateResultRows(*r), 250.0);
+}
+
+TEST(YieldTest, IndependentFiltersMultiply) {
+  auto cat = MakeExampleCatalog();
+  auto r = ParseAndBind(
+      cat, "select p.ra from PhotoObj p where p.ra > 1 and p.dec < 2");
+  ASSERT_TRUE(r.ok());
+  r->filters[0].selectivity = 0.5;
+  r->filters[1].selectivity = 0.4;
+  YieldEstimator est(&cat);
+  EXPECT_DOUBLE_EQ(est.EstimateResultRows(*r), 1000 * 0.5 * 0.4);
+}
+
+TEST(YieldTest, JoinBoundedBySmallestFilteredRelation) {
+  auto cat = MakeExampleCatalog();
+  auto r = ParseAndBind(cat,
+                        "select p.ra, s.z from SpecObj s, PhotoObj p "
+                        "where p.objID = s.objID");
+  ASSERT_TRUE(r.ok());
+  YieldEstimator est(&cat);
+  // SpecObj (100 rows) bounds the FK join; PhotoObj is unfiltered.
+  EXPECT_DOUBLE_EQ(est.EstimateResultRows(*r), 100.0);
+}
+
+TEST(YieldTest, JoinThinnedByOtherSideFilters) {
+  auto cat = MakeExampleCatalog();
+  auto r = ParseAndBind(cat,
+                        "select p.ra, s.z from SpecObj s, PhotoObj p "
+                        "where p.objID = s.objID and p.modelMag_g > 17");
+  ASSERT_TRUE(r.ok());
+  r->filters[0].selectivity = 0.3;
+  YieldEstimator est(&cat);
+  EXPECT_DOUBLE_EQ(est.EstimateResultRows(*r), 100.0 * 0.3);
+}
+
+TEST(YieldTest, FullyAggregatedCollapsesToOneRow) {
+  auto cat = MakeExampleCatalog();
+  auto r =
+      ParseAndBind(cat, "select count(p.objID), avg(p.ra) from PhotoObj p");
+  ASSERT_TRUE(r.ok());
+  YieldEstimator est(&cat);
+  EXPECT_DOUBLE_EQ(est.EstimateResultRows(*r), 1.0);
+  EXPECT_DOUBLE_EQ(est.OutputRowWidth(*r), 16.0);  // 8 bytes per aggregate
+  QueryYield y = est.Estimate(*r, catalog::Granularity::kTable);
+  EXPECT_DOUBLE_EQ(y.total_bytes, 16.0);
+}
+
+TEST(YieldTest, PaperColumnDecompositionExample) {
+  // §6: "the total storage of all columns is 46 bytes. Storage of
+  // p.objID is 8 bytes, so its yield is 8/46 * Y."
+  auto cat = MakeExampleCatalog();
+  auto r = ParseAndBind(
+      cat,
+      "select p.objID, p.ra, p.dec, p.modelMag_g, s.z "
+      "from SpecObj s, PhotoObj p "
+      "where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95");
+  ASSERT_TRUE(r.ok());
+  YieldEstimator est(&cat);
+  QueryYield y = est.Estimate(*r, catalog::Granularity::kColumn);
+  // Referenced: p.objID(8) p.ra(8) p.dec(8) p.modelMag_g(4) s.z(4)
+  // s.objID(8) s.specClass(2) s.zConf(4) = 46 bytes total.
+  double total_width = 46.0;
+  int photo = *cat.FindTable("PhotoObj");
+  const catalog::Table& pt = cat.table(photo);
+  bool found_objid = false;
+  double share_sum = 0;
+  for (const ObjectYield& oy : y.per_object) {
+    share_sum += oy.yield_bytes;
+    if (oy.object ==
+        catalog::ObjectId::ForColumn(photo, pt.FindColumn("objID"))) {
+      found_objid = true;
+      EXPECT_NEAR(oy.yield_bytes, y.total_bytes * 8.0 / total_width, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_objid);
+  EXPECT_EQ(y.per_object.size(), 8u);
+  EXPECT_NEAR(share_sum, y.total_bytes, 1e-6);
+}
+
+TEST(YieldTest, PaperTableDecompositionExample) {
+  // §6: "yield is divided into half for each table, as four columns of
+  // each table are involved in the query."
+  auto cat = MakeExampleCatalog();
+  auto r = ParseAndBind(
+      cat,
+      "select p.objID, p.ra, p.dec, p.modelMag_g, s.z "
+      "from SpecObj s, PhotoObj p "
+      "where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95");
+  ASSERT_TRUE(r.ok());
+  YieldEstimator est(&cat);
+  QueryYield y = est.Estimate(*r, catalog::Granularity::kTable);
+  ASSERT_EQ(y.per_object.size(), 2u);
+  // Four unique attributes on each side -> a 50/50 split.
+  EXPECT_NEAR(y.per_object[0].yield_bytes, y.total_bytes / 2, 1e-9);
+  EXPECT_NEAR(y.per_object[1].yield_bytes, y.total_bytes / 2, 1e-9);
+  EXPECT_TRUE(y.per_object[0].object.is_table());
+}
+
+TEST(YieldTest, PredicateOnlyColumnsStillDraYield) {
+  auto cat = MakeExampleCatalog();
+  auto r = ParseAndBind(
+      cat, "select p.ra from PhotoObj p where p.modelMag_g > 17");
+  ASSERT_TRUE(r.ok());
+  YieldEstimator est(&cat);
+  QueryYield y = est.Estimate(*r, catalog::Granularity::kColumn);
+  // ra (8) + modelMag_g (4): the predicate column participates.
+  ASSERT_EQ(y.per_object.size(), 2u);
+  double sum = y.per_object[0].yield_bytes + y.per_object[1].yield_bytes;
+  EXPECT_NEAR(sum, y.total_bytes, 1e-9);
+}
+
+// Property sweep: decomposed shares always sum to the total, at both
+// granularities, across a spread of query shapes.
+class YieldDecompositionProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(YieldDecompositionProperty, SharesSumToTotal) {
+  auto cat = catalog::MakeSdssEdrCatalog();
+  auto r = ParseAndBind(cat, GetParam());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  YieldEstimator est(&cat);
+  for (auto gran :
+       {catalog::Granularity::kTable, catalog::Granularity::kColumn}) {
+    QueryYield y = est.Estimate(*r, gran);
+    EXPECT_GE(y.total_bytes, 0);
+    double sum = 0;
+    for (const ObjectYield& oy : y.per_object) {
+      EXPECT_GE(oy.yield_bytes, 0);
+      sum += oy.yield_bytes;
+    }
+    EXPECT_NEAR(sum, y.total_bytes, 1e-6 * std::max(1.0, y.total_bytes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryShapes, YieldDecompositionProperty,
+    ::testing::Values(
+        "select p.ra from PhotoObj p",
+        "select p.objID, p.ra, p.dec from PhotoObj p where p.psfMag_r > 20",
+        "select count(p.objID) from PhotoObj p where p.ra > 180",
+        "select s.z, p.modelMag_u from SpecObj s, PhotoObj p "
+        "where p.objID = s.objID and s.zConf > 0.9",
+        "select n.distance, p.ra from PhotoObj p, Neighbors n "
+        "where p.objID = n.objID and n.distance < 2",
+        "select avg(s.velDisp), count(s.plate) from SpecObj s "
+        "where s.specClass = 2",
+        "select f.mjd, f.psfWidth_g from Field f where f.quality > 2"));
+
+TEST(SignatureTest, LiteralsDoNotChangeSignature) {
+  auto cat = MakeExampleCatalog();
+  auto a = ParseAndBind(cat,
+                        "select p.ra from PhotoObj p where p.modelMag_g > 17");
+  auto b = ParseAndBind(cat,
+                        "select p.ra from PhotoObj p where p.modelMag_g > 23");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(SchemaSignature(*a), SchemaSignature(*b));
+}
+
+TEST(SignatureTest, DifferentColumnsChangeSignature) {
+  auto cat = MakeExampleCatalog();
+  auto a = ParseAndBind(cat, "select p.ra from PhotoObj p");
+  auto b = ParseAndBind(cat, "select p.dec from PhotoObj p");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(SchemaSignature(*a), SchemaSignature(*b));
+}
+
+TEST(SignatureTest, OperatorChangesSignature) {
+  auto cat = MakeExampleCatalog();
+  auto a = ParseAndBind(cat, "select p.ra from PhotoObj p where p.ra > 1");
+  auto b = ParseAndBind(cat, "select p.ra from PhotoObj p where p.ra < 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(SchemaSignature(*a), SchemaSignature(*b));
+}
+
+TEST(SignatureTest, AggregateChangesSignature) {
+  auto cat = MakeExampleCatalog();
+  auto a = ParseAndBind(cat, "select p.ra from PhotoObj p");
+  auto b = ParseAndBind(cat, "select avg(p.ra) from PhotoObj p");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(SchemaSignature(*a), SchemaSignature(*b));
+}
+
+}  // namespace
+}  // namespace byc::query
