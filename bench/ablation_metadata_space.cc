@@ -11,19 +11,21 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table_printer.h"
 #include "core/online_by_policy.h"
-#include "core/rate_profile_policy.h"
-#include "core/space_eff_by_policy.h"
 
 int main() {
   using namespace byc;
   bench::Release edr = bench::MakeEdr();
   const catalog::Granularity granularity = catalog::Granularity::kColumn;
-  sim::Simulator simulator(&edr.federation, granularity);
-  auto queries = simulator.DecomposeTrace(edr.trace);
+  // Decompose once; the five algorithm variants replay the shared stream
+  // in parallel, and the sweep outcome carries each policy's metadata
+  // footprint at end of replay.
+  sim::DecomposedTrace trace = bench::DecomposeRelease(edr, granularity);
   const uint64_t capacity = bench::CapacityFraction(edr, 0.30);
   const int universe = edr.federation.catalog().total_columns();
 
@@ -34,38 +36,38 @@ int main() {
 
   TablePrinter table({"algorithm", "metadata_entries", "total_gb"});
 
+  std::vector<core::PolicyConfig> configs;
+  std::vector<std::string> labels;
   {
-    core::RateProfilePolicy::Options options;
-    options.capacity_bytes = capacity;
-    core::RateProfilePolicy policy(options);
-    sim::SimResult r = simulator.Run(policy, queries);
-    table.AddRow({"Rate-Profile (query profiles)",
-                  std::to_string(policy.metadata_entries()),
-                  FormatGB(r.totals.total_wan())});
+    configs.push_back(
+        bench::MakeSweepConfig(core::PolicyKind::kRateProfile, capacity,
+                               trace));
+    labels.push_back("Rate-Profile (query profiles)");
   }
   for (core::AobjKind aobj :
        {core::AobjKind::kRentToBuy, core::AobjKind::kLandlord}) {
-    core::OnlineByPolicy::Options options;
-    options.capacity_bytes = capacity;
-    options.aobj = aobj;
-    core::OnlineByPolicy policy(options);
-    sim::SimResult r = simulator.Run(policy, queries);
-    table.AddRow({std::string("OnlineBY (BYU + ") +
-                      std::string(core::AobjKindName(aobj)) + ")",
-                  std::to_string(policy.metadata_entries()),
-                  FormatGB(r.totals.total_wan())});
+    core::PolicyConfig config = bench::MakeSweepConfig(
+        core::PolicyKind::kOnlineBy, capacity, trace);
+    config.online_aobj = aobj;
+    configs.push_back(config);
+    labels.push_back(std::string("OnlineBY (BYU + ") +
+                     std::string(core::AobjKindName(aobj)) + ")");
   }
   for (core::AobjKind aobj :
        {core::AobjKind::kLandlord, core::AobjKind::kRentToBuy}) {
-    core::SpaceEffByPolicy::Options options;
-    options.capacity_bytes = capacity;
-    options.aobj = aobj;
-    core::SpaceEffByPolicy policy(options);
-    sim::SimResult r = simulator.Run(policy, queries);
-    table.AddRow({std::string("SpaceEffBY (") +
-                      std::string(core::AobjKindName(aobj)) + ")",
-                  std::to_string(policy.metadata_entries()),
-                  FormatGB(r.totals.total_wan())});
+    core::PolicyConfig config = bench::MakeSweepConfig(
+        core::PolicyKind::kSpaceEffBy, capacity, trace);
+    config.space_eff_aobj = aobj;
+    configs.push_back(config);
+    labels.push_back(std::string("SpaceEffBY (") +
+                     std::string(core::AobjKindName(aobj)) + ")");
+  }
+
+  std::vector<sim::SweepOutcome> outcomes =
+      bench::RunSweep(trace, configs, /*sample_every=*/64);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    table.AddRow({labels[i], std::to_string(outcomes[i].metadata_entries),
+                  FormatGB(outcomes[i].result.totals.total_wan())});
   }
   table.Print(std::cout);
 

@@ -17,6 +17,7 @@
 #include "core/static_policy.h"
 #include "federation/federation.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "workload/generator.h"
 
 namespace byc::bench {
@@ -29,11 +30,18 @@ struct Release {
   double sequence_cost = 0;
 };
 
-inline Release MakeRelease(bool dr1) {
+/// Builds a release once per binary; pass `num_queries` to shrink the
+/// trace (the calibration target scales with it), 0 for the full preset.
+inline Release MakeRelease(bool dr1, size_t num_queries = 0) {
   auto catalog = dr1 ? catalog::MakeSdssDr1Catalog()
                      : catalog::MakeSdssEdrCatalog();
   workload::GeneratorOptions options =
       dr1 ? workload::MakeDr1Options() : workload::MakeEdrOptions();
+  if (num_queries != 0 && num_queries != options.num_queries) {
+    options.target_sequence_cost *= static_cast<double>(num_queries) /
+                                    static_cast<double>(options.num_queries);
+    options.num_queries = num_queries;
+  }
   workload::TraceGenerator gen(&catalog, options);
   workload::Trace trace = gen.Generate();
   double cost = gen.SequenceCost(trace);
@@ -84,6 +92,42 @@ inline sim::SimResult RunPolicy(
 
 inline const char* GranularityName(catalog::Granularity granularity) {
   return granularity == catalog::Granularity::kTable ? "table" : "column";
+}
+
+/// Decomposes a release's trace once at `granularity`. Share the result
+/// (by const reference) across every configuration of a sweep — the
+/// decomposition is the same for all policies and capacities.
+inline sim::DecomposedTrace DecomposeRelease(
+    const Release& release, catalog::Granularity granularity) {
+  sim::Simulator simulator(&release.federation, granularity);
+  return simulator.DecomposeFlat(release.trace);
+}
+
+/// Builds the sweep configuration for (kind, capacity). The static set
+/// is selected from the shared flat access stream directly — no
+/// re-flatten per configuration.
+inline core::PolicyConfig MakeSweepConfig(core::PolicyKind kind,
+                                          uint64_t capacity,
+                                          const sim::DecomposedTrace& trace) {
+  core::PolicyConfig config;
+  config.kind = kind;
+  config.capacity_bytes = capacity;
+  if (kind == core::PolicyKind::kStatic) {
+    config.static_contents = core::SelectStaticSet(trace.accesses, capacity);
+  }
+  return config;
+}
+
+/// Replays every config over the shared decomposed trace in parallel
+/// (BYC_THREADS overrides the worker count). outcome[i] matches
+/// configs[i] and is bit-identical to a serial Simulator::Run.
+inline std::vector<sim::SweepOutcome> RunSweep(
+    const sim::DecomposedTrace& trace,
+    const std::vector<core::PolicyConfig>& configs,
+    uint32_t sample_every = 0) {
+  sim::SweepRunner::Options options;
+  options.sim.sample_every = sample_every;
+  return sim::SweepRunner(options).Run(trace, configs);
 }
 
 }  // namespace byc::bench

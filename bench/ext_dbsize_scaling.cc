@@ -11,35 +11,43 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "catalog/sdss.h"
 #include "common/bytes.h"
 #include "common/table_printer.h"
-#include "core/rate_profile_policy.h"
+#include "core/policy_factory.h"
 #include "federation/federation.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "workload/generator.h"
 
 namespace {
 
 using namespace byc;
 
-struct ScalePoint {
-  double cold_scale;
-  uint64_t db_bytes;
-  uint64_t cache_needed_bytes;
-  double no_cache_gb;
-  double best_gb;
-};
+/// Capacity probes are evaluated in parallel batches; the smallest
+/// satisfying capacity is taken scanning each batch in grid order, so
+/// the answer is identical to the serial ascending search.
+constexpr uint64_t kProbeStepMb = 25;
+constexpr size_t kProbeBatch = 16;
 
-double RunAt(const federation::Federation& fed,
-             const std::vector<std::vector<core::Access>>& queries,
-             uint64_t capacity) {
-  core::RateProfilePolicy::Options options;
-  options.capacity_bytes = capacity;
-  core::RateProfilePolicy policy(options);
-  sim::Simulator simulator(&fed, catalog::Granularity::kColumn);
-  return simulator.Run(policy, queries).totals.total_wan();
+core::PolicyConfig RateProfileAt(uint64_t capacity) {
+  core::PolicyConfig config;
+  config.kind = core::PolicyKind::kRateProfile;
+  config.capacity_bytes = capacity;
+  return config;
+}
+
+sim::SweepRunner MakeRunner() {
+  sim::SweepRunner::Options options;
+  options.sim.sample_every = 0;
+  return sim::SweepRunner(options);
+}
+
+double RunAt(const sim::DecomposedTrace& trace, uint64_t capacity) {
+  return MakeRunner().Run(trace, {RateProfileAt(capacity)})[0]
+      .result.totals.total_wan();
 }
 
 }  // namespace
@@ -59,25 +67,43 @@ int main() {
     workload::TraceGenerator gen(&catalog, options);
     workload::Trace trace = gen.Generate();
     auto fed = federation::Federation::SingleSite(std::move(catalog));
+    // Decompose once per database size; every capacity probe shares the
+    // stream.
     sim::Simulator simulator(&fed, catalog::Granularity::kColumn);
-    auto queries = simulator.DecomposeTrace(trace);
+    sim::DecomposedTrace decomposed = simulator.DecomposeFlat(trace);
 
     double no_cache = 0;
-    for (const auto& q : queries) {
-      for (const auto& a : q) no_cache += a.bypass_cost;
-    }
+    for (const auto& a : decomposed.accesses) no_cache += a.bypass_cost;
     // The achievable floor: a cache as large as the database.
-    double floor = RunAt(fed, queries, db_bytes);
+    double floor = RunAt(decomposed, db_bytes);
     double target = no_cache - 0.90 * (no_cache - floor);
 
     // Find the smallest cache (in absolute bytes, probed at 25 MB
-    // granularity) reaching the 90% reduction target.
+    // granularity) reaching the 90% reduction target. Probes run in
+    // parallel batches; the batch is scanned in ascending-capacity order
+    // so the result matches the serial search exactly.
     uint64_t needed = db_bytes;
-    for (uint64_t cap = 25; cap <= db_bytes / (1 << 20) + 25; cap += 25) {
-      uint64_t capacity = cap << 20;
-      if (RunAt(fed, queries, capacity) <= target) {
-        needed = capacity;
-        break;
+    const uint64_t last_mb = db_bytes / (1 << 20) + kProbeStepMb;
+    sim::SweepRunner runner = MakeRunner();
+    bool found = false;
+    for (uint64_t batch_mb = kProbeStepMb; batch_mb <= last_mb && !found;
+         batch_mb += kProbeStepMb * kProbeBatch) {
+      std::vector<uint64_t> capacities;
+      std::vector<core::PolicyConfig> configs;
+      for (uint64_t mb = batch_mb;
+           mb < batch_mb + kProbeStepMb * kProbeBatch && mb <= last_mb;
+           mb += kProbeStepMb) {
+        capacities.push_back(mb << 20);
+        configs.push_back(RateProfileAt(mb << 20));
+      }
+      std::vector<sim::SweepOutcome> outcomes =
+          runner.Run(decomposed, configs);
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].result.totals.total_wan() <= target) {
+          needed = capacities[i];
+          found = true;
+          break;
+        }
       }
     }
 

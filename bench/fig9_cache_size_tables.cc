@@ -7,6 +7,7 @@
 // uncached cost at every size.
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.h"
 
@@ -15,13 +16,23 @@ int main() {
   bench::Release edr = bench::MakeEdr();
   const catalog::Granularity granularity = catalog::Granularity::kTable;
 
-  sim::Simulator simulator(&edr.federation, granularity);
-  auto queries = simulator.DecomposeTrace(edr.trace);
+  // Decompose once; all 50 (size x algorithm) configurations share the
+  // stream and replay in parallel.
+  sim::DecomposedTrace trace = bench::DecomposeRelease(edr, granularity);
 
   const core::PolicyKind kinds[] = {
       core::PolicyKind::kRateProfile, core::PolicyKind::kOnlineBy,
       core::PolicyKind::kSpaceEffBy, core::PolicyKind::kGds,
       core::PolicyKind::kStatic};
+
+  std::vector<core::PolicyConfig> configs;
+  for (int pct = 10; pct <= 100; pct += 10) {
+    uint64_t capacity = bench::CapacityFraction(edr, pct / 100.0);
+    for (core::PolicyKind kind : kinds) {
+      configs.push_back(bench::MakeSweepConfig(kind, capacity, trace));
+    }
+  }
+  std::vector<sim::SweepOutcome> outcomes = bench::RunSweep(trace, configs);
 
   std::printf(
       "Figure 9: algorithm performance vs cache size, table caching\n"
@@ -37,13 +48,12 @@ int main() {
   }
   std::printf("\n");
 
+  size_t next = 0;
   for (int pct = 10; pct <= 100; pct += 10) {
-    uint64_t capacity = bench::CapacityFraction(edr, pct / 100.0);
     std::printf("%-10d", pct);
-    for (core::PolicyKind kind : kinds) {
-      sim::SimResult r = bench::RunPolicy(edr, granularity, kind, capacity,
-                                          queries, /*sample_every=*/0);
-      std::printf("%14.2f", r.totals.total_wan() / kGB);
+    for (size_t k = 0; k < std::size(kinds); ++k) {
+      std::printf("%14.2f",
+                  outcomes[next++].result.totals.total_wan() / kGB);
     }
     std::printf("\n");
   }

@@ -46,6 +46,43 @@ void BM_IndexedHeapUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexedHeapUpdate)->Range(64, 4096);
 
+void BM_IndexedHeapInsertWithReserve(benchmark::State& state) {
+  // Insert path with the index pre-sized vs BM_IndexedHeapInsertErase's
+  // grow-as-you-go: isolates rehash/reallocation churn.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    cache::IndexedMinHeap<int> heap;
+    heap.Reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) heap.Insert(i, rng.NextDouble());
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.PopMin());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_IndexedHeapInsertWithReserve)->Range(64, 4096);
+
+void BM_IndexedHeapUpsertAfterReserve(benchmark::State& state) {
+  // The policy hot path: one Upsert per access against a reserved heap,
+  // mixing ~50% priority updates of resident keys with inserts/evictions.
+  const int n = static_cast<int>(state.range(0));
+  cache::IndexedMinHeap<int> heap;
+  heap.Reserve(static_cast<size_t>(n));
+  Rng rng(4);
+  for (int i = 0; i < n; ++i) heap.Insert(i, rng.NextDouble());
+  int next = n;
+  for (auto _ : state) {
+    if ((next & 1) == 0) {
+      heap.Upsert(next % n, rng.NextDouble());  // resident: update
+    } else {
+      heap.Upsert(next, rng.NextDouble());  // new key: insert...
+      heap.Erase(next);                     // ...and evict to stay at n
+    }
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedHeapUpsertAfterReserve)->Range(64, 4096);
+
 void BM_CacheStoreHitCheck(benchmark::State& state) {
   cache::CacheStore store(1u << 30);
   for (int i = 0; i < 256; ++i) {
@@ -142,6 +179,50 @@ void BM_GdsOnAccess(benchmark::State& state) {
   RunPolicyBench(state, policy, Env().accesses);
 }
 BENCHMARK(BM_GdsOnAccess);
+
+void BM_MediatorDecomposeCold(benchmark::State& state) {
+  // Decomposition with an empty memo every iteration: each of the ~60
+  // schema shapes in the trace pays the full skeleton build once.
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  workload::GeneratorOptions options;
+  options.num_queries = 512;
+  options.target_sequence_cost = 0;
+  workload::TraceGenerator gen(&catalog, options);
+  workload::Trace trace = gen.Generate();
+  auto fed = federation::Federation::SingleSite(std::move(catalog));
+  for (auto _ : state) {
+    federation::Mediator mediator(&fed, catalog::Granularity::kColumn);
+    for (const auto& tq : trace.queries) {
+      benchmark::DoNotOptimize(mediator.Decompose(tq.query));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * trace.queries.size());
+}
+BENCHMARK(BM_MediatorDecomposeCold);
+
+void BM_MediatorDecomposeWarm(benchmark::State& state) {
+  // Steady-state decomposition: the memo already holds every shape, so
+  // each query is signature hash + shape check + rescale.
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  workload::GeneratorOptions options;
+  options.num_queries = 512;
+  options.target_sequence_cost = 0;
+  workload::TraceGenerator gen(&catalog, options);
+  workload::Trace trace = gen.Generate();
+  auto fed = federation::Federation::SingleSite(std::move(catalog));
+  federation::Mediator mediator(&fed, catalog::Granularity::kColumn);
+  for (const auto& tq : trace.queries) {
+    benchmark::DoNotOptimize(mediator.Decompose(tq.query));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mediator.Decompose(trace.queries[i % trace.queries.size()].query));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediatorDecomposeWarm);
 
 void BM_TraceGeneration(benchmark::State& state) {
   auto catalog = catalog::MakeSdssEdrCatalog();

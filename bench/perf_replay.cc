@@ -1,0 +1,234 @@
+// Perf harness: times end-to-end trace replay and the parallel sweep
+// engine, and writes a machine-readable BENCH_replay.json so successive
+// PRs have a recorded performance trajectory.
+//
+// The workload is the Fig. 9-style sweep: 2 releases (EDR, DR1) x
+// 2 granularities (table, column) x 10 cache sizes (10%..100% of the
+// database), replayed through Rate-Profile — 40 independent
+// configurations. Each (release, granularity) trace is decomposed once
+// and shared immutably across its configurations. The sweep runs twice,
+// serial and parallel, and the harness cross-checks that the two
+// produce bit-identical totals before reporting the speedup.
+//
+// JSON schema: a top-level array of records
+//   {name, config, accesses_per_sec, wall_ms, threads}
+// (the parallel record also carries speedup_vs_serial).
+//
+// Usage: perf_replay [--threads N] [--quick] [--out FILE]
+//   --threads N  worker threads for the parallel sweep
+//                (default: BYC_THREADS, else hardware concurrency)
+//   --quick      4k-query traces instead of the full 27k/24k presets
+//   --out FILE   output path (default: BENCH_replay.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+using namespace byc;
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Record {
+  std::string name;
+  std::string config;
+  double accesses_per_sec = 0;
+  double wall_ms = 0;
+  unsigned threads = 1;
+  double speedup = 0;  // 0: omitted from JSON
+};
+
+struct SweepCase {
+  std::string label;  // "EDR/table", ...
+  sim::DecomposedTrace trace;
+  std::vector<core::PolicyConfig> configs;
+};
+
+bool WriteJson(const std::vector<Record>& records, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_replay: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"config\": \"%s\", "
+                 "\"accesses_per_sec\": %.1f, \"wall_ms\": %.3f, "
+                 "\"threads\": %u",
+                 r.name.c_str(), r.config.c_str(), r.accesses_per_sec,
+                 r.wall_ms, r.threads);
+    if (r.speedup > 0) {
+      std::fprintf(f, ", \"speedup_vs_serial\": %.3f", r.speedup);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned threads = ThreadPool::DefaultThreadCount();
+  size_t num_queries = 0;  // 0: full presets
+  std::string out_path = "BENCH_replay.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      num_queries = 4000;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_replay [--threads N] [--quick] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (threads == 0) threads = 1;
+
+  std::vector<Record> records;
+
+  std::printf("perf_replay: building EDR + DR1 workloads%s...\n",
+              num_queries ? " (--quick)" : "");
+  bench::Release releases[2] = {bench::MakeRelease(false, num_queries),
+                                bench::MakeRelease(true, num_queries)};
+  const catalog::Granularity granularities[2] = {
+      catalog::Granularity::kTable, catalog::Granularity::kColumn};
+
+  // Decompose each (release, granularity) once — the shared immutable
+  // input of the sweep — and record decomposition throughput.
+  std::vector<SweepCase> cases;
+  for (const bench::Release& release : releases) {
+    for (catalog::Granularity granularity : granularities) {
+      SweepCase c;
+      c.label = release.name + "/" + bench::GranularityName(granularity);
+      Clock::time_point start = Clock::now();
+      c.trace = bench::DecomposeRelease(release, granularity);
+      double ms = ElapsedMs(start);
+      records.push_back(Record{
+          "decompose", c.label,
+          static_cast<double>(c.trace.num_accesses()) / (ms / 1000.0), ms,
+          1, 0});
+      std::printf("  decompose %-12s %8zu queries -> %8zu accesses  "
+                  "(%7.1f ms)\n",
+                  c.label.c_str(), c.trace.num_queries(),
+                  c.trace.num_accesses(), ms);
+      for (int pct = 10; pct <= 100; pct += 10) {
+        double fraction = pct / 100.0;
+        uint64_t capacity = static_cast<uint64_t>(
+            fraction * static_cast<double>(
+                           release.federation.catalog().total_size_bytes()));
+        c.configs.push_back(bench::MakeSweepConfig(
+            core::PolicyKind::kRateProfile, capacity, c.trace));
+      }
+      cases.push_back(std::move(c));
+    }
+  }
+
+  size_t total_configs = 0;
+  double total_accesses = 0;
+  for (const SweepCase& c : cases) {
+    total_configs += c.configs.size();
+    total_accesses +=
+        static_cast<double>(c.trace.num_accesses() * c.configs.size());
+  }
+  const std::string sweep_desc =
+      "2 releases x 2 granularities x 10 cache sizes, rate_profile (" +
+      std::to_string(total_configs) + " configs)";
+
+  // Single-policy replay throughput: the hot path in isolation.
+  {
+    const SweepCase& c = cases[3];  // DR1/column: the largest stream
+    Clock::time_point start = Clock::now();
+    sim::SweepRunner::Options options;
+    options.threads = 1;
+    std::vector<sim::SweepOutcome> one =
+        sim::SweepRunner(options).Run(c.trace, {c.configs[2]});
+    double ms = ElapsedMs(start);
+    records.push_back(Record{
+        "replay_single", c.label + " 30% rate_profile",
+        static_cast<double>(c.trace.num_accesses()) / (ms / 1000.0), ms, 1,
+        0});
+    std::printf("  replay %-15s %.2f M accesses/sec\n", c.label.c_str(),
+                static_cast<double>(c.trace.num_accesses()) / ms / 1000.0);
+    (void)one;
+  }
+
+  // Serial sweep: every configuration through the same replay path, one
+  // at a time.
+  std::printf("perf_replay: serial sweep (%zu configs)...\n", total_configs);
+  std::vector<std::vector<sim::SweepOutcome>> serial_outcomes;
+  Clock::time_point serial_start = Clock::now();
+  for (const SweepCase& c : cases) {
+    sim::SweepRunner::Options options;
+    options.threads = 1;
+    options.sim.sample_every = 0;
+    serial_outcomes.push_back(sim::SweepRunner(options).Run(c.trace,
+                                                            c.configs));
+  }
+  double serial_ms = ElapsedMs(serial_start);
+  records.push_back(Record{"replay_sweep_serial", sweep_desc,
+                           total_accesses / (serial_ms / 1000.0), serial_ms,
+                           1, 0});
+
+  // Parallel sweep: identical configurations fanned across the pool.
+  std::printf("perf_replay: parallel sweep (%u threads)...\n", threads);
+  std::vector<std::vector<sim::SweepOutcome>> parallel_outcomes;
+  Clock::time_point parallel_start = Clock::now();
+  for (const SweepCase& c : cases) {
+    sim::SweepRunner::Options options;
+    options.threads = threads;
+    options.sim.sample_every = 0;
+    parallel_outcomes.push_back(
+        sim::SweepRunner(options).Run(c.trace, c.configs));
+  }
+  double parallel_ms = ElapsedMs(parallel_start);
+  double speedup = serial_ms / parallel_ms;
+  records.push_back(Record{"replay_sweep_parallel", sweep_desc,
+                           total_accesses / (parallel_ms / 1000.0),
+                           parallel_ms, threads, speedup});
+
+  // Determinism cross-check: the parallel sweep must reproduce the
+  // serial totals bit for bit.
+  for (size_t c = 0; c < cases.size(); ++c) {
+    for (size_t i = 0; i < serial_outcomes[c].size(); ++i) {
+      const sim::CostBreakdown& a = serial_outcomes[c][i].result.totals;
+      const sim::CostBreakdown& b = parallel_outcomes[c][i].result.totals;
+      if (a.bypass_cost != b.bypass_cost || a.fetch_cost != b.fetch_cost ||
+          a.served_cost != b.served_cost || a.hits != b.hits ||
+          a.evictions != b.evictions) {
+        std::fprintf(stderr,
+                     "perf_replay: PARALLEL/SERIAL MISMATCH at %s config "
+                     "%zu\n",
+                     cases[c].label.c_str(), i);
+        return 1;
+      }
+    }
+  }
+
+  std::printf(
+      "\nserial:   %8.1f ms  (%.2f M accesses/sec)\n"
+      "parallel: %8.1f ms  (%.2f M accesses/sec, %u threads)\n"
+      "speedup:  %.2fx  [parallel output bit-identical to serial]\n",
+      serial_ms, total_accesses / serial_ms / 1000.0, parallel_ms,
+      total_accesses / parallel_ms / 1000.0, threads, speedup);
+
+  if (!WriteJson(records, out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -25,14 +25,21 @@ int main() {
   int set_index = 1;
   for (bool dr1 : {false, true}) {
     bench::Release release = bench::MakeRelease(dr1);
-    sim::Simulator simulator(&release.federation, granularity);
-    auto queries = simulator.DecomposeTrace(release.trace);
+    // Decompose once per release; the three algorithms replay the shared
+    // stream in parallel.
+    sim::DecomposedTrace trace = bench::DecomposeRelease(release, granularity);
     uint64_t capacity = bench::CapacityFraction(release, 0.30);
 
-    bool first = true;
+    std::vector<core::PolicyConfig> configs;
     for (core::PolicyKind kind : kinds) {
-      sim::SimResult r = bench::RunPolicy(release, granularity, kind,
-                                          capacity, queries, 0);
+      configs.push_back(bench::MakeSweepConfig(kind, capacity, trace));
+    }
+    std::vector<sim::SweepOutcome> outcomes =
+        bench::RunSweep(trace, configs);
+
+    bool first = true;
+    for (const sim::SweepOutcome& outcome : outcomes) {
+      const sim::SimResult& r = outcome.result;
       table.AddRow({first ? "Set " + std::to_string(set_index) : "",
                     first ? release.name : "",
                     first ? std::to_string(release.trace.queries.size()) : "",

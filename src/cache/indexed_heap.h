@@ -24,11 +24,19 @@ class IndexedMinHeap {
 
   bool Contains(const K& key) const { return index_.count(key) != 0; }
 
+  /// Pre-sizes the heap and its index for `n` keys, so a replay that
+  /// knows its object universe (or a policy that knows its residency
+  /// bound) avoids rehash/reallocation churn on the per-access path.
+  void Reserve(size_t n) {
+    entries_.reserve(n);
+    index_.reserve(n);
+  }
+
   /// Inserts a new key. Precondition: !Contains(key).
   void Insert(const K& key, double priority) {
-    BYC_CHECK(!Contains(key));
+    auto [it, inserted] = index_.try_emplace(key, entries_.size());
+    BYC_CHECK(inserted);
     entries_.push_back(Entry{key, priority});
-    index_[key] = entries_.size() - 1;
     SiftUp(entries_.size() - 1);
   }
 
@@ -36,22 +44,17 @@ class IndexedMinHeap {
   void Update(const K& key, double priority) {
     auto it = index_.find(key);
     BYC_CHECK(it != index_.end());
-    size_t pos = it->second;
-    double old = entries_[pos].priority;
-    entries_[pos].priority = priority;
-    if (priority < old) {
-      SiftUp(pos);
-    } else {
-      SiftDown(pos);
-    }
+    UpdateAt(it->second, priority);
   }
 
-  /// Inserts or updates.
+  /// Inserts or updates with a single index lookup.
   void Upsert(const K& key, double priority) {
-    if (Contains(key)) {
-      Update(key, priority);
+    auto [it, inserted] = index_.try_emplace(key, entries_.size());
+    if (inserted) {
+      entries_.push_back(Entry{key, priority});
+      SiftUp(entries_.size() - 1);
     } else {
-      Insert(key, priority);
+      UpdateAt(it->second, priority);
     }
   }
 
@@ -97,10 +100,22 @@ class IndexedMinHeap {
     return entries_[it->second].priority;
   }
 
-  /// Removes and returns the min key. Precondition: !empty().
+  /// Removes and returns the min key. Precondition: !empty(). Cheaper
+  /// than PeekMinKey() + Erase(): the victim is already at the root, so
+  /// no position lookup and no up-or-down case analysis is needed.
   K PopMin() {
-    K key = PeekMinKey();
-    Erase(key);
+    BYC_CHECK(!empty());
+    K key = std::move(entries_[0].key);
+    index_.erase(key);
+    size_t last = entries_.size() - 1;
+    if (last != 0) {
+      entries_[0] = std::move(entries_[last]);
+      index_[entries_[0].key] = 0;
+      entries_.pop_back();
+      SiftDown(0);
+    } else {
+      entries_.pop_back();
+    }
     return key;
   }
 
@@ -128,6 +143,16 @@ class IndexedMinHeap {
     K key;
     double priority;
   };
+
+  void UpdateAt(size_t pos, double priority) {
+    double old = entries_[pos].priority;
+    entries_[pos].priority = priority;
+    if (priority < old) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+  }
 
   void SiftUp(size_t pos) {
     while (pos > 0) {

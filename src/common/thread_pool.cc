@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+namespace byc {
+
+unsigned ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("BYC_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { WorkerLoop(std::move(stop)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& worker : workers_) worker.request_stop();
+  work_cv_.notify_all();
+  // std::jthread joins on destruction; workers drain the queue first.
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(std::stop_token stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // Stop requested and queue drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace byc

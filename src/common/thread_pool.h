@@ -1,0 +1,61 @@
+#ifndef BYC_COMMON_THREAD_POOL_H_
+#define BYC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace byc {
+
+/// A fixed-size thread pool with submit/wait semantics — the execution
+/// substrate of the parallel sweep engine (sim::SweepRunner). No work
+/// stealing, no futures: callers submit void() tasks and Wait() for the
+/// pool to drain, which is exactly the shape of an embarrassingly
+/// parallel cache-configuration sweep.
+///
+/// Tasks must not throw (library code uses Status/Result, not
+/// exceptions). The destructor drains every submitted task before
+/// joining, so work handed to the pool is never silently dropped.
+class ThreadPool {
+ public:
+  /// Worker count used for `threads == 0`: the BYC_THREADS environment
+  /// variable when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (minimum 1).
+  static unsigned DefaultThreadCount();
+
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task. Thread-safe; may be called from worker threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing. The pool
+  /// is reusable afterwards.
+  void Wait();
+
+ private:
+  void WorkerLoop(std::stop_token stop);
+
+  std::mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  /// Tasks submitted but not yet finished (queued + running).
+  size_t outstanding_ = 0;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace byc
+
+#endif  // BYC_COMMON_THREAD_POOL_H_

@@ -2,7 +2,19 @@
 
 #include <map>
 
+#include "query/signature.h"
+
 namespace byc::federation {
+
+namespace {
+
+/// Shapes are few (the generators draw from dozens of templates; real
+/// traces reuse schemas heavily), but cap the memo so adversarial streams
+/// of all-distinct shapes cannot grow it without bound. Past the cap,
+/// decomposition still works — new shapes just aren't cached.
+constexpr size_t kMemoCapacity = 4096;
+
+}  // namespace
 
 std::vector<SubQuery> Mediator::Split(
     const query::ResolvedQuery& query) const {
@@ -27,21 +39,79 @@ std::vector<SubQuery> Mediator::Split(
   return out;
 }
 
-std::vector<core::Access> Mediator::Decompose(
+Mediator::MemoEntry Mediator::BuildMemoEntry(
     const query::ResolvedQuery& query) const {
-  query::QueryYield yields = estimator_.Estimate(query, granularity_);
+  query::YieldSkeleton skeleton =
+      estimator_.EstimateSkeleton(query, granularity_);
+  MemoEntry entry;
+  entry.shape = query;
+  entry.row_width = skeleton.row_width;
+  entry.objects.reserve(skeleton.shares.size());
+  for (const query::YieldSkeleton::Share& share : skeleton.shares) {
+    MemoObject obj;
+    obj.base.object = share.object;
+    obj.base.size_bytes = ObjectSizeBytes(federation_->catalog(), share.object);
+    obj.base.fetch_cost = federation_->FetchCost(share.object);
+    obj.share_numerator = share.numerator;
+    obj.share_denominator = share.denominator;
+    obj.cost_per_byte = federation_->TransferCost(share.object, 1.0);
+    entry.objects.push_back(obj);
+  }
+  return entry;
+}
+
+std::vector<core::Access> Mediator::Rescale(
+    const MemoEntry& entry, const query::ResolvedQuery& query) const {
+  // Reproduces Estimate() + the direct decomposition exactly:
+  //   total_bytes = result_rows * row_width
+  //   yield_i     = total_bytes * numerator_i / denominator_i
+  //   bypass_i    = yield_i * cost_per_byte_i   (== TransferCost)
+  double total_bytes = estimator_.EstimateResultRows(query) * entry.row_width;
   std::vector<core::Access> out;
-  out.reserve(yields.per_object.size());
-  for (const query::ObjectYield& oy : yields.per_object) {
-    core::Access access;
-    access.object = oy.object;
-    access.yield_bytes = oy.yield_bytes;
-    access.size_bytes = ObjectSizeBytes(federation_->catalog(), oy.object);
-    access.fetch_cost = federation_->FetchCost(oy.object);
-    access.bypass_cost = federation_->TransferCost(oy.object, oy.yield_bytes);
+  out.reserve(entry.objects.size());
+  for (const MemoObject& obj : entry.objects) {
+    core::Access access = obj.base;
+    access.yield_bytes =
+        total_bytes * obj.share_numerator / obj.share_denominator;
+    access.bypass_cost = access.yield_bytes * obj.cost_per_byte;
     out.push_back(access);
   }
   return out;
+}
+
+std::vector<core::Access> Mediator::Decompose(
+    const query::ResolvedQuery& query) const {
+  uint64_t signature = query::SchemaSignature(query);
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  std::vector<MemoEntry>& bucket = memo_->by_signature[signature];
+  for (const MemoEntry& entry : bucket) {
+    if (query::SameSchemaShape(entry.shape, query)) {
+      ++memo_->hits;
+      return Rescale(entry, query);
+    }
+  }
+  ++memo_->misses;
+  if (memo_->entries >= kMemoCapacity) {
+    return Rescale(BuildMemoEntry(query), query);
+  }
+  bucket.push_back(BuildMemoEntry(query));
+  ++memo_->entries;
+  return Rescale(bucket.back(), query);
+}
+
+size_t Mediator::memo_entries() const {
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  return memo_->entries;
+}
+
+uint64_t Mediator::memo_hits() const {
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  return memo_->hits;
+}
+
+uint64_t Mediator::memo_misses() const {
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  return memo_->misses;
 }
 
 }  // namespace byc::federation

@@ -1,6 +1,10 @@
 #ifndef BYC_FEDERATION_MEDIATOR_H_
 #define BYC_FEDERATION_MEDIATOR_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/access.h"
@@ -24,12 +28,22 @@ struct SubQuery {
 /// decides which parts to serve locally (§3). This class performs the
 /// mechanical parts: query splitting and decomposition of a query into
 /// the per-object Access stream the cache policies consume.
+///
+/// Decompose() memoizes the shape-dependent part of the work behind a
+/// schema-signature-keyed cache: the traces exhibit heavy schema reuse
+/// ("queries with similar schema against different data", §1.1), so the
+/// referenced-object set, proportional shares, row width, object sizes,
+/// and link costs are computed once per shape and only the
+/// selectivity-dependent row-count estimate runs per query. Memoized
+/// decomposition is bit-identical to the direct path (see
+/// query::YieldSkeleton) and thread-safe.
 class Mediator {
  public:
   Mediator(const Federation* federation, catalog::Granularity granularity)
       : federation_(federation),
         granularity_(granularity),
-        estimator_(&federation->catalog()) {}
+        estimator_(&federation->catalog()),
+        memo_(std::make_unique<Memo>()) {}
 
   catalog::Granularity granularity() const { return granularity_; }
   const query::YieldEstimator& estimator() const { return estimator_; }
@@ -45,10 +59,45 @@ class Mediator {
   /// policies and the simulator consume.
   std::vector<core::Access> Decompose(const query::ResolvedQuery& query) const;
 
+  /// Decomposition-memo statistics (for benchmarks and tests).
+  size_t memo_entries() const;
+  uint64_t memo_hits() const;
+  uint64_t memo_misses() const;
+
  private:
+  /// One referenced object of a memoized shape: the selectivity-
+  /// independent Access fields plus the scale factors that turn a query's
+  /// total yield into this object's share and WAN cost.
+  struct MemoObject {
+    core::Access base;  // object, size_bytes, fetch_cost filled in
+    double share_numerator = 0;
+    double share_denominator = 0;
+    double cost_per_byte = 0;
+  };
+  struct MemoEntry {
+    query::ResolvedQuery shape;  // representative query, collision check
+    double row_width = 0;
+    std::vector<MemoObject> objects;
+  };
+  struct Memo {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<MemoEntry>> by_signature;
+    size_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Builds the memo entry for a freshly seen shape.
+  MemoEntry BuildMemoEntry(const query::ResolvedQuery& query) const;
+
+  /// Rescales a memoized shape by the query's estimated result size.
+  std::vector<core::Access> Rescale(const MemoEntry& entry,
+                                    const query::ResolvedQuery& query) const;
+
   const Federation* federation_;
   catalog::Granularity granularity_;
   query::YieldEstimator estimator_;
+  std::unique_ptr<Memo> memo_;
 };
 
 }  // namespace byc::federation

@@ -33,4 +33,34 @@ uint64_t SchemaSignature(const ResolvedQuery& query) {
   return h;
 }
 
+bool SameSchemaShape(const ResolvedQuery& a, const ResolvedQuery& b) {
+  if (a.tables != b.tables || a.select.size() != b.select.size() ||
+      a.filters.size() != b.filters.size() ||
+      a.joins.size() != b.joins.size()) {
+    return false;
+  }
+  auto same_column = [](const ResolvedColumn& x, const ResolvedColumn& y) {
+    return x.table_slot == y.table_slot && x.column == y.column;
+  };
+  for (size_t i = 0; i < a.select.size(); ++i) {
+    if (!same_column(a.select[i].column, b.select[i].column) ||
+        a.select[i].aggregate != b.select[i].aggregate) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.filters.size(); ++i) {
+    if (!same_column(a.filters[i].column, b.filters[i].column) ||
+        a.filters[i].op != b.filters[i].op) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.joins.size(); ++i) {
+    if (!same_column(a.joins[i].left, b.joins[i].left) ||
+        !same_column(a.joins[i].right, b.joins[i].right)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace byc::query

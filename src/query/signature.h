@@ -16,6 +16,13 @@ namespace byc::query {
 /// schema reuse.
 uint64_t SchemaSignature(const ResolvedQuery& query);
 
+/// True iff two queries have the same schema shape — exactly the fields
+/// SchemaSignature hashes (tables, select columns + aggregates, filter
+/// columns + operators, join structure), ignoring literal values and
+/// selectivities. Shape-keyed caches (the mediator's decomposition memo)
+/// use this to reject hash collisions.
+bool SameSchemaShape(const ResolvedQuery& a, const ResolvedQuery& b);
+
 }  // namespace byc::query
 
 #endif  // BYC_QUERY_SIGNATURE_H_

@@ -61,11 +61,10 @@ double YieldEstimator::OutputRowWidth(const ResolvedQuery& query) const {
   return width;
 }
 
-QueryYield YieldEstimator::Estimate(const ResolvedQuery& query,
-                                    catalog::Granularity granularity) const {
-  QueryYield out;
-  out.result_rows = EstimateResultRows(query);
-  out.total_bytes = out.result_rows * OutputRowWidth(query);
+YieldSkeleton YieldEstimator::EstimateSkeleton(
+    const ResolvedQuery& query, catalog::Granularity granularity) const {
+  YieldSkeleton out;
+  out.row_width = OutputRowWidth(query);
 
   // Unique referenced (table, column) pairs across SELECT, filters, and
   // joins. Slots of the same catalog table merge (the paper counts
@@ -90,9 +89,9 @@ QueryYield YieldEstimator::Estimate(const ResolvedQuery& query,
     double total = 0;
     for (const auto& [table, count] : attrs_per_table) total += count;
     for (const auto& [table, count] : attrs_per_table) {
-      out.per_object.push_back(
-          ObjectYield{catalog::ObjectId::ForTable(table),
-                      out.total_bytes * static_cast<double>(count) / total});
+      out.shares.push_back(YieldSkeleton::Share{
+          catalog::ObjectId::ForTable(table), static_cast<double>(count),
+          total});
     }
   } else {
     // Share proportional to each referenced column's storage width.
@@ -102,10 +101,24 @@ QueryYield YieldEstimator::Estimate(const ResolvedQuery& query,
     }
     for (const auto& [table, column] : referenced) {
       double width = catalog_->table(table).column(column).width_bytes();
-      out.per_object.push_back(
-          ObjectYield{catalog::ObjectId::ForColumn(table, column),
-                      out.total_bytes * width / total_width});
+      out.shares.push_back(YieldSkeleton::Share{
+          catalog::ObjectId::ForColumn(table, column), width, total_width});
     }
+  }
+  return out;
+}
+
+QueryYield YieldEstimator::Estimate(const ResolvedQuery& query,
+                                    catalog::Granularity granularity) const {
+  YieldSkeleton skeleton = EstimateSkeleton(query, granularity);
+  QueryYield out;
+  out.result_rows = EstimateResultRows(query);
+  out.total_bytes = out.result_rows * skeleton.row_width;
+  out.per_object.reserve(skeleton.shares.size());
+  for (const YieldSkeleton::Share& share : skeleton.shares) {
+    out.per_object.push_back(ObjectYield{
+        share.object,
+        out.total_bytes * share.numerator / share.denominator});
   }
   return out;
 }

@@ -15,6 +15,31 @@ struct ObjectYield {
   double yield_bytes = 0;
 };
 
+/// The schema-shape-dependent part of a yield decomposition: everything
+/// Estimate() derives from the query's tables, referenced columns, and
+/// aggregates — but not from its literal values or selectivities. For a
+/// fixed shape, Estimate(q, g) produces exactly
+///
+///   total_bytes = EstimateResultRows(q) * row_width
+///   yield_i     = total_bytes * numerator_i / denominator_i
+///
+/// so callers (the mediator's decomposition memo) can cache the skeleton
+/// per shape and rescale per query with bit-identical results.
+struct YieldSkeleton {
+  /// Bytes per result row (selectivity-independent).
+  double row_width = 0;
+  struct Share {
+    catalog::ObjectId object;
+    /// Attribute count (table granularity) or column width (column
+    /// granularity) of this object among the referenced attributes.
+    double numerator = 0;
+    /// Total attribute count / total referenced column width.
+    double denominator = 0;
+  };
+  /// Per-object shares in the deterministic order Estimate() emits them.
+  std::vector<Share> shares;
+};
+
 /// The estimated yield of an entire query.
 struct QueryYield {
   /// Estimated result cardinality (rows; 1 for fully aggregated queries).
@@ -46,9 +71,18 @@ class YieldEstimator {
   explicit YieldEstimator(const catalog::Catalog* catalog)
       : catalog_(catalog) {}
 
-  /// Full estimate with per-object decomposition.
+  /// Full estimate with per-object decomposition. Implemented as
+  /// EstimateSkeleton() + per-query rescaling, so skeleton-cached callers
+  /// reproduce its output bit for bit.
   QueryYield Estimate(const ResolvedQuery& query,
                       catalog::Granularity granularity) const;
+
+  /// The shape-dependent part of Estimate(): referenced objects, their
+  /// proportional shares, and the output row width. Equal-shape queries
+  /// (same tables, select items, filter columns/ops, joins — see
+  /// SameSchemaShape) have equal skeletons.
+  YieldSkeleton EstimateSkeleton(const ResolvedQuery& query,
+                                 catalog::Granularity granularity) const;
 
   /// Estimated result cardinality only.
   double EstimateResultRows(const ResolvedQuery& query) const;

@@ -7,6 +7,50 @@
 
 namespace byc::sim {
 
+namespace {
+
+/// Applies one policy decision to the cost ledger (the paper's three
+/// flows) and cross-checks residency against the reported action.
+inline void AccountAccess(core::CachePolicy& policy,
+                          const core::Access& access,
+                          CostBreakdown& totals) {
+  core::Decision decision = policy.OnAccess(access);
+  ++totals.accesses;
+  totals.evictions += decision.evictions.size();
+  switch (decision.action) {
+    case core::Action::kServeFromCache:
+      BYC_CHECK(policy.Contains(access.object));
+      totals.served_cost += access.bypass_cost;
+      ++totals.hits;
+      break;
+    case core::Action::kBypass:
+      totals.bypass_cost += access.bypass_cost;
+      ++totals.bypasses;
+      break;
+    case core::Action::kLoadAndServe:
+      BYC_CHECK(policy.Contains(access.object));
+      totals.fetch_cost += access.fetch_cost;
+      totals.served_cost += access.bypass_cost;
+      ++totals.loads;
+      break;
+  }
+}
+
+/// Emits the final cumulative point if the per-query sampling did not
+/// already land on it — every sampled series ends at the trace's total,
+/// regardless of whether sample_every divides the query count.
+inline void FinishSeries(const Simulator::Options& options,
+                         size_t num_queries, const CostBreakdown& totals,
+                         std::vector<TimePoint>& series) {
+  if (options.sample_every == 0 || num_queries == 0) return;
+  uint32_t last = static_cast<uint32_t>(num_queries);
+  if (series.empty() || series.back().query_index != last) {
+    series.push_back(TimePoint{last, totals.total_wan()});
+  }
+}
+
+}  // namespace
+
 std::string CostBreakdown::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -33,6 +77,21 @@ std::vector<std::vector<core::Access>> Simulator::DecomposeTrace(
   return out;
 }
 
+DecomposedTrace Simulator::DecomposeFlat(const workload::Trace& trace) const {
+  DecomposedTrace out;
+  out.offsets.reserve(trace.queries.size() + 1);
+  // Typical traces decompose to a handful of accesses per query; reserve
+  // to keep the flat stream from reallocating throughout the pass.
+  out.accesses.reserve(trace.queries.size() * 4);
+  out.offsets.push_back(0);
+  for (const workload::TraceQuery& tq : trace.queries) {
+    std::vector<core::Access> accesses = mediator_.Decompose(tq.query);
+    out.accesses.insert(out.accesses.end(), accesses.begin(), accesses.end());
+    out.offsets.push_back(out.accesses.size());
+  }
+  return out;
+}
+
 std::vector<core::Access> Simulator::Flatten(
     const std::vector<std::vector<core::Access>>& queries) {
   std::vector<core::Access> out;
@@ -52,39 +111,47 @@ SimResult Simulator::Run(
   uint32_t qidx = 0;
   for (const auto& accesses : queries) {
     for (const core::Access& access : accesses) {
-      core::Decision decision = policy.OnAccess(access);
-      ++result.totals.accesses;
-      result.totals.evictions += decision.evictions.size();
-      switch (decision.action) {
-        case core::Action::kServeFromCache:
-          BYC_CHECK(policy.Contains(access.object));
-          result.totals.served_cost += access.bypass_cost;
-          ++result.totals.hits;
-          break;
-        case core::Action::kBypass:
-          result.totals.bypass_cost += access.bypass_cost;
-          ++result.totals.bypasses;
-          break;
-        case core::Action::kLoadAndServe:
-          BYC_CHECK(policy.Contains(access.object));
-          result.totals.fetch_cost += access.fetch_cost;
-          result.totals.served_cost += access.bypass_cost;
-          ++result.totals.loads;
-          break;
-      }
+      AccountAccess(policy, access, result.totals);
     }
     ++qidx;
-    if (options_.sample_every != 0 &&
-        (qidx % options_.sample_every == 0 || qidx == queries.size())) {
+    if (options_.sample_every != 0 && qidx % options_.sample_every == 0) {
       result.series.push_back(TimePoint{qidx, result.totals.total_wan()});
     }
   }
+  FinishSeries(options_, queries.size(), result.totals, result.series);
   return result;
+}
+
+SimResult Simulator::Run(core::CachePolicy& policy,
+                         const DecomposedTrace& trace) const {
+  return ReplayDecomposed(policy, trace, options_);
 }
 
 SimResult Simulator::Run(core::CachePolicy& policy,
                          const workload::Trace& trace) const {
   return Run(policy, DecomposeTrace(trace));
+}
+
+SimResult ReplayDecomposed(core::CachePolicy& policy,
+                           const DecomposedTrace& trace,
+                           const Simulator::Options& options) {
+  SimResult result;
+  result.policy_name = std::string(policy.name());
+
+  const size_t num_queries = trace.num_queries();
+  const core::Access* accesses = trace.accesses.data();
+  for (size_t q = 0; q < num_queries; ++q) {
+    const size_t end = trace.offsets[q + 1];
+    for (size_t i = trace.offsets[q]; i < end; ++i) {
+      AccountAccess(policy, accesses[i], result.totals);
+    }
+    uint32_t qidx = static_cast<uint32_t>(q + 1);
+    if (options.sample_every != 0 && qidx % options.sample_every == 0) {
+      result.series.push_back(TimePoint{qidx, result.totals.total_wan()});
+    }
+  }
+  FinishSeries(options, num_queries, result.totals, result.series);
+  return result;
 }
 
 }  // namespace byc::sim

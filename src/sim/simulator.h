@@ -1,6 +1,7 @@
 #ifndef BYC_SIM_SIMULATOR_H_
 #define BYC_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,22 @@ struct SimResult {
   std::vector<TimePoint> series;
 };
 
+/// A trace decomposed once into a single flat, contiguous access stream
+/// with per-query boundaries. This is the shared immutable input of a
+/// sweep: decompose once per (release, granularity), then replay it
+/// through any number of policy configurations (serially or via
+/// SweepRunner) without re-decomposing or re-flattening. Query q's
+/// accesses are accesses[offsets[q] .. offsets[q+1]).
+struct DecomposedTrace {
+  std::vector<core::Access> accesses;
+  std::vector<size_t> offsets;  // size == num_queries() + 1
+
+  size_t num_queries() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  size_t num_accesses() const { return accesses.size(); }
+};
+
 /// Replays query traces through a cache policy, doing the mediator-side
 /// decomposition and the WAN cost accounting. Consistency between the
 /// policy's reported decisions and its residency is cross-checked on
@@ -32,6 +49,8 @@ class Simulator {
  public:
   struct Options {
     /// Sample the cumulative-cost series every N queries (0: no series).
+    /// When sampling is on, the final cumulative point is always emitted
+    /// exactly once, whether or not sample_every divides the query count.
     uint32_t sample_every = 64;
   };
 
@@ -50,9 +69,19 @@ class Simulator {
   std::vector<std::vector<core::Access>> DecomposeTrace(
       const workload::Trace& trace) const;
 
+  /// Decomposes a trace into the flat shared-sweep representation: one
+  /// contiguous access vector plus query offsets (no per-query vectors,
+  /// no later re-flattening for static-set selection).
+  DecomposedTrace DecomposeFlat(const workload::Trace& trace) const;
+
   /// Replays pre-decomposed accesses through `policy`.
   SimResult Run(core::CachePolicy& policy,
                 const std::vector<std::vector<core::Access>>& queries) const;
+
+  /// Replays a flat decomposed trace through `policy`. Bit-identical to
+  /// the nested-vector overload on the same decomposition.
+  SimResult Run(core::CachePolicy& policy,
+                const DecomposedTrace& trace) const;
 
   /// Convenience: decompose + run.
   SimResult Run(core::CachePolicy& policy,
@@ -66,6 +95,14 @@ class Simulator {
   federation::Mediator mediator_;
   Options options_;
 };
+
+/// Replays a flat decomposed trace through `policy` with the given
+/// options. The accesses carry all sizes and costs, so no federation or
+/// mediator is needed — this is the hot path SweepRunner fans out across
+/// threads.
+SimResult ReplayDecomposed(core::CachePolicy& policy,
+                           const DecomposedTrace& trace,
+                           const Simulator::Options& options);
 
 }  // namespace byc::sim
 

@@ -1,0 +1,52 @@
+#include "sim/sweep.h"
+
+#include <memory>
+
+#include "common/thread_pool.h"
+
+namespace byc::sim {
+
+namespace {
+
+SweepOutcome RunOneConfig(const DecomposedTrace& trace,
+                          const core::PolicyConfig& config,
+                          const Simulator::Options& sim_options) {
+  std::unique_ptr<core::CachePolicy> policy = core::MakePolicy(config);
+  SweepOutcome outcome;
+  outcome.result = ReplayDecomposed(*policy, trace, sim_options);
+  outcome.used_bytes = policy->used_bytes();
+  outcome.metadata_entries = policy->metadata_entries();
+  return outcome;
+}
+
+}  // namespace
+
+std::vector<SweepOutcome> SweepRunner::Run(
+    const DecomposedTrace& trace,
+    const std::vector<core::PolicyConfig>& configs) const {
+  std::vector<SweepOutcome> outcomes(configs.size());
+
+  unsigned threads = options_.threads;
+  if (threads == 0) threads = ThreadPool::DefaultThreadCount();
+  if (threads <= 1 || configs.size() <= 1) {
+    // Serial fast path: no pool, same replay code, same results.
+    for (size_t i = 0; i < configs.size(); ++i) {
+      outcomes[i] = RunOneConfig(trace, configs[i], options_.sim);
+    }
+    return outcomes;
+  }
+
+  ThreadPool pool(threads);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    // Each task touches only its own outcome slot; the shared trace and
+    // config list are read-only. Wait() orders all writes before the
+    // return, so the caller sees submission-ordered results.
+    pool.Submit([&trace, &configs, &outcomes, i, this] {
+      outcomes[i] = RunOneConfig(trace, configs[i], options_.sim);
+    });
+  }
+  pool.Wait();
+  return outcomes;
+}
+
+}  // namespace byc::sim

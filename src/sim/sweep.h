@@ -1,0 +1,57 @@
+#ifndef BYC_SIM_SWEEP_H_
+#define BYC_SIM_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+
+namespace byc::sim {
+
+/// Result of one sweep configuration: the replay result plus the policy
+/// state the exhibit binaries report after a run.
+struct SweepOutcome {
+  SimResult result;
+  uint64_t used_bytes = 0;       // policy residency after the replay
+  size_t metadata_entries = 0;   // non-resident metadata footprint
+};
+
+/// Fans independent (policy, capacity) configurations of one shared,
+/// immutably decomposed trace across a thread pool. The paper's
+/// evaluation (Figs. 9/10, Tables 1/2) is an embarrassingly parallel
+/// sweep over cache configurations: every configuration gets a fresh
+/// policy instance built from its PolicyConfig and replays the same
+/// const access stream, so runs share nothing but read-only data.
+///
+/// Determinism: results are collected in submission order, each policy
+/// is seeded from its own config, and the replay path is the same code
+/// serial callers use — sweep output is bit-identical to running
+/// Simulator::Run over the configs one by one, at any thread count.
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 uses ThreadPool::DefaultThreadCount() (the
+    /// BYC_THREADS environment variable, else hardware concurrency).
+    unsigned threads = 0;
+    /// Replay options applied to every configuration.
+    Simulator::Options sim;
+  };
+
+  SweepRunner() : SweepRunner(Options{}) {}
+  explicit SweepRunner(const Options& options) : options_(options) {}
+
+  /// Replays `trace` through a fresh policy per config, in parallel.
+  /// outcome[i] corresponds to configs[i].
+  std::vector<SweepOutcome> Run(
+      const DecomposedTrace& trace,
+      const std::vector<core::PolicyConfig>& configs) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace byc::sim
+
+#endif  // BYC_SIM_SWEEP_H_

@@ -99,6 +99,33 @@ TEST(IndexedHeapTest, ForEachVisitsAll) {
   EXPECT_DOUBLE_EQ(seen[3], 6.0);
 }
 
+TEST(IndexedHeapTest, ReserveDoesNotChangeBehavior) {
+  Heap plain;
+  Heap reserved;
+  reserved.Reserve(64);
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    double priority = rng.NextDouble(0, 100);
+    plain.Insert(i, priority);
+    reserved.Insert(i, priority);
+  }
+  EXPECT_TRUE(reserved.CheckInvariants());
+  while (!plain.empty()) {
+    ASSERT_FALSE(reserved.empty());
+    EXPECT_EQ(plain.PopMin(), reserved.PopMin());
+  }
+  EXPECT_TRUE(reserved.empty());
+}
+
+TEST(IndexedHeapTest, UpdateAfterReserveKeepsIndexConsistent) {
+  Heap heap;
+  heap.Reserve(32);
+  for (int i = 0; i < 32; ++i) heap.Insert(i, i);
+  for (int i = 0; i < 32; ++i) heap.Update(i, 31 - i);
+  EXPECT_TRUE(heap.CheckInvariants());
+  EXPECT_EQ(heap.PeekMinKey(), 31);
+}
+
 // Randomized differential test against a reference implementation.
 TEST(IndexedHeapTest, RandomizedMatchesReference) {
   Heap heap;

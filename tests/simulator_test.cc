@@ -95,6 +95,49 @@ TEST_F(SimulatorTest, SeriesIsMonotoneAndEndsAtTotal) {
                    result.totals.total_wan());
 }
 
+TEST_F(SimulatorTest, SeriesFinalPointEmittedWhenSampleEveryDoesNotDivide) {
+  // 400 queries, sample_every = 7: the last modulo sample lands at query
+  // 399, so the final cumulative point must be appended separately.
+  Simulator::Options options;
+  options.sample_every = 7;
+  Simulator simulator(&federation_, catalog::Granularity::kTable, options);
+  core::NoCachePolicy policy;
+  SimResult result = simulator.Run(policy, trace_);
+  ASSERT_FALSE(result.series.empty());
+  EXPECT_EQ(result.series.back().query_index, trace_.queries.size());
+  EXPECT_DOUBLE_EQ(result.series.back().cumulative_wan,
+                   result.totals.total_wan());
+  // 57 modulo samples (7, 14, ..., 399) plus the final point.
+  EXPECT_EQ(result.series.size(), 400u / 7 + 1);
+}
+
+TEST_F(SimulatorTest, SeriesFinalPointNotDuplicatedWhenSampleEveryDivides) {
+  // 400 queries, sample_every = 16: the modulo sample at query 400 IS the
+  // final point; it must not be emitted twice.
+  Simulator::Options options;
+  options.sample_every = 16;
+  Simulator simulator(&federation_, catalog::Granularity::kTable, options);
+  core::NoCachePolicy policy;
+  SimResult result = simulator.Run(policy, trace_);
+  ASSERT_EQ(result.series.size(), 400u / 16);
+  EXPECT_EQ(result.series.back().query_index, trace_.queries.size());
+  for (size_t i = 1; i < result.series.size(); ++i) {
+    EXPECT_LT(result.series[i - 1].query_index, result.series[i].query_index);
+  }
+}
+
+TEST_F(SimulatorTest, SeriesHasExactlyOnePointWhenSampleEveryExceedsTrace) {
+  Simulator::Options options;
+  options.sample_every = 100000;
+  Simulator simulator(&federation_, catalog::Granularity::kTable, options);
+  core::NoCachePolicy policy;
+  SimResult result = simulator.Run(policy, trace_);
+  ASSERT_EQ(result.series.size(), 1u);
+  EXPECT_EQ(result.series[0].query_index, trace_.queries.size());
+  EXPECT_DOUBLE_EQ(result.series[0].cumulative_wan,
+                   result.totals.total_wan());
+}
+
 TEST_F(SimulatorTest, SeriesDisabledWhenSampleEveryZero) {
   Simulator::Options options;
   options.sample_every = 0;

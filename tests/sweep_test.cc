@@ -1,0 +1,230 @@
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+#include "core/policy_factory.h"
+#include "core/static_policy.h"
+#include "federation/mediator.h"
+#include "query/yield.h"
+#include "workload/generator.h"
+
+namespace byc::sim {
+namespace {
+
+class SweepTest : public ::testing::Test {
+ protected:
+  SweepTest()
+      : federation_(federation::Federation::SingleSite(
+            catalog::MakeSdssEdrCatalog())) {
+    workload::GeneratorOptions options;
+    options.num_queries = 300;
+    options.target_sequence_cost = 0;
+    workload::TraceGenerator gen(&federation_.catalog(), options);
+    trace_ = gen.Generate();
+  }
+
+  /// All (kind x capacity) configurations the bit-identity sweep covers:
+  /// every policy kind, two cache sizes.
+  std::vector<core::PolicyConfig> AllConfigs(
+      const DecomposedTrace& decomposed) const {
+    const core::PolicyKind kinds[] = {
+        core::PolicyKind::kNoCache,     core::PolicyKind::kLru,
+        core::PolicyKind::kLruK,        core::PolicyKind::kLfu,
+        core::PolicyKind::kGds,         core::PolicyKind::kGdsp,
+        core::PolicyKind::kStatic,      core::PolicyKind::kRateProfile,
+        core::PolicyKind::kOnlineBy,    core::PolicyKind::kSpaceEffBy};
+    uint64_t db = federation_.catalog().total_size_bytes();
+    std::vector<core::PolicyConfig> configs;
+    for (core::PolicyKind kind : kinds) {
+      for (uint64_t capacity : {db / 10, db * 3 / 10}) {
+        core::PolicyConfig config;
+        config.kind = kind;
+        config.capacity_bytes = capacity;
+        if (kind == core::PolicyKind::kStatic) {
+          config.static_contents =
+              core::SelectStaticSet(decomposed.accesses, capacity);
+        }
+        configs.push_back(std::move(config));
+      }
+    }
+    return configs;
+  }
+
+  federation::Federation federation_;
+  workload::Trace trace_;
+};
+
+void ExpectBitIdentical(const SimResult& a, const SimResult& b,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  // Exact double equality on purpose: the sweep engine guarantees
+  // bit-identical results, not approximately equal ones.
+  EXPECT_EQ(a.totals.bypass_cost, b.totals.bypass_cost);
+  EXPECT_EQ(a.totals.fetch_cost, b.totals.fetch_cost);
+  EXPECT_EQ(a.totals.served_cost, b.totals.served_cost);
+  EXPECT_EQ(a.totals.accesses, b.totals.accesses);
+  EXPECT_EQ(a.totals.hits, b.totals.hits);
+  EXPECT_EQ(a.totals.bypasses, b.totals.bypasses);
+  EXPECT_EQ(a.totals.loads, b.totals.loads);
+  EXPECT_EQ(a.totals.evictions, b.totals.evictions);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].query_index, b.series[i].query_index);
+    EXPECT_EQ(a.series[i].cumulative_wan, b.series[i].cumulative_wan);
+  }
+}
+
+TEST_F(SweepTest, DecomposeFlatMatchesNestedDecomposition) {
+  for (catalog::Granularity granularity :
+       {catalog::Granularity::kTable, catalog::Granularity::kColumn}) {
+    Simulator simulator(&federation_, granularity);
+    auto nested = simulator.DecomposeTrace(trace_);
+    DecomposedTrace flat = simulator.DecomposeFlat(trace_);
+
+    ASSERT_EQ(flat.num_queries(), nested.size());
+    size_t next = 0;
+    for (size_t q = 0; q < nested.size(); ++q) {
+      ASSERT_EQ(flat.offsets[q + 1] - flat.offsets[q], nested[q].size());
+      for (const core::Access& access : nested[q]) {
+        const core::Access& got = flat.accesses[next++];
+        EXPECT_EQ(got.object, access.object);
+        EXPECT_EQ(got.yield_bytes, access.yield_bytes);
+        EXPECT_EQ(got.size_bytes, access.size_bytes);
+        EXPECT_EQ(got.fetch_cost, access.fetch_cost);
+        EXPECT_EQ(got.bypass_cost, access.bypass_cost);
+      }
+    }
+    EXPECT_EQ(next, flat.num_accesses());
+  }
+}
+
+TEST_F(SweepTest, ParallelSweepBitIdenticalToSerialRun) {
+  for (catalog::Granularity granularity :
+       {catalog::Granularity::kTable, catalog::Granularity::kColumn}) {
+    Simulator::Options sim_options;
+    sim_options.sample_every = 32;  // does not divide 300: exercises the
+                                    // final-sample path too
+    Simulator simulator(&federation_, granularity, sim_options);
+    auto nested = simulator.DecomposeTrace(trace_);
+    DecomposedTrace decomposed = simulator.DecomposeFlat(trace_);
+    std::vector<core::PolicyConfig> configs = AllConfigs(decomposed);
+
+    // Serial reference: the nested-vector Simulator::Run path.
+    std::vector<SimResult> reference;
+    for (const core::PolicyConfig& config : configs) {
+      auto policy = core::MakePolicy(config);
+      reference.push_back(simulator.Run(*policy, nested));
+    }
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+      SweepRunner::Options options;
+      options.threads = threads;
+      options.sim = sim_options;
+      std::vector<SweepOutcome> outcomes =
+          SweepRunner(options).Run(decomposed, configs);
+      ASSERT_EQ(outcomes.size(), configs.size());
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        ExpectBitIdentical(
+            outcomes[i].result, reference[i],
+            std::string(core::PolicyKindName(configs[i].kind)) + " config " +
+                std::to_string(i) + " threads " + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST_F(SweepTest, OutcomeReportsPolicyStateAfterReplay) {
+  Simulator simulator(&federation_, catalog::Granularity::kColumn);
+  DecomposedTrace decomposed = simulator.DecomposeFlat(trace_);
+  core::PolicyConfig config;
+  config.kind = core::PolicyKind::kOnlineBy;
+  config.capacity_bytes = federation_.catalog().total_size_bytes() / 4;
+
+  auto policy = core::MakePolicy(config);
+  (void)simulator.Run(*policy, decomposed);
+
+  SweepRunner::Options options;
+  options.threads = 2;
+  std::vector<SweepOutcome> outcomes =
+      SweepRunner(options).Run(decomposed, {config});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].used_bytes, policy->used_bytes());
+  EXPECT_EQ(outcomes[0].metadata_entries, policy->metadata_entries());
+}
+
+TEST_F(SweepTest, SweepOfManyConfigsKeepsSubmissionOrder) {
+  Simulator simulator(&federation_, catalog::Granularity::kTable);
+  DecomposedTrace decomposed = simulator.DecomposeFlat(trace_);
+  // Strictly growing capacities make misordered results detectable: a
+  // bigger LRU cache never does worse on total WAN than a smaller one
+  // here, and the policy name identifies the kind.
+  std::vector<core::PolicyConfig> configs;
+  for (int i = 1; i <= 24; ++i) {
+    core::PolicyConfig config;
+    config.kind = i % 2 == 0 ? core::PolicyKind::kLru
+                             : core::PolicyKind::kNoCache;
+    config.capacity_bytes =
+        federation_.catalog().total_size_bytes() * i / 24;
+    configs.push_back(config);
+  }
+  std::vector<SweepOutcome> outcomes =
+      SweepRunner(SweepRunner::Options{4, {}}).Run(decomposed, configs);
+  ASSERT_EQ(outcomes.size(), configs.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].result.policy_name,
+              i % 2 == 0 ? "NoCache" : "LRU")
+        << i;
+  }
+}
+
+// --- Mediator decomposition memo -----------------------------------------
+
+TEST_F(SweepTest, MemoizedDecompositionBitIdenticalToDirectEstimate) {
+  for (catalog::Granularity granularity :
+       {catalog::Granularity::kTable, catalog::Granularity::kColumn}) {
+    federation::Mediator mediator(&federation_, granularity);
+    query::YieldEstimator estimator(&federation_.catalog());
+    for (const workload::TraceQuery& tq : trace_.queries) {
+      // The pre-memo decomposition, spelled out directly.
+      query::QueryYield yields = estimator.Estimate(tq.query, granularity);
+      std::vector<core::Access> memoized = mediator.Decompose(tq.query);
+      ASSERT_EQ(memoized.size(), yields.per_object.size());
+      for (size_t i = 0; i < memoized.size(); ++i) {
+        const query::ObjectYield& oy = yields.per_object[i];
+        EXPECT_EQ(memoized[i].object, oy.object);
+        EXPECT_EQ(memoized[i].yield_bytes, oy.yield_bytes);
+        EXPECT_EQ(memoized[i].size_bytes,
+                  ObjectSizeBytes(federation_.catalog(), oy.object));
+        EXPECT_EQ(memoized[i].fetch_cost, federation_.FetchCost(oy.object));
+        EXPECT_EQ(memoized[i].bypass_cost,
+                  federation_.TransferCost(oy.object, oy.yield_bytes));
+      }
+    }
+    // Schema locality means far fewer shapes than queries.
+    EXPECT_GT(mediator.memo_hits(), 0u);
+    EXPECT_LT(mediator.memo_entries(), trace_.queries.size());
+  }
+}
+
+TEST_F(SweepTest, MemoizedDecompositionIsDeterministicAcrossCalls) {
+  federation::Mediator mediator(&federation_, catalog::Granularity::kColumn);
+  for (const workload::TraceQuery& tq : trace_.queries) {
+    std::vector<core::Access> first = mediator.Decompose(tq.query);
+    std::vector<core::Access> second = mediator.Decompose(tq.query);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].object, second[i].object);
+      EXPECT_EQ(first[i].yield_bytes, second[i].yield_bytes);
+      EXPECT_EQ(first[i].size_bytes, second[i].size_bytes);
+      EXPECT_EQ(first[i].fetch_cost, second[i].fetch_cost);
+      EXPECT_EQ(first[i].bypass_cost, second[i].bypass_cost);
+    }
+  }
+  EXPECT_EQ(mediator.memo_hits() + mediator.memo_misses(),
+            2 * trace_.queries.size());
+}
+
+}  // namespace
+}  // namespace byc::sim

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace byc {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 1; round <= 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 50 * round);
+  }
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Nothing submitted; must not deadlock.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No Wait(): the destructor must finish every submitted task.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks that each wait for the other to start can only finish if
+  // at least two workers run them in parallel.
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&started] {
+      started.fetch_add(1);
+      while (started.load() < 2) std::this_thread::yield();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(started.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerThread) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ThreadCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
+  const char* saved = std::getenv("BYC_THREADS");
+  std::string saved_value = saved ? saved : "";
+
+  ::setenv("BYC_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  ::setenv("BYC_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ::setenv("BYC_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+
+  if (saved) {
+    ::setenv("BYC_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("BYC_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, ManyTasksManyThreadsStress) {
+  // Shared-counter stress across more threads than cores; run under the
+  // tsan preset to race-check the queue and the idle/work signaling.
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  for (int i = 1; i <= 5000; ++i) {
+    pool.Submit([&sum, i] {
+      sum.fetch_add(static_cast<uint64_t>(i), std::memory_order_relaxed);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5000ull * 5001ull / 2);
+}
+
+}  // namespace
+}  // namespace byc
