@@ -15,6 +15,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("ablation_aobj_choice");
   bench::Release edr = bench::MakeEdr();
 
   std::printf("Ablation: A_obj choice inside OnlineBY / SpaceEffBY "

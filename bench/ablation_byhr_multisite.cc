@@ -169,6 +169,7 @@ void TraceExperiment() {
 }  // namespace
 
 int main() {
+  byc::bench::BenchRun bench_run("ablation_byhr_multisite");
   std::printf("Ablation: BYHR (cost-aware) vs BYU (cost-blind) on "
               "heterogeneous federations\n\n");
   PairExperiment();

@@ -14,6 +14,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("ablation_episode_params");
   bench::Release edr = bench::MakeEdr();
 
   std::printf("Ablation: Rate-Profile episode parameters (EDR, cache = 30%% "

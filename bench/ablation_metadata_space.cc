@@ -20,6 +20,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("ablation_metadata_space");
   bench::Release edr = bench::MakeEdr();
   const catalog::Granularity granularity = catalog::Granularity::kColumn;
   // Decompose once; the five algorithm variants replay the shared stream

@@ -17,6 +17,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("ablation_semantic_cache");
   bench::Release edr = bench::MakeEdr();
   const catalog::Catalog& catalog = edr.federation.catalog();
   uint64_t capacity = bench::CapacityFraction(edr, 0.30);

@@ -7,20 +7,112 @@
 // exhibit from the paper's §6 evaluation.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/sdss.h"
 #include "common/bytes.h"
+#include "common/thread_pool.h"
 #include "core/policy_factory.h"
 #include "core/static_policy.h"
 #include "federation/federation.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
+#include "telemetry/manifest.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "workload/generator.h"
 
 namespace byc::bench {
+
+/// Per-binary telemetry scope. Every exhibit binary declares one at the
+/// top of main():
+///
+///   bench::BenchRun run("fig9_cache_size_tables");
+///
+/// and the shared helpers below (DecomposeRelease, RunSweep, RunPolicy)
+/// automatically route phase spans, replay counters, and memo gauges
+/// into its registry. On destruction the run writes a JSON manifest
+/// ({schema_version, name, config, git_describe, threads, metrics,
+/// spans} — schema in telemetry/manifest.h) to
+///
+///   BYC_MANIFEST      exact output path, or
+///   BYC_MANIFEST_DIR  <dir>/<name>.manifest.json.
+///
+/// With neither variable set, telemetry stays disabled (metrics()
+/// returns null, all instrumentation sites skip) and the binary's
+/// stdout is byte-identical to an uninstrumented build.
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name) : manifest_(std::move(name)) {
+    const char* file = std::getenv("BYC_MANIFEST");
+    const char* dir = std::getenv("BYC_MANIFEST_DIR");
+    if (file != nullptr && file[0] != '\0') {
+      out_path_ = file;
+    } else if (dir != nullptr && dir[0] != '\0') {
+      out_path_ = std::string(dir) + "/" + manifest_.name + ".manifest.json";
+    }
+    manifest_.threads = ThreadPool::DefaultThreadCount();
+    CurrentSlot() = this;
+    if (enabled()) {
+      total_span_ =
+          std::make_unique<telemetry::ScopedSpan>(&metrics_, "total");
+    }
+  }
+
+  ~BenchRun() {
+    if (CurrentSlot() == this) CurrentSlot() = nullptr;
+    if (!enabled()) return;
+    total_span_->Stop();
+    if (!telemetry::WriteManifestFile(out_path_, manifest_,
+                                      metrics_.Snapshot())) {
+      return;
+    }
+    std::fprintf(stderr, "manifest: wrote %s\n", out_path_.c_str());
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  bool enabled() const { return !out_path_.empty(); }
+
+  /// The run's registry, or null when manifest output was not requested
+  /// — pass the result straight into Simulator/SweepRunner options.
+  telemetry::MetricsRegistry* metrics() {
+    return enabled() ? &metrics_ : nullptr;
+  }
+
+  /// Adds a key/value to the manifest's config object.
+  void AddConfig(std::string key, std::string value) {
+    manifest_.AddConfig(std::move(key), std::move(value));
+  }
+
+  /// The innermost live BenchRun of this process (null outside main()'s
+  /// scope). The run helpers below consult it so individual binaries
+  /// never thread a registry through by hand.
+  static BenchRun* Current() { return CurrentSlot(); }
+
+ private:
+  static BenchRun*& CurrentSlot() {
+    static BenchRun* current = nullptr;
+    return current;
+  }
+
+  telemetry::RunManifest manifest_;
+  telemetry::MetricsRegistry metrics_;
+  std::unique_ptr<telemetry::ScopedSpan> total_span_;
+  std::string out_path_;
+};
+
+/// Registry of the current BenchRun (null when none is live or manifest
+/// output is off).
+inline telemetry::MetricsRegistry* BenchMetrics() {
+  BenchRun* run = BenchRun::Current();
+  return run != nullptr ? run->metrics() : nullptr;
+}
 
 /// One data release's fully built environment.
 struct Release {
@@ -85,6 +177,7 @@ inline sim::SimResult RunPolicy(
     uint32_t sample_every = 256) {
   sim::Simulator::Options options;
   options.sample_every = sample_every;
+  options.metrics = BenchMetrics();
   sim::Simulator simulator(&release.federation, granularity, options);
   auto policy = BuildPolicy(kind, capacity, queries);
   return simulator.Run(*policy, queries);
@@ -99,7 +192,9 @@ inline const char* GranularityName(catalog::Granularity granularity) {
 /// decomposition is the same for all policies and capacities.
 inline sim::DecomposedTrace DecomposeRelease(
     const Release& release, catalog::Granularity granularity) {
-  sim::Simulator simulator(&release.federation, granularity);
+  sim::Simulator::Options options;
+  options.metrics = BenchMetrics();
+  sim::Simulator simulator(&release.federation, granularity, options);
   return simulator.DecomposeFlat(release.trace);
 }
 
@@ -127,6 +222,7 @@ inline std::vector<sim::SweepOutcome> RunSweep(
     uint32_t sample_every = 0) {
   sim::SweepRunner::Options options;
   options.sim.sample_every = sample_every;
+  options.sim.metrics = BenchMetrics();
   return sim::SweepRunner(options).Run(trace, configs);
 }
 

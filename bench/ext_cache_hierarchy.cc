@@ -31,6 +31,7 @@ std::unique_ptr<core::CachePolicy> MakeRate(uint64_t capacity) {
 }  // namespace
 
 int main() {
+  byc::bench::BenchRun bench_run("ext_cache_hierarchy");
   bench::Release edr = bench::MakeEdr();
   sim::Simulator simulator(&edr.federation, catalog::Granularity::kColumn);
   auto queries = simulator.DecomposeTrace(edr.trace);

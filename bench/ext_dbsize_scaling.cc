@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
 #include "catalog/sdss.h"
 #include "common/bytes.h"
 #include "common/table_printer.h"
@@ -42,6 +43,7 @@ core::PolicyConfig RateProfileAt(uint64_t capacity) {
 sim::SweepRunner MakeRunner() {
   sim::SweepRunner::Options options;
   options.sim.sample_every = 0;
+  options.sim.metrics = bench::BenchMetrics();
   return sim::SweepRunner(options);
 }
 
@@ -53,6 +55,7 @@ double RunAt(const sim::DecomposedTrace& trace, uint64_t capacity) {
 }  // namespace
 
 int main() {
+  bench::BenchRun bench_run("ext_dbsize_scaling");
   std::printf("Extension: cache-size needs vs database size (cold archive "
               "grows, workload fixed)\n\n");
   TablePrinter table({"cold_scale", "db_size", "cache_needed",
@@ -69,7 +72,10 @@ int main() {
     auto fed = federation::Federation::SingleSite(std::move(catalog));
     // Decompose once per database size; every capacity probe shares the
     // stream.
-    sim::Simulator simulator(&fed, catalog::Granularity::kColumn);
+    sim::Simulator::Options sim_options;
+    sim_options.metrics = bench::BenchMetrics();
+    sim::Simulator simulator(&fed, catalog::Granularity::kColumn,
+                             sim_options);
     sim::DecomposedTrace decomposed = simulator.DecomposeFlat(trace);
 
     double no_cache = 0;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.h"
 #include "catalog/sdss.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -102,6 +103,7 @@ query::ResolvedQuery RandomQuery(const World& world,
 }  // namespace
 
 int main() {
+  byc::bench::BenchRun bench_run("ext_estimator_accuracy");
   World world = Materialize();
   exec::Executor executor(world.data_ptrs);
   query::HistogramSelectivityModel model;

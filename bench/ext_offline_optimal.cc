@@ -17,6 +17,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("ext_offline_optimal");
   bench::Release edr = bench::MakeEdr();
   sim::Simulator simulator(&edr.federation, catalog::Granularity::kTable);
   auto queries = simulator.DecomposeTrace(edr.trace);

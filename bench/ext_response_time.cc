@@ -15,6 +15,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("ext_response_time");
   bench::Release edr = bench::MakeEdr();
   const catalog::Granularity granularity = catalog::Granularity::kColumn;
   sim::Simulator simulator(&edr.federation, granularity);

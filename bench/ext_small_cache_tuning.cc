@@ -16,6 +16,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("ext_small_cache_tuning");
   bench::Release edr = bench::MakeEdr();
 
   std::printf("Extension: Rate-Profile small-cache tuning "

@@ -10,6 +10,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("fig10_cache_size_columns");
   bench::Release edr = bench::MakeEdr();
   const catalog::Granularity granularity = catalog::Granularity::kColumn;
 
@@ -30,6 +31,7 @@ int main() {
     }
   }
   std::vector<sim::SweepOutcome> outcomes = bench::RunSweep(trace, configs);
+  telemetry::ScopedSpan report_span(bench::BenchMetrics(), "report");
 
   std::printf(
       "Figure 10: algorithm performance vs cache size, column caching\n"

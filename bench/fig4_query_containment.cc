@@ -13,6 +13,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("fig4_query_containment");
   bench::Release edr = bench::MakeEdr();
 
   std::printf("Figure 4: query containment (window = 50 region queries)\n");

@@ -13,6 +13,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("fig5_column_locality");
   bench::Release edr = bench::MakeEdr();
   const catalog::Catalog& catalog = edr.federation.catalog();
 

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("fig6_table_locality");
   bench::Release edr = bench::MakeEdr();
   const catalog::Catalog& catalog = edr.federation.catalog();
 

@@ -10,6 +10,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("fig7_table_caching_curve");
   bench::Release edr = bench::MakeEdr();
   const catalog::Granularity granularity = catalog::Granularity::kTable;
   const uint64_t capacity = bench::CapacityFraction(edr, 0.30);

@@ -8,6 +8,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("fig8_column_caching_curve");
   bench::Release edr = bench::MakeEdr();
   const catalog::Granularity granularity = catalog::Granularity::kColumn;
   const uint64_t capacity = bench::CapacityFraction(edr, 0.30);

@@ -13,6 +13,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("fig9_cache_size_tables");
   bench::Release edr = bench::MakeEdr();
   const catalog::Granularity granularity = catalog::Granularity::kTable;
 
@@ -33,6 +34,7 @@ int main() {
     }
   }
   std::vector<sim::SweepOutcome> outcomes = bench::RunSweep(trace, configs);
+  telemetry::ScopedSpan report_span(bench::BenchMetrics(), "report");
 
   std::printf(
       "Figure 9: algorithm performance vs cache size, table caching\n"

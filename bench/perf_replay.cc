@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/json_writer.h"
 #include "common/thread_pool.h"
 
 namespace {
@@ -54,6 +55,31 @@ struct SweepCase {
   std::vector<core::PolicyConfig> configs;
 };
 
+/// One record as a single-line JSON object, via the shared writer (field
+/// names, order, and numeric formatting unchanged from earlier
+/// BENCH_replay.json revisions).
+std::string RecordToJson(const Record& r) {
+  std::string out;
+  JsonWriter json(&out, /*pretty=*/false);
+  json.BeginObject();
+  json.Key("name");
+  json.String(r.name);
+  json.Key("config");
+  json.String(r.config);
+  json.Key("accesses_per_sec");
+  json.Double(r.accesses_per_sec, 1);
+  json.Key("wall_ms");
+  json.Double(r.wall_ms, 3);
+  json.Key("threads");
+  json.UInt(r.threads);
+  if (r.speedup > 0) {
+    json.Key("speedup_vs_serial");
+    json.Double(r.speedup, 3);
+  }
+  json.EndObject();
+  return out;
+}
+
 bool WriteJson(const std::vector<Record>& records, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -63,17 +89,8 @@ bool WriteJson(const std::vector<Record>& records, const std::string& path) {
   }
   std::fprintf(f, "[\n");
   for (size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
-    std::fprintf(f,
-                 "  {\"name\": \"%s\", \"config\": \"%s\", "
-                 "\"accesses_per_sec\": %.1f, \"wall_ms\": %.3f, "
-                 "\"threads\": %u",
-                 r.name.c_str(), r.config.c_str(), r.accesses_per_sec,
-                 r.wall_ms, r.threads);
-    if (r.speedup > 0) {
-      std::fprintf(f, ", \"speedup_vs_serial\": %.3f", r.speedup);
-    }
-    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+    std::fprintf(f, "  %s%s\n", RecordToJson(records[i]).c_str(),
+                 i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -83,6 +100,7 @@ bool WriteJson(const std::vector<Record>& records, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchRun bench_run("perf_replay");
   unsigned threads = ThreadPool::DefaultThreadCount();
   size_t num_queries = 0;  // 0: full presets
   std::string out_path = "BENCH_replay.json";
@@ -100,6 +118,8 @@ int main(int argc, char** argv) {
     }
   }
   if (threads == 0) threads = 1;
+  bench_run.AddConfig("quick", num_queries ? "true" : "false");
+  bench_run.AddConfig("threads", std::to_string(threads));
 
   std::vector<Record> records;
 
@@ -157,6 +177,7 @@ int main(int argc, char** argv) {
     Clock::time_point start = Clock::now();
     sim::SweepRunner::Options options;
     options.threads = 1;
+    options.sim.metrics = bench::BenchMetrics();
     std::vector<sim::SweepOutcome> one =
         sim::SweepRunner(options).Run(c.trace, {c.configs[2]});
     double ms = ElapsedMs(start);
@@ -178,6 +199,7 @@ int main(int argc, char** argv) {
     sim::SweepRunner::Options options;
     options.threads = 1;
     options.sim.sample_every = 0;
+    options.sim.metrics = bench::BenchMetrics();
     serial_outcomes.push_back(sim::SweepRunner(options).Run(c.trace,
                                                             c.configs));
   }
@@ -194,6 +216,7 @@ int main(int argc, char** argv) {
     sim::SweepRunner::Options options;
     options.threads = threads;
     options.sim.sample_every = 0;
+    options.sim.metrics = bench::BenchMetrics();
     parallel_outcomes.push_back(
         sim::SweepRunner(options).Run(c.trace, c.configs));
   }

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("table1_column_breakdown");
   const catalog::Granularity granularity = catalog::Granularity::kColumn;
   const core::PolicyKind kinds[] = {core::PolicyKind::kRateProfile,
                                     core::PolicyKind::kOnlineBy,
@@ -36,6 +37,7 @@ int main() {
     }
     std::vector<sim::SweepOutcome> outcomes =
         bench::RunSweep(trace, configs);
+    telemetry::ScopedSpan report_span(bench::BenchMetrics(), "report");
 
     bool first = true;
     for (const sim::SweepOutcome& outcome : outcomes) {

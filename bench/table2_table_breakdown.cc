@@ -9,6 +9,7 @@
 
 int main() {
   using namespace byc;
+  bench::BenchRun bench_run("table2_table_breakdown");
   const catalog::Granularity granularity = catalog::Granularity::kTable;
   const core::PolicyKind kinds[] = {core::PolicyKind::kRateProfile,
                                     core::PolicyKind::kOnlineBy,
@@ -34,6 +35,7 @@ int main() {
     }
     std::vector<sim::SweepOutcome> outcomes =
         bench::RunSweep(trace, configs);
+    telemetry::ScopedSpan report_span(bench::BenchMetrics(), "report");
 
     bool first = true;
     for (const sim::SweepOutcome& outcome : outcomes) {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full CI sweep: release + asan + tsan builds, each preset's ctest
+# selection, then a manifest-emission smoke test — one bench binary runs
+# with BYC_MANIFEST set and the output is validated against the
+# documented schema (scripts/validate_manifest.py).
+#
+# Usage: scripts/ci.sh [preset ...]
+#   scripts/ci.sh                 # release asan tsan (the full sweep)
+#   scripts/ci.sh release         # just the release leg
+#
+# Knobs:
+#   CI_JOBS      parallel build jobs (default: nproc)
+#   CI_SKIP_MANIFEST=1  skip the manifest smoke test (e.g. for tsan-only
+#                       iterating on a race)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${CI_JOBS:-$(nproc)}"
+PRESETS=("$@")
+if [ "${#PRESETS[@]}" -eq 0 ]; then
+  PRESETS=(release asan tsan)
+fi
+
+for preset in "${PRESETS[@]}"; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset" >/dev/null
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==> [$preset] ctest"
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+if [ "${CI_SKIP_MANIFEST:-0}" != "1" ]; then
+  # The smoke test needs a release bench binary; build one even if the
+  # caller only asked for sanitizer presets.
+  bench=build/bench/fig9_cache_size_tables
+  if [ ! -x "$bench" ]; then
+    cmake --preset release >/dev/null
+    cmake --build --preset release -j "$JOBS" --target fig9_cache_size_tables
+  fi
+  manifest="$(mktemp -t byc_manifest.XXXXXX.json)"
+  trap 'rm -f "$manifest"' EXIT
+  echo "==> manifest smoke test ($bench)"
+  BYC_MANIFEST="$manifest" "$bench" >/dev/null
+  python3 scripts/validate_manifest.py "$manifest"
+fi
+
+echo "==> CI OK (${PRESETS[*]})"

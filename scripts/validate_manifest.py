@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a run manifest against schema_version 1.
+
+The schema is documented in src/telemetry/manifest.h and emitted by
+bench::BenchRun (any bench binary run with BYC_MANIFEST or
+BYC_MANIFEST_DIR set). Stdlib only.
+
+Usage: validate_manifest.py <manifest.json> [more.json ...]
+Exits nonzero with a message per violation.
+"""
+
+import json
+import sys
+
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+
+
+def fail(path, message, errors):
+    errors.append(f"{path}: {message}")
+
+
+def is_number(value):
+    # bool is an int subclass in Python; manifests never use booleans for
+    # numeric fields.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_manifest(doc, path, errors):
+    if not isinstance(doc, dict):
+        fail(path, "top level is not a JSON object", errors)
+        return
+
+    def expect(key, predicate, description):
+        if key not in doc:
+            fail(path, f"missing key {key!r}", errors)
+            return None
+        if not predicate(doc[key]):
+            fail(path, f"{key!r} is not {description}: {doc[key]!r}", errors)
+            return None
+        return doc[key]
+
+    expect("schema_version", lambda v: v == 1, "the literal 1")
+    expect("name", lambda v: isinstance(v, str) and v != "",
+           "a non-empty string")
+    expect("git_describe", lambda v: isinstance(v, str) and v != "",
+           "a non-empty string")
+    expect("threads", lambda v: isinstance(v, int) and not isinstance(v, bool)
+           and v >= 1, "an integer >= 1")
+
+    config = expect("config", lambda v: isinstance(v, dict), "an object")
+    if config is not None:
+        for key, value in config.items():
+            if not isinstance(value, str):
+                fail(path, f"config[{key!r}] is not a string: {value!r}",
+                     errors)
+
+    metrics = expect("metrics", lambda v: isinstance(v, dict), "an object")
+    if metrics is not None:
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                fail(path, f"metrics missing {section!r}", errors)
+                continue
+            if not isinstance(metrics[section], dict):
+                fail(path, f"metrics[{section!r}] is not an object", errors)
+        counters = metrics.get("counters", {})
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                if not (isinstance(value, int)
+                        and not isinstance(value, bool)) or value < 0:
+                    fail(path,
+                         f"counter {name!r} is not a non-negative integer: "
+                         f"{value!r}", errors)
+        gauges = metrics.get("gauges", {})
+        if isinstance(gauges, dict):
+            for name, value in gauges.items():
+                if not is_number(value):
+                    fail(path, f"gauge {name!r} is not a number: {value!r}",
+                         errors)
+        histograms = metrics.get("histograms", {})
+        if isinstance(histograms, dict):
+            for name, summary in histograms.items():
+                if not isinstance(summary, dict):
+                    fail(path, f"histogram {name!r} is not an object", errors)
+                    continue
+                for field in HISTOGRAM_FIELDS:
+                    if field not in summary:
+                        fail(path, f"histogram {name!r} missing {field!r}",
+                             errors)
+                    elif not is_number(summary[field]):
+                        fail(path,
+                             f"histogram {name!r}[{field!r}] is not a "
+                             f"number: {summary[field]!r}", errors)
+                extra = set(summary) - set(HISTOGRAM_FIELDS)
+                if extra:
+                    fail(path,
+                         f"histogram {name!r} has unknown fields: "
+                         f"{sorted(extra)}", errors)
+
+    spans = expect("spans", lambda v: isinstance(v, list), "an array")
+    if spans is not None:
+        for i, span in enumerate(spans):
+            if not isinstance(span, dict):
+                fail(path, f"spans[{i}] is not an object", errors)
+                continue
+            if not isinstance(span.get("name"), str) or not span["name"]:
+                fail(path, f"spans[{i}] missing a non-empty 'name'", errors)
+            if not is_number(span.get("wall_ms")) or span["wall_ms"] < 0:
+                fail(path,
+                     f"spans[{i}] 'wall_ms' is not a non-negative number",
+                     errors)
+
+    known = {"schema_version", "name", "config", "git_describe", "threads",
+             "metrics", "spans"}
+    extra = set(doc) - known
+    if extra:
+        fail(path, f"unknown top-level keys: {sorted(extra)}", errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, f"unreadable or invalid JSON: {e}", errors)
+            continue
+        validate_manifest(doc, path, errors)
+    if errors:
+        for error in errors:
+            print(f"validate_manifest: {error}", file=sys.stderr)
+        return 1
+    print(f"validate_manifest: {len(argv) - 1} manifest(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,153 @@
+#include "common/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace byc {
+
+std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::string* out, bool pretty)
+    : out_(out), pretty_(pretty) {}
+
+void JsonWriter::Indent() {
+  out_->push_back('\n');
+  out_->append(2 * first_in_scope_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted its separator
+  }
+  if (first_in_scope_.empty()) return;  // document root
+  if (!first_in_scope_.back()) {
+    out_->push_back(',');
+    if (!pretty_) out_->push_back(' ');
+  }
+  first_in_scope_.back() = false;
+  if (pretty_) Indent();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_->push_back('{');
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  BYC_CHECK(!first_in_scope_.empty());
+  bool empty = first_in_scope_.back();
+  first_in_scope_.pop_back();
+  if (pretty_ && !empty) Indent();
+  out_->push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_->push_back('[');
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  BYC_CHECK(!first_in_scope_.empty());
+  bool empty = first_in_scope_.back();
+  first_in_scope_.pop_back();
+  if (pretty_ && !empty) Indent();
+  out_->push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  BYC_CHECK(!first_in_scope_.empty());
+  BeforeValue();
+  out_->push_back('"');
+  out_->append(JsonEscaped(key));
+  out_->append("\": ");
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_->push_back('"');
+  out_->append(JsonEscaped(value));
+  out_->push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_->append(std::to_string(value));
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_->append(std::to_string(value));
+}
+
+void JsonWriter::Double(double value, int decimals) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_->append("null");
+    return;
+  }
+  char buf[64];
+  if (decimals >= 0) {
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    out_->append(buf);
+  } else {
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    BYC_CHECK(ec == std::errc());
+    out_->append(buf, ptr);
+  }
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_->append(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_->append("null");
+}
+
+}  // namespace byc

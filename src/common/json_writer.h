@@ -1,0 +1,60 @@
+#ifndef BYC_COMMON_JSON_WRITER_H_
+#define BYC_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace byc {
+
+/// Escapes a string for embedding inside a JSON string literal (RFC 8259):
+/// backslash, double quote, and control characters below 0x20. Does not
+/// add the surrounding quotes. This is the single escaping routine shared
+/// by bench/perf_replay, the decision tracer's JSONL sink, and the run
+/// manifest writer.
+std::string JsonEscaped(std::string_view s);
+
+/// Minimal streaming JSON writer: objects, arrays, and scalar values with
+/// comma/indent management. One writer per document; output accumulates
+/// in the string passed to the constructor. Style:
+///   pretty == true   newline + 2-space indentation per nesting level
+///   pretty == false  single line, ", " between elements, ": " after keys
+/// Keys and string values are escaped via JsonEscaped. Doubles print
+/// either with a fixed decimal count (decimals >= 0) or with shortest
+/// round-trip formatting; non-finite doubles are written as null (JSON
+/// has no Inf/NaN).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out, bool pretty = true);
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Starts a key inside an object; follow with a value or Begin*().
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value, int decimals = -1);
+  void Bool(bool value);
+  void Null();
+
+ private:
+  void BeforeValue();
+  void Indent();
+
+  std::string* out_;
+  bool pretty_;
+  /// One frame per open container: true until its first element is
+  /// written.
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+}  // namespace byc
+
+#endif  // BYC_COMMON_JSON_WRITER_H_

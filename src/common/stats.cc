@@ -52,6 +52,74 @@ double QuantileSketch::Quantile(double q) const {
   return values_[lo] * (1 - frac) + values_[hi] * frac;
 }
 
+LogHistogram::LogHistogram() : buckets_(kNumBuckets, 0) {}
+
+size_t LogHistogram::BucketIndex(double x) {
+  if (!(x > 0)) return 0;  // underflow bucket (also catches NaN)
+  // Bucket for the smallest bound >= x: ceil(log2(x) * 8) - kMinExponent.
+  double e = std::ceil(std::log2(x) * kBucketsPerDoubling);
+  double idx = e - static_cast<double>(kMinExponent);
+  if (idx < 1) return 0;
+  if (idx >= static_cast<double>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double LogHistogram::BucketUpperBound(size_t index) {
+  return std::exp2(static_cast<double>(static_cast<long>(index) +
+                                       kMinExponent) /
+                   kBucketsPerDoubling);
+}
+
+void LogHistogram::Add(double x) {
+  ++buckets_[BucketIndex(x)];
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th order statistic (nearest-rank, 1-based).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      double value;
+      if (i == 0) {
+        value = min_;  // underflow bucket: everything <= Bound(0)
+      } else {
+        // Geometric midpoint of (Bound(i-1), Bound(i)].
+        value = std::sqrt(BucketUpperBound(i - 1) * BucketUpperBound(i));
+      }
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::ToString() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.4g min=%.4g p50=%.4g p90=%.4g p99=%.4g "
+                "max=%.4g",
+                count_, mean(), min(), p50(), p90(), p99(), max());
+  return buf;
+}
+
 Histogram::Histogram(double lo, double hi, size_t buckets)
     : lo_(lo), hi_(hi) {
   BYC_CHECK_GT(hi, lo);

@@ -55,6 +55,60 @@ class QuantileSketch {
   mutable bool sorted_ = true;
 };
 
+/// Log-bucketed histogram with quantile extraction (p50/p90/p99), the
+/// summary shape StatAccumulator lacks. Buckets are at powers of
+/// 2^(1/8), bounding the relative quantile error at ~±4.5%; count, sum,
+/// min, and max are tracked exactly, and quantile results are clamped
+/// into [min, max] so a one-sample histogram reports that sample for
+/// every quantile. An empty histogram reports 0.0 everywhere (matching
+/// StatAccumulator's empty min()/max()). Values <= 0 land in a dedicated
+/// underflow bucket. Mergeable, so per-thread shards (see
+/// telemetry::ShardedHistogram) can be combined at scrape time.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void Add(double x);
+  /// Adds every bucket and the exact count/sum/min/max of `other`.
+  void Merge(const LogHistogram& other);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// q in [0, 1]; 0.0 for an empty histogram. The returned value is the
+  /// geometric midpoint of the bucket holding the rank-q sample, clamped
+  /// to [min(), max()].
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p90() const { return Quantile(0.90); }
+  double p99() const { return Quantile(0.99); }
+
+  /// "count=... mean=... min=... p50=... p90=... p99=... max=..."
+  std::string ToString() const;
+
+ private:
+  // Bucket b (1-based) holds (Bound(b-1), Bound(b)]; bucket 0 is the
+  // underflow bucket for x <= Bound(0). Index range covers ~1e-10..1e13
+  // at 2^(1/8) growth.
+  static constexpr int kBucketsPerDoubling = 8;
+  static constexpr int kMinExponent = -256;  // 2^(-256/8) = 2^-32
+  static constexpr int kNumBuckets = 608;    // up to 2^(351/8) ~ 2^44
+
+  static size_t BucketIndex(double x);
+  static double BucketUpperBound(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
 /// Fixed-width histogram over [lo, hi) with out-of-range clamping,
 /// used by trace analyses.
 class Histogram {

@@ -4,12 +4,23 @@
 
 namespace byc {
 
+std::optional<unsigned> ThreadPool::ParseThreadCount(std::string_view text) {
+  // Digits only: strtoul-style leniency (leading whitespace, "+", "-0")
+  // would let typos silently change the worker count.
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  unsigned value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (value < 1 || value > kMaxThreads) return std::nullopt;
+  return value;
+}
+
 unsigned ThreadPool::DefaultThreadCount() {
   if (const char* env = std::getenv("BYC_THREADS")) {
-    char* end = nullptr;
-    unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
-      return static_cast<unsigned>(v);
+    if (std::optional<unsigned> parsed = ParseThreadCount(env)) {
+      return *parsed;
     }
   }
   unsigned hw = std::thread::hardware_concurrency();

@@ -6,6 +6,8 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -22,8 +24,18 @@ namespace byc {
 /// joining, so work handed to the pool is never silently dropped.
 class ThreadPool {
  public:
+  /// Largest worker count BYC_THREADS may request.
+  static constexpr unsigned kMaxThreads = 1024;
+
+  /// Parses a BYC_THREADS-style value: a plain decimal integer in
+  /// [1, kMaxThreads]. Anything else — empty, whitespace, signs ("+8",
+  /// "-1"), trailing junk ("8x"), zero, or out-of-range values — returns
+  /// nullopt so callers can fall back to hardware concurrency instead of
+  /// silently misconfiguring the pool.
+  static std::optional<unsigned> ParseThreadCount(std::string_view text);
+
   /// Worker count used for `threads == 0`: the BYC_THREADS environment
-  /// variable when set to a positive integer, otherwise
+  /// variable when it parses (see ParseThreadCount), otherwise
   /// std::thread::hardware_concurrency() (minimum 1).
   static unsigned DefaultThreadCount();
 

@@ -30,6 +30,11 @@ std::string_view ActionName(Action action);
 struct Decision {
   Action action = Action::kBypass;
   std::vector<catalog::ObjectId> evictions;
+  /// Optional policy-reported utility behind the decision (e.g.
+  /// Rate-Profile's LAR for a load). Consumed by the telemetry decision
+  /// tracer; 0 when the policy does not export one. Never feeds back
+  /// into simulation results.
+  double utility_score = 0;
 };
 
 /// Interface implemented by every cache-management algorithm: the three

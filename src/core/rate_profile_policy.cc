@@ -136,6 +136,7 @@ Decision RateProfilePolicy::OnAccess(const Access& access) {
 
   Decision decision;
   decision.action = Action::kLoadAndServe;
+  decision.utility_score = lar;
   for (const catalog::ObjectId& victim : victims) {
     const cache::CacheStore::Entry* entry = store_.Find(victim);
     BYC_CHECK(entry != nullptr);

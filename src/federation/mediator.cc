@@ -3,6 +3,7 @@
 #include <map>
 
 #include "query/signature.h"
+#include "telemetry/metrics.h"
 
 namespace byc::federation {
 
@@ -112,6 +113,20 @@ uint64_t Mediator::memo_hits() const {
 uint64_t Mediator::memo_misses() const {
   std::lock_guard<std::mutex> lock(memo_->mu);
   return memo_->misses;
+}
+
+void Mediator::ExportMemoMetrics(telemetry::MetricsRegistry& metrics) const {
+  size_t entries;
+  uint64_t hits, misses;
+  {
+    std::lock_guard<std::mutex> lock(memo_->mu);
+    entries = memo_->entries;
+    hits = memo_->hits;
+    misses = memo_->misses;
+  }
+  metrics.gauge("decompose.memo_entries").Set(static_cast<double>(entries));
+  metrics.gauge("decompose.memo_hits").Set(static_cast<double>(hits));
+  metrics.gauge("decompose.memo_misses").Set(static_cast<double>(misses));
 }
 
 }  // namespace byc::federation

@@ -11,6 +11,10 @@
 #include "federation/federation.h"
 #include "query/yield.h"
 
+namespace byc::telemetry {
+class MetricsRegistry;
+}  // namespace byc::telemetry
+
 namespace byc::federation {
 
 /// A per-site sub-query produced by query splitting: the FROM slots of
@@ -63,6 +67,11 @@ class Mediator {
   size_t memo_entries() const;
   uint64_t memo_hits() const;
   uint64_t memo_misses() const;
+
+  /// Publishes the memo statistics as telemetry gauges
+  /// (decompose.memo_entries / memo_hits / memo_misses) — the scrape the
+  /// simulator performs at the end of each decompose phase.
+  void ExportMemoMetrics(telemetry::MetricsRegistry& metrics) const;
 
  private:
   /// One referenced object of a memoized shape: the selectivity-

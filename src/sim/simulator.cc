@@ -1,19 +1,75 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/trace.h"
 
 namespace byc::sim {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// Timestamp for replay-throughput metrics; skipped entirely (no clock
+/// read) when no registry is attached.
+inline Clock::time_point MaybeNow(const telemetry::MetricsRegistry* metrics) {
+  return metrics != nullptr ? Clock::now() : Clock::time_point{};
+}
+
+inline double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+#if BYC_TELEMETRY_ENABLED
+/// Emits the structured decision events for one accounted access: one
+/// kEvict per victim, then the action event itself. Byte fields mirror
+/// the ledger exactly (yield_bytes = bypass_cost, load_bytes =
+/// fetch_cost) so traced streams reconcile with D_S/D_L/D_C.
+void TraceDecision(telemetry::DecisionTracer& tracer,
+                   const core::CachePolicy& policy,
+                   const core::Access& access,
+                   const core::Decision& decision, uint64_t query_seq) {
+  telemetry::TraceEvent event;
+  event.query_seq = query_seq;
+  event.cache_bytes_after = policy.used_bytes();
+  for (const catalog::ObjectId& victim : decision.evictions) {
+    event.object = victim;
+    event.action = telemetry::TraceAction::kEvict;
+    tracer.Record(event);
+  }
+  event.object = access.object;
+  event.yield_bytes = access.bypass_cost;
+  event.utility_score = decision.utility_score;
+  switch (decision.action) {
+    case core::Action::kServeFromCache:
+      event.action = telemetry::TraceAction::kServe;
+      break;
+    case core::Action::kBypass:
+      event.action = telemetry::TraceAction::kBypass;
+      break;
+    case core::Action::kLoadAndServe:
+      event.action = telemetry::TraceAction::kLoad;
+      event.load_bytes = access.fetch_cost;
+      break;
+  }
+  tracer.Record(event);
+}
+#endif  // BYC_TELEMETRY_ENABLED
+
 /// Applies one policy decision to the cost ledger (the paper's three
 /// flows) and cross-checks residency against the reported action.
+/// `query_seq` is the 1-based query this access belongs to; `tracer`,
+/// when non-null, receives the decision as structured events.
 inline void AccountAccess(core::CachePolicy& policy,
-                          const core::Access& access,
-                          CostBreakdown& totals) {
+                          const core::Access& access, CostBreakdown& totals,
+                          telemetry::DecisionTracer* tracer,
+                          uint64_t query_seq) {
   core::Decision decision = policy.OnAccess(access);
   ++totals.accesses;
   totals.evictions += decision.evictions.size();
@@ -34,6 +90,34 @@ inline void AccountAccess(core::CachePolicy& policy,
       ++totals.loads;
       break;
   }
+#if BYC_TELEMETRY_ENABLED
+  if (tracer != nullptr) {
+    TraceDecision(*tracer, policy, access, decision, query_seq);
+  }
+#else
+  (void)tracer;
+  (void)query_seq;
+#endif
+}
+
+/// Replay-side scrape: throughput counters and the per-replay wall-time
+/// histogram (sweep workers observe concurrently via per-thread shards).
+void RecordReplayMetrics(telemetry::MetricsRegistry* metrics,
+                         const CostBreakdown& totals, double wall_ms) {
+#if BYC_TELEMETRY_ENABLED
+  if (metrics == nullptr) return;
+  metrics->counter("replay.runs").Increment();
+  metrics->counter("replay.accesses").Increment(totals.accesses);
+  metrics->counter("replay.hits").Increment(totals.hits);
+  metrics->counter("replay.bypasses").Increment(totals.bypasses);
+  metrics->counter("replay.loads").Increment(totals.loads);
+  metrics->counter("replay.evictions").Increment(totals.evictions);
+  metrics->histogram("replay.ms").Observe(wall_ms);
+#else
+  (void)metrics;
+  (void)totals;
+  (void)wall_ms;
+#endif
 }
 
 /// Emits the final cumulative point if the per-query sampling did not
@@ -69,15 +153,18 @@ std::string CostBreakdown::ToString() const {
 
 std::vector<std::vector<core::Access>> Simulator::DecomposeTrace(
     const workload::Trace& trace) const {
+  telemetry::ScopedSpan span(options_.metrics, "decompose");
   std::vector<std::vector<core::Access>> out;
   out.reserve(trace.queries.size());
   for (const workload::TraceQuery& tq : trace.queries) {
     out.push_back(mediator_.Decompose(tq.query));
   }
+  RecordDecomposeMetrics(trace.queries.size());
   return out;
 }
 
 DecomposedTrace Simulator::DecomposeFlat(const workload::Trace& trace) const {
+  telemetry::ScopedSpan span(options_.metrics, "decompose");
   DecomposedTrace out;
   out.offsets.reserve(trace.queries.size() + 1);
   // Typical traces decompose to a handful of accesses per query; reserve
@@ -89,7 +176,18 @@ DecomposedTrace Simulator::DecomposeFlat(const workload::Trace& trace) const {
     out.accesses.insert(out.accesses.end(), accesses.begin(), accesses.end());
     out.offsets.push_back(out.accesses.size());
   }
+  RecordDecomposeMetrics(trace.queries.size());
   return out;
+}
+
+void Simulator::RecordDecomposeMetrics(size_t num_queries) const {
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics == nullptr) return;
+  options_.metrics->counter("decompose.queries").Increment(num_queries);
+  mediator_.ExportMemoMetrics(*options_.metrics);
+#else
+  (void)num_queries;
+#endif
 }
 
 std::vector<core::Access> Simulator::Flatten(
@@ -105,13 +203,15 @@ std::vector<core::Access> Simulator::Flatten(
 SimResult Simulator::Run(
     core::CachePolicy& policy,
     const std::vector<std::vector<core::Access>>& queries) const {
+  telemetry::ScopedSpan span(options_.metrics, "replay");
+  Clock::time_point start = MaybeNow(options_.metrics);
   SimResult result;
   result.policy_name = std::string(policy.name());
 
   uint32_t qidx = 0;
   for (const auto& accesses : queries) {
     for (const core::Access& access : accesses) {
-      AccountAccess(policy, access, result.totals);
+      AccountAccess(policy, access, result.totals, options_.tracer, qidx + 1);
     }
     ++qidx;
     if (options_.sample_every != 0 && qidx % options_.sample_every == 0) {
@@ -119,11 +219,13 @@ SimResult Simulator::Run(
     }
   }
   FinishSeries(options_, queries.size(), result.totals, result.series);
+  RecordReplayMetrics(options_.metrics, result.totals, ElapsedMs(start));
   return result;
 }
 
 SimResult Simulator::Run(core::CachePolicy& policy,
                          const DecomposedTrace& trace) const {
+  telemetry::ScopedSpan span(options_.metrics, "replay");
   return ReplayDecomposed(policy, trace, options_);
 }
 
@@ -135,15 +237,17 @@ SimResult Simulator::Run(core::CachePolicy& policy,
 SimResult ReplayDecomposed(core::CachePolicy& policy,
                            const DecomposedTrace& trace,
                            const Simulator::Options& options) {
+  Clock::time_point start = MaybeNow(options.metrics);
   SimResult result;
   result.policy_name = std::string(policy.name());
 
   const size_t num_queries = trace.num_queries();
   const core::Access* accesses = trace.accesses.data();
+  telemetry::DecisionTracer* tracer = options.tracer;
   for (size_t q = 0; q < num_queries; ++q) {
     const size_t end = trace.offsets[q + 1];
     for (size_t i = trace.offsets[q]; i < end; ++i) {
-      AccountAccess(policy, accesses[i], result.totals);
+      AccountAccess(policy, accesses[i], result.totals, tracer, q + 1);
     }
     uint32_t qidx = static_cast<uint32_t>(q + 1);
     if (options.sample_every != 0 && qidx % options.sample_every == 0) {
@@ -151,6 +255,7 @@ SimResult ReplayDecomposed(core::CachePolicy& policy,
     }
   }
   FinishSeries(options, num_queries, result.totals, result.series);
+  RecordReplayMetrics(options.metrics, result.totals, ElapsedMs(start));
   return result;
 }
 

@@ -10,6 +10,11 @@
 #include "sim/accounting.h"
 #include "workload/trace.h"
 
+namespace byc::telemetry {
+class DecisionTracer;
+class MetricsRegistry;
+}  // namespace byc::telemetry
+
 namespace byc::sim {
 
 /// One sample of the cumulative-WAN-traffic curve (Figs. 7 and 8).
@@ -52,6 +57,17 @@ class Simulator {
     /// When sampling is on, the final cumulative point is always emitted
     /// exactly once, whether or not sample_every divides the query count.
     uint32_t sample_every = 64;
+    /// Telemetry sinks; null (the default) disables all instrumentation
+    /// — the replay hot path then pays one branch per access and emits
+    /// nothing, keeping results and outputs identical to an
+    /// uninstrumented build. `metrics` receives phase spans (decompose /
+    /// replay), replay throughput counters, and the decomposition-memo
+    /// hit/miss gauges; it must be thread-safe across sweep workers
+    /// (MetricsRegistry is). `tracer` receives one structured event per
+    /// access (plus one per eviction) and belongs to a single replay —
+    /// never share one tracer across parallel configurations.
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::DecisionTracer* tracer = nullptr;
   };
 
   Simulator(const federation::Federation* federation,
@@ -92,6 +108,10 @@ class Simulator {
       const std::vector<std::vector<core::Access>>& queries);
 
  private:
+  /// Scrapes decompose-phase counters and the mediator's memo hit/miss
+  /// gauges into options_.metrics (no-op when telemetry is off).
+  void RecordDecomposeMetrics(size_t num_queries) const;
+
   federation::Mediator mediator_;
   Options options_;
 };

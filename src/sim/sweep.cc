@@ -2,7 +2,10 @@
 
 #include <memory>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace byc::sim {
 
@@ -10,12 +13,30 @@ namespace {
 
 SweepOutcome RunOneConfig(const DecomposedTrace& trace,
                           const core::PolicyConfig& config,
-                          const Simulator::Options& sim_options) {
+                          const SweepRunner::Options& options) {
   std::unique_ptr<core::CachePolicy> policy = core::MakePolicy(config);
   SweepOutcome outcome;
+  Simulator::Options sim_options = options.sim;
+#if BYC_TELEMETRY_ENABLED
+  std::unique_ptr<telemetry::DecisionTracer> tracer;
+  if (options.trace_decisions) {
+    telemetry::DecisionTracer::Options tracer_options;
+    tracer_options.ring_capacity = options.trace_ring_capacity;
+    tracer = std::make_unique<telemetry::DecisionTracer>(tracer_options);
+    sim_options.tracer = tracer.get();
+  }
+#endif
   outcome.result = ReplayDecomposed(*policy, trace, sim_options);
   outcome.used_bytes = policy->used_bytes();
   outcome.metadata_entries = policy->metadata_entries();
+#if BYC_TELEMETRY_ENABLED
+  if (tracer != nullptr) {
+    outcome.events = tracer->events();
+    outcome.events_recorded = tracer->total_recorded();
+    outcome.traced_bypass_bytes = tracer->bypass_bytes();
+    outcome.traced_load_bytes = tracer->load_bytes();
+  }
+#endif
   return outcome;
 }
 
@@ -24,6 +45,10 @@ SweepOutcome RunOneConfig(const DecomposedTrace& trace,
 std::vector<SweepOutcome> SweepRunner::Run(
     const DecomposedTrace& trace,
     const std::vector<core::PolicyConfig>& configs) const {
+  // Per-config tracers are created inside the runner; a caller-supplied
+  // tracer would be shared by concurrent replays.
+  BYC_CHECK(options_.sim.tracer == nullptr);
+  telemetry::ScopedSpan span(options_.sim.metrics, "sweep-fan-out");
   std::vector<SweepOutcome> outcomes(configs.size());
 
   unsigned threads = options_.threads;
@@ -31,7 +56,7 @@ std::vector<SweepOutcome> SweepRunner::Run(
   if (threads <= 1 || configs.size() <= 1) {
     // Serial fast path: no pool, same replay code, same results.
     for (size_t i = 0; i < configs.size(); ++i) {
-      outcomes[i] = RunOneConfig(trace, configs[i], options_.sim);
+      outcomes[i] = RunOneConfig(trace, configs[i], options_);
     }
     return outcomes;
   }
@@ -42,7 +67,7 @@ std::vector<SweepOutcome> SweepRunner::Run(
     // config list are read-only. Wait() orders all writes before the
     // return, so the caller sees submission-ordered results.
     pool.Submit([&trace, &configs, &outcomes, i, this] {
-      outcomes[i] = RunOneConfig(trace, configs[i], options_.sim);
+      outcomes[i] = RunOneConfig(trace, configs[i], options_);
     });
   }
   pool.Wait();

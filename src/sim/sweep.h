@@ -7,6 +7,7 @@
 
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "telemetry/trace.h"
 
 namespace byc::sim {
 
@@ -16,6 +17,14 @@ struct SweepOutcome {
   SimResult result;
   uint64_t used_bytes = 0;       // policy residency after the replay
   size_t metadata_entries = 0;   // non-resident metadata footprint
+  /// Decision-trace capture for this configuration (only populated when
+  /// Options::trace_decisions is set): the most recent events from this
+  /// config's private tracer, plus the full-run byte totals that
+  /// reconcile with result.totals regardless of ring overflow.
+  std::vector<telemetry::TraceEvent> events;
+  uint64_t events_recorded = 0;
+  double traced_bypass_bytes = 0;  // == result.totals.bypass_cost (D_S)
+  double traced_load_bytes = 0;    // == result.totals.fetch_cost (D_L)
 };
 
 /// Fans independent (policy, capacity) configurations of one shared,
@@ -35,8 +44,18 @@ class SweepRunner {
     /// Worker threads; 0 uses ThreadPool::DefaultThreadCount() (the
     /// BYC_THREADS environment variable, else hardware concurrency).
     unsigned threads = 0;
-    /// Replay options applied to every configuration.
+    /// Replay options applied to every configuration. `sim.metrics` is
+    /// shared by every worker (thread-safe); `sim.tracer` must stay null
+    /// — per-config tracers are created by the runner when
+    /// trace_decisions is set, which keeps each configuration's event
+    /// stream identical at any thread count.
     Simulator::Options sim;
+    /// Give every configuration its own DecisionTracer and return its
+    /// capture in SweepOutcome::events.
+    bool trace_decisions = false;
+    /// Ring capacity of each per-config tracer (most recent events
+    /// kept). Byte totals always cover the whole run.
+    size_t trace_ring_capacity = 1 << 16;
   };
 
   SweepRunner() : SweepRunner(Options{}) {}

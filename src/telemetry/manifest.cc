@@ -1,0 +1,111 @@
+#include "telemetry/manifest.h"
+
+#include <cstdio>
+
+#include "common/json_writer.h"
+
+#ifndef BYC_GIT_DESCRIBE
+#define BYC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace byc::telemetry {
+
+RunManifest::RunManifest() : git_describe(BYC_GIT_DESCRIBE) {}
+
+RunManifest::RunManifest(std::string run_name) : RunManifest() {
+  name = std::move(run_name);
+}
+
+std::string ManifestToJson(const RunManifest& manifest,
+                           const MetricsSnapshot& metrics) {
+  std::string out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Int(1);
+  json.Key("name");
+  json.String(manifest.name);
+  json.Key("config");
+  json.BeginObject();
+  for (const auto& [key, value] : manifest.config) {
+    json.Key(key);
+    json.String(value);
+  }
+  json.EndObject();
+  json.Key("git_describe");
+  json.String(manifest.git_describe);
+  json.Key("threads");
+  json.UInt(manifest.threads);
+  json.Key("metrics");
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : metrics.counters) {
+    json.Key(name);
+    json.UInt(value);
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : metrics.gauges) {
+    json.Key(name);
+    json.Double(value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, h] : metrics.histograms) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.UInt(h.count);
+    json.Key("sum");
+    json.Double(h.sum);
+    json.Key("min");
+    json.Double(h.min);
+    json.Key("max");
+    json.Double(h.max);
+    json.Key("mean");
+    json.Double(h.mean);
+    json.Key("p50");
+    json.Double(h.p50);
+    json.Key("p90");
+    json.Double(h.p90);
+    json.Key("p99");
+    json.Double(h.p99);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();  // metrics
+  json.Key("spans");
+  json.BeginArray();
+  for (const SpanRecord& span : metrics.spans) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(span.name);
+    json.Key("wall_ms");
+    json.Double(span.wall_ms, 3);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  out.push_back('\n');
+  return out;
+}
+
+bool WriteManifestFile(const std::string& path, const RunManifest& manifest,
+                       const MetricsSnapshot& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::string json = ManifestToJson(manifest, metrics);
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "telemetry: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace byc::telemetry

@@ -1,0 +1,63 @@
+#ifndef BYC_TELEMETRY_MANIFEST_H_
+#define BYC_TELEMETRY_MANIFEST_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace byc::telemetry {
+
+/// Identity of one run of a bench/tool binary. Combined with a
+/// MetricsSnapshot it serializes to the run-manifest JSON every exhibit
+/// binary can emit next to its stdout output (see bench::BenchRun).
+///
+/// Manifest schema (schema_version 1, validated by
+/// scripts/validate_manifest.py):
+///   {
+///     "schema_version": 1,
+///     "name": "<binary name>",
+///     "config": {"<key>": "<value>", ...},
+///     "git_describe": "<git describe --always --dirty at configure>",
+///     "threads": <default worker count for this run>,
+///     "metrics": {
+///       "counters":   {"<name>": <uint>, ...},
+///       "gauges":     {"<name>": <double>, ...},
+///       "histograms": {"<name>": {"count": <uint>, "sum": <double>,
+///                                  "min": ..., "max": ..., "mean": ...,
+///                                  "p50": ..., "p90": ..., "p99": ...}}
+///     },
+///     "spans": [{"name": "<phase>", "wall_ms": <double>}, ...]
+///   }
+struct RunManifest {
+  std::string name;
+  /// Ordered key/value description of the run's configuration (release,
+  /// granularity, sweep shape, CLI flags, ...).
+  std::vector<std::pair<std::string, std::string>> config;
+  unsigned threads = 1;
+  /// Defaults to the tree's `git describe --always --dirty`, baked in at
+  /// configure time ("unknown" outside a git checkout).
+  std::string git_describe;
+
+  RunManifest();
+  explicit RunManifest(std::string run_name);
+
+  void AddConfig(std::string key, std::string value) {
+    config.emplace_back(std::move(key), std::move(value));
+  }
+};
+
+/// Serializes manifest + metrics to the schema above (pretty-printed,
+/// trailing newline).
+std::string ManifestToJson(const RunManifest& manifest,
+                           const MetricsSnapshot& metrics);
+
+/// Writes the manifest JSON to `path`. Returns false (with a message on
+/// stderr) if the file cannot be written.
+bool WriteManifestFile(const std::string& path, const RunManifest& manifest,
+                       const MetricsSnapshot& metrics);
+
+}  // namespace byc::telemetry
+
+#endif  // BYC_TELEMETRY_MANIFEST_H_

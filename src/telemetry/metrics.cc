@@ -1,0 +1,112 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace byc::telemetry {
+
+namespace {
+
+uint64_t NextHistogramId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ShardedHistogram::ShardedHistogram() : id_(NextHistogramId()) {}
+
+ShardedHistogram::Shard* ShardedHistogram::LocalShard() {
+  // Thread-local cache from histogram id to this thread's shard. Keyed by
+  // the process-unique id (never by pointer) so entries can go stale but
+  // never alias. Entries for destroyed histograms are left behind; the
+  // map is bounded by the number of distinct histograms a thread touches.
+  thread_local std::unordered_map<uint64_t, Shard*> cache;
+  auto it = cache.find(id_);
+  if (it != cache.end()) return it->second;
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(shard));
+  }
+  cache.emplace(id_, raw);
+  return raw;
+}
+
+void ShardedHistogram::Observe(double value) { LocalShard()->hist.Add(value); }
+
+LogHistogram ShardedHistogram::Merged() const {
+  LogHistogram merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) merged.Merge(shard->hist);
+  return merged;
+}
+
+size_t ShardedHistogram::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+ShardedHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<ShardedHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::RecordSpan(std::string_view name, double wall_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(SpanRecord{std::string(name), wall_ms});
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    LogHistogram merged = histogram->Merged();
+    HistogramSummary summary;
+    summary.count = merged.count();
+    summary.sum = merged.sum();
+    summary.min = merged.min();
+    summary.max = merged.max();
+    summary.mean = merged.mean();
+    summary.p50 = merged.p50();
+    summary.p90 = merged.p90();
+    summary.p99 = merged.p99();
+    snapshot.histograms.emplace_back(name, summary);
+  }
+  snapshot.spans = spans_;
+  return snapshot;
+}
+
+}  // namespace byc::telemetry

@@ -1,0 +1,145 @@
+#ifndef BYC_TELEMETRY_METRICS_H_
+#define BYC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "telemetry/telemetry.h"
+
+namespace byc::telemetry {
+
+/// Monotonic event count. Lock-free; safe to increment from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (memo entry counts, residency
+/// bytes, ...). Lock-free.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A LogHistogram sharded per observing thread: Observe() touches only
+/// the calling thread's shard (no lock, no atomics on the hot path after
+/// the first observation per thread), and Merged() combines the shards
+/// at scrape time. This is what lets ThreadPool sweep workers record
+/// per-config replay latencies concurrently.
+///
+/// Shards are owned by the histogram and live until it is destroyed;
+/// threads that exit leave their shard behind for merging. A histogram
+/// must outlive every thread that observes into it — registries are
+/// expected to be scoped to a whole run (bench binary, test), which
+/// outlives its worker pools.
+class ShardedHistogram {
+ public:
+  ShardedHistogram();
+  ~ShardedHistogram() = default;
+
+  ShardedHistogram(const ShardedHistogram&) = delete;
+  ShardedHistogram& operator=(const ShardedHistogram&) = delete;
+
+  void Observe(double value);
+
+  /// Merges every thread's shard into one summary histogram.
+  LogHistogram Merged() const;
+
+  size_t shard_count() const;
+
+ private:
+  struct Shard {
+    LogHistogram hist;
+  };
+
+  Shard* LocalShard();
+
+  /// Process-unique id: the thread-local shard cache is keyed by it, so a
+  /// histogram allocated at a previously freed address can never alias a
+  /// stale cache entry.
+  const uint64_t id_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// One timed phase of a run (decompose / replay / sweep-fan-out /
+/// report). Spans are few and coarse — they time phases, not operations.
+struct SpanRecord {
+  std::string name;
+  double wall_ms = 0;
+};
+
+/// Point-in-time view of a registry, merged across histogram shards and
+/// sorted by metric name (deterministic manifest output).
+struct HistogramSummary {
+  size_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+  std::vector<SpanRecord> spans;  // in recording order
+};
+
+/// Named metrics for one run: counters, gauges, log-bucketed histograms,
+/// and phase spans. Lookup by name takes the registry mutex — callers on
+/// hot paths look up once and keep the returned reference, which stays
+/// valid for the registry's lifetime. The returned objects themselves
+/// are safe to update from any thread.
+///
+/// A null MetricsRegistry* is the disabled state everywhere in the
+/// library: instrumentation sites check the pointer and skip all work.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  ShardedHistogram& histogram(std::string_view name);
+
+  /// Appends a completed phase span (see ScopedSpan).
+  void RecordSpan(std::string_view name, double wall_ms);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: element addresses are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<ShardedHistogram>, std::less<>>
+      histograms_;
+  std::vector<SpanRecord> spans_;
+};
+
+}  // namespace byc::telemetry
+
+#endif  // BYC_TELEMETRY_METRICS_H_

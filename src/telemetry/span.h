@@ -1,0 +1,52 @@
+#ifndef BYC_TELEMETRY_SPAN_H_
+#define BYC_TELEMETRY_SPAN_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace byc::telemetry {
+
+/// RAII phase timer: records a SpanRecord (and a
+/// "span.<name>_ms" histogram observation, so repeated phases get
+/// latency quantiles) into the registry when it goes out of scope or
+/// Stop() is called, whichever comes first. A null registry makes the
+/// span a no-op — the disabled state costs one branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry* registry, std::string_view name)
+      : registry_(registry), name_(name) {
+    if (registry_ != nullptr) start_ = Clock::now();
+  }
+
+  ~ScopedSpan() { Stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records the span now and disarms the destructor. Returns the
+  /// elapsed milliseconds (0 when disabled or already stopped).
+  double Stop() {
+    if (registry_ == nullptr) return 0;
+    double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start_)
+            .count();
+    registry_->RecordSpan(name_, ms);
+    registry_->histogram("span." + name_ + "_ms").Observe(ms);
+    registry_ = nullptr;
+    return ms;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  MetricsRegistry* registry_;
+  std::string name_;
+  Clock::time_point start_{};
+};
+
+}  // namespace byc::telemetry
+
+#endif  // BYC_TELEMETRY_SPAN_H_

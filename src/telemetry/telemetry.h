@@ -1,0 +1,22 @@
+#ifndef BYC_TELEMETRY_TELEMETRY_H_
+#define BYC_TELEMETRY_TELEMETRY_H_
+
+/// Compile-time switch for the telemetry subsystem. Instrumentation
+/// sites in hot paths (the simulator's per-access decision hook, the
+/// phase spans) are written as
+///
+///   #if BYC_TELEMETRY_ENABLED
+///     if (tracer) tracer->Record(...);
+///   #endif
+///
+/// so the default build pays one predictable null-pointer branch, and a
+/// -DBYC_TELEMETRY=OFF build (CMake option) compiles the hooks away
+/// entirely. Either way, a run with no registry/tracer attached is a
+/// null sink: no allocation, no locking, no output — which is what keeps
+/// bench stdout and BENCH_replay.json byte-identical to the
+/// pre-telemetry tree.
+#ifndef BYC_TELEMETRY_ENABLED
+#define BYC_TELEMETRY_ENABLED 1
+#endif
+
+#endif  // BYC_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,95 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+#include "common/json_writer.h"
+
+namespace byc::telemetry {
+
+std::string_view TraceActionName(TraceAction action) {
+  switch (action) {
+    case TraceAction::kServe:
+      return "serve";
+    case TraceAction::kBypass:
+      return "bypass";
+    case TraceAction::kLoad:
+      return "load";
+    case TraceAction::kEvict:
+      return "evict";
+  }
+  return "unknown";
+}
+
+std::string TraceEventToJson(const TraceEvent& event) {
+  std::string out;
+  JsonWriter json(&out, /*pretty=*/false);
+  json.BeginObject();
+  json.Key("query_seq");
+  json.UInt(event.query_seq);
+  json.Key("table");
+  json.Int(event.object.table);
+  json.Key("column");
+  json.Int(event.object.column);
+  json.Key("action");
+  json.String(TraceActionName(event.action));
+  json.Key("yield_bytes");
+  json.Double(event.yield_bytes);
+  json.Key("load_bytes");
+  json.Double(event.load_bytes);
+  json.Key("utility_score");
+  json.Double(event.utility_score);
+  json.Key("cache_bytes_after");
+  json.UInt(event.cache_bytes_after);
+  json.EndObject();
+  return out;
+}
+
+DecisionTracer::DecisionTracer(const Options& options) : options_(options) {
+  ring_.reserve(std::min<size_t>(options_.ring_capacity, 4096));
+}
+
+void DecisionTracer::Record(const TraceEvent& event) {
+  ++total_recorded_;
+  switch (event.action) {
+    case TraceAction::kBypass:
+      bypass_bytes_ += event.yield_bytes;
+      break;
+    case TraceAction::kLoad:
+      load_bytes_ += event.load_bytes;
+      served_bytes_ += event.yield_bytes;
+      break;
+    case TraceAction::kServe:
+      served_bytes_ += event.yield_bytes;
+      break;
+    case TraceAction::kEvict:
+      break;
+  }
+  if (options_.jsonl != nullptr) {
+    std::string line = TraceEventToJson(event);
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), options_.jsonl);
+  }
+  if (options_.ring_capacity == 0) return;
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % options_.ring_capacity;
+  }
+}
+
+std::vector<TraceEvent> DecisionTracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < options_.ring_capacity || next_ == 0) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<long>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<long>(next_));
+  }
+  return out;
+}
+
+}  // namespace byc::telemetry

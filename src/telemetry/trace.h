@@ -1,0 +1,117 @@
+#ifndef BYC_TELEMETRY_TRACE_H_
+#define BYC_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/object_id.h"
+#include "telemetry/telemetry.h"
+
+namespace byc::telemetry {
+
+/// What happened to one access (or one eviction within an access). The
+/// first three mirror core::Action; kEvict is emitted once per victim of
+/// a kLoad decision, before the load event itself.
+enum class TraceAction : uint8_t {
+  kServe,
+  kBypass,
+  kLoad,
+  kEvict,
+};
+
+std::string_view TraceActionName(TraceAction action);
+
+/// One structured decision event. Byte flows reconcile exactly with the
+/// simulator's ledger: summing yield_bytes over kBypass events gives
+/// D_S, and load_bytes over kLoad events gives D_L (decision_trace_test
+/// asserts both).
+struct TraceEvent {
+  /// 1-based query number in the trace; all accesses a query decomposes
+  /// into carry the same query_seq.
+  uint64_t query_seq = 0;
+  catalog::ObjectId object;
+  TraceAction action = TraceAction::kBypass;
+  /// WAN result bytes of the access (the access's bypass_cost: shipped
+  /// on kBypass, saved on kServe/kLoad). 0 for kEvict.
+  double yield_bytes = 0;
+  /// WAN bytes spent loading the object (the access's fetch_cost). Only
+  /// nonzero for kLoad.
+  double load_bytes = 0;
+  /// Policy-reported utility of the decision (e.g. Rate-Profile's LAR);
+  /// 0 when the policy does not export one.
+  double utility_score = 0;
+  /// Policy residency after the whole decision (including any evictions)
+  /// was applied.
+  uint64_t cache_bytes_after = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Serializes one event as a single JSONL line (no trailing newline).
+std::string TraceEventToJson(const TraceEvent& event);
+
+/// Records the per-access decision stream of one replay. Two sinks,
+/// usable together:
+///
+///  * a bounded in-memory ring that keeps the most recent
+///    `ring_capacity` events (events() unrolls them in record order;
+///    total_recorded() - events().size() were dropped), and
+///  * an optional JSONL stream that receives every event as one JSON
+///    object per line.
+///
+/// Running bypass/load byte totals are maintained over *all* events —
+/// ring overflow never breaks the D_S/D_L reconciliation.
+///
+/// A tracer belongs to exactly one replay; it is deliberately not
+/// thread-safe. Parallel sweeps give every configuration its own tracer
+/// (see sim::SweepRunner), which is what makes the per-config event
+/// stream byte-identical at any thread count.
+class DecisionTracer {
+ public:
+  struct Options {
+    /// Most-recent events kept in memory; 0 disables the ring.
+    size_t ring_capacity = 1 << 16;
+    /// When set, every event is appended to this stream as JSONL. Not
+    /// owned.
+    std::FILE* jsonl = nullptr;
+  };
+
+  DecisionTracer() : DecisionTracer(Options{}) {}
+  explicit DecisionTracer(const Options& options);
+
+  DecisionTracer(const DecisionTracer&) = delete;
+  DecisionTracer& operator=(const DecisionTracer&) = delete;
+
+  void Record(const TraceEvent& event);
+
+  /// Ring contents in record order (oldest kept event first).
+  std::vector<TraceEvent> events() const;
+
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t dropped() const {
+    return total_recorded_ - std::min<uint64_t>(total_recorded_, ring_.size());
+  }
+
+  /// Sum of yield_bytes over kBypass events == the replay's D_S.
+  double bypass_bytes() const { return bypass_bytes_; }
+  /// Sum of load_bytes over kLoad events == the replay's D_L.
+  double load_bytes() const { return load_bytes_; }
+  /// Sum of yield_bytes over kServe events == the replay's D_C.
+  double served_bytes() const { return served_bytes_; }
+
+ private:
+  Options options_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;  // ring write position once full
+  uint64_t total_recorded_ = 0;
+  double bypass_bytes_ = 0;
+  double load_bytes_ = 0;
+  double served_bytes_ = 0;
+};
+
+}  // namespace byc::telemetry
+
+#endif  // BYC_TELEMETRY_TRACE_H_

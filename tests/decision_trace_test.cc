@@ -1,0 +1,215 @@
+// Determinism and reconciliation of the decision tracer (§ telemetry).
+// Two properties the exhibit binaries rely on:
+//
+//  * a traced sweep configuration produces the byte-exact same event
+//    stream at 1 and 8 worker threads (per-config tracers make parallel
+//    capture deterministic), and
+//  * the traced byte totals reconcile exactly with the simulator's cost
+//    ledger: sum(yield_bytes over bypass events) == D_S and
+//    sum(load_bytes over load events) == D_L.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/sdss.h"
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "telemetry/trace.h"
+#include "workload/generator.h"
+
+namespace byc::sim {
+namespace {
+
+#if BYC_TELEMETRY_ENABLED
+
+class DecisionTraceTest : public ::testing::Test {
+ protected:
+  DecisionTraceTest()
+      : federation_(federation::Federation::SingleSite(
+            catalog::MakeSdssEdrCatalog())) {
+    workload::GeneratorOptions options;
+    options.num_queries = 300;
+    options.target_sequence_cost = 0;
+    workload::TraceGenerator gen(&federation_.catalog(), options);
+    trace_ = gen.Generate();
+  }
+
+  core::PolicyConfig Config(core::PolicyKind kind) const {
+    core::PolicyConfig config;
+    config.kind = kind;
+    config.capacity_bytes = federation_.catalog().total_size_bytes() / 4;
+    return config;
+  }
+
+  std::vector<SweepOutcome> RunTraced(const DecomposedTrace& decomposed,
+                                      const core::PolicyConfig& config,
+                                      unsigned threads) const {
+    SweepRunner::Options options;
+    options.threads = threads;
+    options.trace_decisions = true;
+    return SweepRunner(options).Run(decomposed, {config});
+  }
+
+  static std::string Jsonl(const std::vector<telemetry::TraceEvent>& events) {
+    std::string out;
+    for (const telemetry::TraceEvent& event : events) {
+      out += telemetry::TraceEventToJson(event);
+      out.push_back('\n');
+    }
+    return out;
+  }
+
+  federation::Federation federation_;
+  workload::Trace trace_;
+};
+
+TEST_F(DecisionTraceTest, EventStreamByteExactAcrossThreadCounts) {
+  // BYU (kOnlineBy) and Rate-Profile, the paper's two headline online
+  // policies, at both granularities.
+  for (catalog::Granularity granularity :
+       {catalog::Granularity::kTable, catalog::Granularity::kColumn}) {
+    Simulator simulator(&federation_, granularity);
+    DecomposedTrace decomposed = simulator.DecomposeFlat(trace_);
+    for (core::PolicyKind kind :
+         {core::PolicyKind::kOnlineBy, core::PolicyKind::kRateProfile}) {
+      core::PolicyConfig config = Config(kind);
+      auto serial = RunTraced(decomposed, config, 1);
+      auto parallel = RunTraced(decomposed, config, 8);
+      ASSERT_EQ(serial.size(), 1u);
+      ASSERT_EQ(parallel.size(), 1u);
+
+      SCOPED_TRACE(std::string(core::PolicyKindName(kind)) + " " +
+                   (granularity == catalog::Granularity::kTable ? "table"
+                                                                : "column"));
+      EXPECT_GT(serial[0].events_recorded, 0u);
+      EXPECT_EQ(serial[0].events_recorded, parallel[0].events_recorded);
+      ASSERT_EQ(serial[0].events.size(), parallel[0].events.size());
+      // Structural equality event by event...
+      EXPECT_EQ(serial[0].events, parallel[0].events);
+      // ...and byte-exact JSONL serializations.
+      EXPECT_EQ(Jsonl(serial[0].events), Jsonl(parallel[0].events));
+    }
+  }
+}
+
+TEST_F(DecisionTraceTest, TracedBytesReconcileWithCostLedger) {
+  for (catalog::Granularity granularity :
+       {catalog::Granularity::kTable, catalog::Granularity::kColumn}) {
+    Simulator simulator(&federation_, granularity);
+    DecomposedTrace decomposed = simulator.DecomposeFlat(trace_);
+    for (core::PolicyKind kind :
+         {core::PolicyKind::kOnlineBy, core::PolicyKind::kRateProfile}) {
+      auto outcomes = RunTraced(decomposed, Config(kind), 4);
+      ASSERT_EQ(outcomes.size(), 1u);
+      const SweepOutcome& out = outcomes[0];
+      SCOPED_TRACE(core::PolicyKindName(kind));
+      // Exact equality: the tracer accumulates the very doubles the
+      // ledger adds, in the same order.
+      EXPECT_EQ(out.traced_bypass_bytes, out.result.totals.bypass_cost);
+      EXPECT_EQ(out.traced_load_bytes, out.result.totals.fetch_cost);
+    }
+  }
+}
+
+TEST_F(DecisionTraceTest, EventStreamMatchesLedgerEventByEvent) {
+  // Recompute the totals from the events themselves (the ring is big
+  // enough to hold every event of this small trace) and check the
+  // per-event invariants documented in telemetry/trace.h.
+  Simulator simulator(&federation_, catalog::Granularity::kColumn);
+  DecomposedTrace decomposed = simulator.DecomposeFlat(trace_);
+  auto outcomes =
+      RunTraced(decomposed, Config(core::PolicyKind::kOnlineBy), 2);
+  ASSERT_EQ(outcomes.size(), 1u);
+  const SweepOutcome& out = outcomes[0];
+  ASSERT_EQ(out.events.size(), out.events_recorded) << "ring overflowed";
+
+  double bypass = 0, load = 0, served = 0;
+  uint64_t last_seq = 0;
+  for (const telemetry::TraceEvent& event : out.events) {
+    EXPECT_GE(event.query_seq, last_seq);  // replay order, 1-based
+    if (event.action != telemetry::TraceAction::kEvict) {
+      last_seq = event.query_seq;
+    }
+    switch (event.action) {
+      case telemetry::TraceAction::kBypass:
+        bypass += event.yield_bytes;
+        EXPECT_EQ(event.load_bytes, 0.0);
+        break;
+      case telemetry::TraceAction::kLoad:
+        load += event.load_bytes;
+        served += event.yield_bytes;
+        EXPECT_GT(event.load_bytes, 0.0);
+        break;
+      case telemetry::TraceAction::kServe:
+        served += event.yield_bytes;
+        EXPECT_EQ(event.load_bytes, 0.0);
+        break;
+      case telemetry::TraceAction::kEvict:
+        EXPECT_EQ(event.yield_bytes, 0.0);
+        EXPECT_EQ(event.load_bytes, 0.0);
+        break;
+    }
+  }
+  EXPECT_GE(last_seq, 1u);
+  EXPECT_LE(last_seq, trace_.queries.size());
+  EXPECT_EQ(bypass, out.result.totals.bypass_cost);
+  EXPECT_EQ(load, out.result.totals.fetch_cost);
+  EXPECT_EQ(served, out.result.totals.served_cost);
+}
+
+TEST_F(DecisionTraceTest, UntracedSweepLeavesCaptureEmpty) {
+  Simulator simulator(&federation_, catalog::Granularity::kTable);
+  DecomposedTrace decomposed = simulator.DecomposeFlat(trace_);
+  SweepRunner::Options options;
+  options.threads = 2;
+  auto outcomes = SweepRunner(options).Run(
+      decomposed, {Config(core::PolicyKind::kOnlineBy)});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].events.empty());
+  EXPECT_EQ(outcomes[0].events_recorded, 0u);
+  EXPECT_EQ(outcomes[0].traced_bypass_bytes, 0.0);
+  EXPECT_EQ(outcomes[0].traced_load_bytes, 0.0);
+}
+
+TEST_F(DecisionTraceTest, DirectSimulatorTracerSeesEveryAccess) {
+  Simulator::Options sim_options;
+  telemetry::DecisionTracer tracer;
+  sim_options.tracer = &tracer;
+  Simulator simulator(&federation_, catalog::Granularity::kTable,
+                      sim_options);
+  DecomposedTrace decomposed = simulator.DecomposeFlat(trace_);
+  auto policy = core::MakePolicy(Config(core::PolicyKind::kRateProfile));
+  SimResult result = simulator.Run(*policy, decomposed);
+
+  uint64_t serves = 0, bypasses = 0, loads = 0, evicts = 0;
+  for (const telemetry::TraceEvent& event : tracer.events()) {
+    switch (event.action) {
+      case telemetry::TraceAction::kServe: ++serves; break;
+      case telemetry::TraceAction::kBypass: ++bypasses; break;
+      case telemetry::TraceAction::kLoad: ++loads; break;
+      case telemetry::TraceAction::kEvict: ++evicts; break;
+    }
+  }
+  EXPECT_EQ(serves, result.totals.hits);
+  EXPECT_EQ(bypasses, result.totals.bypasses);
+  EXPECT_EQ(loads, result.totals.loads);
+  EXPECT_EQ(evicts, result.totals.evictions);
+  EXPECT_EQ(serves + bypasses + loads, result.totals.accesses);
+  EXPECT_EQ(tracer.bypass_bytes(), result.totals.bypass_cost);
+  EXPECT_EQ(tracer.load_bytes(), result.totals.fetch_cost);
+  EXPECT_EQ(tracer.served_bytes(), result.totals.served_cost);
+}
+
+#else  // !BYC_TELEMETRY_ENABLED
+
+TEST(DecisionTraceTest, SkippedWhenTelemetryCompiledOut) {
+  GTEST_SKIP() << "built with BYC_TELEMETRY=OFF";
+}
+
+#endif  // BYC_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace byc::sim

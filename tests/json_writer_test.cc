@@ -1,0 +1,172 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace byc {
+namespace {
+
+TEST(JsonEscapedTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscaped("hello world"), "hello world");
+  EXPECT_EQ(JsonEscaped(""), "");
+  EXPECT_EQ(JsonEscaped("PhotoObj.objID"), "PhotoObj.objID");
+}
+
+TEST(JsonEscapedTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscaped("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscaped("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscapedTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(JsonEscaped("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscaped("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscaped("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscaped("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonEscaped("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscapedTest, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(JsonEscaped(std::string_view("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(JsonEscaped(std::string_view("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(JsonEscaped(std::string_view("x\0y", 3)), "x\\u0000y");
+}
+
+TEST(JsonEscapedTest, LeavesHighBytesAlone) {
+  // UTF-8 multibyte sequences pass through unmodified.
+  EXPECT_EQ(JsonEscaped("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriterTest, CompactObject) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/false);
+  w.BeginObject();
+  w.Key("name");
+  w.String("edr");
+  w.Key("threads");
+  w.UInt(8);
+  w.Key("ok");
+  w.Bool(true);
+  w.EndObject();
+  EXPECT_EQ(out, "{\"name\": \"edr\", \"threads\": 8, \"ok\": true}");
+}
+
+TEST(JsonWriterTest, CompactArray) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/false);
+  w.BeginArray();
+  w.Int(1);
+  w.Int(-2);
+  w.Null();
+  w.EndArray();
+  EXPECT_EQ(out, "[1, -2, null]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/true);
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("b");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(out, "{\n  \"a\": [],\n  \"b\": {}\n}");
+}
+
+TEST(JsonWriterTest, PrettyNesting) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/true);
+  w.BeginObject();
+  w.Key("config");
+  w.BeginObject();
+  w.Key("release");
+  w.String("edr");
+  w.EndObject();
+  w.Key("values");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(out,
+            "{\n"
+            "  \"config\": {\n"
+            "    \"release\": \"edr\"\n"
+            "  },\n"
+            "  \"values\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriterTest, DoubleFixedDecimals) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/false);
+  w.BeginArray();
+  w.Double(3.14159, 3);
+  w.Double(2.0, 1);
+  w.Double(1216.94, 2);
+  w.EndArray();
+  EXPECT_EQ(out, "[3.142, 2.0, 1216.94]");
+}
+
+TEST(JsonWriterTest, DoubleShortestRoundTrip) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/false);
+  w.BeginArray();
+  w.Double(0.5);
+  w.Double(1e21);
+  w.EndArray();
+  EXPECT_EQ(out, "[0.5, 1e+21]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/false);
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.Double(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(out, "[null, null, null]");
+}
+
+TEST(JsonWriterTest, KeysAreEscaped) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/false);
+  w.BeginObject();
+  w.Key("we\"ird");
+  w.Int(1);
+  w.EndObject();
+  EXPECT_EQ(out, "{\"we\\\"ird\": 1}");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/false);
+  w.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.BeginObject();
+    w.Key("i");
+    w.Int(i);
+    w.EndObject();
+  }
+  w.EndArray();
+  EXPECT_EQ(out, "[{\"i\": 0}, {\"i\": 1}]");
+}
+
+TEST(JsonWriterTest, RootScalar) {
+  std::string out;
+  JsonWriter w(&out, /*pretty=*/false);
+  w.Int(42);
+  EXPECT_EQ(out, "42");
+}
+
+}  // namespace
+}  // namespace byc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/bytes.h"
 
 namespace byc {
@@ -115,6 +117,120 @@ TEST(HistogramTest, OutOfRangeClamps) {
   h.Add(100);
   EXPECT_EQ(h.BucketCount(0), 1u);
   EXPECT_EQ(h.BucketCount(4), 1u);
+}
+
+TEST(LogHistogramTest, EmptyReportsZeroEverywhere) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  // Matches StatAccumulator's documented empty behaviour.
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(LogHistogramTest, OneSampleIsEveryQuantile) {
+  LogHistogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42.0);
+  EXPECT_EQ(h.max(), 42.0);
+  // Quantiles clamp into [min, max], so a single sample is exact.
+  EXPECT_EQ(h.Quantile(0.0), 42.0);
+  EXPECT_EQ(h.p50(), 42.0);
+  EXPECT_EQ(h.p90(), 42.0);
+  EXPECT_EQ(h.p99(), 42.0);
+  EXPECT_EQ(h.Quantile(1.0), 42.0);
+}
+
+TEST(LogHistogramTest, UniformDistributionQuantiles) {
+  LogHistogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 10000.0);
+  // Log-bucketing at 2^(1/8) growth bounds relative error at ~±4.5%;
+  // allow 10% slack.
+  EXPECT_NEAR(h.p50(), 5000.0, 500.0);
+  EXPECT_NEAR(h.p90(), 9000.0, 900.0);
+  EXPECT_NEAR(h.p99(), 9900.0, 990.0);
+  EXPECT_NEAR(h.mean(), 5000.5, 1e-6);
+}
+
+TEST(LogHistogramTest, GeometricDistributionQuantiles) {
+  // Samples at powers of two: 1 appears 512 times, 2 appears 256, ...
+  // so the median sits at the smallest values and p99 near the top.
+  LogHistogram h;
+  size_t total = 0;
+  for (int exp = 0; exp <= 9; ++exp) {
+    size_t copies = static_cast<size_t>(512 >> exp);
+    for (size_t i = 0; i < copies; ++i) h.Add(std::pow(2.0, exp));
+    total += copies;
+  }
+  EXPECT_EQ(h.count(), total);  // 1023
+  EXPECT_NEAR(h.p50(), 1.0, 0.1);
+  // rank ceil(0.9*1023) = 921 -> within the 8-valued bucket run [8,16).
+  EXPECT_GE(h.p90(), 4.0);
+  EXPECT_LE(h.p90(), 16.0);
+  // rank 1013 falls on the 8 copies of 64; 64 = 2^6 is an exact bucket
+  // boundary, so the representative is the geometric midpoint just
+  // below it (2^(47.5/8) ~ 61.3) — within the ±4.5% bucket error.
+  EXPECT_NEAR(h.p99(), 64.0, 64.0 * 0.045);
+  EXPECT_LE(h.max(), 512.0);
+}
+
+TEST(LogHistogramTest, NonPositiveValuesLandInUnderflowBucket) {
+  LogHistogram h;
+  h.Add(-5.0);
+  h.Add(0.0);
+  h.Add(-1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.max(), 0.0);
+  // All mass in the underflow bucket: quantiles report min, clamped.
+  EXPECT_EQ(h.p50(), -5.0);
+}
+
+TEST(LogHistogramTest, MergeMatchesCombinedStream) {
+  LogHistogram a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    a.Add(static_cast<double>(i));
+    combined.Add(static_cast<double>(i));
+  }
+  for (int i = 1000; i <= 2000; i += 10) {
+    b.Add(static_cast<double>(i));
+    combined.Add(static_cast<double>(i));
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.p50(), combined.p50());
+  EXPECT_EQ(a.p90(), combined.p90());
+  EXPECT_EQ(a.p99(), combined.p99());
+}
+
+TEST(LogHistogramTest, MergeWithEmptyIsIdentity) {
+  LogHistogram a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.p50(), 3.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.p50(), 3.0);
+}
+
+TEST(LogHistogramTest, ToStringCarriesQuantiles) {
+  LogHistogram h;
+  h.Add(10.0);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
 }
 
 TEST(BytesTest, FormatPicksUnit) {

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "telemetry/manifest.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/trace.h"
+
+namespace byc::telemetry {
+namespace {
+
+TEST(CounterTest, IncrementsFromManyThreads) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.count");
+  ThreadPool pool(8);
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&c] { c.Increment(); });
+  }
+  pool.Wait();
+  EXPECT_EQ(c.value(), 1000u);
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 1005u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+  g.Set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+}
+
+TEST(ShardedHistogramTest, ObservationsFromWorkersAllMerge) {
+  ShardedHistogram hist;
+  ThreadPool pool(8);
+  for (int i = 1; i <= 2000; ++i) {
+    pool.Submit([&hist, i] { hist.Observe(static_cast<double>(i)); });
+  }
+  pool.Wait();
+  LogHistogram merged = hist.Merged();
+  EXPECT_EQ(merged.count(), 2000u);
+  EXPECT_EQ(merged.min(), 1.0);
+  EXPECT_EQ(merged.max(), 2000.0);
+  EXPECT_DOUBLE_EQ(merged.sum(), 2000.0 * 2001.0 / 2.0);
+  // One shard per observing thread, at most pool size (workers may not
+  // all have picked up work on a loaded machine).
+  EXPECT_GE(hist.shard_count(), 1u);
+  EXPECT_LE(hist.shard_count(), 8u);
+}
+
+TEST(ShardedHistogramTest, FreshHistogramDoesNotInheritStaleShards) {
+  // The thread-local shard cache is keyed by a process-unique histogram
+  // id; a new histogram must start empty even on a thread that observed
+  // into (possibly same-addressed) earlier histograms.
+  for (int round = 0; round < 3; ++round) {
+    ShardedHistogram hist;
+    hist.Observe(1.0);
+    EXPECT_EQ(hist.Merged().count(), 1u) << "round " << round;
+  }
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(&registry.gauge("g"), &registry.gauge("g"));
+  EXPECT_EQ(&registry.histogram("h"), &registry.histogram("h"));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b.count").Increment(2);
+  registry.counter("a.count").Increment(1);
+  registry.gauge("z.gauge").Set(9.0);
+  registry.histogram("lat.ms").Observe(10.0);
+  registry.histogram("lat.ms").Observe(30.0);
+  registry.RecordSpan("decompose", 12.5);
+  registry.RecordSpan("replay", 100.0);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.count");
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(snap.counters[1].first, "b.count");
+  EXPECT_EQ(snap.counters[1].second, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 9.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].first, "lat.ms");
+  EXPECT_EQ(snap.histograms[0].second.count, 2u);
+  EXPECT_EQ(snap.histograms[0].second.sum, 40.0);
+  EXPECT_EQ(snap.histograms[0].second.min, 10.0);
+  EXPECT_EQ(snap.histograms[0].second.max, 30.0);
+  // Spans keep recording order, not name order.
+  ASSERT_EQ(snap.spans.size(), 2u);
+  EXPECT_EQ(snap.spans[0].name, "decompose");
+  EXPECT_EQ(snap.spans[1].name, "replay");
+}
+
+TEST(ScopedSpanTest, NullRegistryIsNoOp) {
+  ScopedSpan span(nullptr, "phase");
+  EXPECT_EQ(span.Stop(), 0.0);
+}
+
+TEST(ScopedSpanTest, RecordsSpanAndHistogram) {
+  MetricsRegistry registry;
+  {
+    ScopedSpan span(&registry, "phase");
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "phase");
+  EXPECT_GE(snap.spans[0].wall_ms, 0.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].first, "span.phase_ms");
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+TEST(ScopedSpanTest, StopDisarmsDestructor) {
+  MetricsRegistry registry;
+  {
+    ScopedSpan span(&registry, "phase");
+    span.Stop();
+    span.Stop();  // second call is a no-op
+  }
+  EXPECT_EQ(registry.Snapshot().spans.size(), 1u);
+}
+
+TraceEvent MakeEvent(uint64_t seq, TraceAction action, double yield_bytes,
+                     double load_bytes) {
+  TraceEvent e;
+  e.query_seq = seq;
+  e.object = catalog::ObjectId::ForTable(static_cast<int32_t>(seq % 7));
+  e.action = action;
+  e.yield_bytes = yield_bytes;
+  e.load_bytes = load_bytes;
+  return e;
+}
+
+TEST(DecisionTracerTest, TotalsTrackAllActions) {
+  DecisionTracer tracer;
+  tracer.Record(MakeEvent(1, TraceAction::kBypass, 100.0, 0.0));
+  tracer.Record(MakeEvent(2, TraceAction::kLoad, 50.0, 400.0));
+  tracer.Record(MakeEvent(3, TraceAction::kServe, 25.0, 0.0));
+  tracer.Record(MakeEvent(4, TraceAction::kEvict, 0.0, 0.0));
+  tracer.Record(MakeEvent(5, TraceAction::kBypass, 7.0, 0.0));
+  EXPECT_EQ(tracer.total_recorded(), 5u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_DOUBLE_EQ(tracer.bypass_bytes(), 107.0);
+  EXPECT_DOUBLE_EQ(tracer.load_bytes(), 400.0);
+  EXPECT_DOUBLE_EQ(tracer.served_bytes(), 75.0);
+  EXPECT_EQ(tracer.events().size(), 5u);
+}
+
+TEST(DecisionTracerTest, RingKeepsMostRecentEvents) {
+  DecisionTracer::Options options;
+  options.ring_capacity = 4;
+  DecisionTracer tracer(options);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    tracer.Record(MakeEvent(i, TraceAction::kBypass, 1.0, 0.0));
+  }
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].query_seq, 7 + i);  // 7, 8, 9, 10 in order
+  }
+  // Overflow never corrupts the running totals.
+  EXPECT_DOUBLE_EQ(tracer.bypass_bytes(), 10.0);
+}
+
+TEST(DecisionTracerTest, ZeroCapacityDisablesRingButNotTotals) {
+  DecisionTracer::Options options;
+  options.ring_capacity = 0;
+  DecisionTracer tracer(options);
+  tracer.Record(MakeEvent(1, TraceAction::kLoad, 5.0, 20.0));
+  EXPECT_EQ(tracer.events().size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.load_bytes(), 20.0);
+}
+
+TEST(DecisionTracerTest, JsonlSinkWritesOneLinePerEvent) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  DecisionTracer::Options options;
+  options.jsonl = tmp;
+  DecisionTracer tracer(options);
+  tracer.Record(MakeEvent(1, TraceAction::kBypass, 2.5, 0.0));
+  tracer.Record(MakeEvent(2, TraceAction::kLoad, 1.0, 8.0));
+
+  std::rewind(tmp);
+  char buf[512];
+  std::string contents;
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(tmp);
+  EXPECT_EQ(contents, TraceEventToJson(MakeEvent(1, TraceAction::kBypass, 2.5,
+                                                 0.0)) +
+                          "\n" +
+                          TraceEventToJson(
+                              MakeEvent(2, TraceAction::kLoad, 1.0, 8.0)) +
+                          "\n");
+}
+
+TEST(TraceEventJsonTest, SerializesAllFields) {
+  TraceEvent e;
+  e.query_seq = 42;
+  e.object = catalog::ObjectId::ForColumn(3, 9);
+  e.action = TraceAction::kLoad;
+  e.yield_bytes = 12.5;
+  e.load_bytes = 1024;
+  e.utility_score = 0.75;
+  e.cache_bytes_after = 4096;
+  EXPECT_EQ(TraceEventToJson(e),
+            "{\"query_seq\": 42, \"table\": 3, \"column\": 9, "
+            "\"action\": \"load\", \"yield_bytes\": 12.5, "
+            "\"load_bytes\": 1024, \"utility_score\": 0.75, "
+            "\"cache_bytes_after\": 4096}");
+}
+
+TEST(TraceActionNameTest, NamesAllActions) {
+  EXPECT_EQ(TraceActionName(TraceAction::kServe), "serve");
+  EXPECT_EQ(TraceActionName(TraceAction::kBypass), "bypass");
+  EXPECT_EQ(TraceActionName(TraceAction::kLoad), "load");
+  EXPECT_EQ(TraceActionName(TraceAction::kEvict), "evict");
+}
+
+TEST(ManifestTest, JsonCarriesIdentityAndMetrics) {
+  RunManifest manifest("fig9_cache_size_tables");
+  manifest.AddConfig("release", "edr");
+  manifest.AddConfig("granularity", "table");
+  manifest.threads = 4;
+
+  MetricsRegistry registry;
+  registry.counter("replay.accesses").Increment(123);
+  registry.gauge("decompose.memo_entries").Set(17.0);
+  registry.histogram("replay.ms").Observe(5.0);
+  registry.RecordSpan("decompose", 1.25);
+
+  std::string json = ManifestToJson(manifest, registry.Snapshot());
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"fig9_cache_size_tables\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"release\": \"edr\""), std::string::npos);
+  EXPECT_NE(json.find("\"granularity\": \"table\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"replay.accesses\": 123"), std::string::npos);
+  EXPECT_NE(json.find("\"decompose.memo_entries\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"replay.ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"decompose\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ManifestTest, DefaultGitDescribeIsNonEmpty) {
+  RunManifest manifest("x");
+  EXPECT_FALSE(manifest.git_describe.empty());
+}
+
+}  // namespace
+}  // namespace byc::telemetry

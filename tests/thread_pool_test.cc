@@ -104,6 +104,61 @@ TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
   }
 }
 
+TEST(ParseThreadCountTest, AcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(ThreadPool::ParseThreadCount("1"), 1u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("8"), 8u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("64"), 64u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("007"), 7u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("1024"), ThreadPool::kMaxThreads);
+}
+
+TEST(ParseThreadCountTest, RejectsJunk) {
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("abc").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("4x").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("x4").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("4.0").has_value());
+}
+
+TEST(ParseThreadCountTest, RejectsZeroAndNegatives) {
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("0").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("000").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("-1").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("-8").has_value());
+}
+
+TEST(ParseThreadCountTest, RejectsSignsAndWhitespace) {
+  // Unlike strtoul, the parser takes no leniency: an env var that is not
+  // exactly a positive integer falls back to hardware concurrency.
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("+4").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount(" 4").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("4 ").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("4\n").has_value());
+}
+
+TEST(ParseThreadCountTest, RejectsAbsurdCounts) {
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("1025").has_value());
+  EXPECT_FALSE(ThreadPool::ParseThreadCount("99999").has_value());
+  EXPECT_FALSE(
+      ThreadPool::ParseThreadCount("18446744073709551616").has_value());
+}
+
+TEST(ParseThreadCountTest, EnvFallbackNeverYieldsZeroThreads) {
+  const char* saved = std::getenv("BYC_THREADS");
+  std::string saved_value = saved ? saved : "";
+
+  for (const char* junk : {"", " ", "-3", "+2", "2 4", "1e3", "0x4"}) {
+    ::setenv("BYC_THREADS", junk, 1);
+    EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u) << "input: " << junk;
+  }
+
+  if (saved) {
+    ::setenv("BYC_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("BYC_THREADS");
+  }
+}
+
 TEST(ThreadPoolTest, ManyTasksManyThreadsStress) {
   // Shared-counter stress across more threads than cores; run under the
   // tsan preset to race-check the queue and the idle/work signaling.
