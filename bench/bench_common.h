@@ -7,13 +7,14 @@
 // exhibit from the paper's §6 evaluation.
 
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "catalog/sdss.h"
+#include "common/env.h"
 #include "common/bytes.h"
 #include "common/thread_pool.h"
 #include "core/policy_factory.h"
@@ -48,12 +49,11 @@ namespace byc::bench {
 class BenchRun {
  public:
   explicit BenchRun(std::string name) : manifest_(std::move(name)) {
-    const char* file = std::getenv("BYC_MANIFEST");
-    const char* dir = std::getenv("BYC_MANIFEST_DIR");
-    if (file != nullptr && file[0] != '\0') {
-      out_path_ = file;
-    } else if (dir != nullptr && dir[0] != '\0') {
-      out_path_ = std::string(dir) + "/" + manifest_.name + ".manifest.json";
+    // env::Raw treats empty as unset, matching the manifest convention.
+    if (std::optional<std::string> file = env::Raw("BYC_MANIFEST")) {
+      out_path_ = *file;
+    } else if (std::optional<std::string> dir = env::Raw("BYC_MANIFEST_DIR")) {
+      out_path_ = *dir + "/" + manifest_.name + ".manifest.json";
     }
     manifest_.threads = ThreadPool::DefaultThreadCount();
     CurrentSlot() = this;

@@ -1,0 +1,200 @@
+// Loopback federation replay: starts the backend site servers and the
+// mediator service on 127.0.0.1, replays the EDR trace over the wire,
+// and diffs the service ledger against an in-process sim::Simulator run
+// of the same trace/policy/capacity. The headline check is byte
+// identity: D_S and D_L (and every counter) from the socket path must
+// match the simulator bit for bit — the wire moves the accounting
+// across a kernel boundary without moving a single bit of it.
+//
+// Runs the comparison at both granularities (table, column). Exit code
+// is nonzero on any mismatch, so CI can use this binary as the service
+// smoke stage. With BYC_MANIFEST[_DIR] set, the run manifest carries
+// the svc.* counters (requests, retries, reconnects) and config.
+//
+// Usage: svc_loopback_replay [--queries N] [--policy NAME] [--frac F]
+//   --queries N  trace length (default 2000; the full EDR preset is
+//                27k queries — fine, just slower)
+//   --policy P   rate_profile (default) | lru | gds | online_by
+//   --frac F     cache capacity as a fraction of the database (0.3)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "service/backend_server.h"
+#include "service/mediator_server.h"
+#include "service/replay_client.h"
+
+namespace {
+
+using namespace byc;
+
+/// Bitwise double equality: the claim is identity, not closeness.
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct CaseResult {
+  bool ok = true;
+  int checked = 0;
+};
+
+void Check(CaseResult& r, const char* what, double sim, double svc) {
+  ++r.checked;
+  if (!SameBits(sim, svc)) {
+    std::printf("  MISMATCH %-12s sim=%.17g svc=%.17g\n", what, sim, svc);
+    r.ok = false;
+  }
+}
+
+void CheckU(CaseResult& r, const char* what, uint64_t sim, uint64_t svc) {
+  ++r.checked;
+  if (sim != svc) {
+    std::printf("  MISMATCH %-12s sim=%llu svc=%llu\n", what,
+                static_cast<unsigned long long>(sim),
+                static_cast<unsigned long long>(svc));
+    r.ok = false;
+  }
+}
+
+core::PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "lru") return core::PolicyKind::kLru;
+  if (name == "gds") return core::PolicyKind::kGds;
+  if (name == "online_by") return core::PolicyKind::kOnlineBy;
+  return core::PolicyKind::kRateProfile;
+}
+
+/// One loopback-vs-simulator comparison at `granularity`.
+bool RunCase(const bench::Release& release, catalog::Granularity granularity,
+             core::PolicyKind kind, uint64_t capacity,
+             const service::ServiceConfig& svc_config) {
+  // In-process reference: same decomposition, same policy code.
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  core::PolicyConfig config = bench::MakeSweepConfig(kind, capacity, decomposed);
+  auto policy = core::MakePolicy(config);
+  sim::SimResult sim_result = simulator.Run(*policy, decomposed);
+
+  // The same replay, across the wire: one backend per site + mediator.
+  std::vector<std::unique_ptr<service::BackendServer>> backends;
+  std::vector<service::BackendAddress> addrs;
+  for (int s = 0; s < release.federation.num_sites(); ++s) {
+    service::BackendServer::Options options;
+    options.site = s;
+    options.federation = &release.federation;
+    backends.push_back(std::make_unique<service::BackendServer>(options));
+    Status started = backends.back()->Start();
+    if (!started.ok()) {
+      std::printf("  backend %d failed to start: %s\n", s,
+                  started.ToString().c_str());
+      return false;
+    }
+    addrs.push_back({"127.0.0.1", backends.back()->port()});
+  }
+  service::MediatorServer::Options options;
+  options.granularity = granularity;
+  options.config = svc_config;
+  options.metrics = bench::BenchMetrics();
+  service::MediatorServer mediator(&release.federation, config,
+                                   std::move(addrs), options);
+  Status started = mediator.Start();
+  if (!started.ok()) {
+    std::printf("  mediator failed to start: %s\n",
+                started.ToString().c_str());
+    return false;
+  }
+  service::ReplayClient client("127.0.0.1", mediator.port(), svc_config);
+  Result<service::ReplayReport> report = client.Replay(release.trace);
+  if (!report.ok()) {
+    std::printf("  replay failed: %s\n", report.status().ToString().c_str());
+    return false;
+  }
+  mediator.Stop();
+  for (auto& backend : backends) backend->Stop();
+
+  const sim::CostBreakdown& sim_totals = sim_result.totals;
+  const service::StatsReply& ledger = report->ledger;
+  CaseResult r;
+  CheckU(r, "queries", release.trace.queries.size(), ledger.queries);
+  CheckU(r, "accesses", sim_totals.accesses, ledger.accesses);
+  CheckU(r, "hits", sim_totals.hits, ledger.hits);
+  CheckU(r, "bypasses", sim_totals.bypasses, ledger.bypasses);
+  CheckU(r, "loads", sim_totals.loads, ledger.loads);
+  CheckU(r, "evictions", sim_totals.evictions, ledger.evictions);
+  CheckU(r, "degraded", 0, ledger.degraded_accesses);
+  Check(r, "D_S", sim_totals.bypass_cost, ledger.bypass_cost);
+  Check(r, "D_L", sim_totals.fetch_cost, ledger.fetch_cost);
+  Check(r, "D_C", sim_totals.served_cost, ledger.served_cost);
+  Check(r, "D_S+D_L", sim_totals.total_wan(),
+        ledger.bypass_cost + ledger.fetch_cost);
+
+  std::printf(
+      "  %-6s  wan=%.6g (D_S=%.6g D_L=%.6g)  hits=%llu bypasses=%llu "
+      "loads=%llu  retries=%llu reconnects=%llu  checks=%d  %s\n",
+      bench::GranularityName(granularity), sim_totals.total_wan(),
+      sim_totals.bypass_cost, sim_totals.fetch_cost,
+      static_cast<unsigned long long>(ledger.hits),
+      static_cast<unsigned long long>(ledger.bypasses),
+      static_cast<unsigned long long>(ledger.loads),
+      static_cast<unsigned long long>(ledger.retries),
+      static_cast<unsigned long long>(ledger.reconnects), r.checked,
+      r.ok ? "IDENTICAL" : "MISMATCH");
+  return r.ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_queries = 2000;
+  std::string policy_name = "rate_profile";
+  double fraction = 0.3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      num_queries = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--frac") == 0 && i + 1 < argc) {
+      fraction = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--queries N] [--policy NAME] [--frac F]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::BenchRun run("svc_loopback_replay");
+  Result<service::ServiceConfig> svc_config =
+      service::ServiceConfig::FromEnv();
+  if (!svc_config.ok()) {
+    std::fprintf(stderr, "bad BYC_SVC_* environment: %s\n",
+                 svc_config.status().ToString().c_str());
+    return 2;
+  }
+  run.AddConfig("queries", std::to_string(num_queries));
+  run.AddConfig("policy", policy_name);
+  run.AddConfig("capacity_fraction", std::to_string(fraction));
+  run.AddConfig("svc.deadline_ms", std::to_string(svc_config->deadline_ms));
+  run.AddConfig("svc.retries",
+                std::to_string(svc_config->retry.max_attempts - 1));
+
+  bench::Release release = bench::MakeRelease(false, num_queries);
+  uint64_t capacity = bench::CapacityFraction(release, fraction);
+  core::PolicyKind kind = ParsePolicy(policy_name);
+
+  std::printf("svc_loopback_replay: %s, %zu queries, %s @ %.0f%% cache\n",
+              release.name.c_str(), release.trace.queries.size(),
+              policy_name.c_str(), fraction * 100);
+  bool ok = true;
+  ok &= RunCase(release, catalog::Granularity::kTable, kind, capacity,
+                *svc_config);
+  ok &= RunCase(release, catalog::Granularity::kColumn, kind, capacity,
+                *svc_config);
+  std::printf("svc_loopback_replay: %s\n",
+              ok ? "PASS (loopback ledger byte-identical to simulator)"
+                 : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Full CI sweep: release + asan + tsan builds, each preset's ctest
-# selection, then a manifest-emission smoke test — one bench binary runs
-# with BYC_MANIFEST set and the output is validated against the
-# documented schema (scripts/validate_manifest.py).
+# selection, then two smoke tests — a manifest-emission check (one bench
+# binary runs with BYC_MANIFEST set, output validated against the
+# documented schema by scripts/validate_manifest.py) and a loopback
+# federation-service check (svc_loopback_replay must report a service
+# ledger byte-identical to the simulator, under a hard timeout so a
+# wedged socket can never hang CI).
 #
 # Usage: scripts/ci.sh [preset ...]
 #   scripts/ci.sh                 # release asan tsan (the full sweep)
@@ -12,6 +15,9 @@
 #   CI_JOBS      parallel build jobs (default: nproc)
 #   CI_SKIP_MANIFEST=1  skip the manifest smoke test (e.g. for tsan-only
 #                       iterating on a race)
+#   CI_SKIP_SERVICE=1   skip the loopback service smoke test
+#   CI_SVC_TIMEOUT      seconds before the service smoke test is killed
+#                       (default 300)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +50,22 @@ if [ "${CI_SKIP_MANIFEST:-0}" != "1" ]; then
   echo "==> manifest smoke test ($bench)"
   BYC_MANIFEST="$manifest" "$bench" >/dev/null
   python3 scripts/validate_manifest.py "$manifest"
+fi
+
+if [ "${CI_SKIP_SERVICE:-0}" != "1" ]; then
+  svc=build/bench/svc_loopback_replay
+  if [ ! -x "$svc" ]; then
+    cmake --preset release >/dev/null
+    cmake --build --preset release -j "$JOBS" --target svc_loopback_replay
+  fi
+  svc_manifest="$(mktemp -t byc_svc_manifest.XXXXXX.json)"
+  trap 'rm -f "${manifest:-}" "$svc_manifest"' EXIT
+  echo "==> service loopback smoke test ($svc)"
+  # `timeout` guards against a wedged socket path: the binary itself
+  # exits nonzero on any simulator/ledger mismatch.
+  BYC_MANIFEST="$svc_manifest" \
+    timeout "${CI_SVC_TIMEOUT:-300}" "$svc" --queries 300
+  python3 scripts/validate_manifest.py --require-service "$svc_manifest"
 fi
 
 echo "==> CI OK (${PRESETS[*]})"

@@ -5,7 +5,13 @@ The schema is documented in src/telemetry/manifest.h and emitted by
 bench::BenchRun (any bench binary run with BYC_MANIFEST or
 BYC_MANIFEST_DIR set). Stdlib only.
 
-Usage: validate_manifest.py <manifest.json> [more.json ...]
+Manifests written by service benches (svc_loopback_replay) additionally
+carry the BYC_SVC_* configuration ("svc.deadline_ms", "svc.retries") and
+svc.* metrics; those fields are validated whenever present, and
+--require-service makes their absence an error (the CI service smoke
+stage passes it so a silently-unconfigured run cannot slip through).
+
+Usage: validate_manifest.py [--require-service] <manifest.json> [...]
 Exits nonzero with a message per violation.
 """
 
@@ -116,12 +122,71 @@ def validate_manifest(doc, path, errors):
         fail(path, f"unknown top-level keys: {sorted(extra)}", errors)
 
 
+def is_strict_int(text):
+    """The strict-integer convention of common/env.h: decimal digits with
+    at most one leading '-', no sign prefix '+', no whitespace."""
+    if not isinstance(text, str) or not text:
+        return False
+    body = text[1:] if text[0] == "-" else text
+    return body.isdigit() and body.isascii()
+
+
+def validate_service_fields(doc, path, errors, required):
+    """Checks the service-layer additions of a svc_* bench manifest."""
+    config = doc.get("config") if isinstance(doc, dict) else None
+    config = config if isinstance(config, dict) else {}
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    metrics = metrics if isinstance(metrics, dict) else {}
+    counters = metrics.get("counters", {})
+    counters = counters if isinstance(counters, dict) else {}
+    histograms = metrics.get("histograms", {})
+    histograms = histograms if isinstance(histograms, dict) else {}
+
+    has_service = any(key.startswith("svc.") for key in config) or any(
+        name.startswith("svc.") for name in counters)
+    if not has_service:
+        if required:
+            fail(path, "no svc.* config or metrics found "
+                 "(--require-service)", errors)
+        return
+
+    for key in ("svc.deadline_ms", "svc.retries"):
+        if key not in config:
+            fail(path, f"service manifest missing config[{key!r}]", errors)
+        elif not is_strict_int(config[key]):
+            fail(path, f"config[{key!r}] is not a strict integer: "
+                 f"{config[key]!r}", errors)
+    if "svc.deadline_ms" in config and is_strict_int(
+            config["svc.deadline_ms"]) and int(config["svc.deadline_ms"]) < 1:
+        fail(path, "config['svc.deadline_ms'] must be >= 1", errors)
+
+    for name in ("svc.queries", "svc.accesses"):
+        if name not in counters:
+            fail(path, f"service manifest missing counter {name!r}", errors)
+        elif isinstance(counters[name], int) and counters[name] < 1:
+            fail(path, f"counter {name!r} must be >= 1 for a completed "
+                 f"replay: {counters[name]!r}", errors)
+
+    hist = histograms.get("svc.request_ms")
+    if hist is None:
+        fail(path, "service manifest missing histogram 'svc.request_ms'",
+             errors)
+    elif isinstance(hist, dict) and is_number(hist.get("count")):
+        queries = counters.get("svc.queries")
+        if isinstance(queries, int) and hist["count"] != queries:
+            fail(path, f"histogram 'svc.request_ms' count {hist['count']!r} "
+                 f"!= counter 'svc.queries' {queries!r}", errors)
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    require_service = "--require-service" in args
+    paths = [a for a in args if a != "--require-service"]
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     errors = []
-    for path in argv[1:]:
+    for path in paths:
         try:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
@@ -129,11 +194,12 @@ def main(argv):
             fail(path, f"unreadable or invalid JSON: {e}", errors)
             continue
         validate_manifest(doc, path, errors)
+        validate_service_fields(doc, path, errors, require_service)
     if errors:
         for error in errors:
             print(f"validate_manifest: {error}", file=sys.stderr)
         return 1
-    print(f"validate_manifest: {len(argv) - 1} manifest(s) OK")
+    print(f"validate_manifest: {len(paths)} manifest(s) OK")
     return 0
 
 

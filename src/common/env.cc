@@ -1,0 +1,120 @@
+#include "common/env.h"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace byc::env {
+
+namespace {
+
+Status BadValue(std::string_view what, std::string_view text) {
+  return Status::InvalidArgument(std::string(what) + " '" + std::string(text) +
+                                 "'");
+}
+
+}  // namespace
+
+std::optional<std::string> Raw(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+Result<int64_t> ParseInt(std::string_view text, int64_t min, int64_t max) {
+  if (text.empty()) return BadValue("empty integer", text);
+  // std::from_chars already rejects whitespace and '+', and reports
+  // overflow; the full-consumption check rejects trailing junk.
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return BadValue("integer out of range", text);
+  }
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return BadValue("bad integer", text);
+  }
+  if (value < min || value > max) {
+    return Status::InvalidArgument(
+        "integer " + std::string(text) + " outside [" + std::to_string(min) +
+        ", " + std::to_string(max) + "]");
+  }
+  return value;
+}
+
+Result<int64_t> ParseDurationMs(std::string_view text, int64_t min_ms,
+                                int64_t max_ms) {
+  if (text.empty()) return BadValue("empty duration", text);
+  size_t digits = 0;
+  while (digits < text.size() && text[digits] >= '0' && text[digits] <= '9') {
+    ++digits;
+  }
+  if (digits == 0) return BadValue("bad duration", text);
+  std::string_view number = text.substr(0, digits);
+  std::string_view suffix = text.substr(digits);
+  int64_t scale;
+  if (suffix.empty() || suffix == "ms") {
+    scale = 1;
+  } else if (suffix == "s") {
+    scale = 1000;
+  } else if (suffix == "m") {
+    scale = 60'000;
+  } else {
+    return BadValue("bad duration suffix in", text);
+  }
+  BYC_ASSIGN_OR_RETURN(int64_t value,
+                       ParseInt(number, 0, INT64_MAX / scale));
+  value *= scale;
+  if (value < min_ms || value > max_ms) {
+    return Status::InvalidArgument(
+        "duration " + std::string(text) + " outside [" +
+        std::to_string(min_ms) + "ms, " + std::to_string(max_ms) + "ms]");
+  }
+  return value;
+}
+
+Result<HostPort> ParseHostPort(std::string_view text) {
+  size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos) {
+    return BadValue("address missing ':' in", text);
+  }
+  HostPort out;
+  std::string_view host = text.substr(0, colon);
+  if (host.empty()) {
+    out.host = "127.0.0.1";
+  } else {
+    for (char c : host) {
+      if (c == ' ' || c == '\t') return BadValue("bad host in", text);
+    }
+    out.host = std::string(host);
+  }
+  BYC_ASSIGN_OR_RETURN(int64_t port,
+                       ParseInt(text.substr(colon + 1), 0, 65535));
+  out.port = static_cast<uint16_t>(port);
+  return out;
+}
+
+Result<int64_t> IntOr(const char* name, int64_t fallback, int64_t min,
+                      int64_t max) {
+  std::optional<std::string> raw = Raw(name);
+  if (!raw.has_value()) return fallback;
+  Result<int64_t> parsed = ParseInt(*raw, min, max);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(std::string(name) + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<int64_t> DurationMsOr(const char* name, int64_t fallback,
+                             int64_t min_ms, int64_t max_ms) {
+  std::optional<std::string> raw = Raw(name);
+  if (!raw.has_value()) return fallback;
+  Result<int64_t> parsed = ParseDurationMs(*raw, min_ms, max_ms);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(std::string(name) + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace byc::env

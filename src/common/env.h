@@ -1,0 +1,65 @@
+#ifndef BYC_COMMON_ENV_H_
+#define BYC_COMMON_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace byc::env {
+
+/// Strict environment-variable parsing, generalizing the
+/// ThreadPool::ParseThreadCount pattern: the *entire* value must parse —
+/// leading whitespace, explicit '+' signs, trailing junk ("8x", "250msx"),
+/// and overflow are all rejected with a typed Status instead of being
+/// silently truncated the way strtol-family leniency would. Misspelled
+/// knobs fail loudly; only an unset (or empty) variable falls back.
+///
+/// Knobs parsed through this module: BYC_THREADS, BYC_MANIFEST[_DIR], and
+/// the BYC_SVC_* family (port, deadline, retry budget) of src/service/.
+
+/// Raw value of `name`; nullopt when the variable is unset or empty (an
+/// empty exported variable means "not configured", matching the
+/// BYC_MANIFEST convention).
+std::optional<std::string> Raw(const char* name);
+
+/// Parses a decimal integer in [min, max]. A single leading '-' is
+/// accepted (so ranges with negative minima work); '+', whitespace,
+/// trailing junk, empty text, and out-of-range or overflowing values are
+/// InvalidArgument.
+Result<int64_t> ParseInt(std::string_view text, int64_t min, int64_t max);
+
+/// Parses a duration into milliseconds in [min_ms, max_ms]. Accepted
+/// forms: "<n>" (milliseconds), "<n>ms", "<n>s", "<n>m" — n a nonnegative
+/// decimal integer. Anything else (fractions, signs, unknown suffixes,
+/// overflow when scaling to ms) is InvalidArgument.
+Result<int64_t> ParseDurationMs(std::string_view text, int64_t min_ms,
+                                int64_t max_ms);
+
+/// A parsed "host:port" network address.
+struct HostPort {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "host:port". The host part must be nonempty and contain no
+/// whitespace; the port must be a strict integer in [0, 65535] (0 lets
+/// the OS pick an ephemeral port). A bare ":port" defaults the host to
+/// 127.0.0.1 — every server in this repo listens on loopback.
+Result<HostPort> ParseHostPort(std::string_view text);
+
+/// Reads `name` as a strict integer: unset/empty returns `fallback`, a
+/// set-but-invalid value returns the parse error (never a silent
+/// fallback — a typo'd knob must not quietly reconfigure a server).
+Result<int64_t> IntOr(const char* name, int64_t fallback, int64_t min,
+                      int64_t max);
+
+/// Duration-valued counterpart of IntOr (milliseconds).
+Result<int64_t> DurationMsOr(const char* name, int64_t fallback,
+                             int64_t min_ms, int64_t max_ms);
+
+}  // namespace byc::env
+
+#endif  // BYC_COMMON_ENV_H_

@@ -21,6 +21,12 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kInternal,
+  /// A per-request deadline expired before the operation finished (the
+  /// service layer's timeout errors).
+  kDeadlineExceeded,
+  /// A remote peer is unreachable or refused the connection; retrying
+  /// later may succeed (the service layer's degraded-mode trigger).
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -68,6 +74,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +90,10 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,25 +1,21 @@
 #include "common/thread_pool.h"
 
-#include <cstdlib>
+#include "common/env.h"
 
 namespace byc {
 
 std::optional<unsigned> ThreadPool::ParseThreadCount(std::string_view text) {
-  // Digits only: strtoul-style leniency (leading whitespace, "+", "-0")
-  // would let typos silently change the worker count.
-  if (text.empty() || text.size() > 4) return std::nullopt;
-  unsigned value = 0;
-  for (char c : text) {
-    if (c < '0' || c > '9') return std::nullopt;
-    value = value * 10 + static_cast<unsigned>(c - '0');
-  }
-  if (value < 1 || value > kMaxThreads) return std::nullopt;
-  return value;
+  // Strict parse (common/env.h): strtoul-style leniency (leading
+  // whitespace, "+", "-0") would let typos silently change the worker
+  // count.
+  Result<int64_t> parsed = env::ParseInt(text, 1, kMaxThreads);
+  if (!parsed.ok()) return std::nullopt;
+  return static_cast<unsigned>(*parsed);
 }
 
 unsigned ThreadPool::DefaultThreadCount() {
-  if (const char* env = std::getenv("BYC_THREADS")) {
-    if (std::optional<unsigned> parsed = ParseThreadCount(env)) {
+  if (std::optional<std::string> raw = env::Raw("BYC_THREADS")) {
+    if (std::optional<unsigned> parsed = ParseThreadCount(*raw)) {
       return *parsed;
     }
   }

@@ -47,6 +47,11 @@ class Federation {
     return table_site_[static_cast<size_t>(table_idx)];
   }
 
+  /// The WAN cost model. The service layer prices backend-acknowledged
+  /// byte counts through it (service/mediator_server.cc), so wire
+  /// accounting and simulator accounting share one pricing path.
+  const net::CostModel& cost_model() const { return *cost_model_; }
+
   /// WAN cost of shipping `bytes` of query results for `object`'s table
   /// from its owning site.
   double TransferCost(const catalog::ObjectId& object, double bytes) const {

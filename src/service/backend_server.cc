@@ -1,0 +1,218 @@
+#include "service/backend_server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+
+#include "catalog/object_id.h"
+#include "workload/trace.h"
+
+namespace byc::service {
+
+namespace {
+
+/// Accept-poll interval: the latency bound on noticing Stop()/Kill().
+constexpr int kPollMs = 50;
+/// Deadline for reading/writing one frame once bytes are on the wire.
+constexpr int64_t kFrameIoMs = 2000;
+
+/// Sleeps `total_ms` in small slices so an injected delay cannot outlive
+/// a Stop() by more than one slice.
+void InterruptibleSleep(int total_ms, const std::atomic<bool>& stop) {
+  using namespace std::chrono;
+  auto until = steady_clock::now() + milliseconds(total_ms);
+  while (!stop.load(std::memory_order_relaxed) &&
+         steady_clock::now() < until) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+}
+
+}  // namespace
+
+Status BackendServer::Start() {
+  BYC_CHECK(options_.federation != nullptr);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("backend already running");
+  }
+  auto listener = std::make_unique<Listener>();
+  BYC_RETURN_IF_ERROR(listener->Listen(options_.port));
+  port_ = listener->port();
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(
+      [this, listener = std::move(listener)]() mutable {
+        AcceptLoopOn(*listener);
+        listener->Close();
+      });
+  return Status::OK();
+}
+
+void BackendServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void BackendServer::AcceptLoopOn(Listener& listener) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted = listener.Accept(kPollMs);
+    if (!accepted.ok()) {
+      if (accepted.status().IsDeadlineExceeded()) continue;
+      break;  // Listener broken; the server is effectively dead.
+    }
+    if (faults_.refuse.load(std::memory_order_relaxed)) {
+      continue;  // Socket destructor closes: protocol-level refusal.
+    }
+    int fd = accepted->fd();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back(
+        [this, conn = std::move(accepted).value()]() mutable {
+          HandleConnection(std::move(conn));
+        });
+  }
+}
+
+void BackendServer::HandleConnection(Socket conn) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Status ready = conn.WaitReadable(Deadline::After(kPollMs));
+    if (!ready.ok()) {
+      if (ready.IsDeadlineExceeded()) continue;  // idle; re-check stop
+      break;
+    }
+    Result<Frame> request = ReadFrame(conn, Deadline::After(kFrameIoMs));
+    if (!request.ok()) {
+      // A malformed frame (oversized length, unknown type) gets a typed
+      // error reply before the poisoned connection is dropped; torn
+      // frames and disconnects just close.
+      if (request.status().IsInvalidArgument()) {
+        WriteFrame(conn, MakeErrorFrame(request.status()),
+                   Deadline::After(kFrameIoMs));
+      }
+      break;
+    }
+    if (faults_.drop.load(std::memory_order_relaxed)) {
+      break;  // Read the request, never answer: a lost reply.
+    }
+    int delay = faults_.delay_ms.load(std::memory_order_relaxed);
+    if (delay > 0) InterruptibleSleep(delay, stop_);
+
+    Frame reply = HandleRequest(*request);
+    bool rejected = reply.type == FrameType::kError;
+    if (!WriteFrame(conn, reply, Deadline::After(kFrameIoMs)).ok()) break;
+    (rejected ? requests_rejected_ : requests_served_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(conn.fd());
+  conn.Close();
+}
+
+Frame BackendServer::HandleRequest(const Frame& request) {
+  switch (request.type) {
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      return pong;
+    }
+    case FrameType::kFetch:
+      return HandleFetch(request);
+    case FrameType::kYield:
+      return HandleYield(request);
+    case FrameType::kExec:
+      return HandleExec(request);
+    default:
+      return MakeErrorFrame(Status::InvalidArgument(
+          "frame type " +
+          std::to_string(static_cast<int>(request.type)) +
+          " is not served by a backend"));
+  }
+}
+
+Result<catalog::ObjectId> BackendServer::ResolveObject(int32_t table,
+                                                       int32_t column) {
+  const catalog::Catalog& catalog = options_.federation->catalog();
+  if (table < 0 || table >= catalog.num_tables()) {
+    return Status::NotFound("unknown table index " + std::to_string(table));
+  }
+  if (column != catalog::ObjectId::kWholeTable &&
+      (column < 0 || column >= catalog.table(table).num_columns())) {
+    return Status::NotFound("unknown column " + std::to_string(column) +
+                            " of table " + std::to_string(table));
+  }
+  if (options_.federation->SiteOfTable(table) != options_.site) {
+    return Status::NotFound("table " + std::to_string(table) +
+                            " is not owned by site " +
+                            std::to_string(options_.site));
+  }
+  return catalog::ObjectId{table, column};
+}
+
+Frame BackendServer::HandleFetch(const Frame& request) {
+  Result<FetchRequest> req = ParseFetchRequest(request);
+  if (!req.ok()) return MakeErrorFrame(req.status());
+  Result<catalog::ObjectId> object = ResolveObject(req->table, req->column);
+  if (!object.ok()) return MakeErrorFrame(object.status());
+  // The site ships the object it owns; its catalog decides the size (a
+  // mediator's declared size is advisory only).
+  uint64_t bytes =
+      ObjectSizeBytes(options_.federation->catalog(), *object);
+  Frame reply;
+  reply.type = FrameType::kFetchReply;
+  AppendU64(reply.payload, bytes);
+  return reply;
+}
+
+Frame BackendServer::HandleYield(const Frame& request) {
+  Result<YieldRequest> req = ParseYieldRequest(request);
+  if (!req.ok()) return MakeErrorFrame(req.status());
+  Result<catalog::ObjectId> object = ResolveObject(req->table, req->column);
+  if (!object.ok()) return MakeErrorFrame(object.status());
+  if (!(req->yield_bytes >= 0) || req->yield_bytes != req->yield_bytes) {
+    return MakeErrorFrame(
+        Status::InvalidArgument("yield bytes must be finite and >= 0"));
+  }
+  // The backend evaluates the sub-query at the data and ships only the
+  // result: the acknowledged bytes are the estimated yield it was asked
+  // for, echoed bit-exactly so the mediator's cost-model pricing of the
+  // ack reproduces the simulator's ledger.
+  Frame reply;
+  reply.type = FrameType::kYieldReply;
+  AppendF64(reply.payload, req->yield_bytes);
+  return reply;
+}
+
+Frame BackendServer::HandleExec(const Frame& request) {
+  if (options_.executor == nullptr) {
+    return MakeErrorFrame(Status::FailedPrecondition(
+        "site " + std::to_string(options_.site) +
+        " has no materialized data for execution"));
+  }
+  PayloadReader r(request.payload);
+  std::string line = r.ReadText();
+  Result<workload::TraceQuery> tq =
+      workload::ParseTraceQuery(options_.federation->catalog(), line);
+  if (!tq.ok()) return MakeErrorFrame(tq.status());
+  Result<exec::ExecutionResult> result =
+      options_.executor->Execute(tq->query);
+  if (!result.ok()) return MakeErrorFrame(result.status());
+  Frame reply;
+  reply.type = FrameType::kExecReply;
+  AppendU64(reply.payload, result->result_rows);
+  AppendF64(reply.payload, result->result_bytes);
+  return reply;
+}
+
+}  // namespace byc::service

@@ -1,0 +1,128 @@
+#ifndef BYC_SERVICE_BACKEND_SERVER_H_
+#define BYC_SERVICE_BACKEND_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "federation/federation.h"
+#include "service/socket.h"
+#include "service/wire.h"
+
+namespace byc::service {
+
+/// One member database of the federation as a network server: owns the
+/// tables of one site and answers object fetches (cache loads), bypassed
+/// yield requests, and — when constructed with an exec::Executor — full
+/// query execution, over the length-prefixed wire protocol on a loopback
+/// TCP port.
+///
+/// The server is an in-process listener (its own accept thread plus one
+/// thread per connection), which gives the real kernel socket boundary
+/// the federation experiments need without multi-process orchestration.
+///
+/// Fault injection: the FaultPlan is mutable at runtime and consulted on
+/// every accept/request, so tests and benches can make one site refuse,
+/// drop, delay, or die mid-replay and watch the mediator degrade.
+class BackendServer {
+ public:
+  struct Options {
+    /// Site this backend serves; fetch/yield requests for objects owned
+    /// by other sites are rejected (NotFound).
+    int site = 0;
+    /// Listen port (0: ephemeral; read the result from port()).
+    uint16_t port = 0;
+    /// Catalog + site ownership (must outlive the server).
+    const federation::Federation* federation = nullptr;
+    /// Optional real execution path for kExec requests (may be null:
+    /// kExec then fails FailedPrecondition).
+    const exec::Executor* executor = nullptr;
+  };
+
+  /// Runtime fault switches, all safe to flip from any thread.
+  struct FaultPlan {
+    /// Accepted connections are closed immediately (connection refused
+    /// at the protocol level).
+    std::atomic<bool> refuse{false};
+    /// Requests are read but never answered; the connection is closed
+    /// instead (lost reply).
+    std::atomic<bool> drop{false};
+    /// Milliseconds to sleep before every reply (slow backend; drives
+    /// the mediator into its deadline).
+    std::atomic<int> delay_ms{0};
+  };
+
+  explicit BackendServer(Options options) : options_(options) {}
+  ~BackendServer() { Stop(); }
+
+  BackendServer(const BackendServer&) = delete;
+  BackendServer& operator=(const BackendServer&) = delete;
+
+  /// Binds the listener and starts the accept thread.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, aborts in-flight connections,
+  /// joins all threads. Idempotent.
+  void Stop();
+
+  /// Crash simulation: identical teardown to Stop() but named for what
+  /// the caller means — the site disappears mid-replay, connections die
+  /// without replies, and later connects are refused by the OS.
+  void Kill() { Stop(); }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+  int site() const { return options_.site; }
+  FaultPlan& faults() { return faults_; }
+
+  /// Requests answered successfully since Start (fetch + yield + exec +
+  /// ping).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  /// Requests rejected with a typed kError reply.
+  uint64_t requests_rejected() const {
+    return requests_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Accept loop body; the listener is owned by the accept thread.
+  void AcceptLoopOn(Listener& listener);
+  void HandleConnection(Socket conn);
+  /// Builds the reply for one request frame (kError replies for invalid
+  /// ones). Never fails — failures are in-band.
+  Frame HandleRequest(const Frame& request);
+  Frame HandleFetch(const Frame& request);
+  Frame HandleYield(const Frame& request);
+  Frame HandleExec(const Frame& request);
+  /// Validates that (table, column) names a real object owned by this
+  /// site; returns it.
+  Result<catalog::ObjectId> ResolveObject(int32_t table, int32_t column);
+
+  Options options_;
+  FaultPlan faults_;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stop_{true};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  /// Live connection fds (for cross-thread shutdown) and their handler
+  /// threads. A handler deregisters its fd before closing it, so Stop
+  /// never shuts down a recycled descriptor.
+  std::unordered_set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_BACKEND_SERVER_H_

@@ -1,0 +1,23 @@
+#include "service/config.h"
+
+#include "common/env.h"
+
+namespace byc::service {
+
+Result<ServiceConfig> ServiceConfig::FromEnv() {
+  ServiceConfig config;
+  BYC_ASSIGN_OR_RETURN(int64_t port,
+                       env::IntOr("BYC_SVC_PORT", config.port, 0, 65535));
+  config.port = static_cast<uint16_t>(port);
+  BYC_ASSIGN_OR_RETURN(
+      config.deadline_ms,
+      env::DurationMsOr("BYC_SVC_DEADLINE_MS", config.deadline_ms, 1,
+                        600'000));
+  BYC_ASSIGN_OR_RETURN(
+      int64_t retries,
+      env::IntOr("BYC_SVC_RETRIES", config.retry.max_attempts - 1, 0, 16));
+  config.retry.max_attempts = static_cast<int>(retries) + 1;
+  return config;
+}
+
+}  // namespace byc::service

@@ -1,0 +1,37 @@
+#ifndef BYC_SERVICE_CONFIG_H_
+#define BYC_SERVICE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "service/retry.h"
+
+namespace byc::service {
+
+/// Robustness knobs of the federation service: per-request deadlines and
+/// the retry schedule the mediator applies to backend calls. Loaded from
+/// the BYC_SVC_* environment family by FromEnv(); every variable parses
+/// strictly (common/env.h) — junk values are an error, never a silent
+/// default.
+struct ServiceConfig {
+  /// Port the mediator listens on (0: ephemeral). BYC_SVC_PORT.
+  uint16_t port = 0;
+  /// Per-request deadline for one backend round trip, and for reads on
+  /// an established client connection. BYC_SVC_DEADLINE_MS (int ms or
+  /// "250ms"/"2s"/"1m" forms).
+  int64_t deadline_ms = 2000;
+  /// Total attempts per backend call (see RetryPolicy::max_attempts).
+  /// BYC_SVC_RETRIES holds the number of *retries*, so attempts =
+  /// retries + 1.
+  RetryPolicy retry;
+  /// Seed of the jitter Rng (deterministic retry schedules in tests).
+  uint64_t retry_seed = 0xB1A5CA5E;
+
+  /// Loads overrides from BYC_SVC_PORT / BYC_SVC_DEADLINE_MS /
+  /// BYC_SVC_RETRIES on top of the defaults.
+  static Result<ServiceConfig> FromEnv();
+};
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_CONFIG_H_

@@ -1,0 +1,346 @@
+#include "service/mediator_server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+
+#include "common/check.h"
+#include "telemetry/metrics.h"
+#include "workload/trace.h"
+
+namespace byc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll interval for noticing Stop() while idle.
+constexpr int kPollMs = 50;
+
+void InterruptibleSleep(int total_ms, const std::atomic<bool>& stop) {
+  using namespace std::chrono;
+  auto until = Clock::now() + milliseconds(total_ms);
+  while (!stop.load(std::memory_order_relaxed) && Clock::now() < until) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+}
+
+}  // namespace
+
+MediatorServer::MediatorServer(const federation::Federation* federation,
+                               const core::PolicyConfig& policy_config,
+                               std::vector<BackendAddress> backends,
+                               Options options)
+    : federation_(federation),
+      mediator_(federation, options.granularity),
+      policy_config_(policy_config),
+      backend_addrs_(std::move(backends)),
+      options_(options),
+      retry_rng_(options.config.retry_seed) {}
+
+Status MediatorServer::Start() {
+  BYC_CHECK(federation_ != nullptr);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("mediator already running");
+  }
+  if (static_cast<int>(backend_addrs_.size()) < federation_->num_sites()) {
+    return Status::InvalidArgument(
+        "need one backend address per site: got " +
+        std::to_string(backend_addrs_.size()) + " for " +
+        std::to_string(federation_->num_sites()) + " sites");
+  }
+  auto listener = std::make_unique<Listener>();
+  BYC_RETURN_IF_ERROR(listener->Listen(options_.config.port));
+  port_ = listener->port();
+
+  policy_ = core::MakePolicy(policy_config_);
+  channels_.clear();
+  channels_.reserve(backend_addrs_.size());
+  for (const BackendAddress& addr : backend_addrs_) {
+    channels_.push_back(Channel{addr, Socket(), false});
+  }
+  ledger_ = StatsReply{};
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  serve_thread_ = std::thread(
+      [this, listener = std::move(listener)]() mutable {
+        ServeLoopOn(*listener);
+        listener->Close();
+      });
+  return Status::OK();
+}
+
+void MediatorServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (live_conn_fd_ >= 0) ::shutdown(live_conn_fd_, SHUT_RDWR);
+  }
+  if (serve_thread_.joinable()) serve_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Channel& ch : channels_) ch.sock.Close();
+}
+
+StatsReply MediatorServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_;
+}
+
+void MediatorServer::ServeLoopOn(Listener& listener) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted = listener.Accept(kPollMs);
+    if (!accepted.ok()) {
+      if (accepted.status().IsDeadlineExceeded()) continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      live_conn_fd_ = accepted->fd();
+    }
+    // Connections are served one at a time: the cache policy is a
+    // sequential replay, and interleaving clients would make wire runs
+    // incomparable to the simulator.
+    ServeConnection(*accepted);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      live_conn_fd_ = -1;
+    }
+  }
+}
+
+void MediatorServer::ServeConnection(Socket& conn) {
+  const int64_t io_ms = options_.config.deadline_ms;
+  while (!stop_.load(std::memory_order_acquire)) {
+    Status ready = conn.WaitReadable(Deadline::After(kPollMs));
+    if (!ready.ok()) {
+      if (ready.IsDeadlineExceeded()) continue;
+      return;  // Client closed or connection broke.
+    }
+    Result<Frame> request = ReadFrame(conn, Deadline::After(io_ms));
+    if (!request.ok()) {
+      if (request.status().IsInvalidArgument()) {
+        // Oversized or unknown frame: answer with the typed error, then
+        // drop the poisoned connection.
+        WriteFrame(conn, MakeErrorFrame(request.status()),
+                   Deadline::After(io_ms));
+      }
+      return;
+    }
+    Frame reply;
+    switch (request->type) {
+      case FrameType::kQuery:
+        reply = HandleQuery(*request);
+        break;
+      case FrameType::kStats: {
+        std::lock_guard<std::mutex> lock(mu_);
+        reply = MakeStatsReplyFrame(ledger_);
+        break;
+      }
+      case FrameType::kPing:
+        reply.type = FrameType::kPong;
+        break;
+      default:
+        // A well-formed frame the mediator does not serve (e.g. kFetch):
+        // typed error, connection survives.
+        reply = MakeErrorFrame(Status::InvalidArgument(
+            "frame type " +
+            std::to_string(static_cast<int>(request->type)) +
+            " is not served by the mediator"));
+        break;
+    }
+    if (!WriteFrame(conn, reply, Deadline::After(io_ms)).ok()) return;
+  }
+}
+
+Frame MediatorServer::HandleQuery(const Frame& request) {
+  Clock::time_point start{};
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) start = Clock::now();
+#endif
+  PayloadReader r(request.payload);
+  std::string line = r.ReadText();
+  Result<workload::TraceQuery> tq =
+      workload::ParseTraceQuery(federation_->catalog(), line);
+  if (!tq.ok()) return MakeErrorFrame(tq.status());
+
+  // Decompose outside the ledger lock (the memo has its own).
+  std::vector<core::Access> accesses = mediator_.Decompose(tq->query);
+
+  QueryReply delta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const core::Access& access : accesses) {
+      ProcessAccess(access, delta);
+    }
+    ++ledger_.queries;
+  }
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("svc.queries").Increment();
+    options_.metrics->counter("svc.accesses").Increment(delta.accesses);
+    if (delta.degraded > 0) {
+      options_.metrics->counter("svc.degraded").Increment(delta.degraded);
+    }
+    options_.metrics->histogram("svc.request_ms")
+        .Observe(std::chrono::duration<double, std::milli>(Clock::now() -
+                                                           start)
+                     .count());
+  }
+#endif
+  return MakeQueryReplyFrame(delta);
+}
+
+void MediatorServer::ProcessAccess(const core::Access& access,
+                                   QueryReply& delta) {
+  core::Decision decision = policy_->OnAccess(access);
+  ++ledger_.accesses;
+  ++delta.accesses;
+  ledger_.evictions += decision.evictions.size();
+  delta.evictions += decision.evictions.size();
+
+  const int site = federation_->SiteOfTable(access.object.table);
+  // The service accounting path prices WAN traffic by what the backend
+  // acknowledges shipping, at the federation cost model's per-byte link
+  // cost — the same product the decomposed Access carries, so healthy
+  // replays reproduce the simulator ledger bit for bit.
+  const double cost_per_byte = federation_->cost_model().CostPerByte(site);
+
+  auto degrade = [&] {
+    ++ledger_.degraded_accesses;
+    ++delta.degraded;
+    ledger_.degraded_cost += access.bypass_cost;
+    delta.degraded_cost += access.bypass_cost;
+  };
+
+  switch (decision.action) {
+    case core::Action::kServeFromCache: {
+      BYC_CHECK(policy_->Contains(access.object));
+      ledger_.served_cost += access.bypass_cost;
+      delta.served_cost += access.bypass_cost;
+      ++ledger_.hits;
+      ++delta.hits;
+      break;
+    }
+    case core::Action::kBypass: {
+      YieldRequest req{access.object.table, access.object.column,
+                       access.yield_bytes};
+      Result<Frame> reply = CallBackend(site, MakeYieldFrame(req));
+      if (reply.ok() && reply->type == FrameType::kYieldReply) {
+        PayloadReader ack(reply->payload);
+        Result<double> bytes = ack.ReadF64();
+        if (bytes.ok()) {
+          double cost = *bytes * cost_per_byte;
+          ledger_.bypass_cost += cost;
+          delta.bypass_cost += cost;
+          ++ledger_.bypasses;
+          ++delta.bypasses;
+          break;
+        }
+      }
+      degrade();
+      break;
+    }
+    case core::Action::kLoadAndServe: {
+      BYC_CHECK(policy_->Contains(access.object));
+      FetchRequest req{access.object.table, access.object.column,
+                       access.size_bytes};
+      Result<Frame> reply = CallBackend(site, MakeFetchFrame(req));
+      bool loaded = false;
+      if (reply.ok() && reply->type == FrameType::kFetchReply) {
+        PayloadReader ack(reply->payload);
+        Result<uint64_t> bytes = ack.ReadU64();
+        if (bytes.ok()) {
+          double cost = static_cast<double>(*bytes) * cost_per_byte;
+          ledger_.fetch_cost += cost;
+          delta.fetch_cost += cost;
+          ledger_.served_cost += access.bypass_cost;
+          delta.served_cost += access.bypass_cost;
+          ++ledger_.loads;
+          ++delta.loads;
+          loaded = true;
+        }
+      }
+      if (!loaded) {
+        // The load never crossed the WAN; the client also cannot get
+        // the result from the dead site. The policy keeps the object
+        // resident (its decision stream stays fault-independent; the
+        // cache repairs the load on recovery) — only the ledger records
+        // the failure.
+        degrade();
+      }
+      break;
+    }
+  }
+}
+
+Result<Frame> MediatorServer::CallBackend(int site, const Frame& request) {
+  BYC_CHECK_GE(site, 0);
+  BYC_CHECK_LT(static_cast<size_t>(site), channels_.size());
+  Channel& ch = channels_[static_cast<size_t>(site)];
+  const RetryPolicy& retry = options_.config.retry;
+
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      InterruptibleSleep(retry.DelayMs(attempt - 1, retry_rng_), stop_);
+      ++ledger_.retries;
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("svc.retries").Increment();
+      }
+#endif
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("mediator stopping");
+    }
+    Deadline deadline = Deadline::After(options_.config.deadline_ms);
+    if (!ch.sock.valid()) {
+      Result<Socket> sock =
+          Socket::Connect(ch.addr.host, ch.addr.port, deadline);
+      if (!sock.ok()) {
+        last = sock.status();
+        continue;
+      }
+      ch.sock = std::move(sock).value();
+      if (ch.connected_once) {
+        ++ledger_.reconnects;
+#if BYC_TELEMETRY_ENABLED
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("svc.reconnects").Increment();
+        }
+#endif
+      }
+      ch.connected_once = true;
+    }
+    Status sent = WriteFrame(ch.sock, request, deadline);
+    if (!sent.ok()) {
+      ch.sock.Close();
+      last = sent;
+      continue;
+    }
+    Result<Frame> reply = ReadFrame(ch.sock, deadline);
+    if (!reply.ok()) {
+      ch.sock.Close();
+      last = reply.status();
+      continue;
+    }
+    if (reply->type == FrameType::kError) {
+      // Semantic rejection: the backend is alive and said no. Retrying
+      // cannot help; surface the typed status.
+      return ParseErrorFrame(*reply);
+    }
+    return reply;
+  }
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("svc.backend_failures").Increment();
+  }
+#endif
+  return Status(last.code(), "site " + std::to_string(site) + " after " +
+                                 std::to_string(retry.max_attempts) +
+                                 " attempts: " + last.message());
+}
+
+}  // namespace byc::service

@@ -1,0 +1,66 @@
+#include "service/replay_client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/random.h"
+#include "service/socket.h"
+
+namespace byc::service {
+
+namespace {
+
+/// Connects with the retry schedule; used once per replay.
+Result<Socket> ConnectWithRetry(const std::string& host, uint16_t port,
+                                const ServiceConfig& config) {
+  Rng rng(config.retry_seed);
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 1; attempt <= config.retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          config.retry.DelayMs(attempt - 1, rng)));
+    }
+    Result<Socket> sock =
+        Socket::Connect(host, port, Deadline::After(config.deadline_ms));
+    if (sock.ok()) return sock;
+    last = sock.status();
+  }
+  return last;
+}
+
+}  // namespace
+
+Result<ReplayReport> ReplayClient::Replay(const workload::Trace& trace) {
+  BYC_ASSIGN_OR_RETURN(Socket sock,
+                       ConnectWithRetry(host_, port_, config_));
+  ReplayReport report;
+  for (const workload::TraceQuery& tq : trace.queries) {
+    Frame request = MakeQueryFrame(workload::FormatTraceQuery(tq));
+    Deadline deadline = Deadline::After(config_.deadline_ms);
+    BYC_RETURN_IF_ERROR(WriteFrame(sock, request, deadline));
+    BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+    if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+    BYC_ASSIGN_OR_RETURN(QueryReply delta, ParseQueryReply(reply));
+    ++report.queries_sent;
+    report.client_totals.accesses += delta.accesses;
+    report.client_totals.hits += delta.hits;
+    report.client_totals.bypasses += delta.bypasses;
+    report.client_totals.loads += delta.loads;
+    report.client_totals.evictions += delta.evictions;
+    report.client_totals.degraded += delta.degraded;
+    report.client_totals.served_cost += delta.served_cost;
+    report.client_totals.bypass_cost += delta.bypass_cost;
+    report.client_totals.fetch_cost += delta.fetch_cost;
+    report.client_totals.degraded_cost += delta.degraded_cost;
+  }
+  Frame stats;
+  stats.type = FrameType::kStats;
+  Deadline deadline = Deadline::After(config_.deadline_ms);
+  BYC_RETURN_IF_ERROR(WriteFrame(sock, stats, deadline));
+  BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+  if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+  BYC_ASSIGN_OR_RETURN(report.ledger, ParseStatsReply(reply));
+  return report;
+}
+
+}  // namespace byc::service

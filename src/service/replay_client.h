@@ -1,0 +1,52 @@
+#ifndef BYC_SERVICE_REPLAY_CLIENT_H_
+#define BYC_SERVICE_REPLAY_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "service/config.h"
+#include "service/wire.h"
+#include "workload/trace.h"
+
+namespace byc::service {
+
+/// What a trace replay over the wire produced: the client's own sum of
+/// per-query deltas plus the authoritative server-side ledger fetched
+/// with kStats after the last query.
+///
+/// The two views agree on every counter. The cost doubles agree in value
+/// but only `ledger` is guaranteed bit-identical to sim::Simulator:
+/// the server accumulates per access in trace order exactly as the
+/// simulator does, while `client_totals` re-sums per-query subtotals —
+/// a different FP association. Byte-identity claims must diff `ledger`.
+struct ReplayReport {
+  StatsReply ledger;
+  QueryReply client_totals;
+  uint64_t queries_sent = 0;
+};
+
+/// Streams a workload::Trace to a MediatorServer over the wire, one
+/// kQuery frame per trace line, serially (the replay semantics of the
+/// paper). Connects with the config's retry schedule; per-request
+/// deadlines bound every frame exchange. A mid-replay transport failure
+/// aborts with the typed error — queries are not silently skipped,
+/// which would change the policy's decision stream.
+class ReplayClient {
+ public:
+  ReplayClient(std::string host, uint16_t port, ServiceConfig config)
+      : host_(std::move(host)), port_(port), config_(config) {}
+
+  /// Connects (with retries), replays the whole trace, fetches the
+  /// server ledger, disconnects.
+  Result<ReplayReport> Replay(const workload::Trace& trace);
+
+ private:
+  std::string host_;
+  uint16_t port_;
+  ServiceConfig config_;
+};
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_REPLAY_CLIENT_H_

@@ -1,0 +1,41 @@
+#ifndef BYC_SERVICE_RETRY_H_
+#define BYC_SERVICE_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace byc::service {
+
+/// Capped exponential backoff with multiplicative jitter, the retry
+/// schedule of every backend call the mediator makes. Deterministic
+/// given the Rng — service tests seed it, so retry timing is
+/// reproducible.
+struct RetryPolicy {
+  /// Total tries per request (first attempt + retries). 1 disables
+  /// retrying.
+  int max_attempts = 3;
+  int initial_backoff_ms = 5;
+  int max_backoff_ms = 100;
+  double multiplier = 2.0;
+  /// Uniform jitter fraction: the delay is scaled by a factor drawn from
+  /// [1 - jitter, 1 + jitter] so synchronized retry storms decorrelate.
+  double jitter = 0.2;
+
+  /// Backoff before retry attempt `attempt` (1-based count of *failed*
+  /// attempts so far): initial * multiplier^(attempt-1), capped, then
+  /// jittered.
+  int DelayMs(int attempt, Rng& rng) const {
+    double delay = initial_backoff_ms;
+    for (int i = 1; i < attempt; ++i) delay *= multiplier;
+    delay = std::min(delay, static_cast<double>(max_backoff_ms));
+    double factor = 1.0 + jitter * (2.0 * rng.NextDouble() - 1.0);
+    delay *= factor;
+    return std::max(0, static_cast<int>(delay));
+  }
+};
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_RETRY_H_

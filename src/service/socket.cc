@@ -1,0 +1,251 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <limits>
+
+namespace byc::service {
+
+namespace {
+
+Status Errno(std::string_view what) {
+  return Status::IoError(std::string(what) + ": " + ::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` on fd until the deadline. OK when ready;
+/// DeadlineExceeded on expiry; IoError otherwise.
+Status PollFor(int fd, short events, Deadline deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int timeout = deadline.PollTimeoutMs();
+    int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::OK();  // Ready (possibly HUP/ERR: let the
+                                      // following read/write report it).
+    if (rc == 0) return Status::DeadlineExceeded("socket wait timed out");
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+int Deadline::PollTimeoutMs() const {
+  if (when_ == Clock::time_point::max()) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      when_ - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > std::numeric_limits<int>::max()) {
+    return std::numeric_limits<int>::max();
+  }
+  return static_cast<int>(left.count());
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                               Deadline deadline) {
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  BYC_RETURN_IF_ERROR(SetNonBlocking(fd));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno == ECONNREFUSED) {
+      return Status::Unavailable("connection refused by " + host + ":" +
+                                 std::to_string(port));
+    }
+    if (errno != EINPROGRESS) return Errno("connect");
+    BYC_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + " failed: " +
+                                 ::strerror(err));
+    }
+  }
+  return sock;
+}
+
+Status Socket::SendAll(const void* data, size_t len, Deadline deadline) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      BYC_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Unavailable("peer closed during send");
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t len, Deadline deadline) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable(got == 0 ? "eof" : "short read");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      BYC_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("peer reset during recv");
+    }
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+Status Socket::WaitReadable(Deadline deadline) {
+  return PollFor(fd_, POLLIN, deadline);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Listener::Listen(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<Socket> Listener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("listener closed");
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) return Status::DeadlineExceeded("no incoming connection");
+  if (rc < 0) {
+    if (errno == EINTR) return Status::DeadlineExceeded("interrupted");
+    return Errno("poll(accept)");
+  }
+  if ((pfd.revents & POLLNVAL) != 0) {
+    return Status::Unavailable("listener closed");
+  }
+  int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("no incoming connection");
+    }
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Unavailable("listener closed");
+    }
+    return Errno("accept");
+  }
+  Socket sock(conn);
+  Status nb = SetNonBlocking(conn);
+  if (!nb.ok()) return nb;
+  int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace byc::service

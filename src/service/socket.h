@@ -1,0 +1,126 @@
+#ifndef BYC_SERVICE_SOCKET_H_
+#define BYC_SERVICE_SOCKET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace byc::service {
+
+/// An absolute point in time a blocking socket operation must finish by.
+/// All service-layer I/O is deadline-bounded: a peer that stalls turns
+/// into a typed DeadlineExceeded error, never a hang — the property the
+/// degraded-mode tests assert.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline `ms` milliseconds from now.
+  static Deadline After(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  /// A deadline that never expires (accept loops use poll timeouts plus a
+  /// stop flag instead).
+  static Deadline Infinite() { return Deadline(Clock::time_point::max()); }
+
+  bool expired() const {
+    return when_ != Clock::time_point::max() && Clock::now() >= when_;
+  }
+
+  /// Remaining time as a poll(2) timeout: >= 0 ms, clamped into int
+  /// range; -1 for an infinite deadline.
+  int PollTimeoutMs() const;
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+  Clock::time_point when_;
+};
+
+/// RAII wrapper of one connected stream socket (non-blocking; all I/O
+/// goes through poll with a Deadline). Movable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Connects to host:port on the loopback/local network, bounded by
+  /// `deadline`. Unreachable or refusing peers return Unavailable;
+  /// expiry returns DeadlineExceeded.
+  static Result<Socket> Connect(const std::string& host, uint16_t port,
+                                Deadline deadline);
+
+  /// Writes exactly `len` bytes. DeadlineExceeded on expiry, Unavailable
+  /// on a peer reset/close mid-write.
+  Status SendAll(const void* data, size_t len, Deadline deadline);
+
+  /// Reads exactly `len` bytes. A clean EOF before the first byte is
+  /// Unavailable with message "eof"; EOF mid-buffer is Unavailable
+  /// ("short read"): the caller distinguishes idle close from a torn
+  /// frame.
+  Status RecvAll(void* data, size_t len, Deadline deadline);
+
+  /// Waits until at least one byte is readable (or EOF is pending)
+  /// without consuming it. DeadlineExceeded on expiry. Server loops idle
+  /// on short WaitReadable timeouts so a stop flag is noticed promptly,
+  /// then read whole frames under the real request deadline — an idle
+  /// timeout can never desynchronize a half-read frame.
+  Status WaitReadable(Deadline deadline);
+
+  /// Half-closes both directions (wakes a peer blocked in RecvAll) —
+  /// used by Stop()/Kill() paths to abort in-flight requests.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening loopback TCP socket plus Accept. Port 0 binds an
+/// ephemeral port; port() reports the actual one.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(Listener&&) = delete;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`.
+  Status Listen(uint16_t port);
+
+  /// Accepts one connection, waiting at most `timeout_ms` (so accept
+  /// loops can poll a stop flag). A timeout returns DeadlineExceeded;
+  /// a closed listener returns Unavailable.
+  Result<Socket> Accept(int timeout_ms);
+
+  bool listening() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting: closes the listening socket; connects arriving
+  /// afterwards are refused by the OS. A Listener belongs to its accept
+  /// thread — cross-thread shutdown is signalled via a stop flag checked
+  /// between short Accept timeouts, not by closing from outside.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_SOCKET_H_

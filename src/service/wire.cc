@@ -1,0 +1,286 @@
+#include "service/wire.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace byc::service {
+
+namespace {
+
+/// Frame types a receiver recognizes; anything else poisons the
+/// connection with InvalidArgument.
+bool KnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kQuery) &&
+         type <= static_cast<uint8_t>(FrameType::kExecReply);
+}
+
+/// Status codes transportable in a kError frame. An out-of-range byte
+/// from a hostile peer maps to kInternal rather than UB.
+StatusCode CodeFromWire(uint8_t code) {
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return StatusCode::kInternal;
+  }
+  StatusCode sc = static_cast<StatusCode>(code);
+  return sc == StatusCode::kOk ? StatusCode::kInternal : sc;
+}
+
+}  // namespace
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendI32(std::vector<uint8_t>& out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendF64(std::vector<uint8_t>& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+Result<uint32_t> PayloadReader::ReadU32() {
+  if (size_ - pos_ < 4) return Status::ParseError("payload truncated (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> PayloadReader::ReadU64() {
+  if (size_ - pos_ < 8) return Status::ParseError("payload truncated (u64)");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> PayloadReader::ReadI32() {
+  BYC_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<double> PayloadReader::ReadF64() {
+  BYC_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::ReadText() {
+  std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                  size_ - pos_);
+  pos_ = size_;
+  return out;
+}
+
+Frame MakeFetchFrame(const FetchRequest& req) {
+  Frame f;
+  f.type = FrameType::kFetch;
+  AppendI32(f.payload, req.table);
+  AppendI32(f.payload, req.column);
+  AppendU64(f.payload, req.size_bytes);
+  return f;
+}
+
+Frame MakeYieldFrame(const YieldRequest& req) {
+  Frame f;
+  f.type = FrameType::kYield;
+  AppendI32(f.payload, req.table);
+  AppendI32(f.payload, req.column);
+  AppendF64(f.payload, req.yield_bytes);
+  return f;
+}
+
+Frame MakeQueryFrame(std::string_view trace_line) {
+  Frame f;
+  f.type = FrameType::kQuery;
+  f.payload.assign(trace_line.begin(), trace_line.end());
+  return f;
+}
+
+Frame MakeQueryReplyFrame(const QueryReply& reply) {
+  Frame f;
+  f.type = FrameType::kQueryReply;
+  AppendU64(f.payload, reply.accesses);
+  AppendU64(f.payload, reply.hits);
+  AppendU64(f.payload, reply.bypasses);
+  AppendU64(f.payload, reply.loads);
+  AppendU64(f.payload, reply.evictions);
+  AppendU64(f.payload, reply.degraded);
+  AppendF64(f.payload, reply.served_cost);
+  AppendF64(f.payload, reply.bypass_cost);
+  AppendF64(f.payload, reply.fetch_cost);
+  AppendF64(f.payload, reply.degraded_cost);
+  return f;
+}
+
+Frame MakeStatsReplyFrame(const StatsReply& reply) {
+  Frame f;
+  f.type = FrameType::kStatsReply;
+  AppendU64(f.payload, reply.queries);
+  AppendU64(f.payload, reply.accesses);
+  AppendU64(f.payload, reply.hits);
+  AppendU64(f.payload, reply.bypasses);
+  AppendU64(f.payload, reply.loads);
+  AppendU64(f.payload, reply.evictions);
+  AppendU64(f.payload, reply.degraded_accesses);
+  AppendU64(f.payload, reply.retries);
+  AppendU64(f.payload, reply.reconnects);
+  AppendF64(f.payload, reply.served_cost);
+  AppendF64(f.payload, reply.bypass_cost);
+  AppendF64(f.payload, reply.fetch_cost);
+  AppendF64(f.payload, reply.degraded_cost);
+  return f;
+}
+
+Frame MakeErrorFrame(const Status& status) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.payload.push_back(static_cast<uint8_t>(status.code()));
+  const std::string& msg = status.message();
+  f.payload.insert(f.payload.end(), msg.begin(), msg.end());
+  return f;
+}
+
+Result<FetchRequest> ParseFetchRequest(const Frame& frame) {
+  if (frame.type != FrameType::kFetch) {
+    return Status::InvalidArgument("not a fetch frame");
+  }
+  PayloadReader r(frame.payload);
+  FetchRequest req;
+  BYC_ASSIGN_OR_RETURN(req.table, r.ReadI32());
+  BYC_ASSIGN_OR_RETURN(req.column, r.ReadI32());
+  BYC_ASSIGN_OR_RETURN(req.size_bytes, r.ReadU64());
+  if (r.remaining() != 0) return Status::ParseError("fetch payload too long");
+  return req;
+}
+
+Result<YieldRequest> ParseYieldRequest(const Frame& frame) {
+  if (frame.type != FrameType::kYield) {
+    return Status::InvalidArgument("not a yield frame");
+  }
+  PayloadReader r(frame.payload);
+  YieldRequest req;
+  BYC_ASSIGN_OR_RETURN(req.table, r.ReadI32());
+  BYC_ASSIGN_OR_RETURN(req.column, r.ReadI32());
+  BYC_ASSIGN_OR_RETURN(req.yield_bytes, r.ReadF64());
+  if (r.remaining() != 0) return Status::ParseError("yield payload too long");
+  return req;
+}
+
+Result<QueryReply> ParseQueryReply(const Frame& frame) {
+  if (frame.type != FrameType::kQueryReply) {
+    return Status::InvalidArgument("not a query reply");
+  }
+  PayloadReader r(frame.payload);
+  QueryReply reply;
+  BYC_ASSIGN_OR_RETURN(reply.accesses, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.hits, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.bypasses, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.loads, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.evictions, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.degraded, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.served_cost, r.ReadF64());
+  BYC_ASSIGN_OR_RETURN(reply.bypass_cost, r.ReadF64());
+  BYC_ASSIGN_OR_RETURN(reply.fetch_cost, r.ReadF64());
+  BYC_ASSIGN_OR_RETURN(reply.degraded_cost, r.ReadF64());
+  if (r.remaining() != 0) {
+    return Status::ParseError("query reply payload too long");
+  }
+  return reply;
+}
+
+Result<StatsReply> ParseStatsReply(const Frame& frame) {
+  if (frame.type != FrameType::kStatsReply) {
+    return Status::InvalidArgument("not a stats reply");
+  }
+  PayloadReader r(frame.payload);
+  StatsReply reply;
+  BYC_ASSIGN_OR_RETURN(reply.queries, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.accesses, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.hits, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.bypasses, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.loads, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.evictions, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.degraded_accesses, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.retries, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.reconnects, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.served_cost, r.ReadF64());
+  BYC_ASSIGN_OR_RETURN(reply.bypass_cost, r.ReadF64());
+  BYC_ASSIGN_OR_RETURN(reply.fetch_cost, r.ReadF64());
+  BYC_ASSIGN_OR_RETURN(reply.degraded_cost, r.ReadF64());
+  if (r.remaining() != 0) {
+    return Status::ParseError("stats reply payload too long");
+  }
+  return reply;
+}
+
+Status ParseErrorFrame(const Frame& frame) {
+  if (frame.type != FrameType::kError || frame.payload.empty()) {
+    return Status::Internal("malformed error frame");
+  }
+  uint8_t code = frame.payload[0];
+  std::string msg(reinterpret_cast<const char*>(frame.payload.data() + 1),
+                  frame.payload.size() - 1);
+  return Status(CodeFromWire(code), std::move(msg));
+}
+
+Status WriteFrame(Socket& sock, const Frame& frame, Deadline deadline) {
+  BYC_CHECK_LE(frame.payload.size(), kMaxPayload);
+  uint8_t header[5];
+  uint32_t len = static_cast<uint32_t>(frame.payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  header[4] = static_cast<uint8_t>(frame.type);
+  BYC_RETURN_IF_ERROR(sock.SendAll(header, sizeof(header), deadline));
+  if (!frame.payload.empty()) {
+    BYC_RETURN_IF_ERROR(
+        sock.SendAll(frame.payload.data(), frame.payload.size(), deadline));
+  }
+  return Status::OK();
+}
+
+Result<Frame> ReadFrame(Socket& sock, Deadline deadline) {
+  uint8_t header[5];
+  BYC_RETURN_IF_ERROR(sock.RecvAll(header, sizeof(header), deadline));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxPayload) {
+    return Status::InvalidArgument("oversized frame: " + std::to_string(len) +
+                                   " bytes exceeds cap " +
+                                   std::to_string(kMaxPayload));
+  }
+  if (!KnownFrameType(header[4])) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(header[4]));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    BYC_RETURN_IF_ERROR(sock.RecvAll(frame.payload.data(), len, deadline));
+  }
+  return frame;
+}
+
+}  // namespace byc::service

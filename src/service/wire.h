@@ -1,0 +1,176 @@
+#ifndef BYC_SERVICE_WIRE_H_
+#define BYC_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "service/socket.h"
+
+namespace byc::service {
+
+/// Length-prefixed binary wire protocol of the federation service.
+///
+/// Frame layout (little-endian):
+///
+///   | u32 payload_len | u8 type | payload_len bytes |
+///
+/// payload_len counts payload bytes only (not the 5-byte header) and is
+/// capped at kMaxPayload: an oversized or garbage length prefix is
+/// rejected as a typed error before any allocation, so a malformed peer
+/// can neither crash the server nor balloon its memory.
+///
+/// Scalar payload fields are fixed-width little-endian; doubles travel as
+/// their IEEE-754 bit pattern (byte-exact round trip — the property the
+/// loopback-equals-simulator guarantee rests on). Queries travel in the
+/// workload trace-line text format (workload::FormatTraceQuery), which
+/// round-trips ResolvedQuery exactly and is validated against the
+/// catalog on receipt.
+enum class FrameType : uint8_t {
+  /// client -> mediator: one trace-line query.
+  kQuery = 1,
+  /// mediator -> client: per-query accounting delta (QueryReply).
+  kQueryReply = 2,
+  /// client -> mediator: request the server-side ledger (no payload).
+  kStats = 3,
+  /// mediator -> client: the full ledger (StatsReply).
+  kStatsReply = 4,
+  /// mediator -> backend: load an object into the cache (FetchRequest).
+  kFetch = 5,
+  /// backend -> mediator: object shipped; payload u64 bytes_shipped.
+  kFetchReply = 6,
+  /// mediator -> backend: evaluate a bypassed access at the site
+  /// (YieldRequest); only the result crosses the WAN.
+  kYield = 7,
+  /// backend -> mediator: result shipped; payload f64 yield bytes.
+  kYieldReply = 8,
+  /// any -> any: liveness probe (no payload).
+  kPing = 9,
+  kPong = 10,
+  /// server -> peer: typed failure; payload u8 StatusCode + utf-8 text.
+  kError = 11,
+  /// backend: execute a full trace-line query with the site's
+  /// exec::Executor and reply kExecReply (u64 rows + f64 result bytes).
+  kExec = 12,
+  kExecReply = 13,
+};
+
+/// Largest accepted payload. Queries and replies are tiny; the cap
+/// exists purely to bound what a malformed length prefix can demand.
+inline constexpr uint32_t kMaxPayload = 1u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<uint8_t> payload;
+};
+
+/// ---- Typed payloads -------------------------------------------------
+
+/// kFetch: which object to load and how many bytes the mediator expects
+/// the site to ship (the object's size).
+struct FetchRequest {
+  int32_t table = 0;
+  int32_t column = -1;  // catalog::ObjectId::kWholeTable
+  uint64_t size_bytes = 0;
+};
+
+/// kYield: which object a bypassed access touches and the estimated
+/// result bytes the site ships back.
+struct YieldRequest {
+  int32_t table = 0;
+  int32_t column = -1;
+  double yield_bytes = 0;
+};
+
+/// kQueryReply: what the mediator did with one query, as deltas against
+/// the ledger. Doubles are bit-exact (see StatsReply).
+struct QueryReply {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t bypasses = 0;
+  uint64_t loads = 0;
+  uint64_t evictions = 0;
+  uint64_t degraded = 0;
+  double served_cost = 0;
+  double bypass_cost = 0;
+  double fetch_cost = 0;
+  double degraded_cost = 0;
+};
+
+/// kStatsReply: the mediator's full ledger, accumulated per access in
+/// trace order — the number the bench diffs against sim::Simulator.
+struct StatsReply {
+  uint64_t queries = 0;
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t bypasses = 0;
+  uint64_t loads = 0;
+  uint64_t evictions = 0;
+  uint64_t degraded_accesses = 0;
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+  double served_cost = 0;    // D_C
+  double bypass_cost = 0;    // D_S
+  double fetch_cost = 0;     // D_L
+  double degraded_cost = 0;  // result bytes lost to dead backends
+};
+
+/// ---- Encoding -------------------------------------------------------
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v);
+void AppendU64(std::vector<uint8_t>& out, uint64_t v);
+void AppendI32(std::vector<uint8_t>& out, int32_t v);
+void AppendF64(std::vector<uint8_t>& out, double v);
+
+/// Sequential bounds-checked reader over a received payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<uint8_t>& payload)
+      : data_(payload.data()), size_(payload.size()) {}
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<double> ReadF64();
+  /// The rest of the payload as text.
+  std::string ReadText();
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Frame MakeFetchFrame(const FetchRequest& req);
+Frame MakeYieldFrame(const YieldRequest& req);
+Frame MakeQueryFrame(std::string_view trace_line);
+Frame MakeQueryReplyFrame(const QueryReply& reply);
+Frame MakeStatsReplyFrame(const StatsReply& reply);
+/// kError carrying `status` (must be non-OK).
+Frame MakeErrorFrame(const Status& status);
+
+Result<FetchRequest> ParseFetchRequest(const Frame& frame);
+Result<YieldRequest> ParseYieldRequest(const Frame& frame);
+Result<QueryReply> ParseQueryReply(const Frame& frame);
+Result<StatsReply> ParseStatsReply(const Frame& frame);
+/// Reconstructs the typed Status carried by a kError frame.
+Status ParseErrorFrame(const Frame& frame);
+
+/// ---- Framed I/O -----------------------------------------------------
+
+/// Writes one frame. Errors propagate from Socket::SendAll.
+Status WriteFrame(Socket& sock, const Frame& frame, Deadline deadline);
+
+/// Reads one frame. Typed errors: DeadlineExceeded (stalled peer),
+/// Unavailable (peer closed; message "eof" when between frames),
+/// InvalidArgument (oversized length prefix or unknown frame type — the
+/// connection is poisoned and should be closed).
+Result<Frame> ReadFrame(Socket& sock, Deadline deadline);
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_WIRE_H_

@@ -121,11 +121,9 @@ Result<double> ParseDouble(std::string_view s) {
 
 }  // namespace
 
-Status WriteTrace(const Trace& trace, std::ostream& out) {
-  out << "trace " << trace.name << '\n';
+std::string FormatTraceQuery(const TraceQuery& tq) {
   std::string line;
-  for (const TraceQuery& tq : trace.queries) {
-    line.clear();
+  {
     line += ClassCode(tq.klass);
     line += '|';
     const query::ResolvedQuery& q = tq.query;
@@ -174,7 +172,14 @@ Status WriteTrace(const Trace& trace, std::ostream& out) {
       if (i > 0) line += ',';
       line += std::to_string(tq.cells[i]);
     }
-    out << line << '\n';
+  }
+  return line;
+}
+
+Status WriteTrace(const Trace& trace, std::ostream& out) {
+  out << "trace " << trace.name << '\n';
+  for (const TraceQuery& tq : trace.queries) {
+    out << FormatTraceQuery(tq) << '\n';
   }
   if (!out) return Status::IoError("trace write failed");
   return Status::OK();
@@ -281,6 +286,11 @@ Result<TraceQuery> ParseTraceLine(const catalog::Catalog& catalog,
 }
 
 }  // namespace
+
+Result<TraceQuery> ParseTraceQuery(const catalog::Catalog& catalog,
+                                   std::string_view line) {
+  return ParseTraceLine(catalog, line);
+}
 
 Result<Trace> ReadTrace(const catalog::Catalog& catalog, std::istream& in) {
   Trace trace;

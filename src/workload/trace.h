@@ -50,6 +50,16 @@ Status WriteTrace(const Trace& trace, std::ostream& out);
 /// the catalog.
 Result<Trace> ReadTrace(const catalog::Catalog& catalog, std::istream& in);
 
+/// Formats one query as a single trace line (no trailing newline) in the
+/// WriteTrace format. Round-trips exactly through ParseTraceQuery — this
+/// is also the wire encoding the federation service ships queries in.
+std::string FormatTraceQuery(const TraceQuery& tq);
+
+/// Parses one WriteTrace-format line and validates all indices against
+/// the catalog (the inverse of FormatTraceQuery).
+Result<TraceQuery> ParseTraceQuery(const catalog::Catalog& catalog,
+                                   std::string_view line);
+
 }  // namespace byc::workload
 
 #endif  // BYC_WORKLOAD_TRACE_H_

@@ -1,0 +1,90 @@
+#include "net/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sdss.h"
+#include "federation/federation.h"
+#include "federation/mediator.h"
+#include "query/binder.h"
+
+namespace byc::net {
+namespace {
+
+TEST(CostModelTest, UniformChargesSameEverywhere) {
+  UniformCostModel model(2.5);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(0), 2.5);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(7), 2.5);
+}
+
+TEST(CostModelTest, UniformDefaultsToUnitCost) {
+  UniformCostModel model;
+  EXPECT_DOUBLE_EQ(model.CostPerByte(0), 1.0);
+}
+
+TEST(CostModelTest, PerSiteCharges) {
+  PerSiteCostModel model({1.0, 3.0, 0.5});
+  EXPECT_EQ(model.num_sites(), 3);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(1), 3.0);
+  EXPECT_DOUBLE_EQ(model.CostPerByte(2), 0.5);
+}
+
+TEST(CostModelTest, FederationExposesItsModel) {
+  auto fed =
+      federation::Federation::SingleSite(catalog::MakeSdssEdrCatalog(), 2.0);
+  // The accessor the service accounting path prices through.
+  EXPECT_DOUBLE_EQ(fed.cost_model().CostPerByte(0), 2.0);
+  catalog::ObjectId t0 = catalog::ObjectId::ForTable(0);
+  EXPECT_DOUBLE_EQ(fed.TransferCost(t0, 50.0),
+                   50.0 * fed.cost_model().CostPerByte(0));
+}
+
+TEST(CostModelTest, PerSitePricingMatchesFederationTransferCost) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  int n = catalog.num_tables();
+  std::vector<int> table_site(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) table_site[static_cast<size_t>(t)] = t % 3;
+  auto fed = federation::Federation::MultiSite(std::move(catalog),
+                                               table_site, {1.0, 2.5, 0.5});
+  ASSERT_TRUE(fed.ok());
+  for (int t = 0; t < n; ++t) {
+    catalog::ObjectId object = catalog::ObjectId::ForTable(t);
+    int site = fed->SiteOfTable(t);
+    // TransferCost is exactly bytes * CostPerByte(owning site) — the
+    // identity the wire accounting relies on when it prices
+    // backend-acknowledged bytes instead of precomputed costs.
+    EXPECT_DOUBLE_EQ(fed->TransferCost(object, 1000.0),
+                     1000.0 * fed->cost_model().CostPerByte(site));
+  }
+}
+
+TEST(CostModelTest, DecomposedCostsCarryPerSitePrices) {
+  auto catalog = catalog::MakeSdssEdrCatalog();
+  int n = catalog.num_tables();
+  std::vector<int> table_site(static_cast<size_t>(n), 0);
+  table_site[0] = 1;  // table 0 at the expensive site
+  std::vector<double> costs = {1.0, 4.0};
+  auto fed = federation::Federation::MultiSite(std::move(catalog),
+                                               table_site, costs);
+  ASSERT_TRUE(fed.ok());
+  federation::Mediator mediator(&fed.value(),
+                                catalog::Granularity::kTable);
+  const catalog::Table& table0 = fed->catalog().table(0);
+  auto bound = query::ParseAndBind(
+      fed->catalog(), "SELECT " + table0.column(0).name + ", " +
+                          table0.column(1).name + " FROM " + table0.name());
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  auto accesses = mediator.Decompose(*bound);
+  ASSERT_FALSE(accesses.empty());
+  for (const auto& access : accesses) {
+    int site = fed->SiteOfTable(access.object.table);
+    double per_byte = fed->cost_model().CostPerByte(site);
+    EXPECT_DOUBLE_EQ(access.bypass_cost, access.yield_bytes * per_byte);
+    EXPECT_DOUBLE_EQ(
+        access.fetch_cost,
+        static_cast<double>(access.size_bytes) * per_byte);
+  }
+}
+
+}  // namespace
+}  // namespace byc::net

@@ -1,0 +1,143 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace byc::env {
+namespace {
+
+/// Sets an environment variable for the duration of one test.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvTest, RawDistinguishesUnsetEmptyAndSet) {
+  ::unsetenv("BYC_TEST_RAW");
+  EXPECT_FALSE(Raw("BYC_TEST_RAW").has_value());
+  {
+    ScopedEnv env("BYC_TEST_RAW", "");
+    EXPECT_FALSE(Raw("BYC_TEST_RAW").has_value());
+  }
+  {
+    ScopedEnv env("BYC_TEST_RAW", "value");
+    ASSERT_TRUE(Raw("BYC_TEST_RAW").has_value());
+    EXPECT_EQ("value", *Raw("BYC_TEST_RAW"));
+  }
+}
+
+TEST(EnvTest, ParseIntAcceptsStrictDecimals) {
+  EXPECT_EQ(0, ParseInt("0", 0, 100).value());
+  EXPECT_EQ(42, ParseInt("42", 0, 100).value());
+  EXPECT_EQ(-7, ParseInt("-7", -10, 10).value());
+  EXPECT_EQ(INT64_MAX,
+            ParseInt("9223372036854775807", 0, INT64_MAX).value());
+}
+
+TEST(EnvTest, ParseIntRejectsJunk) {
+  for (const char* bad :
+       {"", " 8", "8 ", "+8", "8x", "x8", "0x10", "3.5", "--2", "8\n",
+        "eight", "1e3", "๔"}) {
+    EXPECT_FALSE(ParseInt(bad, INT64_MIN, INT64_MAX).ok())
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(EnvTest, ParseIntRejectsOverflowAndRange) {
+  // One past INT64_MAX: overflow, not silent truncation.
+  EXPECT_FALSE(ParseInt("9223372036854775808", INT64_MIN, INT64_MAX).ok());
+  EXPECT_FALSE(ParseInt("-9223372036854775809", INT64_MIN, INT64_MAX).ok());
+  EXPECT_FALSE(ParseInt("101", 0, 100).ok());
+  EXPECT_FALSE(ParseInt("-1", 0, 100).ok());
+}
+
+TEST(EnvTest, ParseDurationUnits) {
+  EXPECT_EQ(250, ParseDurationMs("250", 0, INT64_MAX).value());
+  EXPECT_EQ(250, ParseDurationMs("250ms", 0, INT64_MAX).value());
+  EXPECT_EQ(2000, ParseDurationMs("2s", 0, INT64_MAX).value());
+  EXPECT_EQ(120000, ParseDurationMs("2m", 0, INT64_MAX).value());
+  EXPECT_EQ(0, ParseDurationMs("0s", 0, INT64_MAX).value());
+}
+
+TEST(EnvTest, ParseDurationRejectsJunk) {
+  for (const char* bad : {"", "ms", "-5ms", "+2s", "2.5s", "2 s", "2sec",
+                          "2h", "s2", "2ss", "2m3"}) {
+    EXPECT_FALSE(ParseDurationMs(bad, 0, INT64_MAX).ok())
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(EnvTest, ParseDurationRejectsScaledOverflowAndRange) {
+  // Fits as an integer, overflows once scaled to milliseconds.
+  EXPECT_FALSE(ParseDurationMs("9223372036854775807m", 0, INT64_MAX).ok());
+  EXPECT_FALSE(ParseDurationMs("2s", 0, 1999).ok());
+  EXPECT_FALSE(ParseDurationMs("5", 10, 100).ok());
+}
+
+TEST(EnvTest, ParseHostPortForms) {
+  Result<HostPort> full = ParseHostPort("10.1.2.3:8080");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ("10.1.2.3", full->host);
+  EXPECT_EQ(8080, full->port);
+
+  // Bare ":port" defaults to loopback.
+  Result<HostPort> bare = ParseHostPort(":9000");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ("127.0.0.1", bare->host);
+  EXPECT_EQ(9000, bare->port);
+
+  EXPECT_EQ(0, ParseHostPort("localhost:0").value().port);
+}
+
+TEST(EnvTest, ParseHostPortRejectsJunk) {
+  for (const char* bad : {"", "host", "host:", "host:x", "host:-1",
+                          "host:65536", "ho st:80", "host:80x", ":"}) {
+    EXPECT_FALSE(ParseHostPort(bad).ok()) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(EnvTest, IntOrFallsBackOnlyWhenUnset) {
+  ::unsetenv("BYC_TEST_INT");
+  EXPECT_EQ(7, IntOr("BYC_TEST_INT", 7, 0, 100).value());
+  {
+    ScopedEnv env("BYC_TEST_INT", "");
+    EXPECT_EQ(7, IntOr("BYC_TEST_INT", 7, 0, 100).value());
+  }
+  {
+    ScopedEnv env("BYC_TEST_INT", "13");
+    EXPECT_EQ(13, IntOr("BYC_TEST_INT", 7, 0, 100).value());
+  }
+  {
+    // A typo'd knob is an error, never a silent fallback.
+    ScopedEnv env("BYC_TEST_INT", "13x");
+    Result<int64_t> r = IntOr("BYC_TEST_INT", 7, 0, 100);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(std::string::npos,
+              r.status().message().find("BYC_TEST_INT"));
+  }
+}
+
+TEST(EnvTest, DurationMsOrParsesAndPropagatesErrors) {
+  ::unsetenv("BYC_TEST_MS");
+  EXPECT_EQ(2000,
+            DurationMsOr("BYC_TEST_MS", 2000, 1, 600000).value());
+  {
+    ScopedEnv env("BYC_TEST_MS", "3s");
+    EXPECT_EQ(3000,
+              DurationMsOr("BYC_TEST_MS", 2000, 1, 600000).value());
+  }
+  {
+    ScopedEnv env("BYC_TEST_MS", "fast");
+    EXPECT_FALSE(DurationMsOr("BYC_TEST_MS", 2000, 1, 600000).ok());
+  }
+}
+
+}  // namespace
+}  // namespace byc::env

@@ -10,19 +10,7 @@
 namespace byc::federation {
 namespace {
 
-TEST(CostModelTest, UniformChargesSameEverywhere) {
-  net::UniformCostModel model(2.5);
-  EXPECT_DOUBLE_EQ(model.CostPerByte(0), 2.5);
-  EXPECT_DOUBLE_EQ(model.CostPerByte(7), 2.5);
-}
-
-TEST(CostModelTest, PerSiteCharges) {
-  net::PerSiteCostModel model({1.0, 3.0, 0.5});
-  EXPECT_EQ(model.num_sites(), 3);
-  EXPECT_DOUBLE_EQ(model.CostPerByte(0), 1.0);
-  EXPECT_DOUBLE_EQ(model.CostPerByte(1), 3.0);
-  EXPECT_DOUBLE_EQ(model.CostPerByte(2), 0.5);
-}
+// CostModel unit tests live in cost_model_test.cc.
 
 TEST(FederationTest, SingleSiteOwnsAllTables) {
   auto fed = Federation::SingleSite(catalog::MakeSdssEdrCatalog());

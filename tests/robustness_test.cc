@@ -6,12 +6,15 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "catalog/sdss.h"
 #include "common/check.h"
 #include "common/csv.h"
 #include "common/random.h"
 #include "query/parser.h"
+#include "service/backend_server.h"
+#include "service/wire.h"
 #include "workload/trace.h"
 
 namespace byc {
@@ -119,6 +122,79 @@ TEST(CsvFuzzTest, RandomLinesParseOrFailCleanly) {
 TEST(CheckDeathTest, FailedCheckAborts) {
   EXPECT_DEATH({ BYC_CHECK(1 == 2); }, "BYC_CHECK failed");
   EXPECT_DEATH({ BYC_CHECK_GT(0, 1); }, "BYC_CHECK failed");
+}
+
+TEST(WireFuzzTest, RandomPayloadsParseOrFailCleanly) {
+  // Typed wire-payload parsers over random bytes: every outcome is a
+  // clean Result, and whatever parses must re-encode to the same frame.
+  Rng rng(161803);
+  for (int i = 0; i < 5000; ++i) {
+    service::Frame frame;
+    frame.type = static_cast<service::FrameType>(rng.NextUint64(16));
+    frame.payload.resize(rng.NextUint64(64));
+    for (uint8_t& b : frame.payload) {
+      b = static_cast<uint8_t>(rng.NextUint64(256));
+    }
+    auto fetch = service::ParseFetchRequest(frame);
+    if (fetch.ok()) {
+      EXPECT_EQ(service::MakeFetchFrame(*fetch).payload, frame.payload);
+    }
+    auto yield = service::ParseYieldRequest(frame);
+    if (yield.ok()) {
+      EXPECT_EQ(service::MakeYieldFrame(*yield).payload, frame.payload);
+    }
+    (void)service::ParseQueryReply(frame);
+    (void)service::ParseStatsReply(frame);
+    (void)service::ParseErrorFrame(frame);
+  }
+}
+
+TEST(WireFuzzTest, RandomBytesOnTheSocketNeverCrashTheServer) {
+  // Streams random garbage at a live BackendServer: the server must
+  // answer with a typed kError or drop the connection — never crash,
+  // never hang past its deadline.
+  auto federation =
+      federation::Federation::SingleSite(catalog::MakeSdssEdrCatalog());
+  service::BackendServer::Options options;
+  options.federation = &federation;
+  service::BackendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Rng rng(577215);
+  for (int i = 0; i < 25; ++i) {
+    auto sock = service::Socket::Connect(
+        "127.0.0.1", server.port(), service::Deadline::After(2000));
+    ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+    size_t len = 5 + rng.NextUint64(60);
+    std::vector<uint8_t> junk(len);
+    for (uint8_t& b : junk) {
+      b = static_cast<uint8_t>(rng.NextUint64(256));
+    }
+    if (!sock->SendAll(junk.data(), junk.size(),
+                       service::Deadline::After(2000))
+             .ok()) {
+      continue;  // server already dropped us: acceptable
+    }
+    // Whatever comes back (an error frame, a reply to an accidentally
+    // valid frame, or a close) must arrive as a typed Result within the
+    // deadline.
+    auto reply =
+        service::ReadFrame(*sock, service::Deadline::After(3000));
+    if (!reply.ok()) {
+      EXPECT_FALSE(reply.status().IsDeadlineExceeded())
+          << "server went silent on garbage input";
+    }
+  }
+  // The server survived all of it.
+  auto sock = service::Socket::Connect("127.0.0.1", server.port(),
+                                       service::Deadline::After(2000));
+  ASSERT_TRUE(sock.ok());
+  service::Frame ping;
+  ping.type = service::FrameType::kPing;
+  ASSERT_TRUE(
+      service::WriteFrame(*sock, ping, service::Deadline::After(2000)).ok());
+  auto pong = service::ReadFrame(*sock, service::Deadline::After(2000));
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(service::FrameType::kPong, pong->type);
 }
 
 }  // namespace

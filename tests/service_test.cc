@@ -1,0 +1,521 @@
+#include "service/mediator_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "catalog/sdss.h"
+#include "common/check.h"
+#include "core/policy_factory.h"
+#include "exec/table_data.h"
+#include "query/binder.h"
+#include "service/backend_server.h"
+#include "service/replay_client.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace byc::service {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Starts one BackendServer per federation site on ephemeral loopback
+/// ports and hands out the address list for the mediator.
+class BackendFleet {
+ public:
+  explicit BackendFleet(const federation::Federation& federation,
+                        const exec::Executor* executor = nullptr) {
+    for (int s = 0; s < federation.num_sites(); ++s) {
+      BackendServer::Options options;
+      options.site = s;
+      options.federation = &federation;
+      options.executor = executor;
+      servers_.push_back(std::make_unique<BackendServer>(options));
+      BYC_CHECK(servers_.back()->Start().ok());
+    }
+  }
+
+  std::vector<BackendAddress> addresses() const {
+    std::vector<BackendAddress> addrs;
+    for (const auto& s : servers_) {
+      addrs.push_back({"127.0.0.1", s->port()});
+    }
+    return addrs;
+  }
+
+  BackendServer& server(int site) {
+    return *servers_[static_cast<size_t>(site)];
+  }
+
+ private:
+  std::vector<std::unique_ptr<BackendServer>> servers_;
+};
+
+/// Fast-failing service config for fault tests: short deadlines, one
+/// retry, tiny backoff.
+ServiceConfig FastConfig() {
+  ServiceConfig config;
+  config.deadline_ms = 500;
+  config.retry.max_attempts = 2;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 5;
+  return config;
+}
+
+/// What the service ledger must contain given the fault set: replays the
+/// policy in process (its decision stream is fault-independent by
+/// design) and routes each decision's WAN traffic to either the healthy
+/// flows or the degraded ledger, in trace order — the same per-access
+/// accumulation the mediator performs, so doubles match bit for bit.
+StatsReply ExpectedLedger(const federation::Federation& federation,
+                          catalog::Granularity granularity,
+                          const core::PolicyConfig& config,
+                          const workload::Trace& trace,
+                          const std::set<int>& dead_sites) {
+  federation::Mediator mediator(&federation, granularity);
+  auto policy = core::MakePolicy(config);
+  StatsReply ledger;
+  for (const workload::TraceQuery& tq : trace.queries) {
+    for (const core::Access& access : mediator.Decompose(tq.query)) {
+      core::Decision decision = policy->OnAccess(access);
+      ++ledger.accesses;
+      ledger.evictions += decision.evictions.size();
+      bool dead = dead_sites.count(
+                      federation.SiteOfTable(access.object.table)) > 0;
+      switch (decision.action) {
+        case core::Action::kServeFromCache:
+          ledger.served_cost += access.bypass_cost;
+          ++ledger.hits;
+          break;
+        case core::Action::kBypass:
+          if (dead) {
+            ++ledger.degraded_accesses;
+            ledger.degraded_cost += access.bypass_cost;
+          } else {
+            ledger.bypass_cost += access.bypass_cost;
+            ++ledger.bypasses;
+          }
+          break;
+        case core::Action::kLoadAndServe:
+          if (dead) {
+            ++ledger.degraded_accesses;
+            ledger.degraded_cost += access.bypass_cost;
+          } else {
+            ledger.fetch_cost += access.fetch_cost;
+            ledger.served_cost += access.bypass_cost;
+            ++ledger.loads;
+          }
+          break;
+      }
+    }
+    ++ledger.queries;
+  }
+  return ledger;
+}
+
+void ExpectLedgerEq(const StatsReply& want, const StatsReply& got) {
+  EXPECT_EQ(want.queries, got.queries);
+  EXPECT_EQ(want.accesses, got.accesses);
+  EXPECT_EQ(want.hits, got.hits);
+  EXPECT_EQ(want.bypasses, got.bypasses);
+  EXPECT_EQ(want.loads, got.loads);
+  EXPECT_EQ(want.evictions, got.evictions);
+  EXPECT_EQ(want.degraded_accesses, got.degraded_accesses);
+  EXPECT_TRUE(SameBits(want.served_cost, got.served_cost))
+      << want.served_cost << " vs " << got.served_cost;
+  EXPECT_TRUE(SameBits(want.bypass_cost, got.bypass_cost))
+      << want.bypass_cost << " vs " << got.bypass_cost;
+  EXPECT_TRUE(SameBits(want.fetch_cost, got.fetch_cost))
+      << want.fetch_cost << " vs " << got.fetch_cost;
+  EXPECT_TRUE(SameBits(want.degraded_cost, got.degraded_cost))
+      << want.degraded_cost << " vs " << got.degraded_cost;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : federation_(federation::Federation::SingleSite(
+            catalog::MakeSdssEdrCatalog())) {
+    workload::GeneratorOptions options;
+    options.num_queries = 80;
+    options.target_sequence_cost = 0;
+    workload::TraceGenerator gen(&federation_.catalog(), options);
+    trace_ = gen.Generate();
+    config_.kind = core::PolicyKind::kRateProfile;
+    config_.capacity_bytes =
+        federation_.catalog().total_size_bytes() * 3 / 10;
+  }
+
+  /// Multi-site variant of the same catalog: tables striped across 3
+  /// sites with heterogeneous per-byte link costs.
+  static federation::Federation MakeMultiSite() {
+    auto catalog = catalog::MakeSdssEdrCatalog();
+    std::vector<int> table_site(static_cast<size_t>(catalog.num_tables()));
+    for (size_t t = 0; t < table_site.size(); ++t) {
+      table_site[t] = static_cast<int>(t % 3);
+    }
+    auto fed = federation::Federation::MultiSite(std::move(catalog),
+                                                 table_site, {1.0, 2.5, 0.5});
+    BYC_CHECK(fed.ok());
+    return std::move(fed).value();
+  }
+
+  /// Starts a fleet + mediator over `federation`, replays the fixture
+  /// trace, returns the report (backends/mediator torn down on return).
+  Result<ReplayReport> Replay(const federation::Federation& federation,
+                              catalog::Granularity granularity,
+                              const ServiceConfig& config) {
+    BackendFleet fleet(federation);
+    MediatorServer::Options options;
+    options.granularity = granularity;
+    options.config = config;
+    MediatorServer mediator(&federation, config_, fleet.addresses(),
+                            options);
+    BYC_CHECK(mediator.Start().ok());
+    ReplayClient client("127.0.0.1", mediator.port(), config);
+    return client.Replay(trace_);
+  }
+
+  federation::Federation federation_;
+  workload::Trace trace_;
+  core::PolicyConfig config_;
+};
+
+// ---- The headline: wire replay == in-process simulator ----------------
+
+TEST_F(ServiceTest, LoopbackLedgerMatchesSimulatorBitForBit) {
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&federation_, catalog::Granularity::kTable,
+                           sim_options);
+  auto policy = core::MakePolicy(config_);
+  sim::SimResult expected = simulator.Run(*policy, trace_);
+
+  Result<ReplayReport> report =
+      Replay(federation_, catalog::Granularity::kTable, ServiceConfig{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const StatsReply& ledger = report->ledger;
+  EXPECT_EQ(expected.totals.accesses, ledger.accesses);
+  EXPECT_EQ(expected.totals.hits, ledger.hits);
+  EXPECT_EQ(expected.totals.bypasses, ledger.bypasses);
+  EXPECT_EQ(expected.totals.loads, ledger.loads);
+  EXPECT_EQ(expected.totals.evictions, ledger.evictions);
+  EXPECT_EQ(0u, ledger.degraded_accesses);
+  EXPECT_TRUE(SameBits(expected.totals.bypass_cost, ledger.bypass_cost));
+  EXPECT_TRUE(SameBits(expected.totals.fetch_cost, ledger.fetch_cost));
+  EXPECT_TRUE(SameBits(expected.totals.served_cost, ledger.served_cost));
+  // The client's own per-query deltas agree on every counter.
+  EXPECT_EQ(ledger.accesses, report->client_totals.accesses);
+  EXPECT_EQ(ledger.hits, report->client_totals.hits);
+  EXPECT_EQ(ledger.bypasses, report->client_totals.bypasses);
+  EXPECT_EQ(ledger.loads, report->client_totals.loads);
+}
+
+TEST_F(ServiceTest, MultiSitePerSiteCostsMatchSimulator) {
+  federation::Federation multi = MakeMultiSite();
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&multi, catalog::Granularity::kColumn,
+                           sim_options);
+  auto policy = core::MakePolicy(config_);
+  sim::SimResult expected = simulator.Run(*policy, trace_);
+
+  Result<ReplayReport> report =
+      Replay(multi, catalog::Granularity::kColumn, ServiceConfig{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(expected.totals.accesses, report->ledger.accesses);
+  EXPECT_TRUE(
+      SameBits(expected.totals.bypass_cost, report->ledger.bypass_cost));
+  EXPECT_TRUE(
+      SameBits(expected.totals.fetch_cost, report->ledger.fetch_cost));
+  EXPECT_TRUE(
+      SameBits(expected.totals.served_cost, report->ledger.served_cost));
+}
+
+// ---- Degraded mode ----------------------------------------------------
+
+TEST_F(ServiceTest, DeadBackendDegradesExactlyAndNeverHangs) {
+  federation::Federation multi = MakeMultiSite();
+  BackendFleet fleet(multi);
+  ServiceConfig config = FastConfig();
+  MediatorServer::Options options;
+  options.granularity = catalog::Granularity::kTable;
+  options.config = config;
+  MediatorServer mediator(&multi, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  fleet.server(1).Kill();  // Site 1 disappears before the replay.
+
+  ReplayClient client("127.0.0.1", mediator.port(), config);
+  Result<ReplayReport> report = client.Replay(trace_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  StatsReply want = ExpectedLedger(multi, catalog::Granularity::kTable,
+                                   config_, trace_, {1});
+  ASSERT_GT(want.degraded_accesses, 0u)
+      << "trace never touches site 1; test is vacuous";
+  ExpectLedgerEq(want, report->ledger);
+  // Every degraded call burned the full retry budget.
+  EXPECT_EQ(want.degraded_accesses * (config.retry.max_attempts - 1),
+            report->ledger.retries);
+}
+
+TEST_F(ServiceTest, DropFaultRetriesThenDegrades) {
+  federation::Federation multi = MakeMultiSite();
+  BackendFleet fleet(multi);
+  // Site 2 reads every request and never answers.
+  fleet.server(2).faults().drop.store(true);
+  ServiceConfig config = FastConfig();
+  MediatorServer::Options options;
+  options.granularity = catalog::Granularity::kTable;
+  options.config = config;
+  MediatorServer mediator(&multi, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  ReplayClient client("127.0.0.1", mediator.port(), config);
+  Result<ReplayReport> report = client.Replay(trace_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  StatsReply want = ExpectedLedger(multi, catalog::Granularity::kTable,
+                                   config_, trace_, {2});
+  ASSERT_GT(want.degraded_accesses, 0u);
+  ExpectLedgerEq(want, report->ledger);
+  EXPECT_GT(report->ledger.retries, 0u);
+  EXPECT_GT(report->ledger.reconnects, 0u);
+}
+
+TEST_F(ServiceTest, SlowBackendHitsDeadlineAndDegrades) {
+  workload::Trace short_trace;
+  short_trace.name = trace_.name;
+  short_trace.queries.assign(trace_.queries.begin(),
+                             trace_.queries.begin() + 2);
+
+  BackendFleet fleet(federation_);
+  fleet.server(0).faults().delay_ms.store(400);
+  ServiceConfig mediator_config = FastConfig();
+  mediator_config.deadline_ms = 50;  // well under the injected 400ms
+  mediator_config.retry.max_attempts = 1;
+  MediatorServer::Options options;
+  options.granularity = catalog::Granularity::kTable;
+  options.config = mediator_config;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  ServiceConfig client_config;
+  client_config.deadline_ms = 30000;  // the slowness is backend-side
+  ReplayClient client("127.0.0.1", mediator.port(), client_config);
+  Result<ReplayReport> report = client.Replay(short_trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  StatsReply want = ExpectedLedger(federation_, catalog::Granularity::kTable,
+                                   config_, short_trace, {0});
+  // Cache hits still work; every WAN call times out and degrades.
+  EXPECT_EQ(want.degraded_accesses, report->ledger.degraded_accesses);
+  ASSERT_GT(report->ledger.degraded_accesses, 0u);
+  EXPECT_TRUE(
+      SameBits(want.degraded_cost, report->ledger.degraded_cost));
+  EXPECT_EQ(0u, report->ledger.bypasses);
+  EXPECT_EQ(0u, report->ledger.loads);
+}
+
+// ---- Error paths over the wire ---------------------------------------
+
+TEST_F(ServiceTest, OversizedFrameGetsTypedErrorThenClose) {
+  BackendFleet fleet(federation_);
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fleet.server(0).port(),
+                                        Deadline::After(2000));
+  ASSERT_TRUE(sock.ok());
+  // Header claiming a payload beyond kMaxPayload.
+  uint32_t huge = kMaxPayload + 1;
+  uint8_t header[5];
+  std::memcpy(header, &huge, 4);
+  header[4] = static_cast<uint8_t>(FrameType::kPing);
+  ASSERT_TRUE(
+      sock->SendAll(header, sizeof(header), Deadline::After(2000)).ok());
+  Result<Frame> reply = ReadFrame(*sock, Deadline::After(2000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(FrameType::kError, reply->type);
+  EXPECT_TRUE(ParseErrorFrame(*reply).IsInvalidArgument());
+  // The poisoned connection is closed by the server.
+  Result<Frame> next = ReadFrame(*sock, Deadline::After(2000));
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsUnavailable());
+}
+
+TEST_F(ServiceTest, UnknownFrameTypeRejected) {
+  BackendFleet fleet(federation_);
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fleet.server(0).port(),
+                                        Deadline::After(2000));
+  ASSERT_TRUE(sock.ok());
+  uint8_t header[5] = {0, 0, 0, 0, 250};  // type 250 does not exist
+  ASSERT_TRUE(
+      sock->SendAll(header, sizeof(header), Deadline::After(2000)).ok());
+  Result<Frame> reply = ReadFrame(*sock, Deadline::After(2000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(FrameType::kError, reply->type);
+  EXPECT_TRUE(ParseErrorFrame(*reply).IsInvalidArgument());
+}
+
+TEST_F(ServiceTest, UnknownObjectIsNotFoundAndConnectionSurvives) {
+  BackendFleet fleet(federation_);
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fleet.server(0).port(),
+                                        Deadline::After(2000));
+  ASSERT_TRUE(sock.ok());
+  FetchRequest req;
+  req.table = 9999;
+  ASSERT_TRUE(
+      WriteFrame(*sock, MakeFetchFrame(req), Deadline::After(2000)).ok());
+  Result<Frame> reply = ReadFrame(*sock, Deadline::After(2000));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(FrameType::kError, reply->type);
+  EXPECT_TRUE(ParseErrorFrame(*reply).IsNotFound());
+  // Semantic errors do not poison the connection: ping still answers.
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ASSERT_TRUE(WriteFrame(*sock, ping, Deadline::After(2000)).ok());
+  Result<Frame> pong = ReadFrame(*sock, Deadline::After(2000));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(FrameType::kPong, pong->type);
+  EXPECT_EQ(1u, fleet.server(0).requests_rejected());
+}
+
+TEST_F(ServiceTest, MidRequestDisconnectLeavesServerServing) {
+  BackendFleet fleet(federation_);
+  {
+    Result<Socket> sock = Socket::Connect(
+        "127.0.0.1", fleet.server(0).port(), Deadline::After(2000));
+    ASSERT_TRUE(sock.ok());
+    // Header promising 100 payload bytes, then vanish after 10.
+    uint8_t torn[15] = {100, 0, 0, 0, static_cast<uint8_t>(FrameType::kQuery)};
+    ASSERT_TRUE(
+        sock->SendAll(torn, sizeof(torn), Deadline::After(2000)).ok());
+  }  // closed mid-frame
+  // The server must shrug it off and serve the next client.
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fleet.server(0).port(),
+                                        Deadline::After(2000));
+  ASSERT_TRUE(sock.ok());
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ASSERT_TRUE(WriteFrame(*sock, ping, Deadline::After(2000)).ok());
+  Result<Frame> pong = ReadFrame(*sock, Deadline::After(2000));
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(FrameType::kPong, pong->type);
+}
+
+TEST_F(ServiceTest, BadQueryTextKeepsMediatorConnectionUsable) {
+  BackendFleet fleet(federation_);
+  MediatorServer::Options options;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+  Result<Socket> sock = Socket::Connect("127.0.0.1", mediator.port(),
+                                        Deadline::After(2000));
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(WriteFrame(*sock, MakeQueryFrame("not|a|query"),
+                         Deadline::After(2000))
+                  .ok());
+  Result<Frame> reply = ReadFrame(*sock, Deadline::After(5000));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(FrameType::kError, reply->type);
+  EXPECT_FALSE(ParseErrorFrame(*reply).ok());
+  // A real query on the same connection still goes through.
+  Frame good =
+      MakeQueryFrame(workload::FormatTraceQuery(trace_.queries[0]));
+  ASSERT_TRUE(WriteFrame(*sock, good, Deadline::After(2000)).ok());
+  Result<Frame> qr = ReadFrame(*sock, Deadline::After(10000));
+  ASSERT_TRUE(qr.ok()) << qr.status().ToString();
+  EXPECT_EQ(FrameType::kQueryReply, qr->type);
+}
+
+// ---- Real execution over the wire ------------------------------------
+
+TEST_F(ServiceTest, ExecutesQueriesAtTheBackend) {
+  catalog::Catalog catalog("svc-exec");
+  catalog::Table photo("PhotoObj", 4);
+  photo.AddColumn("objID", catalog::ColumnType::kInt64);
+  photo.AddColumn("mag", catalog::ColumnType::kFloat64);
+  BYC_CHECK(catalog.AddTable(std::move(photo)).ok());
+  auto data = exec::TableData::FromColumns(catalog.table(0),
+                                           {{0, 1, 2, 3}, {15, 17, 19, 21}});
+  exec::Executor executor({&data});
+  auto fed = federation::Federation::SingleSite(std::move(catalog));
+  BackendFleet fleet(fed, &executor);
+
+  auto bound =
+      query::ParseAndBind(fed.catalog(),
+                          "SELECT objID FROM PhotoObj WHERE mag > 16");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  Result<exec::ExecutionResult> direct = executor.Execute(*bound);
+  ASSERT_TRUE(direct.ok());
+
+  workload::TraceQuery tq;
+  tq.query = *bound;
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fleet.server(0).port(),
+                                        Deadline::After(2000));
+  ASSERT_TRUE(sock.ok());
+  Frame request;
+  request.type = FrameType::kExec;
+  std::string line = workload::FormatTraceQuery(tq);
+  request.payload.assign(line.begin(), line.end());
+  ASSERT_TRUE(WriteFrame(*sock, request, Deadline::After(2000)).ok());
+  Result<Frame> reply = ReadFrame(*sock, Deadline::After(5000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(FrameType::kExecReply, reply->type);
+  PayloadReader r(reply->payload);
+  Result<uint64_t> rows = r.ReadU64();
+  Result<double> bytes = r.ReadF64();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(direct->result_rows, *rows);
+  EXPECT_TRUE(SameBits(direct->result_bytes, *bytes));
+}
+
+TEST_F(ServiceTest, ExecWithoutDataFailsPrecondition) {
+  BackendFleet fleet(federation_);  // no executor wired
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fleet.server(0).port(),
+                                        Deadline::After(2000));
+  ASSERT_TRUE(sock.ok());
+  Frame request;
+  request.type = FrameType::kExec;
+  std::string line = workload::FormatTraceQuery(trace_.queries[0]);
+  request.payload.assign(line.begin(), line.end());
+  ASSERT_TRUE(WriteFrame(*sock, request, Deadline::After(2000)).ok());
+  Result<Frame> reply = ReadFrame(*sock, Deadline::After(5000));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(FrameType::kError, reply->type);
+  EXPECT_EQ(StatusCode::kFailedPrecondition,
+            ParseErrorFrame(*reply).code());
+}
+
+// ---- Lifecycle --------------------------------------------------------
+
+TEST_F(ServiceTest, StartupValidatesBackendCoverage) {
+  federation::Federation multi = MakeMultiSite();
+  MediatorServer::Options options;
+  MediatorServer mediator(&multi, config_,
+                          {{"127.0.0.1", 1}, {"127.0.0.1", 2}}, options);
+  Status started = mediator.Start();
+  EXPECT_TRUE(started.IsInvalidArgument()) << started.ToString();
+}
+
+TEST_F(ServiceTest, StopIsIdempotentAndStatsAccessibleAfter) {
+  BackendFleet fleet(federation_);
+  MediatorServer::Options options;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+  EXPECT_TRUE(mediator.running());
+  mediator.Stop();
+  mediator.Stop();
+  EXPECT_FALSE(mediator.running());
+  EXPECT_EQ(0u, mediator.stats().queries);
+}
+
+}  // namespace
+}  // namespace byc::service
