@@ -1,0 +1,369 @@
+// Concurrent-service load generator: starts the loopback federation
+// (backend site servers + mediator) and replays the EDR trace from N
+// concurrent clients at once, each client streaming a round-robin shard
+// of the trace as sequence-stamped kQueryAt frames. The mediator's
+// ordered-admission stage reassembles the global trace order, so the
+// headline check is the same byte-identity claim as svc_loopback_replay
+// — D_S / D_L / D_C from the N-way interleaved run must equal an
+// in-process sim::Simulator replay (== a single-client replay) bit for
+// bit, under ANY interleaving the scheduler produces.
+//
+// On top of the conservation check this is the service's load harness:
+// it reports aggregate QPS and client-observed request latency
+// percentiles (p50/p90/p99) per granularity and writes them to a
+// machine-readable BENCH_service.json so successive PRs have a recorded
+// service-throughput trajectory. With BYC_MANIFEST[_DIR] set, the run
+// manifest additionally carries the server-side svc.* counters and
+// histograms plus an svc.qps gauge (validated in CI by
+// scripts/validate_manifest.py --require-load).
+//
+// Usage: svc_concurrent_load [--queries N] [--clients N] [--policy NAME]
+//                            [--frac F] [--out FILE]
+//   --queries N  trace length (default 2000)
+//   --clients N  concurrent replay clients (default 4, max 64)
+//   --policy P   rate_profile (default) | lru | gds | online_by
+//   --frac F     cache capacity as a fraction of the database (0.3)
+//   --out FILE   JSON output path (default: BENCH_service.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json_writer.h"
+#include "common/stats.h"
+#include "service/backend_server.h"
+#include "service/mediator_server.h"
+#include "service/replay_client.h"
+
+namespace {
+
+using namespace byc;
+using Clock = std::chrono::steady_clock;
+
+/// Bitwise double equality: the claim is identity, not closeness.
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct CaseResult {
+  bool ok = true;
+  int checked = 0;
+};
+
+void Check(CaseResult& r, const char* what, double sim, double svc) {
+  ++r.checked;
+  if (!SameBits(sim, svc)) {
+    std::printf("  MISMATCH %-12s sim=%.17g svc=%.17g\n", what, sim, svc);
+    r.ok = false;
+  }
+}
+
+void CheckU(CaseResult& r, const char* what, uint64_t sim, uint64_t svc) {
+  ++r.checked;
+  if (sim != svc) {
+    std::printf("  MISMATCH %-12s sim=%llu svc=%llu\n", what,
+                static_cast<unsigned long long>(sim),
+                static_cast<unsigned long long>(svc));
+    r.ok = false;
+  }
+}
+
+core::PolicyKind ParsePolicy(const std::string& name) {
+  if (name == "lru") return core::PolicyKind::kLru;
+  if (name == "gds") return core::PolicyKind::kGds;
+  if (name == "online_by") return core::PolicyKind::kOnlineBy;
+  return core::PolicyKind::kRateProfile;
+}
+
+/// One measured case of the load run.
+struct Record {
+  std::string config;  // "EDR/table", ...
+  size_t clients = 0;
+  uint64_t queries = 0;
+  double qps = 0;
+  double wall_ms = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  uint64_t degraded = 0;
+};
+
+std::string RecordToJson(const Record& r) {
+  std::string out;
+  JsonWriter json(&out, /*pretty=*/false);
+  json.BeginObject();
+  json.Key("name");
+  json.String("concurrent_load");
+  json.Key("config");
+  json.String(r.config);
+  json.Key("clients");
+  json.UInt(static_cast<uint64_t>(r.clients));
+  json.Key("queries");
+  json.UInt(r.queries);
+  json.Key("qps");
+  json.Double(r.qps, 1);
+  json.Key("wall_ms");
+  json.Double(r.wall_ms, 3);
+  json.Key("p50_ms");
+  json.Double(r.p50_ms, 4);
+  json.Key("p90_ms");
+  json.Double(r.p90_ms, 4);
+  json.Key("p99_ms");
+  json.Double(r.p99_ms, 4);
+  json.Key("degraded");
+  json.UInt(r.degraded);
+  json.EndObject();
+  return out;
+}
+
+bool WriteJson(const std::vector<Record>& records, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "svc_concurrent_load: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", RecordToJson(records[i]).c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+/// One N-client load case at `granularity`; appends its record and
+/// returns whether the aggregate ledger matched the simulator bitwise.
+bool RunCase(const bench::Release& release, catalog::Granularity granularity,
+             core::PolicyKind kind, uint64_t capacity, size_t num_clients,
+             const service::ServiceConfig& svc_config,
+             std::vector<Record>& records) {
+  // In-process reference: the single-client total order. Byte-identity
+  // against this is byte-identity against a single-client wire replay
+  // (svc_loopback_replay establishes that equivalence).
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  core::PolicyConfig config =
+      bench::MakeSweepConfig(kind, capacity, decomposed);
+  config.granularity = granularity;
+  auto policy = core::MakePolicy(config);
+  sim::SimResult sim_result = simulator.Run(*policy, decomposed);
+
+  // Loopback fleet: one backend per site + the concurrent mediator.
+  std::vector<std::unique_ptr<service::BackendServer>> backends;
+  std::vector<service::BackendAddress> addrs;
+  for (int s = 0; s < release.federation.num_sites(); ++s) {
+    service::BackendServer::Options options;
+    options.site = s;
+    options.federation = &release.federation;
+    backends.push_back(std::make_unique<service::BackendServer>(options));
+    Status started = backends.back()->Start();
+    if (!started.ok()) {
+      std::printf("  backend %d failed to start: %s\n", s,
+                  started.ToString().c_str());
+      return false;
+    }
+    addrs.push_back({"127.0.0.1", backends.back()->port()});
+  }
+  service::MediatorServer::Options options;
+  options.config = svc_config;
+  options.metrics = bench::BenchMetrics();
+  service::MediatorServer mediator(&release.federation, config,
+                                   std::move(addrs), options);
+  Status started = mediator.Start();
+  if (!started.ok()) {
+    std::printf("  mediator failed to start: %s\n",
+                started.ToString().c_str());
+    return false;
+  }
+
+  // N clients, each replaying its round-robin shard concurrently.
+  std::vector<Result<service::ReplayClient::ShardReport>> shard_results(
+      num_clients, Status::Unavailable("shard never ran"));
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  const Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < num_clients; ++i) {
+    threads.emplace_back([&, i] {
+      service::ReplayClient client("127.0.0.1", mediator.port(), svc_config);
+      shard_results[i] =
+          client.ReplayShard(release.trace, i, num_clients);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+
+  uint64_t queries_sent = 0;
+  uint64_t degraded = 0;
+  LogHistogram request_ms;
+  for (size_t i = 0; i < num_clients; ++i) {
+    if (!shard_results[i].ok()) {
+      std::printf("  client %zu failed: %s\n", i,
+                  shard_results[i].status().ToString().c_str());
+      return false;
+    }
+    queries_sent += shard_results[i]->queries_sent;
+    degraded += shard_results[i]->client_totals.degraded;
+    request_ms.Merge(shard_results[i]->request_ms);
+  }
+
+  // The authoritative aggregate ledger, fetched on a fresh session after
+  // every shard completed.
+  service::ReplayClient stats_client("127.0.0.1", mediator.port(),
+                                     svc_config);
+  Result<service::StatsReply> ledger_result = stats_client.FetchStats();
+  if (!ledger_result.ok()) {
+    std::printf("  stats fetch failed: %s\n",
+                ledger_result.status().ToString().c_str());
+    return false;
+  }
+  mediator.Stop();
+  for (auto& backend : backends) backend->Stop();
+
+  const sim::CostBreakdown& sim_totals = sim_result.totals;
+  const service::StatsReply& ledger = *ledger_result;
+  CaseResult r;
+  CheckU(r, "queries_sent", release.trace.queries.size(), queries_sent);
+  CheckU(r, "queries", release.trace.queries.size(), ledger.queries);
+  CheckU(r, "accesses", sim_totals.accesses, ledger.accesses);
+  CheckU(r, "hits", sim_totals.hits, ledger.hits);
+  CheckU(r, "bypasses", sim_totals.bypasses, ledger.bypasses);
+  CheckU(r, "loads", sim_totals.loads, ledger.loads);
+  CheckU(r, "evictions", sim_totals.evictions, ledger.evictions);
+  CheckU(r, "degraded", 0, ledger.degraded_accesses);
+  CheckU(r, "skips", 0, mediator.admission_skips());
+  Check(r, "D_S", sim_totals.bypass_cost, ledger.bypass_cost);
+  Check(r, "D_L", sim_totals.fetch_cost, ledger.fetch_cost);
+  Check(r, "D_C", sim_totals.served_cost, ledger.served_cost);
+  Check(r, "D_S+D_L", sim_totals.total_wan(),
+        ledger.bypass_cost + ledger.fetch_cost);
+
+  Record record;
+  record.config = release.name + "/" + bench::GranularityName(granularity);
+  record.clients = num_clients;
+  record.queries = queries_sent;
+  record.qps = static_cast<double>(queries_sent) / (wall_ms / 1000.0);
+  record.wall_ms = wall_ms;
+  record.p50_ms = request_ms.p50();
+  record.p90_ms = request_ms.p90();
+  record.p99_ms = request_ms.p99();
+  record.degraded = degraded;
+  std::printf(
+      "  %-6s  %zu clients  %llu queries in %.1f ms  (%.0f qps)  "
+      "request p50=%.3fms p90=%.3fms p99=%.3fms  sessions=%llu  "
+      "checks=%d  %s\n",
+      bench::GranularityName(granularity), num_clients,
+      static_cast<unsigned long long>(queries_sent), wall_ms, record.qps,
+      record.p50_ms, record.p90_ms, record.p99_ms,
+      static_cast<unsigned long long>(mediator.sessions_served()),
+      r.checked, r.ok ? "IDENTICAL" : "MISMATCH");
+  records.push_back(std::move(record));
+  return r.ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_queries = 2000;
+  size_t num_clients = 4;
+  std::string policy_name = "rate_profile";
+  double fraction = 0.3;
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      num_queries = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      num_clients = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--frac") == 0 && i + 1 < argc) {
+      fraction = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--queries N] [--clients N] [--policy NAME] "
+                   "[--frac F] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (num_clients == 0 || num_clients > 64) {
+    std::fprintf(stderr, "svc_concurrent_load: --clients must be 1..64\n");
+    return 2;
+  }
+
+  bench::BenchRun run("svc_concurrent_load");
+  Result<service::ServiceConfig> svc_config =
+      service::ServiceConfig::FromEnv();
+  if (!svc_config.ok()) {
+    std::fprintf(stderr, "bad BYC_SVC_* environment: %s\n",
+                 svc_config.status().ToString().c_str());
+    return 2;
+  }
+  // The whole point is N live sessions: never let the session cap below
+  // the client count turn the load run into a rejection test.
+  svc_config->max_sessions =
+      std::max(svc_config->max_sessions, static_cast<int>(num_clients));
+  run.AddConfig("queries", std::to_string(num_queries));
+  run.AddConfig("clients", std::to_string(num_clients));
+  run.AddConfig("policy", policy_name);
+  run.AddConfig("capacity_fraction", std::to_string(fraction));
+  run.AddConfig("svc.deadline_ms", std::to_string(svc_config->deadline_ms));
+  run.AddConfig("svc.retries",
+                std::to_string(svc_config->retry.max_attempts - 1));
+  run.AddConfig("svc.max_sessions",
+                std::to_string(svc_config->max_sessions));
+  run.AddConfig("svc.max_inflight",
+                std::to_string(svc_config->max_inflight));
+  run.AddConfig("svc.reorder_ms",
+                std::to_string(svc_config->reorder_timeout_ms));
+
+  bench::Release release = bench::MakeRelease(false, num_queries);
+  uint64_t capacity = bench::CapacityFraction(release, fraction);
+  core::PolicyKind kind = ParsePolicy(policy_name);
+
+  std::printf(
+      "svc_concurrent_load: %s, %zu queries, %zu clients, %s @ %.0f%% "
+      "cache\n",
+      release.name.c_str(), release.trace.queries.size(), num_clients,
+      policy_name.c_str(), fraction * 100);
+  std::vector<Record> records;
+  bool ok = true;
+  ok &= RunCase(release, catalog::Granularity::kTable, kind, capacity,
+                num_clients, *svc_config, records);
+  ok &= RunCase(release, catalog::Granularity::kColumn, kind, capacity,
+                num_clients, *svc_config, records);
+
+  // Aggregate throughput gauge for the manifest (the per-case numbers
+  // live in BENCH_service.json).
+  if (telemetry::MetricsRegistry* metrics = run.metrics()) {
+    double total_queries = 0, total_wall_ms = 0;
+    for (const Record& r : records) {
+      total_queries += static_cast<double>(r.queries);
+      total_wall_ms += r.wall_ms;
+    }
+    if (total_wall_ms > 0) {
+      metrics->gauge("svc.qps").Set(total_queries / (total_wall_ms / 1000.0));
+    }
+    metrics->gauge("svc.clients").Set(static_cast<double>(num_clients));
+  }
+
+  if (!WriteJson(records, out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("svc_concurrent_load: %s\n",
+              ok ? "PASS (N-client aggregate ledger byte-identical to "
+                   "single-client replay)"
+                 : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -95,9 +95,9 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
     addrs.push_back({"127.0.0.1", backends.back()->port()});
   }
   service::MediatorServer::Options options;
-  options.granularity = granularity;
   options.config = svc_config;
   options.metrics = bench::BenchMetrics();
+  config.granularity = granularity;
   service::MediatorServer mediator(&release.federation, config,
                                    std::move(addrs), options);
   Status started = mediator.Start();

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full CI sweep: release + asan + tsan builds, each preset's ctest
-# selection, then two smoke tests — a manifest-emission check (one bench
-# binary runs with BYC_MANIFEST set, output validated against the
-# documented schema by scripts/validate_manifest.py) and a loopback
+# selection, then three smoke tests — a manifest-emission check (one
+# bench binary runs with BYC_MANIFEST set, output validated against the
+# documented schema by scripts/validate_manifest.py), a loopback
 # federation-service check (svc_loopback_replay must report a service
 # ledger byte-identical to the simulator, under a hard timeout so a
-# wedged socket can never hang CI).
+# wedged socket can never hang CI), and a concurrent-load check
+# (svc_concurrent_load: N clients interleaving on the mediator must
+# conserve the ledger bitwise, and the manifest must carry the load
+# fields validate_manifest.py --require-load demands).
 #
 # Usage: scripts/ci.sh [preset ...]
 #   scripts/ci.sh                 # release asan tsan (the full sweep)
@@ -16,8 +19,10 @@
 #   CI_SKIP_MANIFEST=1  skip the manifest smoke test (e.g. for tsan-only
 #                       iterating on a race)
 #   CI_SKIP_SERVICE=1   skip the loopback service smoke test
-#   CI_SVC_TIMEOUT      seconds before the service smoke test is killed
-#                       (default 300)
+#   CI_SKIP_LOAD=1      skip the concurrent-load smoke test
+#   CI_SVC_TIMEOUT      seconds before a service smoke test is killed
+#                       (default 300, applies to both service stages)
+#   CI_LOAD_CLIENTS     concurrent clients for the load smoke (default 4)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -66,6 +71,26 @@ if [ "${CI_SKIP_SERVICE:-0}" != "1" ]; then
   BYC_MANIFEST="$svc_manifest" \
     timeout "${CI_SVC_TIMEOUT:-300}" "$svc" --queries 300
   python3 scripts/validate_manifest.py --require-service "$svc_manifest"
+fi
+
+if [ "${CI_SKIP_LOAD:-0}" != "1" ]; then
+  load=build/bench/svc_concurrent_load
+  if [ ! -x "$load" ]; then
+    cmake --preset release >/dev/null
+    cmake --build --preset release -j "$JOBS" --target svc_concurrent_load
+  fi
+  load_manifest="$(mktemp -t byc_load_manifest.XXXXXX.json)"
+  load_json="$(mktemp -t byc_load_bench.XXXXXX.json)"
+  trap 'rm -f "${manifest:-}" "${svc_manifest:-}" "$load_manifest" "$load_json"' EXIT
+  echo "==> concurrent load smoke test ($load)"
+  # The binary exits nonzero if the N-client aggregate ledger diverges
+  # from the single-client order by even one bit; `timeout` guards
+  # against a wedged admission stage.
+  BYC_MANIFEST="$load_manifest" \
+    timeout "${CI_SVC_TIMEOUT:-300}" "$load" --queries 300 \
+    --clients "${CI_LOAD_CLIENTS:-4}" --out "$load_json"
+  python3 scripts/validate_manifest.py --require-service --require-load \
+    "$load_manifest"
 fi
 
 echo "==> CI OK (${PRESETS[*]})"

@@ -5,13 +5,20 @@ The schema is documented in src/telemetry/manifest.h and emitted by
 bench::BenchRun (any bench binary run with BYC_MANIFEST or
 BYC_MANIFEST_DIR set). Stdlib only.
 
-Manifests written by service benches (svc_loopback_replay) additionally
-carry the BYC_SVC_* configuration ("svc.deadline_ms", "svc.retries") and
-svc.* metrics; those fields are validated whenever present, and
---require-service makes their absence an error (the CI service smoke
-stage passes it so a silently-unconfigured run cannot slip through).
+Manifests written by service benches (svc_loopback_replay,
+svc_concurrent_load) additionally carry the BYC_SVC_* configuration
+("svc.deadline_ms", "svc.retries") and svc.* metrics; those fields are
+validated whenever present, and --require-service makes their absence an
+error (the CI service smoke stage passes it so a silently-unconfigured
+run cannot slip through).
 
-Usage: validate_manifest.py [--require-service] <manifest.json> [...]
+--require-load additionally demands the concurrent-load fields of
+svc_concurrent_load: a positive "svc.sessions" counter, a positive
+"svc.qps" gauge, and a sane "svc.request_ms" latency histogram
+(count >= 1 and p50 <= p90 <= p99). The CI load smoke stage passes it.
+
+Usage: validate_manifest.py [--require-service] [--require-load]
+                            <manifest.json> [...]
 Exits nonzero with a message per violation.
 """
 
@@ -178,10 +185,60 @@ def validate_service_fields(doc, path, errors, required):
                  f"!= counter 'svc.queries' {queries!r}", errors)
 
 
+def validate_load_fields(doc, path, errors, required):
+    """Checks the concurrent-load additions of an svc_concurrent_load
+    manifest: live sessions, aggregate throughput, and a sane
+    client-visible latency distribution."""
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    metrics = metrics if isinstance(metrics, dict) else {}
+    counters = metrics.get("counters", {})
+    counters = counters if isinstance(counters, dict) else {}
+    gauges = metrics.get("gauges", {})
+    gauges = gauges if isinstance(gauges, dict) else {}
+    histograms = metrics.get("histograms", {})
+    histograms = histograms if isinstance(histograms, dict) else {}
+
+    has_load = "svc.qps" in gauges
+    if not has_load:
+        if required:
+            fail(path, "no 'svc.qps' gauge found (--require-load)", errors)
+        return
+
+    sessions = counters.get("svc.sessions")
+    if sessions is None:
+        fail(path, "load manifest missing counter 'svc.sessions'", errors)
+    elif isinstance(sessions, int) and sessions < 1:
+        fail(path, f"counter 'svc.sessions' must be >= 1 for a completed "
+             f"load run: {sessions!r}", errors)
+
+    qps = gauges["svc.qps"]
+    if not is_number(qps) or qps <= 0:
+        fail(path, f"gauge 'svc.qps' must be a positive number: {qps!r}",
+             errors)
+
+    hist = histograms.get("svc.request_ms")
+    if hist is None:
+        fail(path, "load manifest missing histogram 'svc.request_ms'",
+             errors)
+    elif isinstance(hist, dict):
+        if is_number(hist.get("count")) and hist["count"] < 1:
+            fail(path, "histogram 'svc.request_ms' is empty in a load run",
+                 errors)
+        quantiles = [hist.get(q) for q in ("p50", "p90", "p99")]
+        if all(is_number(q) for q in quantiles):
+            p50, p90, p99 = quantiles
+            if not (0 <= p50 <= p90 <= p99):
+                fail(path, f"histogram 'svc.request_ms' quantiles are not "
+                     f"monotone: p50={p50!r} p90={p90!r} p99={p99!r}",
+                     errors)
+
+
 def main(argv):
     args = argv[1:]
     require_service = "--require-service" in args
-    paths = [a for a in args if a != "--require-service"]
+    require_load = "--require-load" in args
+    flags = ("--require-service", "--require-load")
+    paths = [a for a in args if a not in flags]
     if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -195,6 +252,7 @@ def main(argv):
             continue
         validate_manifest(doc, path, errors)
         validate_service_fields(doc, path, errors, require_service)
+        validate_load_fields(doc, path, errors, require_load)
     if errors:
         for error in errors:
             print(f"validate_manifest: {error}", file=sys.stderr)

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/object_id.h"
+#include "core/policy.h"
 
 namespace byc::core {
 
@@ -38,12 +39,12 @@ class BypassObjectCache {
 
   virtual bool Contains(const catalog::ObjectId& id) const = 0;
 
-  virtual uint64_t used_bytes() const = 0;
-  virtual uint64_t capacity_bytes() const = 0;
-
-  /// Per-object state held for non-resident objects (admission rent,
-  /// etc.); 0 for algorithms like Landlord that track residents only.
-  virtual size_t metadata_entries() const { return 0; }
+  /// Snapshot of the cache state, sharing the CachePolicy struct so the
+  /// OnlineBY/SpaceEffBY wrappers forward it unchanged. metadata_entries
+  /// counts per-object state held for non-resident objects (admission
+  /// rent, etc.); 0 for algorithms like Landlord that track residents
+  /// only.
+  virtual PolicyStats stats() const = 0;
 };
 
 }  // namespace byc::core

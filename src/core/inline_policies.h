@@ -27,8 +27,10 @@ class InlineCachePolicy : public CachePolicy {
   bool Contains(const catalog::ObjectId& id) const final {
     return store_.Contains(id);
   }
-  uint64_t used_bytes() const final { return store_.used_bytes(); }
-  uint64_t capacity_bytes() const final { return store_.capacity_bytes(); }
+  PolicyStats stats() const final {
+    return {store_.used_bytes(), store_.capacity_bytes(), 0,
+            store_.num_objects()};
+  }
 
  protected:
   /// Priority (min evicts first) to assign on this touch.

@@ -37,13 +37,13 @@ class IraniSizeClassCache : public BypassObjectCache {
   bool Contains(const catalog::ObjectId& id) const override {
     return store_.Contains(id);
   }
-  uint64_t used_bytes() const override { return store_.used_bytes(); }
-  uint64_t capacity_bytes() const override { return store_.capacity_bytes(); }
+  PolicyStats stats() const override {
+    return {store_.used_bytes(), store_.capacity_bytes(), rent_paid_.size(),
+            store_.num_objects()};
+  }
 
   /// Number of completed marking phases (tests observe phase resets).
   uint64_t phase_count() const { return phase_count_; }
-
-  size_t metadata_entries() const override { return rent_paid_.size(); }
 
  private:
   struct Resident {

@@ -34,8 +34,10 @@ class LandlordCache : public BypassObjectCache {
   bool Contains(const catalog::ObjectId& id) const override {
     return store_.Contains(id);
   }
-  uint64_t used_bytes() const override { return store_.used_bytes(); }
-  uint64_t capacity_bytes() const override { return store_.capacity_bytes(); }
+  PolicyStats stats() const override {
+    return {store_.used_bytes(), store_.capacity_bytes(), 0,
+            store_.num_objects()};
+  }
 
   /// Current credit of a resident object (tests). Precondition: resident.
   double CreditOf(const catalog::ObjectId& id) const;
@@ -76,7 +78,11 @@ class RentToBuyCache : public LandlordCache {
   std::string_view name() const override { return "RentToBuy"; }
   RequestOutcome OnRequest(const catalog::ObjectId& id, uint64_t size_bytes,
                            double fetch_cost) override;
-  size_t metadata_entries() const override { return rent_paid_.size(); }
+  PolicyStats stats() const override {
+    PolicyStats stats = LandlordCache::stats();
+    stats.metadata_entries = rent_paid_.size();
+    return stats;
+  }
 
  private:
   std::unordered_map<uint64_t, double> rent_paid_;  // by ObjectId::Key()

@@ -51,18 +51,18 @@ class OnlineByPolicy : public CachePolicy {
   bool Contains(const catalog::ObjectId& id) const override {
     return aobj_->Contains(id);
   }
-  uint64_t used_bytes() const override { return aobj_->used_bytes(); }
-  uint64_t capacity_bytes() const override { return aobj_->capacity_bytes(); }
+  /// The A_obj's snapshot, with the BYU accumulators added to its own
+  /// admission state in metadata_entries.
+  PolicyStats stats() const override {
+    PolicyStats stats = aobj_->stats();
+    stats.metadata_entries += byu_.size();
+    return stats;
+  }
 
   /// Current BYU accumulator of an object (tests). 0 when untracked.
   double ByuOf(const catalog::ObjectId& id) const;
 
   const BypassObjectCache& aobj() const { return *aobj_; }
-
-  /// BYU accumulators plus the A_obj's own admission state.
-  size_t metadata_entries() const override {
-    return byu_.size() + aobj_->metadata_entries();
-  }
 
  private:
   std::unique_ptr<BypassObjectCache> aobj_;

@@ -25,6 +25,26 @@ enum class Action : uint8_t {
 
 std::string_view ActionName(Action action);
 
+/// One coherent snapshot of a policy's cache state. Collapsing the old
+/// used_bytes()/capacity_bytes()/metadata_entries() virtual trio into a
+/// single call means callers (sweep outcomes, simulator cross-checks,
+/// telemetry) read all fields from the same instant, and new fields stop
+/// rippling through every policy subclass as fresh virtuals.
+struct PolicyStats {
+  /// Bytes currently held (0 for cacheless policies).
+  uint64_t used_bytes = 0;
+  /// Bytes of capacity (0 for cacheless policies).
+  uint64_t capacity_bytes = 0;
+  /// Count of per-object metadata entries held for objects that are NOT
+  /// resident — the state the paper's SpaceEffBY exists to eliminate
+  /// ("Both RateProfile and OnlineBY need to store information for all
+  /// objects that can be potentially cached", §5). Residency bookkeeping
+  /// itself is excluded.
+  size_t metadata_entries = 0;
+  /// Number of objects currently resident in the cache.
+  size_t resident_objects = 0;
+};
+
 /// The outcome of one access: the action plus any evictions performed to
 /// make room (evictions are WAN-free; they only give up future savings).
 struct Decision {
@@ -58,18 +78,9 @@ class CachePolicy {
   /// True iff the object is currently resident.
   virtual bool Contains(const catalog::ObjectId& id) const = 0;
 
-  /// Bytes currently held (0 for cacheless policies).
-  virtual uint64_t used_bytes() const { return 0; }
-
-  /// Bytes of capacity (0 for cacheless policies).
-  virtual uint64_t capacity_bytes() const { return 0; }
-
-  /// Count of per-object metadata entries held for objects that are NOT
-  /// resident — the state the paper's SpaceEffBY exists to eliminate
-  /// ("Both RateProfile and OnlineBY need to store information for all
-  /// objects that can be potentially cached", §5). Residency bookkeeping
-  /// itself is excluded.
-  virtual size_t metadata_entries() const { return 0; }
+  /// Snapshot of the policy's cache state. The default (all zeros) suits
+  /// cacheless policies; stateful policies override it wholesale.
+  virtual PolicyStats stats() const { return {}; }
 };
 
 }  // namespace byc::core

@@ -1,5 +1,10 @@
 #include "core/policy_factory.h"
 
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/check.h"
 #include "core/inline_policies.h"
 #include "core/no_cache_policy.h"
@@ -33,6 +38,175 @@ std::string_view PolicyKindName(PolicyKind kind) {
       return "SpaceEffBY";
   }
   return "?";
+}
+
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name) {
+  static constexpr PolicyKind kAll[] = {
+      PolicyKind::kNoCache, PolicyKind::kLru,         PolicyKind::kLruK,
+      PolicyKind::kLfu,     PolicyKind::kGds,         PolicyKind::kGdsp,
+      PolicyKind::kStatic,  PolicyKind::kRateProfile, PolicyKind::kOnlineBy,
+      PolicyKind::kSpaceEffBy};
+  for (PolicyKind kind : kAll) {
+    if (name == PolicyKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<AobjKind> ParseAobjKind(std::string_view name) {
+  static constexpr AobjKind kAll[] = {AobjKind::kLandlord, AobjKind::kRentToBuy,
+                                      AobjKind::kIraniSizeClass};
+  for (AobjKind kind : kAll) {
+    if (name == AobjKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// %.17g prints a double with enough digits that strtod reproduces the
+// exact bit pattern — required so a parsed config replays bit-identically
+// to the original (the whole repo's determinism contract).
+void AppendDouble(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%.17g", key, value);
+  out += buf;
+}
+
+void AppendU64(std::string& out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, key, value);
+  out += buf;
+}
+
+Result<uint64_t> ParseU64Value(std::string_view key, std::string_view text) {
+  std::string owned(text);
+  if (owned.empty() || owned[0] == '-' || owned[0] == '+') {
+    return Status::InvalidArgument("PolicyConfig: bad " + std::string(key) +
+                                   " value '" + owned + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  uint64_t value = std::strtoull(owned.c_str(), &end, 10);
+  if (errno != 0 || end != owned.c_str() + owned.size()) {
+    return Status::InvalidArgument("PolicyConfig: bad " + std::string(key) +
+                                   " value '" + owned + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDoubleValue(std::string_view key, std::string_view text) {
+  std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(owned.c_str(), &end);
+  if (owned.empty() || errno != 0 || end != owned.c_str() + owned.size()) {
+    return Status::InvalidArgument("PolicyConfig: bad " + std::string(key) +
+                                   " value '" + owned + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string FormatPolicyConfig(const PolicyConfig& config) {
+  std::string out = "kind=";
+  out += PolicyKindName(config.kind);
+  AppendU64(out, "capacity", config.capacity_bytes);
+  out += " granularity=";
+  out += config.granularity == catalog::Granularity::kTable ? "table"
+                                                            : "column";
+  AppendDouble(out, "c", config.episode.termination_ratio);
+  AppendU64(out, "k", config.episode.idle_limit);
+  AppendDouble(out, "decay", config.episode.weight_decay);
+  AppendU64(out, "max_episodes", config.episode.max_episodes);
+  out += " online_aobj=";
+  out += AobjKindName(config.online_aobj);
+  out += " space_eff_aobj=";
+  out += AobjKindName(config.space_eff_aobj);
+  AppendU64(out, "seed", config.seed);
+  AppendU64(out, "lru_k", static_cast<uint64_t>(config.lru_k));
+  out += " static_charge_initial_load=";
+  out += config.static_charge_initial_load ? "1" : "0";
+  return out;
+}
+
+Result<PolicyConfig> ParsePolicyConfig(std::string_view text) {
+  PolicyConfig config;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) break;
+    size_t end = text.find(' ', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view pair = text.substr(pos, end - pos);
+    pos = end;
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("PolicyConfig: malformed pair '" +
+                                     std::string(pair) + "'");
+    }
+    std::string_view key = pair.substr(0, eq);
+    std::string_view value = pair.substr(eq + 1);
+    if (key == "kind") {
+      std::optional<PolicyKind> kind = ParsePolicyKind(value);
+      if (!kind) {
+        return Status::InvalidArgument("PolicyConfig: unknown kind '" +
+                                       std::string(value) + "'");
+      }
+      config.kind = *kind;
+    } else if (key == "capacity") {
+      BYC_ASSIGN_OR_RETURN(config.capacity_bytes, ParseU64Value(key, value));
+    } else if (key == "granularity") {
+      if (value == "table") {
+        config.granularity = catalog::Granularity::kTable;
+      } else if (value == "column") {
+        config.granularity = catalog::Granularity::kColumn;
+      } else {
+        return Status::InvalidArgument("PolicyConfig: unknown granularity '" +
+                                       std::string(value) + "'");
+      }
+    } else if (key == "c") {
+      BYC_ASSIGN_OR_RETURN(config.episode.termination_ratio,
+                           ParseDoubleValue(key, value));
+    } else if (key == "k") {
+      BYC_ASSIGN_OR_RETURN(config.episode.idle_limit,
+                           ParseU64Value(key, value));
+    } else if (key == "decay") {
+      BYC_ASSIGN_OR_RETURN(config.episode.weight_decay,
+                           ParseDoubleValue(key, value));
+    } else if (key == "max_episodes") {
+      uint64_t parsed = 0;
+      BYC_ASSIGN_OR_RETURN(parsed, ParseU64Value(key, value));
+      config.episode.max_episodes = static_cast<size_t>(parsed);
+    } else if (key == "online_aobj" || key == "space_eff_aobj") {
+      std::optional<AobjKind> aobj = ParseAobjKind(value);
+      if (!aobj) {
+        return Status::InvalidArgument("PolicyConfig: unknown aobj '" +
+                                       std::string(value) + "'");
+      }
+      (key == "online_aobj" ? config.online_aobj : config.space_eff_aobj) =
+          *aobj;
+    } else if (key == "seed") {
+      BYC_ASSIGN_OR_RETURN(config.seed, ParseU64Value(key, value));
+    } else if (key == "lru_k") {
+      uint64_t parsed = 0;
+      BYC_ASSIGN_OR_RETURN(parsed, ParseU64Value(key, value));
+      if (parsed == 0 || parsed > 64) {
+        return Status::InvalidArgument("PolicyConfig: lru_k out of range");
+      }
+      config.lru_k = static_cast<int>(parsed);
+    } else if (key == "static_charge_initial_load") {
+      if (value != "0" && value != "1") {
+        return Status::InvalidArgument(
+            "PolicyConfig: static_charge_initial_load must be 0 or 1");
+      }
+      config.static_charge_initial_load = value == "1";
+    } else {
+      return Status::InvalidArgument("PolicyConfig: unknown key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  return config;
 }
 
 std::unique_ptr<CachePolicy> MakePolicy(const PolicyConfig& config) {

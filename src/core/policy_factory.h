@@ -2,9 +2,12 @@
 #define BYC_CORE_POLICY_FACTORY_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
 #include "core/online_by_policy.h"
 #include "core/policy.h"
 #include "core/query_profile.h"
@@ -27,10 +30,26 @@ enum class PolicyKind : uint8_t {
 
 std::string_view PolicyKindName(PolicyKind kind);
 
-/// Common construction recipe used by the benches and examples.
+/// Inverse of PolicyKindName (exact match); nullopt for unknown names.
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name);
+
+/// Inverse of AobjKindName (exact match); nullopt for unknown names.
+std::optional<AobjKind> ParseAobjKind(std::string_view name);
+
+/// Common construction recipe used by the benches, examples, and the
+/// federation service: one aggregate instead of positional parameters,
+/// so a new tuning knob lands here once instead of rippling through
+/// every MakePolicy call site. The Rate-Profile episode defaults carry
+/// the paper's published constants (termination ratio c = 0.5, idle
+/// limit k = 1000 queries; §4).
 struct PolicyConfig {
   PolicyKind kind = PolicyKind::kNoCache;
   uint64_t capacity_bytes = 0;
+  /// Decomposition granularity the policy's access stream is produced
+  /// at. MakePolicy ignores it (policies are granularity-agnostic), but
+  /// the simulator/service consume it so one aggregate describes a
+  /// whole replay configuration.
+  catalog::Granularity granularity = catalog::Granularity::kTable;
   /// Rate-Profile episode parameters.
   EpisodeParams episode;
   /// A_obj for OnlineBY / SpaceEffBY.
@@ -48,6 +67,19 @@ struct PolicyConfig {
 
 /// Builds a fresh policy instance from the config.
 std::unique_ptr<CachePolicy> MakePolicy(const PolicyConfig& config);
+
+/// Serializes a config as one line of space-separated key=value pairs
+/// ("kind=OnlineBY capacity=1024 granularity=table c=0.5 k=1000 ...").
+/// Doubles are printed round-trip exactly; `static_contents` is NOT
+/// carried (it is workload-derived — reselect it with SelectStaticSet
+/// after parsing). ParsePolicyConfig(FormatPolicyConfig(c)) reproduces
+/// every other field bit-for-bit.
+std::string FormatPolicyConfig(const PolicyConfig& config);
+
+/// Parses FormatPolicyConfig output (unknown keys, malformed pairs, or
+/// out-of-range values are InvalidArgument; omitted keys keep their
+/// defaults).
+Result<PolicyConfig> ParsePolicyConfig(std::string_view text);
 
 }  // namespace byc::core
 

@@ -52,8 +52,10 @@ class RateProfilePolicy : public CachePolicy {
   bool Contains(const catalog::ObjectId& id) const override {
     return store_.Contains(id);
   }
-  uint64_t used_bytes() const override { return store_.used_bytes(); }
-  uint64_t capacity_bytes() const override { return store_.capacity_bytes(); }
+  PolicyStats stats() const override {
+    return {store_.used_bytes(), store_.capacity_bytes(), profiles_.size(),
+            store_.num_objects()};
+  }
 
   /// RP_i of a cached object at the current time; tests use this to check
   /// Eq. 3 directly. Precondition: Contains(id).
@@ -65,7 +67,6 @@ class RateProfilePolicy : public CachePolicy {
                             double fetch_cost) const;
 
   size_t num_profiles() const { return profiles_.size(); }
-  size_t metadata_entries() const override { return profiles_.size(); }
 
  private:
   struct CachedState {

@@ -35,11 +35,7 @@ class SpaceEffByPolicy : public CachePolicy {
   bool Contains(const catalog::ObjectId& id) const override {
     return aobj_->Contains(id);
   }
-  uint64_t used_bytes() const override { return aobj_->used_bytes(); }
-  uint64_t capacity_bytes() const override { return aobj_->capacity_bytes(); }
-  size_t metadata_entries() const override {
-    return aobj_->metadata_entries();
-  }
+  PolicyStats stats() const override { return aobj_->stats(); }
 
  private:
   std::unique_ptr<BypassObjectCache> aobj_;

@@ -33,8 +33,10 @@ class StaticPolicy : public CachePolicy {
   bool Contains(const catalog::ObjectId& id) const override {
     return store_.Contains(id);
   }
-  uint64_t used_bytes() const override { return store_.used_bytes(); }
-  uint64_t capacity_bytes() const override { return store_.capacity_bytes(); }
+  PolicyStats stats() const override {
+    return {store_.used_bytes(), store_.capacity_bytes(), 0,
+            store_.num_objects()};
+  }
 
  private:
   cache::CacheStore store_;

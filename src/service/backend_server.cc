@@ -127,6 +127,18 @@ Frame BackendServer::HandleRequest(const Frame& request) {
       pong.type = FrameType::kPong;
       return pong;
     }
+    case FrameType::kHello: {
+      Result<uint32_t> version = ParseHello(request);
+      if (!version.ok()) return MakeErrorFrame(version.status());
+      if (*version != kProtocolVersion) {
+        return MakeErrorFrame(
+            WireCode::kVersionMismatch,
+            "backend speaks protocol version " +
+                std::to_string(kProtocolVersion) + ", client sent " +
+                std::to_string(*version));
+      }
+      return MakeHelloReplyFrame(kProtocolVersion);
+    }
     case FrameType::kFetch:
       return HandleFetch(request);
     case FrameType::kYield:

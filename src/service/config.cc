@@ -17,6 +17,18 @@ Result<ServiceConfig> ServiceConfig::FromEnv() {
       int64_t retries,
       env::IntOr("BYC_SVC_RETRIES", config.retry.max_attempts - 1, 0, 16));
   config.retry.max_attempts = static_cast<int>(retries) + 1;
+  BYC_ASSIGN_OR_RETURN(
+      int64_t sessions,
+      env::IntOr("BYC_SVC_MAX_SESSIONS", config.max_sessions, 1, 1024));
+  config.max_sessions = static_cast<int>(sessions);
+  BYC_ASSIGN_OR_RETURN(
+      int64_t inflight,
+      env::IntOr("BYC_SVC_MAX_INFLIGHT", config.max_inflight, 1, 1024));
+  config.max_inflight = static_cast<int>(inflight);
+  BYC_ASSIGN_OR_RETURN(
+      config.reorder_timeout_ms,
+      env::DurationMsOr("BYC_SVC_REORDER_MS", config.reorder_timeout_ms, 1,
+                        600'000));
   return config;
 }
 

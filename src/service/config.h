@@ -26,9 +26,23 @@ struct ServiceConfig {
   RetryPolicy retry;
   /// Seed of the jitter Rng (deterministic retry schedules in tests).
   uint64_t retry_seed = 0xB1A5CA5E;
+  /// Concurrency cap: client sessions served simultaneously; a connect
+  /// beyond the cap is rejected with a typed kError{kBusy} and closed.
+  /// BYC_SVC_MAX_SESSIONS.
+  int max_sessions = 8;
+  /// Per-session pipelining cap: frames read ahead of the reply being
+  /// written. Excess requests stay in kernel socket buffers (TCP
+  /// backpressure), so one firehosing client cannot balloon server
+  /// memory. BYC_SVC_MAX_INFLIGHT.
+  int max_inflight = 4;
+  /// How long the ordered-admission stage waits for a missing sequence
+  /// number before the oldest waiter skips the gap (a disconnected
+  /// client must not wedge the others). BYC_SVC_REORDER_MS.
+  int64_t reorder_timeout_ms = 1000;
 
   /// Loads overrides from BYC_SVC_PORT / BYC_SVC_DEADLINE_MS /
-  /// BYC_SVC_RETRIES on top of the defaults.
+  /// BYC_SVC_RETRIES / BYC_SVC_MAX_SESSIONS / BYC_SVC_MAX_INFLIGHT /
+  /// BYC_SVC_REORDER_MS on top of the defaults.
   static Result<ServiceConfig> FromEnv();
 };
 

@@ -1,8 +1,8 @@
 #include "service/mediator_server.h"
 
-#include <sys/socket.h>
-
 #include <chrono>
+#include <deque>
+#include <utility>
 
 #include "common/check.h"
 #include "telemetry/metrics.h"
@@ -25,6 +25,11 @@ void InterruptibleSleep(int total_ms, const std::atomic<bool>& stop) {
   }
 }
 
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 MediatorServer::MediatorServer(const federation::Federation* federation,
@@ -32,7 +37,7 @@ MediatorServer::MediatorServer(const federation::Federation* federation,
                                std::vector<BackendAddress> backends,
                                Options options)
     : federation_(federation),
-      mediator_(federation, options.granularity),
+      mediator_(federation, policy_config.granularity),
       policy_config_(policy_config),
       backend_addrs_(std::move(backends)),
       options_(options),
@@ -60,12 +65,23 @@ Status MediatorServer::Start() {
     channels_.push_back(Channel{addr, Socket(), false});
   }
   ledger_ = StatsReply{};
+  admission_next_ = 0;
+  admission_waiting_.clear();
+  live_sessions_.store(0, std::memory_order_relaxed);
+  sessions_accepted_.store(0, std::memory_order_relaxed);
+  sessions_rejected_.store(0, std::memory_order_relaxed);
+  admission_skips_.store(0, std::memory_order_relaxed);
+  // One pool worker per admitted session: a session occupies its worker
+  // for its whole lifetime, so pool capacity == the session cap and an
+  // admitted connection never queues behind another.
+  session_pool_ = std::make_unique<ThreadPool>(
+      static_cast<unsigned>(options_.config.max_sessions));
 
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  serve_thread_ = std::thread(
+  accept_thread_ = std::thread(
       [this, listener = std::move(listener)]() mutable {
-        ServeLoopOn(*listener);
+        AcceptLoopOn(*listener);
         listener->Close();
       });
   return Status::OK();
@@ -74,11 +90,14 @@ Status MediatorServer::Start() {
 void MediatorServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stop_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (live_conn_fd_ >= 0) ::shutdown(live_conn_fd_, SHUT_RDWR);
-  }
-  if (serve_thread_.joinable()) serve_thread_.join();
+  // Wake stamped queries blocked in the admission stage so their
+  // sessions can finish draining.
+  admission_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Graceful drain: every session notices stop_ within kPollMs, answers
+  // the frames it has already read (all I/O deadline-bounded), and
+  // exits; the pool destructor joins them.
+  session_pool_.reset();
   std::lock_guard<std::mutex> lock(mu_);
   for (Channel& ch : channels_) ch.sock.Close();
 }
@@ -88,93 +107,246 @@ StatsReply MediatorServer::stats() const {
   return ledger_;
 }
 
-void MediatorServer::ServeLoopOn(Listener& listener) {
+void MediatorServer::AcceptLoopOn(Listener& listener) {
   while (!stop_.load(std::memory_order_acquire)) {
     Result<Socket> accepted = listener.Accept(kPollMs);
     if (!accepted.ok()) {
       if (accepted.status().IsDeadlineExceeded()) continue;
       break;
     }
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      live_conn_fd_ = accepted->fd();
+    if (live_sessions_.load(std::memory_order_acquire) >=
+        options_.config.max_sessions) {
+      // Typed backpressure: the client learns it hit the session cap
+      // instead of seeing a silent close.
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("svc.sessions_rejected").Increment();
+      }
+#endif
+      WriteFrame(*accepted,
+                 MakeErrorFrame(WireCode::kBusy,
+                                "session cap " +
+                                    std::to_string(
+                                        options_.config.max_sessions) +
+                                    " reached; retry later"),
+                 Deadline::After(options_.config.deadline_ms));
+      continue;  // Socket closes on scope exit.
     }
-    // Connections are served one at a time: the cache policy is a
-    // sequential replay, and interleaving clients would make wire runs
-    // incomparable to the simulator.
-    ServeConnection(*accepted);
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      live_conn_fd_ = -1;
+    live_sessions_.fetch_add(1, std::memory_order_acq_rel);
+    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("svc.sessions").Increment();
+      options_.metrics->gauge("svc.sessions_live")
+          .Set(static_cast<double>(
+              live_sessions_.load(std::memory_order_relaxed)));
     }
+#endif
+    auto conn = std::make_shared<Socket>(std::move(*accepted));
+    session_pool_->Submit([this, conn] {
+      ServeSession(*conn);
+      live_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->gauge("svc.sessions_live")
+            .Set(static_cast<double>(
+                live_sessions_.load(std::memory_order_relaxed)));
+      }
+#endif
+    });
   }
 }
 
-void MediatorServer::ServeConnection(Socket& conn) {
+void MediatorServer::ServeSession(Socket& conn) {
   const int64_t io_ms = options_.config.deadline_ms;
-  while (!stop_.load(std::memory_order_acquire)) {
+  const size_t max_inflight =
+      static_cast<size_t>(options_.config.max_inflight);
+  Clock::time_point session_start{};
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) session_start = Clock::now();
+#endif
+  uint64_t requests_served = 0;
+  std::deque<Frame> pending;  // Read-ahead window (the in-flight cap).
+  bool readable = true;       // Reads still possible on this connection.
+
+  auto finish = [&] {
+#if BYC_TELEMETRY_ENABLED
+    if (options_.metrics != nullptr) {
+      options_.metrics->histogram("svc.session_ms")
+          .Observe(MsSince(session_start));
+      options_.metrics->histogram("svc.session_requests")
+          .Observe(static_cast<double>(requests_served));
+    }
+#endif
+  };
+
+  for (;;) {
+    const bool draining = stop_.load(std::memory_order_acquire);
+    // Top up the read-ahead window from what the kernel has buffered.
+    // Beyond max_inflight the client simply experiences TCP
+    // backpressure; during drain nothing new is read.
+    while (readable && !draining && pending.size() < max_inflight) {
+      Status ready = conn.WaitReadable(Deadline::After(0));
+      if (!ready.ok()) break;  // Nothing buffered right now.
+      Result<Frame> request = ReadFrame(conn, Deadline::After(io_ms));
+      if (!request.ok()) {
+        if (request.status().IsInvalidArgument()) {
+          // Oversized or unknown frame: answer with the typed error,
+          // then drop the poisoned connection (read-ahead included —
+          // framing after the poison point is unreliable).
+          WriteFrame(conn, MakeErrorFrame(request.status()),
+                     Deadline::After(io_ms));
+          finish();
+          return;
+        }
+        readable = false;  // Peer closed or broke; drain what we have.
+        break;
+      }
+      pending.push_back(std::move(*request));
+    }
+
+    if (!pending.empty()) {
+      Frame request = std::move(pending.front());
+      pending.pop_front();
+      bool close_after = false;
+      Frame reply = HandleFrame(request, close_after);
+      if (!WriteFrame(conn, reply, Deadline::After(io_ms)).ok() ||
+          close_after) {
+        finish();
+        return;
+      }
+      ++requests_served;
+      continue;
+    }
+
+    if (!readable || draining) break;  // Drained (or nothing to drain).
     Status ready = conn.WaitReadable(Deadline::After(kPollMs));
-    if (!ready.ok()) {
-      if (ready.IsDeadlineExceeded()) continue;
-      return;  // Client closed or connection broke.
+    if (!ready.ok() && !ready.IsDeadlineExceeded()) readable = false;
+  }
+  finish();
+}
+
+Frame MediatorServer::HandleFrame(const Frame& request, bool& close_after) {
+  close_after = false;
+  switch (request.type) {
+    case FrameType::kQuery: {
+      PayloadReader r(request.payload);
+      return HandleQuery(r.ReadText(), std::nullopt);
     }
-    Result<Frame> request = ReadFrame(conn, Deadline::After(io_ms));
-    if (!request.ok()) {
-      if (request.status().IsInvalidArgument()) {
-        // Oversized or unknown frame: answer with the typed error, then
-        // drop the poisoned connection.
-        WriteFrame(conn, MakeErrorFrame(request.status()),
-                   Deadline::After(io_ms));
+    case FrameType::kQueryAt: {
+      Result<SequencedQuery> query = ParseQueryAt(request);
+      if (!query.ok()) return MakeErrorFrame(query.status());
+      return HandleQuery(query->trace_line, query->seq);
+    }
+    case FrameType::kStats: {
+      std::lock_guard<std::mutex> lock(mu_);
+      return MakeStatsReplyFrame(ledger_);
+    }
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      return pong;
+    }
+    case FrameType::kHello: {
+      Result<uint32_t> version = ParseHello(request);
+      if (!version.ok()) return MakeErrorFrame(version.status());
+      if (*version != kProtocolVersion) {
+        close_after = true;
+        return MakeErrorFrame(
+            WireCode::kVersionMismatch,
+            "server speaks protocol version " +
+                std::to_string(kProtocolVersion) + ", client sent " +
+                std::to_string(*version));
       }
-      return;
+      return MakeHelloReplyFrame(kProtocolVersion);
     }
-    Frame reply;
-    switch (request->type) {
-      case FrameType::kQuery:
-        reply = HandleQuery(*request);
-        break;
-      case FrameType::kStats: {
-        std::lock_guard<std::mutex> lock(mu_);
-        reply = MakeStatsReplyFrame(ledger_);
-        break;
-      }
-      case FrameType::kPing:
-        reply.type = FrameType::kPong;
-        break;
-      default:
-        // A well-formed frame the mediator does not serve (e.g. kFetch):
-        // typed error, connection survives.
-        reply = MakeErrorFrame(Status::InvalidArgument(
-            "frame type " +
-            std::to_string(static_cast<int>(request->type)) +
-            " is not served by the mediator"));
-        break;
-    }
-    if (!WriteFrame(conn, reply, Deadline::After(io_ms)).ok()) return;
+    default:
+      // A well-formed frame the mediator does not serve (e.g. kFetch):
+      // typed error, connection survives.
+      return MakeErrorFrame(Status::InvalidArgument(
+          "frame type " + std::to_string(static_cast<int>(request.type)) +
+          " is not served by the mediator"));
   }
 }
 
-Frame MediatorServer::HandleQuery(const Frame& request) {
+std::unique_lock<std::mutex> MediatorServer::AdmitOrdered(
+    std::optional<uint64_t> seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!seq.has_value() || *seq < admission_next_) {
+    // Unstamped queries are admitted in arrival order; a stamped query
+    // whose turn has already passed (duplicate, or its gap was skipped)
+    // is admitted immediately rather than stalled forever.
+    return lock;
+  }
+  admission_waiting_.insert(*seq);
+  const auto gap =
+      std::chrono::milliseconds(options_.config.reorder_timeout_ms);
+  auto deadline = Clock::now() + gap;
+  while (admission_next_ < *seq && !stop_.load(std::memory_order_acquire)) {
+    if (admission_cv_.wait_until(lock, deadline) ==
+        std::cv_status::timeout) {
+      if (admission_next_ >= *seq) break;
+      if (*admission_waiting_.begin() == *seq) {
+        // Oldest waiter and the gap below never arrived (abandoned by a
+        // disconnected client): skip it so the order stays live.
+        admission_next_ = *seq;
+        admission_skips_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("svc.admission_skips").Increment();
+        }
+#endif
+        break;
+      }
+      // A smaller stamped query is still waiting; give the gap another
+      // window — it is that waiter's job to skip.
+      deadline = Clock::now() + gap;
+    }
+  }
+  admission_waiting_.erase(admission_waiting_.find(*seq));
+  return lock;
+}
+
+void MediatorServer::FinishOrdered(std::optional<uint64_t> seq,
+                                   std::unique_lock<std::mutex> lock) {
+  bool advanced = false;
+  if (seq.has_value() && *seq >= admission_next_) {
+    admission_next_ = *seq + 1;
+    advanced = true;
+  }
+  lock.unlock();
+  if (advanced) admission_cv_.notify_all();
+}
+
+Frame MediatorServer::HandleQuery(std::string_view line,
+                                  std::optional<uint64_t> seq) {
   Clock::time_point start{};
 #if BYC_TELEMETRY_ENABLED
   if (options_.metrics != nullptr) start = Clock::now();
 #endif
-  PayloadReader r(request.payload);
-  std::string line = r.ReadText();
   Result<workload::TraceQuery> tq =
       workload::ParseTraceQuery(federation_->catalog(), line);
-  if (!tq.ok()) return MakeErrorFrame(tq.status());
+  if (!tq.ok()) {
+    // A malformed stamped query still owns its slot in the total order:
+    // wait for the turn, then release it untouched, so well-formed
+    // successors are not stalled behind a permanent gap.
+    if (seq.has_value()) FinishOrdered(seq, AdmitOrdered(seq));
+    return MakeErrorFrame(tq.status());
+  }
 
-  // Decompose outside the ledger lock (the memo has its own).
+  // Decompose outside the admission stage (the memo has its own lock):
+  // sessions overlap here, and only the decision/ledger path serializes.
   std::vector<core::Access> accesses = mediator_.Decompose(tq->query);
 
   QueryReply delta;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock = AdmitOrdered(seq);
     for (const core::Access& access : accesses) {
       ProcessAccess(access, delta);
     }
     ++ledger_.queries;
+    FinishOrdered(seq, std::move(lock));
   }
 #if BYC_TELEMETRY_ENABLED
   if (options_.metrics != nullptr) {
@@ -183,10 +355,7 @@ Frame MediatorServer::HandleQuery(const Frame& request) {
     if (delta.degraded > 0) {
       options_.metrics->counter("svc.degraded").Increment(delta.degraded);
     }
-    options_.metrics->histogram("svc.request_ms")
-        .Observe(std::chrono::duration<double, std::milli>(Clock::now() -
-                                                           start)
-                     .count());
+    options_.metrics->histogram("svc.request_ms").Observe(MsSince(start));
   }
 #endif
   return MakeQueryReplyFrame(delta);

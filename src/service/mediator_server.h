@@ -2,14 +2,19 @@
 #define BYC_SERVICE_MEDIATOR_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/policy.h"
 #include "core/policy_factory.h"
 #include "federation/mediator.h"
@@ -52,14 +57,27 @@ struct BackendAddress {
 /// resident, as if repaired on recovery), so cache behavior is
 /// fault-schedule-independent and healthy-site accounting is unchanged.
 ///
-/// Connections are served one at a time (accept -> drain -> next): the
-/// policy is inherently sequential — the paper's replay semantics — so a
-/// single service loop keeps wire replays bit-comparable to the
-/// simulator.
+/// Concurrency model (DESIGN.md §8): an accept loop dispatches each
+/// client connection as a session onto a ThreadPool sized to
+/// config.max_sessions; a connect beyond the cap is answered with a
+/// typed kError{kBusy} and closed. Sessions read ahead at most
+/// config.max_inflight frames (excess stays in kernel buffers — TCP
+/// backpressure), decompose queries concurrently, and then pass through
+/// ONE serialized admission stage: the policy decision path and ledger
+/// are inherently sequential (the paper's replay semantics), so every
+/// query is admitted under a single mutex, stamped queries (kQueryAt)
+/// strictly in their global sequence order. That keeps the aggregate
+/// ledger of any N-client interleaving bitwise-equal to a single-client
+/// replay of the same trace. A sequence gap older than
+/// config.reorder_timeout_ms (an abandoned client) is skipped by the
+/// oldest waiter so one disconnect cannot wedge the service. Stop()
+/// drains gracefully: sessions finish the requests they have read,
+/// reply, and exit.
 class MediatorServer {
  public:
   struct Options {
-    catalog::Granularity granularity = catalog::Granularity::kTable;
+    /// Service knobs (deadlines, retries, session/backpressure caps).
+    /// The decomposition granularity comes from PolicyConfig.
     ServiceConfig config;
     /// Optional run metrics (svc.* counters / histograms). Must outlive
     /// the server.
@@ -67,7 +85,8 @@ class MediatorServer {
   };
 
   /// `backends[s]` is the address of site s; must cover every site of
-  /// the federation. The policy is built fresh from `policy_config`.
+  /// the federation. The policy (and the decomposition granularity) is
+  /// built fresh from `policy_config`.
   MediatorServer(const federation::Federation* federation,
                  const core::PolicyConfig& policy_config,
                  std::vector<BackendAddress> backends, Options options);
@@ -76,10 +95,12 @@ class MediatorServer {
   MediatorServer(const MediatorServer&) = delete;
   MediatorServer& operator=(const MediatorServer&) = delete;
 
-  /// Binds the listener and starts the service thread.
+  /// Binds the listener and starts the accept thread + session pool.
   Status Start();
 
-  /// Stops serving, closes backend channels, joins. Idempotent.
+  /// Graceful drain: stops accepting, lets live sessions answer every
+  /// frame they have already read, closes backend channels, joins.
+  /// Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -88,6 +109,19 @@ class MediatorServer {
   /// Snapshot of the server-side ledger (also served over the wire as
   /// kStats -> kStatsReply).
   StatsReply stats() const;
+
+  /// Sessions accepted / rejected (kBusy) since Start().
+  uint64_t sessions_served() const {
+    return sessions_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t sessions_rejected() const {
+    return sessions_rejected_.load(std::memory_order_relaxed);
+  }
+  /// Sequence gaps skipped by the ordered-admission stage (abandoned
+  /// stamped queries, e.g. mid-replay client disconnects).
+  uint64_t admission_skips() const {
+    return admission_skips_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One pooled connection to a backend site.
@@ -99,15 +133,31 @@ class MediatorServer {
     bool connected_once = false;
   };
 
-  void ServeLoopOn(Listener& listener);
-  /// Serves one client connection until it closes or poisons itself.
-  void ServeConnection(Socket& conn);
-  /// Handles one kQuery frame; returns the reply (kQueryReply or
-  /// kError).
-  Frame HandleQuery(const Frame& request);
+  /// Accept loop: admits up to max_sessions concurrent sessions, answers
+  /// the rest with kError{kBusy}.
+  void AcceptLoopOn(Listener& listener);
+  /// Serves one client session until it closes, poisons itself, or the
+  /// server drains.
+  void ServeSession(Socket& conn);
+  /// Dispatches one well-formed frame; returns the reply and sets
+  /// `close_after` for replies that poison the connection (version
+  /// mismatch).
+  Frame HandleFrame(const Frame& request, bool& close_after);
+  /// Handles one query (stamped with a global sequence number when it
+  /// arrived as kQueryAt); returns kQueryReply or kError.
+  Frame HandleQuery(std::string_view line, std::optional<uint64_t> seq);
   /// Runs one decomposed access through the policy and the network,
-  /// updating the ledger and `delta`.
+  /// updating the ledger and `delta`. Caller holds mu_.
   void ProcessAccess(const core::Access& access, QueryReply& delta);
+
+  /// The serialized admission stage: acquires mu_, and for stamped
+  /// queries blocks until `seq` is next in the global order (or the
+  /// reorder timeout elapses and this is the oldest waiter, which skips
+  /// the gap). Unstamped queries are admitted in arrival order.
+  std::unique_lock<std::mutex> AdmitOrdered(std::optional<uint64_t> seq);
+  /// Releases the admission stage, advancing the order past `seq`.
+  void FinishOrdered(std::optional<uint64_t> seq,
+                     std::unique_lock<std::mutex> lock);
 
   /// One backend round trip with reconnect + capped-backoff retries.
   /// Semantic errors from the backend (kError frames) come back as their
@@ -124,19 +174,27 @@ class MediatorServer {
 
   std::atomic<bool> stop_{true};
   std::atomic<bool> running_{false};
-  std::thread serve_thread_;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> session_pool_;
 
-  /// Everything below is touched by the service thread and by stats()
-  /// readers.
+  std::atomic<int> live_sessions_{0};
+  std::atomic<uint64_t> sessions_accepted_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> admission_skips_{0};
+
+  /// Everything below is the serialized admission core: the policy, the
+  /// backend channels, and the ledger, guarded by one mutex so the
+  /// decision path stays a total order.
   mutable std::mutex mu_;
+  std::condition_variable admission_cv_;
+  /// Next global sequence number the ordered stage admits.
+  uint64_t admission_next_ = 0;
+  /// Stamped queries currently waiting for their turn.
+  std::multiset<uint64_t> admission_waiting_;
   std::unique_ptr<core::CachePolicy> policy_;
   std::vector<Channel> channels_;
   Rng retry_rng_{0xB1A5CA5E};
   StatsReply ledger_;
-
-  /// Client-connection fd for cross-thread shutdown in Stop().
-  std::mutex conn_mu_;
-  int live_conn_fd_ = -1;
 };
 
 }  // namespace byc::service

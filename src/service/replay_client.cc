@@ -28,11 +28,54 @@ Result<Socket> ConnectWithRetry(const std::string& host, uint16_t port,
   return last;
 }
 
+/// kHello handshake: advertises our protocol version and requires the
+/// server to echo it. A version-mismatch kError surfaces as its typed
+/// Status (FailedPrecondition).
+Status Handshake(Socket& sock, const ServiceConfig& config) {
+  Deadline deadline = Deadline::After(config.deadline_ms);
+  BYC_RETURN_IF_ERROR(
+      WriteFrame(sock, MakeHelloFrame(kProtocolVersion), deadline));
+  BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+  if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+  BYC_ASSIGN_OR_RETURN(uint32_t version, ParseHello(reply));
+  if (version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "server replied with protocol version " + std::to_string(version) +
+        ", expected " + std::to_string(kProtocolVersion));
+  }
+  return Status::OK();
+}
+
+/// Sums a per-query delta into the running client-side totals.
+void Accumulate(QueryReply& totals, const QueryReply& delta) {
+  totals.accesses += delta.accesses;
+  totals.hits += delta.hits;
+  totals.bypasses += delta.bypasses;
+  totals.loads += delta.loads;
+  totals.evictions += delta.evictions;
+  totals.degraded += delta.degraded;
+  totals.served_cost += delta.served_cost;
+  totals.bypass_cost += delta.bypass_cost;
+  totals.fetch_cost += delta.fetch_cost;
+  totals.degraded_cost += delta.degraded_cost;
+}
+
+Result<StatsReply> FetchStatsOn(Socket& sock, const ServiceConfig& config) {
+  Frame stats;
+  stats.type = FrameType::kStats;
+  Deadline deadline = Deadline::After(config.deadline_ms);
+  BYC_RETURN_IF_ERROR(WriteFrame(sock, stats, deadline));
+  BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+  if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+  return ParseStatsReply(reply);
+}
+
 }  // namespace
 
 Result<ReplayReport> ReplayClient::Replay(const workload::Trace& trace) {
   BYC_ASSIGN_OR_RETURN(Socket sock,
                        ConnectWithRetry(host_, port_, config_));
+  BYC_RETURN_IF_ERROR(Handshake(sock, config_));
   ReplayReport report;
   for (const workload::TraceQuery& tq : trace.queries) {
     Frame request = MakeQueryFrame(workload::FormatTraceQuery(tq));
@@ -42,25 +85,52 @@ Result<ReplayReport> ReplayClient::Replay(const workload::Trace& trace) {
     if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
     BYC_ASSIGN_OR_RETURN(QueryReply delta, ParseQueryReply(reply));
     ++report.queries_sent;
-    report.client_totals.accesses += delta.accesses;
-    report.client_totals.hits += delta.hits;
-    report.client_totals.bypasses += delta.bypasses;
-    report.client_totals.loads += delta.loads;
-    report.client_totals.evictions += delta.evictions;
-    report.client_totals.degraded += delta.degraded;
-    report.client_totals.served_cost += delta.served_cost;
-    report.client_totals.bypass_cost += delta.bypass_cost;
-    report.client_totals.fetch_cost += delta.fetch_cost;
-    report.client_totals.degraded_cost += delta.degraded_cost;
+    Accumulate(report.client_totals, delta);
   }
-  Frame stats;
-  stats.type = FrameType::kStats;
-  Deadline deadline = Deadline::After(config_.deadline_ms);
-  BYC_RETURN_IF_ERROR(WriteFrame(sock, stats, deadline));
-  BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
-  if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
-  BYC_ASSIGN_OR_RETURN(report.ledger, ParseStatsReply(reply));
+  BYC_ASSIGN_OR_RETURN(report.ledger, FetchStatsOn(sock, config_));
   return report;
+}
+
+Result<ReplayClient::ShardReport> ReplayClient::ReplayShard(
+    const workload::Trace& trace, size_t client_index, size_t num_clients) {
+  if (num_clients == 0 || client_index >= num_clients) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(client_index) + " of " +
+        std::to_string(num_clients) + " clients is not a valid partition");
+  }
+  BYC_ASSIGN_OR_RETURN(Socket sock,
+                       ConnectWithRetry(host_, port_, config_));
+  BYC_RETURN_IF_ERROR(Handshake(sock, config_));
+  ShardReport report;
+  using Clock = std::chrono::steady_clock;
+  for (size_t idx = client_index; idx < trace.queries.size();
+       idx += num_clients) {
+    // The sequence stamp is the query's global trace position: the
+    // server's ordered-admission stage uses it to reassemble the exact
+    // single-client total order across all concurrent shards.
+    Frame request = MakeQueryAtFrame(
+        static_cast<uint64_t>(idx),
+        workload::FormatTraceQuery(trace.queries[idx]));
+    Deadline deadline = Deadline::After(config_.deadline_ms);
+    const Clock::time_point start = Clock::now();
+    BYC_RETURN_IF_ERROR(WriteFrame(sock, request, deadline));
+    BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+    report.request_ms.Add(
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count());
+    if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+    BYC_ASSIGN_OR_RETURN(QueryReply delta, ParseQueryReply(reply));
+    ++report.queries_sent;
+    Accumulate(report.client_totals, delta);
+  }
+  return report;
+}
+
+Result<StatsReply> ReplayClient::FetchStats() {
+  BYC_ASSIGN_OR_RETURN(Socket sock,
+                       ConnectWithRetry(host_, port_, config_));
+  BYC_RETURN_IF_ERROR(Handshake(sock, config_));
+  return FetchStatsOn(sock, config_);
 }
 
 }  // namespace byc::service

@@ -2,9 +2,11 @@
 #define BYC_SERVICE_REPLAY_CLIENT_H_
 
 #include <cstdint>
+#include <cstddef>
 #include <string>
 
 #include "common/result.h"
+#include "common/stats.h"
 #include "service/config.h"
 #include "service/wire.h"
 #include "workload/trace.h"
@@ -37,9 +39,32 @@ class ReplayClient {
   ReplayClient(std::string host, uint16_t port, ServiceConfig config)
       : host_(std::move(host)), port_(port), config_(config) {}
 
-  /// Connects (with retries), replays the whole trace, fetches the
-  /// server ledger, disconnects.
+  /// Connects (with retries), negotiates versions (kHello), replays the
+  /// whole trace, fetches the server ledger, disconnects.
   Result<ReplayReport> Replay(const workload::Trace& trace);
+
+  /// One shard of a concurrent replay: what this client's queries
+  /// produced plus its per-request wire latencies. The authoritative
+  /// aggregate ledger lives on the server (FetchStats after every shard
+  /// completes).
+  struct ShardReport {
+    QueryReply client_totals;
+    uint64_t queries_sent = 0;
+    /// Round-trip wall time per query request, in milliseconds.
+    LogHistogram request_ms;
+  };
+
+  /// Replays the round-robin shard {i : i % num_clients == client_index}
+  /// of the trace as sequence-stamped kQueryAt frames (seq = the query's
+  /// global trace position), so the mediator's ordered-admission stage
+  /// reassembles the exact single-client total order no matter how N
+  /// concurrent shards interleave on the wire.
+  Result<ShardReport> ReplayShard(const workload::Trace& trace,
+                                  size_t client_index, size_t num_clients);
+
+  /// Connects, negotiates versions, and fetches the server-side ledger
+  /// without sending any queries.
+  Result<StatsReply> FetchStats();
 
  private:
   std::string host_;

@@ -12,20 +12,108 @@ namespace {
 /// connection with InvalidArgument.
 bool KnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kQuery) &&
-         type <= static_cast<uint8_t>(FrameType::kExecReply);
-}
-
-/// Status codes transportable in a kError frame. An out-of-range byte
-/// from a hostile peer maps to kInternal rather than UB.
-StatusCode CodeFromWire(uint8_t code) {
-  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
-    return StatusCode::kInternal;
-  }
-  StatusCode sc = static_cast<StatusCode>(code);
-  return sc == StatusCode::kOk ? StatusCode::kInternal : sc;
+         type <= static_cast<uint8_t>(FrameType::kQueryAt);
 }
 
 }  // namespace
+
+std::string_view WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kUnspecified:
+      return "Unspecified";
+    case WireCode::kInvalidArgument:
+      return "InvalidArgument";
+    case WireCode::kNotFound:
+      return "NotFound";
+    case WireCode::kAlreadyExists:
+      return "AlreadyExists";
+    case WireCode::kOutOfRange:
+      return "OutOfRange";
+    case WireCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case WireCode::kCapacityExceeded:
+      return "CapacityExceeded";
+    case WireCode::kIoError:
+      return "IoError";
+    case WireCode::kParseError:
+      return "ParseError";
+    case WireCode::kInternal:
+      return "Internal";
+    case WireCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case WireCode::kUnavailable:
+      return "Unavailable";
+    case WireCode::kVersionMismatch:
+      return "VersionMismatch";
+    case WireCode::kBusy:
+      return "Busy";
+  }
+  return "?";
+}
+
+WireCode WireCodeForStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return WireCode::kUnspecified;
+    case StatusCode::kInvalidArgument:
+      return WireCode::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireCode::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return WireCode::kAlreadyExists;
+    case StatusCode::kOutOfRange:
+      return WireCode::kOutOfRange;
+    case StatusCode::kFailedPrecondition:
+      return WireCode::kFailedPrecondition;
+    case StatusCode::kCapacityExceeded:
+      return WireCode::kCapacityExceeded;
+    case StatusCode::kIoError:
+      return WireCode::kIoError;
+    case StatusCode::kParseError:
+      return WireCode::kParseError;
+    case StatusCode::kInternal:
+      return WireCode::kInternal;
+    case StatusCode::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    case StatusCode::kUnavailable:
+      return WireCode::kUnavailable;
+  }
+  return WireCode::kUnspecified;
+}
+
+StatusCode StatusCodeForWire(WireCode code) {
+  switch (code) {
+    case WireCode::kUnspecified:
+      return StatusCode::kInternal;
+    case WireCode::kInvalidArgument:
+      return StatusCode::kInvalidArgument;
+    case WireCode::kNotFound:
+      return StatusCode::kNotFound;
+    case WireCode::kAlreadyExists:
+      return StatusCode::kAlreadyExists;
+    case WireCode::kOutOfRange:
+      return StatusCode::kOutOfRange;
+    case WireCode::kFailedPrecondition:
+      return StatusCode::kFailedPrecondition;
+    case WireCode::kCapacityExceeded:
+      return StatusCode::kCapacityExceeded;
+    case WireCode::kIoError:
+      return StatusCode::kIoError;
+    case WireCode::kParseError:
+      return StatusCode::kParseError;
+    case WireCode::kInternal:
+      return StatusCode::kInternal;
+    case WireCode::kDeadlineExceeded:
+      return StatusCode::kDeadlineExceeded;
+    case WireCode::kUnavailable:
+      return StatusCode::kUnavailable;
+    case WireCode::kVersionMismatch:
+      return StatusCode::kFailedPrecondition;
+    case WireCode::kBusy:
+      return StatusCode::kUnavailable;
+  }
+  return StatusCode::kInternal;
+}
 
 void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -115,6 +203,28 @@ Frame MakeQueryFrame(std::string_view trace_line) {
   return f;
 }
 
+Frame MakeQueryAtFrame(uint64_t seq, std::string_view trace_line) {
+  Frame f;
+  f.type = FrameType::kQueryAt;
+  AppendU64(f.payload, seq);
+  f.payload.insert(f.payload.end(), trace_line.begin(), trace_line.end());
+  return f;
+}
+
+Frame MakeHelloFrame(uint32_t version) {
+  Frame f;
+  f.type = FrameType::kHello;
+  AppendU32(f.payload, version);
+  return f;
+}
+
+Frame MakeHelloReplyFrame(uint32_t version) {
+  Frame f;
+  f.type = FrameType::kHelloReply;
+  AppendU32(f.payload, version);
+  return f;
+}
+
 Frame MakeQueryReplyFrame(const QueryReply& reply) {
   Frame f;
   f.type = FrameType::kQueryReply;
@@ -151,11 +261,14 @@ Frame MakeStatsReplyFrame(const StatsReply& reply) {
 }
 
 Frame MakeErrorFrame(const Status& status) {
+  return MakeErrorFrame(WireCodeForStatus(status.code()), status.message());
+}
+
+Frame MakeErrorFrame(WireCode code, std::string_view message) {
   Frame f;
   f.type = FrameType::kError;
-  f.payload.push_back(static_cast<uint8_t>(status.code()));
-  const std::string& msg = status.message();
-  f.payload.insert(f.payload.end(), msg.begin(), msg.end());
+  f.payload.push_back(static_cast<uint8_t>(code));
+  f.payload.insert(f.payload.end(), message.begin(), message.end());
   return f;
 }
 
@@ -236,10 +349,43 @@ Status ParseErrorFrame(const Frame& frame) {
   if (frame.type != FrameType::kError || frame.payload.empty()) {
     return Status::Internal("malformed error frame");
   }
-  uint8_t code = frame.payload[0];
   std::string msg(reinterpret_cast<const char*>(frame.payload.data() + 1),
                   frame.payload.size() - 1);
-  return Status(CodeFromWire(code), std::move(msg));
+  return Status(StatusCodeForWire(ErrorFrameCode(frame)), std::move(msg));
+}
+
+WireCode ErrorFrameCode(const Frame& frame) {
+  if (frame.type != FrameType::kError || frame.payload.empty()) {
+    return WireCode::kUnspecified;
+  }
+  // Round-trip through the name table: any byte a current peer can name
+  // comes back unchanged; bytes from a newer (or hostile) peer collapse
+  // to kUnspecified instead of escaping the enum's domain.
+  WireCode code = static_cast<WireCode>(frame.payload[0]);
+  return WireCodeName(code) == "?" ? WireCode::kUnspecified : code;
+}
+
+Result<SequencedQuery> ParseQueryAt(const Frame& frame) {
+  if (frame.type != FrameType::kQueryAt) {
+    return Status::InvalidArgument("not a kQueryAt frame");
+  }
+  PayloadReader r(frame.payload);
+  SequencedQuery query;
+  BYC_ASSIGN_OR_RETURN(query.seq, r.ReadU64());
+  query.trace_line = r.ReadText();
+  return query;
+}
+
+Result<uint32_t> ParseHello(const Frame& frame) {
+  if (frame.type != FrameType::kHello &&
+      frame.type != FrameType::kHelloReply) {
+    return Status::InvalidArgument("not a hello frame");
+  }
+  PayloadReader r(frame.payload);
+  uint32_t version = 0;
+  BYC_ASSIGN_OR_RETURN(version, r.ReadU32());
+  if (r.remaining() != 0) return Status::ParseError("hello payload too long");
+  return version;
 }
 
 Status WriteFrame(Socket& sock, const Frame& frame, Deadline deadline) {

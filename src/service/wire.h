@@ -28,6 +28,15 @@ namespace byc::service {
 /// workload trace-line text format (workload::FormatTraceQuery), which
 /// round-trips ResolvedQuery exactly and is validated against the
 /// catalog on receipt.
+/// Protocol version spoken by this build. Version 1 was the unversioned
+/// PR-3 protocol (kQuery..kExecReply); version 2 adds kHello negotiation,
+/// the stable WireCode error enum, and sequence-stamped kQueryAt queries.
+/// Servers answer a kHello carrying any other version with a typed
+/// kError{WireCode::kVersionMismatch} instead of a torn-frame failure.
+/// The handshake is optional: a peer that opens with any other frame is
+/// assumed to speak the server's version (the PR-3 behaviour).
+inline constexpr uint32_t kProtocolVersion = 2;
+
 enum class FrameType : uint8_t {
   /// client -> mediator: one trace-line query.
   kQuery = 1,
@@ -49,13 +58,59 @@ enum class FrameType : uint8_t {
   /// any -> any: liveness probe (no payload).
   kPing = 9,
   kPong = 10,
-  /// server -> peer: typed failure; payload u8 StatusCode + utf-8 text.
+  /// server -> peer: typed failure; payload u8 WireCode + utf-8 text.
   kError = 11,
   /// backend: execute a full trace-line query with the site's
   /// exec::Executor and reply kExecReply (u64 rows + f64 result bytes).
   kExec = 12,
   kExecReply = 13,
+  /// peer -> server: version negotiation; payload u32 protocol version.
+  /// Answered with kHelloReply (server's version) on match, or
+  /// kError{kVersionMismatch} followed by connection close.
+  kHello = 14,
+  kHelloReply = 15,
+  /// client -> mediator: sequence-stamped query; payload u64 global
+  /// sequence number + trace-line text. The mediator admits stamped
+  /// queries in sequence order regardless of which connection they
+  /// arrive on, keeping the ledger a total order under concurrency.
+  kQueryAt = 16,
 };
+
+/// Error codes carried in kError frames. The numeric values are the wire
+/// contract — stable forever, append-only — and deliberately decoupled
+/// from the in-process StatusCode enum (whose enumerators may be
+/// reordered freely). Service-level conditions with no StatusCode
+/// counterpart (version mismatch, session-cap rejection) live above 31.
+enum class WireCode : uint8_t {
+  kUnspecified = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kCapacityExceeded = 6,
+  kIoError = 7,
+  kParseError = 8,
+  kInternal = 9,
+  kDeadlineExceeded = 10,
+  kUnavailable = 11,
+  /// The peer's kHello carried an unsupported protocol version.
+  kVersionMismatch = 32,
+  /// The server is at its session cap; retry later.
+  kBusy = 33,
+};
+
+std::string_view WireCodeName(WireCode code);
+
+/// StatusCode -> wire representation (kOk and unknown codes map to
+/// kUnspecified; receivers treat kUnspecified as kInternal).
+WireCode WireCodeForStatus(StatusCode code);
+
+/// Wire -> in-process StatusCode. The two service-only codes map to the
+/// closest retryable semantics: kVersionMismatch -> kFailedPrecondition,
+/// kBusy -> kUnavailable. Unknown bytes from a hostile peer map to
+/// kInternal rather than UB.
+StatusCode StatusCodeForWire(WireCode code);
 
 /// Largest accepted payload. Queries and replies are tiny; the cap
 /// exists purely to bound what a malformed length prefix can demand.
@@ -148,17 +203,37 @@ class PayloadReader {
 Frame MakeFetchFrame(const FetchRequest& req);
 Frame MakeYieldFrame(const YieldRequest& req);
 Frame MakeQueryFrame(std::string_view trace_line);
+/// kQueryAt: `seq` is the query's global position in the client-side
+/// trace (0-based), shared across all connections of one replay.
+Frame MakeQueryAtFrame(uint64_t seq, std::string_view trace_line);
 Frame MakeQueryReplyFrame(const QueryReply& reply);
 Frame MakeStatsReplyFrame(const StatsReply& reply);
 /// kError carrying `status` (must be non-OK).
 Frame MakeErrorFrame(const Status& status);
+/// kError carrying an explicit wire code (for the service-only codes).
+Frame MakeErrorFrame(WireCode code, std::string_view message);
+/// kHello / kHelloReply carrying a protocol version.
+Frame MakeHelloFrame(uint32_t version);
+Frame MakeHelloReplyFrame(uint32_t version);
 
 Result<FetchRequest> ParseFetchRequest(const Frame& frame);
 Result<YieldRequest> ParseYieldRequest(const Frame& frame);
+/// Decoded kQueryAt payload.
+struct SequencedQuery {
+  uint64_t seq = 0;
+  std::string trace_line;
+};
+Result<SequencedQuery> ParseQueryAt(const Frame& frame);
 Result<QueryReply> ParseQueryReply(const Frame& frame);
 Result<StatsReply> ParseStatsReply(const Frame& frame);
 /// Reconstructs the typed Status carried by a kError frame.
 Status ParseErrorFrame(const Frame& frame);
+/// The raw wire code of a kError frame (so callers can distinguish
+/// kBusy/kVersionMismatch without string matching); kUnspecified when
+/// the frame is not a well-formed error.
+WireCode ErrorFrameCode(const Frame& frame);
+/// The version carried by a kHello or kHelloReply frame.
+Result<uint32_t> ParseHello(const Frame& frame);
 
 /// ---- Framed I/O -----------------------------------------------------
 

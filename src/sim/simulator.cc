@@ -37,7 +37,7 @@ void TraceDecision(telemetry::DecisionTracer& tracer,
                    const core::Decision& decision, uint64_t query_seq) {
   telemetry::TraceEvent event;
   event.query_seq = query_seq;
-  event.cache_bytes_after = policy.used_bytes();
+  event.cache_bytes_after = policy.stats().used_bytes;
   for (const catalog::ObjectId& victim : decision.evictions) {
     event.object = victim;
     event.action = telemetry::TraceAction::kEvict;

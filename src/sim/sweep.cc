@@ -27,8 +27,9 @@ SweepOutcome RunOneConfig(const DecomposedTrace& trace,
   }
 #endif
   outcome.result = ReplayDecomposed(*policy, trace, sim_options);
-  outcome.used_bytes = policy->used_bytes();
-  outcome.metadata_entries = policy->metadata_entries();
+  const core::PolicyStats stats = policy->stats();
+  outcome.used_bytes = stats.used_bytes;
+  outcome.metadata_entries = stats.metadata_entries;
 #if BYC_TELEMETRY_ENABLED
   if (tracer != nullptr) {
     outcome.events = tracer->events();

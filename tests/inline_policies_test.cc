@@ -226,7 +226,7 @@ TEST(InlinePolicyTest, EvictionsFreeExactlyEnoughSpace) {
   }
   Decision d = policy.OnAccess(MakeAccess(99, 1.0, 250));
   EXPECT_EQ(d.evictions.size(), 3u);  // 3 x 100 frees 300 >= 250
-  EXPECT_LE(policy.used_bytes(), policy.capacity_bytes());
+  EXPECT_LE(policy.stats().used_bytes, policy.stats().capacity_bytes);
 }
 
 }  // namespace

@@ -100,7 +100,7 @@ TEST(IraniCacheTest, SizeClassesAreLogarithmic) {
   for (int i = 0; i < 40; ++i) {
     uint64_t size = 16u << (i % 5);  // five classes
     Admit(cache, ObjectId::ForTable(i), size);
-    ASSERT_LE(cache.used_bytes(), 2000u);
+    ASSERT_LE(cache.stats().used_bytes, 2000u);
   }
   EXPECT_GT(cache.phase_count(), 0u);
 }

@@ -13,7 +13,7 @@ TEST(LandlordTest, LoadsOnFirstRequest) {
   EXPECT_TRUE(outcome.loaded);
   EXPECT_TRUE(outcome.evictions.empty());
   EXPECT_TRUE(cache.Contains(ObjectId::ForTable(0)));
-  EXPECT_EQ(cache.used_bytes(), 400u);
+  EXPECT_EQ(cache.stats().used_bytes, 400u);
 }
 
 TEST(LandlordTest, OversizedObjectBypassed) {
@@ -70,7 +70,7 @@ TEST(LandlordTest, MultipleEvictionsForLargeObject) {
   auto outcome = cache.OnRequest(ObjectId::ForTable(9), 800, 800.0);
   ASSERT_TRUE(outcome.loaded);
   EXPECT_GE(outcome.evictions.size(), 3u);
-  EXPECT_LE(cache.used_bytes(), 1000u);
+  EXPECT_LE(cache.stats().used_bytes, 1000u);
 }
 
 TEST(RentToBuyTest, FirstRequestIsBypassedSecondBuys) {

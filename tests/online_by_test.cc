@@ -85,7 +85,7 @@ TEST(OnlineByTest, ResidencyMirrorsAobj) {
   policy.OnAccess(b);  // loads b, evicting a
   EXPECT_TRUE(policy.Contains(b.object));
   EXPECT_FALSE(policy.Contains(a.object));
-  EXPECT_EQ(policy.used_bytes(), policy.aobj().used_bytes());
+  EXPECT_EQ(policy.stats().used_bytes, policy.aobj().stats().used_bytes);
 }
 
 TEST(OnlineByTest, ObjectLargerThanCacheAlwaysBypassed) {

@@ -43,7 +43,7 @@ TEST(PolicyFactoryTest, CapacityIsWiredThrough) {
     config.kind = kind;
     config.capacity_bytes = 12345;
     auto policy = MakePolicy(config);
-    EXPECT_EQ(policy->capacity_bytes(), 12345u) << PolicyKindName(kind);
+    EXPECT_EQ(policy->stats().capacity_bytes, 12345u) << PolicyKindName(kind);
   }
 }
 
@@ -55,7 +55,7 @@ TEST(PolicyFactoryTest, StaticContentsArePreloaded) {
   config.static_contents = {{catalog::ObjectId::ForTable(3), 400}};
   auto policy = MakePolicy(config);
   EXPECT_TRUE(policy->Contains(catalog::ObjectId::ForTable(3)));
-  EXPECT_EQ(policy->used_bytes(), 400u);
+  EXPECT_EQ(policy->stats().used_bytes, 400u);
 }
 
 TEST(PolicyFactoryTest, EpisodeParamsReachRateProfile) {
@@ -111,6 +111,84 @@ TEST(PolicyFactoryTest, LruKParameterChangesBehaviour) {
   // t2, b at t3 -> a evicted. k=2: b has only one reference -> b evicted.
   EXPECT_EQ(victim_with_k(1), catalog::ObjectId::ForTable(0));
   EXPECT_EQ(victim_with_k(2), catalog::ObjectId::ForTable(1));
+}
+
+TEST(PolicyFactoryTest, ParsePolicyKindInvertsPolicyKindName) {
+  for (PolicyKind kind : kAllKinds) {
+    std::optional<PolicyKind> parsed = ParsePolicyKind(PolicyKindName(kind));
+    ASSERT_TRUE(parsed.has_value()) << PolicyKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParsePolicyKind("NoSuchPolicy").has_value());
+  EXPECT_FALSE(ParsePolicyKind("").has_value());
+}
+
+TEST(PolicyFactoryTest, ConfigRoundTripsDefaultAndEveryKind) {
+  for (PolicyKind kind : kAllKinds) {
+    PolicyConfig config;
+    config.kind = kind;
+    Result<PolicyConfig> parsed = ParsePolicyConfig(FormatPolicyConfig(config));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_EQ(parsed->kind, kind);
+    // The serialized defaults carry the paper's Rate-Profile constants.
+    EXPECT_EQ(parsed->episode.termination_ratio, 0.5);
+    EXPECT_EQ(parsed->episode.idle_limit, 1000u);
+  }
+}
+
+TEST(PolicyFactoryTest, ConfigRoundTripsEveryFieldBitForBit) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kSpaceEffBy;
+  config.capacity_bytes = 123456789012345ull;
+  config.granularity = catalog::Granularity::kColumn;
+  // Deliberately non-representable decimals: the %.17g round-trip must
+  // reproduce the exact doubles, not a re-parsed approximation.
+  config.episode.termination_ratio = 0.30000000000000004;
+  config.episode.idle_limit = 777;
+  config.episode.weight_decay = 0.1;
+  config.episode.max_episodes = 3;
+  config.online_aobj = AobjKind::kIraniSizeClass;
+  config.space_eff_aobj = AobjKind::kRentToBuy;
+  config.seed = 0xDEADBEEFCAFEull;
+  config.lru_k = 5;
+  config.static_charge_initial_load = false;
+
+  Result<PolicyConfig> parsed = ParsePolicyConfig(FormatPolicyConfig(config));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->kind, config.kind);
+  EXPECT_EQ(parsed->capacity_bytes, config.capacity_bytes);
+  EXPECT_EQ(parsed->granularity, config.granularity);
+  EXPECT_EQ(parsed->episode.termination_ratio,
+            config.episode.termination_ratio);
+  EXPECT_EQ(parsed->episode.idle_limit, config.episode.idle_limit);
+  EXPECT_EQ(parsed->episode.weight_decay, config.episode.weight_decay);
+  EXPECT_EQ(parsed->episode.max_episodes, config.episode.max_episodes);
+  EXPECT_EQ(parsed->online_aobj, config.online_aobj);
+  EXPECT_EQ(parsed->space_eff_aobj, config.space_eff_aobj);
+  EXPECT_EQ(parsed->seed, config.seed);
+  EXPECT_EQ(parsed->lru_k, config.lru_k);
+  EXPECT_EQ(parsed->static_charge_initial_load,
+            config.static_charge_initial_load);
+  // Re-serializing the parsed config reproduces the exact text.
+  EXPECT_EQ(FormatPolicyConfig(*parsed), FormatPolicyConfig(config));
+}
+
+TEST(PolicyFactoryTest, ParseRejectsMalformedConfigs) {
+  EXPECT_FALSE(ParsePolicyConfig("kind=NoSuchPolicy").ok());
+  EXPECT_FALSE(ParsePolicyConfig("bogus_key=1").ok());
+  EXPECT_FALSE(ParsePolicyConfig("capacity=-5").ok());
+  EXPECT_FALSE(ParsePolicyConfig("capacity=12x").ok());
+  EXPECT_FALSE(ParsePolicyConfig("granularity=row").ok());
+  EXPECT_FALSE(ParsePolicyConfig("c=half").ok());
+  EXPECT_FALSE(ParsePolicyConfig("lru_k=0").ok());
+  EXPECT_FALSE(ParsePolicyConfig("static_charge_initial_load=yes").ok());
+  EXPECT_FALSE(ParsePolicyConfig("kind").ok());
+  // Omitted keys keep defaults; unknown granularities do not.
+  Result<PolicyConfig> sparse = ParsePolicyConfig("kind=LRU capacity=42");
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->kind, PolicyKind::kLru);
+  EXPECT_EQ(sparse->capacity_bytes, 42u);
+  EXPECT_EQ(sparse->granularity, catalog::Granularity::kTable);
 }
 
 }  // namespace

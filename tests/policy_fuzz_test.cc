@@ -93,10 +93,10 @@ TEST_P(PolicyFuzzTest, InvariantsHoldOnRandomStreams) {
 
     ASSERT_LE(resident_bytes, config.capacity_bytes)
         << "capacity exceeded at step " << step;
-    ASSERT_EQ(policy->used_bytes(), policy->used_bytes());
-    if (policy->capacity_bytes() != 0) {
-      ASSERT_LE(policy->used_bytes(), policy->capacity_bytes());
-      ASSERT_EQ(policy->used_bytes(), resident_bytes);
+    const core::PolicyStats stats = policy->stats();
+    if (stats.capacity_bytes != 0) {
+      ASSERT_LE(stats.used_bytes, stats.capacity_bytes);
+      ASSERT_EQ(stats.used_bytes, resident_bytes);
     }
   }
 }

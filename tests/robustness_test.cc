@@ -130,7 +130,7 @@ TEST(WireFuzzTest, RandomPayloadsParseOrFailCleanly) {
   Rng rng(161803);
   for (int i = 0; i < 5000; ++i) {
     service::Frame frame;
-    frame.type = static_cast<service::FrameType>(rng.NextUint64(16));
+    frame.type = static_cast<service::FrameType>(rng.NextUint64(17));
     frame.payload.resize(rng.NextUint64(64));
     for (uint8_t& b : frame.payload) {
       b = static_cast<uint8_t>(rng.NextUint64(256));
@@ -143,9 +143,20 @@ TEST(WireFuzzTest, RandomPayloadsParseOrFailCleanly) {
     if (yield.ok()) {
       EXPECT_EQ(service::MakeYieldFrame(*yield).payload, frame.payload);
     }
+    auto seq = service::ParseQueryAt(frame);
+    if (seq.ok()) {
+      EXPECT_EQ(
+          service::MakeQueryAtFrame(seq->seq, seq->trace_line).payload,
+          frame.payload);
+    }
+    auto hello = service::ParseHello(frame);
+    if (hello.ok() && frame.type == service::FrameType::kHello) {
+      EXPECT_EQ(service::MakeHelloFrame(*hello).payload, frame.payload);
+    }
     (void)service::ParseQueryReply(frame);
     (void)service::ParseStatsReply(frame);
     (void)service::ParseErrorFrame(frame);
+    (void)service::ErrorFrameCode(frame);
   }
 }
 

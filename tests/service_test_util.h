@@ -1,0 +1,142 @@
+#ifndef BYC_TESTS_SERVICE_TEST_UTIL_H_
+#define BYC_TESTS_SERVICE_TEST_UTIL_H_
+
+// Shared scaffolding for the service-layer tests (service_test.cc,
+// service_concurrent_test.cc): a loopback backend fleet, fast-failing
+// retry configs, and the fault-aware expected-ledger oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "core/policy_factory.h"
+#include "federation/mediator.h"
+#include "service/backend_server.h"
+#include "service/wire.h"
+#include "workload/trace.h"
+
+namespace byc::service::testutil {
+
+inline bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Starts one BackendServer per federation site on ephemeral loopback
+/// ports and hands out the address list for the mediator.
+class BackendFleet {
+ public:
+  explicit BackendFleet(const federation::Federation& federation,
+                        const exec::Executor* executor = nullptr) {
+    for (int s = 0; s < federation.num_sites(); ++s) {
+      BackendServer::Options options;
+      options.site = s;
+      options.federation = &federation;
+      options.executor = executor;
+      servers_.push_back(std::make_unique<BackendServer>(options));
+      BYC_CHECK(servers_.back()->Start().ok());
+    }
+  }
+
+  std::vector<BackendAddress> addresses() const {
+    std::vector<BackendAddress> addrs;
+    for (const auto& s : servers_) {
+      addrs.push_back({"127.0.0.1", s->port()});
+    }
+    return addrs;
+  }
+
+  BackendServer& server(int site) {
+    return *servers_[static_cast<size_t>(site)];
+  }
+
+ private:
+  std::vector<std::unique_ptr<BackendServer>> servers_;
+};
+
+/// Fast-failing service config for fault tests: short deadlines, one
+/// retry, tiny backoff.
+inline ServiceConfig FastConfig() {
+  ServiceConfig config;
+  config.deadline_ms = 500;
+  config.retry.max_attempts = 2;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 5;
+  return config;
+}
+
+/// What the service ledger must contain given the fault set: replays the
+/// policy in process (its decision stream is fault-independent by
+/// design) and routes each decision's WAN traffic to either the healthy
+/// flows or the degraded ledger, in trace order — the same per-access
+/// accumulation the mediator performs, so doubles match bit for bit.
+inline StatsReply ExpectedLedger(const federation::Federation& federation,
+                                 catalog::Granularity granularity,
+                                 const core::PolicyConfig& config,
+                                 const workload::Trace& trace,
+                                 const std::set<int>& dead_sites) {
+  federation::Mediator mediator(&federation, granularity);
+  auto policy = core::MakePolicy(config);
+  StatsReply ledger;
+  for (const workload::TraceQuery& tq : trace.queries) {
+    for (const core::Access& access : mediator.Decompose(tq.query)) {
+      core::Decision decision = policy->OnAccess(access);
+      ++ledger.accesses;
+      ledger.evictions += decision.evictions.size();
+      bool dead = dead_sites.count(
+                      federation.SiteOfTable(access.object.table)) > 0;
+      switch (decision.action) {
+        case core::Action::kServeFromCache:
+          ledger.served_cost += access.bypass_cost;
+          ++ledger.hits;
+          break;
+        case core::Action::kBypass:
+          if (dead) {
+            ++ledger.degraded_accesses;
+            ledger.degraded_cost += access.bypass_cost;
+          } else {
+            ledger.bypass_cost += access.bypass_cost;
+            ++ledger.bypasses;
+          }
+          break;
+        case core::Action::kLoadAndServe:
+          if (dead) {
+            ++ledger.degraded_accesses;
+            ledger.degraded_cost += access.bypass_cost;
+          } else {
+            ledger.fetch_cost += access.fetch_cost;
+            ledger.served_cost += access.bypass_cost;
+            ++ledger.loads;
+          }
+          break;
+      }
+    }
+    ++ledger.queries;
+  }
+  return ledger;
+}
+
+inline void ExpectLedgerEq(const StatsReply& want, const StatsReply& got) {
+  EXPECT_EQ(want.queries, got.queries);
+  EXPECT_EQ(want.accesses, got.accesses);
+  EXPECT_EQ(want.hits, got.hits);
+  EXPECT_EQ(want.bypasses, got.bypasses);
+  EXPECT_EQ(want.loads, got.loads);
+  EXPECT_EQ(want.evictions, got.evictions);
+  EXPECT_EQ(want.degraded_accesses, got.degraded_accesses);
+  EXPECT_TRUE(SameBits(want.served_cost, got.served_cost))
+      << want.served_cost << " vs " << got.served_cost;
+  EXPECT_TRUE(SameBits(want.bypass_cost, got.bypass_cost))
+      << want.bypass_cost << " vs " << got.bypass_cost;
+  EXPECT_TRUE(SameBits(want.fetch_cost, got.fetch_cost))
+      << want.fetch_cost << " vs " << got.fetch_cost;
+  EXPECT_TRUE(SameBits(want.degraded_cost, got.degraded_cost))
+      << want.degraded_cost << " vs " << got.degraded_cost;
+}
+
+}  // namespace byc::service::testutil
+
+#endif  // BYC_TESTS_SERVICE_TEST_UTIL_H_

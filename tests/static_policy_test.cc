@@ -31,7 +31,7 @@ TEST(StaticPolicyTest, NoLoadsOrEvictionsEver) {
     EXPECT_TRUE(d.evictions.empty());
     EXPECT_NE(d.action, Action::kLoadAndServe);
   }
-  EXPECT_EQ(policy.used_bytes(), 400u);
+  EXPECT_EQ(policy.stats().used_bytes, 400u);
 }
 
 TEST(StaticPolicyTest, InitialLoadChargedLazilyOnce) {
@@ -56,7 +56,7 @@ TEST(StaticPolicyTest, OversizedContentsTruncated) {
   EXPECT_TRUE(policy.Contains(ObjectId::ForTable(0)));
   EXPECT_FALSE(policy.Contains(ObjectId::ForTable(1)));
   EXPECT_TRUE(policy.Contains(ObjectId::ForTable(2)));
-  EXPECT_EQ(policy.used_bytes(), 500u);
+  EXPECT_EQ(policy.stats().used_bytes, 500u);
 }
 
 TEST(SelectStaticSetTest, PicksHighestDensityObjects) {

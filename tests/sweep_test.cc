@@ -150,8 +150,9 @@ TEST_F(SweepTest, OutcomeReportsPolicyStateAfterReplay) {
   std::vector<SweepOutcome> outcomes =
       SweepRunner(options).Run(decomposed, {config});
   ASSERT_EQ(outcomes.size(), 1u);
-  EXPECT_EQ(outcomes[0].used_bytes, policy->used_bytes());
-  EXPECT_EQ(outcomes[0].metadata_entries, policy->metadata_entries());
+  const core::PolicyStats stats = policy->stats();
+  EXPECT_EQ(outcomes[0].used_bytes, stats.used_bytes);
+  EXPECT_EQ(outcomes[0].metadata_entries, stats.metadata_entries);
 }
 
 TEST_F(SweepTest, SweepOfManyConfigsKeepsSubmissionOrder) {
