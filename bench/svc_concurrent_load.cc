@@ -17,10 +17,19 @@
 // histograms plus an svc.qps gauge (validated in CI by
 // scripts/validate_manifest.py --require-load).
 //
-// Usage: svc_concurrent_load [--queries N] [--clients N] [--policy NAME]
-//                            [--frac F] [--out FILE]
+// Each granularity runs twice — classic per-query kQueryAt framing
+// (batch=1) and kQueryBatch framing (--batch, default 16 queries per
+// frame) — so BENCH_service.json records the framing win on the same
+// trace. A final "wide" case replays with 4x the configured session cap
+// in concurrent connections (same two reactor I/O threads): the epoll
+// core's claim that connection count is decoupled from thread count,
+// with the ledger check still bitwise.
+//
+// Usage: svc_concurrent_load [--queries N] [--clients N] [--batch N]
+//                            [--policy NAME] [--frac F] [--out FILE]
 //   --queries N  trace length (default 2000)
 //   --clients N  concurrent replay clients (default 4, max 64)
+//   --batch N    queries per kQueryBatch frame in batched cases (16)
 //   --policy P   rate_profile (default) | lru | gds | online_by
 //   --frac F     cache capacity as a fraction of the database (0.3)
 //   --out FILE   JSON output path (default: BENCH_service.json)
@@ -84,6 +93,8 @@ core::PolicyKind ParsePolicy(const std::string& name) {
 struct Record {
   std::string config;  // "EDR/table", ...
   size_t clients = 0;
+  int batch = 1;
+  int io_threads = 0;
   uint64_t queries = 0;
   double qps = 0;
   double wall_ms = 0;
@@ -103,6 +114,10 @@ std::string RecordToJson(const Record& r) {
   json.String(r.config);
   json.Key("clients");
   json.UInt(static_cast<uint64_t>(r.clients));
+  json.Key("batch");
+  json.UInt(static_cast<uint64_t>(r.batch));
+  json.Key("io_threads");
+  json.UInt(static_cast<uint64_t>(r.io_threads));
   json.Key("queries");
   json.UInt(r.queries);
   json.Key("qps");
@@ -251,6 +266,8 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
   Record record;
   record.config = release.name + "/" + bench::GranularityName(granularity);
   record.clients = num_clients;
+  record.batch = svc_config.batch_size;
+  record.io_threads = svc_config.io_threads;
   record.queries = queries_sent;
   record.qps = static_cast<double>(queries_sent) / (wall_ms / 1000.0);
   record.wall_ms = wall_ms;
@@ -259,10 +276,10 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
   record.p99_ms = request_ms.p99();
   record.degraded = degraded;
   std::printf(
-      "  %-6s  %zu clients  %llu queries in %.1f ms  (%.0f qps)  "
-      "request p50=%.3fms p90=%.3fms p99=%.3fms  sessions=%llu  "
-      "checks=%d  %s\n",
-      bench::GranularityName(granularity), num_clients,
+      "  %-6s  %zu clients  batch=%-3d %llu queries in %.1f ms  "
+      "(%.0f qps)  request p50=%.3fms p90=%.3fms p99=%.3fms  "
+      "sessions=%llu  checks=%d  %s\n",
+      bench::GranularityName(granularity), num_clients, record.batch,
       static_cast<unsigned long long>(queries_sent), wall_ms, record.qps,
       record.p50_ms, record.p90_ms, record.p99_ms,
       static_cast<unsigned long long>(mediator.sessions_served()),
@@ -276,6 +293,7 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
 int main(int argc, char** argv) {
   size_t num_queries = 2000;
   size_t num_clients = 4;
+  int batch = 16;
   std::string policy_name = "rate_profile";
   double fraction = 0.3;
   std::string out_path = "BENCH_service.json";
@@ -284,6 +302,8 @@ int main(int argc, char** argv) {
       num_queries = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       num_clients = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
       policy_name = argv[++i];
     } else if (std::strcmp(argv[i], "--frac") == 0 && i + 1 < argc) {
@@ -292,14 +312,18 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--queries N] [--clients N] [--policy NAME] "
-                   "[--frac F] [--out FILE]\n",
+                   "usage: %s [--queries N] [--clients N] [--batch N] "
+                   "[--policy NAME] [--frac F] [--out FILE]\n",
                    argv[0]);
       return 2;
     }
   }
   if (num_clients == 0 || num_clients > 64) {
     std::fprintf(stderr, "svc_concurrent_load: --clients must be 1..64\n");
+    return 2;
+  }
+  if (batch < 1 || batch > 4096) {
+    std::fprintf(stderr, "svc_concurrent_load: --batch must be 1..4096\n");
     return 2;
   }
 
@@ -311,12 +335,19 @@ int main(int argc, char** argv) {
                  svc_config.status().ToString().c_str());
     return 2;
   }
+  // The wide case runs 4x the configured session cap in concurrent
+  // connections (the reactor decouples connections from I/O threads);
+  // compute it from the cap BEFORE the cap is raised to fit --clients.
+  const size_t wide_clients = std::min<size_t>(
+      64, 4 * static_cast<size_t>(std::max(1, svc_config->max_sessions)));
   // The whole point is N live sessions: never let the session cap below
   // the client count turn the load run into a rejection test.
   svc_config->max_sessions =
-      std::max(svc_config->max_sessions, static_cast<int>(num_clients));
+      std::max(svc_config->max_sessions,
+               static_cast<int>(std::max(num_clients, wide_clients)));
   run.AddConfig("queries", std::to_string(num_queries));
   run.AddConfig("clients", std::to_string(num_clients));
+  run.AddConfig("batch", std::to_string(batch));
   run.AddConfig("policy", policy_name);
   run.AddConfig("capacity_fraction", std::to_string(fraction));
   run.AddConfig("svc.deadline_ms", std::to_string(svc_config->deadline_ms));
@@ -328,6 +359,8 @@ int main(int argc, char** argv) {
                 std::to_string(svc_config->max_inflight));
   run.AddConfig("svc.reorder_ms",
                 std::to_string(svc_config->reorder_timeout_ms));
+  run.AddConfig("svc.io_threads", std::to_string(svc_config->io_threads));
+  run.AddConfig("svc.wide_clients", std::to_string(wide_clients));
 
   bench::Release release = bench::MakeRelease(false, num_queries);
   uint64_t capacity = bench::CapacityFraction(release, fraction);
@@ -335,15 +368,27 @@ int main(int argc, char** argv) {
 
   std::printf(
       "svc_concurrent_load: %s, %zu queries, %zu clients, %s @ %.0f%% "
-      "cache\n",
+      "cache, %d io threads\n",
       release.name.c_str(), release.trace.queries.size(), num_clients,
-      policy_name.c_str(), fraction * 100);
+      policy_name.c_str(), fraction * 100, svc_config->io_threads);
   std::vector<Record> records;
   bool ok = true;
+  service::ServiceConfig unbatched = *svc_config;
+  unbatched.batch_size = 1;
+  service::ServiceConfig batched = *svc_config;
+  batched.batch_size = batch;
   ok &= RunCase(release, catalog::Granularity::kTable, kind, capacity,
-                num_clients, *svc_config, records);
+                num_clients, unbatched, records);
+  ok &= RunCase(release, catalog::Granularity::kTable, kind, capacity,
+                num_clients, batched, records);
   ok &= RunCase(release, catalog::Granularity::kColumn, kind, capacity,
-                num_clients, *svc_config, records);
+                num_clients, unbatched, records);
+  ok &= RunCase(release, catalog::Granularity::kColumn, kind, capacity,
+                num_clients, batched, records);
+  // Wide case: 4x the session cap in concurrent connections on the same
+  // fixed I/O thread pool.
+  ok &= RunCase(release, catalog::Granularity::kTable, kind, capacity,
+                wide_clients, batched, records);
 
   // Aggregate throughput gauge for the manifest (the per-case numbers
   // live in BENCH_service.json).

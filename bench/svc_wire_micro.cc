@@ -1,0 +1,163 @@
+// Wire-protocol micro-benchmark: encode/decode throughput of the
+// kQueryBatch / kQueryBatchReply fast path the reactor service rides —
+// QueryBatchBuilder packing trace lines into a reused payload buffer,
+// ParseQueryBatchInto decoding it in one pass into borrowed views, and
+// the fixed-width QueryReply record codec. Everything runs on reused
+// buffers, so the numbers isolate the codec itself (no allocation, no
+// sockets).
+//
+// Prints MB/s and items/s per direction and, with BYC_MANIFEST[_DIR]
+// set, records them as wire.* gauges in a run manifest so CI can track
+// the codec's throughput trajectory.
+//
+// Usage: svc_wire_micro [--batch N] [--iters N]
+//   --batch N   queries per batch frame (default 16)
+//   --iters N   timed iterations per direction (default 20000)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/wire.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace byc;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One measured direction: name, bytes moved per iteration, items per
+/// iteration, elapsed seconds.
+void Report(bench::BenchRun& run, const char* name, size_t iters,
+            size_t bytes_per_iter, size_t items_per_iter, double seconds) {
+  const double mb = static_cast<double>(iters * bytes_per_iter) / 1e6;
+  const double mbps = mb / seconds;
+  const double items_per_s =
+      static_cast<double>(iters * items_per_iter) / seconds;
+  std::printf("  %-22s %8.1f MB/s  %10.0f items/s  (%zu iters, %.3f s)\n",
+              name, mbps, items_per_s, iters, seconds);
+  if (telemetry::MetricsRegistry* metrics = run.metrics()) {
+    metrics->gauge(std::string("wire.") + name + "_mbps").Set(mbps);
+    metrics->gauge(std::string("wire.") + name + "_items_per_s")
+        .Set(items_per_s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t batch = 16;
+  size_t iters = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--batch N] [--iters N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (batch < 1 || batch > 4096 || iters < 1) {
+    std::fprintf(stderr, "svc_wire_micro: --batch 1..4096, --iters >= 1\n");
+    return 2;
+  }
+
+  bench::BenchRun run("svc_wire_micro");
+  run.AddConfig("batch", std::to_string(batch));
+  run.AddConfig("iters", std::to_string(iters));
+
+  // Realistic payloads: formatted trace lines from the calibrated EDR
+  // workload, cycled to fill each batch.
+  bench::Release release = bench::MakeRelease(false, 512);
+  std::vector<std::string> lines;
+  lines.reserve(release.trace.queries.size());
+  for (const workload::TraceQuery& tq : release.trace.queries) {
+    lines.push_back(workload::FormatTraceQuery(tq));
+  }
+  std::printf("svc_wire_micro: %zu trace lines, batch=%zu, iters=%zu\n",
+              lines.size(), batch, iters);
+
+  // --- kQueryBatch encode ------------------------------------------------
+  std::vector<uint8_t> payload;
+  size_t cursor = 0;
+  {
+    const Clock::time_point start = Clock::now();
+    size_t bytes = 0;
+    for (size_t it = 0; it < iters; ++it) {
+      service::QueryBatchBuilder builder(&payload);
+      for (size_t k = 0; k < batch; ++k) {
+        builder.Add(static_cast<uint64_t>(it * batch + k),
+                    lines[cursor++ % lines.size()]);
+      }
+      builder.Finish();
+      bytes += payload.size();
+    }
+    Report(run, "batch_encode", iters, bytes / iters, batch,
+           SecondsSince(start));
+  }
+
+  // --- kQueryBatch decode (borrowed views, reused vector) ----------------
+  {
+    std::vector<service::QueryBatchItem> items;
+    const Clock::time_point start = Clock::now();
+    for (size_t it = 0; it < iters; ++it) {
+      Status parsed = service::ParseQueryBatchInto(payload.data(),
+                                                   payload.size(), &items);
+      if (!parsed.ok() || items.size() != batch) {
+        std::fprintf(stderr, "decode failed: %s\n",
+                     parsed.ToString().c_str());
+        return 1;
+      }
+    }
+    Report(run, "batch_decode", iters, payload.size(), batch,
+           SecondsSince(start));
+  }
+
+  // --- kQueryBatchReply encode -------------------------------------------
+  std::vector<service::QueryReply> deltas(batch);
+  for (size_t k = 0; k < batch; ++k) {
+    deltas[k].accesses = k + 1;
+    deltas[k].hits = k;
+    deltas[k].served_cost = 0.5 * static_cast<double>(k);
+    deltas[k].bypass_cost = 1.25 * static_cast<double>(k);
+  }
+  service::Frame reply;
+  reply.type = service::FrameType::kQueryBatchReply;
+  {
+    const Clock::time_point start = Clock::now();
+    for (size_t it = 0; it < iters; ++it) {
+      reply.payload.clear();
+      service::EncodeQueryBatchReplyInto(reply.payload, deltas.data(),
+                                         deltas.size());
+    }
+    Report(run, "reply_encode", iters, reply.payload.size(), batch,
+           SecondsSince(start));
+  }
+
+  // --- kQueryBatchReply decode -------------------------------------------
+  {
+    std::vector<service::QueryReply> decoded;
+    const Clock::time_point start = Clock::now();
+    for (size_t it = 0; it < iters; ++it) {
+      Status parsed = service::ParseQueryBatchReplyInto(reply, &decoded);
+      if (!parsed.ok() || decoded.size() != batch) {
+        std::fprintf(stderr, "reply decode failed: %s\n",
+                     parsed.ToString().c_str());
+        return 1;
+      }
+    }
+    Report(run, "reply_decode", iters, reply.payload.size(), batch,
+           SecondsSince(start));
+  }
+
+  std::printf("svc_wire_micro: PASS\n");
+  return 0;
+}

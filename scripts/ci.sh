@@ -7,8 +7,11 @@
 # ledger byte-identical to the simulator, under a hard timeout so a
 # wedged socket can never hang CI), and a concurrent-load check
 # (svc_concurrent_load: N clients interleaving on the mediator must
-# conserve the ledger bitwise, and the manifest must carry the load
-# fields validate_manifest.py --require-load demands).
+# conserve the ledger bitwise — in both per-query and kQueryBatch
+# framing — and the manifest must carry the load fields
+# validate_manifest.py --require-load demands, including the
+# svc.batch_frames counter). A wire micro stage (svc_wire_micro) records
+# batch codec throughput gauges in its own manifest.
 #
 # Usage: scripts/ci.sh [preset ...]
 #   scripts/ci.sh                 # release asan tsan (the full sweep)
@@ -20,9 +23,12 @@
 #                       iterating on a race)
 #   CI_SKIP_SERVICE=1   skip the loopback service smoke test
 #   CI_SKIP_LOAD=1      skip the concurrent-load smoke test
+#   CI_SKIP_WIRE=1      skip the wire codec micro smoke test
 #   CI_SVC_TIMEOUT      seconds before a service smoke test is killed
-#                       (default 300, applies to both service stages)
+#                       (default 300, applies to all service stages)
 #   CI_LOAD_CLIENTS     concurrent clients for the load smoke (default 4)
+#   CI_LOAD_BATCH       queries per kQueryBatch frame in the load smoke's
+#                       batched cases (default 16)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -88,9 +94,26 @@ if [ "${CI_SKIP_LOAD:-0}" != "1" ]; then
   # against a wedged admission stage.
   BYC_MANIFEST="$load_manifest" \
     timeout "${CI_SVC_TIMEOUT:-300}" "$load" --queries 300 \
-    --clients "${CI_LOAD_CLIENTS:-4}" --out "$load_json"
+    --clients "${CI_LOAD_CLIENTS:-4}" --batch "${CI_LOAD_BATCH:-16}" \
+    --out "$load_json"
   python3 scripts/validate_manifest.py --require-service --require-load \
     "$load_manifest"
+fi
+
+if [ "${CI_SKIP_WIRE:-0}" != "1" ]; then
+  wire=build/bench/svc_wire_micro
+  if [ ! -x "$wire" ]; then
+    cmake --preset release >/dev/null
+    cmake --build --preset release -j "$JOBS" --target svc_wire_micro
+  fi
+  wire_manifest="$(mktemp -t byc_wire_manifest.XXXXXX.json)"
+  trap 'rm -f "${manifest:-}" "${svc_manifest:-}" "${load_manifest:-}" "${load_json:-}" "$wire_manifest"' EXIT
+  echo "==> wire codec micro smoke test ($wire)"
+  # Exits nonzero if a batch round-trip decodes wrong; the manifest
+  # records the codec throughput gauges (wire.*).
+  BYC_MANIFEST="$wire_manifest" \
+    timeout "${CI_SVC_TIMEOUT:-300}" "$wire" --iters 2000
+  python3 scripts/validate_manifest.py "$wire_manifest"
 fi
 
 echo "==> CI OK (${PRESETS[*]})"

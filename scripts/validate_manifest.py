@@ -14,8 +14,11 @@ run cannot slip through).
 
 --require-load additionally demands the concurrent-load fields of
 svc_concurrent_load: a positive "svc.sessions" counter, a positive
-"svc.qps" gauge, and a sane "svc.request_ms" latency histogram
-(count >= 1 and p50 <= p90 <= p99). The CI load smoke stage passes it.
+"svc.qps" gauge, a present "svc.batch_frames" counter (the generic
+counter rule already enforces >= 0; the load run must record how many
+kQueryBatch frames it served, even when that is zero), and a sane
+"svc.request_ms" latency histogram (count >= 1 and p50 <= p90 <= p99).
+The CI load smoke stage passes it.
 
 Usage: validate_manifest.py [--require-service] [--require-load]
                             <manifest.json> [...]
@@ -214,6 +217,11 @@ def validate_load_fields(doc, path, errors, required):
     qps = gauges["svc.qps"]
     if not is_number(qps) or qps <= 0:
         fail(path, f"gauge 'svc.qps' must be a positive number: {qps!r}",
+             errors)
+
+    if "svc.batch_frames" not in counters:
+        fail(path, "load manifest missing counter 'svc.batch_frames' "
+             "(the mediator records batch framing even when unused)",
              errors)
 
     hist = histograms.get("svc.request_ms")

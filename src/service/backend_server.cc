@@ -1,8 +1,8 @@
 #include "service/backend_server.h"
 
-#include <sys/socket.h>
-
 #include <chrono>
+#include <thread>
+#include <utility>
 
 #include "catalog/object_id.h"
 #include "workload/trace.h"
@@ -11,9 +11,7 @@ namespace byc::service {
 
 namespace {
 
-/// Accept-poll interval: the latency bound on noticing Stop()/Kill().
-constexpr int kPollMs = 50;
-/// Deadline for reading/writing one frame once bytes are on the wire.
+/// Deadline for the reactor's final flush of one frame at teardown.
 constexpr int64_t kFrameIoMs = 2000;
 
 /// Sleeps `total_ms` in small slices so an injected delay cannot outlive
@@ -34,90 +32,62 @@ Status BackendServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("backend already running");
   }
-  auto listener = std::make_unique<Listener>();
-  BYC_RETURN_IF_ERROR(listener->Listen(options_.port));
-  port_ = listener->port();
+  Reactor::Options ropts;
+  ropts.io_threads = 2;
+  ropts.io_deadline_ms = kFrameIoMs;
+  Reactor::Callbacks callbacks;
+  callbacks.admit = [this]() -> Reactor::AdmitDecision {
+    if (faults_.refuse.load(std::memory_order_relaxed)) {
+      // Close the accepted socket immediately: protocol-level refusal.
+      return Reactor::AdmitDecision::RejectSilent();
+    }
+    return Reactor::AdmitDecision::Accept();
+  };
+  callbacks.on_frame = [this](FrameType type, const uint8_t* payload,
+                              size_t payload_len, ReplyTicket ticket) {
+    OnFrame(type, payload, payload_len, std::move(ticket));
+  };
+  reactor_ = std::make_unique<Reactor>(ropts, std::move(callbacks));
+  Status started = reactor_->Start(options_.port);
+  if (!started.ok()) {
+    reactor_.reset();
+    return started;
+  }
+  port_ = reactor_->port();
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread(
-      [this, listener = std::move(listener)]() mutable {
-        AcceptLoopOn(*listener);
-        listener->Close();
-      });
   return Status::OK();
 }
 
 void BackendServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stop_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
+  // Abrupt by design: Kill() aliases here, and a dying site owes its
+  // mediators nothing — unflushed replies are simply lost.
+  reactor_->Stop(/*flush_pending=*/false);
+  reactor_.reset();
 }
 
-void BackendServer::AcceptLoopOn(Listener& listener) {
-  while (!stop_.load(std::memory_order_acquire)) {
-    Result<Socket> accepted = listener.Accept(kPollMs);
-    if (!accepted.ok()) {
-      if (accepted.status().IsDeadlineExceeded()) continue;
-      break;  // Listener broken; the server is effectively dead.
-    }
-    if (faults_.refuse.load(std::memory_order_relaxed)) {
-      continue;  // Socket destructor closes: protocol-level refusal.
-    }
-    int fd = accepted->fd();
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back(
-        [this, conn = std::move(accepted).value()]() mutable {
-          HandleConnection(std::move(conn));
-        });
+void BackendServer::OnFrame(FrameType type, const uint8_t* payload,
+                            size_t payload_len, ReplyTicket ticket) {
+  if (faults_.drop.load(std::memory_order_relaxed)) {
+    // Read the request, never answer: a lost reply.
+    ticket.Abandon();
+    return;
   }
-}
+  int delay = faults_.delay_ms.load(std::memory_order_relaxed);
+  if (delay > 0) InterruptibleSleep(delay, stop_);
 
-void BackendServer::HandleConnection(Socket conn) {
-  while (!stop_.load(std::memory_order_acquire)) {
-    Status ready = conn.WaitReadable(Deadline::After(kPollMs));
-    if (!ready.ok()) {
-      if (ready.IsDeadlineExceeded()) continue;  // idle; re-check stop
-      break;
-    }
-    Result<Frame> request = ReadFrame(conn, Deadline::After(kFrameIoMs));
-    if (!request.ok()) {
-      // A malformed frame (oversized length, unknown type) gets a typed
-      // error reply before the poisoned connection is dropped; torn
-      // frames and disconnects just close.
-      if (request.status().IsInvalidArgument()) {
-        WriteFrame(conn, MakeErrorFrame(request.status()),
-                   Deadline::After(kFrameIoMs));
-      }
-      break;
-    }
-    if (faults_.drop.load(std::memory_order_relaxed)) {
-      break;  // Read the request, never answer: a lost reply.
-    }
-    int delay = faults_.delay_ms.load(std::memory_order_relaxed);
-    if (delay > 0) InterruptibleSleep(delay, stop_);
-
-    Frame reply = HandleRequest(*request);
-    bool rejected = reply.type == FrameType::kError;
-    if (!WriteFrame(conn, reply, Deadline::After(kFrameIoMs)).ok()) break;
-    (rejected ? requests_rejected_ : requests_served_)
-        .fetch_add(1, std::memory_order_relaxed);
-  }
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  conn_fds_.erase(conn.fd());
-  conn.Close();
+  Frame request;
+  request.type = type;
+  request.payload.assign(payload, payload + payload_len);
+  Frame reply = HandleRequest(request);
+  bool rejected = reply.type == FrameType::kError;
+  std::vector<uint8_t> out = ticket.TakeBuffer();
+  EncodeFrameInto(out, reply);
+  ticket.Complete(std::move(out));
+  (rejected ? requests_rejected_ : requests_served_)
+      .fetch_add(1, std::memory_order_relaxed);
 }
 
 Frame BackendServer::HandleRequest(const Frame& request) {

@@ -4,15 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
-#include <unordered_set>
-#include <vector>
 
 #include "common/result.h"
 #include "exec/executor.h"
 #include "federation/federation.h"
-#include "service/socket.h"
+#include "service/reactor.h"
 #include "service/wire.h"
 
 namespace byc::service {
@@ -23,13 +19,18 @@ namespace byc::service {
 /// query execution, over the length-prefixed wire protocol on a loopback
 /// TCP port.
 ///
-/// The server is an in-process listener (its own accept thread plus one
-/// thread per connection), which gives the real kernel socket boundary
-/// the federation experiments need without multi-process orchestration.
+/// The server runs on the shared epoll Reactor (DESIGN.md §9): a small
+/// pool of nonblocking I/O threads multiplexes every connection, so the
+/// backend sustains any number of mediator channels without
+/// per-connection threads, and shutdown is eventfd-driven (no idle
+/// polls). Request handling is stateless and runs directly on the I/O
+/// thread that decoded the frame.
 ///
 /// Fault injection: the FaultPlan is mutable at runtime and consulted on
 /// every accept/request, so tests and benches can make one site refuse,
-/// drop, delay, or die mid-replay and watch the mediator degrade.
+/// drop, delay, or die mid-replay and watch the mediator degrade. An
+/// injected delay sleeps on the I/O thread — deliberately: a slow
+/// backend is slow for everyone sharing that wire.
 class BackendServer {
  public:
   struct Options {
@@ -64,11 +65,11 @@ class BackendServer {
   BackendServer(const BackendServer&) = delete;
   BackendServer& operator=(const BackendServer&) = delete;
 
-  /// Binds the listener and starts the accept thread.
+  /// Binds the listener and starts the reactor I/O threads.
   Status Start();
 
-  /// Graceful shutdown: stops accepting, aborts in-flight connections,
-  /// joins all threads. Idempotent.
+  /// Shutdown: stops accepting, aborts in-flight connections, joins the
+  /// I/O threads. Idempotent.
   void Stop();
 
   /// Crash simulation: identical teardown to Stop() but named for what
@@ -92,9 +93,10 @@ class BackendServer {
   }
 
  private:
-  /// Accept loop body; the listener is owned by the accept thread.
-  void AcceptLoopOn(Listener& listener);
-  void HandleConnection(Socket conn);
+  /// Reactor frame callback: applies the fault plan, then answers the
+  /// request in place on the I/O thread.
+  void OnFrame(FrameType type, const uint8_t* payload, size_t payload_len,
+               ReplyTicket ticket);
   /// Builds the reply for one request frame (kError replies for invalid
   /// ones). Never fails — failures are in-band.
   Frame HandleRequest(const Frame& request);
@@ -114,13 +116,7 @@ class BackendServer {
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> requests_rejected_{0};
 
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  /// Live connection fds (for cross-thread shutdown) and their handler
-  /// threads. A handler deregisters its fd before closing it, so Stop
-  /// never shuts down a recycled descriptor.
-  std::unordered_set<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::unique_ptr<Reactor> reactor_;
 };
 
 }  // namespace byc::service

@@ -29,6 +29,14 @@ Result<ServiceConfig> ServiceConfig::FromEnv() {
       config.reorder_timeout_ms,
       env::DurationMsOr("BYC_SVC_REORDER_MS", config.reorder_timeout_ms, 1,
                         600'000));
+  BYC_ASSIGN_OR_RETURN(int64_t batch,
+                       env::IntOr("BYC_SVC_BATCH", config.batch_size, 1,
+                                  4096));
+  config.batch_size = static_cast<int>(batch);
+  BYC_ASSIGN_OR_RETURN(
+      int64_t io_threads,
+      env::IntOr("BYC_SVC_IO_THREADS", config.io_threads, 1, 64));
+  config.io_threads = static_cast<int>(io_threads);
   return config;
 }
 

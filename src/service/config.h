@@ -39,10 +39,19 @@ struct ServiceConfig {
   /// number before the oldest waiter skips the gap (a disconnected
   /// client must not wedge the others). BYC_SVC_REORDER_MS.
   int64_t reorder_timeout_ms = 1000;
+  /// Queries a replaying client coalesces into one kQueryBatch frame
+  /// (1: plain kQueryAt, no batching). One batch is one wire round
+  /// trip; the server still admits every item through the ordered
+  /// stage individually. BYC_SVC_BATCH.
+  int batch_size = 1;
+  /// Reactor I/O threads multiplexing all connections (connection count
+  /// is NOT bounded by this). BYC_SVC_IO_THREADS.
+  int io_threads = 2;
 
   /// Loads overrides from BYC_SVC_PORT / BYC_SVC_DEADLINE_MS /
   /// BYC_SVC_RETRIES / BYC_SVC_MAX_SESSIONS / BYC_SVC_MAX_INFLIGHT /
-  /// BYC_SVC_REORDER_MS on top of the defaults.
+  /// BYC_SVC_REORDER_MS / BYC_SVC_BATCH / BYC_SVC_IO_THREADS on top of
+  /// the defaults.
   static Result<ServiceConfig> FromEnv();
 };
 

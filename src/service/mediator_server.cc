@@ -1,7 +1,5 @@
 #include "service/mediator_server.h"
 
-#include <chrono>
-#include <deque>
 #include <utility>
 
 #include "common/check.h"
@@ -12,22 +10,27 @@ namespace byc::service {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-/// Poll interval for noticing Stop() while idle.
-constexpr int kPollMs = 50;
-
 void InterruptibleSleep(int total_ms, const std::atomic<bool>& stop) {
   using namespace std::chrono;
-  auto until = Clock::now() + milliseconds(total_ms);
-  while (!stop.load(std::memory_order_relaxed) && Clock::now() < until) {
+  auto until = std::chrono::steady_clock::now() + milliseconds(total_ms);
+  while (!stop.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < until) {
     std::this_thread::sleep_for(milliseconds(10));
   }
 }
 
-double MsSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Encodes `frame` into a recycled buffer and completes the slot.
+void CompleteWithFrame(ReplyTicket& ticket, const Frame& frame,
+                       bool close_after = false) {
+  std::vector<uint8_t> out = ticket.TakeBuffer();
+  EncodeFrameInto(out, frame);
+  ticket.Complete(std::move(out), close_after);
 }
 
 }  // namespace
@@ -54,9 +57,6 @@ Status MediatorServer::Start() {
         std::to_string(backend_addrs_.size()) + " for " +
         std::to_string(federation_->num_sites()) + " sites");
   }
-  auto listener = std::make_unique<Listener>();
-  BYC_RETURN_IF_ERROR(listener->Listen(options_.config.port));
-  port_ = listener->port();
 
   policy_ = core::MakePolicy(policy_config_);
   channels_.clear();
@@ -66,54 +66,27 @@ Status MediatorServer::Start() {
   }
   ledger_ = StatsReply{};
   admission_next_ = 0;
-  admission_waiting_.clear();
+  unstamped_.clear();
+  stamped_.clear();
+  q_draining_ = false;
   live_sessions_.store(0, std::memory_order_relaxed);
   sessions_accepted_.store(0, std::memory_order_relaxed);
   sessions_rejected_.store(0, std::memory_order_relaxed);
   admission_skips_.store(0, std::memory_order_relaxed);
-  // One pool worker per admitted session: a session occupies its worker
-  // for its whole lifetime, so pool capacity == the session cap and an
-  // admitted connection never queues behind another.
-  session_pool_ = std::make_unique<ThreadPool>(
-      static_cast<unsigned>(options_.config.max_sessions));
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    // Touch the batching counter so a manifest records it even for
+    // replays that never send a kQueryBatch frame.
+    options_.metrics->counter("svc.batch_frames").Increment(0);
+  }
+#endif
 
-  stop_.store(false, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread(
-      [this, listener = std::move(listener)]() mutable {
-        AcceptLoopOn(*listener);
-        listener->Close();
-      });
-  return Status::OK();
-}
-
-void MediatorServer::Stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  stop_.store(true, std::memory_order_release);
-  // Wake stamped queries blocked in the admission stage so their
-  // sessions can finish draining.
-  admission_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Graceful drain: every session notices stop_ within kPollMs, answers
-  // the frames it has already read (all I/O deadline-bounded), and
-  // exits; the pool destructor joins them.
-  session_pool_.reset();
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Channel& ch : channels_) ch.sock.Close();
-}
-
-StatsReply MediatorServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ledger_;
-}
-
-void MediatorServer::AcceptLoopOn(Listener& listener) {
-  while (!stop_.load(std::memory_order_acquire)) {
-    Result<Socket> accepted = listener.Accept(kPollMs);
-    if (!accepted.ok()) {
-      if (accepted.status().IsDeadlineExceeded()) continue;
-      break;
-    }
+  Reactor::Options ropts;
+  ropts.io_threads = options_.config.io_threads;
+  ropts.io_deadline_ms = options_.config.deadline_ms;
+  ropts.max_inflight = static_cast<size_t>(options_.config.max_inflight);
+  Reactor::Callbacks callbacks;
+  callbacks.admit = [this]() -> Reactor::AdmitDecision {
     if (live_sessions_.load(std::memory_order_acquire) >=
         options_.config.max_sessions) {
       // Typed backpressure: the client learns it hit the session cap
@@ -124,14 +97,10 @@ void MediatorServer::AcceptLoopOn(Listener& listener) {
         options_.metrics->counter("svc.sessions_rejected").Increment();
       }
 #endif
-      WriteFrame(*accepted,
-                 MakeErrorFrame(WireCode::kBusy,
-                                "session cap " +
-                                    std::to_string(
-                                        options_.config.max_sessions) +
-                                    " reached; retry later"),
-                 Deadline::After(options_.config.deadline_ms));
-      continue;  // Socket closes on scope exit.
+      return Reactor::AdmitDecision::Reject(MakeErrorFrame(
+          WireCode::kBusy,
+          "session cap " + std::to_string(options_.config.max_sessions) +
+              " reached; retry later"));
     }
     live_sessions_.fetch_add(1, std::memory_order_acq_rel);
     sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -143,222 +112,296 @@ void MediatorServer::AcceptLoopOn(Listener& listener) {
               live_sessions_.load(std::memory_order_relaxed)));
     }
 #endif
-    auto conn = std::make_shared<Socket>(std::move(*accepted));
-    session_pool_->Submit([this, conn] {
-      ServeSession(*conn);
-      live_sessions_.fetch_sub(1, std::memory_order_acq_rel);
-#if BYC_TELEMETRY_ENABLED
-      if (options_.metrics != nullptr) {
-        options_.metrics->gauge("svc.sessions_live")
-            .Set(static_cast<double>(
-                live_sessions_.load(std::memory_order_relaxed)));
-      }
-#endif
-    });
-  }
-}
-
-void MediatorServer::ServeSession(Socket& conn) {
-  const int64_t io_ms = options_.config.deadline_ms;
-  const size_t max_inflight =
-      static_cast<size_t>(options_.config.max_inflight);
-  Clock::time_point session_start{};
-#if BYC_TELEMETRY_ENABLED
-  if (options_.metrics != nullptr) session_start = Clock::now();
-#endif
-  uint64_t requests_served = 0;
-  std::deque<Frame> pending;  // Read-ahead window (the in-flight cap).
-  bool readable = true;       // Reads still possible on this connection.
-
-  auto finish = [&] {
+    return Reactor::AdmitDecision::Accept();
+  };
+  callbacks.on_frame = [this](FrameType type, const uint8_t* payload,
+                              size_t payload_len, ReplyTicket ticket) {
+    OnFrame(type, payload, payload_len, std::move(ticket));
+  };
+  callbacks.on_close = [this](uint64_t frames, double ms_open) {
+    live_sessions_.fetch_sub(1, std::memory_order_acq_rel);
 #if BYC_TELEMETRY_ENABLED
     if (options_.metrics != nullptr) {
-      options_.metrics->histogram("svc.session_ms")
-          .Observe(MsSince(session_start));
+      options_.metrics->gauge("svc.sessions_live")
+          .Set(static_cast<double>(
+              live_sessions_.load(std::memory_order_relaxed)));
+      options_.metrics->histogram("svc.session_ms").Observe(ms_open);
       options_.metrics->histogram("svc.session_requests")
-          .Observe(static_cast<double>(requests_served));
+          .Observe(static_cast<double>(frames));
     }
 #endif
   };
-
-  for (;;) {
-    const bool draining = stop_.load(std::memory_order_acquire);
-    // Top up the read-ahead window from what the kernel has buffered.
-    // Beyond max_inflight the client simply experiences TCP
-    // backpressure; during drain nothing new is read.
-    while (readable && !draining && pending.size() < max_inflight) {
-      Status ready = conn.WaitReadable(Deadline::After(0));
-      if (!ready.ok()) break;  // Nothing buffered right now.
-      Result<Frame> request = ReadFrame(conn, Deadline::After(io_ms));
-      if (!request.ok()) {
-        if (request.status().IsInvalidArgument()) {
-          // Oversized or unknown frame: answer with the typed error,
-          // then drop the poisoned connection (read-ahead included —
-          // framing after the poison point is unreliable).
-          WriteFrame(conn, MakeErrorFrame(request.status()),
-                     Deadline::After(io_ms));
-          finish();
-          return;
-        }
-        readable = false;  // Peer closed or broke; drain what we have.
-        break;
-      }
-      pending.push_back(std::move(*request));
-    }
-
-    if (!pending.empty()) {
-      Frame request = std::move(pending.front());
-      pending.pop_front();
-      bool close_after = false;
-      Frame reply = HandleFrame(request, close_after);
-      if (!WriteFrame(conn, reply, Deadline::After(io_ms)).ok() ||
-          close_after) {
-        finish();
-        return;
-      }
-      ++requests_served;
-      continue;
-    }
-
-    if (!readable || draining) break;  // Drained (or nothing to drain).
-    Status ready = conn.WaitReadable(Deadline::After(kPollMs));
-    if (!ready.ok() && !ready.IsDeadlineExceeded()) readable = false;
+  reactor_ = std::make_unique<Reactor>(ropts, std::move(callbacks));
+  Status started = reactor_->Start(options_.config.port);
+  if (!started.ok()) {
+    reactor_.reset();
+    return started;
   }
-  finish();
+  port_ = reactor_->port();
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  admission_thread_ = std::thread([this] { AdmissionLoop(); });
+  return Status::OK();
 }
 
-Frame MediatorServer::HandleFrame(const Frame& request, bool& close_after) {
-  close_after = false;
-  switch (request.type) {
+void MediatorServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  // Phase 1: stop accepting and delivering new frames; queries already
+  // enqueued keep flowing.
+  reactor_->BeginDrain();
+  // Phase 2: the admission thread answers everything in the queue, then
+  // exits.
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    q_draining_ = true;
+  }
+  qcv_.notify_all();
+  if (admission_thread_.joinable()) admission_thread_.join();
+  // Phase 3: flush the completed replies and tear the reactor down.
+  reactor_->Stop(/*flush_pending=*/true);
+  reactor_.reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Channel& ch : channels_) ch.sock.Close();
+}
+
+StatsReply MediatorServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_;
+}
+
+void MediatorServer::OnFrame(FrameType type, const uint8_t* payload,
+                             size_t payload_len, ReplyTicket ticket) {
+  switch (type) {
     case FrameType::kQuery: {
-      PayloadReader r(request.payload);
-      return HandleQuery(r.ReadText(), std::nullopt);
+      std::string_view line(reinterpret_cast<const char*>(payload),
+                            payload_len);
+      EnqueueQuery(std::nullopt, line, std::move(ticket), nullptr, 0);
+      return;
     }
     case FrameType::kQueryAt: {
-      Result<SequencedQuery> query = ParseQueryAt(request);
-      if (!query.ok()) return MakeErrorFrame(query.status());
-      return HandleQuery(query->trace_line, query->seq);
+      PayloadReader r(payload, payload_len);
+      Result<uint64_t> seq = r.ReadU64();
+      if (!seq.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(seq.status()));
+        return;
+      }
+      Result<std::string_view> line = r.ReadView(r.remaining());
+      EnqueueQuery(*seq, *line, std::move(ticket), nullptr, 0);
+      return;
+    }
+    case FrameType::kQueryBatch: {
+      // Decoded in one pass; the item views borrow the connection's
+      // read buffer and are only used inside this callback (parse +
+      // decompose), never stored.
+      std::vector<QueryBatchItem> items;
+      Status parsed = ParseQueryBatchInto(payload, payload_len, &items);
+      if (!parsed.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(parsed));
+        return;
+      }
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("svc.batch_frames").Increment();
+      }
+#endif
+      if (items.empty()) {
+        std::vector<uint8_t> out = ticket.TakeBuffer();
+        EncodeFrameHeaderInto(out, FrameType::kQueryBatchReply, 4);
+        AppendU32(out, 0);
+        ticket.Complete(std::move(out));
+        return;
+      }
+      auto batch = std::make_shared<BatchState>();
+      batch->ticket = std::move(ticket);
+      batch->deltas.resize(items.size());
+      batch->remaining = items.size();
+      for (size_t i = 0; i < items.size(); ++i) {
+        EnqueueQuery(items[i].seq, items[i].line, ReplyTicket(), batch, i);
+      }
+      return;
     }
     case FrameType::kStats: {
-      std::lock_guard<std::mutex> lock(mu_);
-      return MakeStatsReplyFrame(ledger_);
+      Frame reply;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        reply = MakeStatsReplyFrame(ledger_);
+      }
+      CompleteWithFrame(ticket, reply);
+      return;
     }
     case FrameType::kPing: {
       Frame pong;
       pong.type = FrameType::kPong;
-      return pong;
+      CompleteWithFrame(ticket, pong);
+      return;
     }
     case FrameType::kHello: {
-      Result<uint32_t> version = ParseHello(request);
-      if (!version.ok()) return MakeErrorFrame(version.status());
-      if (*version != kProtocolVersion) {
-        close_after = true;
-        return MakeErrorFrame(
-            WireCode::kVersionMismatch,
-            "server speaks protocol version " +
-                std::to_string(kProtocolVersion) + ", client sent " +
-                std::to_string(*version));
+      Frame frame;
+      frame.type = FrameType::kHello;
+      frame.payload.assign(payload, payload + payload_len);
+      Result<uint32_t> version = ParseHello(frame);
+      if (!version.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(version.status()));
+        return;
       }
-      return MakeHelloReplyFrame(kProtocolVersion);
+      if (*version != kProtocolVersion) {
+        CompleteWithFrame(
+            ticket,
+            MakeErrorFrame(WireCode::kVersionMismatch,
+                           "server speaks protocol version " +
+                               std::to_string(kProtocolVersion) +
+                               ", client sent " + std::to_string(*version)),
+            /*close_after=*/true);
+        return;
+      }
+      CompleteWithFrame(ticket, MakeHelloReplyFrame(kProtocolVersion));
+      return;
     }
     default:
       // A well-formed frame the mediator does not serve (e.g. kFetch):
       // typed error, connection survives.
-      return MakeErrorFrame(Status::InvalidArgument(
-          "frame type " + std::to_string(static_cast<int>(request.type)) +
-          " is not served by the mediator"));
+      CompleteWithFrame(
+          ticket,
+          MakeErrorFrame(Status::InvalidArgument(
+              "frame type " + std::to_string(static_cast<int>(type)) +
+              " is not served by the mediator")));
+      return;
   }
 }
 
-std::unique_lock<std::mutex> MediatorServer::AdmitOrdered(
-    std::optional<uint64_t> seq) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!seq.has_value() || *seq < admission_next_) {
-    // Unstamped queries are admitted in arrival order; a stamped query
-    // whose turn has already passed (duplicate, or its gap was skipped)
-    // is admitted immediately rather than stalled forever.
-    return lock;
+void MediatorServer::EnqueueQuery(std::optional<uint64_t> seq,
+                                  std::string_view line, ReplyTicket ticket,
+                                  std::shared_ptr<BatchState> batch,
+                                  size_t batch_index) {
+  AdmissionEntry entry;
+  entry.seq = seq;
+  entry.ticket = std::move(ticket);
+  entry.batch = std::move(batch);
+  entry.batch_index = batch_index;
+  entry.enqueued = Clock::now();
+  Result<workload::TraceQuery> tq =
+      workload::ParseTraceQuery(federation_->catalog(), line);
+  if (!tq.ok()) {
+    // A malformed stamped query still owns its slot in the total order,
+    // so well-formed successors are not stalled behind a permanent gap.
+    entry.parse_error = tq.status();
+  } else {
+    // Decompose on the I/O thread (the memo has its own lock): I/O
+    // threads overlap here, and only the decision/ledger path
+    // serializes.
+    entry.accesses = mediator_.Decompose(tq->query);
   }
-  admission_waiting_.insert(*seq);
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    if (entry.seq.has_value()) {
+      stamped_.emplace(*entry.seq, std::move(entry));
+    } else {
+      unstamped_.push_back(std::move(entry));
+    }
+  }
+  qcv_.notify_one();
+}
+
+void MediatorServer::AdmissionLoop() {
   const auto gap =
       std::chrono::milliseconds(options_.config.reorder_timeout_ms);
-  auto deadline = Clock::now() + gap;
-  while (admission_next_ < *seq && !stop_.load(std::memory_order_acquire)) {
-    if (admission_cv_.wait_until(lock, deadline) ==
-        std::cv_status::timeout) {
-      if (admission_next_ >= *seq) break;
-      if (*admission_waiting_.begin() == *seq) {
-        // Oldest waiter and the gap below never arrived (abandoned by a
-        // disconnected client): skip it so the order stays live.
-        admission_next_ = *seq;
+  std::unique_lock<std::mutex> qlock(qmu_);
+  for (;;) {
+    if (unstamped_.empty() && stamped_.empty()) {
+      if (q_draining_) return;
+      qcv_.wait(qlock);
+      continue;
+    }
+    AdmissionEntry entry;
+    if (!unstamped_.empty()) {
+      entry = std::move(unstamped_.front());
+      unstamped_.pop_front();
+    } else {
+      auto it = stamped_.begin();
+      if (it->first > admission_next_ && !q_draining_ &&
+          !stop_.load(std::memory_order_acquire)) {
+        // A gap below the oldest stamped query: wait for the missing
+        // sequence numbers to arrive, then — if the gap outlives the
+        // reorder timeout (an abandoned client) — skip it so the order
+        // stays live.
+        auto deadline = it->second.enqueued + gap;
+        if (Clock::now() < deadline) {
+          qcv_.wait_until(qlock, deadline);
+          continue;  // Re-evaluate: the gap may have filled.
+        }
+        admission_next_ = it->first;
         admission_skips_.fetch_add(1, std::memory_order_relaxed);
 #if BYC_TELEMETRY_ENABLED
         if (options_.metrics != nullptr) {
           options_.metrics->counter("svc.admission_skips").Increment();
         }
 #endif
-        break;
       }
-      // A smaller stamped query is still waiting; give the gap another
-      // window — it is that waiter's job to skip.
-      deadline = Clock::now() + gap;
+      entry = std::move(it->second);
+      stamped_.erase(it);
+      if (*entry.seq >= admission_next_) admission_next_ = *entry.seq + 1;
     }
+    qlock.unlock();
+    ProcessEntry(entry);
+    qlock.lock();
   }
-  admission_waiting_.erase(admission_waiting_.find(*seq));
-  return lock;
 }
 
-void MediatorServer::FinishOrdered(std::optional<uint64_t> seq,
-                                   std::unique_lock<std::mutex> lock) {
-  bool advanced = false;
-  if (seq.has_value() && *seq >= admission_next_) {
-    admission_next_ = *seq + 1;
-    advanced = true;
-  }
-  lock.unlock();
-  if (advanced) admission_cv_.notify_all();
-}
-
-Frame MediatorServer::HandleQuery(std::string_view line,
-                                  std::optional<uint64_t> seq) {
-  Clock::time_point start{};
-#if BYC_TELEMETRY_ENABLED
-  if (options_.metrics != nullptr) start = Clock::now();
-#endif
-  Result<workload::TraceQuery> tq =
-      workload::ParseTraceQuery(federation_->catalog(), line);
-  if (!tq.ok()) {
-    // A malformed stamped query still owns its slot in the total order:
-    // wait for the turn, then release it untouched, so well-formed
-    // successors are not stalled behind a permanent gap.
-    if (seq.has_value()) FinishOrdered(seq, AdmitOrdered(seq));
-    return MakeErrorFrame(tq.status());
-  }
-
-  // Decompose outside the admission stage (the memo has its own lock):
-  // sessions overlap here, and only the decision/ledger path serializes.
-  std::vector<core::Access> accesses = mediator_.Decompose(tq->query);
-
+void MediatorServer::ProcessEntry(AdmissionEntry& entry) {
   QueryReply delta;
-  {
-    std::unique_lock<std::mutex> lock = AdmitOrdered(seq);
-    for (const core::Access& access : accesses) {
+  if (entry.parse_error.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const core::Access& access : entry.accesses) {
       ProcessAccess(access, delta);
     }
     ++ledger_.queries;
-    FinishOrdered(seq, std::move(lock));
-  }
 #if BYC_TELEMETRY_ENABLED
-  if (options_.metrics != nullptr) {
-    options_.metrics->counter("svc.queries").Increment();
-    options_.metrics->counter("svc.accesses").Increment(delta.accesses);
-    if (delta.degraded > 0) {
-      options_.metrics->counter("svc.degraded").Increment(delta.degraded);
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("svc.queries").Increment();
+      options_.metrics->counter("svc.accesses").Increment(delta.accesses);
+      if (delta.degraded > 0) {
+        options_.metrics->counter("svc.degraded").Increment(delta.degraded);
+      }
+      options_.metrics->histogram("svc.request_ms")
+          .Observe(MsSince(entry.enqueued));
     }
-    options_.metrics->histogram("svc.request_ms").Observe(MsSince(start));
-  }
 #endif
-  return MakeQueryReplyFrame(delta);
+  }
+
+  if (entry.batch != nullptr) {
+    BatchState& batch = *entry.batch;
+    batch.deltas[entry.batch_index] = delta;
+    if (!entry.parse_error.ok() && batch.error.ok()) {
+      batch.error = entry.parse_error;
+    }
+    BYC_CHECK_GT(batch.remaining, size_t{0});
+    if (--batch.remaining > 0) return;
+    if (!batch.error.ok()) {
+      CompleteWithFrame(batch.ticket, MakeErrorFrame(batch.error));
+      return;
+    }
+    std::vector<uint8_t> out = batch.ticket.TakeBuffer();
+    EncodeFrameHeaderInto(
+        out, FrameType::kQueryBatchReply,
+        static_cast<uint32_t>(4 +
+                              batch.deltas.size() * kQueryReplyWireBytes));
+    EncodeQueryBatchReplyInto(out, batch.deltas.data(),
+                              batch.deltas.size());
+    batch.ticket.Complete(std::move(out));
+    return;
+  }
+
+  if (!entry.parse_error.ok()) {
+    CompleteWithFrame(entry.ticket, MakeErrorFrame(entry.parse_error));
+    return;
+  }
+  std::vector<uint8_t> out = entry.ticket.TakeBuffer();
+  EncodeFrameHeaderInto(out, FrameType::kQueryReply,
+                        static_cast<uint32_t>(kQueryReplyWireBytes));
+  EncodeQueryReplyInto(out, delta);
+  entry.ticket.Complete(std::move(out));
 }
 
 void MediatorServer::ProcessAccess(const core::Access& access,

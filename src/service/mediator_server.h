@@ -2,23 +2,25 @@
 #define BYC_SERVICE_MEDIATOR_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
-#include "common/thread_pool.h"
 #include "core/policy.h"
 #include "core/policy_factory.h"
 #include "federation/mediator.h"
 #include "service/config.h"
+#include "service/reactor.h"
 #include "service/socket.h"
 #include "service/wire.h"
 
@@ -57,27 +59,31 @@ struct BackendAddress {
 /// resident, as if repaired on recovery), so cache behavior is
 /// fault-schedule-independent and healthy-site accounting is unchanged.
 ///
-/// Concurrency model (DESIGN.md §8): an accept loop dispatches each
-/// client connection as a session onto a ThreadPool sized to
-/// config.max_sessions; a connect beyond the cap is answered with a
-/// typed kError{kBusy} and closed. Sessions read ahead at most
-/// config.max_inflight frames (excess stays in kernel buffers — TCP
-/// backpressure), decompose queries concurrently, and then pass through
-/// ONE serialized admission stage: the policy decision path and ledger
-/// are inherently sequential (the paper's replay semantics), so every
-/// query is admitted under a single mutex, stamped queries (kQueryAt)
-/// strictly in their global sequence order. That keeps the aggregate
-/// ledger of any N-client interleaving bitwise-equal to a single-client
-/// replay of the same trace. A sequence gap older than
-/// config.reorder_timeout_ms (an abandoned client) is skipped by the
-/// oldest waiter so one disconnect cannot wedge the service. Stop()
-/// drains gracefully: sessions finish the requests they have read,
-/// reply, and exit.
+/// Concurrency model (DESIGN.md §9): connections are multiplexed by an
+/// epoll Reactor whose config.io_threads I/O threads do only wire work —
+/// decode frames in place, parse + decompose queries (the decomposition
+/// memo has its own lock), and enqueue the result. A connect beyond
+/// config.max_sessions is answered with a typed kError{kBusy} and
+/// closed; admitted connections read ahead at most config.max_inflight
+/// frames (excess stays in kernel buffers — TCP backpressure). The
+/// policy decision path and ledger are inherently sequential (the
+/// paper's replay semantics), so ONE dedicated admission thread consumes
+/// the queue: unstamped queries in arrival order, stamped queries
+/// (kQueryAt, and every item of a kQueryBatch) strictly in their global
+/// sequence order. That keeps the aggregate ledger of any N-client
+/// interleaving bitwise-equal to a single-client replay of the same
+/// trace. A sequence gap older than config.reorder_timeout_ms (an
+/// abandoned client) is skipped so one disconnect cannot wedge the
+/// service. Replies complete their reactor slots from the admission
+/// thread and flush in per-connection FIFO order. Stop() drains
+/// gracefully: frame delivery stops, the admission thread finishes every
+/// enqueued query, replies flush, then everything joins.
 class MediatorServer {
  public:
   struct Options {
-    /// Service knobs (deadlines, retries, session/backpressure caps).
-    /// The decomposition granularity comes from PolicyConfig.
+    /// Service knobs (deadlines, retries, session/backpressure caps,
+    /// reactor threads). The decomposition granularity comes from
+    /// PolicyConfig.
     ServiceConfig config;
     /// Optional run metrics (svc.* counters / histograms). Must outlive
     /// the server.
@@ -95,12 +101,12 @@ class MediatorServer {
   MediatorServer(const MediatorServer&) = delete;
   MediatorServer& operator=(const MediatorServer&) = delete;
 
-  /// Binds the listener and starts the accept thread + session pool.
+  /// Binds the listener and starts the reactor + admission thread.
   Status Start();
 
-  /// Graceful drain: stops accepting, lets live sessions answer every
-  /// frame they have already read, closes backend channels, joins.
-  /// Idempotent.
+  /// Graceful drain: stops accepting and frame delivery, lets the
+  /// admission thread answer every query already enqueued, flushes the
+  /// replies, closes backend channels, joins. Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -124,6 +130,8 @@ class MediatorServer {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   /// One pooled connection to a backend site.
   struct Channel {
     BackendAddress addr;
@@ -133,31 +141,49 @@ class MediatorServer {
     bool connected_once = false;
   };
 
-  /// Accept loop: admits up to max_sessions concurrent sessions, answers
-  /// the rest with kError{kBusy}.
-  void AcceptLoopOn(Listener& listener);
-  /// Serves one client session until it closes, poisons itself, or the
-  /// server drains.
-  void ServeSession(Socket& conn);
-  /// Dispatches one well-formed frame; returns the reply and sets
-  /// `close_after` for replies that poison the connection (version
-  /// mismatch).
-  Frame HandleFrame(const Frame& request, bool& close_after);
-  /// Handles one query (stamped with a global sequence number when it
-  /// arrived as kQueryAt); returns kQueryReply or kError.
-  Frame HandleQuery(std::string_view line, std::optional<uint64_t> seq);
+  /// Reply-side state shared by every query of one kQueryBatch frame:
+  /// the slot completes once, when the last item finishes.
+  struct BatchState {
+    ReplyTicket ticket;
+    std::vector<QueryReply> deltas;
+    /// First non-OK item status; a batch with any bad line is answered
+    /// with that typed kError (items after it still process and are
+    /// ledgered — they were admitted).
+    Status error = Status::OK();
+    size_t remaining = 0;
+  };
+
+  /// One query waiting for the serialized admission stage, already
+  /// parsed and decomposed on an I/O thread.
+  struct AdmissionEntry {
+    std::optional<uint64_t> seq;
+    /// Non-OK: the trace line did not parse. The entry still holds its
+    /// slot in the total order (so successors are not stalled behind a
+    /// permanent gap) but only an error reply comes back.
+    Status parse_error = Status::OK();
+    std::vector<core::Access> accesses;
+    /// Exactly one of ticket/batch is set.
+    ReplyTicket ticket;
+    std::shared_ptr<BatchState> batch;
+    size_t batch_index = 0;
+    Clock::time_point enqueued{};
+  };
+
+  /// Reactor frame callback (I/O threads): answers ping/hello/stats in
+  /// place, enqueues queries for the admission thread.
+  void OnFrame(FrameType type, const uint8_t* payload, size_t payload_len,
+               ReplyTicket ticket);
+  /// Parses + decomposes one query line and enqueues it.
+  void EnqueueQuery(std::optional<uint64_t> seq, std::string_view line,
+                    ReplyTicket ticket, std::shared_ptr<BatchState> batch,
+                    size_t batch_index);
+  /// The single ordering point: consumes the admission queue, runs each
+  /// query through the policy/ledger under mu_, completes reply slots.
+  void AdmissionLoop();
+  void ProcessEntry(AdmissionEntry& entry);
   /// Runs one decomposed access through the policy and the network,
   /// updating the ledger and `delta`. Caller holds mu_.
   void ProcessAccess(const core::Access& access, QueryReply& delta);
-
-  /// The serialized admission stage: acquires mu_, and for stamped
-  /// queries blocks until `seq` is next in the global order (or the
-  /// reorder timeout elapses and this is the oldest waiter, which skips
-  /// the gap). Unstamped queries are admitted in arrival order.
-  std::unique_lock<std::mutex> AdmitOrdered(std::optional<uint64_t> seq);
-  /// Releases the admission stage, advancing the order past `seq`.
-  void FinishOrdered(std::optional<uint64_t> seq,
-                     std::unique_lock<std::mutex> lock);
 
   /// One backend round trip with reconnect + capped-backoff retries.
   /// Semantic errors from the backend (kError frames) come back as their
@@ -174,23 +200,31 @@ class MediatorServer {
 
   std::atomic<bool> stop_{true};
   std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  std::unique_ptr<ThreadPool> session_pool_;
+  std::unique_ptr<Reactor> reactor_;
+  std::thread admission_thread_;
 
   std::atomic<int> live_sessions_{0};
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<uint64_t> sessions_rejected_{0};
   std::atomic<uint64_t> admission_skips_{0};
 
-  /// Everything below is the serialized admission core: the policy, the
-  /// backend channels, and the ledger, guarded by one mutex so the
-  /// decision path stays a total order.
-  mutable std::mutex mu_;
-  std::condition_variable admission_cv_;
-  /// Next global sequence number the ordered stage admits.
+  /// Admission queue: filled by I/O threads, drained by the admission
+  /// thread. Stamped entries are keyed by sequence number (multimap:
+  /// duplicates are possible and admitted immediately once their turn
+  /// has passed).
+  std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::deque<AdmissionEntry> unstamped_;
+  std::multimap<uint64_t, AdmissionEntry> stamped_;
+  /// Next global sequence number the ordered stage admits (qmu_).
   uint64_t admission_next_ = 0;
-  /// Stamped queries currently waiting for their turn.
-  std::multiset<uint64_t> admission_waiting_;
+  bool q_draining_ = false;
+
+  /// Everything below is the serialized decision core: the policy, the
+  /// backend channels, and the ledger, guarded by one mutex. The
+  /// admission thread is the only query-path writer; kStats snapshots
+  /// read under the same lock.
+  mutable std::mutex mu_;
   std::unique_ptr<core::CachePolicy> policy_;
   std::vector<Channel> channels_;
   Rng retry_rng_{0xB1A5CA5E};

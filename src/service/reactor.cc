@@ -1,0 +1,565 @@
+#include "service/reactor.h"
+
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace byc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Bytes asked from the kernel per recv call once the parser wants more.
+constexpr size_t kReadChunk = 64 * 1024;
+/// Ready slots coalesced into one writev call.
+constexpr int kMaxIov = 64;
+/// Spare reply buffers kept per connection for reuse.
+constexpr size_t kMaxSpare = 8;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// Per-connection state. The read buffer and parser cursor belong to the
+/// owning I/O thread exclusively; everything the reply tickets touch
+/// (the slot FIFO, spare pool, epoll interest) is guarded by mu.
+struct ReactorConn {
+  struct Slot {
+    bool ready = false;
+    bool close_after = false;
+    std::vector<uint8_t> bytes;
+  };
+
+  int fd = -1;
+  int epfd = -1;
+  Socket sock;
+  Clock::time_point opened = Clock::now();
+  size_t max_inflight = 4;
+  size_t max_backlog = 1 << 20;
+
+  // --- owner-thread-only read state ---
+  std::vector<uint8_t> rbuf;
+  size_t rpos = 0;  ///< First unparsed byte.
+  size_t rlen = 0;  ///< One past the last received byte.
+  uint64_t frames_delivered = 0;
+
+  std::mutex mu;
+  // --- guarded by mu ---
+  bool closed = false;
+  /// Reading stopped for good: poisoned framing, peer EOF, or drain.
+  bool no_more_reads = false;
+  /// The parser stopped on backpressure with bytes possibly still
+  /// buffered in rbuf. Sticky until the parser re-enters: the pause can
+  /// lift on a completion thread between the park and the next flush,
+  /// and recomputing "was paused" there would lose the resume — with the
+  /// socket idle, level-triggered EPOLLIN alone never fires for bytes
+  /// already in rbuf.
+  bool reads_parked = false;
+  /// Close once every slot has flushed (EOF/poison paths).
+  bool close_when_drained = false;
+  std::deque<Slot> slots;
+  uint64_t slot_base = 0;     ///< Absolute id of slots.front().
+  size_t pending_slots = 0;   ///< Slots delivered but not yet completed.
+  size_t head_written = 0;    ///< Bytes of slots.front() already sent.
+  size_t backlog_bytes = 0;   ///< Ready-but-unflushed reply bytes.
+  std::vector<std::vector<uint8_t>> spare;
+  uint32_t armed = 0;  ///< Events currently registered with epoll.
+
+  /// Recomputes and registers the epoll interest set. Caller holds mu.
+  void UpdateInterest() {
+    if (closed) return;
+    uint32_t want = 0;
+    if (!no_more_reads && !ReadsPaused()) want |= EPOLLIN;
+    if (!slots.empty() && slots.front().ready) want |= EPOLLOUT;
+    if (want == armed) return;
+    struct epoll_event ev;
+    ::memset(&ev, 0, sizeof(ev));
+    ev.events = want;
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev);
+    armed = want;
+  }
+
+  /// True when reads should pause right now (backpressure). Caller
+  /// holds mu.
+  bool ReadsPaused() const {
+    return pending_slots >= max_inflight || backlog_bytes > max_backlog;
+  }
+};
+
+std::vector<uint8_t> ReplyTicket::TakeBuffer() {
+  std::vector<uint8_t> buf;
+  if (conn_ != nullptr) {
+    std::lock_guard<std::mutex> lock(conn_->mu);
+    if (!conn_->spare.empty()) {
+      buf = std::move(conn_->spare.back());
+      conn_->spare.pop_back();
+    }
+  }
+  buf.clear();
+  return buf;
+}
+
+void ReplyTicket::Complete(std::vector<uint8_t> encoded, bool close_after) {
+  if (conn_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(conn_->mu);
+  ReactorConn& c = *conn_;
+  if (c.closed || slot_ < c.slot_base) return;
+  size_t index = static_cast<size_t>(slot_ - c.slot_base);
+  if (index >= c.slots.size()) return;
+  ReactorConn::Slot& slot = c.slots[index];
+  if (slot.ready) return;  // Double completion: first one wins.
+  slot.ready = true;
+  slot.close_after = close_after;
+  slot.bytes = std::move(encoded);
+  c.backlog_bytes += slot.bytes.size();
+  BYC_CHECK_GT(c.pending_slots, size_t{0});
+  --c.pending_slots;
+  if (close_after) c.no_more_reads = true;
+  // Arming EPOLLOUT (the socket is almost always writable) wakes the
+  // owning I/O thread, which flushes the ready prefix and re-arms reads
+  // if backpressure just lifted. This is the only cross-thread signal a
+  // completion needs — no timed polls, no extra pipes.
+  c.UpdateInterest();
+}
+
+void ReplyTicket::Abandon() {
+  // An empty ready slot with close_after: prior replies still flush in
+  // order, then the connection closes without answering this request.
+  Complete({}, /*close_after=*/true);
+}
+
+Reactor::Reactor(Options options, Callbacks callbacks)
+    : options_(std::move(options)), callbacks_(std::move(callbacks)) {
+  BYC_CHECK_GE(options_.io_threads, 1);
+}
+
+Reactor::~Reactor() { Stop(/*flush_pending=*/false); }
+
+Status Reactor::Start(uint16_t port) {
+  BYC_CHECK(!started_);
+  BYC_RETURN_IF_ERROR(listener_.Listen(port));
+  port_ = listener_.port();
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    listener_.Close();
+    return Status::IoError(std::string("eventfd: ") + ::strerror(errno));
+  }
+  epoll_fds_.resize(static_cast<size_t>(options_.io_threads), -1);
+  for (int i = 0; i < options_.io_threads; ++i) {
+    int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd < 0) {
+      Status s =
+          Status::IoError(std::string("epoll_create1: ") + ::strerror(errno));
+      for (int fd : epoll_fds_) {
+        if (fd >= 0) ::close(fd);
+      }
+      epoll_fds_.clear();
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+      listener_.Close();
+      return s;
+    }
+    epoll_fds_[static_cast<size_t>(i)] = epfd;
+    // The eventfd is registered level-triggered and never drained: one
+    // write at Stop keeps every thread waking until it has exited.
+    struct epoll_event ev;
+    ::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+  {
+    struct epoll_event ev;
+    ::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = listener_.fd();
+    ::epoll_ctl(epoll_fds_[0], EPOLL_CTL_ADD, listener_.fd(), &ev);
+  }
+
+  draining_.store(false, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  started_ = true;
+  io_threads_.reserve(static_cast<size_t>(options_.io_threads));
+  for (int i = 0; i < options_.io_threads; ++i) {
+    io_threads_.emplace_back([this, i] { IoLoop(i); });
+  }
+  return Status::OK();
+}
+
+void Reactor::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void Reactor::Stop(bool flush_pending) {
+  if (!started_) return;
+  draining_.store(true, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+  for (std::thread& t : io_threads_) {
+    if (t.joinable()) t.join();
+  }
+  io_threads_.clear();
+  listener_.Close();
+
+  std::vector<std::shared_ptr<ReactorConn>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [fd, conn] : conns_) leftover.push_back(conn);
+  }
+  for (const auto& conn : leftover) {
+    if (flush_pending) {
+      // Drained requests that completed after the I/O threads exited
+      // still get their replies, each connection bounded by the I/O
+      // deadline so a dead peer cannot stall shutdown.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      Deadline deadline = Deadline::After(options_.io_deadline_ms);
+      while (!conn->closed && !conn->slots.empty() &&
+             conn->slots.front().ready) {
+        ReactorConn::Slot& slot = conn->slots.front();
+        if (conn->head_written < slot.bytes.size() &&
+            !conn->sock
+                 .SendAll(slot.bytes.data() + conn->head_written,
+                          slot.bytes.size() - conn->head_written, deadline)
+                 .ok()) {
+          break;
+        }
+        conn->slots.pop_front();
+        ++conn->slot_base;
+        conn->head_written = 0;
+      }
+    }
+    CloseConn(conn);
+  }
+  for (int fd : epoll_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  epoll_fds_.clear();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  started_ = false;
+}
+
+void Reactor::IoLoop(int thread_index) {
+  const int epfd = epoll_fds_[static_cast<size_t>(thread_index)];
+  const int listener_fd = thread_index == 0 ? listener_.fd() : -1;
+  struct epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epfd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) continue;  // Stop flag is checked at loop top.
+      if (fd == listener_fd) {
+        HandleAccept();
+        continue;
+      }
+      std::shared_ptr<ReactorConn> conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        conn = it->second;
+      }
+      // epoll reports at most one event per fd per wait, so a close
+      // during this dispatch cannot leave a second stale event for the
+      // same connection in this batch.
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+          (events[i].events & (EPOLLIN | EPOLLOUT)) == 0) {
+        CloseConn(conn);
+        continue;
+      }
+      Drive(conn, (events[i].events & EPOLLIN) != 0);
+    }
+  }
+}
+
+void Reactor::HandleAccept() {
+  for (;;) {
+    Result<Socket> accepted = listener_.Accept(0);
+    if (!accepted.ok()) return;  // Nothing pending (or listener closed).
+    if (draining_.load(std::memory_order_acquire)) continue;  // Closes.
+    AdmitDecision decision = callbacks_.admit ? callbacks_.admit()
+                                              : AdmitDecision::Accept();
+    switch (decision.kind) {
+      case AdmitDecision::Kind::kRejectSilent:
+        continue;  // Socket destructor closes.
+      case AdmitDecision::Kind::kRejectWithFrame:
+        // Rare and already a failure path for the client: a bounded
+        // blocking write keeps the rejection typed without threading a
+        // doomed connection through the reactor.
+        WriteFrame(*accepted, decision.frame,
+                   Deadline::After(options_.io_deadline_ms));
+        continue;
+      case AdmitDecision::Kind::kAccept:
+        break;
+    }
+    auto conn = std::make_shared<ReactorConn>();
+    conn->fd = accepted->fd();
+    conn->sock = std::move(*accepted);
+    conn->max_inflight = options_.max_inflight;
+    conn->max_backlog = options_.max_write_backlog;
+    int t = next_thread_;
+    next_thread_ = (next_thread_ + 1) % options_.io_threads;
+    conn->epfd = epoll_fds_[static_cast<size_t>(t)];
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.emplace(conn->fd, conn);
+    }
+    struct epoll_event ev;
+    ::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    conn->armed = EPOLLIN;
+    // Cross-thread ADD is the documented-safe epoll idiom; the owning
+    // thread starts seeing this fd on its next epoll_wait.
+    ::epoll_ctl(conn->epfd, EPOLL_CTL_ADD, conn->fd, &ev);
+  }
+}
+
+void Reactor::Drive(const std::shared_ptr<ReactorConn>& conn,
+                    bool read_first) {
+  if (read_first) ProcessReadable(conn);
+  while (FlushAndRearm(conn)) {
+    ProcessReadable(conn);
+  }
+}
+
+void Reactor::ProcessReadable(const std::shared_ptr<ReactorConn>& conn) {
+  ReactorConn& c = *conn;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Parse every complete frame currently buffered, pausing when the
+    // in-flight or backlog cap is hit (TCP backpressure: the rest stays
+    // in kernel buffers or, transiently, in rbuf).
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(c.mu);
+        if (c.closed || c.no_more_reads) return;
+        if (c.ReadsPaused()) {
+          c.reads_parked = true;
+          c.UpdateInterest();
+          return;  // FlushAndRearm re-enters once capacity frees up.
+        }
+        c.reads_parked = false;
+      }
+      if (draining_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(c.mu);
+        c.no_more_reads = true;
+        return;
+      }
+      if (c.rlen - c.rpos < kFrameHeaderBytes) break;
+      const uint8_t* h = c.rbuf.data() + c.rpos;
+      uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) {
+        len |= static_cast<uint32_t>(h[i]) << (8 * i);
+      }
+      Status framing = Status::OK();
+      if (len > kMaxPayload) {
+        framing = Status::InvalidArgument(
+            "oversized frame: " + std::to_string(len) + " bytes exceeds cap " +
+            std::to_string(kMaxPayload));
+      } else if (!IsKnownFrameType(h[4])) {
+        framing = Status::InvalidArgument("unknown frame type " +
+                                          std::to_string(h[4]));
+      }
+      if (!framing.ok()) {
+        // Poison: framing beyond this point is unreliable. Answer the
+        // slots already reserved, then this typed error, then close.
+        std::lock_guard<std::mutex> lock(c.mu);
+        c.no_more_reads = true;
+        c.close_when_drained = true;
+        ReactorConn::Slot slot;
+        slot.ready = true;
+        slot.close_after = true;
+        EncodeFrameInto(slot.bytes, MakeErrorFrame(framing));
+        c.backlog_bytes += slot.bytes.size();
+        c.slots.push_back(std::move(slot));
+        c.UpdateInterest();
+        return;
+      }
+      size_t total = kFrameHeaderBytes + len;
+      if (c.rlen - c.rpos < total) {
+        if (c.rbuf.size() < c.rpos + total) {
+          // Make room for the whole frame without discarding the prefix.
+          if (c.rpos > 0) {
+            ::memmove(c.rbuf.data(), c.rbuf.data() + c.rpos,
+                      c.rlen - c.rpos);
+            c.rlen -= c.rpos;
+            c.rpos = 0;
+          }
+          if (c.rbuf.size() < total) c.rbuf.resize(total);
+        }
+        break;  // Need more bytes.
+      }
+      uint64_t slot_id;
+      {
+        std::lock_guard<std::mutex> lock(c.mu);
+        slot_id = c.slot_base + c.slots.size();
+        c.slots.emplace_back();
+        ++c.pending_slots;
+      }
+      ++c.frames_delivered;
+      // The payload is a borrowed view into rbuf: decoded in place, no
+      // per-request copy. The callback either completes the ticket now
+      // or captures what it parsed — never the view itself.
+      callbacks_.on_frame(static_cast<FrameType>(h[4]),
+                          c.rbuf.data() + c.rpos + kFrameHeaderBytes, len,
+                          ReplyTicket(conn, slot_id));
+      c.rpos += total;
+      progress = true;
+    }
+    if (c.rpos == c.rlen) {
+      c.rpos = 0;
+      c.rlen = 0;
+    }
+    // Top up from the kernel.
+    if (c.rbuf.size() - c.rlen < kReadChunk / 2) {
+      c.rbuf.resize(c.rlen + kReadChunk);
+    }
+    Result<size_t> got =
+        c.sock.RecvSome(c.rbuf.data() + c.rlen, c.rbuf.size() - c.rlen);
+    if (!got.ok()) {
+      // EOF or a hard error: stop reading; pending replies still flush,
+      // then the connection closes.
+      bool close_now;
+      {
+        std::lock_guard<std::mutex> lock(c.mu);
+        c.no_more_reads = true;
+        c.close_when_drained = true;
+        close_now = c.slots.empty();
+        c.UpdateInterest();
+      }
+      if (close_now) CloseConn(conn);
+      return;
+    }
+    if (*got == 0) break;  // Would block: level-triggered epoll resumes.
+    c.rlen += *got;
+    progress = true;
+  }
+}
+
+bool Reactor::FlushAndRearm(const std::shared_ptr<ReactorConn>& conn) {
+  ReactorConn& c = *conn;
+  bool should_close = false;
+  bool resume_reads = false;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (c.closed) return false;
+    // Write the contiguous ready prefix with one vectored call per
+    // round; loop only while the kernel keeps every byte offered.
+    while (!should_close && !c.slots.empty() && c.slots.front().ready) {
+      struct iovec iov[kMaxIov];
+      int iovcnt = 0;
+      size_t queued = 0;
+      for (size_t i = 0; i < c.slots.size() && iovcnt < kMaxIov; ++i) {
+        const ReactorConn::Slot& slot = c.slots[i];
+        if (!slot.ready) break;
+        size_t skip = i == 0 ? c.head_written : 0;
+        if (slot.bytes.size() > skip) {
+          iov[iovcnt].iov_base =
+              const_cast<uint8_t*>(slot.bytes.data()) + skip;
+          iov[iovcnt].iov_len = slot.bytes.size() - skip;
+          queued += iov[iovcnt].iov_len;
+          ++iovcnt;
+        }
+        if (slot.close_after) break;  // Nothing after this goes out.
+      }
+      size_t sent = 0;
+      if (iovcnt > 0) {
+        Result<size_t> n = c.sock.SendVec(iov, iovcnt);
+        if (!n.ok()) {
+          should_close = true;  // Peer reset; replies are undeliverable.
+          break;
+        }
+        sent = *n;
+      }
+      BYC_CHECK_LE(sent, queued);
+      const bool blocked = sent < queued;
+      c.backlog_bytes -= sent;
+      // Retire fully written slots, recycling their buffers.
+      while (!c.slots.empty() && c.slots.front().ready) {
+        ReactorConn::Slot& head = c.slots.front();
+        size_t remaining = head.bytes.size() - c.head_written;
+        if (sent < remaining) {
+          c.head_written += sent;
+          break;
+        }
+        sent -= remaining;
+        c.head_written = 0;
+        if (head.close_after) {
+          should_close = true;
+          break;
+        }
+        head.bytes.clear();
+        if (c.spare.size() < kMaxSpare && head.bytes.capacity() > 0) {
+          c.spare.push_back(std::move(head.bytes));
+        }
+        c.slots.pop_front();
+        ++c.slot_base;
+      }
+      if (blocked) break;  // Kernel buffer full: wait for EPOLLOUT.
+    }
+    if (!should_close && c.close_when_drained && c.slots.empty()) {
+      should_close = true;
+    }
+    if (!should_close) {
+      resume_reads =
+          c.reads_parked && !c.ReadsPaused() && !c.no_more_reads;
+      c.UpdateInterest();
+    }
+  }
+  if (should_close) {
+    CloseConn(conn);
+    return false;
+  }
+  // When backpressure just lifted, bytes may be sitting parsed-but-
+  // unread in rbuf with the socket itself idle, so a re-armed EPOLLIN
+  // alone would never fire — the caller re-enters the parser directly.
+  return resume_reads;
+}
+
+void Reactor::CloseConn(const std::shared_ptr<ReactorConn>& conn) {
+  ReactorConn& c = *conn;
+  uint64_t frames = 0;
+  double ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (c.closed) return;
+    c.closed = true;
+    ::epoll_ctl(c.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+    frames = c.frames_delivered;
+    ms = MsSince(c.opened);
+    {
+      // Deregister before closing: once close() releases the fd number
+      // the kernel may hand it to a new accept, and erasing afterwards
+      // would wipe that newcomer from the registry.
+      std::lock_guard<std::mutex> reg(conns_mu_);
+      conns_.erase(c.fd);
+    }
+    c.sock.Close();
+  }
+  if (callbacks_.on_close) callbacks_.on_close(frames, ms);
+}
+
+}  // namespace byc::service

@@ -1,0 +1,202 @@
+#ifndef BYC_SERVICE_REACTOR_H_
+#define BYC_SERVICE_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "service/socket.h"
+#include "service/wire.h"
+
+namespace byc::service {
+
+class Reactor;
+struct ReactorConn;
+
+/// Handle to one reply slot on a reactor connection. Frames are answered
+/// strictly in the order they arrived on the connection: each delivered
+/// frame reserves a slot in the connection's reply FIFO, and a ticket
+/// completes that slot — synchronously inside the frame callback or
+/// later from any thread. The flusher only writes the ready prefix of
+/// the FIFO, so out-of-order completions never reorder replies on the
+/// wire.
+///
+/// Tickets are copyable (a batch reply may be shared) and keep the
+/// connection object alive; completing a slot on a connection that
+/// already closed is a harmless no-op.
+class ReplyTicket {
+ public:
+  ReplyTicket() = default;
+
+  bool valid() const { return conn_ != nullptr; }
+
+  /// A recycled scratch buffer from the connection's spare pool (empty,
+  /// capacity warm from earlier replies). Encode the reply into it and
+  /// pass it to Complete — steady-state replies then allocate nothing.
+  std::vector<uint8_t> TakeBuffer();
+
+  /// Fills the slot with one (or more) fully encoded frames —
+  /// header + payload, e.g. via EncodeFrameInto — and wakes the owning
+  /// I/O thread if the slot became flushable. `close_after` closes the
+  /// connection once this slot has been written (version-mismatch
+  /// poisoning).
+  void Complete(std::vector<uint8_t> encoded, bool close_after = false);
+
+  /// Resolves the slot with no reply and closes the connection (the
+  /// backend drop fault: request read, reply never sent).
+  void Abandon();
+
+ private:
+  friend class Reactor;
+  ReplyTicket(std::shared_ptr<ReactorConn> conn, uint64_t slot)
+      : conn_(std::move(conn)), slot_(slot) {}
+
+  std::shared_ptr<ReactorConn> conn_;
+  uint64_t slot_ = 0;
+};
+
+/// Epoll-based service core shared by MediatorServer and BackendServer:
+/// a small pool of I/O threads, each running a level-triggered epoll
+/// loop over its share of the connections, with an eventfd for stop
+/// wakeups — no timed polls anywhere, and connection count is not
+/// bounded by thread count.
+///
+/// Thread model (DESIGN.md §9):
+///   - thread 0 additionally owns the listener; accepted connections are
+///     assigned round-robin across threads via cross-thread epoll_ctl.
+///   - each connection has one reusable read buffer (frames are parsed
+///     in place; payloads reach the frame callback as borrowed views)
+///     and a FIFO of reply slots whose buffers recycle through a spare
+///     pool — the steady state allocates nothing per request.
+///   - replies flush with one vectored writev per wakeup covering every
+///     contiguous ready slot.
+///   - reads pause (EPOLLIN disarmed) while a connection has
+///     max_inflight unanswered slots or too many unflushed reply bytes:
+///     a firehosing or slow-reading client gets TCP backpressure instead
+///     of ballooning server memory.
+///
+/// Framing errors (oversized length, unknown type) poison the
+/// connection: reading stops, already-reserved slots still answer in
+/// order, then a typed kError is written and the connection closes.
+class Reactor {
+ public:
+  /// What to do with a freshly accepted connection.
+  struct AdmitDecision {
+    enum class Kind {
+      kAccept,          ///< Register and serve.
+      kRejectSilent,    ///< Close immediately (protocol-level refusal).
+      kRejectWithFrame  ///< Write `frame`, then close (typed kBusy).
+    };
+    Kind kind = Kind::kAccept;
+    Frame frame;
+
+    static AdmitDecision Accept() { return {}; }
+    static AdmitDecision RejectSilent() {
+      return {Kind::kRejectSilent, Frame{}};
+    }
+    static AdmitDecision Reject(Frame frame) {
+      return {Kind::kRejectWithFrame, std::move(frame)};
+    }
+  };
+
+  struct Callbacks {
+    /// Admission control, called on the accept thread per connection.
+    /// Null admits everything.
+    std::function<AdmitDecision()> admit;
+    /// One complete, known-type frame. `payload` borrows the
+    /// connection's read buffer and is valid only during the call; the
+    /// ticket must eventually be completed or abandoned (from any
+    /// thread). Called on the connection's I/O thread, never
+    /// concurrently for one connection.
+    std::function<void(FrameType type, const uint8_t* payload,
+                       size_t payload_len, ReplyTicket ticket)>
+        on_frame;
+    /// Connection fully closed. `frames` is the number of frames
+    /// delivered, `ms_open` the connection's lifetime.
+    std::function<void(uint64_t frames, double ms_open)> on_close;
+  };
+
+  struct Options {
+    /// I/O threads multiplexing all connections.
+    int io_threads = 2;
+    /// Deadline for the blocking writes on the reject and final-drain
+    /// paths (regular replies are never blocking).
+    int64_t io_deadline_ms = 2000;
+    /// Unanswered reply slots per connection before reads pause.
+    size_t max_inflight = 4;
+    /// Unflushed reply bytes per connection before reads pause.
+    size_t max_write_backlog = 1 << 20;
+  };
+
+  Reactor(Options options, Callbacks callbacks);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0: ephemeral) and starts the I/O threads.
+  Status Start(uint16_t port);
+
+  /// Stops accepting and stops delivering new frames (bytes already
+  /// buffered stay buffered); already-delivered tickets keep completing
+  /// and their replies keep flushing. The first phase of a graceful
+  /// drain: callers quiesce their own pipeline next, then call Stop.
+  void BeginDrain();
+
+  /// Joins the I/O threads and closes every connection. With
+  /// `flush_pending`, ready reply slots are first flushed synchronously
+  /// (each connection bounded by io_deadline_ms) so drained requests
+  /// still get their answers; without it the teardown is abrupt
+  /// (BackendServer::Kill). Idempotent.
+  void Stop(bool flush_pending);
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void IoLoop(int thread_index);
+  void HandleAccept();
+  /// Alternates read/parse and flush passes until neither makes
+  /// progress — the iterative replacement for read->flush->resume
+  /// recursion, so a deep pipeline cannot grow the stack. Owner thread
+  /// only.
+  void Drive(const std::shared_ptr<ReactorConn>& conn, bool read_first);
+  /// Reads, parses, and dispatches everything currently buffered on
+  /// `conn`; pauses or poisons it as needed. Owner thread only.
+  void ProcessReadable(const std::shared_ptr<ReactorConn>& conn);
+  /// Writes the ready prefix of the reply FIFO (one writev per round),
+  /// recycles flushed buffers, updates epoll interest. Returns true when
+  /// paused reads became resumable (the caller re-enters the parser:
+  /// bytes may already sit in rbuf with the socket idle). Owner thread
+  /// only.
+  bool FlushAndRearm(const std::shared_ptr<ReactorConn>& conn);
+  void CloseConn(const std::shared_ptr<ReactorConn>& conn);
+
+  Options options_;
+  Callbacks callbacks_;
+  Listener listener_;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> draining_{true};
+  std::atomic<bool> stopping_{true};
+  bool started_ = false;
+
+  int wake_fd_ = -1;  ///< eventfd registered in every epoll instance.
+  std::vector<int> epoll_fds_;
+  std::vector<std::thread> io_threads_;
+  int next_thread_ = 0;  ///< Round-robin assignment cursor.
+
+  std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<ReactorConn>> conns_;
+};
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_REACTOR_H_

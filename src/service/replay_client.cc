@@ -101,6 +101,9 @@ Result<ReplayClient::ShardReport> ReplayClient::ReplayShard(
   BYC_ASSIGN_OR_RETURN(Socket sock,
                        ConnectWithRetry(host_, port_, config_));
   BYC_RETURN_IF_ERROR(Handshake(sock, config_));
+  if (config_.batch_size > 1) {
+    return ReplayShardBatched(sock, trace, client_index, num_clients);
+  }
   ShardReport report;
   using Clock = std::chrono::steady_clock;
   for (size_t idx = client_index; idx < trace.queries.size();
@@ -122,6 +125,57 @@ Result<ReplayClient::ShardReport> ReplayClient::ReplayShard(
     BYC_ASSIGN_OR_RETURN(QueryReply delta, ParseQueryReply(reply));
     ++report.queries_sent;
     Accumulate(report.client_totals, delta);
+  }
+  return report;
+}
+
+Result<ReplayClient::ShardReport> ReplayClient::ReplayShardBatched(
+    Socket& sock, const workload::Trace& trace, size_t client_index,
+    size_t num_clients) {
+  const size_t batch_cap = static_cast<size_t>(config_.batch_size);
+  ShardReport report;
+  using Clock = std::chrono::steady_clock;
+  // Both wire buffers are reused across batches: encode-side the builder
+  // clears and refills `payload`, decode-side ParseQueryBatchReplyInto
+  // clears and refills `deltas`.
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> wire;
+  std::vector<QueryReply> deltas;
+  size_t idx = client_index;
+  while (idx < trace.queries.size()) {
+    QueryBatchBuilder batch(&payload);
+    for (; idx < trace.queries.size() && batch.count() < batch_cap;
+         idx += num_clients) {
+      // Same stamp as the per-query path: the query's global trace
+      // position, so admission order (and the ledger) cannot depend on
+      // how queries are packed into frames.
+      batch.Add(static_cast<uint64_t>(idx),
+                workload::FormatTraceQuery(trace.queries[idx]));
+    }
+    batch.Finish();
+    wire.clear();
+    EncodeFrameHeaderInto(wire, FrameType::kQueryBatch,
+                          static_cast<uint32_t>(payload.size()));
+    wire.insert(wire.end(), payload.begin(), payload.end());
+
+    Deadline deadline = Deadline::After(config_.deadline_ms);
+    const Clock::time_point start = Clock::now();
+    BYC_RETURN_IF_ERROR(sock.SendAll(wire.data(), wire.size(), deadline));
+    BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+    report.request_ms.Add(
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count());
+    if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+    BYC_RETURN_IF_ERROR(ParseQueryBatchReplyInto(reply, &deltas));
+    if (deltas.size() != batch.count()) {
+      return Status::Internal(
+          "batch reply carries " + std::to_string(deltas.size()) +
+          " deltas for " + std::to_string(batch.count()) + " queries");
+    }
+    for (const QueryReply& delta : deltas) {
+      ++report.queries_sent;
+      Accumulate(report.client_totals, delta);
+    }
   }
   return report;
 }

@@ -55,10 +55,17 @@ class ReplayClient {
   };
 
   /// Replays the round-robin shard {i : i % num_clients == client_index}
-  /// of the trace as sequence-stamped kQueryAt frames (seq = the query's
-  /// global trace position), so the mediator's ordered-admission stage
+  /// of the trace as sequence-stamped frames (seq = the query's global
+  /// trace position), so the mediator's ordered-admission stage
   /// reassembles the exact single-client total order no matter how N
   /// concurrent shards interleave on the wire.
+  ///
+  /// Batching mode (config.batch_size > 1, env BYC_SVC_BATCH): up to
+  /// batch_size consecutive shard queries ride in one kQueryBatch frame
+  /// and come back as one kQueryBatchReply — same stamps, same admission
+  /// order, same ledger, one round trip per batch instead of per query.
+  /// request_ms then records one sample per batch. batch_size == 1 sends
+  /// classic per-query kQueryAt frames.
   Result<ShardReport> ReplayShard(const workload::Trace& trace,
                                   size_t client_index, size_t num_clients);
 
@@ -67,6 +74,13 @@ class ReplayClient {
   Result<StatsReply> FetchStats();
 
  private:
+  /// Batched shard replay body (config.batch_size > 1); `sock` is
+  /// already connected and version-negotiated.
+  Result<ShardReport> ReplayShardBatched(Socket& sock,
+                                         const workload::Trace& trace,
+                                         size_t client_index,
+                                         size_t num_clients);
+
   std::string host_;
   uint16_t port_;
   ServiceConfig config_;

@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <limits>
@@ -152,6 +153,39 @@ Status Socket::RecvAll(void* data, size_t len, Deadline deadline) {
     return Errno("recv");
   }
   return Status::OK();
+}
+
+Result<size_t> Socket::RecvSome(void* data, size_t cap) {
+  for (;;) {
+    ssize_t n = ::recv(fd_, data, cap, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) return Status::Unavailable("eof");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("peer reset during recv");
+    }
+    return Errno("recv");
+  }
+}
+
+Result<size_t> Socket::SendVec(const struct iovec* iov, int iovcnt) {
+  // sendmsg rather than writev so MSG_NOSIGNAL suppresses SIGPIPE, the
+  // same way SendAll does for send(2).
+  struct msghdr msg;
+  ::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  for (;;) {
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    if (errno == EINTR) continue;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::Unavailable("peer closed during send");
+    }
+    return Errno("sendmsg");
+  }
 }
 
 Status Socket::WaitReadable(Deadline deadline) {

@@ -8,6 +8,8 @@
 
 #include "common/result.h"
 
+struct iovec;
+
 namespace byc::service {
 
 /// An absolute point in time a blocking socket operation must finish by.
@@ -71,6 +73,18 @@ class Socket {
   /// frame.
   Status RecvAll(void* data, size_t len, Deadline deadline);
 
+  /// Nonblocking single read for reactor loops: returns the byte count
+  /// actually read (>= 1), 0 when the socket has no data right now
+  /// (EAGAIN), and Unavailable("eof") on a clean peer close. Never
+  /// polls — the caller is already multiplexing readiness via epoll.
+  Result<size_t> RecvSome(void* data, size_t cap);
+
+  /// Nonblocking vectored write for reactor loops: one writev(2) call,
+  /// returning the byte count accepted by the kernel (possibly short),
+  /// or 0 when the send buffer is full (EAGAIN — caller arms EPOLLOUT).
+  /// Unavailable on peer reset/close.
+  Result<size_t> SendVec(const struct iovec* iov, int iovcnt);
+
   /// Waits until at least one byte is readable (or EOF is pending)
   /// without consuming it. DeadlineExceeded on expiry. Server loops idle
   /// on short WaitReadable timeouts so a stop flag is noticed promptly,
@@ -109,6 +123,8 @@ class Listener {
 
   bool listening() const { return fd_ >= 0; }
   uint16_t port() const { return port_; }
+  /// Raw descriptor for readiness multiplexing (reactor epoll loops).
+  int fd() const { return fd_; }
 
   /// Stops accepting: closes the listening socket; connects arriving
   /// afterwards are refused by the OS. A Listener belongs to its accept

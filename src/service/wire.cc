@@ -6,14 +6,16 @@
 
 namespace byc::service {
 
+bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kQuery) &&
+         type <= static_cast<uint8_t>(FrameType::kQueryBatchReply);
+}
+
 namespace {
 
-/// Frame types a receiver recognizes; anything else poisons the
-/// connection with InvalidArgument.
-bool KnownFrameType(uint8_t type) {
-  return type >= static_cast<uint8_t>(FrameType::kQuery) &&
-         type <= static_cast<uint8_t>(FrameType::kQueryAt);
-}
+/// Smallest possible kQueryBatch item (u64 seq + u32 len + empty line):
+/// bounds how many items a count prefix may promise.
+constexpr size_t kMinBatchItemBytes = 12;
 
 }  // namespace
 
@@ -171,6 +173,15 @@ Result<double> PayloadReader::ReadF64() {
   return v;
 }
 
+Result<std::string_view> PayloadReader::ReadView(size_t n) {
+  if (size_ - pos_ < n) {
+    return Status::ParseError("payload truncated (view)");
+  }
+  std::string_view view(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return view;
+}
+
 std::string PayloadReader::ReadText() {
   std::string out(reinterpret_cast<const char*>(data_ + pos_),
                   size_ - pos_);
@@ -178,21 +189,176 @@ std::string PayloadReader::ReadText() {
   return out;
 }
 
+void EncodeFrameHeaderInto(std::vector<uint8_t>& out, FrameType type,
+                           uint32_t payload_len) {
+  BYC_CHECK_LE(payload_len, kMaxPayload);
+  AppendU32(out, payload_len);
+  out.push_back(static_cast<uint8_t>(type));
+}
+
+void EncodeFrameInto(std::vector<uint8_t>& out, const Frame& frame) {
+  EncodeFrameHeaderInto(out, frame.type,
+                        static_cast<uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+void EncodeFetchInto(std::vector<uint8_t>& out, const FetchRequest& req) {
+  AppendI32(out, req.table);
+  AppendI32(out, req.column);
+  AppendU64(out, req.size_bytes);
+}
+
+void EncodeYieldInto(std::vector<uint8_t>& out, const YieldRequest& req) {
+  AppendI32(out, req.table);
+  AppendI32(out, req.column);
+  AppendF64(out, req.yield_bytes);
+}
+
+void EncodeErrorInto(std::vector<uint8_t>& out, WireCode code,
+                     std::string_view message) {
+  out.push_back(static_cast<uint8_t>(code));
+  out.insert(out.end(), message.begin(), message.end());
+}
+
+void EncodeQueryAtInto(std::vector<uint8_t>& out, uint64_t seq,
+                       std::string_view trace_line) {
+  AppendU64(out, seq);
+  out.insert(out.end(), trace_line.begin(), trace_line.end());
+}
+
+void EncodeQueryReplyInto(std::vector<uint8_t>& out, const QueryReply& reply) {
+  AppendU64(out, reply.accesses);
+  AppendU64(out, reply.hits);
+  AppendU64(out, reply.bypasses);
+  AppendU64(out, reply.loads);
+  AppendU64(out, reply.evictions);
+  AppendU64(out, reply.degraded);
+  AppendF64(out, reply.served_cost);
+  AppendF64(out, reply.bypass_cost);
+  AppendF64(out, reply.fetch_cost);
+  AppendF64(out, reply.degraded_cost);
+}
+
+void EncodeStatsReplyInto(std::vector<uint8_t>& out, const StatsReply& reply) {
+  AppendU64(out, reply.queries);
+  AppendU64(out, reply.accesses);
+  AppendU64(out, reply.hits);
+  AppendU64(out, reply.bypasses);
+  AppendU64(out, reply.loads);
+  AppendU64(out, reply.evictions);
+  AppendU64(out, reply.degraded_accesses);
+  AppendU64(out, reply.retries);
+  AppendU64(out, reply.reconnects);
+  AppendF64(out, reply.served_cost);
+  AppendF64(out, reply.bypass_cost);
+  AppendF64(out, reply.fetch_cost);
+  AppendF64(out, reply.degraded_cost);
+}
+
+QueryBatchBuilder::QueryBatchBuilder(std::vector<uint8_t>* payload)
+    : payload_(payload) {
+  payload_->clear();
+  AppendU32(*payload_, 0);  // Count placeholder; patched by Finish().
+}
+
+void QueryBatchBuilder::Add(uint64_t seq, std::string_view trace_line) {
+  AppendU64(*payload_, seq);
+  AppendU32(*payload_, static_cast<uint32_t>(trace_line.size()));
+  payload_->insert(payload_->end(), trace_line.begin(), trace_line.end());
+  ++count_;
+}
+
+void QueryBatchBuilder::Finish() {
+  for (int i = 0; i < 4; ++i) {
+    (*payload_)[static_cast<size_t>(i)] =
+        static_cast<uint8_t>(count_ >> (8 * i));
+  }
+}
+
+Status ParseQueryBatchInto(const uint8_t* payload, size_t size,
+                           std::vector<QueryBatchItem>* items) {
+  items->clear();
+  PayloadReader r(payload, size);
+  BYC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (static_cast<size_t>(count) * kMinBatchItemBytes > r.remaining()) {
+    return Status::ParseError(
+        "batch count " + std::to_string(count) +
+        " cannot fit in a payload of " + std::to_string(size) + " bytes");
+  }
+  items->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryBatchItem item;
+    BYC_ASSIGN_OR_RETURN(item.seq, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(uint32_t len, r.ReadU32());
+    BYC_ASSIGN_OR_RETURN(item.line, r.ReadView(len));
+    items->push_back(item);
+  }
+  if (r.remaining() != 0) {
+    return Status::ParseError("batch payload too long");
+  }
+  return Status::OK();
+}
+
+Status ParseQueryBatchInto(const Frame& frame,
+                           std::vector<QueryBatchItem>* items) {
+  if (frame.type != FrameType::kQueryBatch) {
+    return Status::InvalidArgument("not a kQueryBatch frame");
+  }
+  return ParseQueryBatchInto(frame.payload.data(), frame.payload.size(),
+                             items);
+}
+
+void EncodeQueryBatchReplyInto(std::vector<uint8_t>& out,
+                               const QueryReply* deltas, size_t count) {
+  AppendU32(out, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    EncodeQueryReplyInto(out, deltas[i]);
+  }
+}
+
+Status ParseQueryBatchReplyInto(const Frame& frame,
+                                std::vector<QueryReply>* deltas) {
+  if (frame.type != FrameType::kQueryBatchReply) {
+    return Status::InvalidArgument("not a kQueryBatchReply frame");
+  }
+  deltas->clear();
+  PayloadReader r(frame.payload);
+  BYC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (static_cast<size_t>(count) * kQueryReplyWireBytes != r.remaining()) {
+    return Status::ParseError(
+        "batch reply count " + std::to_string(count) +
+        " does not match payload size " +
+        std::to_string(frame.payload.size()));
+  }
+  deltas->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryReply delta;
+    BYC_ASSIGN_OR_RETURN(delta.accesses, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(delta.hits, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(delta.bypasses, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(delta.loads, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(delta.evictions, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(delta.degraded, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(delta.served_cost, r.ReadF64());
+    BYC_ASSIGN_OR_RETURN(delta.bypass_cost, r.ReadF64());
+    BYC_ASSIGN_OR_RETURN(delta.fetch_cost, r.ReadF64());
+    BYC_ASSIGN_OR_RETURN(delta.degraded_cost, r.ReadF64());
+    deltas->push_back(delta);
+  }
+  return Status::OK();
+}
+
 Frame MakeFetchFrame(const FetchRequest& req) {
   Frame f;
   f.type = FrameType::kFetch;
-  AppendI32(f.payload, req.table);
-  AppendI32(f.payload, req.column);
-  AppendU64(f.payload, req.size_bytes);
+  EncodeFetchInto(f.payload, req);
   return f;
 }
 
 Frame MakeYieldFrame(const YieldRequest& req) {
   Frame f;
   f.type = FrameType::kYield;
-  AppendI32(f.payload, req.table);
-  AppendI32(f.payload, req.column);
-  AppendF64(f.payload, req.yield_bytes);
+  EncodeYieldInto(f.payload, req);
   return f;
 }
 
@@ -206,8 +372,7 @@ Frame MakeQueryFrame(std::string_view trace_line) {
 Frame MakeQueryAtFrame(uint64_t seq, std::string_view trace_line) {
   Frame f;
   f.type = FrameType::kQueryAt;
-  AppendU64(f.payload, seq);
-  f.payload.insert(f.payload.end(), trace_line.begin(), trace_line.end());
+  EncodeQueryAtInto(f.payload, seq, trace_line);
   return f;
 }
 
@@ -228,35 +393,14 @@ Frame MakeHelloReplyFrame(uint32_t version) {
 Frame MakeQueryReplyFrame(const QueryReply& reply) {
   Frame f;
   f.type = FrameType::kQueryReply;
-  AppendU64(f.payload, reply.accesses);
-  AppendU64(f.payload, reply.hits);
-  AppendU64(f.payload, reply.bypasses);
-  AppendU64(f.payload, reply.loads);
-  AppendU64(f.payload, reply.evictions);
-  AppendU64(f.payload, reply.degraded);
-  AppendF64(f.payload, reply.served_cost);
-  AppendF64(f.payload, reply.bypass_cost);
-  AppendF64(f.payload, reply.fetch_cost);
-  AppendF64(f.payload, reply.degraded_cost);
+  EncodeQueryReplyInto(f.payload, reply);
   return f;
 }
 
 Frame MakeStatsReplyFrame(const StatsReply& reply) {
   Frame f;
   f.type = FrameType::kStatsReply;
-  AppendU64(f.payload, reply.queries);
-  AppendU64(f.payload, reply.accesses);
-  AppendU64(f.payload, reply.hits);
-  AppendU64(f.payload, reply.bypasses);
-  AppendU64(f.payload, reply.loads);
-  AppendU64(f.payload, reply.evictions);
-  AppendU64(f.payload, reply.degraded_accesses);
-  AppendU64(f.payload, reply.retries);
-  AppendU64(f.payload, reply.reconnects);
-  AppendF64(f.payload, reply.served_cost);
-  AppendF64(f.payload, reply.bypass_cost);
-  AppendF64(f.payload, reply.fetch_cost);
-  AppendF64(f.payload, reply.degraded_cost);
+  EncodeStatsReplyInto(f.payload, reply);
   return f;
 }
 
@@ -267,8 +411,7 @@ Frame MakeErrorFrame(const Status& status) {
 Frame MakeErrorFrame(WireCode code, std::string_view message) {
   Frame f;
   f.type = FrameType::kError;
-  f.payload.push_back(static_cast<uint8_t>(code));
-  f.payload.insert(f.payload.end(), message.begin(), message.end());
+  EncodeErrorInto(f.payload, code, message);
   return f;
 }
 
@@ -416,7 +559,7 @@ Result<Frame> ReadFrame(Socket& sock, Deadline deadline) {
                                    " bytes exceeds cap " +
                                    std::to_string(kMaxPayload));
   }
-  if (!KnownFrameType(header[4])) {
+  if (!IsKnownFrameType(header[4])) {
     return Status::InvalidArgument("unknown frame type " +
                                    std::to_string(header[4]));
   }

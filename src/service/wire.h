@@ -74,6 +74,15 @@ enum class FrameType : uint8_t {
   /// queries in sequence order regardless of which connection they
   /// arrive on, keeping the ledger a total order under concurrency.
   kQueryAt = 16,
+  /// client -> mediator: many kQueryAt payloads in one frame; payload
+  /// u32 count, then count x {u64 seq, u32 line_len, line bytes}. One
+  /// wire round trip amortizes framing over the whole batch; each query
+  /// still holds its own slot in the mediator's admission order, so the
+  /// ledger stays the same total order as unbatched replay.
+  kQueryBatch = 17,
+  /// mediator -> client: payload u32 count, then count QueryReply
+  /// records (one per batched query, in batch order).
+  kQueryBatchReply = 18,
 };
 
 /// Error codes carried in kError frames. The numeric values are the wire
@@ -115,6 +124,13 @@ StatusCode StatusCodeForWire(WireCode code);
 /// Largest accepted payload. Queries and replies are tiny; the cap
 /// exists purely to bound what a malformed length prefix can demand.
 inline constexpr uint32_t kMaxPayload = 1u << 20;
+
+/// Bytes of the frame header: u32 payload_len + u8 type.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Whether `type` is a frame type this build recognizes; anything else
+/// poisons the connection with InvalidArgument.
+bool IsKnownFrameType(uint8_t type);
 
 struct Frame {
   FrameType type = FrameType::kPing;
@@ -184,11 +200,17 @@ class PayloadReader {
  public:
   explicit PayloadReader(const std::vector<uint8_t>& payload)
       : data_(payload.data()), size_(payload.size()) {}
+  /// Reader over a borrowed byte range (e.g. a frame decoded in place in
+  /// a reactor connection's read buffer).
+  PayloadReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
 
   Result<uint32_t> ReadU32();
   Result<uint64_t> ReadU64();
   Result<int32_t> ReadI32();
   Result<double> ReadF64();
+  /// The next `n` bytes as a borrowed view (no copy).
+  Result<std::string_view> ReadView(size_t n);
   /// The rest of the payload as text.
   std::string ReadText();
 
@@ -199,6 +221,75 @@ class PayloadReader {
   size_t size_;
   size_t pos_ = 0;
 };
+
+/// ---- EncodeInto family ----------------------------------------------
+///
+/// Every encoder APPENDS into a caller-owned buffer, so hot paths (the
+/// reactor's per-connection reply slots, the batching client) reuse one
+/// allocation across requests. The Make*Frame helpers below are thin
+/// wrappers that encode into a fresh Frame for cold paths.
+
+/// Appends the 5-byte frame header `| u32 payload_len | u8 type |`.
+void EncodeFrameHeaderInto(std::vector<uint8_t>& out, FrameType type,
+                           uint32_t payload_len);
+/// Appends one whole frame (header + payload) — the byte sequence
+/// WriteFrame puts on the wire.
+void EncodeFrameInto(std::vector<uint8_t>& out, const Frame& frame);
+
+/// Payload encoders (payload bytes only; pair with EncodeFrameHeaderInto).
+void EncodeFetchInto(std::vector<uint8_t>& out, const FetchRequest& req);
+void EncodeYieldInto(std::vector<uint8_t>& out, const YieldRequest& req);
+void EncodeQueryReplyInto(std::vector<uint8_t>& out, const QueryReply& reply);
+void EncodeStatsReplyInto(std::vector<uint8_t>& out, const StatsReply& reply);
+void EncodeErrorInto(std::vector<uint8_t>& out, WireCode code,
+                     std::string_view message);
+void EncodeQueryAtInto(std::vector<uint8_t>& out, uint64_t seq,
+                       std::string_view trace_line);
+
+/// Incremental encoder for a kQueryBatch payload: begins with a count
+/// placeholder, Add() appends items, Finish() patches the count.
+///
+///   std::vector<uint8_t> payload;           // reused across batches
+///   QueryBatchBuilder batch(&payload);      // clears the buffer
+///   batch.Add(seq, line); ...
+///   batch.Finish();
+class QueryBatchBuilder {
+ public:
+  explicit QueryBatchBuilder(std::vector<uint8_t>* payload);
+  void Add(uint64_t seq, std::string_view trace_line);
+  uint32_t count() const { return count_; }
+  void Finish();
+
+ private:
+  std::vector<uint8_t>* payload_;
+  uint32_t count_ = 0;
+};
+
+/// One decoded kQueryBatch item; `line` borrows the frame payload.
+struct QueryBatchItem {
+  uint64_t seq = 0;
+  std::string_view line;
+};
+
+/// Decodes a kQueryBatch payload in one pass into `items` (cleared and
+/// refilled — callers reuse the vector). Views stay valid as long as the
+/// frame bytes do. A count that promises more items than the payload can
+/// carry is a ParseError before any reserve.
+Status ParseQueryBatchInto(const uint8_t* payload, size_t size,
+                           std::vector<QueryBatchItem>* items);
+Status ParseQueryBatchInto(const Frame& frame,
+                           std::vector<QueryBatchItem>* items);
+
+/// Serialized size of one QueryReply record (6 u64 counters + 4 f64
+/// costs) — lets reply writers size a batch frame header up front.
+inline constexpr size_t kQueryReplyWireBytes = 6 * 8 + 4 * 8;
+
+/// Appends a kQueryBatchReply payload: u32 count + count QueryReplys.
+void EncodeQueryBatchReplyInto(std::vector<uint8_t>& out,
+                               const QueryReply* deltas, size_t count);
+/// Decodes a kQueryBatchReply payload into `deltas` (cleared + refilled).
+Status ParseQueryBatchReplyInto(const Frame& frame,
+                                std::vector<QueryReply>* deltas);
 
 Frame MakeFetchFrame(const FetchRequest& req);
 Frame MakeYieldFrame(const YieldRequest& req);

@@ -130,7 +130,7 @@ TEST(WireFuzzTest, RandomPayloadsParseOrFailCleanly) {
   Rng rng(161803);
   for (int i = 0; i < 5000; ++i) {
     service::Frame frame;
-    frame.type = static_cast<service::FrameType>(rng.NextUint64(17));
+    frame.type = static_cast<service::FrameType>(rng.NextUint64(19));
     frame.payload.resize(rng.NextUint64(64));
     for (uint8_t& b : frame.payload) {
       b = static_cast<uint8_t>(rng.NextUint64(256));
@@ -157,6 +157,65 @@ TEST(WireFuzzTest, RandomPayloadsParseOrFailCleanly) {
     (void)service::ParseStatsReply(frame);
     (void)service::ParseErrorFrame(frame);
     (void)service::ErrorFrameCode(frame);
+    std::vector<service::QueryBatchItem> items;
+    auto batch = service::ParseQueryBatchInto(frame, &items);
+    if (batch.ok()) {
+      // Whatever decoded must re-encode to the identical payload.
+      std::vector<uint8_t> again;
+      service::QueryBatchBuilder builder(&again);
+      for (const service::QueryBatchItem& item : items) {
+        builder.Add(item.seq, item.line);
+      }
+      builder.Finish();
+      EXPECT_EQ(again, frame.payload);
+    }
+    std::vector<service::QueryReply> deltas;
+    auto batch_reply = service::ParseQueryBatchReplyInto(frame, &deltas);
+    if (batch_reply.ok()) {
+      std::vector<uint8_t> again;
+      service::EncodeQueryBatchReplyInto(again, deltas.data(),
+                                         deltas.size());
+      EXPECT_EQ(again, frame.payload);
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomBatchesRoundTripThroughBuilderAndParser) {
+  // Forward direction: every batch the builder can produce — any mix of
+  // sequence numbers and line lengths, including empty lines and empty
+  // batches — decodes back to exactly what went in, borrowing the
+  // payload bytes without copying.
+  Rng rng(402387);
+  const std::string_view alphabet = "0123456789|:,.-RSIAJ efgh";
+  std::vector<uint8_t> payload;
+  std::vector<service::QueryBatchItem> items;
+  for (int i = 0; i < 1000; ++i) {
+    size_t n = rng.NextUint64(17);
+    std::vector<uint64_t> seqs;
+    std::vector<std::string> lines;
+    service::QueryBatchBuilder builder(&payload);
+    for (size_t k = 0; k < n; ++k) {
+      seqs.push_back(rng.NextUint64());
+      lines.push_back(RandomString(rng, 50, alphabet));
+      builder.Add(seqs.back(), lines.back());
+    }
+    builder.Finish();
+    ASSERT_TRUE(
+        service::ParseQueryBatchInto(payload.data(), payload.size(), &items)
+            .ok());
+    ASSERT_EQ(n, items.size());
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(seqs[k], items[k].seq);
+      EXPECT_EQ(lines[k], items[k].line);
+    }
+    // Truncating the payload anywhere must fail cleanly, never read past
+    // the end.
+    if (!payload.empty()) {
+      size_t cut = rng.NextUint64(payload.size());
+      std::vector<service::QueryBatchItem> scratch;
+      auto r = service::ParseQueryBatchInto(payload.data(), cut, &scratch);
+      if (cut < payload.size()) EXPECT_FALSE(r.ok());
+    }
   }
 }
 

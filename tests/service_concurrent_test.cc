@@ -101,6 +101,44 @@ TEST_F(ConcurrentServiceTest, FourClientShardsConserveLedgerBitwise) {
   EXPECT_EQ(4u, mediator.sessions_served());
 }
 
+TEST_F(ConcurrentServiceTest, BatchedShardsConserveLedgerBitwise) {
+  // Same tentpole claim, batching mode: packing 16 stamped queries per
+  // kQueryBatch frame changes the wire framing only — the admission
+  // order, and therefore the ledger, stay bitwise-identical.
+  BackendFleet fleet(federation_);
+  MediatorServer::Options options;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  ServiceConfig client_config;
+  client_config.batch_size = 16;
+  StatsReply ledger = ShardReplay(mediator, trace_, 4, client_config);
+  StatsReply want = ExpectedLedger(federation_, catalog::Granularity::kTable,
+                                   config_, trace_, {});
+  ExpectLedgerEq(want, ledger);
+  EXPECT_EQ(0u, mediator.admission_skips());
+}
+
+TEST_F(ConcurrentServiceTest, ManyMoreConnectionsThanIoThreads) {
+  // The reactor decouples connection count from thread count: one I/O
+  // thread multiplexes 8 concurrent replay sessions, and the ledger is
+  // still exact.
+  BackendFleet fleet(federation_);
+  ServiceConfig config;
+  config.io_threads = 1;
+  config.max_sessions = 16;
+  MediatorServer::Options options;
+  options.config = config;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  StatsReply ledger = ShardReplay(mediator, trace_, 8, config);
+  StatsReply want = ExpectedLedger(federation_, catalog::Granularity::kTable,
+                                   config_, trace_, {});
+  ExpectLedgerEq(want, ledger);
+  EXPECT_EQ(8u, mediator.sessions_served());
+}
+
 TEST_F(ConcurrentServiceTest, ConcurrentShardsWithDeadBackendDegradeExactly) {
   federation::Federation multi = MakeMultiSite();
   BackendFleet fleet(multi);
@@ -283,6 +321,95 @@ TEST_F(ConcurrentServiceTest, PipelinedRequestsBeyondInflightAllAnswered) {
                             << reply.status().ToString();
     EXPECT_EQ(FrameType::kPong, reply->type);
   }
+}
+
+TEST_F(ConcurrentServiceTest, SlowReaderBackpressureNeverWedgesOrDrops) {
+  // A client that writes a burst of real queries and only starts reading
+  // later: pending replies exceed max_inflight, so the reactor pauses
+  // the connection's reads until the backlog flushes — and resumes it
+  // without losing, reordering, or duplicating a single reply.
+  BackendFleet fleet(federation_);
+  ServiceConfig config;
+  config.max_inflight = 2;
+  MediatorServer::Options options;
+  options.config = config;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  Result<Socket> conn =
+      Socket::Connect("127.0.0.1", mediator.port(), Deadline::After(2000));
+  ASSERT_TRUE(conn.ok());
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) {
+    Frame query = MakeQueryFrame(
+        workload::FormatTraceQuery(trace_.queries[static_cast<size_t>(i)]));
+    ASSERT_TRUE(WriteFrame(*conn, query, Deadline::After(2000)).ok());
+  }
+  // Stay deliberately slow: give the server time to answer what it can
+  // and park at the inflight cap before the first read.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < kBurst; ++i) {
+    Result<Frame> reply = ReadFrame(*conn, Deadline::After(2000));
+    ASSERT_TRUE(reply.ok()) << "query " << i << ": "
+                            << reply.status().ToString();
+    EXPECT_EQ(FrameType::kQueryReply, reply->type);
+  }
+  EXPECT_EQ(static_cast<uint64_t>(kBurst), mediator.stats().queries);
+}
+
+TEST_F(ConcurrentServiceTest, TornBatchFrameNeitherRepliesNorWedges) {
+  // A kQueryBatch header promising bytes that never arrive: the server
+  // must wait silently (no reply invented from a partial frame) and the
+  // eventual disconnect must not disturb other sessions.
+  BackendFleet fleet(federation_);
+  MediatorServer::Options options;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  Result<Socket> conn =
+      Socket::Connect("127.0.0.1", mediator.port(), Deadline::After(2000));
+  ASSERT_TRUE(conn.ok());
+  std::vector<uint8_t> torn;
+  EncodeFrameHeaderInto(torn, FrameType::kQueryBatch, 1000);
+  torn.resize(torn.size() + 10);  // 10 of the promised 1000 bytes
+  ASSERT_TRUE(
+      conn->SendAll(torn.data(), torn.size(), Deadline::After(2000)).ok());
+  Result<Frame> nothing = ReadFrame(*conn, Deadline::After(150));
+  ASSERT_FALSE(nothing.ok());
+  EXPECT_TRUE(nothing.status().IsDeadlineExceeded())
+      << nothing.status().ToString();
+  conn->Close();
+
+  ReplayClient client("127.0.0.1", mediator.port(), ServiceConfig{});
+  EXPECT_TRUE(client.FetchStats().ok());
+}
+
+TEST_F(ConcurrentServiceTest, MalformedBatchPayloadGetsTypedErrorAndSurvives) {
+  // A complete kQueryBatch frame whose payload lies about its item
+  // count: a typed error comes back and the connection stays usable —
+  // malformed content is the client's bug, not a framing violation.
+  BackendFleet fleet(federation_);
+  MediatorServer::Options options;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  Result<Socket> conn =
+      Socket::Connect("127.0.0.1", mediator.port(), Deadline::After(2000));
+  ASSERT_TRUE(conn.ok());
+  Frame bad;
+  bad.type = FrameType::kQueryBatch;
+  AppendU32(bad.payload, 5);  // promises 5 items, carries none
+  ASSERT_TRUE(WriteFrame(*conn, bad, Deadline::After(2000)).ok());
+  Result<Frame> reply = ReadFrame(*conn, Deadline::After(2000));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(FrameType::kError, reply->type);
+
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ASSERT_TRUE(WriteFrame(*conn, ping, Deadline::After(2000)).ok());
+  Result<Frame> pong = ReadFrame(*conn, Deadline::After(2000));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(FrameType::kPong, pong->type);
 }
 
 TEST_F(ConcurrentServiceTest, StopDrainsMidReplayWithoutHanging) {
