@@ -159,7 +159,26 @@ void MediatorServer::Stop() {
   }
   qcv_.notify_all();
   if (admission_thread_.joinable()) admission_thread_.join();
-  // Phase 3: flush the completed replies and tear the reactor down.
+  // Phase 3: join the I/O threads, then answer any stragglers an I/O
+  // thread enqueued after the admission loop observed empty queues (a
+  // frame callback already past the drain check). Each gets a typed
+  // Unavailable instead of an abrupt close.
+  reactor_->Join();
+  std::deque<AdmissionEntry> leftover;
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    leftover.swap(unstamped_);
+    for (auto& [seq, entry] : stamped_) {
+      leftover.push_back(std::move(entry));
+    }
+    stamped_.clear();
+  }
+  for (AdmissionEntry& entry : leftover) {
+    entry.parse_error =
+        Status::Unavailable("mediator stopped before admitting this query");
+    ProcessEntry(entry);
+  }
+  // Phase 4: flush the completed replies and tear the reactor down.
   reactor_->Stop(/*flush_pending=*/true);
   reactor_.reset();
   std::lock_guard<std::mutex> lock(mu_);
@@ -352,11 +371,13 @@ void MediatorServer::AdmissionLoop() {
 void MediatorServer::ProcessEntry(AdmissionEntry& entry) {
   QueryReply delta;
   if (entry.parse_error.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
     for (const core::Access& access : entry.accesses) {
       ProcessAccess(access, delta);
     }
-    ++ledger_.queries;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++ledger_.queries;
+    }
 #if BYC_TELEMETRY_ENABLED
     if (options_.metrics != nullptr) {
       options_.metrics->counter("svc.queries").Increment();
@@ -407,9 +428,12 @@ void MediatorServer::ProcessEntry(AdmissionEntry& entry) {
 void MediatorServer::ProcessAccess(const core::Access& access,
                                    QueryReply& delta) {
   core::Decision decision = policy_->OnAccess(access);
-  ++ledger_.accesses;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++ledger_.accesses;
+    ledger_.evictions += decision.evictions.size();
+  }
   ++delta.accesses;
-  ledger_.evictions += decision.evictions.size();
   delta.evictions += decision.evictions.size();
 
   const int site = federation_->SiteOfTable(access.object.table);
@@ -420,6 +444,7 @@ void MediatorServer::ProcessAccess(const core::Access& access,
   const double cost_per_byte = federation_->cost_model().CostPerByte(site);
 
   auto degrade = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
     ++ledger_.degraded_accesses;
     ++delta.degraded;
     ledger_.degraded_cost += access.bypass_cost;
@@ -429,6 +454,7 @@ void MediatorServer::ProcessAccess(const core::Access& access,
   switch (decision.action) {
     case core::Action::kServeFromCache: {
       BYC_CHECK(policy_->Contains(access.object));
+      std::lock_guard<std::mutex> lock(mu_);
       ledger_.served_cost += access.bypass_cost;
       delta.served_cost += access.bypass_cost;
       ++ledger_.hits;
@@ -444,6 +470,7 @@ void MediatorServer::ProcessAccess(const core::Access& access,
         Result<double> bytes = ack.ReadF64();
         if (bytes.ok()) {
           double cost = *bytes * cost_per_byte;
+          std::lock_guard<std::mutex> lock(mu_);
           ledger_.bypass_cost += cost;
           delta.bypass_cost += cost;
           ++ledger_.bypasses;
@@ -465,6 +492,7 @@ void MediatorServer::ProcessAccess(const core::Access& access,
         Result<uint64_t> bytes = ack.ReadU64();
         if (bytes.ok()) {
           double cost = static_cast<double>(*bytes) * cost_per_byte;
+          std::lock_guard<std::mutex> lock(mu_);
           ledger_.fetch_cost += cost;
           delta.fetch_cost += cost;
           ledger_.served_cost += access.bypass_cost;
@@ -497,7 +525,10 @@ Result<Frame> MediatorServer::CallBackend(int site, const Frame& request) {
   for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
     if (attempt > 1) {
       InterruptibleSleep(retry.DelayMs(attempt - 1, retry_rng_), stop_);
-      ++ledger_.retries;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++ledger_.retries;
+      }
 #if BYC_TELEMETRY_ENABLED
       if (options_.metrics != nullptr) {
         options_.metrics->counter("svc.retries").Increment();
@@ -517,7 +548,10 @@ Result<Frame> MediatorServer::CallBackend(int site, const Frame& request) {
       }
       ch.sock = std::move(sock).value();
       if (ch.connected_once) {
-        ++ledger_.reconnects;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++ledger_.reconnects;
+        }
 #if BYC_TELEMETRY_ENABLED
         if (options_.metrics != nullptr) {
           options_.metrics->counter("svc.reconnects").Increment();

@@ -106,7 +106,10 @@ class MediatorServer {
 
   /// Graceful drain: stops accepting and frame delivery, lets the
   /// admission thread answer every query already enqueued, flushes the
-  /// replies, closes backend channels, joins. Idempotent.
+  /// replies, closes backend channels, joins. A query an I/O thread
+  /// slipped into the queue after the admission loop exited (the drain
+  /// race) is answered with a typed Unavailable, not an abrupt close.
+  /// Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -178,11 +181,12 @@ class MediatorServer {
                     ReplyTicket ticket, std::shared_ptr<BatchState> batch,
                     size_t batch_index);
   /// The single ordering point: consumes the admission queue, runs each
-  /// query through the policy/ledger under mu_, completes reply slots.
+  /// query through the policy and the ledger, completes reply slots.
   void AdmissionLoop();
   void ProcessEntry(AdmissionEntry& entry);
   /// Runs one decomposed access through the policy and the network,
-  /// updating the ledger and `delta`. Caller holds mu_.
+  /// updating the ledger and `delta`. Admission thread only; ledger
+  /// mutations take mu_ briefly, never across a backend round trip.
   void ProcessAccess(const core::Access& access, QueryReply& delta);
 
   /// One backend round trip with reconnect + capped-backoff retries.
@@ -220,10 +224,16 @@ class MediatorServer {
   uint64_t admission_next_ = 0;
   bool q_draining_ = false;
 
-  /// Everything below is the serialized decision core: the policy, the
-  /// backend channels, and the ledger, guarded by one mutex. The
-  /// admission thread is the only query-path writer; kStats snapshots
-  /// read under the same lock.
+  /// The serialized decision core. The policy, channels, and rng are
+  /// owned by the admission thread (Start sets them up before the
+  /// thread launches; Stop touches them only after joining it) and need
+  /// no lock. mu_ guards only the ledger, and the admission thread
+  /// holds it only for the individual increments — never across a
+  /// backend round trip — so a kStats frame answered on an I/O thread
+  /// waits microseconds even while a query is burning its retry budget
+  /// against a dead backend. A mid-query snapshot may see a partially
+  /// applied query; the ledger is exact whenever the queue is quiet
+  /// (which is when the bench and the equality tests read it).
   mutable std::mutex mu_;
   std::unique_ptr<core::CachePolicy> policy_;
   std::vector<Channel> channels_;

@@ -203,8 +203,8 @@ void Reactor::BeginDrain() {
   draining_.store(true, std::memory_order_release);
 }
 
-void Reactor::Stop(bool flush_pending) {
-  if (!started_) return;
+void Reactor::Join() {
+  if (!started_ || joined_) return;
   draining_.store(true, std::memory_order_release);
   stopping_.store(true, std::memory_order_release);
   uint64_t one = 1;
@@ -215,6 +215,12 @@ void Reactor::Stop(bool flush_pending) {
   }
   io_threads_.clear();
   listener_.Close();
+  joined_ = true;
+}
+
+void Reactor::Stop(bool flush_pending) {
+  if (!started_) return;
+  Join();
 
   std::vector<std::shared_ptr<ReactorConn>> leftover;
   {
@@ -254,6 +260,7 @@ void Reactor::Stop(bool flush_pending) {
     wake_fd_ = -1;
   }
   started_ = false;
+  joined_ = false;
 }
 
 void Reactor::IoLoop(int thread_index) {
@@ -332,7 +339,12 @@ void Reactor::HandleAccept() {
     conn->armed = EPOLLIN;
     // Cross-thread ADD is the documented-safe epoll idiom; the owning
     // thread starts seeing this fd on its next epoll_wait.
-    ::epoll_ctl(conn->epfd, EPOLL_CTL_ADD, conn->fd, &ev);
+    if (::epoll_ctl(conn->epfd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+      // A connection that never registered would never see events:
+      // close it now (CloseConn runs on_close, so the caller's session
+      // accounting stays balanced instead of leaking a cap slot).
+      CloseConn(conn);
+    }
   }
 }
 

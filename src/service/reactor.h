@@ -151,6 +151,13 @@ class Reactor {
   /// drain: callers quiesce their own pipeline next, then call Stop.
   void BeginDrain();
 
+  /// Joins the I/O threads and closes the listener, leaving connections
+  /// and their reply FIFOs intact. After this returns no frame callback
+  /// can run, so a caller draining its own pipeline can complete
+  /// straggler tickets (enqueued concurrently with the drain) and still
+  /// have Stop flush their replies. Idempotent; Stop calls it first.
+  void Join();
+
   /// Joins the I/O threads and closes every connection. With
   /// `flush_pending`, ready reply slots are first flushed synchronously
   /// (each connection bounded by io_deadline_ms) so drained requests
@@ -187,6 +194,7 @@ class Reactor {
   std::atomic<bool> draining_{true};
   std::atomic<bool> stopping_{true};
   bool started_ = false;
+  bool joined_ = false;  ///< I/O threads exited (Join ran); Stop resets.
 
   int wake_fd_ = -1;  ///< eventfd registered in every epoll instance.
   std::vector<int> epoll_fds_;

@@ -262,6 +262,7 @@ QueryBatchBuilder::QueryBatchBuilder(std::vector<uint8_t>* payload)
 }
 
 void QueryBatchBuilder::Add(uint64_t seq, std::string_view trace_line) {
+  BYC_CHECK_LT(count_, kMaxQueryBatchItems);
   AppendU64(*payload_, seq);
   AppendU32(*payload_, static_cast<uint32_t>(trace_line.size()));
   payload_->insert(payload_->end(), trace_line.begin(), trace_line.end());
@@ -280,6 +281,15 @@ Status ParseQueryBatchInto(const uint8_t* payload, size_t size,
   items->clear();
   PayloadReader r(payload, size);
   BYC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (count > kMaxQueryBatchItems) {
+    // The reply costs kQueryReplyWireBytes per item and must fit under
+    // kMaxPayload; a count past that could never be answered with a
+    // legal frame, so it is the sender's protocol error — not a reason
+    // to let the reply encoder trip its payload-cap CHECK.
+    return Status::ParseError(
+        "batch count " + std::to_string(count) + " exceeds the " +
+        std::to_string(kMaxQueryBatchItems) + "-item cap");
+  }
   if (static_cast<size_t>(count) * kMinBatchItemBytes > r.remaining()) {
     return Status::ParseError(
         "batch count " + std::to_string(count) +

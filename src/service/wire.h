@@ -78,7 +78,9 @@ enum class FrameType : uint8_t {
   /// u32 count, then count x {u64 seq, u32 line_len, line bytes}. One
   /// wire round trip amortizes framing over the whole batch; each query
   /// still holds its own slot in the mediator's admission order, so the
-  /// ledger stays the same total order as unbatched replay.
+  /// ledger stays the same total order as unbatched replay. count is
+  /// capped at kMaxQueryBatchItems (any more could not be answered with
+  /// a legal kQueryBatchReply frame).
   kQueryBatch = 17,
   /// mediator -> client: payload u32 count, then count QueryReply
   /// records (one per batched query, in batch order).
@@ -274,7 +276,8 @@ struct QueryBatchItem {
 /// Decodes a kQueryBatch payload in one pass into `items` (cleared and
 /// refilled — callers reuse the vector). Views stay valid as long as the
 /// frame bytes do. A count that promises more items than the payload can
-/// carry is a ParseError before any reserve.
+/// carry, or that exceeds kMaxQueryBatchItems, is a ParseError before
+/// any reserve.
 Status ParseQueryBatchInto(const uint8_t* payload, size_t size,
                            std::vector<QueryBatchItem>* items);
 Status ParseQueryBatchInto(const Frame& frame,
@@ -283,6 +286,19 @@ Status ParseQueryBatchInto(const Frame& frame,
 /// Serialized size of one QueryReply record (6 u64 counters + 4 f64
 /// costs) — lets reply writers size a batch frame header up front.
 inline constexpr size_t kQueryReplyWireBytes = 6 * 8 + 4 * 8;
+
+/// Most items one kQueryBatch frame may carry. The bound comes from the
+/// reply side: each item costs kQueryReplyWireBytes in the
+/// kQueryBatchReply payload, which must itself fit under kMaxPayload.
+/// Request-side items are as small as 12 bytes, so a protocol-legal
+/// request can name far more items than any legal reply could answer —
+/// ParseQueryBatchInto therefore rejects a larger count as a typed
+/// ParseError before the server commits to an unanswerable batch.
+inline constexpr uint32_t kMaxQueryBatchItems =
+    static_cast<uint32_t>((kMaxPayload - 4) / kQueryReplyWireBytes);
+static_assert(4 + static_cast<size_t>(kMaxQueryBatchItems) *
+                      kQueryReplyWireBytes <=
+              kMaxPayload);
 
 /// Appends a kQueryBatchReply payload: u32 count + count QueryReplys.
 void EncodeQueryBatchReplyInto(std::vector<uint8_t>& out,

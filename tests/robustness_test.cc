@@ -219,6 +219,40 @@ TEST(WireFuzzTest, RandomBatchesRoundTripThroughBuilderAndParser) {
   }
 }
 
+TEST(WireFuzzTest, BatchCountAboveReplyCapRejectedAtParse) {
+  // A kQueryBatch request is ~12 bytes per item, so a protocol-legal
+  // frame can name far more items than any legal kQueryBatchReply
+  // (80 bytes per item, capped at kMaxPayload) could answer. The parser
+  // must reject such a count as a typed ParseError — it must never
+  // reach the reply encoder, whose payload-cap CHECK would abort the
+  // process on behalf of a hostile peer.
+  auto encode = [](uint32_t count) {
+    std::vector<uint8_t> payload;
+    service::AppendU32(payload, count);
+    for (uint32_t i = 0; i < count; ++i) {
+      service::AppendU64(payload, i);  // seq
+      service::AppendU32(payload, 0);  // empty line
+    }
+    return payload;
+  };
+
+  std::vector<service::QueryBatchItem> items;
+  std::vector<uint8_t> over = encode(service::kMaxQueryBatchItems + 1);
+  ASSERT_LE(over.size(), service::kMaxPayload)
+      << "oversized batch no longer fits a legal frame; test is vacuous";
+  auto rejected =
+      service::ParseQueryBatchInto(over.data(), over.size(), &items);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.IsParseError()) << rejected.ToString();
+
+  // The cap itself is fine: a full batch parses and its reply fits.
+  std::vector<uint8_t> at_cap = encode(service::kMaxQueryBatchItems);
+  EXPECT_TRUE(
+      service::ParseQueryBatchInto(at_cap.data(), at_cap.size(), &items)
+          .ok());
+  EXPECT_EQ(service::kMaxQueryBatchItems, items.size());
+}
+
 TEST(WireFuzzTest, RandomBytesOnTheSocketNeverCrashTheServer) {
   // Streams random garbage at a live BackendServer: the server must
   // answer with a typed kError or drop the connection — never crash,

@@ -412,6 +412,104 @@ TEST_F(ConcurrentServiceTest, MalformedBatchPayloadGetsTypedErrorAndSurvives) {
   EXPECT_EQ(FrameType::kPong, pong->type);
 }
 
+TEST_F(ConcurrentServiceTest, OversizedBatchCountGetsTypedErrorNotAbort) {
+  // A protocol-legal kQueryBatch whose item count exceeds what a legal
+  // kQueryBatchReply could carry (items are ~12 request bytes but 80
+  // reply bytes each). The server must answer with a typed error and
+  // keep serving — this frame used to drive the reply encoder into its
+  // payload-cap CHECK and abort the whole process.
+  BackendFleet fleet(federation_);
+  MediatorServer::Options options;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  Result<Socket> conn =
+      Socket::Connect("127.0.0.1", mediator.port(), Deadline::After(2000));
+  ASSERT_TRUE(conn.ok());
+  Frame huge;
+  huge.type = FrameType::kQueryBatch;
+  constexpr uint32_t kCount = kMaxQueryBatchItems + 1;
+  AppendU32(huge.payload, kCount);
+  for (uint32_t i = 0; i < kCount; ++i) {
+    AppendU64(huge.payload, i);  // seq
+    AppendU32(huge.payload, 0);  // empty line
+  }
+  ASSERT_LE(huge.payload.size(), kMaxPayload);
+  ASSERT_TRUE(WriteFrame(*conn, huge, Deadline::After(2000)).ok());
+  Result<Frame> reply = ReadFrame(*conn, Deadline::After(2000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(FrameType::kError, reply->type);
+
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ASSERT_TRUE(WriteFrame(*conn, ping, Deadline::After(2000)).ok());
+  Result<Frame> pong = ReadFrame(*conn, Deadline::After(2000));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(FrameType::kPong, pong->type);
+}
+
+TEST_F(ConcurrentServiceTest, StatsAnswersWhileQueryBurnsRetryBudget) {
+  // kStats is served on an I/O thread from a ledger snapshot under a
+  // narrow lock. It must come back promptly even while the admission
+  // thread is stuck inside a backend round trip — here a slow backend
+  // that makes every attempt soak the mediator's full deadline.
+  BackendFleet fleet(federation_);
+  fleet.server(0).faults().delay_ms.store(2000);
+  ServiceConfig config;
+  config.deadline_ms = 700;
+  config.retry.max_attempts = 2;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 5;
+  MediatorServer::Options options;
+  options.config = config;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  // Pick a query that actually decomposes into accesses — one that is
+  // guaranteed to take the admission thread into a backend round trip
+  // (a cold cache turns every first access into a bypass or a load).
+  federation::Mediator probe(&federation_,
+                             catalog::Granularity::kTable);
+  size_t qi = 0;
+  while (qi < trace_.queries.size() &&
+         probe.Decompose(trace_.queries[qi].query).empty()) {
+    ++qi;
+  }
+  ASSERT_LT(qi, trace_.queries.size()) << "trace has no decomposable query";
+
+  Result<Socket> querier =
+      Socket::Connect("127.0.0.1", mediator.port(), Deadline::After(2000));
+  ASSERT_TRUE(querier.ok());
+  Frame query =
+      MakeQueryFrame(workload::FormatTraceQuery(trace_.queries[qi]));
+  ASSERT_TRUE(WriteFrame(*querier, query, Deadline::After(2000)).ok());
+  // Let the admission thread pick the query up and park on the slow
+  // backend (it will hold it for >= 2 x 700 ms of deadline alone).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Result<Socket> watcher =
+      Socket::Connect("127.0.0.1", mediator.port(), Deadline::After(2000));
+  ASSERT_TRUE(watcher.ok());
+  Frame stats;
+  stats.type = FrameType::kStats;
+  ASSERT_TRUE(WriteFrame(*watcher, stats, Deadline::After(1000)).ok());
+  // The deadline is the assertion: well under the query's remaining
+  // stall, so a kStats that waits out the backend round trip fails here.
+  Result<Frame> reply = ReadFrame(*watcher, Deadline::After(1000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(FrameType::kStatsReply, reply->type);
+
+  // The stalled query still resolves (degraded), so teardown is clean.
+  // Generous deadline: every access of the query burns the full retry
+  // budget against the slow backend.
+  Result<Frame> answered = ReadFrame(*querier, Deadline::After(15000));
+  ASSERT_TRUE(answered.ok()) << answered.status().ToString();
+  EXPECT_EQ(FrameType::kQueryReply, answered->type);
+  // The backend round trip really happened and really stalled — the
+  // prompt kStats above was answered through it, not around it.
+  EXPECT_GT(mediator.stats().degraded_accesses, 0u);
+}
+
 TEST_F(ConcurrentServiceTest, StopDrainsMidReplayWithoutHanging) {
   BackendFleet fleet(federation_);
   ServiceConfig config = FastConfig();
