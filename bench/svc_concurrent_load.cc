@@ -25,29 +25,46 @@
 // core's claim that connection count is decoupled from thread count,
 // with the ledger check still bitwise.
 //
+// Observability hooks (PR 7): --probe keeps one extra session open per
+// case and scrapes kMetricsDump continuously DURING the load — each
+// scrape must answer in under a second and carry live admission-queue /
+// reactor gauges, demonstrating the admin plane never stops admission.
+// --ledger FILE appends every case's server-side ledger as %.17g text,
+// so CI can diff a tracing-on run against a tracing-off run bitwise.
+// With BYC_SVC_SLOW_LOG=FILE (and BYC_SVC_SLOW_MS >= 0) the mediator
+// writes the slow-query JSONL log there.
+//
 // Usage: svc_concurrent_load [--queries N] [--clients N] [--batch N]
 //                            [--policy NAME] [--frac F] [--out FILE]
+//                            [--probe] [--ledger FILE]
 //   --queries N  trace length (default 2000)
 //   --clients N  concurrent replay clients (default 4, max 64)
 //   --batch N    queries per kQueryBatch frame in batched cases (16)
 //   --policy P   rate_profile (default) | lru | gds | online_by
 //   --frac F     cache capacity as a fraction of the database (0.3)
 //   --out FILE   JSON output path (default: BENCH_service.json)
+//   --probe      scrape kMetricsDump concurrently with the load
+//   --ledger F   append the per-case ledgers to F (%.17g, diffable)
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/env.h"
 #include "common/json_writer.h"
 #include "common/stats.h"
 #include "service/backend_server.h"
 #include "service/mediator_server.h"
 #include "service/replay_client.h"
+#include "service/socket.h"
+#include "telemetry/slow_log.h"
 
 namespace {
 
@@ -153,12 +170,116 @@ bool WriteJson(const std::vector<Record>& records, const std::string& path) {
   return true;
 }
 
+/// What one case's concurrent kMetricsDump scraper saw.
+struct ProbeReport {
+  bool ok = true;
+  std::string error;
+  uint64_t scrapes = 0;
+  double max_ms = 0;
+};
+
+/// Scrapes the mediator's admin metrics plane over one persistent
+/// session until `stop`: every kMetricsDump must answer within a second
+/// (the liveness claim — admission keeps running, the dump is served on
+/// an I/O thread) and carry the live gauges the probe exists to watch.
+ProbeReport RunProbe(uint16_t port, const service::ServiceConfig& config,
+                     const std::atomic<bool>& stop) {
+  using namespace service;
+  ProbeReport report;
+  auto fail = [&](const Status& status) {
+    report.ok = false;
+    report.error = status.ToString();
+    return report;
+  };
+  Result<Socket> sock = Socket::Connect(
+      "127.0.0.1", port, Deadline::After(config.deadline_ms));
+  if (!sock.ok()) return fail(sock.status());
+  {
+    Deadline deadline = Deadline::After(config.deadline_ms);
+    Status sent =
+        WriteFrame(*sock, MakeHelloFrame(kProtocolVersion), deadline);
+    if (!sent.ok()) return fail(sent);
+    Result<Frame> hello = ReadFrame(*sock, deadline);
+    if (!hello.ok()) return fail(hello.status());
+    if (hello->type == FrameType::kError) {
+      return fail(ParseErrorFrame(*hello));
+    }
+  }
+  while (!stop.load(std::memory_order_relaxed)) {
+    // The acceptance bar: a dump answers in <1s even while queries are
+    // in flight (or burning retry budgets).
+    Deadline deadline = Deadline::After(1000);
+    const Clock::time_point start = Clock::now();
+    Status sent = WriteFrame(*sock, MakeMetricsDumpFrame(), deadline);
+    if (!sent.ok()) return fail(sent);
+    Result<Frame> reply = ReadFrame(*sock, deadline);
+    if (!reply.ok()) return fail(reply.status());
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (reply->type == FrameType::kError) return fail(ParseErrorFrame(*reply));
+    if (reply->type != FrameType::kMetricsDumpReply) {
+      return fail(Status::ParseError(
+          "probe expected kMetricsDumpReply, got frame type " +
+          std::to_string(static_cast<int>(reply->type))));
+    }
+    std::string json(reply->payload.begin(), reply->payload.end());
+    for (const char* key :
+         {"\"counters\"", "\"gauges\"", "\"histograms\"",
+          "\"svc.admission_queue_depth\"", "\"wire.metrics_dump\""}) {
+      if (json.find(key) == std::string::npos) {
+        return fail(Status::ParseError("probe scrape is missing " +
+                                       std::string(key)));
+      }
+    }
+    ++report.scrapes;
+    report.max_ms = std::max(report.max_ms, ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return report;
+}
+
+/// Appends one case's server-side ledger as fixed-format text. Every
+/// field is deterministic (%.17g doubles round-trip exactly), so the
+/// file from a tracing-on run must compare bitwise-equal to the file
+/// from a tracing-off run — the CI check that observability never moves
+/// a ledger byte.
+void AppendLedgerText(const std::string& config_name, size_t clients,
+                      int batch, const service::StatsReply& ledger,
+                      std::string& out) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "case=%s clients=%zu batch=%d queries=%llu accesses=%llu "
+      "hits=%llu bypasses=%llu loads=%llu evictions=%llu degraded=%llu "
+      "D_C=%.17g D_S=%.17g D_L=%.17g lost=%.17g\n",
+      config_name.c_str(), clients, batch,
+      static_cast<unsigned long long>(ledger.queries),
+      static_cast<unsigned long long>(ledger.accesses),
+      static_cast<unsigned long long>(ledger.hits),
+      static_cast<unsigned long long>(ledger.bypasses),
+      static_cast<unsigned long long>(ledger.loads),
+      static_cast<unsigned long long>(ledger.evictions),
+      static_cast<unsigned long long>(ledger.degraded_accesses),
+      ledger.served_cost, ledger.bypass_cost, ledger.fetch_cost,
+      ledger.degraded_cost);
+  out += buf;
+}
+
+/// Cross-case extras threaded through every RunCase call.
+struct LoadExtras {
+  bool probe = false;
+  telemetry::SlowQueryLog* slow_log = nullptr;
+  /// Non-null: accumulate the %.17g ledger text here.
+  std::string* ledger_text = nullptr;
+};
+
 /// One N-client load case at `granularity`; appends its record and
 /// returns whether the aggregate ledger matched the simulator bitwise.
 bool RunCase(const bench::Release& release, catalog::Granularity granularity,
              core::PolicyKind kind, uint64_t capacity, size_t num_clients,
              const service::ServiceConfig& svc_config,
-             std::vector<Record>& records) {
+             const LoadExtras& extras, std::vector<Record>& records) {
   // In-process reference: the single-client total order. Byte-identity
   // against this is byte-identity against a single-client wire replay
   // (svc_loopback_replay establishes that equivalence).
@@ -191,6 +312,13 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
   service::MediatorServer::Options options;
   options.config = svc_config;
   options.metrics = bench::BenchMetrics();
+  options.slow_log = extras.slow_log;
+  // The probe needs a registry to scrape; without a manifest the case
+  // gets a local one (same instrumentation, nothing written at exit).
+  telemetry::MetricsRegistry local_registry;
+  if (extras.probe && options.metrics == nullptr) {
+    options.metrics = &local_registry;
+  }
   service::MediatorServer mediator(&release.federation, config,
                                    std::move(addrs), options);
   Status started = mediator.Start();
@@ -198,6 +326,17 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
     std::printf("  mediator failed to start: %s\n",
                 started.ToString().c_str());
     return false;
+  }
+
+  // The concurrent scraper: holds one session for the whole case and
+  // hammers kMetricsDump while the clients load the mediator.
+  std::atomic<bool> probe_stop{false};
+  ProbeReport probe_report;
+  std::thread probe_thread;
+  if (extras.probe) {
+    probe_thread = std::thread([&] {
+      probe_report = RunProbe(mediator.port(), svc_config, probe_stop);
+    });
   }
 
   // N clients, each replaying its round-robin shard concurrently.
@@ -240,7 +379,33 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
   if (!ledger_result.ok()) {
     std::printf("  stats fetch failed: %s\n",
                 ledger_result.status().ToString().c_str());
+    if (probe_thread.joinable()) {
+      probe_stop.store(true, std::memory_order_relaxed);
+      probe_thread.join();
+    }
     return false;
+  }
+  bool probe_ok = true;
+  if (probe_thread.joinable()) {
+    probe_stop.store(true, std::memory_order_relaxed);
+    probe_thread.join();
+    if (!probe_report.ok) {
+      std::printf("  PROBE FAILED after %llu scrapes: %s\n",
+                  static_cast<unsigned long long>(probe_report.scrapes),
+                  probe_report.error.c_str());
+      probe_ok = false;
+    } else if (probe_report.scrapes == 0) {
+      std::printf("  PROBE FAILED: no scrape completed during the load\n");
+      probe_ok = false;
+    } else {
+      std::printf("  probe: %llu mid-load scrapes, slowest %.2f ms\n",
+                  static_cast<unsigned long long>(probe_report.scrapes),
+                  probe_report.max_ms);
+      if (telemetry::MetricsRegistry* metrics = bench::BenchMetrics()) {
+        metrics->counter("probe.scrapes").Increment(probe_report.scrapes);
+        metrics->histogram("probe.scrape_ms").Observe(probe_report.max_ms);
+      }
+    }
   }
   mediator.Stop();
   for (auto& backend : backends) backend->Stop();
@@ -262,6 +427,13 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
   Check(r, "D_C", sim_totals.served_cost, ledger.served_cost);
   Check(r, "D_S+D_L", sim_totals.total_wan(),
         ledger.bypass_cost + ledger.fetch_cost);
+  r.ok &= probe_ok;
+
+  if (extras.ledger_text != nullptr) {
+    AppendLedgerText(
+        release.name + "/" + bench::GranularityName(granularity),
+        num_clients, svc_config.batch_size, ledger, *extras.ledger_text);
+  }
 
   Record record;
   record.config = release.name + "/" + bench::GranularityName(granularity);
@@ -297,6 +469,8 @@ int main(int argc, char** argv) {
   std::string policy_name = "rate_profile";
   double fraction = 0.3;
   std::string out_path = "BENCH_service.json";
+  bool probe = false;
+  std::string ledger_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
       num_queries = static_cast<size_t>(std::atoll(argv[++i]));
@@ -310,14 +484,27 @@ int main(int argc, char** argv) {
       fraction = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--probe") == 0) {
+      probe = true;
+    } else if (std::strcmp(argv[i], "--ledger") == 0 && i + 1 < argc) {
+      ledger_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--queries N] [--clients N] [--batch N] "
-                   "[--policy NAME] [--frac F] [--out FILE]\n",
+                   "[--policy NAME] [--frac F] [--out FILE] [--probe] "
+                   "[--ledger FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+#if !BYC_TELEMETRY_ENABLED
+  if (probe) {
+    std::fprintf(stderr,
+                 "svc_concurrent_load: --probe needs a BYC_TELEMETRY=ON "
+                 "build (kMetricsDump has no registry to dump)\n");
+    return 2;
+  }
+#endif
   if (num_clients == 0 || num_clients > 64) {
     std::fprintf(stderr, "svc_concurrent_load: --clients must be 1..64\n");
     return 2;
@@ -341,10 +528,12 @@ int main(int argc, char** argv) {
   const size_t wide_clients = std::min<size_t>(
       64, 4 * static_cast<size_t>(std::max(1, svc_config->max_sessions)));
   // The whole point is N live sessions: never let the session cap below
-  // the client count turn the load run into a rejection test.
+  // the client count turn the load run into a rejection test. The probe
+  // holds one extra session of its own for the whole case.
   svc_config->max_sessions =
       std::max(svc_config->max_sessions,
-               static_cast<int>(std::max(num_clients, wide_clients)));
+               static_cast<int>(std::max(num_clients, wide_clients)) +
+                   (probe ? 1 : 0));
   run.AddConfig("queries", std::to_string(num_queries));
   run.AddConfig("clients", std::to_string(num_clients));
   run.AddConfig("batch", std::to_string(batch));
@@ -366,6 +555,30 @@ int main(int argc, char** argv) {
   uint64_t capacity = bench::CapacityFraction(release, fraction);
   core::PolicyKind kind = ParsePolicy(policy_name);
 
+  // Slow-query JSONL sink: BYC_SVC_SLOW_LOG names the file; the
+  // threshold itself comes from BYC_SVC_SLOW_MS (already in svc_config).
+  std::FILE* slow_sink = nullptr;
+  std::unique_ptr<telemetry::SlowQueryLog> slow_log;
+  if (std::optional<std::string> path = env::Raw("BYC_SVC_SLOW_LOG")) {
+    slow_sink = std::fopen(path->c_str(), "w");
+    if (slow_sink == nullptr) {
+      std::fprintf(stderr,
+                   "svc_concurrent_load: cannot open BYC_SVC_SLOW_LOG=%s\n",
+                   path->c_str());
+      return 2;
+    }
+    telemetry::SlowQueryLog::Options lopts;
+    lopts.sink = slow_sink;
+    slow_log = std::make_unique<telemetry::SlowQueryLog>(lopts);
+    run.AddConfig("svc.slow_log", *path);
+    run.AddConfig("svc.slow_ms", std::to_string(svc_config->slow_ms));
+  }
+  LoadExtras extras;
+  extras.probe = probe;
+  extras.slow_log = slow_log.get();
+  std::string ledger_text;
+  if (!ledger_path.empty()) extras.ledger_text = &ledger_text;
+
   std::printf(
       "svc_concurrent_load: %s, %zu queries, %zu clients, %s @ %.0f%% "
       "cache, %d io threads\n",
@@ -378,17 +591,17 @@ int main(int argc, char** argv) {
   service::ServiceConfig batched = *svc_config;
   batched.batch_size = batch;
   ok &= RunCase(release, catalog::Granularity::kTable, kind, capacity,
-                num_clients, unbatched, records);
+                num_clients, unbatched, extras, records);
   ok &= RunCase(release, catalog::Granularity::kTable, kind, capacity,
-                num_clients, batched, records);
+                num_clients, batched, extras, records);
   ok &= RunCase(release, catalog::Granularity::kColumn, kind, capacity,
-                num_clients, unbatched, records);
+                num_clients, unbatched, extras, records);
   ok &= RunCase(release, catalog::Granularity::kColumn, kind, capacity,
-                num_clients, batched, records);
+                num_clients, batched, extras, records);
   // Wide case: 4x the session cap in concurrent connections on the same
   // fixed I/O thread pool.
   ok &= RunCase(release, catalog::Granularity::kTable, kind, capacity,
-                wide_clients, batched, records);
+                wide_clients, batched, extras, records);
 
   // Aggregate throughput gauge for the manifest (the per-case numbers
   // live in BENCH_service.json).
@@ -402,6 +615,31 @@ int main(int argc, char** argv) {
       metrics->gauge("svc.qps").Set(total_queries / (total_wall_ms / 1000.0));
     }
     metrics->gauge("svc.clients").Set(static_cast<double>(num_clients));
+  }
+
+  // Drain the slow log before the manifest snapshot so its final
+  // recorded/dropped gauges (refreshed by mediator Stop()) are stable
+  // and the JSONL file on disk is complete.
+  if (slow_log != nullptr) {
+    slow_log->Flush();
+    std::printf("slow log: %llu records, %llu dropped\n",
+                static_cast<unsigned long long>(slow_log->recorded()),
+                static_cast<unsigned long long>(slow_log->dropped()));
+    slow_log.reset();
+  }
+  if (slow_sink != nullptr) std::fclose(slow_sink);
+
+  if (!ledger_path.empty()) {
+    std::FILE* f = std::fopen(ledger_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr,
+                   "svc_concurrent_load: cannot open %s for writing\n",
+                   ledger_path.c_str());
+      return 1;
+    }
+    std::fwrite(ledger_text.data(), 1, ledger_text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", ledger_path.c_str());
   }
 
   if (!WriteJson(records, out_path)) return 1;

@@ -10,8 +10,14 @@
 # conserve the ledger bitwise — in both per-query and kQueryBatch
 # framing — and the manifest must carry the load fields
 # validate_manifest.py --require-load demands, including the
-# svc.batch_frames counter). A wire micro stage (svc_wire_micro) records
-# batch codec throughput gauges in its own manifest.
+# svc.batch_frames counter; the run is probed, so the manifest also
+# proves kMetricsDump answered mid-load). A wire micro stage
+# (svc_wire_micro) records batch codec throughput gauges in its own
+# manifest. A final observability stage reruns the load with request
+# tracing, a zero-threshold slow-query log, and the metrics probe all
+# on at once, then diffs its ledger file against the untraced run's —
+# the two must be bitwise IDENTICAL (observability never moves a ledger
+# byte) — and python-parses every slow-log JSONL line.
 #
 # Usage: scripts/ci.sh [preset ...]
 #   scripts/ci.sh                 # release asan tsan (the full sweep)
@@ -24,6 +30,7 @@
 #   CI_SKIP_SERVICE=1   skip the loopback service smoke test
 #   CI_SKIP_LOAD=1      skip the concurrent-load smoke test
 #   CI_SKIP_WIRE=1      skip the wire codec micro smoke test
+#   CI_SKIP_OBS=1       skip the traced-load observability smoke test
 #   CI_SVC_TIMEOUT      seconds before a service smoke test is killed
 #                       (default 300, applies to all service stages)
 #   CI_LOAD_CLIENTS     concurrent clients for the load smoke (default 4)
@@ -91,11 +98,13 @@ if [ "${CI_SKIP_LOAD:-0}" != "1" ]; then
   echo "==> concurrent load smoke test ($load)"
   # The binary exits nonzero if the N-client aggregate ledger diverges
   # from the single-client order by even one bit; `timeout` guards
-  # against a wedged admission stage.
+  # against a wedged admission stage. --probe scrapes kMetricsDump from
+  # a live session throughout, so the manifest carries the admin-plane
+  # counters and live gauges --require-load now demands.
   BYC_MANIFEST="$load_manifest" \
     timeout "${CI_SVC_TIMEOUT:-300}" "$load" --queries 300 \
     --clients "${CI_LOAD_CLIENTS:-4}" --batch "${CI_LOAD_BATCH:-16}" \
-    --out "$load_json"
+    --probe --out "$load_json"
   python3 scripts/validate_manifest.py --require-service --require-load \
     "$load_manifest"
 fi
@@ -114,6 +123,58 @@ if [ "${CI_SKIP_WIRE:-0}" != "1" ]; then
   BYC_MANIFEST="$wire_manifest" \
     timeout "${CI_SVC_TIMEOUT:-300}" "$wire" --iters 2000
   python3 scripts/validate_manifest.py "$wire_manifest"
+fi
+
+if [ "${CI_SKIP_OBS:-0}" != "1" ]; then
+  load=build/bench/svc_concurrent_load
+  if [ ! -x "$load" ]; then
+    cmake --preset release >/dev/null
+    cmake --build --preset release -j "$JOBS" --target svc_concurrent_load
+  fi
+  obs_dir="$(mktemp -d -t byc_obs.XXXXXX)"
+  trap 'rm -f "${manifest:-}" "${svc_manifest:-}" "${load_manifest:-}" "${load_json:-}" "${wire_manifest:-}"; rm -rf "${obs_dir:-}"' EXIT
+  echo "==> observability smoke test ($load, traced vs untraced)"
+  # Baseline: the plain load path, no tracing, no probe, no slow log —
+  # exactly what PR 6 shipped, plus the ledger text file.
+  timeout "${CI_SVC_TIMEOUT:-300}" "$load" --queries 300 \
+    --clients "${CI_LOAD_CLIENTS:-4}" --batch "${CI_LOAD_BATCH:-16}" \
+    --ledger "$obs_dir/plain.ledger" --out "$obs_dir/plain_bench.json" \
+    >/dev/null
+  # The fully observed run: every query traced on the wire, every query
+  # slow-logged (threshold 0), and the admin endpoint scraped mid-load.
+  BYC_MANIFEST="$obs_dir/traced_manifest.json" \
+  BYC_SVC_TRACE=1 BYC_SVC_SLOW_MS=0 \
+  BYC_SVC_SLOW_LOG="$obs_dir/slow.jsonl" \
+    timeout "${CI_SVC_TIMEOUT:-300}" "$load" --queries 300 \
+    --clients "${CI_LOAD_CLIENTS:-4}" --batch "${CI_LOAD_BATCH:-16}" \
+    --probe --ledger "$obs_dir/traced.ledger" \
+    --out "$obs_dir/traced_bench.json"
+  python3 scripts/validate_manifest.py --require-service --require-load \
+    "$obs_dir/traced_manifest.json"
+  # The whole point of the plane: observing the service must not move a
+  # single ledger byte.
+  if ! cmp "$obs_dir/plain.ledger" "$obs_dir/traced.ledger"; then
+    echo "ci.sh: traced ledger diverged from the untraced baseline" >&2
+    diff "$obs_dir/plain.ledger" "$obs_dir/traced.ledger" >&2 || true
+    exit 1
+  fi
+  echo "    traced and untraced ledgers are bitwise identical"
+  # Every slow-log line is one well-formed JSON record.
+  python3 - "$obs_dir/slow.jsonl" <<'EOF'
+import json, sys
+path = sys.argv[1]
+n = 0
+with open(path, encoding="utf-8") as f:
+    for i, line in enumerate(f, 1):
+        rec = json.loads(line)
+        for key in ("trace_id", "total_ms", "backend_ms", "accesses"):
+            if key not in rec:
+                sys.exit(f"{path}:{i}: missing {key!r}")
+        n += 1
+if n == 0:
+    sys.exit(f"{path}: zero-threshold slow log is empty")
+print(f"    slow log OK ({n} JSONL records)")
+EOF
 fi
 
 echo "==> CI OK (${PRESETS[*]})"

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a run manifest against schema_version 1.
+"""Validate a run manifest against schema_version 2.
 
 The schema is documented in src/telemetry/manifest.h and emitted by
 bench::BenchRun (any bench binary run with BYC_MANIFEST or
@@ -18,7 +18,11 @@ svc_concurrent_load: a positive "svc.sessions" counter, a positive
 counter rule already enforces >= 0; the load run must record how many
 kQueryBatch frames it served, even when that is zero), and a sane
 "svc.request_ms" latency histogram (count >= 1 and p50 <= p90 <= p99).
-The CI load smoke stage passes it.
+Since schema_version 2 it also demands the observability plane of a
+probed load run: a positive "wire.metrics_dump" counter (the admin
+endpoint really served scrapes) and the "svc.admission_queue_depth"
+live gauge (refreshed on every kMetricsDump). The CI load smoke stage
+passes it and runs svc_concurrent_load with --probe.
 
 Usage: validate_manifest.py [--require-service] [--require-load]
                             <manifest.json> [...]
@@ -55,7 +59,7 @@ def validate_manifest(doc, path, errors):
             return None
         return doc[key]
 
-    expect("schema_version", lambda v: v == 1, "the literal 1")
+    expect("schema_version", lambda v: v == 2, "the literal 2")
     expect("name", lambda v: isinstance(v, str) and v != "",
            "a non-empty string")
     expect("git_describe", lambda v: isinstance(v, str) and v != "",
@@ -223,6 +227,22 @@ def validate_load_fields(doc, path, errors, required):
         fail(path, "load manifest missing counter 'svc.batch_frames' "
              "(the mediator records batch framing even when unused)",
              errors)
+
+    if required:
+        # The CI load smoke runs with --probe: the manifest must prove
+        # the admin metrics plane answered mid-load and refreshed the
+        # live admission gauges.
+        dumps = counters.get("wire.metrics_dump")
+        if dumps is None:
+            fail(path, "load manifest missing counter 'wire.metrics_dump' "
+                 "(--require-load expects a probed run)", errors)
+        elif isinstance(dumps, int) and dumps < 1:
+            fail(path, f"counter 'wire.metrics_dump' must be >= 1 for a "
+                 f"probed load run: {dumps!r}", errors)
+        if "svc.admission_queue_depth" not in gauges:
+            fail(path, "load manifest missing gauge "
+                 "'svc.admission_queue_depth' (refreshed on every "
+                 "kMetricsDump scrape)", errors)
 
     hist = histograms.get("svc.request_ms")
     if hist is None:

@@ -100,14 +100,18 @@ Frame BackendServer::HandleRequest(const Frame& request) {
     case FrameType::kHello: {
       Result<uint32_t> version = ParseHello(request);
       if (!version.ok()) return MakeErrorFrame(version.status());
-      if (*version != kProtocolVersion) {
+      if (*version < kMinProtocolVersion || *version > kProtocolVersion) {
         return MakeErrorFrame(
             WireCode::kVersionMismatch,
-            "backend speaks protocol version " +
+            "backend speaks protocol versions " +
+                std::to_string(kMinProtocolVersion) + ".." +
                 std::to_string(kProtocolVersion) + ", client sent " +
                 std::to_string(*version));
       }
-      return MakeHelloReplyFrame(kProtocolVersion);
+      // Echo the client's version (a v2 mediator gets its v2 echo); v3
+      // trace extensions are an append-only trailer, so every frame a
+      // v3 peer sends still parses under the v2 grammar.
+      return MakeHelloReplyFrame(*version);
     }
     case FrameType::kFetch:
       return HandleFetch(request);

@@ -37,6 +37,15 @@ Result<ServiceConfig> ServiceConfig::FromEnv() {
       int64_t io_threads,
       env::IntOr("BYC_SVC_IO_THREADS", config.io_threads, 1, 64));
   config.io_threads = static_cast<int>(io_threads);
+  BYC_ASSIGN_OR_RETURN(int64_t trace,
+                       env::IntOr("BYC_SVC_TRACE", config.trace ? 1 : 0, 0,
+                                  1));
+  config.trace = trace != 0;
+  // Unset keeps the disabled default (-1); a set value must be a valid
+  // non-negative duration (0 = log everything).
+  BYC_ASSIGN_OR_RETURN(
+      config.slow_ms,
+      env::DurationMsOr("BYC_SVC_SLOW_MS", config.slow_ms, 0, 600'000));
   return config;
 }
 

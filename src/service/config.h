@@ -47,11 +47,23 @@ struct ServiceConfig {
   /// Reactor I/O threads multiplexing all connections (connection count
   /// is NOT bounded by this). BYC_SVC_IO_THREADS.
   int io_threads = 2;
+  /// Request tracing: replaying clients stamp every query with a trace
+  /// id (propagated to backends as the wire trace extension) and the
+  /// mediator records per-stage timings. Never changes a decision or a
+  /// ledger byte — it only adds the extension trailer and histogram
+  /// observations. BYC_SVC_TRACE (0/1).
+  bool trace = false;
+  /// Slow-query threshold: an admitted query whose total latency
+  /// (enqueue to reply completion) reaches this many milliseconds is
+  /// recorded in the slow-query JSONL log, when one is attached
+  /// (MediatorServer::Options::slow_log). 0 logs every query
+  /// (reconciliation mode); negative disables logging. BYC_SVC_SLOW_MS.
+  int64_t slow_ms = -1;
 
   /// Loads overrides from BYC_SVC_PORT / BYC_SVC_DEADLINE_MS /
   /// BYC_SVC_RETRIES / BYC_SVC_MAX_SESSIONS / BYC_SVC_MAX_INFLIGHT /
-  /// BYC_SVC_REORDER_MS / BYC_SVC_BATCH / BYC_SVC_IO_THREADS on top of
-  /// the defaults.
+  /// BYC_SVC_REORDER_MS / BYC_SVC_BATCH / BYC_SVC_IO_THREADS /
+  /// BYC_SVC_TRACE / BYC_SVC_SLOW_MS on top of the defaults.
   static Result<ServiceConfig> FromEnv();
 };
 

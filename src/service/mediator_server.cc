@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "telemetry/manifest.h"
 #include "telemetry/metrics.h"
+#include "telemetry/slow_log.h"
 #include "workload/trace.h"
 
 namespace byc::service {
@@ -73,11 +75,24 @@ Status MediatorServer::Start() {
   sessions_accepted_.store(0, std::memory_order_relaxed);
   sessions_rejected_.store(0, std::memory_order_relaxed);
   admission_skips_.store(0, std::memory_order_relaxed);
+  stage_ = StageMetrics{};
+  stage_timing_ = options_.slow_log != nullptr;
+  entry_backend_ms_ = 0;
+  entry_trace_id_ = kNoTraceId;
 #if BYC_TELEMETRY_ENABLED
   if (options_.metrics != nullptr) {
-    // Touch the batching counter so a manifest records it even for
-    // replays that never send a kQueryBatch frame.
+    // Touch the batching and admin counters so a manifest records them
+    // even for replays that never send those frames.
     options_.metrics->counter("svc.batch_frames").Increment(0);
+    options_.metrics->counter("wire.metrics_dump").Increment(0);
+    stage_.decode_us = &options_.metrics->histogram("svc.stage.decode_us");
+    stage_.queue_ms = &options_.metrics->histogram("svc.stage.queue_ms");
+    stage_.backend_ms =
+        &options_.metrics->histogram("svc.stage.backend_ms");
+    stage_.traced_queries =
+        &options_.metrics->counter("svc.traced_queries");
+    stage_.metrics_dumps = &options_.metrics->counter("wire.metrics_dump");
+    stage_timing_ = true;
   }
 #endif
 
@@ -85,6 +100,7 @@ Status MediatorServer::Start() {
   ropts.io_threads = options_.config.io_threads;
   ropts.io_deadline_ms = options_.config.deadline_ms;
   ropts.max_inflight = static_cast<size_t>(options_.config.max_inflight);
+  ropts.metrics = options_.metrics;
   Reactor::Callbacks callbacks;
   callbacks.admit = [this]() -> Reactor::AdmitDecision {
     if (live_sessions_.load(std::memory_order_acquire) >=
@@ -178,6 +194,9 @@ void MediatorServer::Stop() {
         Status::Unavailable("mediator stopped before admitting this query");
     ProcessEntry(entry);
   }
+  // Final gauge refresh (queues drained, reactor still alive): manifests
+  // written after Stop() carry the end-of-run gauge values.
+  RefreshLiveGauges();
   // Phase 4: flush the completed replies and tear the reactor down.
   reactor_->Stop(/*flush_pending=*/true);
   reactor_.reset();
@@ -194,20 +213,32 @@ void MediatorServer::OnFrame(FrameType type, const uint8_t* payload,
                              size_t payload_len, ReplyTicket ticket) {
   switch (type) {
     case FrameType::kQuery: {
+      Result<TraceExt> ext = StripTraceExt(payload, payload_len, 0);
+      if (!ext.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(ext.status()));
+        return;
+      }
       std::string_view line(reinterpret_cast<const char*>(payload),
-                            payload_len);
-      EnqueueQuery(std::nullopt, line, std::move(ticket), nullptr, 0);
+                            ext->base_len);
+      EnqueueQuery(std::nullopt, line, ext->trace_id, std::move(ticket),
+                   nullptr, 0);
       return;
     }
     case FrameType::kQueryAt: {
-      PayloadReader r(payload, payload_len);
+      Result<TraceExt> ext = StripTraceExt(payload, payload_len, 8);
+      if (!ext.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(ext.status()));
+        return;
+      }
+      PayloadReader r(payload, ext->base_len);
       Result<uint64_t> seq = r.ReadU64();
       if (!seq.ok()) {
         CompleteWithFrame(ticket, MakeErrorFrame(seq.status()));
         return;
       }
       Result<std::string_view> line = r.ReadView(r.remaining());
-      EnqueueQuery(*seq, *line, std::move(ticket), nullptr, 0);
+      EnqueueQuery(*seq, *line, ext->trace_id, std::move(ticket), nullptr,
+                   0);
       return;
     }
     case FrameType::kQueryBatch: {
@@ -215,7 +246,9 @@ void MediatorServer::OnFrame(FrameType type, const uint8_t* payload,
       // read buffer and are only used inside this callback (parse +
       // decompose), never stored.
       std::vector<QueryBatchItem> items;
-      Status parsed = ParseQueryBatchInto(payload, payload_len, &items);
+      uint64_t base_trace_id = kNoTraceId;
+      Status parsed =
+          ParseQueryBatchInto(payload, payload_len, &items, &base_trace_id);
       if (!parsed.ok()) {
         CompleteWithFrame(ticket, MakeErrorFrame(parsed));
         return;
@@ -237,8 +270,18 @@ void MediatorServer::OnFrame(FrameType type, const uint8_t* payload,
       batch->deltas.resize(items.size());
       batch->remaining = items.size();
       for (size_t i = 0; i < items.size(); ++i) {
-        EnqueueQuery(items[i].seq, items[i].line, ReplyTicket(), batch, i);
+        // One base id traces the whole batch; item i is base+i, so a
+        // slow-log line still names the individual query.
+        uint64_t item_id = base_trace_id == kNoTraceId
+                               ? kNoTraceId
+                               : base_trace_id + static_cast<uint64_t>(i);
+        EnqueueQuery(items[i].seq, items[i].line, item_id, ReplyTicket(),
+                     batch, i);
       }
+      return;
+    }
+    case FrameType::kMetricsDump: {
+      HandleMetricsDump(ticket);
       return;
     }
     case FrameType::kStats: {
@@ -265,17 +308,21 @@ void MediatorServer::OnFrame(FrameType type, const uint8_t* payload,
         CompleteWithFrame(ticket, MakeErrorFrame(version.status()));
         return;
       }
-      if (*version != kProtocolVersion) {
+      if (*version < kMinProtocolVersion || *version > kProtocolVersion) {
         CompleteWithFrame(
             ticket,
             MakeErrorFrame(WireCode::kVersionMismatch,
-                           "server speaks protocol version " +
+                           "server speaks protocol versions " +
+                               std::to_string(kMinProtocolVersion) + ".." +
                                std::to_string(kProtocolVersion) +
                                ", client sent " + std::to_string(*version)),
             /*close_after=*/true);
         return;
       }
-      CompleteWithFrame(ticket, MakeHelloReplyFrame(kProtocolVersion));
+      // Echo the client's version: a v2 peer sees the v2 echo it
+      // expects, and the append-only trace extension keeps every v3
+      // frame decodable by the v2 grammar anyway.
+      CompleteWithFrame(ticket, MakeHelloReplyFrame(*version));
       return;
     }
     default:
@@ -290,16 +337,94 @@ void MediatorServer::OnFrame(FrameType type, const uint8_t* payload,
   }
 }
 
+void MediatorServer::HandleMetricsDump(ReplyTicket& ticket) {
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    if (stage_.metrics_dumps != nullptr) stage_.metrics_dumps->Increment();
+    RefreshLiveGauges();
+    std::string json =
+        telemetry::MetricsSnapshotToJson(options_.metrics->Snapshot());
+    if (json.size() > kMaxPayload) {
+      CompleteWithFrame(
+          ticket, MakeErrorFrame(WireCode::kCapacityExceeded,
+                                 "metrics snapshot is " +
+                                     std::to_string(json.size()) +
+                                     " bytes; wire frames cap at " +
+                                     std::to_string(kMaxPayload)));
+      return;
+    }
+    CompleteWithFrame(ticket, MakeMetricsDumpReplyFrame(json));
+    return;
+  }
+#endif
+  CompleteWithFrame(
+      ticket, MakeErrorFrame(WireCode::kFailedPrecondition,
+                             "mediator was started without a metrics "
+                             "registry; kMetricsDump has nothing to dump"));
+}
+
+void MediatorServer::RefreshLiveGauges() {
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics == nullptr) return;
+  size_t depth = 0;
+  double oldest_ms = 0;
+  {
+    // Brief qmu_ take — same discipline as the I/O threads' enqueues;
+    // never blocks on anything the admission thread holds across a
+    // backend round trip.
+    std::lock_guard<std::mutex> lock(qmu_);
+    depth = unstamped_.size() + stamped_.size();
+    bool have = false;
+    Clock::time_point oldest{};
+    if (!unstamped_.empty()) {
+      oldest = unstamped_.front().enqueued;
+      have = true;
+    }
+    if (!stamped_.empty()) {
+      Clock::time_point head = stamped_.begin()->second.enqueued;
+      if (!have || head < oldest) oldest = head;
+      have = true;
+    }
+    if (have) oldest_ms = MsSince(oldest);
+  }
+  telemetry::MetricsRegistry& reg = *options_.metrics;
+  reg.gauge("svc.admission_queue_depth").Set(static_cast<double>(depth));
+  reg.gauge("svc.admission_oldest_wait_ms").Set(oldest_ms);
+  if (reactor_ != nullptr) {
+    Reactor::LiveStats live = reactor_->Sample();
+    reg.gauge("svc.reactor.connections")
+        .Set(static_cast<double>(live.connections));
+    reg.gauge("svc.reactor.pending_slots")
+        .Set(static_cast<double>(live.pending_slots));
+    reg.gauge("svc.reactor.backlog_bytes")
+        .Set(static_cast<double>(live.backlog_bytes));
+    reg.gauge("svc.reactor.parked_reads")
+        .Set(static_cast<double>(live.parked_reads));
+  }
+  if (options_.slow_log != nullptr) {
+    reg.gauge("svc.slow_log.recorded")
+        .Set(static_cast<double>(options_.slow_log->recorded()));
+    reg.gauge("svc.slow_log.dropped")
+        .Set(static_cast<double>(options_.slow_log->dropped()));
+  }
+#endif
+}
+
 void MediatorServer::EnqueueQuery(std::optional<uint64_t> seq,
-                                  std::string_view line, ReplyTicket ticket,
+                                  std::string_view line, uint64_t trace_id,
+                                  ReplyTicket ticket,
                                   std::shared_ptr<BatchState> batch,
                                   size_t batch_index) {
   AdmissionEntry entry;
   entry.seq = seq;
+  entry.trace_id = trace_id;
   entry.ticket = std::move(ticket);
   entry.batch = std::move(batch);
   entry.batch_index = batch_index;
-  entry.enqueued = Clock::now();
+  // stage_timing_ is written before the reactor starts and constant
+  // while it runs, so reading it on an I/O thread is safe.
+  Clock::time_point decode_start{};
+  if (stage_timing_) decode_start = Clock::now();
   Result<workload::TraceQuery> tq =
       workload::ParseTraceQuery(federation_->catalog(), line);
   if (!tq.ok()) {
@@ -312,6 +437,18 @@ void MediatorServer::EnqueueQuery(std::optional<uint64_t> seq,
     // serializes.
     entry.accesses = mediator_.Decompose(tq->query);
   }
+  if (stage_timing_) {
+    entry.decode_us = std::chrono::duration<double, std::micro>(
+                          Clock::now() - decode_start)
+                          .count();
+    if (stage_.decode_us != nullptr) {
+      stage_.decode_us->Observe(entry.decode_us);
+    }
+  }
+  if (trace_id != kNoTraceId && stage_.traced_queries != nullptr) {
+    stage_.traced_queries->Increment();
+  }
+  entry.enqueued = Clock::now();
   {
     std::lock_guard<std::mutex> lock(qmu_);
     if (entry.seq.has_value()) {
@@ -370,7 +507,17 @@ void MediatorServer::AdmissionLoop() {
 
 void MediatorServer::ProcessEntry(AdmissionEntry& entry) {
   QueryReply delta;
+  double queue_ms = 0;
   if (entry.parse_error.ok()) {
+    // Per-entry scratch for ProcessAccess (admission thread only). The
+    // trace id propagates to backend frames even without a registry or
+    // slow log — wire tracing is independent of local instrumentation.
+    entry_trace_id_ = entry.trace_id;
+    if (stage_timing_) {
+      queue_ms = MsSince(entry.enqueued);
+      if (stage_.queue_ms != nullptr) stage_.queue_ms->Observe(queue_ms);
+      entry_backend_ms_ = 0;
+    }
     for (const core::Access& access : entry.accesses) {
       ProcessAccess(access, delta);
     }
@@ -389,6 +536,30 @@ void MediatorServer::ProcessEntry(AdmissionEntry& entry) {
           .Observe(MsSince(entry.enqueued));
     }
 #endif
+    if (options_.slow_log != nullptr && options_.config.slow_ms >= 0) {
+      double total_ms = MsSince(entry.enqueued);
+      if (total_ms >= static_cast<double>(options_.config.slow_ms)) {
+        telemetry::SlowQueryRecord rec;
+        rec.trace_id = entry.trace_id;
+        rec.has_seq = entry.seq.has_value();
+        rec.seq = entry.seq.value_or(0);
+        rec.decode_us = entry.decode_us;
+        rec.queue_ms = queue_ms;
+        rec.backend_ms = entry_backend_ms_;
+        rec.total_ms = total_ms;
+        rec.accesses = delta.accesses;
+        rec.hits = delta.hits;
+        rec.bypasses = delta.bypasses;
+        rec.loads = delta.loads;
+        rec.evictions = delta.evictions;
+        rec.degraded = delta.degraded;
+        rec.served_cost = delta.served_cost;
+        rec.bypass_cost = delta.bypass_cost;
+        rec.fetch_cost = delta.fetch_cost;
+        rec.degraded_cost = delta.degraded_cost;
+        options_.slow_log->Record(rec);
+      }
+    }
   }
 
   if (entry.batch != nullptr) {
@@ -450,6 +621,17 @@ void MediatorServer::ProcessAccess(const core::Access& access,
     ledger_.degraded_cost += access.bypass_cost;
     delta.degraded_cost += access.bypass_cost;
   };
+  // Per-backend-call RTT (includes reconnects and the retry schedule —
+  // that wait IS the latency a stalled query experiences).
+  auto timed_call = [&](const Frame& request) -> Result<Frame> {
+    if (!stage_timing_) return CallBackend(site, request);
+    Clock::time_point start = Clock::now();
+    Result<Frame> reply = CallBackend(site, request);
+    double ms = MsSince(start);
+    entry_backend_ms_ += ms;
+    if (stage_.backend_ms != nullptr) stage_.backend_ms->Observe(ms);
+    return reply;
+  };
 
   switch (decision.action) {
     case core::Action::kServeFromCache: {
@@ -463,8 +645,8 @@ void MediatorServer::ProcessAccess(const core::Access& access,
     }
     case core::Action::kBypass: {
       YieldRequest req{access.object.table, access.object.column,
-                       access.yield_bytes};
-      Result<Frame> reply = CallBackend(site, MakeYieldFrame(req));
+                       access.yield_bytes, entry_trace_id_};
+      Result<Frame> reply = timed_call(MakeYieldFrame(req));
       if (reply.ok() && reply->type == FrameType::kYieldReply) {
         PayloadReader ack(reply->payload);
         Result<double> bytes = ack.ReadF64();
@@ -484,8 +666,8 @@ void MediatorServer::ProcessAccess(const core::Access& access,
     case core::Action::kLoadAndServe: {
       BYC_CHECK(policy_->Contains(access.object));
       FetchRequest req{access.object.table, access.object.column,
-                       access.size_bytes};
-      Result<Frame> reply = CallBackend(site, MakeFetchFrame(req));
+                       access.size_bytes, entry_trace_id_};
+      Result<Frame> reply = timed_call(MakeFetchFrame(req));
       bool loaded = false;
       if (reply.ok() && reply->type == FrameType::kFetchReply) {
         PayloadReader ack(reply->payload);

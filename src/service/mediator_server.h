@@ -25,7 +25,10 @@
 #include "service/wire.h"
 
 namespace byc::telemetry {
+class Counter;
 class MetricsRegistry;
+class ShardedHistogram;
+class SlowQueryLog;
 }  // namespace byc::telemetry
 
 namespace byc::service {
@@ -86,8 +89,16 @@ class MediatorServer {
     /// PolicyConfig.
     ServiceConfig config;
     /// Optional run metrics (svc.* counters / histograms). Must outlive
-    /// the server.
+    /// the server. Also the source of the kMetricsDump admin reply: a
+    /// mediator without a registry answers that frame with a typed
+    /// kError{kFailedPrecondition}.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Optional slow-query sink (threshold config.slow_ms; see
+    /// telemetry::SlowQueryLog). Must outlive the server. Recording is
+    /// a bounded in-memory push on the admission thread — the log's own
+    /// writer thread does the serialization, so a slow sink never
+    /// stalls admission.
+    telemetry::SlowQueryLog* slow_log = nullptr;
   };
 
   /// `backends[s]` is the address of site s; must cover every site of
@@ -170,16 +181,33 @@ class MediatorServer {
     std::shared_ptr<BatchState> batch;
     size_t batch_index = 0;
     Clock::time_point enqueued{};
+    /// Request trace id from the wire trace extension (kNoTraceId:
+    /// untraced); propagated onto this query's backend fetch/yield
+    /// frames.
+    uint64_t trace_id = 0;
+    /// I/O-thread parse + decompose time (only measured when stage
+    /// timings are on).
+    double decode_us = 0;
   };
 
-  /// Reactor frame callback (I/O threads): answers ping/hello/stats in
-  /// place, enqueues queries for the admission thread.
+  /// Reactor frame callback (I/O threads): answers ping/hello/stats/
+  /// metrics-dump in place, enqueues queries for the admission thread.
   void OnFrame(FrameType type, const uint8_t* payload, size_t payload_len,
                ReplyTicket ticket);
   /// Parses + decomposes one query line and enqueues it.
   void EnqueueQuery(std::optional<uint64_t> seq, std::string_view line,
-                    ReplyTicket ticket, std::shared_ptr<BatchState> batch,
-                    size_t batch_index);
+                    uint64_t trace_id, ReplyTicket ticket,
+                    std::shared_ptr<BatchState> batch, size_t batch_index);
+  /// Serves one kMetricsDump on an I/O thread: refreshes the live
+  /// gauges, snapshots the registry, replies with the snapshot JSON.
+  /// Same lock discipline as kStats — brief takes of qmu_ and the
+  /// per-metric locks, never anything the admission thread holds across
+  /// a backend round trip.
+  void HandleMetricsDump(ReplyTicket& ticket);
+  /// Publishes the point-in-time gauges (admission queue depth, oldest
+  /// waiter age, reactor connection state, slow-log counters) into the
+  /// registry. No-op without a registry.
+  void RefreshLiveGauges();
   /// The single ordering point: consumes the admission queue, runs each
   /// query through the policy and the ledger, completes reply slots.
   void AdmissionLoop();
@@ -201,6 +229,28 @@ class MediatorServer {
   std::vector<BackendAddress> backend_addrs_;
   Options options_;
   uint16_t port_ = 0;
+
+  /// Per-stage instrumentation, resolved once at Start() (registry
+  /// lookups lock; the per-query path must not). All null when
+  /// uninstrumented — and then no stage Clock::now() calls happen
+  /// either, keeping the untraced hot path identical to before.
+  struct StageMetrics {
+    telemetry::ShardedHistogram* decode_us = nullptr;
+    telemetry::ShardedHistogram* queue_ms = nullptr;
+    telemetry::ShardedHistogram* backend_ms = nullptr;
+    telemetry::Counter* traced_queries = nullptr;
+    telemetry::Counter* metrics_dumps = nullptr;
+  };
+  StageMetrics stage_;
+  /// Stage timing is also needed (without a registry) when a slow log
+  /// is attached.
+  bool stage_timing_ = false;
+
+  /// Scratch for the entry being processed (admission thread only, like
+  /// policy_/channels_): summed backend round-trip ms and the trace id
+  /// to propagate on backend frames.
+  double entry_backend_ms_ = 0;
+  uint64_t entry_trace_id_ = 0;
 
   std::atomic<bool> stop_{true};
   std::atomic<bool> running_{false};

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace byc::service {
 
@@ -39,6 +40,9 @@ struct ReactorConn {
     bool ready = false;
     bool close_after = false;
     std::vector<uint8_t> bytes;
+    /// When the slot became ready (instrumented connections only):
+    /// retire time minus this is the completion-to-wire flush latency.
+    Clock::time_point completed{};
   };
 
   int fd = -1;
@@ -47,6 +51,12 @@ struct ReactorConn {
   Clock::time_point opened = Clock::now();
   size_t max_inflight = 4;
   size_t max_backlog = 1 << 20;
+  /// Instrumentation resolved by the reactor at accept; all null when
+  /// uninstrumented. The ticket paths (TakeBuffer/Complete) only have
+  /// the connection, so the pointers ride on it.
+  telemetry::ShardedHistogram* flush_ms_hist = nullptr;
+  telemetry::Counter* spare_hits = nullptr;
+  telemetry::Counter* spare_misses = nullptr;
 
   // --- owner-thread-only read state ---
   std::vector<uint8_t> rbuf;
@@ -101,10 +111,17 @@ struct ReactorConn {
 std::vector<uint8_t> ReplyTicket::TakeBuffer() {
   std::vector<uint8_t> buf;
   if (conn_ != nullptr) {
-    std::lock_guard<std::mutex> lock(conn_->mu);
-    if (!conn_->spare.empty()) {
-      buf = std::move(conn_->spare.back());
-      conn_->spare.pop_back();
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_->mu);
+      if (!conn_->spare.empty()) {
+        buf = std::move(conn_->spare.back());
+        conn_->spare.pop_back();
+        hit = true;
+      }
+    }
+    if (conn_->spare_hits != nullptr) {
+      (hit ? conn_->spare_hits : conn_->spare_misses)->Increment();
     }
   }
   buf.clear();
@@ -123,6 +140,7 @@ void ReplyTicket::Complete(std::vector<uint8_t> encoded, bool close_after) {
   slot.ready = true;
   slot.close_after = close_after;
   slot.bytes = std::move(encoded);
+  if (c.flush_ms_hist != nullptr) slot.completed = Clock::now();
   c.backlog_bytes += slot.bytes.size();
   BYC_CHECK_GT(c.pending_slots, size_t{0});
   --c.pending_slots;
@@ -149,6 +167,16 @@ Reactor::~Reactor() { Stop(/*flush_pending=*/false); }
 
 Status Reactor::Start(uint16_t port) {
   BYC_CHECK(!started_);
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    wait_ms_hist_ = &options_.metrics->histogram("svc.reactor.wait_ms");
+    events_per_wake_hist_ =
+        &options_.metrics->histogram("svc.reactor.events_per_wake");
+    flush_ms_hist_ = &options_.metrics->histogram("svc.reactor.flush_ms");
+    spare_hits_ = &options_.metrics->counter("svc.reactor.spare_hits");
+    spare_misses_ = &options_.metrics->counter("svc.reactor.spare_misses");
+  }
+#endif
   BYC_RETURN_IF_ERROR(listener_.Listen(port));
   port_ = listener_.port();
 
@@ -268,7 +296,18 @@ void Reactor::IoLoop(int thread_index) {
   const int listener_fd = thread_index == 0 ? listener_.fd() : -1;
   struct epoll_event events[64];
   while (!stopping_.load(std::memory_order_acquire)) {
-    int n = ::epoll_wait(epfd, events, 64, -1);
+    int n;
+    if (wait_ms_hist_ != nullptr) {
+      // With a -1 timeout the wait spans idle time too: the histogram
+      // reads as "time between wakeups", whose low percentiles show
+      // dispatch latency under load and whose tail shows idleness.
+      Clock::time_point t0 = Clock::now();
+      n = ::epoll_wait(epfd, events, 64, -1);
+      wait_ms_hist_->Observe(MsSince(t0));
+      if (n >= 0) events_per_wake_hist_->Observe(static_cast<double>(n));
+    } else {
+      n = ::epoll_wait(epfd, events, 64, -1);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -325,6 +364,9 @@ void Reactor::HandleAccept() {
     conn->sock = std::move(*accepted);
     conn->max_inflight = options_.max_inflight;
     conn->max_backlog = options_.max_write_backlog;
+    conn->flush_ms_hist = flush_ms_hist_;
+    conn->spare_hits = spare_hits_;
+    conn->spare_misses = spare_misses_;
     int t = next_thread_;
     next_thread_ = (next_thread_ + 1) % options_.io_threads;
     conn->epfd = epoll_fds_[static_cast<size_t>(t)];
@@ -519,6 +561,10 @@ bool Reactor::FlushAndRearm(const std::shared_ptr<ReactorConn>& conn) {
         }
         sent -= remaining;
         c.head_written = 0;
+        if (c.flush_ms_hist != nullptr &&
+            head.completed != Clock::time_point{}) {
+          c.flush_ms_hist->Observe(MsSince(head.completed));
+        }
         if (head.close_after) {
           should_close = true;
           break;
@@ -549,6 +595,29 @@ bool Reactor::FlushAndRearm(const std::shared_ptr<ReactorConn>& conn) {
   // unread in rbuf with the socket itself idle, so a re-armed EPOLLIN
   // alone would never fire — the caller re-enters the parser directly.
   return resume_reads;
+}
+
+Reactor::LiveStats Reactor::Sample() const {
+  LiveStats stats;
+  std::vector<std::shared_ptr<ReactorConn>> conns;
+  {
+    // Copy-then-release: CloseConn holds a connection mutex while it
+    // takes conns_mu_, so holding conns_mu_ while taking connection
+    // mutexes here would invert the order and deadlock against a racing
+    // close.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) conns.push_back(conn);
+  }
+  for (const auto& conn : conns) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) continue;
+    ++stats.connections;
+    stats.pending_slots += conn->pending_slots;
+    stats.backlog_bytes += conn->backlog_bytes;
+    if (conn->reads_parked) ++stats.parked_reads;
+  }
+  return stats;
 }
 
 void Reactor::CloseConn(const std::shared_ptr<ReactorConn>& conn) {

@@ -16,6 +16,12 @@
 #include "service/socket.h"
 #include "service/wire.h"
 
+namespace byc::telemetry {
+class Counter;
+class MetricsRegistry;
+class ShardedHistogram;
+}  // namespace byc::telemetry
+
 namespace byc::service {
 
 class Reactor;
@@ -134,6 +140,28 @@ class Reactor {
     size_t max_inflight = 4;
     /// Unflushed reply bytes per connection before reads pause.
     size_t max_write_backlog = 1 << 20;
+    /// Optional event-loop instrumentation (svc.reactor.* histograms and
+    /// counters: epoll wait latency, events per wake, completion-to-wire
+    /// flush latency, spare-buffer pool hit rate). Null — the default —
+    /// skips every timing call, leaving the uninstrumented hot path
+    /// byte-identical to the pre-observability reactor. Must outlive the
+    /// reactor.
+    telemetry::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Point-in-time aggregate of live connection state, for admin-plane
+  /// gauges. Sample() copies the connection list under the registry
+  /// lock, releases it, then visits each connection — it never holds
+  /// both a connection mutex and the registry mutex (CloseConn acquires
+  /// them in the opposite order), so a scrape can race closes safely.
+  struct LiveStats {
+    size_t connections = 0;
+    /// Frames delivered but not yet completed, summed over connections.
+    size_t pending_slots = 0;
+    /// Reply bytes completed but not yet flushed to the kernel.
+    size_t backlog_bytes = 0;
+    /// Connections whose reads are parked on backpressure.
+    size_t parked_reads = 0;
   };
 
   Reactor(Options options, Callbacks callbacks);
@@ -167,6 +195,10 @@ class Reactor {
 
   uint16_t port() const { return port_; }
 
+  /// Live connection gauges; safe from any thread while the reactor
+  /// runs (see LiveStats).
+  LiveStats Sample() const;
+
  private:
   void IoLoop(int thread_index);
   void HandleAccept();
@@ -191,6 +223,14 @@ class Reactor {
   Listener listener_;
   uint16_t port_ = 0;
 
+  /// Resolved once at Start() from options_.metrics (registry lookups
+  /// lock; the hot path must not). All null when uninstrumented.
+  telemetry::ShardedHistogram* wait_ms_hist_ = nullptr;
+  telemetry::ShardedHistogram* events_per_wake_hist_ = nullptr;
+  telemetry::ShardedHistogram* flush_ms_hist_ = nullptr;
+  telemetry::Counter* spare_hits_ = nullptr;
+  telemetry::Counter* spare_misses_ = nullptr;
+
   std::atomic<bool> draining_{true};
   std::atomic<bool> stopping_{true};
   bool started_ = false;
@@ -201,7 +241,7 @@ class Reactor {
   std::vector<std::thread> io_threads_;
   int next_thread_ = 0;  ///< Round-robin assignment cursor.
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::unordered_map<int, std::shared_ptr<ReactorConn>> conns_;
 };
 

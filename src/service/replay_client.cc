@@ -28,9 +28,11 @@ Result<Socket> ConnectWithRetry(const std::string& host, uint16_t port,
   return last;
 }
 
-/// kHello handshake: advertises our protocol version and requires the
-/// server to echo it. A version-mismatch kError surfaces as its typed
-/// Status (FailedPrecondition).
+/// kHello handshake: advertises our protocol version; the server echoes
+/// a version it will speak (ours, or an older one it negotiated down
+/// to — anything in [kMinProtocolVersion, kProtocolVersion] works, the
+/// v3 additions being append-only). A version-mismatch kError surfaces
+/// as its typed Status (FailedPrecondition).
 Status Handshake(Socket& sock, const ServiceConfig& config) {
   Deadline deadline = Deadline::After(config.deadline_ms);
   BYC_RETURN_IF_ERROR(
@@ -38,12 +40,21 @@ Status Handshake(Socket& sock, const ServiceConfig& config) {
   BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
   if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
   BYC_ASSIGN_OR_RETURN(uint32_t version, ParseHello(reply));
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Status::FailedPrecondition(
         "server replied with protocol version " + std::to_string(version) +
-        ", expected " + std::to_string(kProtocolVersion));
+        ", expected " + std::to_string(kMinProtocolVersion) + ".." +
+        std::to_string(kProtocolVersion));
   }
   return Status::OK();
+}
+
+/// Client trace ids: the shard owner in the high half, the query's
+/// 1-based global trace position in the low half — unique across
+/// concurrent shards and never kNoTraceId (0).
+uint64_t TraceIdFor(size_t client_index, size_t global_idx) {
+  return (static_cast<uint64_t>(client_index) + 1) << 32 |
+         (static_cast<uint64_t>(global_idx) + 1);
 }
 
 /// Sums a per-query delta into the running client-side totals.
@@ -78,7 +89,9 @@ Result<ReplayReport> ReplayClient::Replay(const workload::Trace& trace) {
   BYC_RETURN_IF_ERROR(Handshake(sock, config_));
   ReplayReport report;
   for (const workload::TraceQuery& tq : trace.queries) {
-    Frame request = MakeQueryFrame(workload::FormatTraceQuery(tq));
+    uint64_t trace_id =
+        config_.trace ? TraceIdFor(0, report.queries_sent) : kNoTraceId;
+    Frame request = MakeQueryFrame(workload::FormatTraceQuery(tq), trace_id);
     Deadline deadline = Deadline::After(config_.deadline_ms);
     BYC_RETURN_IF_ERROR(WriteFrame(sock, request, deadline));
     BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
@@ -113,7 +126,8 @@ Result<ReplayClient::ShardReport> ReplayClient::ReplayShard(
     // single-client total order across all concurrent shards.
     Frame request = MakeQueryAtFrame(
         static_cast<uint64_t>(idx),
-        workload::FormatTraceQuery(trace.queries[idx]));
+        workload::FormatTraceQuery(trace.queries[idx]),
+        config_.trace ? TraceIdFor(client_index, idx) : kNoTraceId);
     Deadline deadline = Deadline::After(config_.deadline_ms);
     const Clock::time_point start = Clock::now();
     BYC_RETURN_IF_ERROR(WriteFrame(sock, request, deadline));
@@ -143,6 +157,7 @@ Result<ReplayClient::ShardReport> ReplayClient::ReplayShardBatched(
   std::vector<QueryReply> deltas;
   size_t idx = client_index;
   while (idx < trace.queries.size()) {
+    const size_t batch_first = idx;
     QueryBatchBuilder batch(&payload);
     for (; idx < trace.queries.size() && batch.count() < batch_cap;
          idx += num_clients) {
@@ -153,6 +168,12 @@ Result<ReplayClient::ShardReport> ReplayClient::ReplayShardBatched(
                 workload::FormatTraceQuery(trace.queries[idx]));
     }
     batch.Finish();
+    if (config_.trace) {
+      // One base id traces the whole frame; the server derives item i's
+      // id as base+i. Distinct batches cannot collide: bases step by
+      // count * num_clients, which is >= the item count.
+      AppendTraceExt(payload, TraceIdFor(client_index, batch_first));
+    }
     wire.clear();
     EncodeFrameHeaderInto(wire, FrameType::kQueryBatch,
                           static_cast<uint32_t>(payload.size()));
@@ -185,6 +206,22 @@ Result<StatsReply> ReplayClient::FetchStats() {
                        ConnectWithRetry(host_, port_, config_));
   BYC_RETURN_IF_ERROR(Handshake(sock, config_));
   return FetchStatsOn(sock, config_);
+}
+
+Result<std::string> ReplayClient::FetchMetrics() {
+  BYC_ASSIGN_OR_RETURN(Socket sock,
+                       ConnectWithRetry(host_, port_, config_));
+  BYC_RETURN_IF_ERROR(Handshake(sock, config_));
+  Deadline deadline = Deadline::After(config_.deadline_ms);
+  BYC_RETURN_IF_ERROR(WriteFrame(sock, MakeMetricsDumpFrame(), deadline));
+  BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+  if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+  if (reply.type != FrameType::kMetricsDumpReply) {
+    return Status::ParseError(
+        "expected kMetricsDumpReply, got frame type " +
+        std::to_string(static_cast<int>(reply.type)));
+  }
+  return std::string(reply.payload.begin(), reply.payload.end());
 }
 
 }  // namespace byc::service

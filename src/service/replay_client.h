@@ -73,6 +73,13 @@ class ReplayClient {
   /// without sending any queries.
   Result<StatsReply> FetchStats();
 
+  /// Connects, negotiates versions, and scrapes the mediator's metrics
+  /// registry (kMetricsDump): returns the snapshot JSON document. A
+  /// mediator without a registry answers FailedPrecondition. Safe to
+  /// call mid-load from its own connection — the dump is served on an
+  /// I/O thread without stopping admission.
+  Result<std::string> FetchMetrics();
+
  private:
   /// Batched shard replay body (config.batch_size > 1); `sock` is
   /// already connected and version-negotiated.

@@ -8,7 +8,53 @@ namespace byc::service {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kQuery) &&
-         type <= static_cast<uint8_t>(FrameType::kQueryBatchReply);
+         type <= static_cast<uint8_t>(FrameType::kMetricsDumpReply);
+}
+
+namespace {
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void AppendTraceExt(std::vector<uint8_t>& out, uint64_t trace_id) {
+  if (trace_id == kNoTraceId) return;
+  AppendU64(out, trace_id);
+  AppendU32(out, 8);  // ext_len: just the trace id today; append-only.
+  AppendU32(out, kTraceExtMagic);
+}
+
+Result<TraceExt> StripTraceExt(const uint8_t* payload, size_t size,
+                               size_t min_base) {
+  TraceExt ext;
+  ext.base_len = size;
+  // The smallest extended payload is min_base + trace id + trailer; a
+  // shorter one cannot carry an extension, whatever its tail spells.
+  if (size < min_base + kTraceExtBytes) return ext;
+  if (LoadU32(payload + size - 4) != kTraceExtMagic) return ext;
+  uint32_t ext_len = LoadU32(payload + size - 8);
+  if (ext_len < 8 || static_cast<size_t>(ext_len) > size - 8 - min_base) {
+    return Status::ParseError("malformed trace extension (ext_len " +
+                              std::to_string(ext_len) + " in a " +
+                              std::to_string(size) + "-byte payload)");
+  }
+  ext.base_len = size - 8 - ext_len;
+  ext.trace_id = LoadU64(payload + ext.base_len);
+  return ext;
 }
 
 namespace {
@@ -277,8 +323,10 @@ void QueryBatchBuilder::Finish() {
 }
 
 Status ParseQueryBatchInto(const uint8_t* payload, size_t size,
-                           std::vector<QueryBatchItem>* items) {
+                           std::vector<QueryBatchItem>* items,
+                           uint64_t* base_trace_id) {
   items->clear();
+  if (base_trace_id != nullptr) *base_trace_id = kNoTraceId;
   PayloadReader r(payload, size);
   BYC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
   if (count > kMaxQueryBatchItems) {
@@ -304,18 +352,28 @@ Status ParseQueryBatchInto(const uint8_t* payload, size_t size,
     items->push_back(item);
   }
   if (r.remaining() != 0) {
-    return Status::ParseError("batch payload too long");
+    // Bytes past the last item must be exactly the frame's trace
+    // extension (one base id for the whole batch); anything else is the
+    // pre-v3 "too long" protocol error.
+    size_t item_end = size - r.remaining();
+    BYC_ASSIGN_OR_RETURN(TraceExt ext,
+                         StripTraceExt(payload, size, item_end));
+    if (ext.base_len != item_end) {
+      return Status::ParseError("batch payload too long");
+    }
+    if (base_trace_id != nullptr) *base_trace_id = ext.trace_id;
   }
   return Status::OK();
 }
 
 Status ParseQueryBatchInto(const Frame& frame,
-                           std::vector<QueryBatchItem>* items) {
+                           std::vector<QueryBatchItem>* items,
+                           uint64_t* base_trace_id) {
   if (frame.type != FrameType::kQueryBatch) {
     return Status::InvalidArgument("not a kQueryBatch frame");
   }
   return ParseQueryBatchInto(frame.payload.data(), frame.payload.size(),
-                             items);
+                             items, base_trace_id);
 }
 
 void EncodeQueryBatchReplyInto(std::vector<uint8_t>& out,
@@ -362,6 +420,7 @@ Frame MakeFetchFrame(const FetchRequest& req) {
   Frame f;
   f.type = FrameType::kFetch;
   EncodeFetchInto(f.payload, req);
+  AppendTraceExt(f.payload, req.trace_id);
   return f;
 }
 
@@ -369,20 +428,24 @@ Frame MakeYieldFrame(const YieldRequest& req) {
   Frame f;
   f.type = FrameType::kYield;
   EncodeYieldInto(f.payload, req);
+  AppendTraceExt(f.payload, req.trace_id);
   return f;
 }
 
-Frame MakeQueryFrame(std::string_view trace_line) {
+Frame MakeQueryFrame(std::string_view trace_line, uint64_t trace_id) {
   Frame f;
   f.type = FrameType::kQuery;
   f.payload.assign(trace_line.begin(), trace_line.end());
+  AppendTraceExt(f.payload, trace_id);
   return f;
 }
 
-Frame MakeQueryAtFrame(uint64_t seq, std::string_view trace_line) {
+Frame MakeQueryAtFrame(uint64_t seq, std::string_view trace_line,
+                       uint64_t trace_id) {
   Frame f;
   f.type = FrameType::kQueryAt;
   EncodeQueryAtInto(f.payload, seq, trace_line);
+  AppendTraceExt(f.payload, trace_id);
   return f;
 }
 
@@ -397,6 +460,19 @@ Frame MakeHelloReplyFrame(uint32_t version) {
   Frame f;
   f.type = FrameType::kHelloReply;
   AppendU32(f.payload, version);
+  return f;
+}
+
+Frame MakeMetricsDumpFrame() {
+  Frame f;
+  f.type = FrameType::kMetricsDump;
+  return f;
+}
+
+Frame MakeMetricsDumpReplyFrame(std::string_view json) {
+  Frame f;
+  f.type = FrameType::kMetricsDumpReply;
+  f.payload.assign(json.begin(), json.end());
   return f;
 }
 
@@ -425,12 +501,21 @@ Frame MakeErrorFrame(WireCode code, std::string_view message) {
   return f;
 }
 
+/// Base bytes of a kFetch payload: i32 table + i32 column + u64 size.
+constexpr size_t kFetchBaseBytes = 4 + 4 + 8;
+/// Base bytes of a kYield payload: i32 table + i32 column + f64 bytes.
+constexpr size_t kYieldBaseBytes = 4 + 4 + 8;
+
 Result<FetchRequest> ParseFetchRequest(const Frame& frame) {
   if (frame.type != FrameType::kFetch) {
     return Status::InvalidArgument("not a fetch frame");
   }
-  PayloadReader r(frame.payload);
+  BYC_ASSIGN_OR_RETURN(TraceExt ext,
+                       StripTraceExt(frame.payload.data(),
+                                     frame.payload.size(), kFetchBaseBytes));
+  PayloadReader r(frame.payload.data(), ext.base_len);
   FetchRequest req;
+  req.trace_id = ext.trace_id;
   BYC_ASSIGN_OR_RETURN(req.table, r.ReadI32());
   BYC_ASSIGN_OR_RETURN(req.column, r.ReadI32());
   BYC_ASSIGN_OR_RETURN(req.size_bytes, r.ReadU64());
@@ -442,8 +527,12 @@ Result<YieldRequest> ParseYieldRequest(const Frame& frame) {
   if (frame.type != FrameType::kYield) {
     return Status::InvalidArgument("not a yield frame");
   }
-  PayloadReader r(frame.payload);
+  BYC_ASSIGN_OR_RETURN(TraceExt ext,
+                       StripTraceExt(frame.payload.data(),
+                                     frame.payload.size(), kYieldBaseBytes));
+  PayloadReader r(frame.payload.data(), ext.base_len);
   YieldRequest req;
+  req.trace_id = ext.trace_id;
   BYC_ASSIGN_OR_RETURN(req.table, r.ReadI32());
   BYC_ASSIGN_OR_RETURN(req.column, r.ReadI32());
   BYC_ASSIGN_OR_RETURN(req.yield_bytes, r.ReadF64());
@@ -522,8 +611,12 @@ Result<SequencedQuery> ParseQueryAt(const Frame& frame) {
   if (frame.type != FrameType::kQueryAt) {
     return Status::InvalidArgument("not a kQueryAt frame");
   }
-  PayloadReader r(frame.payload);
+  BYC_ASSIGN_OR_RETURN(
+      TraceExt ext,
+      StripTraceExt(frame.payload.data(), frame.payload.size(), 8));
+  PayloadReader r(frame.payload.data(), ext.base_len);
   SequencedQuery query;
+  query.trace_id = ext.trace_id;
   BYC_ASSIGN_OR_RETURN(query.seq, r.ReadU64());
   query.trace_line = r.ReadText();
   return query;

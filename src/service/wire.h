@@ -31,11 +31,20 @@ namespace byc::service {
 /// Protocol version spoken by this build. Version 1 was the unversioned
 /// PR-3 protocol (kQuery..kExecReply); version 2 adds kHello negotiation,
 /// the stable WireCode error enum, and sequence-stamped kQueryAt queries.
-/// Servers answer a kHello carrying any other version with a typed
-/// kError{WireCode::kVersionMismatch} instead of a torn-frame failure.
-/// The handshake is optional: a peer that opens with any other frame is
-/// assumed to speak the server's version (the PR-3 behaviour).
-inline constexpr uint32_t kProtocolVersion = 2;
+/// Version 3 adds the append-only trace extension (a self-describing
+/// trailer carrying a request trace id, see AppendTraceExt) and the
+/// kMetricsDump admin frame pair.
+///
+/// Negotiation: a server accepts any kHello version in
+/// [kMinProtocolVersion, kProtocolVersion] and echoes the CLIENT's
+/// version back, so a v2 peer sees the v2 handshake it expects and is
+/// served the v2 subset; anything outside the range is answered with a
+/// typed kError{WireCode::kVersionMismatch} instead of a torn-frame
+/// failure. The handshake is optional: a peer that opens with any other
+/// frame is assumed to speak the server's version (the PR-3 behaviour).
+inline constexpr uint32_t kProtocolVersion = 3;
+/// Oldest protocol version this build still serves.
+inline constexpr uint32_t kMinProtocolVersion = 2;
 
 enum class FrameType : uint8_t {
   /// client -> mediator: one trace-line query.
@@ -85,6 +94,14 @@ enum class FrameType : uint8_t {
   /// mediator -> client: payload u32 count, then count QueryReply
   /// records (one per batched query, in batch order).
   kQueryBatchReply = 18,
+  /// client -> mediator: scrape the live MetricsSnapshot (no payload).
+  /// Answered on the I/O thread without stopping admission; a mediator
+  /// running without a metrics registry answers a typed
+  /// kError{kFailedPrecondition}.
+  kMetricsDump = 19,
+  /// mediator -> client: the snapshot as a UTF-8 JSON document
+  /// (counters/gauges/histograms/spans, the MetricsSnapshotToJson shape).
+  kMetricsDumpReply = 20,
 };
 
 /// Error codes carried in kError frames. The numeric values are the wire
@@ -139,6 +156,52 @@ struct Frame {
   std::vector<uint8_t> payload;
 };
 
+/// ---- Trace extension (protocol v3) ----------------------------------
+///
+/// Request frames may carry a request-scoped trace id in an append-only
+/// trailer AFTER their regular payload:
+///
+///   | base payload | ext region (ext_len bytes) | u32 ext_len | u32 magic |
+///
+/// The ext region currently holds exactly one u64 — the trace id — and
+/// may only ever grow by appending (readers take the first 8 bytes and
+/// ignore the rest), so future fields never break old parsers. Reading
+/// is backward from the payload end: no magic at the tail means no
+/// extension (the v2 payload, byte-identical to what a v2 peer sends);
+/// a magic with an ext_len that does not fit the payload is a typed
+/// ParseError — a truncated or forged trailer never silently truncates
+/// or extends the base payload. The magic's three high bytes are
+/// non-ASCII, so a trace-line text payload can never end in a valid
+/// trailer by accident.
+inline constexpr uint32_t kTraceExtMagic = 0xB1C0DE7Au;
+/// Trace id meaning "untraced" — writers omit the extension entirely.
+inline constexpr uint64_t kNoTraceId = 0;
+/// Bytes AppendTraceExt adds: u64 trace id + u32 ext_len + u32 magic.
+inline constexpr size_t kTraceExtBytes = 8 + 4 + 4;
+
+/// Appends the trace extension trailer for `trace_id` to a payload.
+/// No-op when trace_id == kNoTraceId.
+void AppendTraceExt(std::vector<uint8_t>& out, uint64_t trace_id);
+
+/// Result of StripTraceExt: the trace id (kNoTraceId when the payload
+/// carries no extension) and the length of the base payload in front of
+/// the extension (== the input size when there is none).
+struct TraceExt {
+  uint64_t trace_id = kNoTraceId;
+  size_t base_len = 0;
+};
+
+/// Detects and strips the trace extension from a received payload.
+/// `min_base` is the smallest legal base payload for the frame type
+/// (e.g. 16 for kFetch) — a tail that spells the magic but would leave
+/// less than min_base bytes of base payload is treated as payload bytes,
+/// not as an extension, which keeps v2 payloads whose *content* happens
+/// to end in the magic parseable. A present magic with a malformed
+/// ext_len (shorter than the 8-byte trace id or overlapping min_base)
+/// is a typed ParseError.
+Result<TraceExt> StripTraceExt(const uint8_t* payload, size_t size,
+                               size_t min_base);
+
 /// ---- Typed payloads -------------------------------------------------
 
 /// kFetch: which object to load and how many bytes the mediator expects
@@ -147,6 +210,9 @@ struct FetchRequest {
   int32_t table = 0;
   int32_t column = -1;  // catalog::ObjectId::kWholeTable
   uint64_t size_bytes = 0;
+  /// Request trace id propagated from the originating query (kNoTraceId:
+  /// untraced; travels as the trace extension, not a base field).
+  uint64_t trace_id = kNoTraceId;
 };
 
 /// kYield: which object a bypassed access touches and the estimated
@@ -155,6 +221,8 @@ struct YieldRequest {
   int32_t table = 0;
   int32_t column = -1;
   double yield_bytes = 0;
+  /// See FetchRequest::trace_id.
+  uint64_t trace_id = kNoTraceId;
 };
 
 /// kQueryReply: what the mediator did with one query, as deltas against
@@ -277,11 +345,17 @@ struct QueryBatchItem {
 /// refilled — callers reuse the vector). Views stay valid as long as the
 /// frame bytes do. A count that promises more items than the payload can
 /// carry, or that exceeds kMaxQueryBatchItems, is a ParseError before
-/// any reserve.
+/// any reserve. Bytes after the last item must be a well-formed trace
+/// extension (else ParseError): the frame carries ONE base trace id and
+/// item i is implicitly traced as base + i, so the per-item wire format
+/// is unchanged. `base_trace_id` (optional) receives that base id, or
+/// kNoTraceId for an unextended frame.
 Status ParseQueryBatchInto(const uint8_t* payload, size_t size,
-                           std::vector<QueryBatchItem>* items);
+                           std::vector<QueryBatchItem>* items,
+                           uint64_t* base_trace_id = nullptr);
 Status ParseQueryBatchInto(const Frame& frame,
-                           std::vector<QueryBatchItem>* items);
+                           std::vector<QueryBatchItem>* items,
+                           uint64_t* base_trace_id = nullptr);
 
 /// Serialized size of one QueryReply record (6 u64 counters + 4 f64
 /// costs) — lets reply writers size a batch frame header up front.
@@ -307,12 +381,16 @@ void EncodeQueryBatchReplyInto(std::vector<uint8_t>& out,
 Status ParseQueryBatchReplyInto(const Frame& frame,
                                 std::vector<QueryReply>* deltas);
 
+/// Fetch/yield frames append the trace extension when req.trace_id is
+/// set, so traced requests round-trip through the matching parser.
 Frame MakeFetchFrame(const FetchRequest& req);
 Frame MakeYieldFrame(const YieldRequest& req);
-Frame MakeQueryFrame(std::string_view trace_line);
+Frame MakeQueryFrame(std::string_view trace_line,
+                     uint64_t trace_id = kNoTraceId);
 /// kQueryAt: `seq` is the query's global position in the client-side
 /// trace (0-based), shared across all connections of one replay.
-Frame MakeQueryAtFrame(uint64_t seq, std::string_view trace_line);
+Frame MakeQueryAtFrame(uint64_t seq, std::string_view trace_line,
+                       uint64_t trace_id = kNoTraceId);
 Frame MakeQueryReplyFrame(const QueryReply& reply);
 Frame MakeStatsReplyFrame(const StatsReply& reply);
 /// kError carrying `status` (must be non-OK).
@@ -322,6 +400,10 @@ Frame MakeErrorFrame(WireCode code, std::string_view message);
 /// kHello / kHelloReply carrying a protocol version.
 Frame MakeHelloFrame(uint32_t version);
 Frame MakeHelloReplyFrame(uint32_t version);
+/// kMetricsDump request (no payload).
+Frame MakeMetricsDumpFrame();
+/// kMetricsDumpReply carrying a serialized MetricsSnapshot JSON document.
+Frame MakeMetricsDumpReplyFrame(std::string_view json);
 
 Result<FetchRequest> ParseFetchRequest(const Frame& frame);
 Result<YieldRequest> ParseYieldRequest(const Frame& frame);
@@ -329,6 +411,7 @@ Result<YieldRequest> ParseYieldRequest(const Frame& frame);
 struct SequencedQuery {
   uint64_t seq = 0;
   std::string trace_line;
+  uint64_t trace_id = kNoTraceId;
 };
 Result<SequencedQuery> ParseQueryAt(const Frame& frame);
 Result<QueryReply> ParseQueryReply(const Frame& frame);

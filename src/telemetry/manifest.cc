@@ -16,28 +16,12 @@ RunManifest::RunManifest(std::string run_name) : RunManifest() {
   name = std::move(run_name);
 }
 
-std::string ManifestToJson(const RunManifest& manifest,
-                           const MetricsSnapshot& metrics) {
-  std::string out;
-  JsonWriter json(&out);
-  json.BeginObject();
-  json.Key("schema_version");
-  json.Int(1);
-  json.Key("name");
-  json.String(manifest.name);
-  json.Key("config");
-  json.BeginObject();
-  for (const auto& [key, value] : manifest.config) {
-    json.Key(key);
-    json.String(value);
-  }
-  json.EndObject();
-  json.Key("git_describe");
-  json.String(manifest.git_describe);
-  json.Key("threads");
-  json.UInt(manifest.threads);
-  json.Key("metrics");
-  json.BeginObject();
+namespace {
+
+/// Emits the "counters"/"gauges"/"histograms" keys of an already-open
+/// object — shared between the manifest's "metrics" object and the
+/// standalone snapshot document so the two never drift.
+void WriteMetricsBody(JsonWriter& json, const MetricsSnapshot& metrics) {
   json.Key("counters");
   json.BeginObject();
   for (const auto& [name, value] : metrics.counters) {
@@ -76,7 +60,9 @@ std::string ManifestToJson(const RunManifest& manifest,
     json.EndObject();
   }
   json.EndObject();
-  json.EndObject();  // metrics
+}
+
+void WriteSpans(JsonWriter& json, const MetricsSnapshot& metrics) {
   json.Key("spans");
   json.BeginArray();
   for (const SpanRecord& span : metrics.spans) {
@@ -88,8 +74,48 @@ std::string ManifestToJson(const RunManifest& manifest,
     json.EndObject();
   }
   json.EndArray();
+}
+
+}  // namespace
+
+std::string ManifestToJson(const RunManifest& manifest,
+                           const MetricsSnapshot& metrics) {
+  std::string out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Int(2);
+  json.Key("name");
+  json.String(manifest.name);
+  json.Key("config");
+  json.BeginObject();
+  for (const auto& [key, value] : manifest.config) {
+    json.Key(key);
+    json.String(value);
+  }
+  json.EndObject();
+  json.Key("git_describe");
+  json.String(manifest.git_describe);
+  json.Key("threads");
+  json.UInt(manifest.threads);
+  json.Key("metrics");
+  json.BeginObject();
+  WriteMetricsBody(json, metrics);
+  json.EndObject();  // metrics
+  WriteSpans(json, metrics);
   json.EndObject();
   out.push_back('\n');
+  return out;
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics,
+                                  bool pretty) {
+  std::string out;
+  JsonWriter json(&out, pretty);
+  json.BeginObject();
+  WriteMetricsBody(json, metrics);
+  WriteSpans(json, metrics);
+  json.EndObject();
   return out;
 }
 

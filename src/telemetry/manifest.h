@@ -13,10 +13,14 @@ namespace byc::telemetry {
 /// MetricsSnapshot it serializes to the run-manifest JSON every exhibit
 /// binary can emit next to its stdout output (see bench::BenchRun).
 ///
-/// Manifest schema (schema_version 1, validated by
-/// scripts/validate_manifest.py):
+/// Manifest schema (schema_version 2, validated by
+/// scripts/validate_manifest.py). Version 1 lacked the live-service
+/// gauges (svc.admission_queue_depth and friends) and the
+/// wire.metrics_dump counter that the observability plane now
+/// guarantees in service load manifests; version 2 declares them part
+/// of the contract — same JSON shape, richer required content:
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "name": "<binary name>",
 ///     "config": {"<key>": "<value>", ...},
 ///     "git_describe": "<git describe --always --dirty at configure>",
@@ -52,6 +56,16 @@ struct RunManifest {
 /// trailing newline).
 std::string ManifestToJson(const RunManifest& manifest,
                            const MetricsSnapshot& metrics);
+
+/// Serializes one MetricsSnapshot alone — the same "metrics" + "spans"
+/// shape the manifest embeds, as a standalone document:
+///   {"counters": {...}, "gauges": {...}, "histograms": {...},
+///    "spans": [...]}
+/// This is the payload of the service's kMetricsDumpReply admin frame
+/// (compact, no trailing newline) so a scraped snapshot and a manifest
+/// agree field-for-field.
+std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics,
+                                  bool pretty = false);
 
 /// Writes the manifest JSON to `path`. Returns false (with a message on
 /// stderr) if the file cannot be written.

@@ -34,12 +34,19 @@ ShardedHistogram::Shard* ShardedHistogram::LocalShard() {
   return raw;
 }
 
-void ShardedHistogram::Observe(double value) { LocalShard()->hist.Add(value); }
+void ShardedHistogram::Observe(double value) {
+  Shard* shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->hist.Add(value);
+}
 
 LogHistogram ShardedHistogram::Merged() const {
   LogHistogram merged;
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& shard : shards_) merged.Merge(shard->hist);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    merged.Merge(shard->hist);
+  }
   return merged;
 }
 

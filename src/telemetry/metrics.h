@@ -39,10 +39,14 @@ class Gauge {
 };
 
 /// A LogHistogram sharded per observing thread: Observe() touches only
-/// the calling thread's shard (no lock, no atomics on the hot path after
-/// the first observation per thread), and Merged() combines the shards
-/// at scrape time. This is what lets ThreadPool sweep workers record
-/// per-config replay latencies concurrently.
+/// the calling thread's shard, and Merged() combines the shards at
+/// scrape time. Each shard has its own mutex so a LIVE scrape (the
+/// service's kMetricsDump, taken while observer threads keep running)
+/// reads a consistent shard; on the hot path that lock is uncontended —
+/// only the observing thread and an occasional scraper ever touch it —
+/// so Observe() stays a thread-private cache hit plus one cheap
+/// lock/unlock. This is what lets ThreadPool sweep workers record
+/// per-config replay latencies concurrently while the admin plane reads.
 ///
 /// Shards are owned by the histogram and live until it is destroyed;
 /// threads that exit leave their shard behind for merging. A histogram
@@ -59,13 +63,16 @@ class ShardedHistogram {
 
   void Observe(double value);
 
-  /// Merges every thread's shard into one summary histogram.
+  /// Merges every thread's shard into one summary histogram. Safe to
+  /// call while other threads Observe (they serialize per shard, not
+  /// against each other).
   LogHistogram Merged() const;
 
   size_t shard_count() const;
 
  private:
   struct Shard {
+    std::mutex mu;
     LogHistogram hist;
   };
 

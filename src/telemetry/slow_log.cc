@@ -1,0 +1,127 @@
+#include "telemetry/slow_log.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+
+namespace byc::telemetry {
+
+std::string SlowQueryRecordToJson(const SlowQueryRecord& record) {
+  std::string out;
+  JsonWriter json(&out, /*pretty=*/false);
+  json.BeginObject();
+  json.Key("trace_id");
+  json.UInt(record.trace_id);
+  json.Key("seq");
+  if (record.has_seq) {
+    json.UInt(record.seq);
+  } else {
+    json.Null();
+  }
+  json.Key("decode_us");
+  json.Double(record.decode_us);
+  json.Key("queue_ms");
+  json.Double(record.queue_ms);
+  json.Key("backend_ms");
+  json.Double(record.backend_ms);
+  json.Key("total_ms");
+  json.Double(record.total_ms);
+  json.Key("accesses");
+  json.UInt(record.accesses);
+  json.Key("hits");
+  json.UInt(record.hits);
+  json.Key("bypasses");
+  json.UInt(record.bypasses);
+  json.Key("loads");
+  json.UInt(record.loads);
+  json.Key("evictions");
+  json.UInt(record.evictions);
+  json.Key("degraded");
+  json.UInt(record.degraded);
+  json.Key("served_cost");
+  json.Double(record.served_cost);
+  json.Key("bypass_cost");
+  json.Double(record.bypass_cost);
+  json.Key("fetch_cost");
+  json.Double(record.fetch_cost);
+  json.Key("degraded_cost");
+  json.Double(record.degraded_cost);
+  json.EndObject();
+  return out;
+}
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(std::move(options)) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+SlowQueryLog::~SlowQueryLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  writer_.join();
+}
+
+void SlowQueryLog::Record(const SlowQueryRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() >= options_.ring_capacity) {
+      ++dropped_;
+      return;
+    }
+    ring_.push_back(record);
+    ++recorded_;
+  }
+  cv_.notify_one();
+}
+
+void SlowQueryLog::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return ring_.empty() && !writing_; });
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t SlowQueryLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void SlowQueryLog::WriterLoop() {
+  std::vector<SlowQueryRecord> chunk;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !ring_.empty(); });
+    if (ring_.empty() && stop_) break;
+    // Drain the whole ring in one go, then write it unlocked: producers
+    // regain ring space immediately and never wait on the sink.
+    chunk.assign(ring_.begin(), ring_.end());
+    ring_.clear();
+    writing_ = true;
+    lock.unlock();
+    for (const SlowQueryRecord& record : chunk) {
+      std::string line = SlowQueryRecordToJson(record);
+      if (options_.write_fn) {
+        options_.write_fn(line);
+      } else if (options_.sink != nullptr) {
+        line.push_back('\n');
+        std::fwrite(line.data(), 1, line.size(), options_.sink);
+      }
+    }
+    if (options_.sink != nullptr && !options_.write_fn) {
+      std::fflush(options_.sink);
+    }
+    chunk.clear();
+    lock.lock();
+    writing_ = false;
+    drained_.notify_all();
+  }
+}
+
+}  // namespace byc::telemetry

@@ -1,0 +1,111 @@
+#ifndef BYC_TELEMETRY_SLOW_LOG_H_
+#define BYC_TELEMETRY_SLOW_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/telemetry.h"
+
+namespace byc::telemetry {
+
+/// One slow query as the service saw it: identity (trace id + optional
+/// global sequence number), the per-stage latency breakdown, the policy
+/// decision counts, and the byte flows. The byte fields are the query's
+/// ledger delta, so summing them over a complete log (threshold 0)
+/// reconciles with the mediator's D_S/D_L/D_C ledger the same way
+/// DecisionTracer's running totals do.
+struct SlowQueryRecord {
+  uint64_t trace_id = 0;
+  /// kQueryAt/kQueryBatch queries carry their global sequence number.
+  bool has_seq = false;
+  uint64_t seq = 0;
+  /// Stage timings (see DESIGN.md §10): I/O-thread decode+decompose,
+  /// admission-queue wait, summed backend round trips, and the whole
+  /// admission-side processing time.
+  double decode_us = 0;
+  double queue_ms = 0;
+  double backend_ms = 0;
+  double total_ms = 0;
+  /// Decision counts of the query's ledger delta.
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t bypasses = 0;
+  uint64_t loads = 0;
+  uint64_t evictions = 0;
+  uint64_t degraded = 0;
+  /// Byte flows of the query's ledger delta (D_C / D_S / D_L / lost).
+  double served_cost = 0;
+  double bypass_cost = 0;
+  double fetch_cost = 0;
+  double degraded_cost = 0;
+};
+
+/// Serializes one record as a single JSONL line (no trailing newline).
+/// Doubles use shortest-round-trip formatting, so the byte fields
+/// re-parse to the exact ledger values.
+std::string SlowQueryRecordToJson(const SlowQueryRecord& record);
+
+/// Bounded slow-query sink decoupled from the threads that feed it:
+/// Record() appends to an in-memory ring and never touches the sink — a
+/// dedicated writer thread drains the ring and serializes to JSONL. When
+/// the ring is full (the sink cannot keep up), the record is counted in
+/// dropped() and discarded; an I/O or admission thread is never blocked
+/// by a slow disk. Record() is safe from any thread.
+class SlowQueryLog {
+ public:
+  struct Options {
+    /// Records buffered between the producers and the writer thread; a
+    /// full ring drops (never blocks).
+    size_t ring_capacity = 1024;
+    /// JSONL stream, one record per line. Not owned; may be null when
+    /// `write_fn` is set.
+    std::FILE* sink = nullptr;
+    /// Test seam: when set, receives each serialized line (WITHOUT the
+    /// trailing newline) instead of `sink`. Called on the writer thread
+    /// only.
+    std::function<void(const std::string& line)> write_fn;
+  };
+
+  explicit SlowQueryLog(Options options);
+  /// Drains the ring through the sink, then joins the writer thread.
+  ~SlowQueryLog();
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Enqueues one record for the writer thread. Takes the ring mutex for
+  /// a push/drop only — bounded work, no I/O.
+  void Record(const SlowQueryRecord& record);
+
+  /// Blocks until every record accepted so far has been written to the
+  /// sink (tests; the destructor implies it).
+  void Flush();
+
+  /// Records accepted into the ring / discarded because it was full.
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+
+ private:
+  void WriterLoop();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< Wakes the writer.
+  std::condition_variable drained_;   ///< Wakes Flush().
+  std::deque<SlowQueryRecord> ring_;
+  bool stop_ = false;
+  bool writing_ = false;  ///< Writer is busy with a drained chunk.
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+  std::thread writer_;
+};
+
+}  // namespace byc::telemetry
+
+#endif  // BYC_TELEMETRY_SLOW_LOG_H_

@@ -253,6 +253,193 @@ TEST(WireFuzzTest, BatchCountAboveReplyCapRejectedAtParse) {
   EXPECT_EQ(service::kMaxQueryBatchItems, items.size());
 }
 
+TEST(WireFuzzTest, TraceExtensionRoundTripsOnEveryCarrier) {
+  using namespace service;
+  const uint64_t id = 0xFEEDFACE12345678ull;
+  const std::string line = "R|0|0:1:0|0:3:4:17.5:0.25|0:0:1:1|5";
+
+  // kQuery: text base + trailer.
+  Frame q = MakeQueryFrame(line, id);
+  auto q_ext = StripTraceExt(q.payload.data(), q.payload.size(), 0);
+  ASSERT_TRUE(q_ext.ok());
+  EXPECT_EQ(id, q_ext->trace_id);
+  ASSERT_EQ(line.size(), q_ext->base_len);
+  EXPECT_EQ(line, std::string(q.payload.begin(),
+                              q.payload.begin() +
+                                  static_cast<ptrdiff_t>(q_ext->base_len)));
+  // Untraced builds carry no trailer at all: the v2 byte stream.
+  EXPECT_EQ(line.size(), MakeQueryFrame(line).payload.size());
+
+  // kQueryAt.
+  Frame qa = MakeQueryAtFrame(42, line, id);
+  auto seq = ParseQueryAt(qa);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(42u, seq->seq);
+  EXPECT_EQ(line, seq->trace_line);
+  EXPECT_EQ(id, seq->trace_id);
+  EXPECT_EQ(kNoTraceId, ParseQueryAt(MakeQueryAtFrame(42, line))->trace_id);
+
+  // kFetch / kYield: fixed binary base + trailer.
+  FetchRequest fetch{3, -1, 999, id};
+  auto fetch_again = ParseFetchRequest(MakeFetchFrame(fetch));
+  ASSERT_TRUE(fetch_again.ok()) << fetch_again.status().ToString();
+  EXPECT_EQ(3, fetch_again->table);
+  EXPECT_EQ(999u, fetch_again->size_bytes);
+  EXPECT_EQ(id, fetch_again->trace_id);
+  YieldRequest yield{1, 2, 123.25, id};
+  auto yield_again = ParseYieldRequest(MakeYieldFrame(yield));
+  ASSERT_TRUE(yield_again.ok()) << yield_again.status().ToString();
+  EXPECT_EQ(123.25, yield_again->yield_bytes);
+  EXPECT_EQ(id, yield_again->trace_id);
+
+  // kQueryBatch: one base id for the frame.
+  std::vector<uint8_t> payload;
+  QueryBatchBuilder builder(&payload);
+  builder.Add(7, line);
+  builder.Add(8, line);
+  builder.Finish();
+  AppendTraceExt(payload, id);
+  std::vector<QueryBatchItem> items;
+  uint64_t base_id = 0;
+  ASSERT_TRUE(ParseQueryBatchInto(payload.data(), payload.size(), &items,
+                                  &base_id)
+                  .ok());
+  ASSERT_EQ(2u, items.size());
+  EXPECT_EQ(id, base_id);
+  EXPECT_EQ(line, items[1].line);
+}
+
+TEST(WireFuzzTest, MalformedTraceExtensionIsTypedParseError) {
+  using namespace service;
+  const std::string line = "R|0|0:1:0|0:3:4:17.5:0.25|0:0:1:1|5";
+
+  // A declared ext_len below the minimum (the trace id itself is 8
+  // bytes) with a valid magic: structurally broken, typed ParseError.
+  auto forge = [&](uint32_t ext_len) {
+    Frame q = MakeQueryFrame(line, 1);  // valid trailer...
+    size_t len_at = q.payload.size() - 8;
+    q.payload[len_at + 0] = static_cast<uint8_t>(ext_len);
+    q.payload[len_at + 1] = static_cast<uint8_t>(ext_len >> 8);
+    q.payload[len_at + 2] = static_cast<uint8_t>(ext_len >> 16);
+    q.payload[len_at + 3] = static_cast<uint8_t>(ext_len >> 24);
+    return q;  // ...with a corrupted length field
+  };
+  for (uint32_t bad_len : {0u, 1u, 7u}) {
+    Frame q = forge(bad_len);
+    auto ext = StripTraceExt(q.payload.data(), q.payload.size(), 0);
+    ASSERT_FALSE(ext.ok()) << "ext_len " << bad_len;
+    EXPECT_TRUE(ext.status().IsParseError()) << ext.status().ToString();
+  }
+  // ext_len reaching past the payload start (or into the required base
+  // region) is just as dead.
+  {
+    Frame q = forge(1u << 20);
+    auto ext = StripTraceExt(q.payload.data(), q.payload.size(), 0);
+    ASSERT_FALSE(ext.ok());
+    EXPECT_TRUE(ext.status().IsParseError());
+  }
+  // Same trailer on a kFetch whose declared ext eats into the 16-byte
+  // binary base.
+  {
+    Frame f = MakeFetchFrame(FetchRequest{0, -1, 10, 1});
+    size_t len_at = f.payload.size() - 8;
+    f.payload[len_at] = 9;  // base 16 + ext 9 + trailer 8 > payload
+    auto parsed = ParseFetchRequest(f);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status().ToString();
+  }
+  // Truncating a traced fetch kills the magic: the leftover ext bytes
+  // now read as an over-long v2 payload — still a typed ParseError,
+  // never an accept.
+  {
+    Frame f = MakeFetchFrame(FetchRequest{0, -1, 10, 1});
+    f.payload.pop_back();
+    auto parsed = ParseFetchRequest(f);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status().ToString();
+  }
+  // Random tails never crash the stripper and never alias the magic.
+  Rng rng(918273);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> bytes(rng.NextUint64(48));
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.NextUint64(256));
+    }
+    (void)StripTraceExt(bytes.data(), bytes.size(), 0);
+  }
+  // ASCII text can never false-positive as a trailer: the magic has
+  // three non-ASCII bytes.
+  std::string text(40, 'z');
+  auto ext = StripTraceExt(reinterpret_cast<const uint8_t*>(text.data()),
+                           text.size(), 0);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_EQ(service::kNoTraceId, ext->trace_id);
+  EXPECT_EQ(text.size(), ext->base_len);
+}
+
+TEST(WireCompatTest, V2PeerNegotiatesAndIsServedWithoutExtensions) {
+  // A peer that still speaks protocol v2 — hello(2), no trace trailers
+  // anywhere — must negotiate and be served by a v3 backend unchanged.
+  auto federation =
+      federation::Federation::SingleSite(catalog::MakeSdssEdrCatalog());
+  service::BackendServer::Options options;
+  options.federation = &federation;
+  service::BackendServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  auto deadline = [] { return service::Deadline::After(2000); };
+
+  auto sock = service::Socket::Connect("127.0.0.1", server.port(),
+                                       deadline());
+  ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+  ASSERT_TRUE(service::WriteFrame(
+                  *sock, service::MakeHelloFrame(service::kMinProtocolVersion),
+                  deadline())
+                  .ok());
+  auto hello = service::ReadFrame(*sock, deadline());
+  ASSERT_TRUE(hello.ok()) << hello.status().ToString();
+  ASSERT_EQ(service::FrameType::kHelloReply, hello->type);
+  // The server echoes the CLIENT's version — the v2 peer sees exactly
+  // the v2 echo its handshake requires.
+  EXPECT_EQ(service::kMinProtocolVersion, *service::ParseHello(*hello));
+
+  // A plain v2 fetch (no trailer) on the same connection is served.
+  service::FetchRequest req{0, -1, 0, service::kNoTraceId};
+  ASSERT_TRUE(service::WriteFrame(*sock, service::MakeFetchFrame(req),
+                                  deadline())
+                  .ok());
+  auto reply = service::ReadFrame(*sock, deadline());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(service::FrameType::kFetchReply, reply->type);
+
+  // A traced v3 fetch on a fresh connection is served identically.
+  auto sock3 = service::Socket::Connect("127.0.0.1", server.port(),
+                                        deadline());
+  ASSERT_TRUE(sock3.ok());
+  req.trace_id = 77;
+  ASSERT_TRUE(service::WriteFrame(*sock3, service::MakeFetchFrame(req),
+                                  deadline())
+                  .ok());
+  auto reply3 = service::ReadFrame(*sock3, deadline());
+  ASSERT_TRUE(reply3.ok()) << reply3.status().ToString();
+  EXPECT_EQ(service::FrameType::kFetchReply, reply3->type);
+
+  // Versions outside [min, max] are refused with the typed mismatch.
+  for (uint32_t bad : {service::kMinProtocolVersion - 1,
+                       service::kProtocolVersion + 1}) {
+    auto sock_bad = service::Socket::Connect("127.0.0.1", server.port(),
+                                             deadline());
+    ASSERT_TRUE(sock_bad.ok());
+    ASSERT_TRUE(service::WriteFrame(*sock_bad,
+                                    service::MakeHelloFrame(bad), deadline())
+                    .ok());
+    auto refused = service::ReadFrame(*sock_bad, deadline());
+    ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+    ASSERT_EQ(service::FrameType::kError, refused->type);
+    EXPECT_EQ(service::WireCode::kVersionMismatch,
+              service::ErrorFrameCode(*refused));
+  }
+}
+
 TEST(WireFuzzTest, RandomBytesOnTheSocketNeverCrashTheServer) {
   // Streams random garbage at a live BackendServer: the server must
   // answer with a typed kError or drop the connection — never crash,

@@ -9,6 +9,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +21,8 @@
 #include "service/replay_client.h"
 #include "service/socket.h"
 #include "service_test_util.h"
+#include "telemetry/metrics.h"
+#include "telemetry/slow_log.h"
 #include "workload/generator.h"
 
 namespace byc::service {
@@ -26,6 +32,50 @@ using testutil::BackendFleet;
 using testutil::ExpectedLedger;
 using testutil::ExpectLedgerEq;
 using testutil::FastConfig;
+using testutil::SameBits;
+
+/// Pulls `"key": <number>` out of one slow-log JSONL line. The log
+/// serializes doubles shortest-round-trip, so strtod returns the exact
+/// bits the mediator recorded.
+double JsonF64(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    ADD_FAILURE() << "no \"" << key << "\" in: " << line;
+    return 0;
+  }
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+uint64_t JsonU64(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    ADD_FAILURE() << "no \"" << key << "\" in: " << line;
+    return 0;
+  }
+  return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+/// Thread-safe write_fn sink: the slow log's writer thread pushes lines
+/// while the test thread replays; Drain() after Flush() is race-free.
+class LineSink {
+ public:
+  std::function<void(const std::string&)> fn() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.push_back(line);
+    };
+  }
+  std::vector<std::string> Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> lines_;
+};
 
 class ConcurrentServiceTest : public ::testing::Test {
  protected:
@@ -508,6 +558,253 @@ TEST_F(ConcurrentServiceTest, StatsAnswersWhileQueryBurnsRetryBudget) {
   // The backend round trip really happened and really stalled — the
   // prompt kStats above was answered through it, not around it.
   EXPECT_GT(mediator.stats().degraded_accesses, 0u);
+}
+
+// ---- Observability plane ----------------------------------------------
+
+TEST_F(ConcurrentServiceTest, MetricsDumpAnswersWhileQueryBurnsRetryBudget) {
+  // Same shape as the kStats test above, for the admin metrics plane:
+  // kMetricsDump is served on an I/O thread from a registry snapshot, so
+  // it must come back promptly — with live gauges — even while the
+  // admission thread is parked inside a slow backend round trip.
+  BackendFleet fleet(federation_);
+  fleet.server(0).faults().delay_ms.store(2000);
+  ServiceConfig config;
+  config.deadline_ms = 700;
+  config.retry.max_attempts = 2;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 5;
+  telemetry::MetricsRegistry registry;
+  MediatorServer::Options options;
+  options.config = config;
+  options.metrics = &registry;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  federation::Mediator probe(&federation_, catalog::Granularity::kTable);
+  size_t qi = 0;
+  while (qi < trace_.queries.size() &&
+         probe.Decompose(trace_.queries[qi].query).empty()) {
+    ++qi;
+  }
+  ASSERT_LT(qi, trace_.queries.size()) << "trace has no decomposable query";
+
+  Result<Socket> querier =
+      Socket::Connect("127.0.0.1", mediator.port(), Deadline::After(2000));
+  ASSERT_TRUE(querier.ok());
+  Frame query =
+      MakeQueryFrame(workload::FormatTraceQuery(trace_.queries[qi]));
+  ASSERT_TRUE(WriteFrame(*querier, query, Deadline::After(2000)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Result<Socket> watcher =
+      Socket::Connect("127.0.0.1", mediator.port(), Deadline::After(2000));
+  ASSERT_TRUE(watcher.ok());
+  ASSERT_TRUE(
+      WriteFrame(*watcher, MakeMetricsDumpFrame(), Deadline::After(1000))
+          .ok());
+  // The deadline is the assertion: the dump must not wait out the
+  // admission thread's backend stall.
+  Result<Frame> reply = ReadFrame(*watcher, Deadline::After(1000));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+#if BYC_TELEMETRY_ENABLED
+  ASSERT_EQ(FrameType::kMetricsDumpReply, reply->type);
+  std::string json(reply->payload.begin(), reply->payload.end());
+  // The snapshot carries the live service gauges, refreshed mid-stall.
+  EXPECT_NE(std::string::npos, json.find("\"svc.admission_queue_depth\""));
+  EXPECT_NE(std::string::npos, json.find("\"svc.reactor.connections\""));
+  EXPECT_NE(std::string::npos, json.find("\"wire.metrics_dump\""));
+  EXPECT_EQ(1u, registry.counter("wire.metrics_dump").value());
+#else
+  // Telemetry compiled out: the admin plane answers with a typed
+  // precondition error instead of silence.
+  ASSERT_EQ(FrameType::kError, reply->type);
+  EXPECT_EQ(WireCode::kFailedPrecondition, ErrorFrameCode(*reply));
+#endif
+
+  // The stalled query still resolves (degraded), so teardown is clean.
+  Result<Frame> answered = ReadFrame(*querier, Deadline::After(15000));
+  ASSERT_TRUE(answered.ok()) << answered.status().ToString();
+  EXPECT_EQ(FrameType::kQueryReply, answered->type);
+  EXPECT_GT(mediator.stats().degraded_accesses, 0u);
+}
+
+TEST_F(ConcurrentServiceTest, TracedShardsConserveLedgerBitwise) {
+  // Tracing is observability, not behavior: stamping every query (and
+  // batch) with trace ids and timing every stage must leave the ledger
+  // bitwise-identical to the untraced expectation, in both framing
+  // modes.
+  for (int batch_size : {1, 16}) {
+    BackendFleet fleet(federation_);
+    telemetry::MetricsRegistry registry;
+    MediatorServer::Options options;
+    options.metrics = &registry;
+    MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                            options);
+    ASSERT_TRUE(mediator.Start().ok());
+
+    ServiceConfig client_config;
+    client_config.trace = true;
+    client_config.batch_size = batch_size;
+    StatsReply ledger = ShardReplay(mediator, trace_, 4, client_config);
+    StatsReply want = ExpectedLedger(
+        federation_, catalog::Granularity::kTable, config_, trace_, {});
+    ExpectLedgerEq(want, ledger);
+    EXPECT_EQ(0u, mediator.admission_skips());
+#if BYC_TELEMETRY_ENABLED
+    // Every query arrived stamped: the extension survived both the
+    // kQueryAt and the kQueryBatch carrier.
+    EXPECT_EQ(trace_.queries.size(),
+              registry.counter("svc.traced_queries").value())
+        << "batch_size " << batch_size;
+#endif
+  }
+}
+
+TEST_F(ConcurrentServiceTest, SlowLogRecordsExactlyTheStalledQueries) {
+  // A delay fault on one site makes exactly the queries that cross it
+  // slow. The slow log must contain that set — no false positives from
+  // healthy queries, no stalled query missing — computed here from an
+  // in-process policy replay (the decision stream is deterministic).
+  federation::Federation multi = MakeMultiSite();
+  workload::GeneratorOptions gopts;
+  gopts.num_queries = 16;
+  gopts.target_sequence_cost = 0;
+  workload::TraceGenerator gen(&multi.catalog(), gopts);
+  workload::Trace trace = gen.Generate();
+
+  // Which backend sites each query actually calls (cache hits stay
+  // local): replay the policy the same way ExpectedLedger does.
+  federation::Mediator probe(&multi, catalog::Granularity::kTable);
+  auto policy = core::MakePolicy(config_);
+  std::vector<std::set<int>> call_sites(trace.queries.size());
+  for (size_t q = 0; q < trace.queries.size(); ++q) {
+    for (const core::Access& access :
+         probe.Decompose(trace.queries[q].query)) {
+      core::Decision decision = policy->OnAccess(access);
+      if (decision.action == core::Action::kBypass ||
+          decision.action == core::Action::kLoadAndServe) {
+        call_sites[q].insert(multi.SiteOfTable(access.object.table));
+      }
+    }
+  }
+  // Pick a site that splits the trace: some queries cross it, some
+  // don't — otherwise the test can't tell the log filtered anything.
+  int delayed_site = -1;
+  std::set<uint64_t> want_slow;
+  for (int site = 0; site < multi.num_sites() && delayed_site < 0; ++site) {
+    std::set<uint64_t> touches;
+    for (size_t q = 0; q < call_sites.size(); ++q) {
+      if (call_sites[q].count(site) > 0) touches.insert(q);
+    }
+    if (!touches.empty() && touches.size() < trace.queries.size()) {
+      delayed_site = site;
+      want_slow = touches;
+    }
+  }
+  ASSERT_GE(delayed_site, 0) << "no site splits the trace; test is vacuous";
+
+  BackendFleet fleet(multi);
+  fleet.server(delayed_site).faults().delay_ms.store(150);
+  LineSink sink;
+  telemetry::SlowQueryLog::Options log_options;
+  log_options.write_fn = sink.fn();
+  telemetry::SlowQueryLog slow_log(log_options);
+  ServiceConfig config;
+  config.slow_ms = 75;  // fast queries: sub-ms loopback RTTs; stalled: >=150
+  MediatorServer::Options options;
+  options.config = config;
+  options.slow_log = &slow_log;
+  MediatorServer mediator(&multi, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  // One serial stamped client: seq == trace position identifies every
+  // record, and no queue wait blurs the threshold.
+  ServiceConfig client_config;
+  client_config.deadline_ms = 10000;  // a stalled query soaks many delays
+  StatsReply ledger = ShardReplay(mediator, trace, 1, client_config);
+  EXPECT_EQ(trace.queries.size(), ledger.queries);
+
+  slow_log.Flush();
+  std::set<uint64_t> got_slow;
+  for (const std::string& line : sink.Drain()) {
+    uint64_t seq = JsonU64(line, "seq");
+    got_slow.insert(seq);
+    // The breakdown blames the backend stage, and the total clears the
+    // threshold it was admitted under.
+    EXPECT_GE(JsonF64(line, "total_ms"), 75.0) << line;
+    EXPECT_GE(JsonF64(line, "backend_ms"), 75.0) << line;
+    EXPECT_EQ(1u, want_slow.count(seq))
+        << "oracle says seq " << seq << " never crosses site "
+        << delayed_site << ": " << line;
+  }
+  EXPECT_EQ(want_slow, got_slow);
+  EXPECT_EQ(0u, slow_log.dropped());
+}
+
+TEST_F(ConcurrentServiceTest, ZeroThresholdSlowLogReconcilesWithLedger) {
+  // slow_ms = 0 logs every query, turning the log into a per-query
+  // ledger decomposition: summing the records' byte fields in log order
+  // must reproduce the client's own running totals bit for bit (same
+  // deltas, same association), and the counts must match the ledger.
+  BackendFleet fleet(federation_);
+  LineSink sink;
+  telemetry::SlowQueryLog::Options log_options;
+  log_options.write_fn = sink.fn();
+  telemetry::SlowQueryLog slow_log(log_options);
+  ServiceConfig config;
+  config.slow_ms = 0;
+  MediatorServer::Options options;
+  options.config = config;
+  options.slow_log = &slow_log;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+
+  ReplayClient client("127.0.0.1", mediator.port(), ServiceConfig{});
+  Result<ReplayReport> report = client.Replay(trace_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  slow_log.Flush();
+  std::vector<std::string> lines = sink.Drain();
+  ASSERT_EQ(trace_.queries.size(), lines.size());
+  QueryReply sum;
+  for (const std::string& line : lines) {
+    sum.accesses += JsonU64(line, "accesses");
+    sum.hits += JsonU64(line, "hits");
+    sum.bypasses += JsonU64(line, "bypasses");
+    sum.loads += JsonU64(line, "loads");
+    sum.evictions += JsonU64(line, "evictions");
+    sum.degraded += JsonU64(line, "degraded");
+    sum.served_cost += JsonF64(line, "served_cost");
+    sum.bypass_cost += JsonF64(line, "bypass_cost");
+    sum.fetch_cost += JsonF64(line, "fetch_cost");
+    sum.degraded_cost += JsonF64(line, "degraded_cost");
+    // A serial kQuery replay is unstamped: seq must serialize as null,
+    // never as an invented number.
+    EXPECT_NE(std::string::npos, line.find("\"seq\": null")) << line;
+  }
+  const QueryReply& client_totals = report->client_totals;
+  EXPECT_EQ(client_totals.accesses, sum.accesses);
+  EXPECT_EQ(client_totals.hits, sum.hits);
+  EXPECT_EQ(client_totals.bypasses, sum.bypasses);
+  EXPECT_EQ(client_totals.loads, sum.loads);
+  EXPECT_EQ(client_totals.evictions, sum.evictions);
+  EXPECT_EQ(client_totals.degraded, sum.degraded);
+  // Bitwise, not approximate: shortest-round-trip JSON doubles re-read
+  // to the exact per-query deltas, and both sides sum them in the same
+  // order.
+  EXPECT_TRUE(SameBits(client_totals.served_cost, sum.served_cost))
+      << client_totals.served_cost << " vs " << sum.served_cost;
+  EXPECT_TRUE(SameBits(client_totals.bypass_cost, sum.bypass_cost))
+      << client_totals.bypass_cost << " vs " << sum.bypass_cost;
+  EXPECT_TRUE(SameBits(client_totals.fetch_cost, sum.fetch_cost))
+      << client_totals.fetch_cost << " vs " << sum.fetch_cost;
+  EXPECT_TRUE(SameBits(client_totals.degraded_cost, sum.degraded_cost))
+      << client_totals.degraded_cost << " vs " << sum.degraded_cost;
+  // And the counts agree with the authoritative server ledger.
+  EXPECT_EQ(report->ledger.queries, static_cast<uint64_t>(lines.size()));
+  EXPECT_EQ(report->ledger.accesses, sum.accesses);
+  EXPECT_EQ(0u, slow_log.dropped());
 }
 
 TEST_F(ConcurrentServiceTest, StopDrainsMidReplayWithoutHanging) {

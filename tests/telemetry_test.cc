@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -52,6 +53,45 @@ TEST(ShardedHistogramTest, ObservationsFromWorkersAllMerge) {
   // all have picked up work on a loaded machine).
   EXPECT_GE(hist.shard_count(), 1u);
   EXPECT_LE(hist.shard_count(), 8u);
+}
+
+TEST(ShardedHistogramTest, MergedIsSafeWhileObserversAreHot) {
+  // The kMetricsDump admin plane snapshots histograms WHILE worker
+  // threads observe into them (a live scrape never stops admission).
+  // Merged() must see each shard's LogHistogram in a consistent state —
+  // under tsan this test is the data-race regression for the per-shard
+  // mutex; everywhere it checks a mid-flight merge is sane.
+  ShardedHistogram hist;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> observers;
+  for (int t = 0; t < 4; ++t) {
+    observers.emplace_back([&hist, &stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        hist.Observe(static_cast<double>(1 + (i++ % 1000) + t));
+      }
+    });
+  }
+  // Let the observers actually get hot before scraping them.
+  while (hist.Merged().count() == 0) {
+    std::this_thread::yield();
+  }
+  uint64_t last_count = 0;
+  for (int scrape = 0; scrape < 200; ++scrape) {
+    LogHistogram merged = hist.Merged();
+    // Monotone counts across scrapes; values stay inside the observed
+    // domain even when the merge races live Add() calls.
+    EXPECT_GE(merged.count(), last_count);
+    last_count = merged.count();
+    if (merged.count() > 0) {
+      EXPECT_GE(merged.min(), 1.0);
+      EXPECT_LE(merged.max(), 1004.0);
+      EXPECT_GE(merged.sum(), merged.min() * merged.count());
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : observers) t.join();
+  EXPECT_GT(hist.Merged().count(), 0u);
 }
 
 TEST(ShardedHistogramTest, FreshHistogramDoesNotInheritStaleShards) {
@@ -250,7 +290,7 @@ TEST(ManifestTest, JsonCarriesIdentityAndMetrics) {
   registry.RecordSpan("decompose", 1.25);
 
   std::string json = ManifestToJson(manifest, registry.Snapshot());
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"fig9_cache_size_tables\""),
             std::string::npos);
   EXPECT_NE(json.find("\"release\": \"edr\""), std::string::npos);
@@ -264,6 +304,30 @@ TEST(ManifestTest, JsonCarriesIdentityAndMetrics) {
   EXPECT_NE(json.find("\"decompose\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_ms\""), std::string::npos);
   EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ManifestTest, MetricsSnapshotToJsonIsTheDumpPayloadShape) {
+  // The kMetricsDumpReply payload: a bare metrics document with the
+  // same counters/gauges/histograms/spans body the manifest embeds —
+  // compact, no identity envelope, no trailing newline.
+  MetricsRegistry registry;
+  registry.counter("wire.metrics_dump").Increment(2);
+  registry.gauge("svc.admission_queue_depth").Set(3.0);
+  registry.histogram("svc.stage.backend_ms").Observe(1.5);
+  registry.RecordSpan("load", 2.5);
+
+  std::string json = MetricsSnapshotToJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"wire.metrics_dump\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"svc.admission_queue_depth\": 3"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"svc.stage.backend_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_EQ(json.find("schema_version"), std::string::npos);
+  EXPECT_EQ(json.find("git_describe"), std::string::npos);
+  EXPECT_NE(json.back(), '\n');
+  EXPECT_EQ(json.front(), '{');
 }
 
 TEST(ManifestTest, DefaultGitDescribeIsNonEmpty) {
