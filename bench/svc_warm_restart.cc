@@ -1,0 +1,652 @@
+// Warm-restart / crash-recovery harness for the mediator service: the
+// kill-at-query-N experiment behind DESIGN.md §12.
+//
+// Default mode sweeps every policy kind at both granularities. For each
+// case it (1) replays the trace over loopback against an uninterrupted
+// mediator and records the ledger, (2) replays a prefix against a
+// persisting mediator, snapshots, simulates a crash (the shutdown
+// snapshot is suppressed through the fault plan, so the explicit
+// mid-trace snapshot is the one on disk), (3) restarts a fresh mediator
+// from the snapshot and replays the rest. The headline check is byte
+// identity: the resumed ledger must equal the uninterrupted one bit for
+// bit — D_S/D_L/D_C memcmp-equal, every counter identical.
+//
+// Two fault cases ride along: a crash *during* the snapshot write (the
+// previous snapshot must stay the loadable one) and a corrupted snapshot
+// file (the restart must cold-start cleanly, count the failure, and
+// still finish the trace correctly).
+//
+// --sigkill adds a real process kill: a forked child runs the backends +
+// mediator with a fast periodic checkpointer, the parent replays a
+// prefix and SIGKILLs the child (the kill lands at an arbitrary point of
+// the checkpoint cycle, including mid-write), then restarts in-process
+// from whatever snapshot survived and finishes the trace. The resumed
+// ledger must be byte-identical to the in-process simulator.
+//
+// Usage: svc_warm_restart [--queries N] [--kill-at N] [--policy NAME]
+//                         [--sigkill] [--repeat R] [--dir PATH]
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "persist/snapshot.h"
+#include "service/backend_server.h"
+#include "service/fault.h"
+#include "service/mediator_server.h"
+#include "service/replay_client.h"
+
+namespace {
+
+using namespace byc;
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct CaseResult {
+  bool ok = true;
+  int checked = 0;
+};
+
+void Check(CaseResult& r, const char* what, double want, double got) {
+  ++r.checked;
+  if (!SameBits(want, got)) {
+    std::printf("  MISMATCH %-12s want=%.17g got=%.17g\n", what, want, got);
+    r.ok = false;
+  }
+}
+
+void CheckU(CaseResult& r, const char* what, uint64_t want, uint64_t got) {
+  ++r.checked;
+  if (want != got) {
+    std::printf("  MISMATCH %-12s want=%llu got=%llu\n", what,
+                static_cast<unsigned long long>(want),
+                static_cast<unsigned long long>(got));
+    r.ok = false;
+  }
+}
+
+/// Diffs two service ledgers field by field, doubles bitwise.
+bool LedgersIdentical(const service::StatsReply& want,
+                      const service::StatsReply& got) {
+  CaseResult r;
+  CheckU(r, "queries", want.queries, got.queries);
+  CheckU(r, "accesses", want.accesses, got.accesses);
+  CheckU(r, "hits", want.hits, got.hits);
+  CheckU(r, "bypasses", want.bypasses, got.bypasses);
+  CheckU(r, "loads", want.loads, got.loads);
+  CheckU(r, "evictions", want.evictions, got.evictions);
+  CheckU(r, "degraded", want.degraded_accesses, got.degraded_accesses);
+  Check(r, "D_C", want.served_cost, got.served_cost);
+  Check(r, "D_S", want.bypass_cost, got.bypass_cost);
+  Check(r, "D_L", want.fetch_cost, got.fetch_cost);
+  Check(r, "degraded_cost", want.degraded_cost, got.degraded_cost);
+  return r.ok;
+}
+
+workload::Trace Slice(const workload::Trace& trace, size_t begin,
+                      size_t end) {
+  workload::Trace out;
+  out.name = trace.name;
+  out.queries.assign(trace.queries.begin() + begin,
+                     trace.queries.begin() + end);
+  return out;
+}
+
+void RemoveSnapshotFiles(const std::string& dir) {
+  ::unlink((dir + "/mediator.snap").c_str());
+  ::unlink((dir + "/mediator.snap.tmp").c_str());
+}
+
+/// Backends of every federation site, started on ephemeral ports.
+struct Fleet {
+  std::vector<std::unique_ptr<service::BackendServer>> backends;
+  std::vector<service::BackendAddress> addrs;
+
+  static Result<Fleet> Start(const federation::Federation& federation) {
+    Fleet fleet;
+    for (int s = 0; s < federation.num_sites(); ++s) {
+      service::BackendServer::Options options;
+      options.site = s;
+      options.federation = &federation;
+      fleet.backends.push_back(
+          std::make_unique<service::BackendServer>(options));
+      BYC_RETURN_IF_ERROR(fleet.backends.back()->Start());
+      fleet.addrs.push_back({"127.0.0.1", fleet.backends.back()->port()});
+    }
+    return fleet;
+  }
+};
+
+struct WarmCase {
+  std::string label;
+  core::PolicyKind kind;
+  core::AobjKind online_aobj = core::AobjKind::kRentToBuy;
+};
+
+/// One uninterrupted loopback replay; returns the final ledger.
+Result<service::StatsReply> RunBaseline(const bench::Release& release,
+                                        const core::PolicyConfig& config,
+                                        const Fleet& fleet,
+                                        const service::ServiceConfig& svc) {
+  service::MediatorServer::Options options;
+  options.config = svc;
+  options.metrics = bench::BenchMetrics();
+  service::MediatorServer mediator(&release.federation, config, fleet.addrs,
+                                   options);
+  BYC_RETURN_IF_ERROR(mediator.Start());
+  service::ReplayClient client("127.0.0.1", mediator.port(), svc);
+  BYC_ASSIGN_OR_RETURN(service::ReplayReport report,
+                       client.Replay(release.trace));
+  mediator.Stop();
+  return report.ledger;
+}
+
+/// The kill-at-query-N experiment for one policy/granularity. Returns
+/// false on any mismatch.
+bool RunWarmCase(const bench::Release& release,
+                 catalog::Granularity granularity, const WarmCase& wc,
+                 uint64_t capacity, const service::ServiceConfig& svc_base,
+                 const std::string& dir, size_t kill_at) {
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  core::PolicyConfig config =
+      bench::MakeSweepConfig(wc.kind, capacity, decomposed);
+  config.granularity = granularity;
+  config.online_aobj = wc.online_aobj;
+
+  Result<Fleet> fleet = Fleet::Start(release.federation);
+  if (!fleet.ok()) {
+    std::printf("  backends failed: %s\n",
+                fleet.status().ToString().c_str());
+    return false;
+  }
+
+  Result<service::StatsReply> baseline =
+      RunBaseline(release, config, *fleet, svc_base);
+  if (!baseline.ok()) {
+    std::printf("  baseline replay failed: %s\n",
+                baseline.status().ToString().c_str());
+    return false;
+  }
+
+  // Interrupted run: prefix, snapshot, crash, restore, suffix.
+  RemoveSnapshotFiles(dir);
+  service::ServiceConfig svc = svc_base;
+  svc.snapshot_dir = dir;
+  service::FaultPlan faults;
+  service::MediatorServer::Options options;
+  options.config = svc;
+  options.metrics = bench::BenchMetrics();
+  options.faults = &faults;
+
+  {
+    service::MediatorServer mediator(&release.federation, config,
+                                     fleet->addrs, options);
+    Status started = mediator.Start();
+    if (!started.ok()) {
+      std::printf("  mediator failed to start: %s\n",
+                  started.ToString().c_str());
+      return false;
+    }
+    service::ReplayClient client("127.0.0.1", mediator.port(), svc);
+    Result<service::ReplayReport> prefix =
+        client.Replay(Slice(release.trace, 0, kill_at));
+    if (!prefix.ok()) {
+      std::printf("  prefix replay failed: %s\n",
+                  prefix.status().ToString().c_str());
+      return false;
+    }
+    Result<service::SnapshotReply> snap = client.TriggerSnapshot();
+    if (!snap.ok() || snap->persisted != 1 || snap->queries != kill_at) {
+      std::printf("  snapshot at N=%zu failed: %s\n", kill_at,
+                  snap.ok() ? "wrong cut" : snap.status().ToString().c_str());
+      return false;
+    }
+    // Simulated crash: everything after the explicit snapshot — the
+    // shutdown snapshot included — dies before reaching the file.
+    faults.snapshot_skip_rename.store(true);
+    mediator.Stop();
+    faults.snapshot_skip_rename.store(false);
+  }
+
+  service::StatsReply resumed;
+  {
+    service::MediatorServer mediator(&release.federation, config,
+                                     fleet->addrs, options);
+    Status started = mediator.Start();
+    if (!started.ok()) {
+      std::printf("  restarted mediator failed to start: %s\n",
+                  started.ToString().c_str());
+      return false;
+    }
+    if (mediator.snapshot_restores() != 1) {
+      std::printf("  restart did not restore from the snapshot\n");
+      return false;
+    }
+    service::ReplayClient client("127.0.0.1", mediator.port(), svc);
+    Result<service::StatsReply> at_restart = client.FetchStats();
+    if (!at_restart.ok() || at_restart->queries != kill_at) {
+      std::printf("  restored ledger is not the query-%zu cut\n", kill_at);
+      return false;
+    }
+    Result<service::ReplayReport> suffix = client.Replay(
+        Slice(release.trace, kill_at, release.trace.queries.size()));
+    if (!suffix.ok()) {
+      std::printf("  suffix replay failed: %s\n",
+                  suffix.status().ToString().c_str());
+      return false;
+    }
+    resumed = suffix->ledger;
+    mediator.Stop();
+  }
+
+  bool ok = LedgersIdentical(*baseline, resumed);
+  std::printf("  %-28s %-6s kill@%zu  wan=%.6g  %s\n", wc.label.c_str(),
+              bench::GranularityName(granularity), kill_at,
+              resumed.bypass_cost + resumed.fetch_cost,
+              ok ? "IDENTICAL" : "MISMATCH");
+  return ok;
+}
+
+/// Crash during the snapshot write: the snapshot at N1 is on disk; a
+/// later snapshot at N2 dies between the temp write and the rename. The
+/// restart must load the N1 snapshot and still finish bitwise-equal.
+bool RunTornWriteCase(const bench::Release& release, uint64_t capacity,
+                      const service::ServiceConfig& svc_base,
+                      const std::string& dir) {
+  catalog::Granularity granularity = catalog::Granularity::kColumn;
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  core::PolicyConfig config = bench::MakeSweepConfig(
+      core::PolicyKind::kRateProfile, capacity, decomposed);
+  config.granularity = granularity;
+
+  Result<Fleet> fleet = Fleet::Start(release.federation);
+  if (!fleet.ok()) return false;
+  Result<service::StatsReply> baseline =
+      RunBaseline(release, config, *fleet, svc_base);
+  if (!baseline.ok()) return false;
+
+  const size_t n1 = release.trace.queries.size() / 3;
+  const size_t n2 = 2 * n1;
+  RemoveSnapshotFiles(dir);
+  service::ServiceConfig svc = svc_base;
+  svc.snapshot_dir = dir;
+  service::FaultPlan faults;
+  service::MediatorServer::Options options;
+  options.config = svc;
+  options.metrics = bench::BenchMetrics();
+  options.faults = &faults;
+
+  {
+    service::MediatorServer mediator(&release.federation, config,
+                                     fleet->addrs, options);
+    if (!mediator.Start().ok()) return false;
+    service::ReplayClient client("127.0.0.1", mediator.port(), svc);
+    if (!client.Replay(Slice(release.trace, 0, n1)).ok()) return false;
+    Result<service::SnapshotReply> snap = client.TriggerSnapshot();
+    if (!snap.ok() || snap->persisted != 1) return false;
+    if (!client.Replay(Slice(release.trace, n1, n2)).ok()) return false;
+    // The N2 snapshot (and the shutdown one) crash mid-write: the temp
+    // file is written but never renamed over the N1 snapshot.
+    faults.snapshot_skip_rename.store(true);
+    if (!client.TriggerSnapshot().ok()) return false;
+    mediator.Stop();
+    faults.snapshot_skip_rename.store(false);
+  }
+
+  service::StatsReply resumed;
+  {
+    service::MediatorServer mediator(&release.federation, config,
+                                     fleet->addrs, options);
+    if (!mediator.Start().ok()) return false;
+    service::ReplayClient client("127.0.0.1", mediator.port(), svc);
+    Result<service::StatsReply> at_restart = client.FetchStats();
+    if (!at_restart.ok() || at_restart->queries != n1) {
+      std::printf("  torn write: restored cut %llu, want %zu\n",
+                  at_restart.ok() ? static_cast<unsigned long long>(
+                                        at_restart->queries)
+                                  : 0ull,
+                  n1);
+      return false;
+    }
+    Result<service::ReplayReport> suffix = client.Replay(
+        Slice(release.trace, n1, release.trace.queries.size()));
+    if (!suffix.ok()) return false;
+    resumed = suffix->ledger;
+    mediator.Stop();
+  }
+  bool ok = LedgersIdentical(*baseline, resumed);
+  std::printf("  torn-write crash: previous snapshot restored  %s\n",
+              ok ? "IDENTICAL" : "MISMATCH");
+  return ok;
+}
+
+/// Corrupted snapshot on disk: the restart must cold-start (counting the
+/// failure), never abort, and a full replay still matches the baseline.
+bool RunCorruptionCase(const bench::Release& release, uint64_t capacity,
+                       const service::ServiceConfig& svc_base,
+                       const std::string& dir) {
+  catalog::Granularity granularity = catalog::Granularity::kTable;
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  core::PolicyConfig config =
+      bench::MakeSweepConfig(core::PolicyKind::kLru, capacity, decomposed);
+  config.granularity = granularity;
+
+  Result<Fleet> fleet = Fleet::Start(release.federation);
+  if (!fleet.ok()) return false;
+  Result<service::StatsReply> baseline =
+      RunBaseline(release, config, *fleet, svc_base);
+  if (!baseline.ok()) return false;
+
+  RemoveSnapshotFiles(dir);
+  service::ServiceConfig svc = svc_base;
+  svc.snapshot_dir = dir;
+  service::FaultPlan faults;
+  service::MediatorServer::Options options;
+  options.config = svc;
+  options.metrics = bench::BenchMetrics();
+  options.faults = &faults;
+
+  {
+    service::MediatorServer mediator(&release.federation, config,
+                                     fleet->addrs, options);
+    if (!mediator.Start().ok()) return false;
+    service::ReplayClient client("127.0.0.1", mediator.port(), svc);
+    size_t half = release.trace.queries.size() / 2;
+    if (!client.Replay(Slice(release.trace, 0, half)).ok()) return false;
+    // The snapshot lands, then loses its tail (torn write discovered at
+    // the next load).
+    faults.snapshot_truncate.store(64);
+    if (!client.TriggerSnapshot().ok()) return false;
+    faults.snapshot_truncate.store(-1);
+    faults.snapshot_skip_rename.store(true);
+    mediator.Stop();
+    faults.snapshot_skip_rename.store(false);
+  }
+
+  service::StatsReply resumed;
+  {
+    service::MediatorServer mediator(&release.federation, config,
+                                     fleet->addrs, options);
+    if (!mediator.Start().ok()) {
+      std::printf("  corrupt snapshot aborted the restart\n");
+      return false;
+    }
+    if (mediator.snapshot_restore_failures() != 1 ||
+        mediator.snapshot_restores() != 0) {
+      std::printf("  corrupt snapshot not counted as a failed restore\n");
+      return false;
+    }
+    service::ReplayClient client("127.0.0.1", mediator.port(), svc);
+    Result<service::StatsReply> at_restart = client.FetchStats();
+    if (!at_restart.ok() || at_restart->queries != 0) {
+      std::printf("  corrupt snapshot did not cold-start\n");
+      return false;
+    }
+    Result<service::ReplayReport> full = client.Replay(release.trace);
+    if (!full.ok()) return false;
+    resumed = full->ledger;
+    mediator.Stop();
+  }
+  bool ok = LedgersIdentical(*baseline, resumed);
+  std::printf("  corrupt snapshot: clean cold start + full replay  %s\n",
+              ok ? "IDENTICAL" : "MISMATCH");
+  return ok;
+}
+
+/// --sigkill: the child process runs the persisting service; the parent
+/// replays a prefix, SIGKILLs the child (timed arbitrarily against the
+/// 25 ms checkpoint cycle, so the kill can land mid-write), restarts
+/// in-process from the surviving snapshot, and finishes the trace.
+bool RunSigkillCase(const bench::Release& release, uint64_t capacity,
+                    const service::ServiceConfig& svc_base,
+                    const std::string& dir, size_t kill_at) {
+  catalog::Granularity granularity = catalog::Granularity::kColumn;
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  core::PolicyConfig config = bench::MakeSweepConfig(
+      core::PolicyKind::kRateProfile, capacity, decomposed);
+  config.granularity = granularity;
+
+  Result<Fleet> parent_fleet = Fleet::Start(release.federation);
+  if (!parent_fleet.ok()) return false;
+  Result<service::StatsReply> baseline =
+      RunBaseline(release, config, *parent_fleet, svc_base);
+  if (!baseline.ok()) return false;
+
+  RemoveSnapshotFiles(dir);
+  service::ServiceConfig svc = svc_base;
+  svc.snapshot_dir = dir;
+  svc.snapshot_every_ms = 25;
+  const std::string port_file = dir + "/port.txt";
+  ::unlink(port_file.c_str());
+
+  pid_t child = fork();
+  if (child < 0) {
+    std::printf("  fork failed\n");
+    return false;
+  }
+  if (child == 0) {
+    // Child: its own backends + the persisting mediator; lives until
+    // SIGKILL. _exit on any setup failure (no destructors, no manifest).
+    Result<Fleet> fleet = Fleet::Start(release.federation);
+    if (!fleet.ok()) _exit(3);
+    service::MediatorServer::Options options;
+    options.config = svc;
+    service::MediatorServer mediator(&release.federation, config,
+                                     fleet->addrs, options);
+    if (!mediator.Start().ok()) _exit(3);
+    {
+      std::ofstream out(port_file + ".tmp");
+      out << mediator.port() << "\n";
+    }
+    ::rename((port_file + ".tmp").c_str(), port_file.c_str());
+    for (;;) ::pause();
+  }
+
+  // Parent: wait for the child's port, replay the prefix, kill -9.
+  uint16_t port = 0;
+  for (int i = 0; i < 1000 && port == 0; ++i) {
+    std::ifstream in(port_file);
+    int value = 0;
+    if (in >> value && value > 0) {
+      port = static_cast<uint16_t>(value);
+      break;
+    }
+    ::usleep(10'000);
+  }
+  bool ok = false;
+  if (port == 0) {
+    std::printf("  child service never came up\n");
+  } else {
+    service::ReplayClient client("127.0.0.1", port, svc);
+    Result<service::ReplayReport> prefix =
+        client.Replay(Slice(release.trace, 0, kill_at));
+    if (!prefix.ok()) {
+      std::printf("  prefix replay failed: %s\n",
+                  prefix.status().ToString().c_str());
+    } else {
+      // Let at least one 25 ms checkpoint land after the prefix; the
+      // kill still races the checkpointer's next write cycle.
+      ::usleep(60'000);
+      ok = true;
+    }
+  }
+  ::kill(child, SIGKILL);
+  int wstatus = 0;
+  ::waitpid(child, &wstatus, 0);
+  if (!ok) return false;
+
+  // Restart in-process from whatever snapshot survived the kill.
+  service::MediatorServer::Options options;
+  options.config = svc;
+  options.metrics = bench::BenchMetrics();
+  service::MediatorServer mediator(&release.federation, config,
+                                   parent_fleet->addrs, options);
+  Status started = mediator.Start();
+  if (!started.ok()) {
+    std::printf("  restart after SIGKILL failed: %s\n",
+                started.ToString().c_str());
+    return false;
+  }
+  service::ReplayClient client("127.0.0.1", mediator.port(), svc);
+  Result<service::StatsReply> at_restart = client.FetchStats();
+  if (!at_restart.ok()) return false;
+  const uint64_t resume_from = at_restart->queries;
+  if (mediator.snapshot_restores() + mediator.snapshot_restore_failures() ==
+          0 &&
+      resume_from != 0) {
+    return false;
+  }
+  if (resume_from > kill_at) {
+    std::printf("  restored cut %llu is past the kill point %zu\n",
+                static_cast<unsigned long long>(resume_from), kill_at);
+    return false;
+  }
+  Result<service::ReplayReport> suffix = client.Replay(Slice(
+      release.trace, static_cast<size_t>(resume_from),
+      release.trace.queries.size()));
+  if (!suffix.ok()) {
+    std::printf("  resume replay failed: %s\n",
+                suffix.status().ToString().c_str());
+    return false;
+  }
+  mediator.Stop();
+  bool identical = LedgersIdentical(*baseline, suffix->ledger);
+  std::printf(
+      "  SIGKILL@%zu: resumed from query %llu (restores=%llu failed=%llu)  "
+      "%s\n",
+      kill_at, static_cast<unsigned long long>(resume_from),
+      static_cast<unsigned long long>(mediator.snapshot_restores()),
+      static_cast<unsigned long long>(mediator.snapshot_restore_failures()),
+      identical ? "IDENTICAL" : "MISMATCH");
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_queries = 600;
+  size_t kill_at = 0;
+  std::string policy_name = "all";
+  std::string dir;
+  bool sigkill = false;
+  int repeat = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      num_queries = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--kill-at") == 0 && i + 1 < argc) {
+      kill_at = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--sigkill") == 0) {
+      sigkill = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--queries N] [--kill-at N] [--policy NAME] "
+                   "[--sigkill] [--repeat R] [--dir PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (kill_at == 0 || kill_at >= num_queries) kill_at = num_queries / 2;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/byc_warm_restart.XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 2;
+    }
+    dir = made;
+  }
+
+  bench::BenchRun run("svc_warm_restart");
+  Result<service::ServiceConfig> svc_config =
+      service::ServiceConfig::FromEnv();
+  if (!svc_config.ok()) {
+    std::fprintf(stderr, "bad BYC_SVC_* environment: %s\n",
+                 svc_config.status().ToString().c_str());
+    return 2;
+  }
+  // The sweep drives snapshots explicitly; the periodic checkpointer is
+  // only used by the --sigkill child.
+  svc_config->snapshot_dir.clear();
+  svc_config->snapshot_every_ms = 0;
+  run.AddConfig("queries", std::to_string(num_queries));
+  run.AddConfig("kill_at", std::to_string(kill_at));
+  run.AddConfig("snapshot_dir", dir);
+  run.AddConfig("mode", sigkill ? "sigkill" : "sweep");
+  run.AddConfig("svc.deadline_ms",
+                std::to_string(svc_config->deadline_ms));
+  run.AddConfig("svc.retries",
+                std::to_string(svc_config->retry.max_attempts - 1));
+
+  bench::Release release = bench::MakeRelease(false, num_queries);
+  uint64_t capacity = bench::CapacityFraction(release, 0.3);
+
+  std::printf("svc_warm_restart: %s, %zu queries, kill@%zu, dir=%s\n",
+              release.name.c_str(), release.trace.queries.size(), kill_at,
+              dir.c_str());
+
+  bool ok = true;
+  if (sigkill) {
+    for (int r = 0; r < repeat; ++r) {
+      ok &= RunSigkillCase(release, capacity, *svc_config, dir, kill_at);
+    }
+  } else {
+    const std::vector<WarmCase> cases = {
+        {"no_cache", core::PolicyKind::kNoCache},
+        {"lru", core::PolicyKind::kLru},
+        {"lru_k", core::PolicyKind::kLruK},
+        {"lfu", core::PolicyKind::kLfu},
+        {"gds", core::PolicyKind::kGds},
+        {"gdsp", core::PolicyKind::kGdsp},
+        {"static", core::PolicyKind::kStatic},
+        {"rate_profile", core::PolicyKind::kRateProfile},
+        {"online_by", core::PolicyKind::kOnlineBy},
+        {"online_by/irani", core::PolicyKind::kOnlineBy,
+         core::AobjKind::kIraniSizeClass},
+        {"space_eff_by", core::PolicyKind::kSpaceEffBy},
+    };
+    for (const WarmCase& wc : cases) {
+      if (policy_name != "all" && policy_name != wc.label) continue;
+      ok &= RunWarmCase(release, catalog::Granularity::kTable, wc, capacity,
+                        *svc_config, dir, kill_at);
+      ok &= RunWarmCase(release, catalog::Granularity::kColumn, wc,
+                        capacity, *svc_config, dir, kill_at);
+    }
+    if (policy_name == "all") {
+      ok &= RunTornWriteCase(release, capacity, *svc_config, dir);
+      ok &= RunCorruptionCase(release, capacity, *svc_config, dir);
+    }
+  }
+  RemoveSnapshotFiles(dir);
+  std::printf("svc_warm_restart: %s\n",
+              ok ? "PASS (resumed ledgers byte-identical)" : "FAIL");
+  return ok ? 0 : 1;
+}

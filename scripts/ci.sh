@@ -31,6 +31,7 @@
 #   CI_SKIP_LOAD=1      skip the concurrent-load smoke test
 #   CI_SKIP_WIRE=1      skip the wire codec micro smoke test
 #   CI_SKIP_OBS=1       skip the traced-load observability smoke test
+#   CI_SKIP_WARM=1      skip the warm-restart / crash-recovery smoke test
 #   CI_SVC_TIMEOUT      seconds before a service smoke test is killed
 #                       (default 300, applies to all service stages)
 #   CI_LOAD_CLIENTS     concurrent clients for the load smoke (default 4)
@@ -175,6 +176,31 @@ if n == 0:
     sys.exit(f"{path}: zero-threshold slow log is empty")
 print(f"    slow log OK ({n} JSONL records)")
 EOF
+fi
+
+if [ "${CI_SKIP_WARM:-0}" != "1" ]; then
+  warm=build/bench/svc_warm_restart
+  if [ ! -x "$warm" ]; then
+    cmake --preset release >/dev/null
+    cmake --build --preset release -j "$JOBS" --target svc_warm_restart
+  fi
+  warm_manifest="$(mktemp -t byc_warm_manifest.XXXXXX.json)"
+  trap 'rm -f "${manifest:-}" "${svc_manifest:-}" "${load_manifest:-}" "${load_json:-}" "${wire_manifest:-}" "$warm_manifest"; rm -rf "${obs_dir:-}"' EXIT
+  echo "==> warm-restart smoke test ($warm, all policies)"
+  # Snapshot mid-trace, simulate a crash, restore, finish the trace: the
+  # resumed ledger must be byte-identical to the uninterrupted run for
+  # every policy kind at both granularities (plus the torn-write and
+  # corrupted-snapshot fault cases). The binary exits nonzero on any
+  # single-bit divergence.
+  BYC_MANIFEST="$warm_manifest" \
+    timeout "${CI_SVC_TIMEOUT:-300}" "$warm" --queries 300
+  python3 scripts/validate_manifest.py --require-snapshot "$warm_manifest"
+  echo "==> warm-restart SIGKILL smoke test ($warm --sigkill)"
+  # The real thing: kill -9 the serving process mid-trace (the kill races
+  # the 25 ms checkpointer, landing mid-write some of the time), restart
+  # from whatever snapshot survived, and compare the resumed ledger
+  # bitwise against the uninterrupted baseline.
+  timeout "${CI_SVC_TIMEOUT:-300}" "$warm" --queries 400 --sigkill --repeat 3
 fi
 
 echo "==> CI OK (${PRESETS[*]})"

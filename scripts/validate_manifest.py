@@ -24,8 +24,15 @@ endpoint really served scrapes) and the "svc.admission_queue_depth"
 live gauge (refreshed on every kMetricsDump). The CI load smoke stage
 passes it and runs svc_concurrent_load with --probe.
 
+--require-snapshot demands the persistence fields of a warm-restart run
+(svc_warm_restart, or any persisting mediator): a "svc.snapshot_writes"
+counter >= 1, a positive "svc.snapshot_bytes" gauge, and the restore
+outcome counters ("svc.snapshot_restores", "svc.snapshot_restore_failed")
+present — so a CI warm-restart stage that silently never snapshotted or
+never restored cannot pass.
+
 Usage: validate_manifest.py [--require-service] [--require-load]
-                            <manifest.json> [...]
+                            [--require-snapshot] <manifest.json> [...]
 Exits nonzero with a message per violation.
 """
 
@@ -261,11 +268,48 @@ def validate_load_fields(doc, path, errors, required):
                      errors)
 
 
+def validate_snapshot_fields(doc, path, errors, required):
+    """Checks the persistence additions of a warm-restart manifest: the
+    snapshot write/restore counters a persisting mediator maintains."""
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    metrics = metrics if isinstance(metrics, dict) else {}
+    counters = metrics.get("counters", {})
+    counters = counters if isinstance(counters, dict) else {}
+    gauges = metrics.get("gauges", {})
+    gauges = gauges if isinstance(gauges, dict) else {}
+
+    has_snapshot = "svc.snapshot_writes" in counters
+    if not has_snapshot:
+        if required:
+            fail(path, "no 'svc.snapshot_writes' counter found "
+                 "(--require-snapshot)", errors)
+        return
+
+    writes = counters["svc.snapshot_writes"]
+    if required and isinstance(writes, int) and writes < 1:
+        fail(path, f"counter 'svc.snapshot_writes' must be >= 1 for a "
+             f"warm-restart run: {writes!r}", errors)
+
+    size = gauges.get("svc.snapshot_bytes")
+    if size is None:
+        fail(path, "snapshot manifest missing gauge 'svc.snapshot_bytes'",
+             errors)
+    elif required and is_number(size) and size <= 0:
+        fail(path, f"gauge 'svc.snapshot_bytes' must be positive after a "
+             f"snapshot write: {size!r}", errors)
+
+    for name in ("svc.snapshot_restores", "svc.snapshot_restore_failed"):
+        if name not in counters:
+            fail(path, f"snapshot manifest missing counter {name!r} "
+                 f"(restore outcomes must be recorded)", errors)
+
+
 def main(argv):
     args = argv[1:]
     require_service = "--require-service" in args
     require_load = "--require-load" in args
-    flags = ("--require-service", "--require-load")
+    require_snapshot = "--require-snapshot" in args
+    flags = ("--require-service", "--require-load", "--require-snapshot")
     paths = [a for a in args if a not in flags]
     if not paths:
         print(__doc__.strip(), file=sys.stderr)
@@ -281,6 +325,7 @@ def main(argv):
         validate_manifest(doc, path, errors)
         validate_service_fields(doc, path, errors, require_service)
         validate_load_fields(doc, path, errors, require_load)
+        validate_snapshot_fields(doc, path, errors, require_snapshot)
     if errors:
         for error in errors:
             print(f"validate_manifest: {error}", file=sys.stderr)

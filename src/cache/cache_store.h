@@ -61,6 +61,13 @@ class CacheStore {
     for (const auto& [id, entry] : entries_) fn(id, entry);
   }
 
+  /// Empties the store (capacity unchanged) — snapshot restore rebuilds
+  /// residency from serialized state.
+  void Clear() {
+    entries_.clear();
+    used_bytes_ = 0;
+  }
+
  private:
   uint64_t capacity_bytes_;
   uint64_t used_bytes_ = 0;

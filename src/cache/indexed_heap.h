@@ -119,10 +119,19 @@ class IndexedMinHeap {
     return key;
   }
 
-  /// Visits all (key, priority) pairs in unspecified order.
+  /// Visits all (key, priority) pairs in the heap's internal array order
+  /// (deterministic for a given operation history; snapshot save/restore
+  /// relies on reproducing exactly this order).
   template <typename F>
   void ForEach(F&& fn) const {
     for (const Entry& e : entries_) fn(e.key, e.priority);
+  }
+
+  /// Empties the heap — snapshot restore rebuilds it from serialized
+  /// state.
+  void Clear() {
+    entries_.clear();
+    index_.clear();
   }
 
   /// Heap-order invariant check, used by tests.

@@ -93,6 +93,18 @@ Result<HostPort> ParseHostPort(std::string_view text) {
   return out;
 }
 
+Result<std::string> ParsePath(std::string_view text) {
+  if (text.empty()) return BadValue("empty path", text);
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return BadValue("whitespace or control character in path", text);
+    }
+  }
+  while (text.size() > 1 && text.back() == '/') text.remove_suffix(1);
+  return std::string(text);
+}
+
 Result<int64_t> IntOr(const char* name, int64_t fallback, int64_t min,
                       int64_t max) {
   std::optional<std::string> raw = Raw(name);
@@ -110,6 +122,17 @@ Result<int64_t> DurationMsOr(const char* name, int64_t fallback,
   std::optional<std::string> raw = Raw(name);
   if (!raw.has_value()) return fallback;
   Result<int64_t> parsed = ParseDurationMs(*raw, min_ms, max_ms);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(std::string(name) + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<std::string> PathOr(const char* name, std::string_view fallback) {
+  std::optional<std::string> raw = Raw(name);
+  if (!raw.has_value()) return std::string(fallback);
+  Result<std::string> parsed = ParsePath(*raw);
   if (!parsed.ok()) {
     return Status::InvalidArgument(std::string(name) + ": " +
                                    parsed.status().message());

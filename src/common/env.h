@@ -50,6 +50,14 @@ struct HostPort {
 /// 127.0.0.1 — every server in this repo listens on loopback.
 Result<HostPort> ParseHostPort(std::string_view text);
 
+/// Validates a filesystem path value (snapshot directories and the
+/// like): nonempty, no whitespace or control characters (a newline in a
+/// path env var is always an injection or a copy-paste accident), and a
+/// trailing '/' is stripped so "<dir>/file" concatenation is uniform.
+/// The path itself is NOT required to exist — the consumer creates it or
+/// fails with its own IoError.
+Result<std::string> ParsePath(std::string_view text);
+
 /// Reads `name` as a strict integer: unset/empty returns `fallback`, a
 /// set-but-invalid value returns the parse error (never a silent
 /// fallback — a typo'd knob must not quietly reconfigure a server).
@@ -59,6 +67,9 @@ Result<int64_t> IntOr(const char* name, int64_t fallback, int64_t min,
 /// Duration-valued counterpart of IntOr (milliseconds).
 Result<int64_t> DurationMsOr(const char* name, int64_t fallback,
                              int64_t min_ms, int64_t max_ms);
+
+/// Path-valued counterpart of IntOr (see ParsePath).
+Result<std::string> PathOr(const char* name, std::string_view fallback);
 
 }  // namespace byc::env
 

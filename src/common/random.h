@@ -1,6 +1,7 @@
 #ifndef BYC_COMMON_RANDOM_H_
 #define BYC_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,13 @@ class Rng {
       size_t j = static_cast<size_t>(NextUint64(i));
       std::swap(v[i - 1], v[j]);
     }
+  }
+
+  /// Raw xoshiro256++ state, for checkpoint/restore: a generator rebuilt
+  /// with set_state() continues the exact same stream.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

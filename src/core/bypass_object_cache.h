@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "catalog/object_id.h"
+#include "common/result.h"
 #include "core/policy.h"
+#include "persist/codec.h"
 
 namespace byc::core {
 
@@ -45,6 +47,12 @@ class BypassObjectCache {
   /// rent, etc.); 0 for algorithms like Landlord that track residents
   /// only.
   virtual PolicyStats stats() const = 0;
+
+  /// Same contract as CachePolicy::SaveState/LoadState: the complete
+  /// decision state, canonically encoded; the OnlineBY/SpaceEffBY
+  /// wrappers embed their A_obj's blob inside their own.
+  virtual void SaveState(std::vector<uint8_t>& out) const;
+  virtual Status LoadState(persist::ByteReader& in);
 };
 
 }  // namespace byc::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/policy_state.h"
 
 namespace byc::core {
 
@@ -34,6 +35,70 @@ Decision InlineCachePolicy::OnAccess(const Access& access) {
 }
 
 void InlineCachePolicy::OnEvict(const catalog::ObjectId&, double) {}
+
+void InlineCachePolicy::SaveSide(std::vector<uint8_t>&) const {}
+
+Status InlineCachePolicy::LoadSide(persist::ByteReader&) {
+  return Status::OK();
+}
+
+void InlineCachePolicy::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+  persist::AppendU64(out, now_);
+  state::SaveStore(out, store_);
+  state::SaveHeap(out, heap_);
+  SaveSide(out);
+}
+
+Status InlineCachePolicy::LoadState(persist::ByteReader& in) {
+  BYC_RETURN_IF_ERROR(state::LoadHeader(in));
+  BYC_ASSIGN_OR_RETURN(now_, in.ReadU64());
+  BYC_RETURN_IF_ERROR(state::LoadStore(in, store_));
+  BYC_RETURN_IF_ERROR(state::LoadHeap(in, heap_));
+  return LoadSide(in);
+}
+
+void LfuPolicy::SaveSide(std::vector<uint8_t>& out) const {
+  state::SaveU64Map(out, frequency_);
+}
+
+Status LfuPolicy::LoadSide(persist::ByteReader& in) {
+  return state::LoadU64Map(in, frequency_);
+}
+
+void LruKPolicy::SaveSide(std::vector<uint8_t>& out) const {
+  persist::AppendU64(out, static_cast<uint64_t>(k_));
+  state::SaveU64VecMap(out, history_);
+}
+
+Status LruKPolicy::LoadSide(persist::ByteReader& in) {
+  BYC_ASSIGN_OR_RETURN(uint64_t k, in.ReadU64());
+  if (k != static_cast<uint64_t>(k_)) {
+    return Status::ParseError("LRU-K state: snapshot K " +
+                              std::to_string(k) + " != configured K " +
+                              std::to_string(k_));
+  }
+  return state::LoadU64VecMap(in, history_);
+}
+
+void GdsPolicy::SaveSide(std::vector<uint8_t>& out) const {
+  persist::AppendF64(out, inflation_);
+}
+
+Status GdsPolicy::LoadSide(persist::ByteReader& in) {
+  BYC_ASSIGN_OR_RETURN(inflation_, in.ReadF64());
+  return Status::OK();
+}
+
+void GdspPolicy::SaveSide(std::vector<uint8_t>& out) const {
+  persist::AppendF64(out, inflation_);
+  state::SaveU64Map(out, frequency_);
+}
+
+Status GdspPolicy::LoadSide(persist::ByteReader& in) {
+  BYC_ASSIGN_OR_RETURN(inflation_, in.ReadF64());
+  return state::LoadU64Map(in, frequency_);
+}
 
 double LruKPolicy::TouchPriority(const Access& access, bool) {
   std::vector<uint64_t>& refs = history_[access.object.Key()];

@@ -31,6 +31,8 @@ class InlineCachePolicy : public CachePolicy {
     return {store_.used_bytes(), store_.capacity_bytes(), 0,
             store_.num_objects()};
   }
+  void SaveState(std::vector<uint8_t>& out) const final;
+  Status LoadState(persist::ByteReader& in) final;
 
  protected:
   /// Priority (min evicts first) to assign on this touch.
@@ -38,6 +40,11 @@ class InlineCachePolicy : public CachePolicy {
 
   /// Hook invoked when `id` with priority `priority` is evicted.
   virtual void OnEvict(const catalog::ObjectId& id, double priority);
+
+  /// Subclass extras appended after the shared clock/store/heap state
+  /// (frequency counts, reference history, inflation); defaults to none.
+  virtual void SaveSide(std::vector<uint8_t>& out) const;
+  virtual Status LoadSide(persist::ByteReader& in);
 
   uint64_t now() const { return now_; }
 
@@ -72,6 +79,8 @@ class LfuPolicy : public InlineCachePolicy {
   double TouchPriority(const Access& access, bool) override {
     return static_cast<double>(++frequency_[access.object.Key()]);
   }
+  void SaveSide(std::vector<uint8_t>& out) const override;
+  Status LoadSide(persist::ByteReader& in) override;
 
  private:
   std::unordered_map<uint64_t, uint64_t> frequency_;
@@ -91,6 +100,8 @@ class LruKPolicy : public InlineCachePolicy {
 
  protected:
   double TouchPriority(const Access& access, bool hit) override;
+  void SaveSide(std::vector<uint8_t>& out) const override;
+  Status LoadSide(persist::ByteReader& in) override;
 
  private:
   int k_;
@@ -114,6 +125,8 @@ class GdsPolicy : public InlineCachePolicy {
            access.fetch_cost / static_cast<double>(access.size_bytes);
   }
   void OnEvict(const catalog::ObjectId& id, double priority) override;
+  void SaveSide(std::vector<uint8_t>& out) const override;
+  Status LoadSide(persist::ByteReader& in) override;
 
  private:
   double inflation_ = 0;  // the "L" value
@@ -137,6 +150,8 @@ class GdspPolicy : public InlineCachePolicy {
            freq * access.fetch_cost / static_cast<double>(access.size_bytes);
   }
   void OnEvict(const catalog::ObjectId& id, double priority) override;
+  void SaveSide(std::vector<uint8_t>& out) const override;
+  Status LoadSide(persist::ByteReader& in) override;
 
  private:
   double inflation_ = 0;

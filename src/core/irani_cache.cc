@@ -1,6 +1,9 @@
 #include "core/irani_cache.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "core/policy_state.h"
 
 namespace byc::core {
 
@@ -63,6 +66,58 @@ void IraniSizeClassCache::MakeSpace(uint64_t needed,
     rent_paid_.erase(victim.Key());
     out.push_back(victim);
   }
+}
+
+void IraniSizeClassCache::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+  persist::AppendU64(out, next_seq_);
+  persist::AppendU64(out, phase_count_);
+  state::SaveStore(out, store_);
+  // Residents in sorted-key order; classes_ is derivable (rebuilt from
+  // the unmarked residents on load), so it is not serialized.
+  std::vector<std::pair<catalog::ObjectId, Resident>> residents(
+      residents_.begin(), residents_.end());
+  std::sort(residents.begin(), residents.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.Key() < b.first.Key();
+            });
+  persist::AppendU64(out, residents.size());
+  for (const auto& [id, r] : residents) {
+    state::SaveObjectId(out, id);
+    persist::AppendI32(out, r.size_class);
+    persist::AppendU64(out, r.size_bytes);
+    persist::AppendU64(out, r.admit_seq);
+    persist::AppendU8(out, r.marked ? 1 : 0);
+  }
+  state::SaveF64Map(out, rent_paid_);
+}
+
+Status IraniSizeClassCache::LoadState(persist::ByteReader& in) {
+  BYC_RETURN_IF_ERROR(state::LoadHeader(in));
+  BYC_ASSIGN_OR_RETURN(next_seq_, in.ReadU64());
+  BYC_ASSIGN_OR_RETURN(phase_count_, in.ReadU64());
+  BYC_RETURN_IF_ERROR(state::LoadStore(in, store_));
+  BYC_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  residents_.clear();
+  classes_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(catalog::ObjectId id, state::LoadObjectId(in));
+    Resident r;
+    BYC_ASSIGN_OR_RETURN(r.size_class, in.ReadI32());
+    BYC_ASSIGN_OR_RETURN(r.size_bytes, in.ReadU64());
+    BYC_ASSIGN_OR_RETURN(r.admit_seq, in.ReadU64());
+    BYC_ASSIGN_OR_RETURN(uint8_t marked, in.ReadU8());
+    r.marked = marked != 0;
+    if (!residents_.emplace(id, r).second) {
+      return Status::ParseError("Irani state: duplicate resident");
+    }
+    if (!r.marked) {
+      SizeClass& sc = classes_[r.size_class];
+      sc.unmarked_fifo.emplace(r.admit_seq, id);
+      sc.unmarked_bytes += r.size_bytes;
+    }
+  }
+  return state::LoadF64Map(in, rent_paid_);
 }
 
 BypassObjectCache::RequestOutcome IraniSizeClassCache::OnRequest(

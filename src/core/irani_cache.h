@@ -45,6 +45,9 @@ class IraniSizeClassCache : public BypassObjectCache {
   /// Number of completed marking phases (tests observe phase resets).
   uint64_t phase_count() const { return phase_count_; }
 
+  void SaveState(std::vector<uint8_t>& out) const override;
+  Status LoadState(persist::ByteReader& in) override;
+
  private:
   struct Resident {
     int size_class = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/policy_state.h"
 
 namespace byc::core {
 
@@ -53,6 +54,39 @@ BypassObjectCache::RequestOutcome LandlordCache::OnRequest(
   Admit(id, size_bytes, fetch_cost);
   outcome.loaded = true;
   return outcome;
+}
+
+void LandlordCache::SaveSide(std::vector<uint8_t>&) const {}
+
+Status LandlordCache::LoadSide(persist::ByteReader&) {
+  return Status::OK();
+}
+
+void LandlordCache::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+  persist::AppendF64(out, inflation_);
+  state::SaveStore(out, store_);
+  state::SaveHeap(out, heap_);
+  SaveSide(out);
+}
+
+Status LandlordCache::LoadState(persist::ByteReader& in) {
+  BYC_RETURN_IF_ERROR(state::LoadHeader(in));
+  BYC_ASSIGN_OR_RETURN(inflation_, in.ReadF64());
+  BYC_RETURN_IF_ERROR(state::LoadStore(in, store_));
+  BYC_RETURN_IF_ERROR(state::LoadHeap(in, heap_));
+  return LoadSide(in);
+}
+
+void RentToBuyCache::SaveSide(std::vector<uint8_t>& out) const {
+  // The full rent ledger, zero-valued entries included: a "bought" entry
+  // stays in the map at rent 0, and metadata_entries must agree after a
+  // restore.
+  state::SaveF64Map(out, rent_paid_);
+}
+
+Status RentToBuyCache::LoadSide(persist::ByteReader& in) {
+  return state::LoadF64Map(in, rent_paid_);
 }
 
 BypassObjectCache::RequestOutcome RentToBuyCache::OnRequest(

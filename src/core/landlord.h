@@ -42,7 +42,15 @@ class LandlordCache : public BypassObjectCache {
   /// Current credit of a resident object (tests). Precondition: resident.
   double CreditOf(const catalog::ObjectId& id) const;
 
+  void SaveState(std::vector<uint8_t>& out) const final;
+  Status LoadState(persist::ByteReader& in) final;
+
  protected:
+  /// Subclass extras appended after the inflation/store/heap state
+  /// (RentToBuy's rent ledger); defaults to none.
+  virtual void SaveSide(std::vector<uint8_t>& out) const;
+  virtual Status LoadSide(persist::ByteReader& in);
+
   /// Evicts minimum normalized-credit objects until `needed` bytes are
   /// free, appending victims to `out`.
   void MakeSpace(uint64_t needed, std::vector<catalog::ObjectId>& out);
@@ -83,6 +91,10 @@ class RentToBuyCache : public LandlordCache {
     stats.metadata_entries = rent_paid_.size();
     return stats;
   }
+
+ protected:
+  void SaveSide(std::vector<uint8_t>& out) const override;
+  Status LoadSide(persist::ByteReader& in) override;
 
  private:
   std::unordered_map<uint64_t, double> rent_paid_;  // by ObjectId::Key()

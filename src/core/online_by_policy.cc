@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "core/irani_cache.h"
 #include "core/landlord.h"
+#include "core/policy_state.h"
 
 namespace byc::core {
 
@@ -38,6 +39,20 @@ OnlineByPolicy::OnlineByPolicy(const Options& options)
 double OnlineByPolicy::ByuOf(const catalog::ObjectId& id) const {
   auto it = byu_.find(id.Key());
   return it == byu_.end() ? 0.0 : it->second;
+}
+
+void OnlineByPolicy::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+  state::SaveF64Map(out, byu_);
+  // The A_obj blob is embedded mid-stream; LoadState composes the same
+  // way, so the reader ends up positioned right after it.
+  aobj_->SaveState(out);
+}
+
+Status OnlineByPolicy::LoadState(persist::ByteReader& in) {
+  BYC_RETURN_IF_ERROR(state::LoadHeader(in));
+  BYC_RETURN_IF_ERROR(state::LoadF64Map(in, byu_));
+  return aobj_->LoadState(in);
 }
 
 Decision OnlineByPolicy::OnAccess(const Access& access) {

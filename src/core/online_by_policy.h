@@ -64,6 +64,9 @@ class OnlineByPolicy : public CachePolicy {
 
   const BypassObjectCache& aobj() const { return *aobj_; }
 
+  void SaveState(std::vector<uint8_t>& out) const override;
+  Status LoadState(persist::ByteReader& in) override;
+
  private:
   std::unique_ptr<BypassObjectCache> aobj_;
   std::unordered_map<uint64_t, double> byu_;  // by ObjectId::Key()

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "catalog/object_id.h"
+#include "common/result.h"
 #include "core/access.h"
+#include "persist/codec.h"
 
 namespace byc::core {
 
@@ -81,6 +83,21 @@ class CachePolicy {
   /// Snapshot of the policy's cache state. The default (all zeros) suits
   /// cacheless policies; stateful policies override it wholesale.
   virtual PolicyStats stats() const { return {}; }
+
+  /// Serializes the policy's COMPLETE decision state (residency, utility
+  /// metadata, logical clock, randomness) as a versioned binary blob —
+  /// a freshly constructed policy of the same configuration restored
+  /// with LoadState continues the decision stream bit-identically to the
+  /// original. Canonical encoding: save(load(save(p))) == save(p)
+  /// byte-for-byte (see core/policy_state.h for the ground rules). The
+  /// default writes a bare version header (stateless policies).
+  virtual void SaveState(std::vector<uint8_t>& out) const;
+
+  /// Restores state written by SaveState on an identically configured
+  /// policy. Malformed or mismatched bytes are a typed error (the policy
+  /// may be left partially restored — discard it on failure); the reader
+  /// is left positioned after the blob, so blobs compose in streams.
+  virtual Status LoadState(persist::ByteReader& in);
 };
 
 }  // namespace byc::core

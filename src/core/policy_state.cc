@@ -1,0 +1,202 @@
+#include "core/policy_state.h"
+
+#include <algorithm>
+
+#include "core/bypass_object_cache.h"
+#include "core/policy.h"
+
+namespace byc::core::state {
+
+void SaveHeader(std::vector<uint8_t>& out) {
+  persist::AppendU8(out, kPolicyStateVersion);
+}
+
+Status LoadHeader(persist::ByteReader& in) {
+  BYC_ASSIGN_OR_RETURN(uint8_t version, in.ReadU8());
+  if (version != kPolicyStateVersion) {
+    return Status::ParseError("policy state: unsupported version " +
+                              std::to_string(version));
+  }
+  return Status::OK();
+}
+
+void SaveObjectId(std::vector<uint8_t>& out, const catalog::ObjectId& id) {
+  persist::AppendI32(out, id.table);
+  persist::AppendI32(out, id.column);
+}
+
+Result<catalog::ObjectId> LoadObjectId(persist::ByteReader& in) {
+  catalog::ObjectId id;
+  BYC_ASSIGN_OR_RETURN(id.table, in.ReadI32());
+  BYC_ASSIGN_OR_RETURN(id.column, in.ReadI32());
+  return id;
+}
+
+void SaveStore(std::vector<uint8_t>& out, const cache::CacheStore& store) {
+  persist::AppendU64(out, store.capacity_bytes());
+  auto entries = store.Snapshot();
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.Key() < b.first.Key();
+            });
+  persist::AppendU64(out, entries.size());
+  for (const auto& [id, entry] : entries) {
+    SaveObjectId(out, id);
+    persist::AppendU64(out, entry.size_bytes);
+    persist::AppendU64(out, entry.load_time);
+  }
+}
+
+Status LoadStore(persist::ByteReader& in, cache::CacheStore& store) {
+  BYC_ASSIGN_OR_RETURN(uint64_t capacity, in.ReadU64());
+  if (capacity != store.capacity_bytes()) {
+    return Status::ParseError(
+        "policy state: snapshot capacity " + std::to_string(capacity) +
+        " != configured capacity " +
+        std::to_string(store.capacity_bytes()));
+  }
+  BYC_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  store.Clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(catalog::ObjectId id, LoadObjectId(in));
+    BYC_ASSIGN_OR_RETURN(uint64_t size_bytes, in.ReadU64());
+    BYC_ASSIGN_OR_RETURN(uint64_t load_time, in.ReadU64());
+    Status inserted = store.Insert(id, size_bytes, load_time);
+    if (!inserted.ok()) {
+      return Status::ParseError("policy state: resident set invalid: " +
+                                inserted.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+void SaveHeap(std::vector<uint8_t>& out, const ObjectHeap& heap) {
+  persist::AppendU64(out, heap.size());
+  heap.ForEach([&](const catalog::ObjectId& id, double priority) {
+    SaveObjectId(out, id);
+    persist::AppendF64(out, priority);
+  });
+}
+
+Status LoadHeap(persist::ByteReader& in, ObjectHeap& heap) {
+  BYC_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  heap.Clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(catalog::ObjectId id, LoadObjectId(in));
+    BYC_ASSIGN_OR_RETURN(double priority, in.ReadF64());
+    if (heap.Contains(id)) {
+      return Status::ParseError("policy state: duplicate heap key");
+    }
+    // Entries were written in valid heap-array order, so each insert's
+    // sift-up is a no-op and the array is reproduced exactly.
+    heap.Insert(id, priority);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+template <typename V>
+std::vector<std::pair<uint64_t, V>> SortedByKey(
+    const std::unordered_map<uint64_t, V>& map) {
+  std::vector<std::pair<uint64_t, V>> items(map.begin(), map.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace
+
+void SaveU64Map(std::vector<uint8_t>& out,
+                const std::unordered_map<uint64_t, uint64_t>& map) {
+  persist::AppendU64(out, map.size());
+  for (const auto& [key, value] : SortedByKey(map)) {
+    persist::AppendU64(out, key);
+    persist::AppendU64(out, value);
+  }
+}
+
+Status LoadU64Map(persist::ByteReader& in,
+                  std::unordered_map<uint64_t, uint64_t>& map) {
+  BYC_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  map.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(uint64_t key, in.ReadU64());
+    BYC_ASSIGN_OR_RETURN(uint64_t value, in.ReadU64());
+    map[key] = value;
+  }
+  return Status::OK();
+}
+
+void SaveF64Map(std::vector<uint8_t>& out,
+                const std::unordered_map<uint64_t, double>& map) {
+  persist::AppendU64(out, map.size());
+  for (const auto& [key, value] : SortedByKey(map)) {
+    persist::AppendU64(out, key);
+    persist::AppendF64(out, value);
+  }
+}
+
+Status LoadF64Map(persist::ByteReader& in,
+                  std::unordered_map<uint64_t, double>& map) {
+  BYC_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  map.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(uint64_t key, in.ReadU64());
+    BYC_ASSIGN_OR_RETURN(double value, in.ReadF64());
+    map[key] = value;
+  }
+  return Status::OK();
+}
+
+void SaveU64VecMap(
+    std::vector<uint8_t>& out,
+    const std::unordered_map<uint64_t, std::vector<uint64_t>>& map) {
+  persist::AppendU64(out, map.size());
+  for (const auto& [key, values] : SortedByKey(map)) {
+    persist::AppendU64(out, key);
+    persist::AppendU64(out, values.size());
+    for (uint64_t v : values) persist::AppendU64(out, v);
+  }
+}
+
+Status LoadU64VecMap(
+    persist::ByteReader& in,
+    std::unordered_map<uint64_t, std::vector<uint64_t>>& map) {
+  BYC_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  map.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(uint64_t key, in.ReadU64());
+    BYC_ASSIGN_OR_RETURN(uint64_t n, in.ReadU64());
+    std::vector<uint64_t>& values = map[key];
+    for (uint64_t j = 0; j < n; ++j) {
+      BYC_ASSIGN_OR_RETURN(uint64_t v, in.ReadU64());
+      values.push_back(v);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace byc::core::state
+
+namespace byc::core {
+
+// Defaults for stateless policies (NoCache): a bare version header, so
+// every policy kind round-trips through the same snapshot machinery.
+void CachePolicy::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+}
+
+Status CachePolicy::LoadState(persist::ByteReader& in) {
+  return state::LoadHeader(in);
+}
+
+void BypassObjectCache::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+}
+
+Status BypassObjectCache::LoadState(persist::ByteReader& in) {
+  return state::LoadHeader(in);
+}
+
+}  // namespace byc::core

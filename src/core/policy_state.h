@@ -1,0 +1,71 @@
+#ifndef BYC_CORE_POLICY_STATE_H_
+#define BYC_CORE_POLICY_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_store.h"
+#include "cache/indexed_heap.h"
+#include "catalog/object_id.h"
+#include "common/result.h"
+#include "persist/codec.h"
+
+namespace byc::core::state {
+
+/// Shared building blocks for CachePolicy::SaveState/LoadState. The
+/// contract every implementation honours:
+///
+///  * serialization is CANONICAL — hash-map contents are written in
+///    sorted-key order, so save(load(save(p))) == save(p) byte-for-byte
+///    regardless of the maps' incidental iteration order;
+///  * the IndexedMinHeap is the one exception: it is written in its
+///    internal ARRAY order and restored by inserting in that same order.
+///    Because the source array satisfies the heap invariant, each insert's
+///    sift-up is a no-op and the restored array is element-for-element
+///    identical — which pins every future PopMin/PeekMin tie-break, the
+///    part of the decision state a sorted encoding would lose;
+///  * loaders are typed-Result parsers: truncated or inconsistent bytes
+///    produce a ParseError, never a crash.
+
+/// Version byte leading every policy state blob.
+inline constexpr uint8_t kPolicyStateVersion = 1;
+
+void SaveHeader(std::vector<uint8_t>& out);
+Status LoadHeader(persist::ByteReader& in);
+
+void SaveObjectId(std::vector<uint8_t>& out, const catalog::ObjectId& id);
+Result<catalog::ObjectId> LoadObjectId(persist::ByteReader& in);
+
+/// Resident set, sorted by ObjectId::Key(). Restoring clears the store;
+/// capacity is written and verified so a snapshot can never be loaded
+/// into a differently-sized cache.
+void SaveStore(std::vector<uint8_t>& out, const cache::CacheStore& store);
+Status LoadStore(persist::ByteReader& in, cache::CacheStore& store);
+
+using ObjectHeap =
+    cache::IndexedMinHeap<catalog::ObjectId, catalog::ObjectIdHash>;
+
+/// Heap in internal array order (see the contract note above).
+void SaveHeap(std::vector<uint8_t>& out, const ObjectHeap& heap);
+Status LoadHeap(persist::ByteReader& in, ObjectHeap& heap);
+
+/// Hash maps in sorted-key order. Restoring clears the destination.
+void SaveU64Map(std::vector<uint8_t>& out,
+                const std::unordered_map<uint64_t, uint64_t>& map);
+Status LoadU64Map(persist::ByteReader& in,
+                  std::unordered_map<uint64_t, uint64_t>& map);
+void SaveF64Map(std::vector<uint8_t>& out,
+                const std::unordered_map<uint64_t, double>& map);
+Status LoadF64Map(persist::ByteReader& in,
+                  std::unordered_map<uint64_t, double>& map);
+void SaveU64VecMap(
+    std::vector<uint8_t>& out,
+    const std::unordered_map<uint64_t, std::vector<uint64_t>>& map);
+Status LoadU64VecMap(
+    persist::ByteReader& in,
+    std::unordered_map<uint64_t, std::vector<uint64_t>>& map);
+
+}  // namespace byc::core::state
+
+#endif  // BYC_CORE_POLICY_STATE_H_

@@ -96,6 +96,41 @@ void ObjectProfile::OnLoaded(const EpisodeParams& params) {
   CloseEpisode(params);
 }
 
+void ObjectProfile::SaveState(std::vector<uint8_t>& out) const {
+  persist::AppendU64(out, size_bytes_);
+  persist::AppendF64(out, fetch_cost_);
+  persist::AppendU64(out, last_access_);
+  persist::AppendU8(out, has_current_ ? 1 : 0);
+  persist::AppendU64(out, current_.start);
+  persist::AppendF64(out, current_.yield_sum);
+  persist::AppendF64(out, current_.peak_lar);
+  persist::AppendU8(out, current_.peak_valid ? 1 : 0);
+  persist::AppendU64(out, past_lars_.size());
+  for (double lar : past_lars_) persist::AppendF64(out, lar);
+}
+
+Result<ObjectProfile> ObjectProfile::LoadFrom(persist::ByteReader& in) {
+  uint64_t size_bytes = 0;
+  double fetch_cost = 0;
+  BYC_ASSIGN_OR_RETURN(size_bytes, in.ReadU64());
+  BYC_ASSIGN_OR_RETURN(fetch_cost, in.ReadF64());
+  ObjectProfile profile(size_bytes, fetch_cost);
+  BYC_ASSIGN_OR_RETURN(profile.last_access_, in.ReadU64());
+  BYC_ASSIGN_OR_RETURN(uint8_t has_current, in.ReadU8());
+  profile.has_current_ = has_current != 0;
+  BYC_ASSIGN_OR_RETURN(profile.current_.start, in.ReadU64());
+  BYC_ASSIGN_OR_RETURN(profile.current_.yield_sum, in.ReadF64());
+  BYC_ASSIGN_OR_RETURN(profile.current_.peak_lar, in.ReadF64());
+  BYC_ASSIGN_OR_RETURN(uint8_t peak_valid, in.ReadU8());
+  profile.current_.peak_valid = peak_valid != 0;
+  BYC_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(double lar, in.ReadF64());
+    profile.past_lars_.push_back(lar);
+  }
+  return profile;
+}
+
 void ObjectProfile::OnEvicted(double final_rp, uint64_t cache_lifetime,
                               const EpisodeParams& params) {
   BYC_CHECK(!has_current_);

@@ -4,6 +4,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <vector>
+
+#include "common/result.h"
+#include "persist/codec.h"
 
 namespace byc::core {
 
@@ -67,6 +71,12 @@ class ObjectProfile {
   uint64_t last_access() const { return last_access_; }
   bool has_open_episode() const { return has_current_; }
   size_t num_past_episodes() const { return past_lars_.size(); }
+
+  /// Serializes the profile (size, fetch cost, open episode, LAR
+  /// history) for snapshot/restore; canonical byte encoding.
+  void SaveState(std::vector<uint8_t>& out) const;
+  /// Inverse of SaveState; typed ParseError on malformed bytes.
+  static Result<ObjectProfile> LoadFrom(persist::ByteReader& in);
 
  private:
   struct Episode {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "core/policy_state.h"
 
 namespace byc::core {
 
@@ -70,6 +71,65 @@ void RateProfilePolicy::PruneProfiles() {
     }
   }
   if (oldest != profiles_.end()) profiles_.erase(oldest);
+}
+
+void RateProfilePolicy::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+  persist::AppendU64(out, now_);
+  state::SaveStore(out, store_);
+  // Both side maps in sorted-key order for a canonical encoding.
+  std::vector<std::pair<catalog::ObjectId, CachedState>> cached(
+      cached_.begin(), cached_.end());
+  std::sort(cached.begin(), cached.end(), [](const auto& a, const auto& b) {
+    return a.first.Key() < b.first.Key();
+  });
+  persist::AppendU64(out, cached.size());
+  for (const auto& [id, s] : cached) {
+    state::SaveObjectId(out, id);
+    persist::AppendF64(out, s.yield_sum);
+    persist::AppendU64(out, s.load_time);
+    persist::AppendF64(out, s.fetch_cost);
+  }
+  std::vector<std::pair<catalog::ObjectId, const ObjectProfile*>> profiles;
+  profiles.reserve(profiles_.size());
+  for (const auto& [id, p] : profiles_) profiles.emplace_back(id, &p);
+  std::sort(profiles.begin(), profiles.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.Key() < b.first.Key();
+            });
+  persist::AppendU64(out, profiles.size());
+  for (const auto& [id, p] : profiles) {
+    state::SaveObjectId(out, id);
+    p->SaveState(out);
+  }
+}
+
+Status RateProfilePolicy::LoadState(persist::ByteReader& in) {
+  BYC_RETURN_IF_ERROR(state::LoadHeader(in));
+  BYC_ASSIGN_OR_RETURN(now_, in.ReadU64());
+  BYC_RETURN_IF_ERROR(state::LoadStore(in, store_));
+  BYC_ASSIGN_OR_RETURN(uint64_t cached_count, in.ReadU64());
+  cached_.clear();
+  for (uint64_t i = 0; i < cached_count; ++i) {
+    BYC_ASSIGN_OR_RETURN(catalog::ObjectId id, state::LoadObjectId(in));
+    CachedState s;
+    BYC_ASSIGN_OR_RETURN(s.yield_sum, in.ReadF64());
+    BYC_ASSIGN_OR_RETURN(s.load_time, in.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.fetch_cost, in.ReadF64());
+    if (!cached_.emplace(id, s).second) {
+      return Status::ParseError("RateProfile state: duplicate cached entry");
+    }
+  }
+  BYC_ASSIGN_OR_RETURN(uint64_t profile_count, in.ReadU64());
+  profiles_.clear();
+  for (uint64_t i = 0; i < profile_count; ++i) {
+    BYC_ASSIGN_OR_RETURN(catalog::ObjectId id, state::LoadObjectId(in));
+    BYC_ASSIGN_OR_RETURN(ObjectProfile profile, ObjectProfile::LoadFrom(in));
+    if (!profiles_.emplace(id, profile).second) {
+      return Status::ParseError("RateProfile state: duplicate profile");
+    }
+  }
+  return Status::OK();
 }
 
 Decision RateProfilePolicy::OnAccess(const Access& access) {

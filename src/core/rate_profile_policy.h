@@ -68,6 +68,9 @@ class RateProfilePolicy : public CachePolicy {
 
   size_t num_profiles() const { return profiles_.size(); }
 
+  void SaveState(std::vector<uint8_t>& out) const override;
+  Status LoadState(persist::ByteReader& in) override;
+
  private:
   struct CachedState {
     double yield_sum = 0;

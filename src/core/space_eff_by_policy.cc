@@ -3,8 +3,27 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/policy_state.h"
 
 namespace byc::core {
+
+void SpaceEffByPolicy::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+  // The xoshiro state pins the coin-flip sequence so a restored run makes
+  // bit-identical randomized decisions.
+  for (uint64_t word : rng_.state()) persist::AppendU64(out, word);
+  aobj_->SaveState(out);
+}
+
+Status SpaceEffByPolicy::LoadState(persist::ByteReader& in) {
+  BYC_RETURN_IF_ERROR(state::LoadHeader(in));
+  std::array<uint64_t, 4> words{};
+  for (uint64_t& word : words) {
+    BYC_ASSIGN_OR_RETURN(word, in.ReadU64());
+  }
+  rng_.set_state(words);
+  return aobj_->LoadState(in);
+}
 
 Decision SpaceEffByPolicy::OnAccess(const Access& access) {
   BYC_CHECK_GT(access.size_bytes, 0u);

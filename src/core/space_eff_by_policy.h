@@ -37,6 +37,9 @@ class SpaceEffByPolicy : public CachePolicy {
   }
   PolicyStats stats() const override { return aobj_->stats(); }
 
+  void SaveState(std::vector<uint8_t>& out) const override;
+  Status LoadState(persist::ByteReader& in) override;
+
  private:
   std::unique_ptr<BypassObjectCache> aobj_;
   Rng rng_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/policy_state.h"
+
 namespace byc::core {
 
 std::string_view ActionName(Action action) {
@@ -27,6 +29,40 @@ StaticPolicy::StaticPolicy(
     if (!store_.Insert(id, size, /*load_time=*/0).ok()) continue;
     if (charge_initial_load_) uncharged_.insert(id);
   }
+}
+
+void StaticPolicy::SaveState(std::vector<uint8_t>& out) const {
+  state::SaveHeader(out);
+  persist::AppendU8(out, charge_initial_load_ ? 1 : 0);
+  state::SaveStore(out, store_);
+  std::vector<catalog::ObjectId> uncharged(uncharged_.begin(),
+                                           uncharged_.end());
+  std::sort(uncharged.begin(), uncharged.end(),
+            [](const catalog::ObjectId& a, const catalog::ObjectId& b) {
+              return a.Key() < b.Key();
+            });
+  persist::AppendU64(out, uncharged.size());
+  for (const catalog::ObjectId& id : uncharged) state::SaveObjectId(out, id);
+}
+
+Status StaticPolicy::LoadState(persist::ByteReader& in) {
+  BYC_RETURN_IF_ERROR(state::LoadHeader(in));
+  BYC_ASSIGN_OR_RETURN(uint8_t charge, in.ReadU8());
+  if ((charge != 0) != charge_initial_load_) {
+    return Status::ParseError("Static state: charge_initial_load mismatch");
+  }
+  // The store rebuild replaces the constructor population, so the restored
+  // instance does not depend on the static contents being re-supplied.
+  BYC_RETURN_IF_ERROR(state::LoadStore(in, store_));
+  BYC_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+  uncharged_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(catalog::ObjectId id, state::LoadObjectId(in));
+    if (!uncharged_.insert(id).second) {
+      return Status::ParseError("Static state: duplicate uncharged entry");
+    }
+  }
+  return Status::OK();
 }
 
 Decision StaticPolicy::OnAccess(const Access& access) {

@@ -38,6 +38,9 @@ class StaticPolicy : public CachePolicy {
             store_.num_objects()};
   }
 
+  void SaveState(std::vector<uint8_t>& out) const override;
+  Status LoadState(persist::ByteReader& in) override;
+
  private:
   cache::CacheStore store_;
   bool charge_initial_load_;

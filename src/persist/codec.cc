@@ -1,0 +1,112 @@
+#include "persist/codec.h"
+
+#include <cstring>
+
+namespace byc::persist {
+
+void AppendU8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendI32(std::vector<uint8_t>& out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendF64(std::vector<uint8_t>& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  if (size_ - pos_ < 1) return Status::ParseError("payload truncated (u8)");
+  return data_[pos_++];
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  if (size_ - pos_ < 4) return Status::ParseError("payload truncated (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  if (size_ - pos_ < 8) return Status::ParseError("payload truncated (u64)");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> ByteReader::ReadI32() {
+  BYC_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<double> ByteReader::ReadF64() {
+  BYC_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string_view> ByteReader::ReadView(size_t n) {
+  if (size_ - pos_ < n) {
+    return Status::ParseError("payload truncated (view)");
+  }
+  std::string_view view(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return view;
+}
+
+std::string ByteReader::ReadText() {
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), size_ - pos_);
+  pos_ = size_;
+  return out;
+}
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  constexpr Crc32Table() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrcTable;
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kCrcTable.t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace byc::persist

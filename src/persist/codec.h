@@ -1,0 +1,71 @@
+#ifndef BYC_PERSIST_CODEC_H_
+#define BYC_PERSIST_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace byc::persist {
+
+/// Scalar byte codec shared by the wire protocol (service/wire.h) and the
+/// snapshot file format (persist/snapshot.h): fixed-width little-endian
+/// integers; doubles travel as their IEEE-754 bit pattern, so a value
+/// round-trips byte-exactly — the property both the loopback-equals-
+/// simulator guarantee and the warm-restart-equals-uninterrupted
+/// guarantee rest on.
+///
+/// This lives below the service layer on purpose: core policy state
+/// serialization (CachePolicy::SaveState) uses the same helpers without
+/// dragging sockets into the core dependency graph.
+
+void AppendU8(std::vector<uint8_t>& out, uint8_t v);
+void AppendU32(std::vector<uint8_t>& out, uint32_t v);
+void AppendU64(std::vector<uint8_t>& out, uint64_t v);
+void AppendI32(std::vector<uint8_t>& out, int32_t v);
+void AppendF64(std::vector<uint8_t>& out, double v);
+
+/// Sequential bounds-checked reader over a byte range. Every read is a
+/// typed Result; running off the end is a ParseError, never UB — the
+/// same reader backs both received wire payloads and snapshot sections,
+/// so hostile bytes from either source cannot crash the process.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& payload)
+      : data_(payload.data()), size_(payload.size()) {}
+  /// Reader over a borrowed byte range (e.g. a frame decoded in place in
+  /// a reactor connection's read buffer, or one snapshot section).
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<double> ReadF64();
+  /// The next `n` bytes as a borrowed view (no copy).
+  Result<std::string_view> ReadView(size_t n);
+  /// The rest of the payload as text.
+  std::string ReadText();
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over a byte range. Guards
+/// each snapshot section and the file footer against torn writes and
+/// bit rot; table-driven, no external dependency.
+uint32_t Crc32(const uint8_t* data, size_t len);
+inline uint32_t Crc32(const std::vector<uint8_t>& data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace byc::persist
+
+#endif  // BYC_PERSIST_CODEC_H_

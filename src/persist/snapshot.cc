@@ -1,0 +1,175 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace byc::persist {
+
+void SnapshotWriter::AddSection(uint32_t id,
+                                const std::vector<uint8_t>& payload) {
+  AppendU32(body_, id);
+  AppendU32(body_, static_cast<uint32_t>(payload.size()));
+  body_.insert(body_.end(), payload.begin(), payload.end());
+  AppendU32(body_, Crc32(payload));
+  ++count_;
+}
+
+std::vector<uint8_t> SnapshotWriter::Finish() const {
+  std::vector<uint8_t> out;
+  out.reserve(12 + body_.size() + 8);
+  AppendU32(out, kSnapshotMagic);
+  AppendU32(out, kSnapshotVersion);
+  AppendU32(out, count_);
+  out.insert(out.end(), body_.begin(), body_.end());
+  AppendU32(out, Crc32(out));
+  AppendU32(out, kSnapshotEndMarker);
+  return out;
+}
+
+Result<std::vector<SnapshotSection>> ParseSnapshot(const uint8_t* data,
+                                                   size_t size) {
+  ByteReader r(data, size);
+  BYC_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kSnapshotMagic) {
+    return Status::ParseError("snapshot: bad magic");
+  }
+  BYC_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kSnapshotVersion) {
+    return Status::ParseError("snapshot: unsupported version " +
+                              std::to_string(version));
+  }
+  BYC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  // A section costs at least 12 bytes (id + len + crc); a count that
+  // promises more than the file can hold is rejected before any reserve.
+  if (r.remaining() < 8 ||
+      static_cast<uint64_t>(count) * 12 > r.remaining() - 8) {
+    return Status::ParseError("snapshot: section count " +
+                              std::to_string(count) +
+                              " cannot fit in a " + std::to_string(size) +
+                              "-byte file");
+  }
+  std::vector<SnapshotSection> sections;
+  sections.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SnapshotSection section;
+    BYC_ASSIGN_OR_RETURN(section.id, r.ReadU32());
+    BYC_ASSIGN_OR_RETURN(uint32_t len, r.ReadU32());
+    if (r.remaining() < 8 || static_cast<uint64_t>(len) > r.remaining() - 8) {
+      // The length must leave room for this section's CRC and the footer:
+      // a lying length never reads past the buffer or eats the footer.
+      return Status::ParseError("snapshot: section " + std::to_string(i) +
+                                " length " + std::to_string(len) +
+                                " overruns the file");
+    }
+    BYC_ASSIGN_OR_RETURN(std::string_view view, r.ReadView(len));
+    BYC_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
+    const uint8_t* bytes = reinterpret_cast<const uint8_t*>(view.data());
+    if (Crc32(bytes, view.size()) != crc) {
+      return Status::ParseError("snapshot: section " + std::to_string(i) +
+                                " (id " + std::to_string(section.id) +
+                                ") failed its CRC check");
+    }
+    section.payload.assign(bytes, bytes + view.size());
+    sections.push_back(std::move(section));
+  }
+  BYC_ASSIGN_OR_RETURN(uint32_t file_crc, r.ReadU32());
+  // Everything before the CRC field itself: the field starts 4 bytes
+  // before the current cursor (remaining() is the end-marker's 4 bytes).
+  if (Crc32(data, size - r.remaining() - 4) != file_crc) {
+    return Status::ParseError("snapshot: footer CRC mismatch");
+  }
+  BYC_ASSIGN_OR_RETURN(uint32_t end, r.ReadU32());
+  if (end != kSnapshotEndMarker) {
+    return Status::ParseError("snapshot: missing end marker");
+  }
+  if (r.remaining() != 0) {
+    return Status::ParseError("snapshot: trailing bytes after end marker");
+  }
+  return sections;
+}
+
+Result<std::vector<SnapshotSection>> ParseSnapshot(
+    const std::vector<uint8_t>& bytes) {
+  return ParseSnapshot(bytes.data(), bytes.size());
+}
+
+Status WriteFileDurable(const std::string& path,
+                        const std::vector<uint8_t>& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::IoError("write " + path + ": " + std::strerror(err));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("fsync " + path + ": " + std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError("close " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  std::string tmp = path + ".tmp";
+  BYC_RETURN_IF_ERROR(WriteFileDurable(tmp, bytes));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(err));
+  }
+  // Durability of the rename itself: fsync the containing directory.
+  // Best-effort — a failure here only weakens durability, not atomicity.
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::IoError("read " + path + ": " + std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace byc::persist

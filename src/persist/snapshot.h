@@ -1,0 +1,79 @@
+#ifndef BYC_PERSIST_SNAPSHOT_H_
+#define BYC_PERSIST_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "persist/codec.h"
+
+namespace byc::persist {
+
+/// Versioned, checksummed snapshot container (little-endian throughout,
+/// scalar encoding shared with the wire protocol via persist/codec.h):
+///
+///   | u32 magic "BYCS" | u32 version | u32 section_count |
+///   section x count:  | u32 id | u32 len | len bytes | u32 crc32(bytes) |
+///   footer:           | u32 crc32(all preceding bytes) | u32 "SNAP" |
+///
+/// Section ids are assigned by the producer (see service/mediator_server
+/// for the mediator's ids) and opaque to the container. The loader is a
+/// typed-Result parser: truncation anywhere, a section length that lies
+/// about the remaining bytes, a failed per-section or footer CRC, a
+/// missing end marker, or trailing junk each produce a ParseError —
+/// never a crash — so a torn or corrupted file degrades to a cold start.
+inline constexpr uint32_t kSnapshotMagic = 0x53435942u;      // "BYCS"
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotEndMarker = 0x50414E53u;  // "SNAP"
+
+/// Builds a snapshot file image section by section.
+class SnapshotWriter {
+ public:
+  /// Appends one complete section (id + body + its CRC).
+  void AddSection(uint32_t id, const std::vector<uint8_t>& payload);
+
+  size_t section_count() const { return count_; }
+
+  /// Finalizes the image: header + sections + footer CRC + end marker.
+  std::vector<uint8_t> Finish() const;
+
+ private:
+  std::vector<uint8_t> body_;  // encoded sections, in AddSection order
+  uint32_t count_ = 0;
+};
+
+/// One decoded section; `payload` owns its bytes (the source buffer may
+/// be freed after parsing).
+struct SnapshotSection {
+  uint32_t id = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Validates and decodes a snapshot image. Sections come back in file
+/// order; every integrity violation is a typed ParseError.
+Result<std::vector<SnapshotSection>> ParseSnapshot(const uint8_t* data,
+                                                   size_t size);
+Result<std::vector<SnapshotSection>> ParseSnapshot(
+    const std::vector<uint8_t>& bytes);
+
+/// Writes `bytes` to `path` durably: write + fsync to `path`.tmp, then
+/// rename over `path` and fsync the directory — a crash at any point
+/// leaves either the old file or the new one, never a torn mix.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
+
+/// Writes + fsyncs `path` directly (no temp/rename). The atomic writer's
+/// first half; exposed so fault injection can simulate a crash between
+/// the temp write and the rename.
+Status WriteFileDurable(const std::string& path,
+                        const std::vector<uint8_t>& bytes);
+
+/// Reads a whole file. NotFound when it does not exist; IoError on any
+/// other failure.
+Result<std::vector<uint8_t>> ReadFile(const std::string& path);
+
+}  // namespace byc::persist
+
+#endif  // BYC_PERSIST_SNAPSHOT_H_

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "exec/executor.h"
 #include "federation/federation.h"
+#include "service/fault.h"
 #include "service/reactor.h"
 #include "service/wire.h"
 
@@ -46,18 +47,10 @@ class BackendServer {
     const exec::Executor* executor = nullptr;
   };
 
-  /// Runtime fault switches, all safe to flip from any thread.
-  struct FaultPlan {
-    /// Accepted connections are closed immediately (connection refused
-    /// at the protocol level).
-    std::atomic<bool> refuse{false};
-    /// Requests are read but never answered; the connection is closed
-    /// instead (lost reply).
-    std::atomic<bool> drop{false};
-    /// Milliseconds to sleep before every reply (slow backend; drives
-    /// the mediator into its deadline).
-    std::atomic<int> delay_ms{0};
-  };
+  /// Runtime fault switches (service/fault.h, shared with the
+  /// mediator's snapshot path); the backend applies the transport
+  /// switches refuse/drop/delay_ms.
+  using FaultPlan = service::FaultPlan;
 
   explicit BackendServer(Options options) : options_(options) {}
   ~BackendServer() { Stop(); }

@@ -46,6 +46,13 @@ Result<ServiceConfig> ServiceConfig::FromEnv() {
   BYC_ASSIGN_OR_RETURN(
       config.slow_ms,
       env::DurationMsOr("BYC_SVC_SLOW_MS", config.slow_ms, 0, 600'000));
+  BYC_ASSIGN_OR_RETURN(
+      config.snapshot_dir,
+      env::PathOr("BYC_SVC_SNAPSHOT_DIR", config.snapshot_dir));
+  BYC_ASSIGN_OR_RETURN(config.snapshot_every_ms,
+                       env::DurationMsOr("BYC_SVC_SNAPSHOT_EVERY",
+                                         config.snapshot_every_ms, 0,
+                                         3'600'000));
   return config;
 }
 

@@ -2,6 +2,7 @@
 #define BYC_SERVICE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/result.h"
 #include "service/retry.h"
@@ -59,11 +60,24 @@ struct ServiceConfig {
   /// (MediatorServer::Options::slow_log). 0 logs every query
   /// (reconciliation mode); negative disables logging. BYC_SVC_SLOW_MS.
   int64_t slow_ms = -1;
+  /// Directory for the durable state snapshot (persist/snapshot.h). The
+  /// mediator writes <dir>/mediator.snap atomically and, at Start(),
+  /// restores from it when one is present (a corrupt or torn file falls
+  /// back to a clean cold start — never an abort). Empty disables
+  /// persistence entirely. BYC_SVC_SNAPSHOT_DIR (validated path).
+  std::string snapshot_dir;
+  /// Period of the background checkpointer: every this many milliseconds
+  /// a snapshot request is queued through the admission stage (so the
+  /// cut always lands between queries). 0 disables periodic snapshots —
+  /// with a snapshot_dir set, the final Stop() snapshot and explicit
+  /// kSnapshot frames still happen. BYC_SVC_SNAPSHOT_EVERY (duration).
+  int64_t snapshot_every_ms = 0;
 
   /// Loads overrides from BYC_SVC_PORT / BYC_SVC_DEADLINE_MS /
   /// BYC_SVC_RETRIES / BYC_SVC_MAX_SESSIONS / BYC_SVC_MAX_INFLIGHT /
   /// BYC_SVC_REORDER_MS / BYC_SVC_BATCH / BYC_SVC_IO_THREADS /
-  /// BYC_SVC_TRACE / BYC_SVC_SLOW_MS on top of the defaults.
+  /// BYC_SVC_TRACE / BYC_SVC_SLOW_MS / BYC_SVC_SNAPSHOT_DIR /
+  /// BYC_SVC_SNAPSHOT_EVERY on top of the defaults.
   static Result<ServiceConfig> FromEnv();
 };
 

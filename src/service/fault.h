@@ -1,0 +1,47 @@
+#ifndef BYC_SERVICE_FAULT_H_
+#define BYC_SERVICE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace byc::service {
+
+/// Runtime fault switches, all safe to flip from any thread. One plan
+/// can be shared by several servers; each consults only the switches on
+/// its own path (backends apply the transport faults, the mediator
+/// applies the snapshot-path faults).
+struct FaultPlan {
+  /// Accepted connections are closed immediately (connection refused at
+  /// the protocol level).
+  std::atomic<bool> refuse{false};
+  /// Requests are read but never answered; the connection is closed
+  /// instead (lost reply).
+  std::atomic<bool> drop{false};
+  /// Milliseconds to sleep before every reply (slow backend; drives the
+  /// mediator into its deadline).
+  std::atomic<int> delay_ms{0};
+
+  /// ---- Snapshot-path faults (mediator persistence) -------------------
+  ///
+  /// Each models a failure between the snapshot being written and being
+  /// loaded: the write itself still reports success, and the damage is
+  /// what the next Start() finds on disk. The loader must answer with a
+  /// typed error and the mediator with a clean cold start — never an
+  /// abort.
+
+  /// >= 0: after the atomic write, the snapshot file is truncated to
+  /// this many bytes (a torn write / lost tail). -1 off.
+  std::atomic<int64_t> snapshot_truncate{-1};
+  /// >= 0: after the atomic write, this bit (file-wide bit index, capped
+  /// to the file) is flipped in place (media corruption; trips a section
+  /// or footer CRC). -1 off.
+  std::atomic<int64_t> snapshot_flip_bit{-1};
+  /// Crash between the temp-file write and the rename: the temp file is
+  /// written durably but never renamed, so the previous snapshot (if
+  /// any) must stay the loadable one.
+  std::atomic<bool> snapshot_skip_rename{false};
+};
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_FAULT_H_

@@ -1,8 +1,11 @@
 #include "service/mediator_server.h"
 
+#include <sys/stat.h>
+
 #include <utility>
 
 #include "common/check.h"
+#include "persist/snapshot.h"
 #include "telemetry/manifest.h"
 #include "telemetry/metrics.h"
 #include "telemetry/slow_log.h"
@@ -33,6 +36,33 @@ void CompleteWithFrame(ReplyTicket& ticket, const Frame& frame,
   std::vector<uint8_t> out = ticket.TakeBuffer();
   EncodeFrameInto(out, frame);
   ticket.Complete(std::move(out), close_after);
+}
+
+/// Snapshot container section ids (persist/snapshot.h; DESIGN.md §12).
+constexpr uint32_t kSectionConfig = 1;     // FormatPolicyConfig text
+constexpr uint32_t kSectionPolicy = 2;     // CachePolicy::SaveState blob
+constexpr uint32_t kSectionLedger = 3;     // StatsReply wire encoding
+constexpr uint32_t kSectionAdmission = 4;  // u64 admission_next_
+
+/// Damages the just-written snapshot file per the fault plan (simulating
+/// corruption that happens between the write and the next load). Best
+/// effort: fault injection must never fail the write path itself.
+void ApplySnapshotFaults(const std::string& path, FaultPlan* faults) {
+  if (faults == nullptr) return;
+  int64_t truncate_to = faults->snapshot_truncate.load();
+  int64_t flip_bit = faults->snapshot_flip_bit.load();
+  if (truncate_to < 0 && flip_bit < 0) return;
+  Result<std::vector<uint8_t>> data = persist::ReadFile(path);
+  if (!data.ok()) return;
+  std::vector<uint8_t> bytes = std::move(data).value();
+  if (truncate_to >= 0 && static_cast<size_t>(truncate_to) < bytes.size()) {
+    bytes.resize(static_cast<size_t>(truncate_to));
+  }
+  if (flip_bit >= 0 && !bytes.empty()) {
+    size_t bit = static_cast<size_t>(flip_bit) % (bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  (void)persist::WriteFileDurable(path, bytes);
 }
 
 }  // namespace
@@ -75,6 +105,9 @@ Status MediatorServer::Start() {
   sessions_accepted_.store(0, std::memory_order_relaxed);
   sessions_rejected_.store(0, std::memory_order_relaxed);
   admission_skips_.store(0, std::memory_order_relaxed);
+  snapshot_writes_.store(0, std::memory_order_relaxed);
+  snapshot_restores_.store(0, std::memory_order_relaxed);
+  snapshot_restore_failures_.store(0, std::memory_order_relaxed);
   stage_ = StageMetrics{};
   stage_timing_ = options_.slow_log != nullptr;
   entry_backend_ms_ = 0;
@@ -93,8 +126,44 @@ Status MediatorServer::Start() {
         &options_.metrics->counter("svc.traced_queries");
     stage_.metrics_dumps = &options_.metrics->counter("wire.metrics_dump");
     stage_timing_ = true;
+    if (!options_.config.snapshot_dir.empty()) {
+      // Touch the persistence counters so manifests record them even for
+      // runs that never snapshot or restore.
+      options_.metrics->counter("svc.snapshot_writes").Increment(0);
+      options_.metrics->counter("svc.snapshot_restores").Increment(0);
+      options_.metrics->counter("svc.snapshot_restore_failed").Increment(0);
+      options_.metrics->gauge("svc.snapshot_bytes").Set(0);
+    }
   }
 #endif
+
+  if (!options_.config.snapshot_dir.empty()) {
+    // Best-effort create (one level); a missing parent surfaces as the
+    // snapshot write's own IoError later.
+    ::mkdir(options_.config.snapshot_dir.c_str(), 0755);
+    Status restored = TryRestoreSnapshot();
+    if (restored.ok()) {
+      snapshot_restores_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("svc.snapshot_restores").Increment();
+      }
+#endif
+    } else if (!restored.IsNotFound()) {
+      // Damaged snapshot: discard any partially loaded state and cold
+      // start — a corrupt file on disk must never take the service down.
+      snapshot_restore_failures_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("svc.snapshot_restore_failed")
+            .Increment();
+      }
+#endif
+      policy_ = core::MakePolicy(policy_config_);
+      ledger_ = StatsReply{};
+      admission_next_ = 0;
+    }
+  }
 
   Reactor::Options ropts;
   ropts.io_threads = options_.config.io_threads;
@@ -158,6 +227,10 @@ Status MediatorServer::Start() {
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   admission_thread_ = std::thread([this] { AdmissionLoop(); });
+  if (!options_.config.snapshot_dir.empty() &&
+      options_.config.snapshot_every_ms > 0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
   return Status::OK();
 }
 
@@ -174,6 +247,7 @@ void MediatorServer::Stop() {
     q_draining_ = true;
   }
   qcv_.notify_all();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
   if (admission_thread_.joinable()) admission_thread_.join();
   // Phase 3: join the I/O threads, then answer any stragglers an I/O
   // thread enqueued after the admission loop observed empty queues (a
@@ -193,6 +267,13 @@ void MediatorServer::Stop() {
     entry.parse_error =
         Status::Unavailable("mediator stopped before admitting this query");
     ProcessEntry(entry);
+  }
+  // The final snapshot: after the admission drain (the queue is empty,
+  // so the cut is between queries and the ledger/policy pair is
+  // consistent), before the backend channels close. The stopping thread
+  // owns policy_ here — the admission thread has joined.
+  if (!options_.config.snapshot_dir.empty()) {
+    (void)WriteSnapshotNow();
   }
   // Final gauge refresh (queues drained, reactor still alive): manifests
   // written after Stop() carry the end-of-run gauge values.
@@ -282,6 +363,29 @@ void MediatorServer::OnFrame(FrameType type, const uint8_t* payload,
     }
     case FrameType::kMetricsDump: {
       HandleMetricsDump(ticket);
+      return;
+    }
+    case FrameType::kSnapshot: {
+      if (options_.config.snapshot_dir.empty()) {
+        CompleteWithFrame(
+            ticket,
+            MakeErrorFrame(WireCode::kFailedPrecondition,
+                           "mediator was started without a snapshot "
+                           "directory (BYC_SVC_SNAPSHOT_DIR)"));
+        return;
+      }
+      // Routed through the admission queue as a control entry: the
+      // snapshot is taken by the admission thread when this entry's turn
+      // comes, so the cut is always between queries.
+      AdmissionEntry entry;
+      entry.snapshot_request = true;
+      entry.ticket = std::move(ticket);
+      entry.enqueued = Clock::now();
+      {
+        std::lock_guard<std::mutex> lock(qmu_);
+        unstamped_.push_back(std::move(entry));
+      }
+      qcv_.notify_one();
       return;
     }
     case FrameType::kStats: {
@@ -506,6 +610,25 @@ void MediatorServer::AdmissionLoop() {
 }
 
 void MediatorServer::ProcessEntry(AdmissionEntry& entry) {
+  if (entry.snapshot_request) {
+    SnapshotReply ack;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ack.queries = ledger_.queries;
+    }
+    Result<uint64_t> written = WriteSnapshotNow();
+    if (entry.ticket.valid()) {
+      if (!written.ok()) {
+        CompleteWithFrame(entry.ticket, MakeErrorFrame(written.status()));
+      } else {
+        ack.snapshot_bytes = *written;
+        ack.persisted = 1;
+        CompleteWithFrame(entry.ticket, MakeSnapshotReplyFrame(ack));
+      }
+    }
+    return;
+  }
+
   QueryReply delta;
   double queue_ms = 0;
   if (entry.parse_error.ok()) {
@@ -694,6 +817,148 @@ void MediatorServer::ProcessAccess(const core::Access& access,
       }
       break;
     }
+  }
+}
+
+std::string MediatorServer::SnapshotPath() const {
+  BYC_CHECK(!options_.config.snapshot_dir.empty());
+  return options_.config.snapshot_dir + "/mediator.snap";
+}
+
+Result<uint64_t> MediatorServer::WriteSnapshotNow() {
+  persist::SnapshotWriter writer;
+  {
+    // The config section pins what the state means: a restore into a
+    // differently configured mediator is rejected, not misapplied.
+    std::string config = core::FormatPolicyConfig(policy_config_);
+    std::vector<uint8_t> bytes(config.begin(), config.end());
+    writer.AddSection(kSectionConfig, bytes);
+  }
+  {
+    std::vector<uint8_t> blob;
+    policy_->SaveState(blob);
+    writer.AddSection(kSectionPolicy, blob);
+  }
+  {
+    StatsReply ledger;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ledger = ledger_;
+    }
+    std::vector<uint8_t> bytes;
+    EncodeStatsReplyInto(bytes, ledger);
+    writer.AddSection(kSectionLedger, bytes);
+  }
+  {
+    uint64_t next = 0;
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      next = admission_next_;
+    }
+    std::vector<uint8_t> bytes;
+    AppendU64(bytes, next);
+    writer.AddSection(kSectionAdmission, bytes);
+  }
+  std::vector<uint8_t> bytes = writer.Finish();
+  const std::string path = SnapshotPath();
+  FaultPlan* faults = options_.faults;
+  if (faults != nullptr && faults->snapshot_skip_rename.load()) {
+    // Simulated crash between the temp write and the rename: the temp
+    // file lands durably but the previous snapshot stays the loadable
+    // one.
+    BYC_RETURN_IF_ERROR(persist::WriteFileDurable(path + ".tmp", bytes));
+  } else {
+    BYC_RETURN_IF_ERROR(persist::WriteFileAtomic(path, bytes));
+    ApplySnapshotFaults(path, faults);
+  }
+  snapshot_writes_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("svc.snapshot_writes").Increment();
+    options_.metrics->gauge("svc.snapshot_bytes")
+        .Set(static_cast<double>(bytes.size()));
+  }
+#endif
+  return static_cast<uint64_t>(bytes.size());
+}
+
+Status MediatorServer::TryRestoreSnapshot() {
+  BYC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       persist::ReadFile(SnapshotPath()));
+  BYC_ASSIGN_OR_RETURN(std::vector<persist::SnapshotSection> sections,
+                       persist::ParseSnapshot(bytes));
+  const std::vector<uint8_t>* config = nullptr;
+  const std::vector<uint8_t>* policy = nullptr;
+  const std::vector<uint8_t>* ledger = nullptr;
+  const std::vector<uint8_t>* admission = nullptr;
+  for (const persist::SnapshotSection& section : sections) {
+    const std::vector<uint8_t>** slot = nullptr;
+    switch (section.id) {
+      case kSectionConfig:
+        slot = &config;
+        break;
+      case kSectionPolicy:
+        slot = &policy;
+        break;
+      case kSectionLedger:
+        slot = &ledger;
+        break;
+      case kSectionAdmission:
+        slot = &admission;
+        break;
+      default:
+        return Status::ParseError("snapshot: unknown section id " +
+                                  std::to_string(section.id));
+    }
+    if (*slot != nullptr) {
+      return Status::ParseError("snapshot: duplicate section id " +
+                                std::to_string(section.id));
+    }
+    *slot = &section.payload;
+  }
+  if (config == nullptr || policy == nullptr || ledger == nullptr ||
+      admission == nullptr) {
+    return Status::ParseError("snapshot: missing section");
+  }
+  std::string saved_config(config->begin(), config->end());
+  std::string want_config = core::FormatPolicyConfig(policy_config_);
+  if (saved_config != want_config) {
+    return Status::ParseError("snapshot was taken under config '" +
+                              saved_config + "', mediator runs '" +
+                              want_config + "'");
+  }
+  persist::ByteReader policy_reader(*policy);
+  BYC_RETURN_IF_ERROR(policy_->LoadState(policy_reader));
+  if (policy_reader.remaining() != 0) {
+    return Status::ParseError("snapshot: trailing bytes after policy state");
+  }
+  Frame ledger_frame;
+  ledger_frame.type = FrameType::kStatsReply;
+  ledger_frame.payload = *ledger;
+  BYC_ASSIGN_OR_RETURN(ledger_, ParseStatsReply(ledger_frame));
+  persist::ByteReader admission_reader(*admission);
+  BYC_ASSIGN_OR_RETURN(admission_next_, admission_reader.ReadU64());
+  if (admission_reader.remaining() != 0) {
+    return Status::ParseError(
+        "snapshot: trailing bytes after admission cursor");
+  }
+  return Status::OK();
+}
+
+void MediatorServer::CheckpointLoop() {
+  const int period = static_cast<int>(options_.config.snapshot_every_ms);
+  for (;;) {
+    InterruptibleSleep(period, stop_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    AdmissionEntry entry;
+    entry.snapshot_request = true;
+    entry.enqueued = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      if (q_draining_) return;
+      unstamped_.push_back(std::move(entry));
+    }
+    qcv_.notify_one();
   }
 }
 

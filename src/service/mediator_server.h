@@ -20,6 +20,7 @@
 #include "core/policy_factory.h"
 #include "federation/mediator.h"
 #include "service/config.h"
+#include "service/fault.h"
 #include "service/reactor.h"
 #include "service/socket.h"
 #include "service/wire.h"
@@ -99,6 +100,9 @@ class MediatorServer {
     /// writer thread does the serialization, so a slow sink never
     /// stalls admission.
     telemetry::SlowQueryLog* slow_log = nullptr;
+    /// Optional fault plan (tests/benches); the mediator consults only
+    /// the snapshot-path switches. Must outlive the server.
+    FaultPlan* faults = nullptr;
   };
 
   /// `backends[s]` is the address of site s; must cover every site of
@@ -143,6 +147,17 @@ class MediatorServer {
     return admission_skips_.load(std::memory_order_relaxed);
   }
 
+  /// Persistence observability (0 when snapshot_dir is unset).
+  uint64_t snapshot_writes() const {
+    return snapshot_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshot_restores() const {
+    return snapshot_restores_.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshot_restore_failures() const {
+    return snapshot_restore_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -170,6 +185,10 @@ class MediatorServer {
   /// One query waiting for the serialized admission stage, already
   /// parsed and decomposed on an I/O thread.
   struct AdmissionEntry {
+    /// Control entry (kSnapshot frame or the periodic checkpointer): no
+    /// query — the admission thread writes a snapshot when this entry's
+    /// turn comes, so the cut always lands between queries.
+    bool snapshot_request = false;
     std::optional<uint64_t> seq;
     /// Non-OK: the trace line did not parse. The entry still holds its
     /// slot in the total order (so successors are not stalled behind a
@@ -217,6 +236,22 @@ class MediatorServer {
   /// mutations take mu_ briefly, never across a backend round trip.
   void ProcessAccess(const core::Access& access, QueryReply& delta);
 
+  /// <snapshot_dir>/mediator.snap (snapshot_dir must be nonempty).
+  std::string SnapshotPath() const;
+  /// Serializes config + policy + ledger + admission cursor and writes
+  /// the snapshot file atomically (fault plan applied). Runs on the
+  /// admission thread between queries, or on the stopping thread after
+  /// the admission join — the two owners of policy_. Returns the file
+  /// size written.
+  Result<uint64_t> WriteSnapshotNow();
+  /// Loads SnapshotPath() into the freshly built policy/ledger. NotFound
+  /// means no snapshot (clean cold start); any other error means the
+  /// file was damaged and the caller must discard partial state.
+  Status TryRestoreSnapshot();
+  /// Periodic checkpointer: queues a snapshot control entry through the
+  /// admission stage every config.snapshot_every_ms.
+  void CheckpointLoop();
+
   /// One backend round trip with reconnect + capped-backoff retries.
   /// Semantic errors from the backend (kError frames) come back as their
   /// typed Status and are not retried; transport failures are retried up
@@ -256,11 +291,15 @@ class MediatorServer {
   std::atomic<bool> running_{false};
   std::unique_ptr<Reactor> reactor_;
   std::thread admission_thread_;
+  std::thread checkpoint_thread_;
 
   std::atomic<int> live_sessions_{0};
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<uint64_t> sessions_rejected_{0};
   std::atomic<uint64_t> admission_skips_{0};
+  std::atomic<uint64_t> snapshot_writes_{0};
+  std::atomic<uint64_t> snapshot_restores_{0};
+  std::atomic<uint64_t> snapshot_restore_failures_{0};
 
   /// Admission queue: filled by I/O threads, drained by the admission
   /// thread. Stamped entries are keyed by sequence number (multimap:

@@ -224,4 +224,15 @@ Result<std::string> ReplayClient::FetchMetrics() {
   return std::string(reply.payload.begin(), reply.payload.end());
 }
 
+Result<SnapshotReply> ReplayClient::TriggerSnapshot() {
+  BYC_ASSIGN_OR_RETURN(Socket sock,
+                       ConnectWithRetry(host_, port_, config_));
+  BYC_RETURN_IF_ERROR(Handshake(sock, config_));
+  Deadline deadline = Deadline::After(config_.deadline_ms);
+  BYC_RETURN_IF_ERROR(WriteFrame(sock, MakeSnapshotFrame(), deadline));
+  BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+  if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+  return ParseSnapshotReply(reply);
+}
+
 }  // namespace byc::service

@@ -80,6 +80,13 @@ class ReplayClient {
   /// I/O thread without stopping admission.
   Result<std::string> FetchMetrics();
 
+  /// Connects, negotiates versions, and asks the mediator to write a
+  /// durable state snapshot (kSnapshot). The request rides the admission
+  /// queue, so the returned reply describes a between-queries cut taken
+  /// after everything enqueued before it. FailedPrecondition when the
+  /// mediator has no snapshot directory configured.
+  Result<SnapshotReply> TriggerSnapshot();
+
  private:
   /// Batched shard replay body (config.batch_size > 1); `sock` is
   /// already connected and version-negotiated.

@@ -8,7 +8,7 @@ namespace byc::service {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kQuery) &&
-         type <= static_cast<uint8_t>(FrameType::kMetricsDumpReply);
+         type <= static_cast<uint8_t>(FrameType::kSnapshotReply);
 }
 
 namespace {
@@ -161,78 +161,6 @@ StatusCode StatusCodeForWire(WireCode code) {
       return StatusCode::kUnavailable;
   }
   return StatusCode::kInternal;
-}
-
-void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-}
-
-void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-}
-
-void AppendI32(std::vector<uint8_t>& out, int32_t v) {
-  AppendU32(out, static_cast<uint32_t>(v));
-}
-
-void AppendF64(std::vector<uint8_t>& out, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  AppendU64(out, bits);
-}
-
-Result<uint32_t> PayloadReader::ReadU32() {
-  if (size_ - pos_ < 4) return Status::ParseError("payload truncated (u32)");
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
-         << (8 * i);
-  }
-  pos_ += 4;
-  return v;
-}
-
-Result<uint64_t> PayloadReader::ReadU64() {
-  if (size_ - pos_ < 8) return Status::ParseError("payload truncated (u64)");
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
-         << (8 * i);
-  }
-  pos_ += 8;
-  return v;
-}
-
-Result<int32_t> PayloadReader::ReadI32() {
-  BYC_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
-  return static_cast<int32_t>(v);
-}
-
-Result<double> PayloadReader::ReadF64() {
-  BYC_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
-  double v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
-
-Result<std::string_view> PayloadReader::ReadView(size_t n) {
-  if (size_ - pos_ < n) {
-    return Status::ParseError("payload truncated (view)");
-  }
-  std::string_view view(reinterpret_cast<const char*>(data_ + pos_), n);
-  pos_ += n;
-  return view;
-}
-
-std::string PayloadReader::ReadText() {
-  std::string out(reinterpret_cast<const char*>(data_ + pos_),
-                  size_ - pos_);
-  pos_ = size_;
-  return out;
 }
 
 void EncodeFrameHeaderInto(std::vector<uint8_t>& out, FrameType type,
@@ -474,6 +402,36 @@ Frame MakeMetricsDumpReplyFrame(std::string_view json) {
   f.type = FrameType::kMetricsDumpReply;
   f.payload.assign(json.begin(), json.end());
   return f;
+}
+
+Frame MakeSnapshotFrame() {
+  Frame f;
+  f.type = FrameType::kSnapshot;
+  return f;
+}
+
+Frame MakeSnapshotReplyFrame(const SnapshotReply& reply) {
+  Frame f;
+  f.type = FrameType::kSnapshotReply;
+  AppendU64(f.payload, reply.queries);
+  AppendU64(f.payload, reply.snapshot_bytes);
+  f.payload.push_back(reply.persisted);
+  return f;
+}
+
+Result<SnapshotReply> ParseSnapshotReply(const Frame& frame) {
+  if (frame.type != FrameType::kSnapshotReply) {
+    return Status::InvalidArgument("not a snapshot reply");
+  }
+  PayloadReader r(frame.payload);
+  SnapshotReply reply;
+  BYC_ASSIGN_OR_RETURN(reply.queries, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.snapshot_bytes, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(reply.persisted, r.ReadU8());
+  if (r.remaining() != 0) {
+    return Status::ParseError("snapshot reply payload too long");
+  }
+  return reply;
 }
 
 Frame MakeQueryReplyFrame(const QueryReply& reply) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "persist/codec.h"
 #include "service/socket.h"
 
 namespace byc::service {
@@ -102,6 +103,16 @@ enum class FrameType : uint8_t {
   /// mediator -> client: the snapshot as a UTF-8 JSON document
   /// (counters/gauges/histograms/spans, the MetricsSnapshotToJson shape).
   kMetricsDumpReply = 20,
+  /// client -> mediator: checkpoint the mediator's durable state (policy,
+  /// residency, ledger, admission counter) to the configured snapshot
+  /// directory now (no payload). Served through the admission queue so
+  /// the snapshot is a consistent between-queries cut of the decision
+  /// state; a mediator without BYC_SVC_SNAPSHOT_DIR answers a typed
+  /// kError{kFailedPrecondition}.
+  kSnapshot = 21,
+  /// mediator -> client: SnapshotReply — the ledger's query count at the
+  /// cut, the serialized snapshot size, and whether it reached disk.
+  kSnapshotReply = 22,
 };
 
 /// Error codes carried in kError frames. The numeric values are the wire
@@ -259,38 +270,19 @@ struct StatsReply {
 };
 
 /// ---- Encoding -------------------------------------------------------
+///
+/// The scalar codec is shared with the snapshot file format and lives in
+/// persist/codec.h; the aliases keep every existing call site spelled the
+/// same while guaranteeing wire payloads and snapshot sections are
+/// encoded byte-identically.
 
-void AppendU32(std::vector<uint8_t>& out, uint32_t v);
-void AppendU64(std::vector<uint8_t>& out, uint64_t v);
-void AppendI32(std::vector<uint8_t>& out, int32_t v);
-void AppendF64(std::vector<uint8_t>& out, double v);
+using persist::AppendU32;
+using persist::AppendU64;
+using persist::AppendI32;
+using persist::AppendF64;
 
 /// Sequential bounds-checked reader over a received payload.
-class PayloadReader {
- public:
-  explicit PayloadReader(const std::vector<uint8_t>& payload)
-      : data_(payload.data()), size_(payload.size()) {}
-  /// Reader over a borrowed byte range (e.g. a frame decoded in place in
-  /// a reactor connection's read buffer).
-  PayloadReader(const uint8_t* data, size_t size)
-      : data_(data), size_(size) {}
-
-  Result<uint32_t> ReadU32();
-  Result<uint64_t> ReadU64();
-  Result<int32_t> ReadI32();
-  Result<double> ReadF64();
-  /// The next `n` bytes as a borrowed view (no copy).
-  Result<std::string_view> ReadView(size_t n);
-  /// The rest of the payload as text.
-  std::string ReadText();
-
-  size_t remaining() const { return size_ - pos_; }
-
- private:
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
+using PayloadReader = persist::ByteReader;
 
 /// ---- EncodeInto family ----------------------------------------------
 ///
@@ -404,6 +396,23 @@ Frame MakeHelloReplyFrame(uint32_t version);
 Frame MakeMetricsDumpFrame();
 /// kMetricsDumpReply carrying a serialized MetricsSnapshot JSON document.
 Frame MakeMetricsDumpReplyFrame(std::string_view json);
+
+/// kSnapshotReply: what a kSnapshot checkpoint produced.
+struct SnapshotReply {
+  /// Ledger query count at the snapshot cut (the admission thread takes
+  /// the snapshot between queries, so this pins the cut's position).
+  uint64_t queries = 0;
+  /// Serialized snapshot size in bytes.
+  uint64_t snapshot_bytes = 0;
+  /// 1 when the file reached the snapshot directory via atomic rename;
+  /// 0 when the write failed (state was still serialized, not persisted).
+  uint8_t persisted = 0;
+};
+
+/// kSnapshot request (no payload).
+Frame MakeSnapshotFrame();
+Frame MakeSnapshotReplyFrame(const SnapshotReply& reply);
+Result<SnapshotReply> ParseSnapshotReply(const Frame& frame);
 
 Result<FetchRequest> ParseFetchRequest(const Frame& frame);
 Result<YieldRequest> ParseYieldRequest(const Frame& frame);

@@ -124,6 +124,43 @@ TEST(EnvTest, IntOrFallsBackOnlyWhenUnset) {
   }
 }
 
+TEST(EnvTest, ParsePathAcceptsPlainPaths) {
+  EXPECT_EQ("/var/lib/byc", ParsePath("/var/lib/byc").value());
+  EXPECT_EQ("snapshots", ParsePath("snapshots").value());
+  EXPECT_EQ("./x", ParsePath("./x").value());
+  // Trailing slashes are normalized away; the root itself survives.
+  EXPECT_EQ("/var/lib/byc", ParsePath("/var/lib/byc/").value());
+  EXPECT_EQ("/", ParsePath("/").value());
+  // Existence is NOT required — the service creates the directory.
+  EXPECT_TRUE(ParsePath("/definitely/not/created/yet").ok());
+}
+
+TEST(EnvTest, ParsePathRejectsJunk) {
+  for (const char* bad :
+       {"", " ", "/var/li b", " /var", "/var ", "/var\tlib", "/var\n"}) {
+    EXPECT_FALSE(ParsePath(bad).ok()) << "accepted '" << bad << "'";
+  }
+  EXPECT_FALSE(ParsePath(std::string("/var\x01lib")).ok());
+}
+
+TEST(EnvTest, PathOrFallsBackOnlyWhenUnset) {
+  ::unsetenv("BYC_TEST_PATH");
+  EXPECT_EQ("/tmp/d", PathOr("BYC_TEST_PATH", "/tmp/d").value());
+  {
+    ScopedEnv env("BYC_TEST_PATH", "/data/snaps/");
+    EXPECT_EQ("/data/snaps", PathOr("BYC_TEST_PATH", "/tmp/d").value());
+  }
+  {
+    // A typo'd knob is an error that names the variable, never a silent
+    // fallback.
+    ScopedEnv env("BYC_TEST_PATH", "two words");
+    Result<std::string> r = PathOr("BYC_TEST_PATH", "/tmp/d");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(std::string::npos,
+              r.status().message().find("BYC_TEST_PATH"));
+  }
+}
+
 TEST(EnvTest, DurationMsOrParsesAndPropagatesErrors) {
   ::unsetenv("BYC_TEST_MS");
   EXPECT_EQ(2000,

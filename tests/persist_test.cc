@@ -1,0 +1,235 @@
+// The persistence layer's own contract: scalar codec round-trips,
+// snapshot container integrity (every corruption a typed ParseError,
+// never UB), and the atomic file writer. The WireFuzz-style sweeps —
+// truncation at every prefix length, every single-bit flip — are the
+// satellite fuzz pass over the snapshot parser.
+
+#include "persist/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "persist/codec.h"
+
+namespace byc::persist {
+namespace {
+
+TEST(PersistCodecTest, ScalarsRoundTrip) {
+  std::vector<uint8_t> bytes;
+  AppendU8(bytes, 0xAB);
+  AppendU32(bytes, 0xDEADBEEFu);
+  AppendU64(bytes, 0x0123456789ABCDEFull);
+  AppendI32(bytes, -12345);
+  AppendF64(bytes, 3.141592653589793);
+  ByteReader r(bytes);
+  EXPECT_EQ(0xAB, r.ReadU8().value());
+  EXPECT_EQ(0xDEADBEEFu, r.ReadU32().value());
+  EXPECT_EQ(0x0123456789ABCDEFull, r.ReadU64().value());
+  EXPECT_EQ(-12345, r.ReadI32().value());
+  EXPECT_EQ(3.141592653589793, r.ReadF64().value());
+  EXPECT_EQ(0u, r.remaining());
+}
+
+TEST(PersistCodecTest, DoublesTravelAsBitPatterns) {
+  // The warm-restart guarantee rests on byte-exact doubles: -0.0,
+  // denormals, infinities, and NaN payloads must all survive.
+  const double values[] = {0.0, -0.0, std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::denorm_min(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           1.0 / 3.0};
+  for (double v : values) {
+    std::vector<uint8_t> bytes;
+    AppendF64(bytes, v);
+    double back = ByteReader(bytes).ReadF64().value();
+    EXPECT_EQ(0, std::memcmp(&v, &back, sizeof(double)));
+  }
+}
+
+TEST(PersistCodecTest, ShortReadsAreParseErrors) {
+  std::vector<uint8_t> bytes;
+  AppendU32(bytes, 7);
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.ReadU64().ok());
+  EXPECT_FALSE(ByteReader(bytes).ReadView(5).ok());
+  ByteReader empty(bytes.data(), 0);
+  EXPECT_FALSE(empty.ReadU8().ok());
+}
+
+TEST(PersistCodecTest, Crc32MatchesTheIeeeCheckValue) {
+  // The standard check value for CRC-32/IEEE over "123456789".
+  const char* check = "123456789";
+  EXPECT_EQ(0xCBF43926u,
+            Crc32(reinterpret_cast<const uint8_t*>(check), 9));
+  EXPECT_EQ(0u, Crc32(nullptr, 0));
+}
+
+std::vector<uint8_t> Payload(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+std::vector<uint8_t> SampleSnapshot() {
+  SnapshotWriter writer;
+  writer.AddSection(1, Payload({'c', 'f', 'g'}));
+  writer.AddSection(2, Payload({0, 1, 2, 3, 4, 5, 6, 7}));
+  writer.AddSection(7, {});  // empty sections are legal
+  return writer.Finish();
+}
+
+TEST(PersistSnapshotTest, RoundTripPreservesSectionsInOrder) {
+  std::vector<uint8_t> image = SampleSnapshot();
+  Result<std::vector<SnapshotSection>> sections = ParseSnapshot(image);
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  ASSERT_EQ(3u, sections->size());
+  EXPECT_EQ(1u, (*sections)[0].id);
+  EXPECT_EQ((Payload({'c', 'f', 'g'})), (*sections)[0].payload);
+  EXPECT_EQ(2u, (*sections)[1].id);
+  EXPECT_EQ(8u, (*sections)[1].payload.size());
+  EXPECT_EQ(7u, (*sections)[2].id);
+  EXPECT_TRUE((*sections)[2].payload.empty());
+}
+
+TEST(PersistSnapshotTest, EmptySnapshotRoundTrips) {
+  SnapshotWriter writer;
+  std::vector<uint8_t> image = writer.Finish();
+  Result<std::vector<SnapshotSection>> sections = ParseSnapshot(image);
+  ASSERT_TRUE(sections.ok());
+  EXPECT_TRUE(sections->empty());
+}
+
+TEST(PersistSnapshotTest, BadMagicVersionAndMarkerAreTyped) {
+  std::vector<uint8_t> image = SampleSnapshot();
+  {
+    std::vector<uint8_t> bad = image;
+    bad[0] ^= 0xFF;
+    Result<std::vector<SnapshotSection>> r = ParseSnapshot(bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsParseError());
+  }
+  {
+    std::vector<uint8_t> bad = image;
+    bad[4] = 0x7F;  // future version
+    EXPECT_FALSE(ParseSnapshot(bad).ok());
+  }
+  {
+    // Trailing junk after the end marker.
+    std::vector<uint8_t> bad = image;
+    bad.push_back(0);
+    EXPECT_FALSE(ParseSnapshot(bad).ok());
+  }
+}
+
+TEST(PersistSnapshotTest, SectionCountAndLengthLiesAreRejected) {
+  // A section count promising more than the file holds must be rejected
+  // before any allocation sized from it.
+  std::vector<uint8_t> image = SampleSnapshot();
+  {
+    std::vector<uint8_t> bad = image;
+    bad[8] = 0xFF;
+    bad[9] = 0xFF;  // count = huge
+    Result<std::vector<SnapshotSection>> r = ParseSnapshot(bad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsParseError());
+  }
+  {
+    // First section's length field claims more bytes than remain.
+    std::vector<uint8_t> bad = image;
+    bad[16] = 0xFF;
+    bad[17] = 0xFF;
+    EXPECT_FALSE(ParseSnapshot(bad).ok());
+  }
+}
+
+// ---- WireFuzz-style sweeps over the parser ---------------------------
+
+TEST(SnapshotFuzzTest, EveryTruncationIsATypedError) {
+  std::vector<uint8_t> image = SampleSnapshot();
+  for (size_t len = 0; len < image.size(); ++len) {
+    Result<std::vector<SnapshotSection>> r =
+        ParseSnapshot(image.data(), len);
+    ASSERT_FALSE(r.ok()) << "accepted a " << len << "-byte prefix of a "
+                         << image.size() << "-byte snapshot";
+    EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
+  }
+}
+
+TEST(SnapshotFuzzTest, EverySingleBitFlipIsDetected) {
+  // CRC-32 detects all single-bit errors, and every byte of the image is
+  // covered by the footer CRC (the CRC field itself and the end marker
+  // are covered by their own checks). No flip may parse successfully.
+  std::vector<uint8_t> image = SampleSnapshot();
+  for (size_t bit = 0; bit < image.size() * 8; ++bit) {
+    std::vector<uint8_t> bad = image;
+    bad[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    Result<std::vector<SnapshotSection>> r = ParseSnapshot(bad);
+    ASSERT_FALSE(r.ok()) << "accepted a flip of bit " << bit;
+    EXPECT_TRUE(r.status().IsParseError());
+  }
+}
+
+TEST(SnapshotFuzzTest, RandomGarbageNeverParses) {
+  // Deterministic pseudo-garbage: xorshift bytes at several sizes.
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (size_t size : {1u, 7u, 12u, 13u, 64u, 255u, 4096u}) {
+    std::vector<uint8_t> junk(size);
+    for (uint8_t& b : junk) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      b = static_cast<uint8_t>(x);
+    }
+    EXPECT_FALSE(ParseSnapshot(junk).ok()) << size << " bytes";
+  }
+}
+
+// ---- File plumbing ---------------------------------------------------
+
+class PersistFileTest : public ::testing::Test {
+ protected:
+  PersistFileTest() {
+    char tmpl[] = "/tmp/byc_persist_test.XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  ~PersistFileTest() override {
+    ::unlink((dir_ + "/f.snap").c_str());
+    ::unlink((dir_ + "/f.snap.tmp").c_str());
+    ::rmdir(dir_.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(PersistFileTest, AtomicWriteThenReadRoundTrips) {
+  std::vector<uint8_t> image = SampleSnapshot();
+  const std::string path = dir_ + "/f.snap";
+  ASSERT_TRUE(WriteFileAtomic(path, image).ok());
+  Result<std::vector<uint8_t>> back = ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(image, *back);
+  // No temp residue after a successful rename.
+  EXPECT_TRUE(ReadFile(path + ".tmp").status().IsNotFound());
+}
+
+TEST_F(PersistFileTest, AtomicRewriteReplacesWholeFile) {
+  const std::string path = dir_ + "/f.snap";
+  std::vector<uint8_t> big(1000, 0xAA);
+  ASSERT_TRUE(WriteFileAtomic(path, big).ok());
+  std::vector<uint8_t> small(3, 0xBB);
+  ASSERT_TRUE(WriteFileAtomic(path, small).ok());
+  EXPECT_EQ(small, ReadFile(path).value());
+}
+
+TEST_F(PersistFileTest, MissingFileIsNotFound) {
+  Result<std::vector<uint8_t>> r = ReadFile(dir_ + "/absent");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace byc::persist

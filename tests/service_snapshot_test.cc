@@ -1,0 +1,326 @@
+// Service-layer crash-recovery tests: the kill-at-query-N contract over
+// loopback (restore a mid-trace snapshot, finish the trace, ledger
+// bitwise-equal to the uninterrupted run), damaged-snapshot cold starts,
+// torn-write fallback to the previous snapshot, and Stop() racing
+// in-flight batches with a snapshot directory configured.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/sdss.h"
+#include "common/check.h"
+#include "core/policy_factory.h"
+#include "persist/snapshot.h"
+#include "service/backend_server.h"
+#include "service/fault.h"
+#include "service/mediator_server.h"
+#include "service/replay_client.h"
+#include "service_test_util.h"
+#include "workload/generator.h"
+
+namespace byc::service {
+namespace {
+
+using testutil::BackendFleet;
+using testutil::ExpectedLedger;
+using testutil::ExpectLedgerEq;
+using testutil::FastConfig;
+
+workload::Trace Slice(const workload::Trace& trace, size_t begin,
+                      size_t end) {
+  workload::Trace out;
+  out.name = trace.name;
+  out.queries.assign(trace.queries.begin() + begin,
+                     trace.queries.begin() + end);
+  return out;
+}
+
+class ServiceSnapshotTest : public ::testing::Test {
+ protected:
+  ServiceSnapshotTest()
+      : federation_(federation::Federation::SingleSite(
+            catalog::MakeSdssEdrCatalog())) {
+    workload::GeneratorOptions options;
+    options.num_queries = 80;
+    options.target_sequence_cost = 0;
+    workload::TraceGenerator gen(&federation_.catalog(), options);
+    trace_ = gen.Generate();
+    config_.kind = core::PolicyKind::kRateProfile;
+    config_.capacity_bytes =
+        federation_.catalog().total_size_bytes() * 3 / 10;
+    char tmpl[] = "/tmp/byc_snapshot_test.XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+
+  ~ServiceSnapshotTest() override {
+    ::unlink((dir_ + "/mediator.snap").c_str());
+    ::unlink((dir_ + "/mediator.snap.tmp").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  ServiceConfig PersistingConfig() const {
+    ServiceConfig config = FastConfig();
+    config.snapshot_dir = dir_;
+    return config;
+  }
+
+  StatsReply Oracle() const {
+    return ExpectedLedger(federation_, config_.granularity, config_,
+                          trace_, {});
+  }
+
+  federation::Federation federation_;
+  workload::Trace trace_;
+  core::PolicyConfig config_;
+  std::string dir_;
+};
+
+TEST_F(ServiceSnapshotTest, KillAtQueryNResumesBitwiseIdentical) {
+  const size_t kill_at = trace_.queries.size() / 2;
+  BackendFleet fleet(federation_);
+  ServiceConfig svc = PersistingConfig();
+  FaultPlan faults;
+  MediatorServer::Options options;
+  options.config = svc;
+  options.faults = &faults;
+
+  {
+    MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                            options);
+    ASSERT_TRUE(mediator.Start().ok());
+    ReplayClient client("127.0.0.1", mediator.port(), svc);
+    ASSERT_TRUE(client.Replay(Slice(trace_, 0, kill_at)).ok());
+    Result<SnapshotReply> snap = client.TriggerSnapshot();
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    EXPECT_EQ(kill_at, snap->queries);
+    EXPECT_EQ(1, snap->persisted);
+    EXPECT_LT(0u, snap->snapshot_bytes);
+    // Crash: nothing after the explicit snapshot reaches the file.
+    faults.snapshot_skip_rename.store(true);
+    mediator.Stop();
+    faults.snapshot_skip_rename.store(false);
+  }
+
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+  EXPECT_EQ(1u, mediator.snapshot_restores());
+  EXPECT_EQ(0u, mediator.snapshot_restore_failures());
+  ReplayClient client("127.0.0.1", mediator.port(), svc);
+  Result<StatsReply> restored = client.FetchStats();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(kill_at, restored->queries);
+  Result<ReplayReport> rest =
+      client.Replay(Slice(trace_, kill_at, trace_.queries.size()));
+  ASSERT_TRUE(rest.ok()) << rest.status().ToString();
+  mediator.Stop();
+  ExpectLedgerEq(Oracle(), rest->ledger);
+}
+
+TEST_F(ServiceSnapshotTest, TruncatedSnapshotColdStartsCleanly) {
+  BackendFleet fleet(federation_);
+  ServiceConfig svc = PersistingConfig();
+  FaultPlan faults;
+  MediatorServer::Options options;
+  options.config = svc;
+  options.faults = &faults;
+
+  {
+    MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                            options);
+    ASSERT_TRUE(mediator.Start().ok());
+    ReplayClient client("127.0.0.1", mediator.port(), svc);
+    ASSERT_TRUE(client.Replay(Slice(trace_, 0, 30)).ok());
+    // The snapshot lands but loses its tail — a torn write discovered
+    // at the next load.
+    faults.snapshot_truncate.store(48);
+    ASSERT_TRUE(client.TriggerSnapshot().ok());
+    faults.snapshot_truncate.store(-1);
+    faults.snapshot_skip_rename.store(true);
+    mediator.Stop();
+    faults.snapshot_skip_rename.store(false);
+  }
+
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok())
+      << "a corrupt snapshot must never take the service down";
+  EXPECT_EQ(0u, mediator.snapshot_restores());
+  EXPECT_EQ(1u, mediator.snapshot_restore_failures());
+  ReplayClient client("127.0.0.1", mediator.port(), svc);
+  Result<StatsReply> stats = client.FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(0u, stats->queries);  // clean cold start
+  Result<ReplayReport> full = client.Replay(trace_);
+  ASSERT_TRUE(full.ok());
+  mediator.Stop();
+  ExpectLedgerEq(Oracle(), full->ledger);
+}
+
+TEST_F(ServiceSnapshotTest, BitFlippedSnapshotColdStartsCleanly) {
+  BackendFleet fleet(federation_);
+  ServiceConfig svc = PersistingConfig();
+  FaultPlan faults;
+  MediatorServer::Options options;
+  options.config = svc;
+  options.faults = &faults;
+
+  {
+    MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                            options);
+    ASSERT_TRUE(mediator.Start().ok());
+    ReplayClient client("127.0.0.1", mediator.port(), svc);
+    ASSERT_TRUE(client.Replay(Slice(trace_, 0, 20)).ok());
+    faults.snapshot_flip_bit.store(1003);
+    ASSERT_TRUE(client.TriggerSnapshot().ok());
+    faults.snapshot_flip_bit.store(-1);
+    faults.snapshot_skip_rename.store(true);
+    mediator.Stop();
+    faults.snapshot_skip_rename.store(false);
+  }
+
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+  EXPECT_EQ(1u, mediator.snapshot_restore_failures());
+  mediator.Stop();
+}
+
+TEST_F(ServiceSnapshotTest, TornWriteKeepsPreviousSnapshotLoadable) {
+  BackendFleet fleet(federation_);
+  ServiceConfig svc = PersistingConfig();
+  FaultPlan faults;
+  MediatorServer::Options options;
+  options.config = svc;
+  options.faults = &faults;
+  const size_t n1 = 25;
+  const size_t n2 = 55;
+
+  {
+    MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                            options);
+    ASSERT_TRUE(mediator.Start().ok());
+    ReplayClient client("127.0.0.1", mediator.port(), svc);
+    ASSERT_TRUE(client.Replay(Slice(trace_, 0, n1)).ok());
+    ASSERT_TRUE(client.TriggerSnapshot().ok());  // the survivor
+    ASSERT_TRUE(client.Replay(Slice(trace_, n1, n2)).ok());
+    // The N2 snapshot dies between the temp write and the rename.
+    faults.snapshot_skip_rename.store(true);
+    ASSERT_TRUE(client.TriggerSnapshot().ok());
+    mediator.Stop();
+    faults.snapshot_skip_rename.store(false);
+  }
+
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+  EXPECT_EQ(1u, mediator.snapshot_restores());
+  ReplayClient client("127.0.0.1", mediator.port(), svc);
+  Result<StatsReply> stats = client.FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(n1, stats->queries) << "must resume from the N1 snapshot";
+  Result<ReplayReport> rest =
+      client.Replay(Slice(trace_, n1, trace_.queries.size()));
+  ASSERT_TRUE(rest.ok());
+  mediator.Stop();
+  ExpectLedgerEq(Oracle(), rest->ledger);
+}
+
+TEST_F(ServiceSnapshotTest, SnapshotWithoutDirIsFailedPrecondition) {
+  BackendFleet fleet(federation_);
+  ServiceConfig svc = FastConfig();  // no snapshot_dir
+  MediatorServer::Options options;
+  options.config = svc;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+  ReplayClient client("127.0.0.1", mediator.port(), svc);
+  Result<SnapshotReply> snap = client.TriggerSnapshot();
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(StatusCode::kFailedPrecondition, snap.status().code())
+      << snap.status().ToString();
+  mediator.Stop();
+}
+
+TEST_F(ServiceSnapshotTest, PeriodicCheckpointerWritesWithoutRequests) {
+  BackendFleet fleet(federation_);
+  ServiceConfig svc = PersistingConfig();
+  svc.snapshot_every_ms = 10;
+  MediatorServer::Options options;
+  options.config = svc;
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+  ReplayClient client("127.0.0.1", mediator.port(), svc);
+  ASSERT_TRUE(client.Replay(Slice(trace_, 0, 10)).ok());
+  // Give the checkpointer a few periods.
+  for (int i = 0; i < 200 && mediator.snapshot_writes() == 0; ++i) {
+    ::usleep(5'000);
+  }
+  EXPECT_LT(0u, mediator.snapshot_writes());
+  mediator.Stop();
+  Result<std::vector<uint8_t>> file =
+      persist::ReadFile(dir_ + "/mediator.snap");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(persist::ParseSnapshot(*file).ok());
+}
+
+// The Stop()-vs-in-flight-batches regression: shutdown drains admitted
+// work, then writes the final snapshot BEFORE closing backend channels.
+// The snapshot on disk must always parse and reflect a between-queries
+// cut that a fresh mediator can restore.
+TEST_F(ServiceSnapshotTest, StopRacingInFlightBatchesSnapshotsACleanCut) {
+  BackendFleet fleet(federation_);
+  ServiceConfig svc = PersistingConfig();
+  svc.batch_size = 4;
+  MediatorServer::Options options;
+  options.config = svc;
+  const size_t num_clients = 3;
+
+  std::atomic<uint64_t> sent{0};
+  {
+    MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                            options);
+    ASSERT_TRUE(mediator.Start().ok());
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c]() {
+        ReplayClient client("127.0.0.1", mediator.port(), svc);
+        Result<ReplayClient::ShardReport> report =
+            client.ReplayShard(trace_, c, num_clients);
+        // A shard cut off by shutdown reports a transport error; that is
+        // the expected outcome of this race, not a failure.
+        if (report.ok()) {
+          sent.fetch_add(report->queries_sent);
+        }
+      });
+    }
+    // Stop while batches are (very likely) still in flight.
+    ::usleep(2'000);
+    mediator.Stop();
+    for (std::thread& t : clients) t.join();
+  }
+
+  // Whatever the race produced, the final snapshot is a valid,
+  // restorable between-queries cut.
+  MediatorServer mediator(&federation_, config_, fleet.addresses(),
+                          options);
+  ASSERT_TRUE(mediator.Start().ok());
+  EXPECT_EQ(1u, mediator.snapshot_restores());
+  EXPECT_EQ(0u, mediator.snapshot_restore_failures());
+  ReplayClient client("127.0.0.1", mediator.port(), svc);
+  Result<StatsReply> stats = client.FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats->queries, trace_.queries.size());
+  mediator.Stop();
+}
+
+}  // namespace
+}  // namespace byc::service
