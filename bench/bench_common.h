@@ -6,7 +6,9 @@
 // helper every bench uses. Each binary prints the rows/series of one
 // exhibit from the paper's §6 evaluation.
 
+#include <cctype>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -211,6 +213,92 @@ inline core::PolicyConfig MakeSweepConfig(core::PolicyKind kind,
     config.static_contents = core::SelectStaticSet(trace.accesses, capacity);
   }
   return config;
+}
+
+/// Extracts one scalar field from a serialized one-line JSON row (the
+/// format our bench writers emit: compact objects, string values
+/// quoted). Returns "" when the key is absent.
+inline std::string JsonRowField(const std::string& row,
+                                const std::string& key) {
+  const std::string pattern = "\"" + key + "\":";
+  size_t at = row.find(pattern);
+  if (at == std::string::npos) return "";
+  size_t p = at + pattern.size();
+  while (p < row.size() && row[p] == ' ') ++p;
+  if (p >= row.size()) return "";
+  if (row[p] == '"') {
+    size_t end = row.find('"', p + 1);
+    if (end == std::string::npos) return "";
+    return row.substr(p + 1, end - p - 1);
+  }
+  size_t end = p;
+  while (end < row.size() && row[end] != ',' && row[end] != '}' &&
+         row[end] != ' ') {
+    ++end;
+  }
+  return row.substr(p, end - p);
+}
+
+/// The identity of one BENCH_service.json row: rows agreeing on all five
+/// of (name, config, clients, batch, shards) describe the same measured
+/// case, so a re-run replaces rather than duplicates. A row without a
+/// "shards" field is the unsharded deployment (shards=1).
+inline std::string JsonRowKeyOf(const std::string& row) {
+  auto field = [&](const char* key, const char* fallback) {
+    std::string value = JsonRowField(row, key);
+    return value.empty() ? std::string(fallback) : value;
+  };
+  return field("name", "") + "|" + field("config", "") + "|" +
+         field("clients", "0") + "|" + field("batch", "0") + "|" +
+         field("shards", "1");
+}
+
+/// Appends serialized JSON rows to the array file at `path`, PRESERVING
+/// rows already there (earlier bench binaries' results survive — the
+/// old behavior of rewriting the whole array from scratch silently
+/// dropped them) and replacing any existing row with the same
+/// (name, config, clients, batch, shards) key, so repeated runs update
+/// in place instead of accumulating duplicates. Each row must be one
+/// self-contained JSON object with no embedded newline.
+inline bool AppendJsonRows(const std::string& path,
+                           const std::vector<std::string>& rows) {
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t begin = line.find_first_not_of(" \t");
+      if (begin == std::string::npos || line[begin] != '{') continue;
+      size_t end = line.find_last_of('}');
+      if (end == std::string::npos || end < begin) continue;
+      kept.push_back(line.substr(begin, end - begin + 1));
+    }
+  }
+  for (const std::string& row : rows) {
+    const std::string key = JsonRowKeyOf(row);
+    for (size_t i = 0; i < kept.size();) {
+      if (JsonRowKeyOf(kept[i]) == key) {
+        kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    kept.push_back(row);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < kept.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", kept[i].c_str(),
+                 i + 1 < kept.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+inline bool AppendJsonRow(const std::string& path, const std::string& row) {
+  return AppendJsonRows(path, {row});
 }
 
 /// Replays every config over the shared decomposed trace in parallel

@@ -61,6 +61,7 @@
 #include "common/json_writer.h"
 #include "common/stats.h"
 #include "service/backend_server.h"
+#include "service/ledger_diff.h"
 #include "service/mediator_server.h"
 #include "service/replay_client.h"
 #include "service/socket.h"
@@ -111,6 +112,7 @@ struct Record {
   std::string config;  // "EDR/table", ...
   size_t clients = 0;
   int batch = 1;
+  int shards = 1;  // this binary drives the unsharded deployment
   int io_threads = 0;
   uint64_t queries = 0;
   double qps = 0;
@@ -133,6 +135,8 @@ std::string RecordToJson(const Record& r) {
   json.UInt(static_cast<uint64_t>(r.clients));
   json.Key("batch");
   json.UInt(static_cast<uint64_t>(r.batch));
+  json.Key("shards");
+  json.UInt(static_cast<uint64_t>(r.shards));
   json.Key("io_threads");
   json.UInt(static_cast<uint64_t>(r.io_threads));
   json.Key("queries");
@@ -154,19 +158,16 @@ std::string RecordToJson(const Record& r) {
 }
 
 bool WriteJson(const std::vector<Record>& records, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
+  // Merged into whatever rows are already there (other benches append to
+  // the same file); re-runs of the same cases replace in place.
+  std::vector<std::string> rows;
+  rows.reserve(records.size());
+  for (const Record& r : records) rows.push_back(RecordToJson(r));
+  if (!bench::AppendJsonRows(path, rows)) {
     std::fprintf(stderr, "svc_concurrent_load: cannot open %s for writing\n",
                  path.c_str());
     return false;
   }
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < records.size(); ++i) {
-    std::fprintf(f, "  %s%s\n", RecordToJson(records[i]).c_str(),
-                 i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
   return true;
 }
 
@@ -237,33 +238,6 @@ ProbeReport RunProbe(uint16_t port, const service::ServiceConfig& config,
     std::this_thread::sleep_for(std::chrono::milliseconds(25));
   }
   return report;
-}
-
-/// Appends one case's server-side ledger as fixed-format text. Every
-/// field is deterministic (%.17g doubles round-trip exactly), so the
-/// file from a tracing-on run must compare bitwise-equal to the file
-/// from a tracing-off run — the CI check that observability never moves
-/// a ledger byte.
-void AppendLedgerText(const std::string& config_name, size_t clients,
-                      int batch, const service::StatsReply& ledger,
-                      std::string& out) {
-  char buf[640];
-  std::snprintf(
-      buf, sizeof(buf),
-      "case=%s clients=%zu batch=%d queries=%llu accesses=%llu "
-      "hits=%llu bypasses=%llu loads=%llu evictions=%llu degraded=%llu "
-      "D_C=%.17g D_S=%.17g D_L=%.17g lost=%.17g\n",
-      config_name.c_str(), clients, batch,
-      static_cast<unsigned long long>(ledger.queries),
-      static_cast<unsigned long long>(ledger.accesses),
-      static_cast<unsigned long long>(ledger.hits),
-      static_cast<unsigned long long>(ledger.bypasses),
-      static_cast<unsigned long long>(ledger.loads),
-      static_cast<unsigned long long>(ledger.evictions),
-      static_cast<unsigned long long>(ledger.degraded_accesses),
-      ledger.served_cost, ledger.bypass_cost, ledger.fetch_cost,
-      ledger.degraded_cost);
-  out += buf;
 }
 
 /// Cross-case extras threaded through every RunCase call.
@@ -430,9 +404,11 @@ bool RunCase(const bench::Release& release, catalog::Granularity granularity,
   r.ok &= probe_ok;
 
   if (extras.ledger_text != nullptr) {
-    AppendLedgerText(
+    // The %.17g diffable format (service/ledger_diff.h): a tracing-on
+    // run's file must compare bitwise-equal to a tracing-off run's.
+    *extras.ledger_text += service::FormatLedgerLine(
         release.name + "/" + bench::GranularityName(granularity),
-        num_clients, svc_config.batch_size, ledger, *extras.ledger_text);
+        num_clients, svc_config.batch_size, ledger);
   }
 
   Record record;

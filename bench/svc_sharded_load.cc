@@ -1,0 +1,940 @@
+// Sharded-fleet load & conservation harness: the headline bench of the
+// multi-mediator scale-out (DESIGN.md §13). It builds the full loopback
+// stack — backend site servers, M shard MediatorServers (each admitting
+// only the accesses the ShardMap assigns to it), and the RouterServer
+// front end — replays the EDR trace through the ROUTER with N
+// concurrent clients, and asserts the conservation ledger survives the
+// scatter/gather intact.
+//
+// Four legs:
+//
+//  1. M=1, every policy kind at both granularities: the sharded stack
+//     with one shard (the filter is a no-op) must produce a merged
+//     ledger BITWISE identical to an in-process sim::Simulator replay —
+//     D_S/D_L/D_C memcmp-equal, every counter exact. The router is a
+//     pure conservation-preserving relay.
+//
+//  2. M=2 partition-aligned, every policy kind at both granularities:
+//     the trace's shard-local queries reordered shard-contiguously, per
+//     shard a fleet share of the capacity. Each shard's kShardStats
+//     ledger must be BITWISE identical to a per-shard sim replay of its
+//     sub-trace, and the router's merged kStats must be bitwise equal to
+//     the ascending-shard-order fold of those references. For the
+//     decision-independent policies (no_cache; static with a shared
+//     full-capacity set) the merged ledger is additionally bitwise
+//     identical to a TRUE single-mediator sim of the same aligned trace
+//     — the sum of the parts IS the whole, to the last bit.
+//
+//  3. Cross-shard, M=2, natural trace order (queries split across both
+//     shards): all COUNTERS (accesses/hits/bypasses/loads/evictions)
+//     stay exact vs the single-mediator sim; the cost doubles deviate
+//     only by floating-point reassociation, asserted under the bound
+//     2 * n_accesses * DBL_EPSILON (relative). The split accounting is
+//     observable: sum of per-shard `queries` minus the router's routed
+//     count equals the number of cross-shard splits.
+//
+//  4. Perf: M in {1, 2, 4} with N clients and kQueryBatch framing;
+//     appends {shards, clients, batch, qps, p50/p90/p99_ms} rows to
+//     BENCH_service.json (bench::AppendJsonRows — merged with other
+//     benches' rows, deduped by name/config/clients/batch/shards).
+//
+// Usage: svc_sharded_load [--queries N] [--clients N] [--batch N]
+//                         [--policy NAME] [--frac F] [--out FILE]
+//                         [--skip-perf]
+
+#include <cfloat>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/json_writer.h"
+#include "common/stats.h"
+#include "federation/mediator.h"
+#include "service/backend_server.h"
+#include "service/ledger_diff.h"
+#include "service/mediator_server.h"
+#include "service/replay_client.h"
+#include "service/socket.h"
+#include "shard/router_server.h"
+#include "shard/shard_map.h"
+
+namespace {
+
+using namespace byc;
+using Clock = std::chrono::steady_clock;
+
+/// Lifts a simulator cost breakdown into the wire ledger shape so the
+/// typed differ (service/ledger_diff.h) can compare them.
+service::StatsReply ToStats(const sim::CostBreakdown& totals,
+                            uint64_t queries) {
+  service::StatsReply stats;
+  stats.queries = queries;
+  stats.accesses = totals.accesses;
+  stats.hits = totals.hits;
+  stats.bypasses = totals.bypasses;
+  stats.loads = totals.loads;
+  stats.evictions = totals.evictions;
+  stats.served_cost = totals.served_cost;
+  stats.bypass_cost = totals.bypass_cost;
+  stats.fetch_cost = totals.fetch_cost;
+  return stats;
+}
+
+struct PolicyCase {
+  std::string label;
+  core::PolicyKind kind;
+  core::AobjKind online_aobj = core::AobjKind::kRentToBuy;
+};
+
+std::vector<PolicyCase> AllPolicyCases() {
+  return {
+      {"no_cache", core::PolicyKind::kNoCache},
+      {"lru", core::PolicyKind::kLru},
+      {"lru_k", core::PolicyKind::kLruK},
+      {"lfu", core::PolicyKind::kLfu},
+      {"gds", core::PolicyKind::kGds},
+      {"gdsp", core::PolicyKind::kGdsp},
+      {"static", core::PolicyKind::kStatic},
+      {"rate_profile", core::PolicyKind::kRateProfile},
+      {"online_by", core::PolicyKind::kOnlineBy},
+      {"online_by/irani", core::PolicyKind::kOnlineBy,
+       core::AobjKind::kIraniSizeClass},
+      {"space_eff_by", core::PolicyKind::kSpaceEffBy},
+  };
+}
+
+/// The trace, classified under one shard map: per-shard sub-traces of
+/// the shard-local queries (original relative order preserved), the
+/// shard-contiguous concatenation, and the counts of what was excluded.
+struct Partition {
+  std::vector<workload::Trace> per_shard;
+  workload::Trace aligned;
+  size_t cross_shard = 0;
+  size_t zero_touch = 0;
+};
+
+Partition PartitionTrace(const bench::Release& release,
+                         catalog::Granularity granularity,
+                         const shard::ShardMap& map) {
+  federation::Mediator med(&release.federation, granularity);
+  Partition p;
+  p.per_shard.resize(static_cast<size_t>(map.num_shards()));
+  for (workload::Trace& t : p.per_shard) t.name = release.trace.name;
+  for (const workload::TraceQuery& tq : release.trace.queries) {
+    std::vector<core::Access> accesses = med.Decompose(tq.query);
+    int shard = -1;
+    bool cross = false;
+    for (const core::Access& access : accesses) {
+      int s = map.ShardOf(access.object);
+      if (shard == -1) {
+        shard = s;
+      } else if (s != shard) {
+        cross = true;
+        break;
+      }
+    }
+    if (shard == -1) {
+      ++p.zero_touch;
+      continue;
+    }
+    if (cross) {
+      ++p.cross_shard;
+      continue;
+    }
+    p.per_shard[static_cast<size_t>(shard)].queries.push_back(tq);
+  }
+  p.aligned.name = release.trace.name;
+  for (const workload::Trace& t : p.per_shard) {
+    p.aligned.queries.insert(p.aligned.queries.end(), t.queries.begin(),
+                             t.queries.end());
+  }
+  return p;
+}
+
+/// Queries of the natural trace whose decomposition is non-empty (what
+/// the router will actually scatter) and how many cross M shards.
+struct FanoutExpectation {
+  uint64_t nonzero = 0;
+  uint64_t cross = 0;
+  uint64_t fanout = 0;  // sub-queries the router will emit
+};
+
+FanoutExpectation ExpectFanout(const bench::Release& release,
+                               catalog::Granularity granularity,
+                               const shard::ShardMap& map) {
+  federation::Mediator med(&release.federation, granularity);
+  FanoutExpectation e;
+  std::vector<int> touched;
+  for (const workload::TraceQuery& tq : release.trace.queries) {
+    std::vector<core::Access> accesses = med.Decompose(tq.query);
+    touched.clear();
+    for (const core::Access& access : accesses) {
+      int s = map.ShardOf(access.object);
+      bool seen = false;
+      for (int t : touched) seen |= (t == s);
+      if (!seen) touched.push_back(s);
+    }
+    if (touched.empty()) continue;
+    ++e.nonzero;
+    e.fanout += touched.size();
+    if (touched.size() > 1) ++e.cross;
+  }
+  return e;
+}
+
+/// The full loopback sharded deployment: site backends, M shard
+/// mediators (every one opened with shard-scoped admission against
+/// `map`), and the router front end.
+struct ShardStack {
+  shard::ShardMap map;
+  std::vector<std::unique_ptr<service::BackendServer>> backends;
+  std::vector<service::BackendAddress> backend_addrs;
+  std::vector<std::unique_ptr<service::MediatorServer>> mediators;
+  std::unique_ptr<shard::RouterServer> router;
+
+  explicit ShardStack(shard::ShardMap m) : map(std::move(m)) {}
+  ~ShardStack() { StopAll(); }
+
+  Status Start(const bench::Release& release,
+               const std::vector<core::PolicyConfig>& configs,
+               const service::ServiceConfig& svc,
+               telemetry::MetricsRegistry* metrics) {
+    BYC_CHECK_EQ(configs.size(), static_cast<size_t>(map.num_shards()));
+    for (int s = 0; s < release.federation.num_sites(); ++s) {
+      service::BackendServer::Options options;
+      options.site = s;
+      options.federation = &release.federation;
+      backends.push_back(std::make_unique<service::BackendServer>(options));
+      BYC_RETURN_IF_ERROR(backends.back()->Start());
+      backend_addrs.push_back({"127.0.0.1", backends.back()->port()});
+    }
+    std::vector<service::BackendAddress> shard_addrs;
+    for (int s = 0; s < map.num_shards(); ++s) {
+      service::MediatorServer::Options options;
+      options.config = svc;
+      options.config.port = 0;
+      options.shard_id = s;
+      options.shard_map = &map;
+      mediators.push_back(std::make_unique<service::MediatorServer>(
+          &release.federation, configs[static_cast<size_t>(s)],
+          backend_addrs, options));
+      BYC_RETURN_IF_ERROR(mediators.back()->Start());
+      shard_addrs.push_back({"127.0.0.1", mediators.back()->port()});
+    }
+    shard::RouterServer::Options options;
+    options.config = svc;
+    options.metrics = metrics;
+    router = std::make_unique<shard::RouterServer>(
+        &release.federation, configs[0].granularity, map,
+        std::move(shard_addrs), options);
+    return router->Start();
+  }
+
+  void StopAll() {
+    if (router != nullptr) router->Stop();
+    for (auto& m : mediators) m->Stop();
+    for (auto& b : backends) b->Stop();
+  }
+};
+
+/// Replays `trace` through the router with `clients` concurrent
+/// sequence-stamped clients; merges their reports.
+struct LoadResult {
+  uint64_t queries_sent = 0;
+  uint64_t degraded = 0;
+  double wall_ms = 0;
+  LogHistogram request_ms;
+};
+
+Result<LoadResult> ReplayThroughRouter(uint16_t port,
+                                       const workload::Trace& trace,
+                                       size_t clients,
+                                       const service::ServiceConfig& svc) {
+  std::vector<Result<service::ReplayClient::ShardReport>> results(
+      clients, Status::Unavailable("shard never ran"));
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      service::ReplayClient client("127.0.0.1", port, svc);
+      results[i] = client.ReplayShard(trace, i, clients);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  LoadResult load;
+  load.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  for (size_t i = 0; i < clients; ++i) {
+    BYC_RETURN_IF_ERROR(results[i].status());
+    load.queries_sent += results[i]->queries_sent;
+    load.degraded += results[i]->client_totals.degraded;
+    load.request_ms.Merge(results[i]->request_ms);
+  }
+  return load;
+}
+
+/// One kShardStats scrape through the router: the unmerged per-shard
+/// ledgers, concatenated in shard order.
+Result<std::vector<service::ShardStatsEntry>> FetchShardStats(
+    uint16_t port, const service::ServiceConfig& svc) {
+  using namespace service;
+  BYC_ASSIGN_OR_RETURN(
+      Socket sock,
+      Socket::Connect("127.0.0.1", port, Deadline::After(svc.deadline_ms)));
+  Deadline deadline = Deadline::After(svc.deadline_ms);
+  BYC_RETURN_IF_ERROR(
+      WriteFrame(sock, MakeHelloFrame(kProtocolVersion), deadline));
+  BYC_ASSIGN_OR_RETURN(Frame hello, ReadFrame(sock, deadline));
+  if (hello.type == FrameType::kError) return ParseErrorFrame(hello);
+  BYC_RETURN_IF_ERROR(WriteFrame(sock, MakeShardStatsFrame(), deadline));
+  BYC_ASSIGN_OR_RETURN(Frame reply, ReadFrame(sock, deadline));
+  if (reply.type == FrameType::kError) return ParseErrorFrame(reply);
+  std::vector<ShardStatsEntry> entries;
+  BYC_RETURN_IF_ERROR(ParseShardStatsReplyInto(reply, &entries));
+  return entries;
+}
+
+/// Builds the per-shard policy configs of one case. Stateful policies
+/// split the fleet capacity evenly; `static` instead shares ONE
+/// full-capacity set selected from the whole trace on every shard (the
+/// decision-independent configuration the bitwise cross-shard claims
+/// need — every shard agrees on what is cached, each ledgers only its
+/// own slice).
+std::vector<core::PolicyConfig> ShardConfigs(
+    const PolicyCase& pcase, catalog::Granularity granularity,
+    uint64_t capacity, int num_shards,
+    const sim::DecomposedTrace& decomposed) {
+  uint64_t per_shard = pcase.kind == core::PolicyKind::kStatic
+                           ? capacity
+                           : capacity / static_cast<uint64_t>(num_shards);
+  core::PolicyConfig config =
+      bench::MakeSweepConfig(pcase.kind, per_shard, decomposed);
+  config.granularity = granularity;
+  config.online_aobj = pcase.online_aobj;
+  return std::vector<core::PolicyConfig>(static_cast<size_t>(num_shards),
+                                         config);
+}
+
+/// Leg 1: M=1, the filter is a no-op, the router is a relay — the
+/// merged ledger must be bitwise identical to the simulator.
+bool RunRelayCase(const bench::Release& release,
+                  catalog::Granularity granularity, const PolicyCase& pcase,
+                  uint64_t capacity, const service::ServiceConfig& svc) {
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  std::vector<core::PolicyConfig> configs =
+      ShardConfigs(pcase, granularity, capacity, 1, decomposed);
+  auto policy = core::MakePolicy(configs[0]);
+  sim::SimResult sim_result = simulator.Run(*policy, decomposed);
+
+  ShardStack stack(shard::ShardMap(1));
+  Status started =
+      stack.Start(release, configs, svc, bench::BenchMetrics());
+  if (!started.ok()) {
+    std::printf("  stack failed to start: %s\n",
+                started.ToString().c_str());
+    return false;
+  }
+  Result<LoadResult> load =
+      ReplayThroughRouter(stack.router->port(), release.trace, 2, svc);
+  if (!load.ok()) {
+    std::printf("  replay failed: %s\n", load.status().ToString().c_str());
+    return false;
+  }
+  service::ReplayClient stats_client("127.0.0.1", stack.router->port(),
+                                     svc);
+  Result<service::StatsReply> merged = stats_client.FetchStats();
+  if (!merged.ok()) {
+    std::printf("  merged stats fetch failed: %s\n",
+                merged.status().ToString().c_str());
+    return false;
+  }
+  stack.StopAll();
+
+  service::LedgerDelta delta = service::DiffLedgers(
+      ToStats(sim_result.totals, release.trace.queries.size()), *merged);
+  delta.Print();
+  bool ok = delta.identical();
+  if (stack.router->cross_shard_queries() != 0) {
+    std::printf("  MISMATCH cross_shard: %llu with one shard\n",
+                static_cast<unsigned long long>(
+                    stack.router->cross_shard_queries()));
+    ok = false;
+  }
+  std::printf("  M=1 %-16s %-6s queries=%llu fanout=%llu  %s\n",
+              pcase.label.c_str(), bench::GranularityName(granularity),
+              static_cast<unsigned long long>(merged->queries),
+              static_cast<unsigned long long>(stack.router->fanout()),
+              ok ? "IDENTICAL" : "MISMATCH");
+  return ok;
+}
+
+/// Leg 2: M=2 over the partition-aligned trace — per-shard ledgers
+/// bitwise vs per-shard sim replays, the merged ledger bitwise vs their
+/// shard-order fold, and (decision-independent policies) bitwise vs a
+/// true single-mediator sim of the same trace.
+bool RunAlignedCase(const bench::Release& release,
+                    catalog::Granularity granularity,
+                    const PolicyCase& pcase, uint64_t capacity,
+                    const service::ServiceConfig& svc) {
+  shard::ShardMap map(2);
+  Partition part = PartitionTrace(release, granularity, map);
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace full_decomposed =
+      simulator.DecomposeFlat(release.trace);
+  std::vector<core::PolicyConfig> configs =
+      ShardConfigs(pcase, granularity, capacity, 2, full_decomposed);
+
+  // Per-shard references: each shard's sub-trace replayed through its
+  // own policy instance — the admission stream the shard mediator will
+  // see, in the same order.
+  std::vector<service::StatsReply> refs;
+  for (int s = 0; s < 2; ++s) {
+    sim::DecomposedTrace sub =
+        simulator.DecomposeFlat(part.per_shard[static_cast<size_t>(s)]);
+    auto policy = core::MakePolicy(configs[static_cast<size_t>(s)]);
+    sim::SimResult result = simulator.Run(*policy, sub);
+    refs.push_back(ToStats(
+        result.totals,
+        part.per_shard[static_cast<size_t>(s)].queries.size()));
+  }
+
+  ShardStack stack(shard::ShardMap(2));
+  Status started =
+      stack.Start(release, configs, svc, bench::BenchMetrics());
+  if (!started.ok()) {
+    std::printf("  stack failed to start: %s\n",
+                started.ToString().c_str());
+    return false;
+  }
+  Result<LoadResult> load =
+      ReplayThroughRouter(stack.router->port(), part.aligned, 2, svc);
+  if (!load.ok()) {
+    std::printf("  replay failed: %s\n", load.status().ToString().c_str());
+    return false;
+  }
+  Result<std::vector<service::ShardStatsEntry>> shard_stats =
+      FetchShardStats(stack.router->port(), svc);
+  service::ReplayClient stats_client("127.0.0.1", stack.router->port(),
+                                     svc);
+  Result<service::StatsReply> merged = stats_client.FetchStats();
+  stack.StopAll();
+  if (!shard_stats.ok() || !merged.ok()) {
+    std::printf("  stats fetch failed: %s\n",
+                (!shard_stats.ok() ? shard_stats.status() : merged.status())
+                    .ToString()
+                    .c_str());
+    return false;
+  }
+
+  bool ok = true;
+  if (shard_stats->size() != 2) {
+    std::printf("  MISMATCH shard_stats count: %zu\n", shard_stats->size());
+    return false;
+  }
+  for (int s = 0; s < 2; ++s) {
+    const service::ShardStatsEntry& entry =
+        (*shard_stats)[static_cast<size_t>(s)];
+    if (entry.shard_id != static_cast<uint32_t>(s) ||
+        entry.map_version != stack.map.version()) {
+      std::printf("  MISMATCH shard identity: entry %d is shard %u v%u\n",
+                  s, entry.shard_id, entry.map_version);
+      ok = false;
+    }
+    service::LedgerDelta delta =
+        service::DiffLedgers(refs[static_cast<size_t>(s)], entry.stats);
+    if (!delta.identical()) {
+      std::printf("  shard %d ledger vs per-shard sim:\n", s);
+      delta.Print();
+      ok = false;
+    }
+  }
+  // The merged ledger must equal the ascending-shard-order fold of the
+  // per-shard references, with `queries` being the router's routed
+  // count (one per aligned query, however many shards).
+  service::StatsReply fold;
+  service::AccumulateStats(fold, refs[0]);
+  service::AccumulateStats(fold, refs[1]);
+  fold.queries = part.aligned.queries.size();
+  service::LedgerDelta merged_delta = service::DiffLedgers(fold, *merged);
+  if (!merged_delta.identical()) {
+    std::printf("  merged ledger vs shard-order fold:\n");
+    merged_delta.Print();
+    ok = false;
+  }
+  // Decision-independent policies: every shard decides each access
+  // exactly as one mediator would, so against a TRUE single-mediator
+  // replay of the same aligned trace the counters must stay exact. The
+  // cost doubles differ only in how the per-access terms associate (the
+  // single mediator chains one running sum across the shard boundary;
+  // the fold adds two shard subtotals), bounded like leg 3.
+  const bool decision_independent =
+      pcase.kind == core::PolicyKind::kNoCache ||
+      pcase.kind == core::PolicyKind::kStatic;
+  if (decision_independent) {
+    sim::DecomposedTrace aligned_decomposed =
+        simulator.DecomposeFlat(part.aligned);
+    auto policy = core::MakePolicy(configs[0]);
+    sim::SimResult single = simulator.Run(*policy, aligned_decomposed);
+    const sim::CostBreakdown& want = single.totals;
+    auto check_exact = [&](const char* what, uint64_t w, uint64_t got) {
+      if (w != got) {
+        std::printf("  MISMATCH single-mediator %-10s want=%llu got=%llu\n",
+                    what, static_cast<unsigned long long>(w),
+                    static_cast<unsigned long long>(got));
+        ok = false;
+      }
+    };
+    check_exact("accesses", want.accesses, merged->accesses);
+    check_exact("hits", want.hits, merged->hits);
+    check_exact("bypasses", want.bypasses, merged->bypasses);
+    check_exact("loads", want.loads, merged->loads);
+    check_exact("evictions", want.evictions, merged->evictions);
+    const double bound =
+        2.0 * static_cast<double>(want.accesses) * DBL_EPSILON;
+    auto check_cost = [&](const char* what, double w, double got) {
+      double rel = std::abs(got - w) / std::max(1.0, std::abs(w));
+      if (rel > bound) {
+        std::printf(
+            "  EXCEEDS BOUND single-mediator %-4s want=%.17g got=%.17g "
+            "rel=%.3g bound=%.3g\n",
+            what, w, got, rel, bound);
+        ok = false;
+      }
+    };
+    check_cost("D_C", want.served_cost, merged->served_cost);
+    check_cost("D_S", want.bypass_cost, merged->bypass_cost);
+    check_cost("D_L", want.fetch_cost, merged->fetch_cost);
+  }
+  std::printf(
+      "  M=2 %-16s %-6s local=%zu cross_dropped=%zu  per-shard=%s "
+      "merged=%s%s\n",
+      pcase.label.c_str(), bench::GranularityName(granularity),
+      part.aligned.queries.size(), part.cross_shard,
+      ok ? "IDENTICAL" : "MISMATCH", ok ? "IDENTICAL" : "MISMATCH",
+      decision_independent ? " (counters == single mediator)" : "");
+  return ok;
+}
+
+/// Leg 3: natural order, cross-shard splits live — counters exact, cost
+/// deviation bounded by floating-point reassociation.
+bool RunCrossShardCase(const bench::Release& release,
+                       const PolicyCase& pcase, uint64_t capacity,
+                       const service::ServiceConfig& svc) {
+  const catalog::Granularity granularity = catalog::Granularity::kColumn;
+  shard::ShardMap map(2);
+  FanoutExpectation expect = ExpectFanout(release, granularity, map);
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  std::vector<core::PolicyConfig> configs =
+      ShardConfigs(pcase, granularity, capacity, 2, decomposed);
+  auto policy = core::MakePolicy(configs[0]);
+  sim::SimResult sim_result = simulator.Run(*policy, decomposed);
+
+  ShardStack stack(shard::ShardMap(2));
+  Status started =
+      stack.Start(release, configs, svc, bench::BenchMetrics());
+  if (!started.ok()) {
+    std::printf("  stack failed to start: %s\n",
+                started.ToString().c_str());
+    return false;
+  }
+  Result<LoadResult> load =
+      ReplayThroughRouter(stack.router->port(), release.trace, 2, svc);
+  if (!load.ok()) {
+    std::printf("  replay failed: %s\n", load.status().ToString().c_str());
+    return false;
+  }
+  Result<std::vector<service::ShardStatsEntry>> shard_stats =
+      FetchShardStats(stack.router->port(), svc);
+  service::ReplayClient stats_client("127.0.0.1", stack.router->port(),
+                                     svc);
+  Result<service::StatsReply> merged = stats_client.FetchStats();
+  const uint64_t routed = stack.router->routed_queries();
+  const uint64_t fanout = stack.router->fanout();
+  const uint64_t cross = stack.router->cross_shard_queries();
+  stack.StopAll();
+  if (!shard_stats.ok() || !merged.ok()) {
+    std::printf("  stats fetch failed\n");
+    return false;
+  }
+
+  bool ok = true;
+  const sim::CostBreakdown& sim_totals = sim_result.totals;
+  auto check_u = [&](const char* what, uint64_t want, uint64_t got) {
+    if (want != got) {
+      std::printf("  MISMATCH %-12s want=%llu got=%llu\n", what,
+                  static_cast<unsigned long long>(want),
+                  static_cast<unsigned long long>(got));
+      ok = false;
+    }
+  };
+  check_u("queries", release.trace.queries.size(), merged->queries);
+  check_u("accesses", sim_totals.accesses, merged->accesses);
+  check_u("hits", sim_totals.hits, merged->hits);
+  check_u("bypasses", sim_totals.bypasses, merged->bypasses);
+  check_u("loads", sim_totals.loads, merged->loads);
+  check_u("evictions", sim_totals.evictions, merged->evictions);
+  check_u("degraded", 0, merged->degraded_accesses);
+  check_u("routed", release.trace.queries.size(), routed);
+  check_u("fanout", expect.fanout, fanout);
+  check_u("cross_shard", expect.cross, cross);
+  // The split accounting: every shard counts each line it was sent, so
+  // the per-shard `queries` sum exceeds the routed count by exactly the
+  // number of cross-shard splits.
+  uint64_t shard_query_sum = 0;
+  for (const service::ShardStatsEntry& entry : *shard_stats) {
+    shard_query_sum += entry.stats.queries;
+  }
+  check_u("queries_split", fanout, shard_query_sum);
+
+  // The cost doubles: same per-access terms, different summation order.
+  // |reassociated - sequential| for an n-term sum is bounded by
+  // ~n * eps * sum|terms|; 2*n*eps relative is a comfortable envelope.
+  const double bound =
+      2.0 * static_cast<double>(sim_totals.accesses) * DBL_EPSILON;
+  double worst = 0;
+  auto check_cost = [&](const char* what, double want, double got) {
+    double rel = std::abs(got - want) /
+                 std::max(1.0, std::abs(want));
+    worst = std::max(worst, rel);
+    if (rel > bound) {
+      std::printf("  EXCEEDS BOUND %-8s want=%.17g got=%.17g rel=%.3g\n",
+                  what, want, got, rel);
+      ok = false;
+    }
+  };
+  check_cost("D_C", sim_totals.served_cost, merged->served_cost);
+  check_cost("D_S", sim_totals.bypass_cost, merged->bypass_cost);
+  check_cost("D_L", sim_totals.fetch_cost, merged->fetch_cost);
+  std::printf(
+      "  cross %-12s splits=%llu (of %llu queries)  cost deviation "
+      "max=%.3g bound=%.3g  %s\n",
+      pcase.label.c_str(), static_cast<unsigned long long>(cross),
+      static_cast<unsigned long long>(routed), worst, bound,
+      ok ? "WITHIN BOUND" : "FAIL");
+  return ok;
+}
+
+/// One measured perf case; one BENCH_service.json row.
+struct PerfRecord {
+  int shards = 1;
+  size_t clients = 0;
+  int batch = 1;
+  uint64_t queries = 0;
+  double qps = 0;
+  double wall_ms = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+};
+
+std::string PerfRecordToJson(const PerfRecord& r, const std::string& config) {
+  std::string out;
+  JsonWriter json(&out, /*pretty=*/false);
+  json.BeginObject();
+  json.Key("name");
+  json.String("sharded_load");
+  json.Key("config");
+  json.String(config);
+  json.Key("clients");
+  json.UInt(static_cast<uint64_t>(r.clients));
+  json.Key("batch");
+  json.UInt(static_cast<uint64_t>(r.batch));
+  json.Key("shards");
+  json.UInt(static_cast<uint64_t>(r.shards));
+  json.Key("queries");
+  json.UInt(r.queries);
+  json.Key("qps");
+  json.Double(r.qps, 1);
+  json.Key("wall_ms");
+  json.Double(r.wall_ms, 3);
+  json.Key("p50_ms");
+  json.Double(r.p50_ms, 4);
+  json.Key("p90_ms");
+  json.Double(r.p90_ms, 4);
+  json.Key("p99_ms");
+  json.Double(r.p99_ms, 4);
+  json.EndObject();
+  return out;
+}
+
+/// Leg 4: the M-scaling throughput sweep (rate_profile at table
+/// granularity, batched framing, natural trace). `custom_map`, when
+/// set (BYC_SVC_SHARD_MAP), replaces the uniform ring — its shard
+/// count must equal `num_shards`.
+bool RunPerfCase(const bench::Release& release, int num_shards,
+                 uint64_t capacity, size_t clients, int batch,
+                 const service::ServiceConfig& svc_base,
+                 const shard::ShardMap* custom_map,
+                 std::vector<PerfRecord>& records) {
+  const catalog::Granularity granularity = catalog::Granularity::kTable;
+  sim::Simulator::Options sim_options;
+  sim_options.sample_every = 0;
+  sim::Simulator simulator(&release.federation, granularity, sim_options);
+  sim::DecomposedTrace decomposed = simulator.DecomposeFlat(release.trace);
+  PolicyCase pcase{"rate_profile", core::PolicyKind::kRateProfile};
+  std::vector<core::PolicyConfig> configs = ShardConfigs(
+      pcase, granularity, capacity, num_shards, decomposed);
+
+  service::ServiceConfig svc = svc_base;
+  svc.batch_size = batch;
+  ShardStack stack{custom_map != nullptr ? *custom_map
+                                         : shard::ShardMap(num_shards)};
+  Status started =
+      stack.Start(release, configs, svc, bench::BenchMetrics());
+  if (!started.ok()) {
+    std::printf("  stack failed to start: %s\n",
+                started.ToString().c_str());
+    return false;
+  }
+  Result<LoadResult> load =
+      ReplayThroughRouter(stack.router->port(), release.trace, clients,
+                          svc);
+  if (!load.ok()) {
+    std::printf("  replay failed: %s\n", load.status().ToString().c_str());
+    return false;
+  }
+  Result<std::vector<service::ShardStatsEntry>> shard_stats =
+      FetchShardStats(stack.router->port(), svc);
+  service::ReplayClient stats_client("127.0.0.1", stack.router->port(),
+                                     svc);
+  Result<service::StatsReply> merged = stats_client.FetchStats();
+  stack.StopAll();
+  if (!merged.ok() || !shard_stats.ok()) {
+    std::printf("  stats fetch failed\n");
+    return false;
+  }
+  bool ok = true;
+  // Structural conservation under load: access counts are
+  // decision-independent, so they must stay exact however the fleet
+  // splits the work.
+  if (merged->queries != release.trace.queries.size() ||
+      merged->accesses != decomposed.accesses.size() ||
+      merged->degraded_accesses != 0) {
+    std::printf("  MISMATCH perf ledger: queries=%llu accesses=%llu "
+                "degraded=%llu\n",
+                static_cast<unsigned long long>(merged->queries),
+                static_cast<unsigned long long>(merged->accesses),
+                static_cast<unsigned long long>(merged->degraded_accesses));
+    ok = false;
+  }
+
+  PerfRecord record;
+  record.shards = num_shards;
+  record.clients = clients;
+  record.batch = batch;
+  record.queries = load->queries_sent;
+  record.qps = static_cast<double>(load->queries_sent) /
+               (load->wall_ms / 1000.0);
+  record.wall_ms = load->wall_ms;
+  record.p50_ms = load->request_ms.p50();
+  record.p90_ms = load->request_ms.p90();
+  record.p99_ms = load->request_ms.p99();
+  records.push_back(record);
+
+#if BYC_TELEMETRY_ENABLED
+  if (telemetry::MetricsRegistry* metrics = bench::BenchMetrics()) {
+    // Per-shard throughput + merged-ledger gauges (validated by
+    // scripts/validate_manifest.py --require-shard). Gauges overwrite,
+    // so the manifest carries the LAST perf case (the widest fleet).
+    for (const service::ShardStatsEntry& entry : *shard_stats) {
+      metrics
+          ->gauge("svc.shard" + std::to_string(entry.shard_id) + ".qps")
+          .Set(static_cast<double>(entry.stats.queries) /
+               (load->wall_ms / 1000.0));
+    }
+    metrics->gauge("svc.router.qps").Set(record.qps);
+    metrics->gauge("svc.merged.queries")
+        .Set(static_cast<double>(merged->queries));
+    metrics->gauge("svc.merged.wan_cost")
+        .Set(merged->bypass_cost + merged->fetch_cost);
+    metrics->gauge("svc.merged.served_cost").Set(merged->served_cost);
+  }
+#endif
+  std::printf(
+      "  perf M=%d  %zu clients batch=%d  %llu queries in %.1f ms "
+      "(%.0f qps)  p50=%.3f p90=%.3f p99=%.3f ms  %s\n",
+      num_shards, clients, batch,
+      static_cast<unsigned long long>(load->queries_sent), load->wall_ms,
+      record.qps, record.p50_ms, record.p90_ms, record.p99_ms,
+      ok ? "OK" : "MISMATCH");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_queries = 400;
+  size_t clients = 4;
+  int batch = 8;
+  int shards_override = 0;
+  std::string policy_name = "all";
+  double fraction = 0.3;
+  std::string out_path = "BENCH_service.json";
+  bool skip_perf = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      num_queries = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards_override = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--frac") == 0 && i + 1 < argc) {
+      fraction = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--skip-perf") == 0) {
+      skip_perf = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--queries N] [--clients N] [--batch N] "
+                   "[--shards M] [--policy NAME] [--frac F] [--out FILE] "
+                   "[--skip-perf]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (clients == 0 || clients > 64) {
+    std::fprintf(stderr, "svc_sharded_load: --clients must be 1..64\n");
+    return 2;
+  }
+  if (shards_override < 0 || shards_override > 64) {
+    std::fprintf(stderr, "svc_sharded_load: --shards must be 1..64\n");
+    return 2;
+  }
+
+  bench::BenchRun run("svc_sharded_load");
+  Result<service::ServiceConfig> svc_config =
+      service::ServiceConfig::FromEnv();
+  if (!svc_config.ok()) {
+    std::fprintf(stderr, "bad BYC_SVC_* environment: %s\n",
+                 svc_config.status().ToString().c_str());
+    return 2;
+  }
+  // Sessions: N replay clients + the stats/shard-stats scrapes on the
+  // router; each shard mediator additionally serves the router's data
+  // lane + admin channel.
+  svc_config->max_sessions =
+      std::max(svc_config->max_sessions, static_cast<int>(clients) + 4);
+  run.AddConfig("queries", std::to_string(num_queries));
+  run.AddConfig("clients", std::to_string(clients));
+  run.AddConfig("batch", std::to_string(batch));
+  run.AddConfig("capacity_fraction", std::to_string(fraction));
+  run.AddConfig("policy", policy_name);
+
+  bench::Release release = bench::MakeRelease(false, num_queries);
+  uint64_t capacity = bench::CapacityFraction(release, fraction);
+
+  std::printf(
+      "svc_sharded_load: %s, %zu queries, %zu clients, batch=%d, %.0f%% "
+      "cache\n",
+      release.name.c_str(), release.trace.queries.size(), clients, batch,
+      fraction * 100);
+
+  bool ok = true;
+  service::ServiceConfig conserve = *svc_config;
+  conserve.batch_size = std::max(2, batch / 2);
+
+  std::printf("[leg 1] M=1 relay: merged ledger vs simulator, bitwise\n");
+  for (const PolicyCase& pcase : AllPolicyCases()) {
+    if (policy_name != "all" && policy_name != pcase.label) continue;
+    ok &= RunRelayCase(release, catalog::Granularity::kTable, pcase,
+                       capacity, conserve);
+    ok &= RunRelayCase(release, catalog::Granularity::kColumn, pcase,
+                       capacity, conserve);
+  }
+
+  std::printf(
+      "[leg 2] M=2 partition-aligned: per-shard ledgers vs per-shard "
+      "sims, bitwise\n");
+  for (const PolicyCase& pcase : AllPolicyCases()) {
+    if (policy_name != "all" && policy_name != pcase.label) continue;
+    ok &= RunAlignedCase(release, catalog::Granularity::kTable, pcase,
+                         capacity, conserve);
+    ok &= RunAlignedCase(release, catalog::Granularity::kColumn, pcase,
+                         capacity, conserve);
+  }
+
+  std::printf(
+      "[leg 3] M=2 natural order: cross-shard split accounting, bounded "
+      "deviation\n");
+  for (const PolicyCase& pcase : AllPolicyCases()) {
+    if (pcase.kind != core::PolicyKind::kNoCache &&
+        pcase.kind != core::PolicyKind::kStatic) {
+      continue;
+    }
+    if (policy_name != "all" && policy_name != pcase.label) continue;
+    ok &= RunCrossShardCase(release, pcase, capacity, *svc_config);
+  }
+
+  if (!skip_perf) {
+    // The M sweep: {1, 2, 4} by default; --shards M (or BYC_SVC_SHARDS)
+    // narrows it to one width; BYC_SVC_SHARD_MAP replaces the uniform
+    // ring with a serialized (possibly override-pinned) map and the
+    // sweep runs at that map's width.
+    std::vector<int> sweep = {1, 2, 4};
+    std::optional<shard::ShardMap> custom_map;
+    if (!svc_config->shard_map.empty()) {
+      auto loaded = shard::LoadShardMapFile(svc_config->shard_map);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "bad BYC_SVC_SHARD_MAP: %s\n",
+                     loaded.status().ToString().c_str());
+        return 2;
+      }
+      custom_map.emplace(std::move(*loaded));
+      sweep = {custom_map->num_shards()};
+    } else if (shards_override > 0) {
+      sweep = {shards_override};
+    } else if (svc_config->shards > 1) {
+      sweep = {svc_config->shards};
+    }
+    std::printf("[leg 4] throughput: M in {");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      std::printf("%s%d", i != 0 ? ", " : "", sweep[i]);
+    }
+    std::printf("}\n");
+    std::vector<PerfRecord> records;
+    for (int m : sweep) {
+      ok &= RunPerfCase(release, m, capacity, clients, batch, *svc_config,
+                        custom_map ? &*custom_map : nullptr, records);
+    }
+    std::vector<std::string> rows;
+    const std::string config =
+        release.name + "/" +
+        bench::GranularityName(catalog::Granularity::kTable);
+    for (const PerfRecord& r : records) {
+      rows.push_back(PerfRecordToJson(r, config));
+    }
+    if (!bench::AppendJsonRows(out_path, rows)) {
+      std::fprintf(stderr, "svc_sharded_load: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+  }
+
+  std::printf("svc_sharded_load: %s\n",
+              ok ? "PASS (per-shard ledgers conserve the fleet ledger)"
+                 : "FAIL");
+  return ok ? 0 : 1;
+}

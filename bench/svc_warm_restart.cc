@@ -42,6 +42,7 @@
 #include "persist/snapshot.h"
 #include "service/backend_server.h"
 #include "service/fault.h"
+#include "service/ledger_diff.h"
 #include "service/mediator_server.h"
 #include "service/replay_client.h"
 
@@ -49,49 +50,14 @@ namespace {
 
 using namespace byc;
 
-bool SameBits(double a, double b) {
-  return std::memcmp(&a, &b, sizeof(double)) == 0;
-}
-
-struct CaseResult {
-  bool ok = true;
-  int checked = 0;
-};
-
-void Check(CaseResult& r, const char* what, double want, double got) {
-  ++r.checked;
-  if (!SameBits(want, got)) {
-    std::printf("  MISMATCH %-12s want=%.17g got=%.17g\n", what, want, got);
-    r.ok = false;
-  }
-}
-
-void CheckU(CaseResult& r, const char* what, uint64_t want, uint64_t got) {
-  ++r.checked;
-  if (want != got) {
-    std::printf("  MISMATCH %-12s want=%llu got=%llu\n", what,
-                static_cast<unsigned long long>(want),
-                static_cast<unsigned long long>(got));
-    r.ok = false;
-  }
-}
-
-/// Diffs two service ledgers field by field, doubles bitwise.
+/// Diffs two service ledgers field by field, doubles bitwise (the typed
+/// helper in service/ledger_diff.h does the comparing and the %.17g
+/// formatting).
 bool LedgersIdentical(const service::StatsReply& want,
                       const service::StatsReply& got) {
-  CaseResult r;
-  CheckU(r, "queries", want.queries, got.queries);
-  CheckU(r, "accesses", want.accesses, got.accesses);
-  CheckU(r, "hits", want.hits, got.hits);
-  CheckU(r, "bypasses", want.bypasses, got.bypasses);
-  CheckU(r, "loads", want.loads, got.loads);
-  CheckU(r, "evictions", want.evictions, got.evictions);
-  CheckU(r, "degraded", want.degraded_accesses, got.degraded_accesses);
-  Check(r, "D_C", want.served_cost, got.served_cost);
-  Check(r, "D_S", want.bypass_cost, got.bypass_cost);
-  Check(r, "D_L", want.fetch_cost, got.fetch_cost);
-  Check(r, "degraded_cost", want.degraded_cost, got.degraded_cost);
-  return r.ok;
+  service::LedgerDelta delta = service::DiffLedgers(want, got);
+  delta.Print();
+  return delta.identical();
 }
 
 workload::Trace Slice(const workload::Trace& trace, size_t begin,

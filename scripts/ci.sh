@@ -17,7 +17,12 @@
 # tracing, a zero-threshold slow-query log, and the metrics probe all
 # on at once, then diffs its ledger file against the untraced run's —
 # the two must be bitwise IDENTICAL (observability never moves a ledger
-# byte) — and python-parses every slow-log JSONL line.
+# byte) — and python-parses every slow-log JSONL line. A final
+# sharded-fleet stage (svc_sharded_load) drives the front-end router
+# over per-shard mediators and proves the per-shard ledgers conserve
+# the single-mediator ledger (bitwise on shard-local traffic, within an
+# asserted reassociation bound across splits); its manifest is checked
+# by validate_manifest.py --require-shard.
 #
 # Usage: scripts/ci.sh [preset ...]
 #   scripts/ci.sh                 # release asan tsan (the full sweep)
@@ -32,6 +37,7 @@
 #   CI_SKIP_WIRE=1      skip the wire codec micro smoke test
 #   CI_SKIP_OBS=1       skip the traced-load observability smoke test
 #   CI_SKIP_WARM=1      skip the warm-restart / crash-recovery smoke test
+#   CI_SKIP_SHARD=1     skip the sharded-fleet smoke test
 #   CI_SVC_TIMEOUT      seconds before a service smoke test is killed
 #                       (default 300, applies to all service stages)
 #   CI_LOAD_CLIENTS     concurrent clients for the load smoke (default 4)
@@ -201,6 +207,31 @@ if [ "${CI_SKIP_WARM:-0}" != "1" ]; then
   # from whatever snapshot survived, and compare the resumed ledger
   # bitwise against the uninterrupted baseline.
   timeout "${CI_SVC_TIMEOUT:-300}" "$warm" --queries 400 --sigkill --repeat 3
+fi
+
+if [ "${CI_SKIP_SHARD:-0}" != "1" ]; then
+  sharded=build/bench/svc_sharded_load
+  if [ ! -x "$sharded" ]; then
+    cmake --preset release >/dev/null
+    cmake --build --preset release -j "$JOBS" --target svc_sharded_load
+  fi
+  shard_manifest="$(mktemp -t byc_shard_manifest.XXXXXX.json)"
+  shard_json="$(mktemp -t byc_shard_bench.XXXXXX.json)"
+  trap 'rm -f "${manifest:-}" "${svc_manifest:-}" "${load_manifest:-}" "${load_json:-}" "${wire_manifest:-}" "${warm_manifest:-}" "$shard_manifest" "$shard_json"; rm -rf "${obs_dir:-}"' EXIT
+  echo "==> sharded-fleet smoke test ($sharded, router + per-shard ledgers)"
+  # Router scatter/gather over M=2 shard mediators: the binary exits
+  # nonzero if any per-shard ledger diverges from its per-shard
+  # simulator replay by one bit, if the merged kStats ledger differs
+  # from the ascending-shard-order fold, or if the cross-shard cost
+  # deviation exceeds the asserted reassociation bound. The M-scaling
+  # perf leg then records {shards, qps, p50/p90/p99} rows; the manifest
+  # must carry the router fanout counters, per-shard qps gauges, and
+  # merged ledger fields --require-shard demands.
+  BYC_MANIFEST="$shard_manifest" \
+    timeout "${CI_SVC_TIMEOUT:-300}" "$sharded" --queries 200 \
+    --clients "${CI_LOAD_CLIENTS:-4}" --batch "${CI_LOAD_BATCH:-16}" \
+    --out "$shard_json"
+  python3 scripts/validate_manifest.py --require-shard "$shard_manifest"
 fi
 
 echo "==> CI OK (${PRESETS[*]})"

@@ -31,8 +31,20 @@ outcome counters ("svc.snapshot_restores", "svc.snapshot_restore_failed")
 present — so a CI warm-restart stage that silently never snapshotted or
 never restored cannot pass.
 
+--require-shard demands the sharded-router fields of an svc_sharded_load
+run: the router plane ("svc.router.queries" and "svc.router.fanout"
+counters >= 1, a "svc.router.shards" gauge >= 1, the
+"svc.router.cross_shard" split counter present), a per-shard throughput
+gauge ("svc.shard<N>.qps") for every shard of the widest fleet with
+positive aggregate throughput, and the merged conservation ledger
+gauges ("svc.merged.queries" > 0, "svc.merged.wan_cost",
+"svc.merged.served_cost" present) — so a CI sharded stage whose router
+silently served nothing, or whose gather stage dropped the merged
+ledger, cannot pass.
+
 Usage: validate_manifest.py [--require-service] [--require-load]
-                            [--require-snapshot] <manifest.json> [...]
+                            [--require-snapshot] [--require-shard]
+                            <manifest.json> [...]
 Exits nonzero with a message per violation.
 """
 
@@ -163,8 +175,12 @@ def validate_service_fields(doc, path, errors, required):
     histograms = metrics.get("histograms", {})
     histograms = histograms if isinstance(histograms, dict) else {}
 
-    has_service = any(key.startswith("svc.") for key in config) or any(
-        name.startswith("svc.") for name in counters)
+    # A sharded-router manifest carries svc.router.* counters but no
+    # mediator replay ledger; the mediator-level schema keys on the
+    # replay counter itself so router-only manifests are validated by
+    # --require-shard instead.
+    has_service = any(key.startswith("svc.") for key in config) or (
+        "svc.queries" in counters)
     if not has_service:
         if required:
             fail(path, "no svc.* config or metrics found "
@@ -304,12 +320,85 @@ def validate_snapshot_fields(doc, path, errors, required):
                  f"(restore outcomes must be recorded)", errors)
 
 
+def validate_shard_fields(doc, path, errors, required):
+    """Checks the sharded-router additions of an svc_sharded_load
+    manifest: the scatter/gather plane, per-shard throughput, and the
+    merged conservation ledger."""
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    metrics = metrics if isinstance(metrics, dict) else {}
+    counters = metrics.get("counters", {})
+    counters = counters if isinstance(counters, dict) else {}
+    gauges = metrics.get("gauges", {})
+    gauges = gauges if isinstance(gauges, dict) else {}
+
+    has_shard = "svc.router.queries" in counters
+    if not has_shard:
+        if required:
+            fail(path, "no 'svc.router.queries' counter found "
+                 "(--require-shard)", errors)
+        return
+
+    for name in ("svc.router.queries", "svc.router.fanout"):
+        value = counters.get(name)
+        if value is None:
+            fail(path, f"shard manifest missing counter {name!r}", errors)
+        elif isinstance(value, int) and value < 1:
+            fail(path, f"counter {name!r} must be >= 1 for a completed "
+                 f"sharded run: {value!r}", errors)
+    if "svc.router.cross_shard" not in counters:
+        fail(path, "shard manifest missing counter 'svc.router.cross_shard' "
+             "(split accounting must be recorded even when zero)", errors)
+
+    shards = gauges.get("svc.router.shards")
+    if shards is None:
+        fail(path, "shard manifest missing gauge 'svc.router.shards'",
+             errors)
+        return
+    if not is_number(shards) or shards < 1:
+        fail(path, f"gauge 'svc.router.shards' must be >= 1: {shards!r}",
+             errors)
+        return
+
+    # Per-shard throughput of the widest fleet: every shard must have
+    # reported, and the fleet as a whole must have moved queries. (An
+    # individual shard may legitimately see ~no traffic on a skewed
+    # catalog, but all of them idle means the router never scattered.)
+    total_qps = 0.0
+    for n in range(int(shards)):
+        name = f"svc.shard{n}.qps"
+        qps = gauges.get(name)
+        if qps is None:
+            fail(path, f"shard manifest missing gauge {name!r}", errors)
+        elif not is_number(qps) or qps < 0:
+            fail(path, f"gauge {name!r} is not a non-negative number: "
+                 f"{qps!r}", errors)
+        else:
+            total_qps += qps
+    if total_qps <= 0:
+        fail(path, "per-shard qps gauges sum to zero "
+             "(the fleet served no traffic)", errors)
+
+    merged_queries = gauges.get("svc.merged.queries")
+    if merged_queries is None:
+        fail(path, "shard manifest missing gauge 'svc.merged.queries'",
+             errors)
+    elif not is_number(merged_queries) or merged_queries <= 0:
+        fail(path, f"gauge 'svc.merged.queries' must be positive: "
+             f"{merged_queries!r}", errors)
+    for name in ("svc.merged.wan_cost", "svc.merged.served_cost"):
+        if name not in gauges:
+            fail(path, f"shard manifest missing gauge {name!r} "
+                 f"(merged ledger fields)", errors)
+
+
 def main(argv):
     args = argv[1:]
     require_service = "--require-service" in args
     require_load = "--require-load" in args
     require_snapshot = "--require-snapshot" in args
-    flags = ("--require-service", "--require-load", "--require-snapshot")
+    require_shard = "--require-shard" in args
+    flags = ("--require-service", "--require-load", "--require-snapshot",
+             "--require-shard")
     paths = [a for a in args if a not in flags]
     if not paths:
         print(__doc__.strip(), file=sys.stderr)
@@ -326,6 +415,7 @@ def main(argv):
         validate_service_fields(doc, path, errors, require_service)
         validate_load_fields(doc, path, errors, require_load)
         validate_snapshot_fields(doc, path, errors, require_snapshot)
+        validate_shard_fields(doc, path, errors, require_shard)
     if errors:
         for error in errors:
             print(f"validate_manifest: {error}", file=sys.stderr)

@@ -53,6 +53,11 @@ Result<ServiceConfig> ServiceConfig::FromEnv() {
                        env::DurationMsOr("BYC_SVC_SNAPSHOT_EVERY",
                                          config.snapshot_every_ms, 0,
                                          3'600'000));
+  BYC_ASSIGN_OR_RETURN(int64_t shards,
+                       env::IntOr("BYC_SVC_SHARDS", config.shards, 1, 64));
+  config.shards = static_cast<int>(shards);
+  BYC_ASSIGN_OR_RETURN(config.shard_map,
+                       env::PathOr("BYC_SVC_SHARD_MAP", config.shard_map));
   return config;
 }
 

@@ -72,12 +72,21 @@ struct ServiceConfig {
   /// with a snapshot_dir set, the final Stop() snapshot and explicit
   /// kSnapshot frames still happen. BYC_SVC_SNAPSHOT_EVERY (duration).
   int64_t snapshot_every_ms = 0;
+  /// Shards in the mediator fleet a RouterServer fans out to (1: the
+  /// unsharded single-mediator deployment). BYC_SVC_SHARDS.
+  int shards = 1;
+  /// Path to a serialized shard::ShardMap (ShardMap::Serialize bytes)
+  /// the router loads at Start(); empty builds the uniform
+  /// consistent-hash map for `shards` shards. BYC_SVC_SHARD_MAP
+  /// (validated path).
+  std::string shard_map;
 
   /// Loads overrides from BYC_SVC_PORT / BYC_SVC_DEADLINE_MS /
   /// BYC_SVC_RETRIES / BYC_SVC_MAX_SESSIONS / BYC_SVC_MAX_INFLIGHT /
   /// BYC_SVC_REORDER_MS / BYC_SVC_BATCH / BYC_SVC_IO_THREADS /
   /// BYC_SVC_TRACE / BYC_SVC_SLOW_MS / BYC_SVC_SNAPSHOT_DIR /
-  /// BYC_SVC_SNAPSHOT_EVERY on top of the defaults.
+  /// BYC_SVC_SNAPSHOT_EVERY / BYC_SVC_SHARDS / BYC_SVC_SHARD_MAP on top
+  /// of the defaults.
   static Result<ServiceConfig> FromEnv();
 };
 

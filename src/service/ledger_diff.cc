@@ -1,0 +1,91 @@
+#include "service/ledger_diff.h"
+
+#include <cstring>
+
+namespace byc::service {
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::string FmtU(uint64_t v) { return std::to_string(v); }
+
+std::string FmtD(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void LedgerDelta::Print(std::FILE* out) const {
+  for (const LedgerFieldDiff& diff : diffs) {
+    std::fprintf(out, "  MISMATCH %-12s want=%s got=%s\n", diff.field,
+                 diff.want.c_str(), diff.got.c_str());
+  }
+}
+
+LedgerDelta DiffLedgers(const StatsReply& want, const StatsReply& got) {
+  LedgerDelta delta;
+  auto check_u = [&](const char* field, uint64_t w, uint64_t g) {
+    ++delta.checked;
+    if (w != g) delta.diffs.push_back({field, FmtU(w), FmtU(g)});
+  };
+  auto check_d = [&](const char* field, double w, double g) {
+    ++delta.checked;
+    if (!SameBits(w, g)) delta.diffs.push_back({field, FmtD(w), FmtD(g)});
+  };
+  check_u("queries", want.queries, got.queries);
+  check_u("accesses", want.accesses, got.accesses);
+  check_u("hits", want.hits, got.hits);
+  check_u("bypasses", want.bypasses, got.bypasses);
+  check_u("loads", want.loads, got.loads);
+  check_u("evictions", want.evictions, got.evictions);
+  check_u("degraded", want.degraded_accesses, got.degraded_accesses);
+  check_d("D_C", want.served_cost, got.served_cost);
+  check_d("D_S", want.bypass_cost, got.bypass_cost);
+  check_d("D_L", want.fetch_cost, got.fetch_cost);
+  check_d("degraded_cost", want.degraded_cost, got.degraded_cost);
+  return delta;
+}
+
+void AccumulateStats(StatsReply& into, const StatsReply& delta) {
+  into.queries += delta.queries;
+  into.accesses += delta.accesses;
+  into.hits += delta.hits;
+  into.bypasses += delta.bypasses;
+  into.loads += delta.loads;
+  into.evictions += delta.evictions;
+  into.degraded_accesses += delta.degraded_accesses;
+  into.retries += delta.retries;
+  into.reconnects += delta.reconnects;
+  into.served_cost += delta.served_cost;
+  into.bypass_cost += delta.bypass_cost;
+  into.fetch_cost += delta.fetch_cost;
+  into.degraded_cost += delta.degraded_cost;
+}
+
+std::string FormatLedgerLine(const std::string& case_name, size_t clients,
+                             int batch, const StatsReply& ledger) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "case=%s clients=%zu batch=%d queries=%llu accesses=%llu "
+      "hits=%llu bypasses=%llu loads=%llu evictions=%llu degraded=%llu "
+      "D_C=%.17g D_S=%.17g D_L=%.17g lost=%.17g\n",
+      case_name.c_str(), clients, batch,
+      static_cast<unsigned long long>(ledger.queries),
+      static_cast<unsigned long long>(ledger.accesses),
+      static_cast<unsigned long long>(ledger.hits),
+      static_cast<unsigned long long>(ledger.bypasses),
+      static_cast<unsigned long long>(ledger.loads),
+      static_cast<unsigned long long>(ledger.evictions),
+      static_cast<unsigned long long>(ledger.degraded_accesses),
+      ledger.served_cost, ledger.bypass_cost, ledger.fetch_cost,
+      ledger.degraded_cost);
+  return buf;
+}
+
+}  // namespace byc::service

@@ -1,0 +1,63 @@
+#ifndef BYC_SERVICE_LEDGER_DIFF_H_
+#define BYC_SERVICE_LEDGER_DIFF_H_
+
+// Typed ledger comparison and formatting, shared by every harness that
+// asserts the repo's headline invariant (resumed / merged / replayed
+// ledgers byte-identical to a reference). Counters compare exactly; the
+// cost doubles compare BITWISE — the claim is identity, not closeness —
+// and every formatted double uses %.17g, which round-trips a binary64
+// exactly, so two files of FormatLedgerLine output can be diffed with
+// cmp.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "service/wire.h"
+
+namespace byc::service {
+
+/// One field's disagreement between two ledgers, pre-formatted (%.17g
+/// for the cost doubles).
+struct LedgerFieldDiff {
+  const char* field = "";
+  std::string want;
+  std::string got;
+};
+
+/// The result of DiffLedgers: empty `diffs` means every compared field
+/// matched (doubles bitwise).
+struct LedgerDelta {
+  std::vector<LedgerFieldDiff> diffs;
+  int checked = 0;
+
+  bool identical() const { return diffs.empty(); }
+
+  /// Prints one "  MISMATCH <field> want=... got=..." line per diff.
+  void Print(std::FILE* out = stdout) const;
+};
+
+/// Field-by-field diff of two service ledgers. Compares the seven
+/// conservation counters and the four cost doubles; retries/reconnects
+/// are deliberately excluded (they describe the channel weather of one
+/// run, not what the policy decided).
+LedgerDelta DiffLedgers(const StatsReply& want, const StatsReply& got);
+
+/// Field-wise sum of `delta` into `into` (every counter and every cost
+/// double). Callers fold per-shard ledgers in ascending shard order —
+/// the same association the RouterServer uses — so a bench-side merge
+/// reproduces the router's merged kStats bytes.
+void AccumulateStats(StatsReply& into, const StatsReply& delta);
+
+/// The canonical one-line ledger text of the --ledger diff files:
+///
+///   case=<name> clients=<n> batch=<b> queries=... D_C=<%.17g> ...
+///
+/// Deterministic bytes: a tracing-on run's file must compare bitwise
+/// equal to a tracing-off run's.
+std::string FormatLedgerLine(const std::string& case_name, size_t clients,
+                             int batch, const StatsReply& ledger);
+
+}  // namespace byc::service
+
+#endif  // BYC_SERVICE_LEDGER_DIFF_H_

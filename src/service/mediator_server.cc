@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "persist/snapshot.h"
+#include "shard/shard_map.h"
 #include "telemetry/manifest.h"
 #include "telemetry/metrics.h"
 #include "telemetry/slow_log.h"
@@ -43,6 +44,10 @@ constexpr uint32_t kSectionConfig = 1;     // FormatPolicyConfig text
 constexpr uint32_t kSectionPolicy = 2;     // CachePolicy::SaveState blob
 constexpr uint32_t kSectionLedger = 3;     // StatsReply wire encoding
 constexpr uint32_t kSectionAdmission = 4;  // u64 admission_next_
+/// Sharded mediators only: u32 shard_id + u32 map_version + u64 map
+/// fingerprint, so restored state can never land on the wrong shard (or
+/// on an unsharded mediator, and vice versa).
+constexpr uint32_t kSectionShard = 5;
 
 /// Damages the just-written snapshot file per the fault plan (simulating
 /// corruption that happens between the write and the next load). Best
@@ -88,6 +93,14 @@ Status MediatorServer::Start() {
         "need one backend address per site: got " +
         std::to_string(backend_addrs_.size()) + " for " +
         std::to_string(federation_->num_sites()) + " sites");
+  }
+  if (options_.shard_map != nullptr &&
+      (options_.shard_id < 0 ||
+       options_.shard_id >= options_.shard_map->num_shards())) {
+    return Status::InvalidArgument(
+        "shard id " + std::to_string(options_.shard_id) +
+        " outside the map's " +
+        std::to_string(options_.shard_map->num_shards()) + " shards");
   }
 
   policy_ = core::MakePolicy(policy_config_);
@@ -397,6 +410,62 @@ void MediatorServer::OnFrame(FrameType type, const uint8_t* payload,
       CompleteWithFrame(ticket, reply);
       return;
     }
+    case FrameType::kShardHello: {
+      Frame frame;
+      frame.type = FrameType::kShardHello;
+      frame.payload.assign(payload, payload + payload_len);
+      Result<ShardHello> hello = ParseShardHello(frame);
+      if (!hello.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(hello.status()));
+        return;
+      }
+      if (options_.shard_map == nullptr) {
+        CompleteWithFrame(
+            ticket,
+            MakeErrorFrame(WireCode::kShardMapMismatch,
+                           "mediator is not sharded; it cannot serve shard " +
+                               std::to_string(hello->shard_id)));
+        return;
+      }
+      if (hello->shard_id != static_cast<uint32_t>(options_.shard_id) ||
+          hello->map_version != options_.shard_map->version() ||
+          hello->map_fingerprint != options_.shard_map->Fingerprint()) {
+        // Any disagreement — id, version skew during a rollout, or a
+        // fingerprint that says the maps differ in content — must fail
+        // the handshake: accepting would let the router ledger accesses
+        // onto a shard that filters by a different map.
+        CompleteWithFrame(
+            ticket,
+            MakeErrorFrame(
+                WireCode::kShardMapMismatch,
+                "mediator serves shard " +
+                    std::to_string(options_.shard_id) + " of map v" +
+                    std::to_string(options_.shard_map->version()) +
+                    "; peer asked for shard " +
+                    std::to_string(hello->shard_id) + " of map v" +
+                    std::to_string(hello->map_version)));
+        return;
+      }
+      CompleteWithFrame(ticket, MakeShardHelloReplyFrame(
+                                    hello->shard_id, hello->map_version));
+      return;
+    }
+    case FrameType::kShardStats: {
+      // One entry: this shard's identity plus its full ledger. An
+      // unsharded mediator answers as shard 0 of map version 0, so the
+      // scrape is uniform across deployments.
+      ShardStatsEntry entry;
+      if (options_.shard_map != nullptr) {
+        entry.shard_id = static_cast<uint32_t>(options_.shard_id);
+        entry.map_version = options_.shard_map->version();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        entry.stats = ledger_;
+      }
+      CompleteWithFrame(ticket, MakeShardStatsReplyFrame(&entry, 1));
+      return;
+    }
     case FrameType::kPing: {
       Frame pong;
       pong.type = FrameType::kPong;
@@ -540,6 +609,15 @@ void MediatorServer::EnqueueQuery(std::optional<uint64_t> seq,
     // threads overlap here, and only the decision/ledger path
     // serializes.
     entry.accesses = mediator_.Decompose(tq->query);
+    if (options_.shard_map != nullptr) {
+      // Shard-scoped admission: the router forwards the whole query
+      // line to every shard it touches; each shard keeps only its own
+      // accesses (in decomposition order), so every access of the
+      // fleet is decided and ledgered by exactly one shard.
+      std::erase_if(entry.accesses, [this](const core::Access& a) {
+        return options_.shard_map->ShardOf(a.object) != options_.shard_id;
+      });
+    }
   }
   if (stage_timing_) {
     entry.decode_us = std::chrono::duration<double, std::micro>(
@@ -859,6 +937,13 @@ Result<uint64_t> MediatorServer::WriteSnapshotNow() {
     AppendU64(bytes, next);
     writer.AddSection(kSectionAdmission, bytes);
   }
+  if (options_.shard_map != nullptr) {
+    std::vector<uint8_t> bytes;
+    AppendU32(bytes, static_cast<uint32_t>(options_.shard_id));
+    AppendU32(bytes, options_.shard_map->version());
+    AppendU64(bytes, options_.shard_map->Fingerprint());
+    writer.AddSection(kSectionShard, bytes);
+  }
   std::vector<uint8_t> bytes = writer.Finish();
   const std::string path = SnapshotPath();
   FaultPlan* faults = options_.faults;
@@ -891,6 +976,7 @@ Status MediatorServer::TryRestoreSnapshot() {
   const std::vector<uint8_t>* policy = nullptr;
   const std::vector<uint8_t>* ledger = nullptr;
   const std::vector<uint8_t>* admission = nullptr;
+  const std::vector<uint8_t>* shard = nullptr;
   for (const persist::SnapshotSection& section : sections) {
     const std::vector<uint8_t>** slot = nullptr;
     switch (section.id) {
@@ -906,6 +992,9 @@ Status MediatorServer::TryRestoreSnapshot() {
       case kSectionAdmission:
         slot = &admission;
         break;
+      case kSectionShard:
+        slot = &shard;
+        break;
       default:
         return Status::ParseError("snapshot: unknown section id " +
                                   std::to_string(section.id));
@@ -919,6 +1008,32 @@ Status MediatorServer::TryRestoreSnapshot() {
   if (config == nullptr || policy == nullptr || ledger == nullptr ||
       admission == nullptr) {
     return Status::ParseError("snapshot: missing section");
+  }
+  if (options_.shard_map != nullptr) {
+    if (shard == nullptr) {
+      return Status::ParseError(
+          "snapshot has no shard section but this mediator serves shard " +
+          std::to_string(options_.shard_id));
+    }
+    persist::ByteReader shard_reader(*shard);
+    BYC_ASSIGN_OR_RETURN(uint32_t shard_id, shard_reader.ReadU32());
+    BYC_ASSIGN_OR_RETURN(uint32_t map_version, shard_reader.ReadU32());
+    BYC_ASSIGN_OR_RETURN(uint64_t fingerprint, shard_reader.ReadU64());
+    if (shard_reader.remaining() != 0) {
+      return Status::ParseError("snapshot: trailing bytes in shard section");
+    }
+    if (shard_id != static_cast<uint32_t>(options_.shard_id) ||
+        map_version != options_.shard_map->version() ||
+        fingerprint != options_.shard_map->Fingerprint()) {
+      return Status::ParseError(
+          "snapshot belongs to shard " + std::to_string(shard_id) +
+          " of map v" + std::to_string(map_version) +
+          ", mediator serves shard " + std::to_string(options_.shard_id) +
+          " of map v" + std::to_string(options_.shard_map->version()));
+    }
+  } else if (shard != nullptr) {
+    return Status::ParseError(
+        "snapshot carries a shard section but this mediator is unsharded");
   }
   std::string saved_config(config->begin(), config->end());
   std::string want_config = core::FormatPolicyConfig(policy_config_);

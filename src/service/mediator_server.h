@@ -25,6 +25,10 @@
 #include "service/socket.h"
 #include "service/wire.h"
 
+namespace byc::shard {
+class ShardMap;
+}  // namespace byc::shard
+
 namespace byc::telemetry {
 class Counter;
 class MetricsRegistry;
@@ -103,6 +107,16 @@ class MediatorServer {
     /// Optional fault plan (tests/benches); the mediator consults only
     /// the snapshot-path switches. Must outlive the server.
     FaultPlan* faults = nullptr;
+    /// Sharded deployment (shard/router_server.h): when shard_map is
+    /// set, this mediator serves shard `shard_id` of that map. The
+    /// router forwards whole query lines; after decomposition this
+    /// mediator keeps only the accesses the map assigns to its shard
+    /// (in decomposition order), so each access of the fleet is
+    /// ledgered by exactly one shard and each shard's ledger stays a
+    /// bitwise-reproducible total order. The map must outlive the
+    /// server; -1/nullptr (the default) is the unsharded deployment.
+    int shard_id = -1;
+    const shard::ShardMap* shard_map = nullptr;
   };
 
   /// `backends[s]` is the address of site s; must cover every site of

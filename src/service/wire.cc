@@ -8,7 +8,7 @@ namespace byc::service {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kQuery) &&
-         type <= static_cast<uint8_t>(FrameType::kSnapshotReply);
+         type <= static_cast<uint8_t>(FrameType::kShardStatsReply);
 }
 
 namespace {
@@ -95,6 +95,8 @@ std::string_view WireCodeName(WireCode code) {
       return "VersionMismatch";
     case WireCode::kBusy:
       return "Busy";
+    case WireCode::kShardMapMismatch:
+      return "ShardMapMismatch";
   }
   return "?";
 }
@@ -159,6 +161,8 @@ StatusCode StatusCodeForWire(WireCode code) {
       return StatusCode::kFailedPrecondition;
     case WireCode::kBusy:
       return StatusCode::kUnavailable;
+    case WireCode::kShardMapMismatch:
+      return StatusCode::kFailedPrecondition;
   }
   return StatusCode::kInternal;
 }
@@ -432,6 +436,116 @@ Result<SnapshotReply> ParseSnapshotReply(const Frame& frame) {
     return Status::ParseError("snapshot reply payload too long");
   }
   return reply;
+}
+
+Frame MakeShardHelloFrame(const ShardHello& hello) {
+  Frame f;
+  f.type = FrameType::kShardHello;
+  AppendU32(f.payload, hello.shard_id);
+  AppendU32(f.payload, hello.map_version);
+  AppendU64(f.payload, hello.map_fingerprint);
+  return f;
+}
+
+Frame MakeShardHelloReplyFrame(uint32_t shard_id, uint32_t map_version) {
+  Frame f;
+  f.type = FrameType::kShardHelloReply;
+  AppendU32(f.payload, shard_id);
+  AppendU32(f.payload, map_version);
+  return f;
+}
+
+Result<ShardHello> ParseShardHello(const Frame& frame) {
+  if (frame.type != FrameType::kShardHello) {
+    return Status::InvalidArgument("not a shard hello frame");
+  }
+  PayloadReader r(frame.payload);
+  ShardHello hello;
+  BYC_ASSIGN_OR_RETURN(hello.shard_id, r.ReadU32());
+  BYC_ASSIGN_OR_RETURN(hello.map_version, r.ReadU32());
+  BYC_ASSIGN_OR_RETURN(hello.map_fingerprint, r.ReadU64());
+  if (r.remaining() != 0) {
+    return Status::ParseError("shard hello payload too long");
+  }
+  return hello;
+}
+
+Result<ShardHello> ParseShardHelloReply(const Frame& frame) {
+  if (frame.type != FrameType::kShardHelloReply) {
+    return Status::InvalidArgument("not a shard hello reply");
+  }
+  PayloadReader r(frame.payload);
+  ShardHello hello;
+  BYC_ASSIGN_OR_RETURN(hello.shard_id, r.ReadU32());
+  BYC_ASSIGN_OR_RETURN(hello.map_version, r.ReadU32());
+  if (r.remaining() != 0) {
+    return Status::ParseError("shard hello reply payload too long");
+  }
+  return hello;
+}
+
+Frame MakeShardStatsFrame() {
+  Frame f;
+  f.type = FrameType::kShardStats;
+  return f;
+}
+
+Frame MakeShardStatsReplyFrame(const ShardStatsEntry* entries, size_t count) {
+  Frame f;
+  f.type = FrameType::kShardStatsReply;
+  AppendU32(f.payload, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    AppendU32(f.payload, entries[i].shard_id);
+    AppendU32(f.payload, entries[i].map_version);
+    EncodeStatsReplyInto(f.payload, entries[i].stats);
+  }
+  return f;
+}
+
+namespace {
+
+/// Serialized size of one ShardStatsEntry: id + version + StatsReply
+/// (9 u64 counters + 4 f64 costs).
+constexpr size_t kShardStatsEntryBytes = 4 + 4 + 9 * 8 + 4 * 8;
+
+}  // namespace
+
+Status ParseShardStatsReplyInto(const Frame& frame,
+                                std::vector<ShardStatsEntry>* entries) {
+  if (frame.type != FrameType::kShardStatsReply) {
+    return Status::InvalidArgument("not a shard stats reply");
+  }
+  entries->clear();
+  PayloadReader r(frame.payload);
+  BYC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (static_cast<size_t>(count) * kShardStatsEntryBytes != r.remaining()) {
+    return Status::ParseError(
+        "shard stats count " + std::to_string(count) +
+        " does not match payload size " +
+        std::to_string(frame.payload.size()));
+  }
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ShardStatsEntry entry;
+    BYC_ASSIGN_OR_RETURN(entry.shard_id, r.ReadU32());
+    BYC_ASSIGN_OR_RETURN(entry.map_version, r.ReadU32());
+    StatsReply& s = entry.stats;
+    BYC_ASSIGN_OR_RETURN(s.queries, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.accesses, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.hits, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.bypasses, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.loads, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.evictions, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.degraded_accesses, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.retries, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.reconnects, r.ReadU64());
+    BYC_ASSIGN_OR_RETURN(s.served_cost, r.ReadF64());
+    BYC_ASSIGN_OR_RETURN(s.bypass_cost, r.ReadF64());
+    BYC_ASSIGN_OR_RETURN(s.fetch_cost, r.ReadF64());
+    BYC_ASSIGN_OR_RETURN(s.degraded_cost, r.ReadF64());
+    entries->push_back(entry);
+  }
+  return Status::OK();
 }
 
 Frame MakeQueryReplyFrame(const QueryReply& reply) {

@@ -113,6 +113,25 @@ enum class FrameType : uint8_t {
   /// mediator -> client: SnapshotReply — the ledger's query count at the
   /// cut, the serialized snapshot size, and whether it reached disk.
   kSnapshotReply = 22,
+  /// router -> shard mediator: shard-membership handshake; payload
+  /// u32 shard_id + u32 map_version + u64 map_fingerprint. A mediator
+  /// configured for that shard of that exact map answers kShardHelloReply;
+  /// any disagreement (wrong shard id, version skew, fingerprint
+  /// mismatch, or an unsharded mediator) is a typed
+  /// kError{kShardMapMismatch} — never a silent accept that would let a
+  /// router ledger objects onto the wrong shard.
+  kShardHello = 23,
+  /// shard mediator -> router: payload u32 shard_id + u32 map_version
+  /// (echo of the accepted membership).
+  kShardHelloReply = 24,
+  /// client -> router or shard mediator: per-shard ledger scrape (no
+  /// payload). A shard mediator answers with its own single entry; a
+  /// router answers with one entry per downstream shard, so the
+  /// cross-shard accounting split is observable without string parsing.
+  kShardStats = 25,
+  /// payload u32 count, then count x {u32 shard_id, u32 map_version,
+  /// StatsReply encoding}.
+  kShardStatsReply = 26,
 };
 
 /// Error codes carried in kError frames. The numeric values are the wire
@@ -137,6 +156,10 @@ enum class WireCode : uint8_t {
   kVersionMismatch = 32,
   /// The server is at its session cap; retry later.
   kBusy = 33,
+  /// A kShardHello named a shard id / map version / fingerprint this
+  /// mediator is not serving (shard-map skew during a rollout, or a
+  /// router pointed at the wrong fleet).
+  kShardMapMismatch = 34,
 };
 
 std::string_view WireCodeName(WireCode code);
@@ -413,6 +436,39 @@ struct SnapshotReply {
 Frame MakeSnapshotFrame();
 Frame MakeSnapshotReplyFrame(const SnapshotReply& reply);
 Result<SnapshotReply> ParseSnapshotReply(const Frame& frame);
+
+/// kShardHello / kShardHelloReply: the shard-membership handshake a
+/// router opens every shard channel with. The fingerprint is the
+/// ShardMap's FNV-1a over its canonical serialization, so two processes
+/// agree on membership iff they agree on every placement decision.
+struct ShardHello {
+  uint32_t shard_id = 0;
+  uint32_t map_version = 0;
+  uint64_t map_fingerprint = 0;
+};
+
+Frame MakeShardHelloFrame(const ShardHello& hello);
+/// The reply omits the fingerprint: echoing id + version is enough once
+/// the server has verified all three fields against its own map.
+Frame MakeShardHelloReplyFrame(uint32_t shard_id, uint32_t map_version);
+Result<ShardHello> ParseShardHello(const Frame& frame);
+/// Parses a kShardHelloReply into {shard_id, map_version} (fingerprint 0).
+Result<ShardHello> ParseShardHelloReply(const Frame& frame);
+
+/// One entry of a kShardStatsReply: a shard's identity plus its full
+/// ledger. A shard mediator replies with exactly one entry (its own); a
+/// router concatenates its shards' entries in shard-id order.
+struct ShardStatsEntry {
+  uint32_t shard_id = 0;
+  uint32_t map_version = 0;
+  StatsReply stats;
+};
+
+/// kShardStats request (no payload).
+Frame MakeShardStatsFrame();
+Frame MakeShardStatsReplyFrame(const ShardStatsEntry* entries, size_t count);
+Status ParseShardStatsReplyInto(const Frame& frame,
+                                std::vector<ShardStatsEntry>* entries);
 
 Result<FetchRequest> ParseFetchRequest(const Frame& frame);
 Result<YieldRequest> ParseYieldRequest(const Frame& frame);

@@ -1,0 +1,1141 @@
+#include "shard/router_server.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "persist/snapshot.h"
+#include "service/ledger_diff.h"
+#include "telemetry/manifest.h"
+#include "telemetry/metrics.h"
+#include "workload/trace.h"
+
+namespace byc::shard {
+
+namespace {
+
+using service::Deadline;
+using service::Frame;
+using service::FrameType;
+using service::MakeErrorFrame;
+using service::QueryReply;
+using service::ReadFrame;
+using service::ReplyTicket;
+using service::Socket;
+using service::StatsReply;
+using service::WireCode;
+using service::WriteFrame;
+
+void InterruptibleSleep(int total_ms, const std::atomic<bool>& stop) {
+  using namespace std::chrono;
+  auto until = std::chrono::steady_clock::now() + milliseconds(total_ms);
+  while (!stop.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Encodes `frame` into a recycled buffer and completes the slot.
+void CompleteWithFrame(ReplyTicket& ticket, const Frame& frame,
+                       bool close_after = false) {
+  std::vector<uint8_t> out = ticket.TakeBuffer();
+  EncodeFrameInto(out, frame);
+  ticket.Complete(std::move(out), close_after);
+}
+
+/// Router snapshot section ids (router.snap; DESIGN.md §13). Disjoint
+/// file from mediator.snap, so ids are a fresh namespace.
+constexpr uint32_t kRouterSectionMap = 1;      // ShardMap::Serialize bytes
+constexpr uint32_t kRouterSectionCursors = 2;  // admission + sub-seq cursors
+
+/// Field-wise sum of one per-shard delta into the merged reply. Order of
+/// calls is the association order of the doubles, so callers MUST
+/// accumulate in ascending shard order.
+void AccumulateDelta(QueryReply& into, const QueryReply& delta) {
+  into.accesses += delta.accesses;
+  into.hits += delta.hits;
+  into.bypasses += delta.bypasses;
+  into.loads += delta.loads;
+  into.evictions += delta.evictions;
+  into.degraded += delta.degraded;
+  into.served_cost += delta.served_cost;
+  into.bypass_cost += delta.bypass_cost;
+  into.fetch_cost += delta.fetch_cost;
+  into.degraded_cost += delta.degraded_cost;
+}
+
+}  // namespace
+
+RouterServer::RouterServer(const federation::Federation* federation,
+                           catalog::Granularity granularity, ShardMap map,
+                           std::vector<service::BackendAddress> shard_addrs,
+                           Options options)
+    : federation_(federation),
+      mediator_(federation, granularity),
+      map_(std::move(map)),
+      shard_addrs_(std::move(shard_addrs)),
+      options_(std::move(options)),
+      fingerprint_(0) {
+  fingerprint_ = map_.Fingerprint();
+}
+
+Status RouterServer::Start() {
+  BYC_CHECK(federation_ != nullptr);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("router already running");
+  }
+  const int num_shards = map_.num_shards();
+  if (static_cast<int>(shard_addrs_.size()) < num_shards) {
+    return Status::InvalidArgument(
+        "need one shard address per shard: got " +
+        std::to_string(shard_addrs_.size()) + " for " +
+        std::to_string(num_shards) + " shards");
+  }
+
+  routed_queries_.store(0, std::memory_order_relaxed);
+  fanout_.store(0, std::memory_order_relaxed);
+  cross_shard_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+  reconnects_.store(0, std::memory_order_relaxed);
+  snapshot_writes_.store(0, std::memory_order_relaxed);
+  live_sessions_.store(0, std::memory_order_relaxed);
+  sessions_rejected_.store(0, std::memory_order_relaxed);
+  admission_skips_.store(0, std::memory_order_relaxed);
+  admission_next_ = 0;
+  unstamped_.clear();
+  stamped_.clear();
+  q_draining_ = false;
+  next_sub_seq_.assign(static_cast<size_t>(num_shards), 0);
+  lanes_.clear();
+  for (int s = 0; s < num_shards; ++s) {
+    lanes_.push_back(std::make_unique<ShardLane>());
+    lanes_.back()->rng =
+        Rng(options_.config.retry_seed + static_cast<uint64_t>(s) + 1);
+  }
+  admin_.clear();
+  admin_.resize(static_cast<size_t>(num_shards));
+
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    // Touch the router family so any manifest written for this run
+    // records the sharded topology even before traffic flows.
+    telemetry::MetricsRegistry& reg = *options_.metrics;
+    reg.gauge("svc.router.shards").Set(static_cast<double>(num_shards));
+    reg.gauge("svc.router.map_version")
+        .Set(static_cast<double>(map_.version()));
+    reg.counter("svc.router.queries").Increment(0);
+    reg.counter("svc.router.fanout").Increment(0);
+    reg.counter("svc.router.cross_shard").Increment(0);
+    reg.counter("svc.router.batches").Increment(0);
+    reg.counter("svc.router.retries").Increment(0);
+    reg.counter("svc.router.reconnects").Increment(0);
+  }
+#endif
+
+  if (!options_.config.snapshot_dir.empty()) {
+    ::mkdir(options_.config.snapshot_dir.c_str(), 0755);
+    Status restored = TryRestoreSnapshot();
+    if (!restored.ok() && !restored.IsNotFound()) {
+      // Damaged router snapshot: cold-start the cursors. Shard ledgers
+      // live in the shards' own snapshots, so nothing else is lost.
+      admission_next_ = 0;
+      routed_queries_.store(0, std::memory_order_relaxed);
+      next_sub_seq_.assign(static_cast<size_t>(num_shards), 0);
+    }
+  }
+
+  service::Reactor::Options ropts;
+  ropts.io_threads = options_.config.io_threads;
+  ropts.io_deadline_ms = options_.config.deadline_ms;
+  ropts.max_inflight = static_cast<size_t>(options_.config.max_inflight);
+  ropts.metrics = options_.metrics;
+  service::Reactor::Callbacks callbacks;
+  callbacks.admit = [this]() -> service::Reactor::AdmitDecision {
+    if (live_sessions_.load(std::memory_order_acquire) >=
+        options_.config.max_sessions) {
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("svc.sessions_rejected").Increment();
+      }
+#endif
+      return service::Reactor::AdmitDecision::Reject(MakeErrorFrame(
+          WireCode::kBusy,
+          "session cap " + std::to_string(options_.config.max_sessions) +
+              " reached; retry later"));
+    }
+    live_sessions_.fetch_add(1, std::memory_order_acq_rel);
+#if BYC_TELEMETRY_ENABLED
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("svc.sessions").Increment();
+      options_.metrics->gauge("svc.sessions_live")
+          .Set(static_cast<double>(
+              live_sessions_.load(std::memory_order_relaxed)));
+    }
+#endif
+    return service::Reactor::AdmitDecision::Accept();
+  };
+  callbacks.on_frame = [this](FrameType type, const uint8_t* payload,
+                              size_t payload_len, ReplyTicket ticket) {
+    OnFrame(type, payload, payload_len, std::move(ticket));
+  };
+  callbacks.on_close = [this](uint64_t frames, double ms_open) {
+    live_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+#if BYC_TELEMETRY_ENABLED
+    if (options_.metrics != nullptr) {
+      options_.metrics->gauge("svc.sessions_live")
+          .Set(static_cast<double>(
+              live_sessions_.load(std::memory_order_relaxed)));
+      options_.metrics->histogram("svc.session_ms").Observe(ms_open);
+      options_.metrics->histogram("svc.session_requests")
+          .Observe(static_cast<double>(frames));
+    }
+#endif
+  };
+  reactor_ =
+      std::make_unique<service::Reactor>(ropts, std::move(callbacks));
+  Status started = reactor_->Start(options_.config.port);
+  if (!started.ok()) {
+    reactor_.reset();
+    return started;
+  }
+  port_ = reactor_->port();
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  route_thread_ = std::thread([this] { RouteLoop(); });
+  forwarders_.clear();
+  for (int s = 0; s < num_shards; ++s) {
+    forwarders_.emplace_back([this, s] { ForwardLoop(s); });
+  }
+  return Status::OK();
+}
+
+void RouterServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  // Phase 1: stop frame delivery; admitted queries keep flowing.
+  reactor_->BeginDrain();
+  // Phase 2: the route thread converts everything admitted into
+  // outbound items, then exits.
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    q_draining_ = true;
+  }
+  qcv_.notify_all();
+  if (route_thread_.joinable()) route_thread_.join();
+  // Phase 3: forwarders flush their lanes, then exit.
+  for (std::unique_ptr<ShardLane>& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      lane->draining = true;
+    }
+    lane->cv.notify_all();
+  }
+  for (std::thread& t : forwarders_) {
+    if (t.joinable()) t.join();
+  }
+  // Phase 4: join the I/O threads, then answer stragglers an I/O thread
+  // enqueued after the route loop observed empty queues. The forwarders
+  // are gone, so every straggler fails typed instead of routing.
+  reactor_->Join();
+  std::deque<RouteEntry> leftover;
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    leftover.swap(unstamped_);
+    for (auto& [seq, entry] : stamped_) {
+      leftover.push_back(std::move(entry));
+    }
+    stamped_.clear();
+  }
+  for (RouteEntry& entry : leftover) {
+    entry.parse_error =
+        Status::Unavailable("router stopped before routing this query");
+    RouteEntryNow(entry);
+  }
+  // The final snapshot: queues drained, cursors quiescent (the stopping
+  // thread owns them now — route thread has joined).
+  if (!options_.config.snapshot_dir.empty()) {
+    (void)WriteSnapshotNow();
+  }
+  RefreshLiveGauges();
+  reactor_->Stop(/*flush_pending=*/true);
+  reactor_.reset();
+  for (std::unique_ptr<ShardLane>& lane : lanes_) lane->sock.Close();
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  for (AdminChannel& ch : admin_) ch.sock.Close();
+}
+
+void RouterServer::OnFrame(FrameType type, const uint8_t* payload,
+                           size_t payload_len, ReplyTicket ticket) {
+  switch (type) {
+    case FrameType::kQuery: {
+      Result<service::TraceExt> ext =
+          service::StripTraceExt(payload, payload_len, 0);
+      if (!ext.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(ext.status()));
+        return;
+      }
+      std::string_view line(reinterpret_cast<const char*>(payload),
+                            ext->base_len);
+      EnqueueQuery(std::nullopt, line, ext->trace_id, std::move(ticket),
+                   nullptr, 0);
+      return;
+    }
+    case FrameType::kQueryAt: {
+      Result<service::TraceExt> ext =
+          service::StripTraceExt(payload, payload_len, 8);
+      if (!ext.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(ext.status()));
+        return;
+      }
+      service::PayloadReader r(payload, ext->base_len);
+      Result<uint64_t> seq = r.ReadU64();
+      if (!seq.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(seq.status()));
+        return;
+      }
+      Result<std::string_view> line = r.ReadView(r.remaining());
+      EnqueueQuery(*seq, *line, ext->trace_id, std::move(ticket), nullptr,
+                   0);
+      return;
+    }
+    case FrameType::kQueryBatch: {
+      std::vector<service::QueryBatchItem> items;
+      uint64_t base_trace_id = service::kNoTraceId;
+      Status parsed = service::ParseQueryBatchInto(payload, payload_len,
+                                                   &items, &base_trace_id);
+      if (!parsed.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(parsed));
+        return;
+      }
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("svc.batch_frames").Increment();
+      }
+#endif
+      if (items.empty()) {
+        std::vector<uint8_t> out = ticket.TakeBuffer();
+        EncodeFrameHeaderInto(out, FrameType::kQueryBatchReply, 4);
+        service::AppendU32(out, 0);
+        ticket.Complete(std::move(out));
+        return;
+      }
+      auto batch = std::make_shared<ClientBatch>();
+      batch->ticket = std::move(ticket);
+      batch->deltas.resize(items.size());
+      batch->remaining.store(items.size(), std::memory_order_relaxed);
+      for (size_t i = 0; i < items.size(); ++i) {
+        uint64_t item_id = base_trace_id == service::kNoTraceId
+                               ? service::kNoTraceId
+                               : base_trace_id + static_cast<uint64_t>(i);
+        EnqueueQuery(items[i].seq, items[i].line, item_id, ReplyTicket(),
+                     batch, i);
+      }
+      return;
+    }
+    case FrameType::kStats: {
+      Result<StatsReply> merged = MergedStats();
+      if (!merged.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(merged.status()));
+        return;
+      }
+      CompleteWithFrame(ticket, service::MakeStatsReplyFrame(*merged));
+      return;
+    }
+    case FrameType::kShardStats: {
+      Result<std::vector<service::ShardStatsEntry>> entries =
+          PerShardStats();
+      if (!entries.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(entries.status()));
+        return;
+      }
+      CompleteWithFrame(ticket, service::MakeShardStatsReplyFrame(
+                                    entries->data(), entries->size()));
+      return;
+    }
+    case FrameType::kMetricsDump: {
+      HandleMetricsDump(ticket);
+      return;
+    }
+    case FrameType::kSnapshot: {
+      if (options_.config.snapshot_dir.empty()) {
+        CompleteWithFrame(
+            ticket,
+            MakeErrorFrame(WireCode::kFailedPrecondition,
+                           "router was started without a snapshot "
+                           "directory (BYC_SVC_SNAPSHOT_DIR)"));
+        return;
+      }
+      // Routed through the route queue as a control entry, so the cut
+      // always lands between routed queries.
+      RouteEntry entry;
+      entry.snapshot_request = true;
+      entry.ticket = std::move(ticket);
+      entry.enqueued = Clock::now();
+      {
+        std::lock_guard<std::mutex> lock(qmu_);
+        unstamped_.push_back(std::move(entry));
+      }
+      qcv_.notify_one();
+      return;
+    }
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      CompleteWithFrame(ticket, pong);
+      return;
+    }
+    case FrameType::kHello: {
+      Frame frame;
+      frame.type = FrameType::kHello;
+      frame.payload.assign(payload, payload + payload_len);
+      Result<uint32_t> version = service::ParseHello(frame);
+      if (!version.ok()) {
+        CompleteWithFrame(ticket, MakeErrorFrame(version.status()));
+        return;
+      }
+      if (*version < service::kMinProtocolVersion ||
+          *version > service::kProtocolVersion) {
+        CompleteWithFrame(
+            ticket,
+            MakeErrorFrame(
+                WireCode::kVersionMismatch,
+                "server speaks protocol versions " +
+                    std::to_string(service::kMinProtocolVersion) + ".." +
+                    std::to_string(service::kProtocolVersion) +
+                    ", client sent " + std::to_string(*version)),
+            /*close_after=*/true);
+        return;
+      }
+      CompleteWithFrame(ticket, service::MakeHelloReplyFrame(*version));
+      return;
+    }
+    default:
+      CompleteWithFrame(
+          ticket,
+          MakeErrorFrame(Status::InvalidArgument(
+              "frame type " + std::to_string(static_cast<int>(type)) +
+              " is not served by the router")));
+      return;
+  }
+}
+
+void RouterServer::EnqueueQuery(std::optional<uint64_t> seq,
+                                std::string_view line, uint64_t trace_id,
+                                ReplyTicket ticket,
+                                std::shared_ptr<ClientBatch> batch,
+                                size_t batch_index) {
+  RouteEntry entry;
+  entry.seq = seq;
+  entry.trace_id = trace_id;
+  entry.ticket = std::move(ticket);
+  entry.batch = std::move(batch);
+  entry.batch_index = batch_index;
+  entry.line.assign(line.data(), line.size());
+  Result<workload::TraceQuery> tq =
+      workload::ParseTraceQuery(federation_->catalog(), line);
+  if (!tq.ok()) {
+    // A malformed stamped query still owns its slot in the total order.
+    entry.parse_error = tq.status();
+  } else {
+    // Decompose on the I/O thread (memoized; its own lock) and reduce
+    // to the touched-shard set — the only thing the route thread needs.
+    std::vector<core::Access> accesses = mediator_.Decompose(tq->query);
+    for (const core::Access& access : accesses) {
+      int s = map_.ShardOf(access.object);
+      bool seen = false;
+      for (int t : entry.touched) {
+        if (t == s) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) entry.touched.push_back(s);
+    }
+    std::sort(entry.touched.begin(), entry.touched.end());
+  }
+  entry.enqueued = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    if (entry.seq.has_value()) {
+      stamped_.emplace(*entry.seq, std::move(entry));
+    } else {
+      unstamped_.push_back(std::move(entry));
+    }
+  }
+  qcv_.notify_one();
+}
+
+void RouterServer::RouteLoop() {
+  const auto gap =
+      std::chrono::milliseconds(options_.config.reorder_timeout_ms);
+  std::unique_lock<std::mutex> qlock(qmu_);
+  for (;;) {
+    if (unstamped_.empty() && stamped_.empty()) {
+      if (q_draining_) return;
+      qcv_.wait(qlock);
+      continue;
+    }
+    RouteEntry entry;
+    if (!unstamped_.empty()) {
+      entry = std::move(unstamped_.front());
+      unstamped_.pop_front();
+    } else {
+      auto it = stamped_.begin();
+      if (it->first > admission_next_ && !q_draining_ &&
+          !stop_.load(std::memory_order_acquire)) {
+        // Same gap-skip rule as the single mediator's admission stage:
+        // wait for the missing sequence numbers, then skip an abandoned
+        // gap so the order stays live.
+        auto deadline = it->second.enqueued + gap;
+        if (Clock::now() < deadline) {
+          qcv_.wait_until(qlock, deadline);
+          continue;
+        }
+        admission_next_ = it->first;
+        admission_skips_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("svc.admission_skips").Increment();
+        }
+#endif
+      }
+      entry = std::move(it->second);
+      stamped_.erase(it);
+      if (*entry.seq >= admission_next_) admission_next_ = *entry.seq + 1;
+    }
+    qlock.unlock();
+    RouteEntryNow(entry);
+    qlock.lock();
+  }
+}
+
+void RouterServer::RouteEntryNow(RouteEntry& entry) {
+  if (entry.snapshot_request) {
+    service::SnapshotReply ack;
+    ack.queries = routed_queries_.load(std::memory_order_relaxed);
+    Result<uint64_t> written = WriteSnapshotNow();
+    if (entry.ticket.valid()) {
+      if (!written.ok()) {
+        CompleteWithFrame(entry.ticket, MakeErrorFrame(written.status()));
+      } else {
+        ack.snapshot_bytes = *written;
+        ack.persisted = 1;
+        CompleteWithFrame(entry.ticket,
+                          service::MakeSnapshotReplyFrame(ack));
+      }
+    }
+    return;
+  }
+
+  if (!entry.parse_error.ok()) {
+    CompleteClient(entry.ticket, entry.batch, entry.batch_index,
+                   QueryReply{}, entry.parse_error);
+    return;
+  }
+
+  routed_queries_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("svc.router.queries").Increment();
+  }
+#endif
+  if (entry.touched.empty()) {
+    // A valid query whose decomposition touches nothing (or an empty
+    // line): it is admitted — it owns its slot in the total order and
+    // counts as routed — but there is nothing to scatter.
+    CompleteClient(entry.ticket, entry.batch, entry.batch_index,
+                   QueryReply{}, Status::OK());
+    return;
+  }
+
+  const size_t n = entry.touched.size();
+  fanout_.fetch_add(n, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("svc.router.fanout")
+        .Increment(static_cast<uint64_t>(n));
+    if (n > 1) {
+      options_.metrics->counter("svc.router.cross_shard").Increment();
+    }
+  }
+#endif
+  if (n > 1) cross_shard_.fetch_add(1, std::memory_order_relaxed);
+
+  auto gather = std::make_shared<GatherState>();
+  gather->line = std::move(entry.line);
+  gather->shards = std::move(entry.touched);
+  gather->deltas.resize(n);
+  gather->remaining.store(n, std::memory_order_relaxed);
+  gather->ticket = std::move(entry.ticket);
+  gather->batch = std::move(entry.batch);
+  gather->batch_index = entry.batch_index;
+  gather->enqueued = entry.enqueued;
+  for (size_t slot = 0; slot < gather->shards.size(); ++slot) {
+    const int s = gather->shards[slot];
+    OutboundItem item;
+    // The dense per-shard stamp, assigned here — in global admission
+    // order, by the one route thread — is what keeps each shard's
+    // admission a gap-free total order.
+    item.sub_seq = next_sub_seq_[static_cast<size_t>(s)]++;
+    item.gather = gather;
+    item.slot = slot;
+    ShardLane& lane = *lanes_[static_cast<size_t>(s)];
+    {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      lane.queue.push_back(std::move(item));
+    }
+    lane.cv.notify_one();
+  }
+}
+
+void RouterServer::ForwardLoop(int shard) {
+  ShardLane& lane = *lanes_[static_cast<size_t>(shard)];
+  std::unique_lock<std::mutex> lk(lane.mu);
+  for (;;) {
+    if (lane.queue.empty()) {
+      if (lane.draining) return;
+      lane.cv.wait(lk);
+      continue;
+    }
+    // Natural coalescing: everything queued since the last round trip
+    // rides one kQueryBatch frame, capped by what one reply can answer.
+    std::vector<OutboundItem> items;
+    const size_t take = std::min(
+        lane.queue.size(), static_cast<size_t>(service::kMaxQueryBatchItems));
+    items.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      items.push_back(std::move(lane.queue.front()));
+      lane.queue.pop_front();
+    }
+    lk.unlock();
+    SendBatch(shard, items);
+    lk.lock();
+  }
+}
+
+Status RouterServer::EnsureChannel(int shard, ShardLane& lane) {
+  if (lane.sock.valid() && lane.hello_done) return Status::OK();
+  const service::RetryPolicy& retry = options_.config.retry;
+  const service::BackendAddress& addr =
+      shard_addrs_[static_cast<size_t>(shard)];
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      InterruptibleSleep(retry.DelayMs(attempt - 1, lane.rng), stop_);
+      retries_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("svc.router.retries").Increment();
+      }
+#endif
+    }
+    Deadline deadline = Deadline::After(options_.config.deadline_ms);
+    if (!lane.sock.valid()) {
+      Result<Socket> sock = Socket::Connect(addr.host, addr.port, deadline);
+      if (!sock.ok()) {
+        last = sock.status();
+        continue;
+      }
+      lane.sock = std::move(sock).value();
+      lane.hello_done = false;
+      if (lane.connected_once) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("svc.router.reconnects").Increment();
+        }
+#endif
+      }
+      lane.connected_once = true;
+    }
+    // Membership handshake: the shard proves it serves this shard id of
+    // this exact map (version AND content fingerprint) before any query
+    // rides the channel.
+    service::ShardHello hello;
+    hello.shard_id = static_cast<uint32_t>(shard);
+    hello.map_version = map_.version();
+    hello.map_fingerprint = fingerprint_;
+    Status sent =
+        WriteFrame(lane.sock, service::MakeShardHelloFrame(hello), deadline);
+    if (!sent.ok()) {
+      lane.sock.Close();
+      last = sent;
+      continue;
+    }
+    Result<Frame> reply = ReadFrame(lane.sock, deadline);
+    if (!reply.ok()) {
+      lane.sock.Close();
+      last = reply.status();
+      continue;
+    }
+    if (reply->type == FrameType::kError) {
+      // Semantic rejection (kShardMapMismatch, kBusy, ...): the shard is
+      // alive and said no. Retrying cannot help.
+      lane.sock.Close();
+      return service::ParseErrorFrame(*reply);
+    }
+    if (reply->type != FrameType::kShardHelloReply) {
+      lane.sock.Close();
+      last = Status::Internal(
+          "shard " + std::to_string(shard) +
+          " answered kShardHello with frame type " +
+          std::to_string(static_cast<int>(reply->type)));
+      continue;
+    }
+    Result<service::ShardHello> echo = service::ParseShardHelloReply(*reply);
+    if (!echo.ok()) {
+      lane.sock.Close();
+      last = echo.status();
+      continue;
+    }
+    if (echo->shard_id != hello.shard_id ||
+        echo->map_version != hello.map_version) {
+      lane.sock.Close();
+      return Status::FailedPrecondition(
+          "shard hello echo mismatch: asked shard " +
+          std::to_string(hello.shard_id) + " v" +
+          std::to_string(hello.map_version) + ", got shard " +
+          std::to_string(echo->shard_id) + " v" +
+          std::to_string(echo->map_version));
+    }
+    lane.hello_done = true;
+    return Status::OK();
+  }
+  return Status(last.code(), "shard " + std::to_string(shard) + " after " +
+                                 std::to_string(retry.max_attempts) +
+                                 " attempts: " + last.message());
+}
+
+void RouterServer::SendBatch(int shard, std::vector<OutboundItem>& items) {
+  ShardLane& lane = *lanes_[static_cast<size_t>(shard)];
+  Status ready = EnsureChannel(shard, lane);
+  if (!ready.ok()) {
+    FailItems(items, ready);
+    return;
+  }
+  std::vector<uint8_t> payload;
+  service::QueryBatchBuilder batch(&payload);
+  for (const OutboundItem& item : items) {
+    batch.Add(item.sub_seq, item.gather->line);
+  }
+  batch.Finish();
+  Frame frame;
+  frame.type = FrameType::kQueryBatch;
+  frame.payload = std::move(payload);
+  // The batch deadline scales with its size: the shard serves every item
+  // through its ordered stage (with backend round trips), so a full
+  // frame legitimately takes longer than one query.
+  Deadline deadline = Deadline::After(
+      options_.config.deadline_ms +
+      static_cast<int64_t>(items.size()) * options_.config.deadline_ms /
+          16);
+  Status sent = WriteFrame(lane.sock, frame, deadline);
+  if (!sent.ok()) {
+    // The shard may have received (part of) the batch before the
+    // failure; a resend could admit — and ledger — the same access
+    // twice. Fail typed instead; conservation beats availability here.
+    lane.sock.Close();
+    lane.hello_done = false;
+    FailItems(items, Status::Unavailable(
+                         "send to shard " + std::to_string(shard) +
+                         " failed (not resent: the shard may have "
+                         "processed it): " +
+                         sent.message()));
+    return;
+  }
+  Result<Frame> reply = ReadFrame(lane.sock, deadline);
+  if (!reply.ok()) {
+    lane.sock.Close();
+    lane.hello_done = false;
+    FailItems(items, Status::Unavailable(
+                         "shard " + std::to_string(shard) +
+                         " reply failed (not resent: the shard may have "
+                         "processed it): " +
+                         reply.status().message()));
+    return;
+  }
+  if (reply->type == FrameType::kError) {
+    FailItems(items, service::ParseErrorFrame(*reply));
+    return;
+  }
+  if (reply->type != FrameType::kQueryBatchReply) {
+    lane.sock.Close();
+    lane.hello_done = false;
+    FailItems(items, Status::Internal(
+                         "shard " + std::to_string(shard) +
+                         " answered kQueryBatch with frame type " +
+                         std::to_string(static_cast<int>(reply->type))));
+    return;
+  }
+  std::vector<QueryReply> deltas;
+  Status parsed = service::ParseQueryBatchReplyInto(*reply, &deltas);
+  if (!parsed.ok() || deltas.size() != items.size()) {
+    lane.sock.Close();
+    lane.hello_done = false;
+    FailItems(items,
+              !parsed.ok()
+                  ? parsed
+                  : Status::Internal(
+                        "shard batch reply carries " +
+                        std::to_string(deltas.size()) + " deltas for " +
+                        std::to_string(items.size()) + " queries"));
+    return;
+  }
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("svc.router.batches").Increment();
+  }
+#endif
+  for (size_t i = 0; i < items.size(); ++i) {
+    FinishGatherSlot(items[i].gather, items[i].slot, deltas[i],
+                     Status::OK());
+  }
+}
+
+void RouterServer::FailItems(std::vector<OutboundItem>& items,
+                             const Status& status) {
+  for (OutboundItem& item : items) {
+    FinishGatherSlot(item.gather, item.slot, QueryReply{}, status);
+  }
+}
+
+void RouterServer::FinishGatherSlot(
+    const std::shared_ptr<GatherState>& gather, size_t slot,
+    const QueryReply& delta, const Status& status) {
+  GatherState& g = *gather;
+  if (status.ok()) {
+    g.deltas[slot] = delta;
+  } else {
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (g.error.ok()) g.error = status;
+  }
+  if (g.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    CompleteGather(g);
+  }
+}
+
+void RouterServer::CompleteGather(GatherState& gather) {
+  // All slots resolved: merge in ascending shard order (gather.deltas is
+  // parallel to gather.shards, which is sorted) — a deterministic
+  // association, so a cross-shard reply is reproducible run to run.
+  QueryReply merged;
+  for (const QueryReply& delta : gather.deltas) {
+    AccumulateDelta(merged, delta);
+  }
+  Status error;
+  {
+    std::lock_guard<std::mutex> lock(gather.mu);
+    error = gather.error;
+  }
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr && error.ok()) {
+    options_.metrics->histogram("svc.request_ms")
+        .Observe(MsSince(gather.enqueued));
+  }
+#endif
+  CompleteClient(gather.ticket, gather.batch, gather.batch_index, merged,
+                 error);
+}
+
+void RouterServer::CompleteClient(service::ReplyTicket& ticket,
+                                  const std::shared_ptr<ClientBatch>& batch,
+                                  size_t batch_index,
+                                  const service::QueryReply& merged,
+                                  const Status& status) {
+  if (batch != nullptr) {
+    ClientBatch& b = *batch;
+    b.deltas[batch_index] = merged;
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(b.mu);
+      if (b.error.ok()) b.error = status;
+    }
+    if (b.remaining.fetch_sub(1, std::memory_order_acq_rel) > 1) return;
+    Status batch_error;
+    {
+      std::lock_guard<std::mutex> lock(b.mu);
+      batch_error = b.error;
+    }
+    if (!batch_error.ok()) {
+      CompleteWithFrame(b.ticket, MakeErrorFrame(batch_error));
+      return;
+    }
+    std::vector<uint8_t> out = b.ticket.TakeBuffer();
+    EncodeFrameHeaderInto(
+        out, FrameType::kQueryBatchReply,
+        static_cast<uint32_t>(
+            4 + b.deltas.size() * service::kQueryReplyWireBytes));
+    service::EncodeQueryBatchReplyInto(out, b.deltas.data(),
+                                       b.deltas.size());
+    b.ticket.Complete(std::move(out));
+    return;
+  }
+  if (!status.ok()) {
+    CompleteWithFrame(ticket, MakeErrorFrame(status));
+    return;
+  }
+  std::vector<uint8_t> out = ticket.TakeBuffer();
+  EncodeFrameHeaderInto(
+      out, FrameType::kQueryReply,
+      static_cast<uint32_t>(service::kQueryReplyWireBytes));
+  service::EncodeQueryReplyInto(out, merged);
+  ticket.Complete(std::move(out));
+}
+
+Result<Frame> RouterServer::CallShardAdmin(int shard,
+                                           const Frame& request) {
+  AdminChannel& ch = admin_[static_cast<size_t>(shard)];
+  const service::BackendAddress& addr =
+      shard_addrs_[static_cast<size_t>(shard)];
+  Status last = Status::Unavailable("no attempt made");
+  // Two attempts: a stale pooled connection gets one reconnect, a shard
+  // that is actually down surfaces its typed error.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Deadline deadline = Deadline::After(options_.config.deadline_ms);
+    if (!ch.sock.valid()) {
+      Result<Socket> sock = Socket::Connect(addr.host, addr.port, deadline);
+      if (!sock.ok()) {
+        last = sock.status();
+        continue;
+      }
+      ch.sock = std::move(sock).value();
+    }
+    Status sent = WriteFrame(ch.sock, request, deadline);
+    if (!sent.ok()) {
+      ch.sock.Close();
+      last = sent;
+      continue;
+    }
+    Result<Frame> reply = ReadFrame(ch.sock, deadline);
+    if (!reply.ok()) {
+      ch.sock.Close();
+      last = reply.status();
+      continue;
+    }
+    if (reply->type == FrameType::kError) {
+      return service::ParseErrorFrame(*reply);
+    }
+    return reply;
+  }
+  return Status(last.code(), "shard " + std::to_string(shard) +
+                                 " admin call failed: " + last.message());
+}
+
+Result<StatsReply> RouterServer::MergedStats() {
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  StatsReply merged;
+  Frame request;
+  request.type = FrameType::kStats;
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    BYC_ASSIGN_OR_RETURN(Frame reply, CallShardAdmin(s, request));
+    if (reply.type != FrameType::kStatsReply) {
+      return Status::Internal("shard " + std::to_string(s) +
+                              " answered kStats with frame type " +
+                              std::to_string(static_cast<int>(reply.type)));
+    }
+    BYC_ASSIGN_OR_RETURN(StatsReply stats,
+                         service::ParseStatsReply(reply));
+    // Ascending shard order: the association of the cost doubles is
+    // fixed, so the merged ledger is reproducible scrape to scrape.
+    AccumulateStats(merged, stats);
+  }
+  // A cross-shard query is ONE query however many shards it touched;
+  // the per-shard `queries` counters sum to the router's fanout, not its
+  // query count. The router is the authority on what was admitted.
+  merged.queries = routed_queries_.load(std::memory_order_relaxed);
+  // The router's own channel maintenance stacks on top of whatever the
+  // shards' backend channels did.
+  merged.retries += retries_.load(std::memory_order_relaxed);
+  merged.reconnects += reconnects_.load(std::memory_order_relaxed);
+  return merged;
+}
+
+Result<std::vector<service::ShardStatsEntry>> RouterServer::PerShardStats() {
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  std::vector<service::ShardStatsEntry> all;
+  all.reserve(static_cast<size_t>(map_.num_shards()));
+  Frame request = service::MakeShardStatsFrame();
+  std::vector<service::ShardStatsEntry> entries;
+  for (int s = 0; s < map_.num_shards(); ++s) {
+    BYC_ASSIGN_OR_RETURN(Frame reply, CallShardAdmin(s, request));
+    BYC_RETURN_IF_ERROR(
+        service::ParseShardStatsReplyInto(reply, &entries));
+    for (const service::ShardStatsEntry& entry : entries) {
+      all.push_back(entry);
+    }
+  }
+  return all;
+}
+
+void RouterServer::HandleMetricsDump(ReplyTicket& ticket) {
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("wire.metrics_dump").Increment();
+    RefreshLiveGauges();
+    std::string json =
+        telemetry::MetricsSnapshotToJson(options_.metrics->Snapshot());
+    if (json.size() > service::kMaxPayload) {
+      CompleteWithFrame(
+          ticket,
+          MakeErrorFrame(WireCode::kCapacityExceeded,
+                         "metrics snapshot is " +
+                             std::to_string(json.size()) +
+                             " bytes; wire frames cap at " +
+                             std::to_string(service::kMaxPayload)));
+      return;
+    }
+    CompleteWithFrame(ticket, service::MakeMetricsDumpReplyFrame(json));
+    return;
+  }
+#endif
+  CompleteWithFrame(
+      ticket, MakeErrorFrame(WireCode::kFailedPrecondition,
+                             "router was started without a metrics "
+                             "registry; kMetricsDump has nothing to dump"));
+}
+
+void RouterServer::RefreshLiveGauges() {
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics == nullptr) return;
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    depth = unstamped_.size() + stamped_.size();
+  }
+  size_t lane_depth = 0;
+  for (std::unique_ptr<ShardLane>& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    lane_depth += lane->queue.size();
+  }
+  telemetry::MetricsRegistry& reg = *options_.metrics;
+  reg.gauge("svc.admission_queue_depth").Set(static_cast<double>(depth));
+  reg.gauge("svc.router.lane_depth").Set(static_cast<double>(lane_depth));
+  reg.gauge("svc.router.shards")
+      .Set(static_cast<double>(map_.num_shards()));
+  reg.gauge("svc.router.map_version")
+      .Set(static_cast<double>(map_.version()));
+  if (reactor_ != nullptr) {
+    service::Reactor::LiveStats live = reactor_->Sample();
+    reg.gauge("svc.reactor.connections")
+        .Set(static_cast<double>(live.connections));
+    reg.gauge("svc.reactor.pending_slots")
+        .Set(static_cast<double>(live.pending_slots));
+    reg.gauge("svc.reactor.backlog_bytes")
+        .Set(static_cast<double>(live.backlog_bytes));
+    reg.gauge("svc.reactor.parked_reads")
+        .Set(static_cast<double>(live.parked_reads));
+  }
+#endif
+}
+
+std::string RouterServer::SnapshotPath() const {
+  BYC_CHECK(!options_.config.snapshot_dir.empty());
+  return options_.config.snapshot_dir + "/router.snap";
+}
+
+Result<uint64_t> RouterServer::WriteSnapshotNow() {
+  persist::SnapshotWriter writer;
+  {
+    // The map section pins what the cursors mean: a restore under a
+    // different map is rejected, not misapplied.
+    writer.AddSection(kRouterSectionMap, map_.Serialize());
+  }
+  {
+    std::vector<uint8_t> bytes;
+    uint64_t next = 0;
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      next = admission_next_;
+    }
+    service::AppendU64(bytes, next);
+    service::AppendU64(bytes,
+                       routed_queries_.load(std::memory_order_relaxed));
+    service::AppendU32(bytes,
+                       static_cast<uint32_t>(next_sub_seq_.size()));
+    for (uint64_t cursor : next_sub_seq_) {
+      service::AppendU64(bytes, cursor);
+    }
+    writer.AddSection(kRouterSectionCursors, bytes);
+  }
+  std::vector<uint8_t> bytes = writer.Finish();
+  BYC_RETURN_IF_ERROR(persist::WriteFileAtomic(SnapshotPath(), bytes));
+  snapshot_writes_.fetch_add(1, std::memory_order_relaxed);
+#if BYC_TELEMETRY_ENABLED
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("svc.snapshot_writes").Increment();
+    options_.metrics->gauge("svc.snapshot_bytes")
+        .Set(static_cast<double>(bytes.size()));
+  }
+#endif
+  return static_cast<uint64_t>(bytes.size());
+}
+
+Status RouterServer::TryRestoreSnapshot() {
+  BYC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       persist::ReadFile(SnapshotPath()));
+  BYC_ASSIGN_OR_RETURN(std::vector<persist::SnapshotSection> sections,
+                       persist::ParseSnapshot(bytes));
+  const std::vector<uint8_t>* map_bytes = nullptr;
+  const std::vector<uint8_t>* cursors = nullptr;
+  for (const persist::SnapshotSection& section : sections) {
+    const std::vector<uint8_t>** slot = nullptr;
+    switch (section.id) {
+      case kRouterSectionMap:
+        slot = &map_bytes;
+        break;
+      case kRouterSectionCursors:
+        slot = &cursors;
+        break;
+      default:
+        return Status::ParseError("router snapshot: unknown section id " +
+                                  std::to_string(section.id));
+    }
+    if (*slot != nullptr) {
+      return Status::ParseError("router snapshot: duplicate section id " +
+                                std::to_string(section.id));
+    }
+    *slot = &section.payload;
+  }
+  if (map_bytes == nullptr || cursors == nullptr) {
+    return Status::ParseError("router snapshot: missing section");
+  }
+  if (*map_bytes != map_.Serialize()) {
+    // Byte equality, not just fingerprint equality: the cursors are only
+    // meaningful under the exact map that produced them.
+    return Status::ParseError(
+        "router snapshot was taken under a different shard map");
+  }
+  persist::ByteReader r(*cursors);
+  BYC_ASSIGN_OR_RETURN(uint64_t next, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(uint64_t routed, r.ReadU64());
+  BYC_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (count != next_sub_seq_.size()) {
+    return Status::ParseError(
+        "router snapshot has " + std::to_string(count) +
+        " sub-sequence cursors for " +
+        std::to_string(next_sub_seq_.size()) + " shards");
+  }
+  std::vector<uint64_t> sub(count, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    BYC_ASSIGN_OR_RETURN(sub[i], r.ReadU64());
+  }
+  if (r.remaining() != 0) {
+    return Status::ParseError(
+        "router snapshot: trailing bytes after cursors");
+  }
+  admission_next_ = next;
+  routed_queries_.store(routed, std::memory_order_relaxed);
+  next_sub_seq_ = std::move(sub);
+  return Status::OK();
+}
+
+}  // namespace byc::shard

@@ -1,0 +1,311 @@
+#ifndef BYC_SHARD_ROUTER_SERVER_H_
+#define BYC_SHARD_ROUTER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "federation/mediator.h"
+#include "service/config.h"
+#include "service/mediator_server.h"
+#include "service/reactor.h"
+#include "service/socket.h"
+#include "service/wire.h"
+#include "shard/shard_map.h"
+
+namespace byc::telemetry {
+class Counter;
+class MetricsRegistry;
+}  // namespace byc::telemetry
+
+namespace byc::shard {
+
+/// The front end of the sharded mediator fleet (DESIGN.md §13): speaks
+/// the ordinary client protocol (kQueryAt / kQueryBatch / kStats /
+/// kMetricsDump / kShardStats / kSnapshot) on the epoll Reactor, and
+/// scatters each admitted query to the downstream shard MediatorServers
+/// that own its objects.
+///
+/// Routing model. An I/O thread parses each query line and decomposes
+/// it with the router's own federation::Mediator (the memoized
+/// decomposition the shards will repeat), reducing it to its *touched
+/// shard set* under the ShardMap. One route thread then admits queries
+/// in the global total order (same stamped/unstamped ordering and
+/// gap-skip rules as the single mediator) and, per touched shard,
+/// stamps the query with that shard's next dense sub-sequence number.
+/// Because each shard's sub-sequence is dense (0,1,2,...) and delivered
+/// over a single ordered connection, every shard admits immediately and
+/// its admission stage remains a total order — which is what keeps each
+/// per-shard ledger bitwise-reproducible.
+///
+/// Scatter carries the WHOLE query line (the wire format is unchanged);
+/// each shard keeps only the accesses the map assigns to it, so every
+/// access is decided and ledgered by exactly one shard. Per-shard
+/// forwarder threads coalesce routed queries into kQueryBatch frames
+/// (QueryBatchBuilder) over one pooled channel per shard, opened with a
+/// kShardHello membership handshake — a shard serving a different map
+/// answers kError{kShardMapMismatch} and the affected queries fail
+/// typed instead of landing on the wrong shard. A send that may already
+/// have been processed is never resent (a resend would double-ledger);
+/// the affected queries fail as typed Unavailable.
+///
+/// Gather: the per-shard reply deltas of one query are summed in
+/// ascending shard order — a deterministic association, so the
+/// client-visible QueryReply for a cross-shard query is reproducible.
+/// kStats is answered by scraping every shard and summing field-wise in
+/// shard order, with `queries` taken from the router's own routed count
+/// (a cross-shard query is one query, however many shards it touched);
+/// kShardStats exposes the unmerged per-shard ledgers so the split is
+/// observable. kSnapshot persists the router's own cut (shard map +
+/// admission cursor + per-shard sub-sequence cursors); shard mediators
+/// snapshot their own state through their own admin ports.
+class RouterServer {
+ public:
+  struct Options {
+    /// Router service knobs: port / session caps / reorder timeout /
+    /// io_threads / deadline / retry apply to the router itself;
+    /// snapshot_dir (if set) holds router.snap.
+    service::ServiceConfig config;
+    /// Optional run metrics (svc.router.* counters/gauges). Must
+    /// outlive the server.
+    telemetry::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// `shard_addrs[s]` is the address of the MediatorServer serving
+  /// shard s; must cover map.num_shards(). `granularity` must match the
+  /// shards' decomposition granularity (the router reduces each query
+  /// to its touched-shard set with the same decomposition).
+  RouterServer(const federation::Federation* federation,
+               catalog::Granularity granularity, ShardMap map,
+               std::vector<service::BackendAddress> shard_addrs,
+               Options options);
+  ~RouterServer() { Stop(); }
+
+  RouterServer(const RouterServer&) = delete;
+  RouterServer& operator=(const RouterServer&) = delete;
+
+  /// Binds the listener and starts the reactor, the route thread, and
+  /// one forwarder thread per shard.
+  Status Start();
+
+  /// Graceful drain: stop frame delivery, route everything admitted,
+  /// flush every forwarder queue, answer stragglers typed, persist the
+  /// router snapshot (when configured), tear the reactor down.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+  const ShardMap& map() const { return map_; }
+
+  /// Queries admitted and routed (the `queries` field of the merged
+  /// ledger).
+  uint64_t routed_queries() const {
+    return routed_queries_.load(std::memory_order_relaxed);
+  }
+  /// Sub-queries scattered to shards (>= routed_queries; the excess is
+  /// the cross-shard split count).
+  uint64_t fanout() const {
+    return fanout_.load(std::memory_order_relaxed);
+  }
+  /// Queries whose touched-shard set had more than one member.
+  uint64_t cross_shard_queries() const {
+    return cross_shard_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Client-side batch reply state (mirrors MediatorServer::BatchState,
+  /// but slots complete from forwarder threads, so counts are atomic
+  /// and the error is mutex-guarded).
+  struct ClientBatch {
+    service::ReplyTicket ticket;
+    std::vector<service::QueryReply> deltas;
+    std::mutex mu;
+    Status error = Status::OK();
+    std::atomic<size_t> remaining{0};
+  };
+
+  /// Scatter/gather state of one routed query: one delta slot per
+  /// touched shard, merged in ascending shard order by the last
+  /// forwarder to answer.
+  struct GatherState {
+    std::string line;
+    std::vector<int> shards;  // touched, ascending
+    std::vector<service::QueryReply> deltas;  // parallel to `shards`
+    std::atomic<size_t> remaining{0};
+    std::mutex mu;
+    Status error = Status::OK();
+    /// Exactly one of ticket/batch is set.
+    service::ReplyTicket ticket;
+    std::shared_ptr<ClientBatch> batch;
+    size_t batch_index = 0;
+    Clock::time_point enqueued{};
+  };
+
+  /// One query waiting for the route thread, already parsed and reduced
+  /// to its touched-shard set on an I/O thread.
+  struct RouteEntry {
+    bool snapshot_request = false;
+    std::optional<uint64_t> seq;
+    Status parse_error = Status::OK();
+    std::string line;
+    std::vector<int> touched;  // ascending unique shard ids
+    service::ReplyTicket ticket;
+    std::shared_ptr<ClientBatch> batch;
+    size_t batch_index = 0;
+    Clock::time_point enqueued{};
+    uint64_t trace_id = 0;
+  };
+
+  /// One sub-query bound for a shard, stamped with that shard's dense
+  /// sub-sequence number.
+  struct OutboundItem {
+    uint64_t sub_seq = 0;
+    std::shared_ptr<GatherState> gather;
+    size_t slot = 0;  // index into gather->shards/deltas
+  };
+
+  /// Per-shard forwarder lane: its queue and its pooled data channel.
+  /// The socket is owned by the forwarder thread (Start connects
+  /// lazily, Stop closes after the join) and needs no lock; the queue
+  /// is guarded by `mu`.
+  struct ShardLane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<OutboundItem> queue;
+    bool draining = false;
+    service::Socket sock;
+    bool connected_once = false;
+    bool hello_done = false;
+    /// Jitter source of this lane's retry schedule (forwarder-thread
+    /// private; seeded retry_seed + shard so schedules are deterministic
+    /// and distinct per lane).
+    Rng rng{0};
+  };
+
+  /// Mutex-guarded admin channel to one shard (kStats / kShardStats
+  /// scrapes from I/O threads; independent of the forwarder channel so
+  /// an admin scrape never interleaves with a data batch).
+  struct AdminChannel {
+    service::Socket sock;
+  };
+
+  void OnFrame(service::FrameType type, const uint8_t* payload,
+               size_t payload_len, service::ReplyTicket ticket);
+  /// Parses one query line, reduces it to its touched-shard set, and
+  /// enqueues it for the route thread.
+  void EnqueueQuery(std::optional<uint64_t> seq, std::string_view line,
+                    uint64_t trace_id, service::ReplyTicket ticket,
+                    std::shared_ptr<ClientBatch> batch, size_t batch_index);
+  /// The global ordering point: admits queries in total order, stamps
+  /// per-shard sub-sequences, hands sub-queries to the forwarder lanes.
+  void RouteLoop();
+  void RouteEntryNow(RouteEntry& entry);
+  /// Per-shard forwarder: drains its lane into kQueryBatch frames.
+  void ForwardLoop(int shard);
+  /// Sends one batch to `shard` and resolves every item (success,
+  /// typed failure, or Unavailable after a possibly-processed send).
+  void SendBatch(int shard, std::vector<OutboundItem>& items);
+  /// Connects + kShardHello-handshakes the lane's channel if needed.
+  Status EnsureChannel(int shard, ShardLane& lane);
+  /// Fails every item of `items` with `status` (no resend semantics).
+  void FailItems(std::vector<OutboundItem>& items, const Status& status);
+  /// Resolves one gather slot; the last slot merges in shard order and
+  /// completes the client reply.
+  void FinishGatherSlot(const std::shared_ptr<GatherState>& gather,
+                        size_t slot, const service::QueryReply& delta,
+                        const Status& status);
+  void CompleteGather(GatherState& gather);
+  /// Completes one client slot (parse errors, zero-shard queries, and
+  /// merged gather results all land here). For a batch slot, the LAST
+  /// slot to resolve encodes the whole kQueryBatchReply.
+  void CompleteClient(service::ReplyTicket& ticket,
+                      const std::shared_ptr<ClientBatch>& batch,
+                      size_t batch_index,
+                      const service::QueryReply& merged,
+                      const Status& status);
+
+  /// One admin round trip to shard `s` (connect on demand, no retry
+  /// past one reconnect; admin_mu_ held by the caller).
+  Result<service::Frame> CallShardAdmin(int shard,
+                                        const service::Frame& request);
+  /// Scrapes every shard's ledger and merges field-wise in shard order;
+  /// `queries` comes from the router's own routed count, and the
+  /// router's forwarder retries/reconnects are added on top.
+  Result<service::StatsReply> MergedStats();
+  /// Scrapes every shard's kShardStats entry, concatenated in shard
+  /// order.
+  Result<std::vector<service::ShardStatsEntry>> PerShardStats();
+  void HandleMetricsDump(service::ReplyTicket& ticket);
+  void RefreshLiveGauges();
+
+  std::string SnapshotPath() const;
+  /// Persists the shard map + routing cursors (route thread or
+  /// post-join stopping thread only).
+  Result<uint64_t> WriteSnapshotNow();
+  /// Restores the routing cursors; the snapshot's map bytes must equal
+  /// the configured map exactly.
+  Status TryRestoreSnapshot();
+
+  const federation::Federation* federation_;
+  federation::Mediator mediator_;
+  ShardMap map_;
+  std::vector<service::BackendAddress> shard_addrs_;
+  Options options_;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stop_{true};
+  std::atomic<bool> running_{false};
+  std::unique_ptr<service::Reactor> reactor_;
+  std::thread route_thread_;
+  std::vector<std::thread> forwarders_;
+
+  std::atomic<int> live_sessions_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> admission_skips_{0};
+  std::atomic<uint64_t> routed_queries_{0};
+  std::atomic<uint64_t> fanout_{0};
+  std::atomic<uint64_t> cross_shard_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> snapshot_writes_{0};
+
+  /// Route queue: filled by I/O threads, drained by the route thread
+  /// (same ordering rules as MediatorServer's admission queue).
+  std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::deque<RouteEntry> unstamped_;
+  std::multimap<uint64_t, RouteEntry> stamped_;
+  uint64_t admission_next_ = 0;
+  bool q_draining_ = false;
+
+  /// Route-thread-owned cursors: the next sub-sequence each shard
+  /// receives (dense per shard, assigned in global admission order).
+  std::vector<uint64_t> next_sub_seq_;
+
+  std::vector<std::unique_ptr<ShardLane>> lanes_;
+
+  std::mutex admin_mu_;
+  std::vector<AdminChannel> admin_;
+
+  /// map_.Fingerprint() computed once at construction (sent in every
+  /// kShardHello handshake).
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace byc::shard
+
+#endif  // BYC_SHARD_ROUTER_SERVER_H_

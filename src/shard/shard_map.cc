@@ -1,0 +1,171 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "persist/codec.h"
+#include "persist/snapshot.h"
+
+namespace byc::shard {
+
+namespace {
+
+/// Fixed 64-bit mix (splitmix64 finalizer). Chosen over std::hash
+/// because its output is pinned by the standard's *absence*: two
+/// processes, two builds, two machines all agree, which is what lets a
+/// router and a shard validate placement by fingerprint alone.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Ring key of a table: the table id mixed under a domain tag so table
+/// keys and vnode points draw from unrelated streams.
+uint64_t TablePoint(int32_t table) {
+  return Mix64(0x7461626C65ull ^ (static_cast<uint64_t>(
+                                      static_cast<uint32_t>(table))
+                                  << 16));
+}
+
+/// Ring point of vnode `v` of shard `s`.
+uint64_t VnodePoint(int shard, int vnode) {
+  return Mix64((static_cast<uint64_t>(static_cast<uint32_t>(shard)) << 32) |
+               static_cast<uint32_t>(vnode));
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+}  // namespace
+
+ShardMap::ShardMap(int num_shards, uint32_t version, int vnodes_per_shard)
+    : num_shards_(num_shards),
+      version_(version),
+      vnodes_per_shard_(vnodes_per_shard) {
+  BYC_CHECK_GE(num_shards_, 1);
+  BYC_CHECK_GE(vnodes_per_shard_, 1);
+  BuildRing();
+}
+
+void ShardMap::BuildRing() {
+  ring_.clear();
+  ring_.reserve(static_cast<size_t>(num_shards_) *
+                static_cast<size_t>(vnodes_per_shard_));
+  for (int s = 0; s < num_shards_; ++s) {
+    for (int v = 0; v < vnodes_per_shard_; ++v) {
+      ring_.push_back(RingPoint{VnodePoint(s, v), s});
+    }
+  }
+  // Tie-break equal points by shard id so the ring order is a pure
+  // function of the membership, not of insertion order.
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.point != b.point ? a.point < b.point
+                                        : a.shard < b.shard;
+            });
+}
+
+void ShardMap::SetOverride(catalog::ObjectId object, int shard) {
+  BYC_CHECK_GE(shard, 0);
+  BYC_CHECK_LT(shard, num_shards_);
+  overrides_[{object.table, object.column}] = static_cast<uint32_t>(shard);
+}
+
+int ShardMap::ShardOf(catalog::ObjectId object) const {
+  if (!overrides_.empty()) {
+    auto exact = overrides_.find({object.table, object.column});
+    if (exact != overrides_.end()) return static_cast<int>(exact->second);
+    if (!object.is_table()) {
+      auto table = overrides_.find({object.table, catalog::ObjectId::kWholeTable});
+      if (table != overrides_.end()) return static_cast<int>(table->second);
+    }
+  }
+  uint64_t key = TablePoint(object.table);
+  auto it = std::upper_bound(ring_.begin(), ring_.end(), key,
+                             [](uint64_t k, const RingPoint& p) {
+                               return k < p.point;
+                             });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->shard;
+}
+
+void ShardMap::EncodeInto(std::vector<uint8_t>& out) const {
+  persist::AppendU32(out, version_);
+  persist::AppendU32(out, static_cast<uint32_t>(num_shards_));
+  persist::AppendU32(out, static_cast<uint32_t>(vnodes_per_shard_));
+  persist::AppendU32(out, static_cast<uint32_t>(overrides_.size()));
+  for (const auto& [key, shard] : overrides_) {
+    persist::AppendI32(out, key.first);
+    persist::AppendI32(out, key.second);
+    persist::AppendU32(out, shard);
+  }
+}
+
+std::vector<uint8_t> ShardMap::Serialize() const {
+  std::vector<uint8_t> out;
+  EncodeInto(out);
+  return out;
+}
+
+Result<ShardMap> ShardMap::Parse(const uint8_t* data, size_t size) {
+  persist::ByteReader r(data, size);
+  BYC_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  BYC_ASSIGN_OR_RETURN(uint32_t num_shards, r.ReadU32());
+  BYC_ASSIGN_OR_RETURN(uint32_t vnodes, r.ReadU32());
+  BYC_ASSIGN_OR_RETURN(uint32_t override_count, r.ReadU32());
+  if (num_shards == 0 || num_shards > 4096) {
+    return Status::ParseError("shard map: bad shard count " +
+                              std::to_string(num_shards));
+  }
+  if (vnodes == 0 || vnodes > 65536) {
+    return Status::ParseError("shard map: bad vnode count " +
+                              std::to_string(vnodes));
+  }
+  ShardMap map(static_cast<int>(num_shards), version,
+               static_cast<int>(vnodes));
+  std::pair<int32_t, int32_t> prev{0, 0};
+  for (uint32_t i = 0; i < override_count; ++i) {
+    BYC_ASSIGN_OR_RETURN(int32_t table, r.ReadI32());
+    BYC_ASSIGN_OR_RETURN(int32_t column, r.ReadI32());
+    BYC_ASSIGN_OR_RETURN(uint32_t shard, r.ReadU32());
+    if (shard >= num_shards) {
+      return Status::ParseError("shard map: override shard " +
+                                std::to_string(shard) + " out of range");
+    }
+    std::pair<int32_t, int32_t> key{table, column};
+    if (i > 0 && !(prev < key)) {
+      // Only the canonical sorted form is accepted; this is what makes
+      // Parse(Serialize(m)) byte-identical rather than merely equivalent.
+      return Status::ParseError("shard map: overrides not in canonical order");
+    }
+    prev = key;
+    map.overrides_[key] = shard;
+  }
+  if (r.remaining() != 0) {
+    return Status::ParseError("shard map: trailing bytes");
+  }
+  return map;
+}
+
+Result<ShardMap> ShardMap::Parse(const std::vector<uint8_t>& bytes) {
+  return Parse(bytes.data(), bytes.size());
+}
+
+uint64_t ShardMap::Fingerprint() const {
+  std::vector<uint8_t> bytes = Serialize();
+  uint64_t h = kFnvOffset;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+Result<ShardMap> LoadShardMapFile(const std::string& path) {
+  BYC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, persist::ReadFile(path));
+  return ShardMap::Parse(bytes);
+}
+
+}  // namespace byc::shard

@@ -1,0 +1,106 @@
+#ifndef BYC_SHARD_SHARD_MAP_H_
+#define BYC_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/object_id.h"
+#include "common/result.h"
+
+namespace byc::shard {
+
+/// Deterministic ObjectId -> shard assignment for the sharded mediator
+/// fleet.
+///
+/// Placement is catalog-aware: the consistent-hash ring is keyed by the
+/// object's TABLE, so a table and all of its columns land on the same
+/// shard whatever granularity the mediators decompose at. That keeps a
+/// column-granularity query touching one table on one shard, and makes
+/// rebalancing a table-sized move. The override table refines the ring
+/// per table or per individual column (exact object beats table-level
+/// beats ring), which is how operators pin a hot table to a dedicated
+/// shard without renumbering anything.
+///
+/// Determinism is the load-bearing property: every process that holds
+/// the same (version, num_shards, vnodes, overrides) tuple must place
+/// every object identically, across builds and machines. The ring
+/// therefore uses a fixed pure-arithmetic 64-bit mix (no std::hash,
+/// whose result is implementation-defined), and serialization is
+/// canonical — overrides are stored sorted, the ring is derived rather
+/// than serialized, and Parse(Serialize(m)) reproduces the exact input
+/// bytes. Fingerprint() (FNV-1a over the serialized form) is what
+/// routers and shard mediators compare in the kShardHello handshake.
+class ShardMap {
+ public:
+  /// Default virtual nodes per shard. 128 points per shard keeps the
+  /// ring's load spread within a few percent and an added shard's move
+  /// fraction near the ideal 1/(M+1).
+  static constexpr int kDefaultVnodes = 128;
+
+  /// A uniform map: `num_shards` shards, ring only, no overrides.
+  ShardMap(int num_shards, uint32_t version = 1,
+           int vnodes_per_shard = kDefaultVnodes);
+
+  int num_shards() const { return num_shards_; }
+  uint32_t version() const { return version_; }
+  int vnodes_per_shard() const { return vnodes_per_shard_; }
+  size_t num_overrides() const { return overrides_.size(); }
+
+  /// Pins `object` to `shard`. A whole-table id (ObjectId::ForTable)
+  /// installs a table-level override covering every column of that
+  /// table; a column id installs an exact override that beats the
+  /// table-level one. Re-pinning replaces the previous entry.
+  void SetOverride(catalog::ObjectId object, int shard);
+
+  /// Where `object` lives. Precedence: exact object override, then
+  /// whole-table override, then the consistent-hash ring keyed by the
+  /// object's table.
+  int ShardOf(catalog::ObjectId object) const;
+
+  /// Canonical serialization through the persist codec:
+  ///   u32 version | u32 num_shards | u32 vnodes | u32 override_count |
+  ///   override_count x { i32 table, i32 column, u32 shard }
+  /// with overrides in ascending (table, column) order. The ring is
+  /// derived from (num_shards, vnodes), never serialized.
+  void EncodeInto(std::vector<uint8_t>& out) const;
+  std::vector<uint8_t> Serialize() const;
+
+  /// Inverse of Serialize. Rejects trailing bytes, shard ids outside
+  /// [0, num_shards), zero shards/vnodes, and out-of-order or duplicate
+  /// overrides (the canonical form is the only accepted form, so a
+  /// round trip is byte-identical by construction).
+  static Result<ShardMap> Parse(const uint8_t* data, size_t size);
+  static Result<ShardMap> Parse(const std::vector<uint8_t>& bytes);
+
+  /// FNV-1a 64 over the canonical serialization — the membership token
+  /// carried in kShardHello and stamped into shard snapshots.
+  uint64_t Fingerprint() const;
+
+ private:
+  /// One point on the consistent-hash ring.
+  struct RingPoint {
+    uint64_t point = 0;
+    int shard = 0;
+  };
+
+  void BuildRing();
+
+  int num_shards_;
+  uint32_t version_;
+  int vnodes_per_shard_;
+  /// (table, column) -> shard; column == ObjectId::kWholeTable entries
+  /// are table-level overrides. std::map keeps the canonical order.
+  std::map<std::pair<int32_t, int32_t>, uint32_t> overrides_;
+  std::vector<RingPoint> ring_;  // sorted by point
+};
+
+/// Reads and parses a serialized ShardMap from `path` (the
+/// BYC_SVC_SHARD_MAP file).
+Result<ShardMap> LoadShardMapFile(const std::string& path);
+
+}  // namespace byc::shard
+
+#endif  // BYC_SHARD_SHARD_MAP_H_

@@ -14,7 +14,10 @@
 #include "common/random.h"
 #include "query/parser.h"
 #include "service/backend_server.h"
+#include "service/mediator_server.h"
 #include "service/wire.h"
+#include "service_test_util.h"
+#include "shard/shard_map.h"
 #include "workload/trace.h"
 
 namespace byc {
@@ -130,7 +133,7 @@ TEST(WireFuzzTest, RandomPayloadsParseOrFailCleanly) {
   Rng rng(161803);
   for (int i = 0; i < 5000; ++i) {
     service::Frame frame;
-    frame.type = static_cast<service::FrameType>(rng.NextUint64(19));
+    frame.type = static_cast<service::FrameType>(rng.NextUint64(27));
     frame.payload.resize(rng.NextUint64(64));
     for (uint8_t& b : frame.payload) {
       b = static_cast<uint8_t>(rng.NextUint64(256));
@@ -176,6 +179,88 @@ TEST(WireFuzzTest, RandomPayloadsParseOrFailCleanly) {
       service::EncodeQueryBatchReplyInto(again, deltas.data(),
                                          deltas.size());
       EXPECT_EQ(again, frame.payload);
+    }
+    auto shard_hello = service::ParseShardHello(frame);
+    if (shard_hello.ok() &&
+        frame.type == service::FrameType::kShardHello) {
+      EXPECT_EQ(service::MakeShardHelloFrame(*shard_hello).payload,
+                frame.payload);
+    }
+    auto shard_echo = service::ParseShardHelloReply(frame);
+    if (shard_echo.ok() &&
+        frame.type == service::FrameType::kShardHelloReply) {
+      EXPECT_EQ(service::MakeShardHelloReplyFrame(shard_echo->shard_id,
+                                                  shard_echo->map_version)
+                    .payload,
+                frame.payload);
+    }
+    std::vector<service::ShardStatsEntry> entries;
+    auto shard_stats = service::ParseShardStatsReplyInto(frame, &entries);
+    if (shard_stats.ok()) {
+      EXPECT_EQ(service::MakeShardStatsReplyFrame(entries.data(),
+                                                  entries.size())
+                    .payload,
+                frame.payload);
+    }
+  }
+}
+
+TEST(WireFuzzTest, ShardFramesRoundTripAndRejectTruncation) {
+  // Forward direction for the sharding frames: whatever the encoders
+  // produce decodes back field-for-field, and any truncation fails as a
+  // typed error, never a read past the end.
+  Rng rng(299792);
+  for (int i = 0; i < 1000; ++i) {
+    service::ShardHello hello;
+    hello.shard_id = static_cast<uint32_t>(rng.NextUint64());
+    hello.map_version = static_cast<uint32_t>(rng.NextUint64());
+    hello.map_fingerprint = rng.NextUint64();
+    service::Frame frame = service::MakeShardHelloFrame(hello);
+    auto parsed = service::ParseShardHello(frame);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(hello.shard_id, parsed->shard_id);
+    EXPECT_EQ(hello.map_version, parsed->map_version);
+    EXPECT_EQ(hello.map_fingerprint, parsed->map_fingerprint);
+    if (!frame.payload.empty()) {
+      service::Frame cut = frame;
+      cut.payload.resize(rng.NextUint64(cut.payload.size()));
+      EXPECT_FALSE(service::ParseShardHello(cut).ok());
+    }
+
+    size_t n = rng.NextUint64(5);
+    std::vector<service::ShardStatsEntry> entries(n);
+    for (service::ShardStatsEntry& entry : entries) {
+      entry.shard_id = static_cast<uint32_t>(rng.NextUint64());
+      entry.map_version = static_cast<uint32_t>(rng.NextUint64());
+      entry.stats.queries = rng.NextUint64();
+      entry.stats.accesses = rng.NextUint64();
+      entry.stats.retries = rng.NextUint64();
+      entry.stats.served_cost = rng.NextDouble();
+      entry.stats.bypass_cost = rng.NextDouble();
+      entry.stats.fetch_cost = rng.NextDouble();
+    }
+    service::Frame stats_frame =
+        service::MakeShardStatsReplyFrame(entries.data(), entries.size());
+    std::vector<service::ShardStatsEntry> decoded;
+    ASSERT_TRUE(
+        service::ParseShardStatsReplyInto(stats_frame, &decoded).ok());
+    ASSERT_EQ(n, decoded.size());
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(entries[k].shard_id, decoded[k].shard_id);
+      EXPECT_EQ(entries[k].map_version, decoded[k].map_version);
+      EXPECT_EQ(entries[k].stats.queries, decoded[k].stats.queries);
+      EXPECT_EQ(entries[k].stats.accesses, decoded[k].stats.accesses);
+      EXPECT_EQ(entries[k].stats.retries, decoded[k].stats.retries);
+      EXPECT_EQ(entries[k].stats.served_cost, decoded[k].stats.served_cost);
+      EXPECT_EQ(entries[k].stats.bypass_cost, decoded[k].stats.bypass_cost);
+      EXPECT_EQ(entries[k].stats.fetch_cost, decoded[k].stats.fetch_cost);
+    }
+    if (!stats_frame.payload.empty()) {
+      service::Frame cut = stats_frame;
+      cut.payload.resize(rng.NextUint64(cut.payload.size()));
+      std::vector<service::ShardStatsEntry> scratch;
+      EXPECT_FALSE(
+          service::ParseShardStatsReplyInto(cut, &scratch).ok());
     }
   }
 }
@@ -486,6 +571,72 @@ TEST(WireFuzzTest, RandomBytesOnTheSocketNeverCrashTheServer) {
   auto pong = service::ReadFrame(*sock, service::Deadline::After(2000));
   ASSERT_TRUE(pong.ok()) << pong.status().ToString();
   EXPECT_EQ(service::FrameType::kPong, pong->type);
+}
+
+TEST(WireFuzzTest, ShardHelloVersionSkewIsTypedMismatchNeverAHang) {
+  // A router whose shard map disagrees with the shard mediator's — in
+  // version, fingerprint, or shard id — must be refused with the typed
+  // kShardMapMismatch inside the deadline. A silent accept would let a
+  // split-brain fleet double-ledger traffic; a hang would wedge the
+  // router's forwarder thread.
+  auto federation =
+      federation::Federation::SingleSite(catalog::MakeSdssEdrCatalog());
+  service::testutil::BackendFleet backends(federation);
+  shard::ShardMap map(2);
+  core::PolicyConfig policy;
+  policy.kind = core::PolicyKind::kNoCache;
+  service::MediatorServer::Options options;
+  options.config = service::testutil::FastConfig();
+  options.shard_id = 0;
+  options.shard_map = &map;
+  service::MediatorServer mediator(&federation, policy,
+                                   backends.addresses(), options);
+  ASSERT_TRUE(mediator.Start().ok());
+  auto deadline = [] { return service::Deadline::After(2000); };
+
+  service::ShardHello good;
+  good.shard_id = 0;
+  good.map_version = map.version();
+  good.map_fingerprint = map.Fingerprint();
+
+  service::ShardHello version_skew = good;
+  version_skew.map_version = map.version() + 1;
+  service::ShardHello fingerprint_skew = good;
+  fingerprint_skew.map_fingerprint = good.map_fingerprint ^ 1;
+  service::ShardHello wrong_shard = good;
+  wrong_shard.shard_id = 1;
+
+  for (const service::ShardHello& bad :
+       {version_skew, fingerprint_skew, wrong_shard}) {
+    auto sock = service::Socket::Connect("127.0.0.1", mediator.port(),
+                                         deadline());
+    ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+    ASSERT_TRUE(service::WriteFrame(
+                    *sock, service::MakeShardHelloFrame(bad), deadline())
+                    .ok());
+    auto reply = service::ReadFrame(*sock, deadline());
+    ASSERT_TRUE(reply.ok()) << "no typed refusal: "
+                            << reply.status().ToString();
+    ASSERT_EQ(service::FrameType::kError, reply->type);
+    EXPECT_EQ(service::WireCode::kShardMapMismatch,
+              service::ErrorFrameCode(*reply));
+  }
+
+  // The matching hello is accepted and echoes the shard identity.
+  auto sock = service::Socket::Connect("127.0.0.1", mediator.port(),
+                                       deadline());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(service::WriteFrame(
+                  *sock, service::MakeShardHelloFrame(good), deadline())
+                  .ok());
+  auto reply = service::ReadFrame(*sock, deadline());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(service::FrameType::kShardHelloReply, reply->type);
+  auto echo = service::ParseShardHelloReply(*reply);
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(0u, echo->shard_id);
+  EXPECT_EQ(map.version(), echo->map_version);
+  mediator.Stop();
 }
 
 }  // namespace

@@ -1,0 +1,237 @@
+// ShardMap placement, override precedence, rebalance stability, and
+// canonical-serialization round trips. Placement determinism is a wire
+// contract (routers and shard mediators compare fingerprints in the
+// kShardHello handshake), so the golden values pinned here must never
+// drift — a change to the ring mix reshuffles every deployed fleet.
+
+#include "shard/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/object_id.h"
+
+namespace byc::shard {
+namespace {
+
+using catalog::ObjectId;
+
+/// The 10k-object synthetic catalog used by the rebalance tests:
+/// 1000 tables x 10 columns.
+std::vector<ObjectId> TenThousandObjects() {
+  std::vector<ObjectId> objects;
+  objects.reserve(10000);
+  for (int32_t t = 0; t < 1000; ++t) {
+    for (int32_t c = 0; c < 10; ++c) {
+      objects.push_back(ObjectId::ForColumn(t, c));
+    }
+  }
+  return objects;
+}
+
+TEST(ShardMapTest, GoldenPlacements) {
+  // Pinned ring placements for a uniform 4-shard map. These are part of
+  // the deployment contract: the same (num_shards, vnodes) must place
+  // the same table identically on every build and machine.
+  ShardMap map(4);
+  const struct {
+    int32_t table;
+    int shard;
+  } golden[] = {
+      {0, 1}, {1, 3}, {2, 2}, {3, 1}, {4, 1},
+      {5, 2}, {6, 1}, {7, 0}, {17, 2}, {123, 2},
+  };
+  for (const auto& g : golden) {
+    EXPECT_EQ(g.shard, map.ShardOf(ObjectId::ForTable(g.table)))
+        << "table " << g.table;
+  }
+}
+
+TEST(ShardMapTest, ColumnsColocateWithTheirTable) {
+  // The ring is keyed by table, so every column of a table lands on the
+  // table's shard — a single-table query is shard-local at either
+  // granularity.
+  ShardMap map(5);
+  for (int32_t t = 0; t < 200; ++t) {
+    int table_shard = map.ShardOf(ObjectId::ForTable(t));
+    for (int32_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(table_shard, map.ShardOf(ObjectId::ForColumn(t, c)))
+          << "table " << t << " column " << c;
+    }
+  }
+}
+
+TEST(ShardMapTest, PlacementsCoverAllShardsEvenly) {
+  ShardMap map(4);
+  std::vector<int> count(4, 0);
+  for (int32_t t = 0; t < 1000; ++t) {
+    int s = map.ShardOf(ObjectId::ForTable(t));
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    ++count[static_cast<size_t>(s)];
+  }
+  // 128 vnodes per shard keeps the spread well within 2x of ideal.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_GT(count[static_cast<size_t>(s)], 125) << "shard " << s;
+    EXPECT_LT(count[static_cast<size_t>(s)], 500) << "shard " << s;
+  }
+}
+
+TEST(ShardMapTest, AddingAShardMovesAtMostOneMthPlusEpsilon) {
+  // Consistent-hashing stability over a 10k-object catalog: growing
+  // M -> M+1 moves about 1/(M+1) of the objects (<= 1/M + eps), and
+  // every object that moves, moves TO the new shard — no churn between
+  // surviving shards.
+  const std::vector<ObjectId> objects = TenThousandObjects();
+  for (int m : {2, 4, 8}) {
+    ShardMap before(m);
+    ShardMap after(m + 1);
+    size_t moved = 0;
+    for (const ObjectId& object : objects) {
+      int s0 = before.ShardOf(object);
+      int s1 = after.ShardOf(object);
+      if (s0 != s1) {
+        ++moved;
+        EXPECT_EQ(m, s1) << "object moved between surviving shards";
+      }
+    }
+    double fraction =
+        static_cast<double>(moved) / static_cast<double>(objects.size());
+    EXPECT_GT(moved, 0u) << "M=" << m;
+    EXPECT_LE(fraction, 1.0 / m + 0.05)
+        << "M=" << m << " moved " << moved << " of " << objects.size();
+  }
+}
+
+TEST(ShardMapTest, OverridePrecedence) {
+  ShardMap map(4);
+  const int32_t table = 7;
+  int ring_shard = map.ShardOf(ObjectId::ForTable(table));
+  int table_shard = (ring_shard + 1) % 4;
+  int column_shard = (ring_shard + 2) % 4;
+
+  // Table-level override moves the table and every column.
+  map.SetOverride(ObjectId::ForTable(table), table_shard);
+  EXPECT_EQ(table_shard, map.ShardOf(ObjectId::ForTable(table)));
+  EXPECT_EQ(table_shard, map.ShardOf(ObjectId::ForColumn(table, 0)));
+  EXPECT_EQ(table_shard, map.ShardOf(ObjectId::ForColumn(table, 3)));
+
+  // Exact column override beats the table-level one, for that column
+  // only.
+  map.SetOverride(ObjectId::ForColumn(table, 3), column_shard);
+  EXPECT_EQ(column_shard, map.ShardOf(ObjectId::ForColumn(table, 3)));
+  EXPECT_EQ(table_shard, map.ShardOf(ObjectId::ForColumn(table, 0)));
+  EXPECT_EQ(table_shard, map.ShardOf(ObjectId::ForTable(table)));
+
+  // Other tables still follow the ring.
+  ShardMap plain(4);
+  EXPECT_EQ(plain.ShardOf(ObjectId::ForTable(11)),
+            map.ShardOf(ObjectId::ForTable(11)));
+
+  // Re-pinning replaces rather than accumulates.
+  map.SetOverride(ObjectId::ForColumn(table, 3), ring_shard);
+  EXPECT_EQ(ring_shard, map.ShardOf(ObjectId::ForColumn(table, 3)));
+  EXPECT_EQ(2u, map.num_overrides());
+}
+
+TEST(ShardMapTest, SerializeParseRoundTripIsByteIdentical) {
+  ShardMap map(3, /*version=*/7);
+  map.SetOverride(ObjectId::ForTable(2), 1);
+  map.SetOverride(ObjectId::ForColumn(2, 4), 2);
+  map.SetOverride(ObjectId::ForTable(9), 0);
+
+  std::vector<uint8_t> bytes = map.Serialize();
+  auto parsed = ShardMap::Parse(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(bytes, parsed->Serialize());
+  EXPECT_EQ(map.num_shards(), parsed->num_shards());
+  EXPECT_EQ(map.version(), parsed->version());
+  EXPECT_EQ(map.vnodes_per_shard(), parsed->vnodes_per_shard());
+  EXPECT_EQ(map.num_overrides(), parsed->num_overrides());
+  EXPECT_EQ(map.Fingerprint(), parsed->Fingerprint());
+
+  // The parsed map places every object identically.
+  for (int32_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(map.ShardOf(ObjectId::ForTable(t)),
+              parsed->ShardOf(ObjectId::ForTable(t)));
+  }
+  EXPECT_EQ(map.ShardOf(ObjectId::ForColumn(2, 4)),
+            parsed->ShardOf(ObjectId::ForColumn(2, 4)));
+}
+
+TEST(ShardMapTest, ParseRejectsNonCanonicalBytes) {
+  ShardMap map(3, /*version=*/1);
+  map.SetOverride(ObjectId::ForTable(1), 0);
+  map.SetOverride(ObjectId::ForTable(5), 2);
+  const std::vector<uint8_t> good = map.Serialize();
+  ASSERT_TRUE(ShardMap::Parse(good).ok());
+
+  // Every strict prefix fails cleanly.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(ShardMap::Parse(good.data(), cut).ok()) << "cut " << cut;
+  }
+
+  // Trailing bytes are rejected (canonical form only).
+  std::vector<uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(ShardMap::Parse(trailing).ok());
+
+  // An override shard outside [0, num_shards): the layout is
+  //   u32 version | u32 num_shards | u32 vnodes | u32 count |
+  //   count x { i32 table, i32 column, u32 shard }
+  // so the first override's shard field sits at offset 16 + 8.
+  std::vector<uint8_t> bad_shard = good;
+  bad_shard[16 + 8] = 3;
+  EXPECT_FALSE(ShardMap::Parse(bad_shard).ok());
+
+  // Out-of-order overrides (records swapped) are rejected.
+  std::vector<uint8_t> swapped = good;
+  for (size_t i = 0; i < 12; ++i) {
+    std::swap(swapped[16 + i], swapped[16 + 12 + i]);
+  }
+  EXPECT_FALSE(ShardMap::Parse(swapped).ok());
+
+  // Zero shards is rejected.
+  std::vector<uint8_t> zero_shards = good;
+  zero_shards[4] = 0;
+  EXPECT_FALSE(ShardMap::Parse(zero_shards).ok());
+}
+
+TEST(ShardMapTest, FingerprintCoversEveryField) {
+  ShardMap base(4);
+  EXPECT_EQ(base.Fingerprint(), ShardMap(4).Fingerprint());
+  EXPECT_NE(base.Fingerprint(), ShardMap(5).Fingerprint());
+  EXPECT_NE(base.Fingerprint(), ShardMap(4, /*version=*/2).Fingerprint());
+  EXPECT_NE(base.Fingerprint(),
+            ShardMap(4, 1, /*vnodes_per_shard=*/64).Fingerprint());
+  ShardMap pinned(4);
+  pinned.SetOverride(ObjectId::ForTable(3), 0);
+  EXPECT_NE(base.Fingerprint(), pinned.Fingerprint());
+}
+
+TEST(ShardMapTest, LoadShardMapFileRoundTrips) {
+  ShardMap map(2, /*version=*/3);
+  map.SetOverride(ObjectId::ForTable(4), 1);
+  std::vector<uint8_t> bytes = map.Serialize();
+
+  std::string path = testing::TempDir() + "/shard_map_test.map";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(nullptr, f);
+  ASSERT_EQ(bytes.size(), std::fwrite(bytes.data(), 1, bytes.size(), f));
+  std::fclose(f);
+
+  auto loaded = LoadShardMapFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(map.Fingerprint(), loaded->Fingerprint());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(LoadShardMapFile(path + ".does-not-exist").ok());
+}
+
+}  // namespace
+}  // namespace byc::shard
