@@ -22,6 +22,8 @@
 #include "core/policy_factory.h"
 #include "core/static_policy.h"
 #include "federation/federation.h"
+#include "scenario/engine.h"
+#include "scenario/spec.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "telemetry/manifest.h"
@@ -148,6 +150,75 @@ inline Release MakeRelease(bool dr1, size_t num_queries = 0) {
 inline Release MakeEdr() { return MakeRelease(false); }
 inline Release MakeDr1() { return MakeRelease(true); }
 
+/// Resolves a scenario reference strictly: first as a builtin name
+/// ("steady", "flashcrowd", ...), then as a path to a scenario config
+/// file. A typo'd reference is an error, never a silent default.
+inline Result<scenario::ScenarioSpec> ResolveScenario(const std::string& ref) {
+  Result<scenario::ScenarioSpec> builtin = scenario::BuiltinScenario(ref);
+  if (builtin.ok()) return builtin;
+  if (!builtin.status().IsNotFound()) return builtin;
+  Result<scenario::ScenarioSpec> file = scenario::LoadScenarioFile(ref);
+  if (file.ok() || !file.status().IsNotFound()) return file;
+  return Status::NotFound("scenario '" + ref +
+                          "' is neither a builtin scenario nor a readable "
+                          "scenario file");
+}
+
+/// Parses a comma-separated list of scenario references (the BYC_SCENARIO
+/// convention) into specs. Empty elements and unresolvable references
+/// are errors.
+inline Result<std::vector<scenario::ScenarioSpec>> ScenariosFromRefs(
+    const std::string& csv) {
+  std::vector<scenario::ScenarioSpec> specs;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    std::string ref = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (ref.empty()) {
+      return Status::InvalidArgument(
+          "BYC_SCENARIO: empty scenario reference in '" + csv + "'");
+    }
+    BYC_ASSIGN_OR_RETURN(scenario::ScenarioSpec spec, ResolveScenario(ref));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Builds a Release from a scenario spec: the catalog the spec names,
+/// the engine-generated (and calibrated) trace, under the scenario's
+/// name. Pass `num_queries` to rescale the scenario (phase proportions
+/// and calibration target scale with it), 0 for the spec as written.
+inline Release MakeScenarioRelease(scenario::ScenarioSpec spec,
+                                   size_t num_queries = 0) {
+  if (num_queries != 0) {
+    spec = scenario::ScaleScenarioQueries(std::move(spec), num_queries);
+  }
+  auto catalog = spec.dr1 ? catalog::MakeSdssDr1Catalog()
+                          : catalog::MakeSdssEdrCatalog();
+  scenario::ScenarioEngine engine(&catalog, spec);
+  scenario::ScenarioTrace scenario_trace = engine.Generate();
+  workload::TraceGenerator estimator(&catalog, spec.BaseOptions());
+  double cost = estimator.SequenceCost(scenario_trace.trace);
+  return Release{spec.name,
+                 federation::Federation::SingleSite(std::move(catalog)),
+                 std::move(scenario_trace.trace), cost};
+}
+
+/// Declared mean offered load of a scenario: the query-weighted average
+/// of its phases' load scales (1.0 for a flat scenario). Deterministic
+/// spec arithmetic — no clock involved.
+inline double ScenarioMeanLoad(const scenario::ScenarioSpec& spec) {
+  double weighted = 0;
+  uint64_t total = spec.total_queries();
+  if (total == 0) return 1.0;
+  for (const scenario::PhaseSpec& phase : spec.phases) {
+    weighted += phase.load_scale * static_cast<double>(phase.queries);
+  }
+  return weighted / static_cast<double>(total);
+}
+
 /// Cache capacity as a fraction of the database size. The paper does not
 /// state the cache size used for Figs. 7/8 and Tables 1/2; we use 30% of
 /// the database, the knee of its Fig. 9/10 sweeps (see EXPERIMENTS.md).
@@ -189,15 +260,23 @@ inline const char* GranularityName(catalog::Granularity granularity) {
   return granularity == catalog::Granularity::kTable ? "table" : "column";
 }
 
-/// Decomposes a release's trace once at `granularity`. Share the result
-/// (by const reference) across every configuration of a sweep — the
-/// decomposition is the same for all policies and capacities.
-inline sim::DecomposedTrace DecomposeRelease(
-    const Release& release, catalog::Granularity granularity) {
+/// Decomposes a trace once at `granularity` against a federation. Share
+/// the result (by const reference) across every configuration of a
+/// sweep — the decomposition is the same for all policies/capacities.
+inline sim::DecomposedTrace DecomposeTrace(
+    const federation::Federation& federation, const workload::Trace& trace,
+    catalog::Granularity granularity) {
   sim::Simulator::Options options;
   options.metrics = BenchMetrics();
-  sim::Simulator simulator(&release.federation, granularity, options);
-  return simulator.DecomposeFlat(release.trace);
+  sim::Simulator simulator(&federation, granularity, options);
+  return simulator.DecomposeFlat(trace);
+}
+
+/// Decomposes a release's trace once at `granularity` (see
+/// DecomposeTrace).
+inline sim::DecomposedTrace DecomposeRelease(
+    const Release& release, catalog::Granularity granularity) {
+  return DecomposeTrace(release.federation, release.trace, granularity);
 }
 
 /// Builds the sweep configuration for (kind, capacity). The static set

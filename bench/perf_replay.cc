@@ -19,6 +19,11 @@
 //                (default: BYC_THREADS, else hardware concurrency)
 //   --quick      4k-query traces instead of the full 27k/24k presets
 //   --out FILE   output path (default: BENCH_replay.json)
+//
+// Environment: BYC_SCENARIO replaces the EDR/DR1 presets with
+// scenario-engine workloads — a comma-separated list of builtin
+// scenario names and/or scenario config files. Strict: an unresolvable
+// reference aborts the run rather than falling back to the presets.
 
 #include <chrono>
 #include <cstdio>
@@ -123,10 +128,32 @@ int main(int argc, char** argv) {
 
   std::vector<Record> records;
 
-  std::printf("perf_replay: building EDR + DR1 workloads%s...\n",
-              num_queries ? " (--quick)" : "");
-  bench::Release releases[2] = {bench::MakeRelease(false, num_queries),
-                                bench::MakeRelease(true, num_queries)};
+  // BYC_SCENARIO swaps the preset releases for scenario-engine
+  // workloads; the rest of the harness (decompose, sweep, cross-check)
+  // is workload-agnostic.
+  std::vector<bench::Release> releases;
+  std::string workload_desc = "2 releases";
+  if (std::optional<std::string> scenario_env = env::Raw("BYC_SCENARIO")) {
+    Result<std::vector<scenario::ScenarioSpec>> specs =
+        bench::ScenariosFromRefs(*scenario_env);
+    if (!specs.ok()) {
+      std::fprintf(stderr, "perf_replay: BYC_SCENARIO: %s\n",
+                   specs.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("perf_replay: building %zu scenario workloads%s...\n",
+                specs->size(), num_queries ? " (--quick)" : "");
+    for (scenario::ScenarioSpec& spec : *specs) {
+      releases.push_back(bench::MakeScenarioRelease(spec, num_queries));
+    }
+    workload_desc = std::to_string(releases.size()) + " scenarios";
+    bench_run.AddConfig("scenario", *scenario_env);
+  } else {
+    std::printf("perf_replay: building EDR + DR1 workloads%s...\n",
+                num_queries ? " (--quick)" : "");
+    releases.push_back(bench::MakeRelease(false, num_queries));
+    releases.push_back(bench::MakeRelease(true, num_queries));
+  }
   const catalog::Granularity granularities[2] = {
       catalog::Granularity::kTable, catalog::Granularity::kColumn};
 
@@ -168,12 +195,12 @@ int main(int argc, char** argv) {
         static_cast<double>(c.trace.num_accesses() * c.configs.size());
   }
   const std::string sweep_desc =
-      "2 releases x 2 granularities x 10 cache sizes, rate_profile (" +
+      workload_desc + " x 2 granularities x 10 cache sizes, rate_profile (" +
       std::to_string(total_configs) + " configs)";
 
   // Single-policy replay throughput: the hot path in isolation.
   {
-    const SweepCase& c = cases[3];  // DR1/column: the largest stream
+    const SweepCase& c = cases.back();  // DR1/column: the largest stream
     Clock::time_point start = Clock::now();
     sim::SweepRunner::Options options;
     options.threads = 1;

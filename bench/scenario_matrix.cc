@@ -1,0 +1,343 @@
+// Scenario matrix: replays every workload scenario against the full
+// policy/capacity grid and writes BENCH_scenarios.json — the standing
+// record of how each caching policy behaves under phased, time-varying,
+// multi-tenant workloads (diurnal swings, flash crowds, a mid-run data
+// release, a growing repository), not just the steady EDR/DR1 presets.
+//
+// The matrix is scenario x granularity x policy x capacity. Each
+// scenario's trace is generated once by the scenario engine, decomposed
+// once per granularity, and fanned over SweepRunner::RunMatrix. The
+// whole matrix runs twice — serial and parallel — and the binary exits
+// nonzero unless the two produce bit-identical ledgers, so the JSON can
+// never record a thread-count-dependent number.
+//
+// JSON schema: a top-level array of one-line records
+//   {name:"scenario_matrix", config, scenario, catalog, granularity,
+//    policy, capacity_pct, capacity_bytes, queries, accesses, phases,
+//    load, D_S, D_L, D_C, hits, evictions, used_bytes, qps, wall_ms}
+// D_S/D_L/D_C print with shortest round-trip formatting; two same-seed
+// runs are byte-identical except the timing fields (qps, wall_ms).
+//
+// Usage: scenario_matrix [--quick] [--queries N] [--threads N]
+//                        [--scenarios a,b,...] [--out FILE]
+//   --quick        scale every scenario to 2,400 queries and drop to one
+//                  granularity (table) and one capacity (30%)
+//   --queries N    scale every scenario to N queries
+//   --threads N    parallel sweep workers (default BYC_THREADS, else
+//                  hardware concurrency)
+//   --scenarios    comma-separated builtin names and/or scenario files
+//                  (default: every builtin)
+//   --out FILE     output path (default BENCH_scenarios.json)
+//
+// Environment: BYC_SCENARIO overrides the default scenario list (same
+// comma-separated form as --scenarios; the flag wins over the
+// environment). Strict: an unresolvable reference aborts the run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json_writer.h"
+
+namespace {
+
+using namespace byc;
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+constexpr core::PolicyKind kAllPolicies[] = {
+    core::PolicyKind::kNoCache,     core::PolicyKind::kLru,
+    core::PolicyKind::kLruK,        core::PolicyKind::kLfu,
+    core::PolicyKind::kGds,         core::PolicyKind::kGdsp,
+    core::PolicyKind::kStatic,      core::PolicyKind::kRateProfile,
+    core::PolicyKind::kOnlineBy,    core::PolicyKind::kSpaceEffBy,
+};
+
+struct Cell {
+  std::string scenario;
+  std::string catalog;
+  std::string granularity;
+  std::string policy;
+  int capacity_pct = 0;
+  uint64_t capacity_bytes = 0;
+  size_t queries = 0;
+  size_t accesses = 0;
+  size_t phases = 0;
+  double load = 1.0;
+  sim::CostBreakdown totals;
+  uint64_t used_bytes = 0;
+};
+
+std::string CellToJson(const Cell& cell, double qps, double wall_ms) {
+  std::string out;
+  JsonWriter json(&out, /*pretty=*/false);
+  json.BeginObject();
+  json.Key("name");
+  json.String("scenario_matrix");
+  json.Key("config");
+  json.String(cell.scenario + "/" + cell.granularity + "/" + cell.policy +
+              "/cap" + std::to_string(cell.capacity_pct));
+  json.Key("scenario");
+  json.String(cell.scenario);
+  json.Key("catalog");
+  json.String(cell.catalog);
+  json.Key("granularity");
+  json.String(cell.granularity);
+  json.Key("policy");
+  json.String(cell.policy);
+  json.Key("capacity_pct");
+  json.Int(cell.capacity_pct);
+  json.Key("capacity_bytes");
+  json.UInt(cell.capacity_bytes);
+  json.Key("queries");
+  json.UInt(cell.queries);
+  json.Key("accesses");
+  json.UInt(cell.accesses);
+  json.Key("phases");
+  json.UInt(cell.phases);
+  json.Key("load");
+  json.Double(cell.load);
+  json.Key("D_S");
+  json.Double(cell.totals.bypass_cost);
+  json.Key("D_L");
+  json.Double(cell.totals.fetch_cost);
+  json.Key("D_C");
+  json.Double(cell.totals.served_cost);
+  json.Key("hits");
+  json.UInt(cell.totals.hits);
+  json.Key("evictions");
+  json.UInt(cell.totals.evictions);
+  json.Key("used_bytes");
+  json.UInt(cell.used_bytes);
+  json.Key("qps");
+  json.Double(qps, 1);
+  json.Key("wall_ms");
+  json.Double(wall_ms, 3);
+  json.EndObject();
+  return out;
+}
+
+bool SameLedger(const sim::CostBreakdown& a, const sim::CostBreakdown& b) {
+  return a.bypass_cost == b.bypass_cost && a.fetch_cost == b.fetch_cost &&
+         a.served_cost == b.served_cost && a.hits == b.hits &&
+         a.bypasses == b.bypasses && a.loads == b.loads &&
+         a.evictions == b.evictions && a.accesses == b.accesses;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun bench_run("scenario_matrix");
+  unsigned threads = ThreadPool::DefaultThreadCount();
+  size_t num_queries = 0;  // 0: each scenario as written
+  bool quick = false;
+  std::string out_path = "BENCH_scenarios.json";
+  std::string scenario_csv;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      if (num_queries == 0) num_queries = 2'400;
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      num_queries = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+      scenario_csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_matrix [--quick] [--queries N] "
+                   "[--threads N] [--scenarios a,b,...] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (threads == 0) threads = 1;
+
+  // Scenario selection: flag, else strict BYC_SCENARIO, else every
+  // builtin.
+  if (scenario_csv.empty()) {
+    if (std::optional<std::string> env = env::Raw("BYC_SCENARIO")) {
+      scenario_csv = *env;
+    }
+  }
+  std::vector<scenario::ScenarioSpec> specs;
+  if (scenario_csv.empty()) {
+    for (const std::string& name : scenario::BuiltinScenarioNames()) {
+      specs.push_back(*scenario::BuiltinScenario(name));
+    }
+  } else {
+    Result<std::vector<scenario::ScenarioSpec>> resolved =
+        bench::ScenariosFromRefs(scenario_csv);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "scenario_matrix: %s\n",
+                   resolved.status().ToString().c_str());
+      return 2;
+    }
+    specs = std::move(*resolved);
+  }
+
+  std::vector<catalog::Granularity> granularities = {
+      catalog::Granularity::kTable, catalog::Granularity::kColumn};
+  std::vector<int> capacity_pcts = {15, 30, 60};
+  if (quick) {
+    granularities = {catalog::Granularity::kTable};
+    capacity_pcts = {30};
+  }
+
+  bench_run.AddConfig("quick", quick ? "true" : "false");
+  bench_run.AddConfig("queries",
+                      std::to_string(num_queries));
+  bench_run.AddConfig("threads", std::to_string(threads));
+  {
+    std::string names;
+    for (const scenario::ScenarioSpec& spec : specs) {
+      if (!names.empty()) names += ",";
+      names += spec.name;
+    }
+    bench_run.AddConfig("scenarios", names);
+  }
+
+  // Generate each scenario's trace once; decompose per granularity and
+  // build that row's policy x capacity configs.
+  std::printf("scenario_matrix: generating %zu scenario workloads%s...\n",
+              specs.size(), num_queries ? " (scaled)" : "");
+  std::vector<bench::Release> releases;
+  releases.reserve(specs.size());
+  for (scenario::ScenarioSpec& spec : specs) {
+    releases.push_back(bench::MakeScenarioRelease(spec, num_queries));
+    std::printf("  %-16s %-4s %7zu queries  %6.1f GB sequence cost\n",
+                spec.name.c_str(), spec.dr1 ? "DR1" : "EDR",
+                releases.back().trace.queries.size(),
+                releases.back().sequence_cost / kGB);
+  }
+
+  std::vector<sim::SweepRunner::ScenarioCase> cases;
+  std::vector<Cell> cells;           // aligned with (case, config) order
+  std::vector<size_t> case_of_cell;  // first cell index of each case
+  std::vector<sim::DecomposedTrace> traces;
+  traces.reserve(specs.size() * granularities.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const scenario::ScenarioSpec& spec = specs[s];
+    const bench::Release& release = releases[s];
+    double load = bench::ScenarioMeanLoad(spec);
+    for (catalog::Granularity granularity : granularities) {
+      traces.push_back(
+          bench::DecomposeTrace(release.federation, release.trace,
+                                granularity));
+      const sim::DecomposedTrace& trace = traces.back();
+      sim::SweepRunner::ScenarioCase c;
+      c.name = spec.name + "/" + bench::GranularityName(granularity);
+      c.trace = &trace;
+      case_of_cell.push_back(cells.size());
+      for (int pct : capacity_pcts) {
+        uint64_t capacity = bench::CapacityFraction(release, pct / 100.0);
+        for (core::PolicyKind kind : kAllPolicies) {
+          c.configs.push_back(bench::MakeSweepConfig(kind, capacity, trace));
+          Cell cell;
+          cell.scenario = spec.name;
+          cell.catalog = spec.dr1 ? "DR1" : "EDR";
+          cell.granularity = bench::GranularityName(granularity);
+          cell.policy = std::string(core::PolicyKindName(kind));
+          cell.capacity_pct = pct;
+          cell.capacity_bytes = capacity;
+          cell.queries = trace.num_queries();
+          cell.accesses = trace.num_accesses();
+          cell.phases = spec.phases.size();
+          cell.load = load;
+          cells.push_back(std::move(cell));
+        }
+      }
+      cases.push_back(std::move(c));
+    }
+  }
+
+  size_t total_cells = cells.size();
+  double total_queries = 0;
+  for (const Cell& cell : cells) {
+    total_queries += static_cast<double>(cell.queries);
+  }
+  std::printf("scenario_matrix: %zu scenarios x %zu granularities -> "
+              "%zu cells\n",
+              specs.size(), granularities.size(), total_cells);
+
+  // Serial pass: the reference ledgers.
+  sim::SweepRunner::Options serial_options;
+  serial_options.threads = 1;
+  serial_options.sim.metrics = bench::BenchMetrics();
+  std::printf("scenario_matrix: serial matrix...\n");
+  Clock::time_point serial_start = Clock::now();
+  std::vector<std::vector<sim::SweepOutcome>> serial =
+      sim::SweepRunner(serial_options).RunMatrix(cases);
+  double serial_ms = ElapsedMs(serial_start);
+
+  // Parallel pass: must be bit-identical at any thread count.
+  sim::SweepRunner::Options parallel_options = serial_options;
+  parallel_options.threads = threads;
+  std::printf("scenario_matrix: parallel matrix (%u threads)...\n", threads);
+  Clock::time_point parallel_start = Clock::now();
+  std::vector<std::vector<sim::SweepOutcome>> parallel =
+      sim::SweepRunner(parallel_options).RunMatrix(cases);
+  double parallel_ms = ElapsedMs(parallel_start);
+
+  size_t cell_index = 0;
+  for (size_t c = 0; c < cases.size(); ++c) {
+    for (size_t i = 0; i < serial[c].size(); ++i, ++cell_index) {
+      if (!SameLedger(serial[c][i].result.totals,
+                      parallel[c][i].result.totals)) {
+        std::fprintf(stderr,
+                     "scenario_matrix: PARALLEL/SERIAL MISMATCH at %s "
+                     "config %zu\n",
+                     cases[c].name.c_str(), i);
+        return 1;
+      }
+      cells[cell_index].totals = parallel[c][i].result.totals;
+      cells[cell_index].used_bytes = parallel[c][i].used_bytes;
+    }
+  }
+
+  // Timing fields: aggregate replay throughput of the parallel pass,
+  // identical across cells (and explicitly excluded from the CI
+  // byte-determinism comparison).
+  double qps = total_queries / (parallel_ms / 1000.0);
+  double speedup = serial_ms / parallel_ms;
+  std::printf(
+      "serial:   %8.1f ms\nparallel: %8.1f ms  (%u threads, %.2fx)\n"
+      "matrix ledgers bit-identical serial vs parallel\n",
+      serial_ms, parallel_ms, threads, speedup);
+
+  std::vector<std::string> rows;
+  rows.reserve(total_cells);
+  for (const Cell& cell : cells) {
+    rows.push_back(CellToJson(cell, qps, parallel_ms));
+  }
+  if (!bench::AppendJsonRows(out_path, rows)) {
+    std::fprintf(stderr, "scenario_matrix: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu cells)\n", out_path.c_str(), total_cells);
+
+  // Per-cell manifest gauges: scn.<scenario>.<granularity>.<policy>.
+  // <capacity_pct>.{D_S, D_L, qps} — the fields validate_manifest.py
+  // --require-scenario demands of a matrix run.
+  if (telemetry::MetricsRegistry* metrics = bench_run.metrics()) {
+    for (const Cell& cell : cells) {
+      const std::string prefix = "scn." + cell.scenario + "." +
+                                 cell.granularity + "." + cell.policy + "." +
+                                 std::to_string(cell.capacity_pct) + ".";
+      metrics->gauge(prefix + "D_S").Set(cell.totals.bypass_cost);
+      metrics->gauge(prefix + "D_L").Set(cell.totals.fetch_cost);
+      metrics->gauge(prefix + "qps").Set(qps);
+    }
+    metrics->gauge("scn.cells").Set(static_cast<double>(total_cells));
+  }
+  return 0;
+}

@@ -22,7 +22,11 @@
 # over per-shard mediators and proves the per-shard ledgers conserve
 # the single-mediator ledger (bitwise on shard-local traffic, within an
 # asserted reassociation bound across splits); its manifest is checked
-# by validate_manifest.py --require-shard.
+# by validate_manifest.py --require-shard. A scenario-matrix stage runs
+# bench/scenario_matrix --quick twice and diffs the BENCH_scenarios.json
+# cells modulo the timing fields (two same-seed runs must agree on every
+# ledger byte); its manifest is checked by validate_manifest.py
+# --require-scenario.
 #
 # Usage: scripts/ci.sh [preset ...]
 #   scripts/ci.sh                 # release asan tsan (the full sweep)
@@ -37,6 +41,7 @@
 #   CI_SKIP_WIRE=1      skip the wire codec micro smoke test
 #   CI_SKIP_OBS=1       skip the traced-load observability smoke test
 #   CI_SKIP_WARM=1      skip the warm-restart / crash-recovery smoke test
+#   CI_SKIP_SCENARIO=1  skip the scenario-matrix determinism smoke test
 #   CI_SKIP_SHARD=1     skip the sharded-fleet smoke test
 #   CI_SVC_TIMEOUT      seconds before a service smoke test is killed
 #                       (default 300, applies to all service stages)
@@ -209,6 +214,45 @@ if [ "${CI_SKIP_WARM:-0}" != "1" ]; then
   timeout "${CI_SVC_TIMEOUT:-300}" "$warm" --queries 400 --sigkill --repeat 3
 fi
 
+if [ "${CI_SKIP_SCENARIO:-0}" != "1" ]; then
+  matrix=build/bench/scenario_matrix
+  if [ ! -x "$matrix" ]; then
+    cmake --preset release >/dev/null
+    cmake --build --preset release -j "$JOBS" --target scenario_matrix
+  fi
+  scn_dir="$(mktemp -d -t byc_scenario.XXXXXX)"
+  trap 'rm -f "${manifest:-}" "${svc_manifest:-}" "${load_manifest:-}" "${load_json:-}" "${wire_manifest:-}" "${warm_manifest:-}"; rm -rf "${obs_dir:-}" "${scn_dir:-}"' EXIT
+  echo "==> scenario matrix smoke test ($matrix --quick, run twice)"
+  # The full scenario x policy x capacity grid in --quick form (every
+  # builtin scenario scaled down, one granularity, one capacity). The
+  # binary itself exits nonzero if the parallel matrix diverges from the
+  # serial one by a bit; CI additionally runs it TWICE into fresh output
+  # files and diffs the JSON modulo the timing fields (qps, wall_ms) —
+  # two same-seed runs must agree on every ledger byte.
+  BYC_MANIFEST="$scn_dir/manifest.json" \
+    timeout "${CI_SVC_TIMEOUT:-300}" "$matrix" --quick \
+    --out "$scn_dir/run_a.json" >/dev/null
+  timeout "${CI_SVC_TIMEOUT:-300}" "$matrix" --quick \
+    --out "$scn_dir/run_b.json" >/dev/null
+  python3 - "$scn_dir/run_a.json" "$scn_dir/run_b.json" <<'EOF'
+import json, sys
+def strip(path):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    for row in rows:
+        row.pop("qps", None)
+        row.pop("wall_ms", None)
+    return rows
+a, b = strip(sys.argv[1]), strip(sys.argv[2])
+if a != b:
+    sys.exit("scenario matrix output differs between same-seed runs "
+             "(modulo timing fields)")
+print(f"    scenario matrix deterministic ({len(a)} cells)")
+EOF
+  python3 scripts/validate_manifest.py --require-scenario \
+    "$scn_dir/manifest.json"
+fi
+
 if [ "${CI_SKIP_SHARD:-0}" != "1" ]; then
   sharded=build/bench/svc_sharded_load
   if [ ! -x "$sharded" ]; then
@@ -217,7 +261,7 @@ if [ "${CI_SKIP_SHARD:-0}" != "1" ]; then
   fi
   shard_manifest="$(mktemp -t byc_shard_manifest.XXXXXX.json)"
   shard_json="$(mktemp -t byc_shard_bench.XXXXXX.json)"
-  trap 'rm -f "${manifest:-}" "${svc_manifest:-}" "${load_manifest:-}" "${load_json:-}" "${wire_manifest:-}" "${warm_manifest:-}" "$shard_manifest" "$shard_json"; rm -rf "${obs_dir:-}"' EXIT
+  trap 'rm -f "${manifest:-}" "${svc_manifest:-}" "${load_manifest:-}" "${load_json:-}" "${wire_manifest:-}" "${warm_manifest:-}" "$shard_manifest" "$shard_json"; rm -rf "${obs_dir:-}" "${scn_dir:-}"' EXIT
   echo "==> sharded-fleet smoke test ($sharded, router + per-shard ledgers)"
   # Router scatter/gather over M=2 shard mediators: the binary exits
   # nonzero if any per-shard ledger diverges from its per-shard

@@ -42,8 +42,18 @@ gauges ("svc.merged.queries" > 0, "svc.merged.wan_cost",
 silently served nothing, or whose gather stage dropped the merged
 ledger, cannot pass.
 
+--require-scenario demands the scenario-matrix fields of a
+scenario_matrix run: per-cell "scn.<scenario>.<granularity>.<policy>.
+<capacity_pct>.{D_S,D_L,qps}" gauges where every cell carries both WAN
+ledger components (D_S, D_L, numbers >= 0) and a positive qps, a
+"scn.cells" gauge matching the number of distinct cells, and coverage
+of at least 2 distinct scenarios and 3 distinct policies — so a CI
+matrix stage that silently collapsed to one scenario or one policy
+cannot pass.
+
 Usage: validate_manifest.py [--require-service] [--require-load]
                             [--require-snapshot] [--require-shard]
+                            [--require-scenario]
                             <manifest.json> [...]
 Exits nonzero with a message per violation.
 """
@@ -391,14 +401,91 @@ def validate_shard_fields(doc, path, errors, required):
                  f"(merged ledger fields)", errors)
 
 
+def validate_scenario_fields(doc, path, errors, required):
+    """Checks the scenario-matrix additions of a scenario_matrix
+    manifest: the per-cell scn.* ledger gauges and the coverage floor
+    of the scenario x policy grid."""
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    metrics = metrics if isinstance(metrics, dict) else {}
+    gauges = metrics.get("gauges", {})
+    gauges = gauges if isinstance(gauges, dict) else {}
+
+    cell_gauges = {name: value for name, value in gauges.items()
+                   if name.startswith("scn.") and name != "scn.cells"}
+    if not cell_gauges:
+        if required:
+            fail(path, "no scn.* cell gauges found (--require-scenario)",
+                 errors)
+        return
+
+    # Gauge name: scn.<scenario>.<granularity>.<policy>.<cap_pct>.<field>
+    # (scenario and policy names never contain dots).
+    cells = {}
+    for name, value in cell_gauges.items():
+        parts = name.split(".")
+        if len(parts) != 6:
+            fail(path, f"malformed scenario gauge name {name!r} "
+                 f"(want scn.<scenario>.<gran>.<policy>.<cap>.<field>)",
+                 errors)
+            continue
+        _, scenario, gran, policy, cap, field = parts
+        if gran not in ("table", "column"):
+            fail(path, f"gauge {name!r} has unknown granularity {gran!r}",
+                 errors)
+            continue
+        if not cap.isdigit():
+            fail(path, f"gauge {name!r} capacity {cap!r} is not an integer "
+                 f"percentage", errors)
+            continue
+        cells.setdefault((scenario, gran, policy, cap), {})[field] = value
+
+    for key, fields in sorted(cells.items()):
+        label = "/".join(key)
+        for field in ("D_S", "D_L"):
+            if field not in fields:
+                fail(path, f"scenario cell {label} missing gauge field "
+                     f"{field!r}", errors)
+            elif not is_number(fields[field]) or fields[field] < 0:
+                fail(path, f"scenario cell {label} field {field!r} is not a "
+                     f"non-negative number: {fields[field]!r}", errors)
+        if "qps" not in fields:
+            fail(path, f"scenario cell {label} missing gauge field 'qps'",
+                 errors)
+        elif not is_number(fields["qps"]) or fields["qps"] <= 0:
+            fail(path, f"scenario cell {label} field 'qps' must be positive: "
+                 f"{fields['qps']!r}", errors)
+        extra = set(fields) - {"D_S", "D_L", "qps"}
+        if extra:
+            fail(path, f"scenario cell {label} has unknown fields: "
+                 f"{sorted(extra)}", errors)
+
+    count = gauges.get("scn.cells")
+    if count is None:
+        fail(path, "scenario manifest missing gauge 'scn.cells'", errors)
+    elif not is_number(count) or int(count) != len(cells):
+        fail(path, f"gauge 'scn.cells' {count!r} != {len(cells)} distinct "
+             f"cells in the manifest", errors)
+
+    if required:
+        scenarios = {key[0] for key in cells}
+        policies = {key[2] for key in cells}
+        if len(scenarios) < 2:
+            fail(path, f"scenario coverage too narrow: {sorted(scenarios)} "
+                 f"(--require-scenario wants >= 2 scenarios)", errors)
+        if len(policies) < 3:
+            fail(path, f"policy coverage too narrow: {sorted(policies)} "
+                 f"(--require-scenario wants >= 3 policies)", errors)
+
+
 def main(argv):
     args = argv[1:]
     require_service = "--require-service" in args
     require_load = "--require-load" in args
     require_snapshot = "--require-snapshot" in args
     require_shard = "--require-shard" in args
+    require_scenario = "--require-scenario" in args
     flags = ("--require-service", "--require-load", "--require-snapshot",
-             "--require-shard")
+             "--require-shard", "--require-scenario")
     paths = [a for a in args if a not in flags]
     if not paths:
         print(__doc__.strip(), file=sys.stderr)
@@ -416,6 +503,7 @@ def main(argv):
         validate_load_fields(doc, path, errors, require_load)
         validate_snapshot_fields(doc, path, errors, require_snapshot)
         validate_shard_fields(doc, path, errors, require_shard)
+        validate_scenario_fields(doc, path, errors, require_scenario)
     if errors:
         for error in errors:
             print(f"validate_manifest: {error}", file=sys.stderr)

@@ -99,8 +99,9 @@ ZipfSampler::ZipfSampler(size_t n, double theta) {
   cdf_.back() = 1.0;  // exact despite rounding
 }
 
-size_t ZipfSampler::Sample(Rng& rng) const {
-  double u = rng.NextDouble();
+size_t ZipfSampler::Sample(Rng& rng) const { return RankOf(rng.NextDouble()); }
+
+size_t ZipfSampler::RankOf(double u) const {
   auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   if (it == cdf_.end()) --it;
   return static_cast<size_t>(it - cdf_.begin());

@@ -77,6 +77,12 @@ class ZipfSampler {
   /// Draws a rank in [0, n).
   size_t Sample(Rng& rng) const;
 
+  /// The rank a uniform variate u in [0, 1) maps to: Sample(rng) is
+  /// exactly RankOf(rng.NextDouble()). Exposed so callers that manage
+  /// their own uniform draws (RankSampler's single-draw discipline) hit
+  /// the identical cdf search.
+  size_t RankOf(double u) const;
+
   size_t n() const { return cdf_.size(); }
 
   /// Probability mass of rank i.

@@ -1,0 +1,249 @@
+#include "scenario/spec.h"
+
+#include "common/bytes.h"
+
+namespace byc::scenario {
+
+namespace {
+
+// The DR1 catalog carries the same schema at 2.3x the EDR row counts, so
+// the EDR era of a release-upgrade scenario is the visible prefix
+// 1 / 2.3 of the DR1 tables.
+constexpr double kEdrFractionOfDr1 = 1.0 / 2.3;
+
+/// EDR-era cost density applied to a scenario of `queries` queries: the
+/// published EDR sequence cost scaled by query count with the exact
+/// arithmetic the legacy bench scaling uses. queries == 27,663 yields
+/// exactly 1216.94 GB (x * 1.0 == x in IEEE), which is what keeps the
+/// steady builtin bit-identical to MakeEdrOptions().
+double EdrTargetFor(uint64_t queries) {
+  return (1216.94 * kGB) *
+         (static_cast<double>(queries) / 27'663.0);
+}
+
+double Dr1TargetFor(uint64_t queries) {
+  return (1980.4 * kGB) *
+         (static_cast<double>(queries) / 24'567.0);
+}
+
+workload::ClassMix Dr1Mix() {
+  workload::ClassMix mix;
+  mix.p_range = 0.49;
+  mix.p_spatial = 0.09;
+  mix.p_identity = 0.14;
+  mix.p_aggregate = 0.11;
+  mix.p_join = 0.12;
+  return mix;
+}
+
+/// Shared EDR-shaped shell: phases are appended by each builtin.
+ScenarioSpec EdrShell(std::string name) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  // All the template-machinery defaults already equal MakeEdrOptions().
+  return spec;
+}
+
+PhaseSpec MakePhase(std::string name, uint64_t queries) {
+  PhaseSpec phase;
+  phase.name = std::move(name);
+  phase.queries = queries;
+  return phase;
+}
+
+/// The legacy EDR workload as a one-phase scenario; bit-identical to
+/// TraceGenerator(MakeEdrOptions()).Generate().
+ScenarioSpec Steady() {
+  ScenarioSpec spec = EdrShell("steady");
+  spec.target_bytes = EdrTargetFor(27'663);
+  PhaseSpec phase = MakePhase("steady", 27'663);
+  phase.mix = spec.default_mix;
+  phase.dist = spec.default_dist;
+  spec.phases.push_back(std::move(phase));
+  return spec;
+}
+
+/// Alternating day/night load: days are interactive (peaked Zipf reuse,
+/// high arrival rate), nights are batch (flatter reuse, aggregate/join
+/// heavy, a quarter of the day rate).
+ScenarioSpec Diurnal() {
+  ScenarioSpec spec = EdrShell("diurnal");
+  spec.target_bytes = EdrTargetFor(24'000);
+  for (int day = 0; day < 3; ++day) {
+    PhaseSpec day_phase = MakePhase("day" + std::to_string(day + 1), 6'000);
+    day_phase.load_scale = 1.6;
+    day_phase.mix = spec.default_mix;
+    day_phase.dist = spec.default_dist;
+    spec.phases.push_back(std::move(day_phase));
+
+    PhaseSpec night = MakePhase("night" + std::to_string(day + 1), 2'000);
+    night.load_scale = 0.4;
+    night.mix.p_range = 0.38;
+    night.mix.p_spatial = 0.05;
+    night.mix.p_identity = 0.05;
+    night.mix.p_aggregate = 0.25;
+    night.mix.p_join = 0.20;
+    night.dist.theta = 0.6;  // batch jobs reuse templates far less
+    spec.phases.push_back(std::move(night));
+  }
+  return spec;
+}
+
+/// A supernova announcement: calm traffic, then a flash crowd pinning
+/// most region queries to one sky region while template reuse collapses
+/// onto a small drifting hot set, then a long cool-down.
+ScenarioSpec FlashCrowd() {
+  ScenarioSpec spec = EdrShell("flashcrowd");
+  spec.target_bytes = EdrTargetFor(22'000);
+
+  PhaseSpec calm = MakePhase("calm", 8'000);
+  calm.mix = spec.default_mix;
+  calm.dist = spec.default_dist;
+  spec.phases.push_back(std::move(calm));
+
+  PhaseSpec flash = MakePhase("flash", 6'000);
+  flash.load_scale = 3.0;
+  flash.mix = spec.default_mix;
+  flash.mix.p_range = 0.58;
+  flash.mix.p_spatial = 0.12;
+  flash.mix.p_identity = 0.10;
+  flash.mix.p_aggregate = 0.06;
+  flash.mix.p_join = 0.10;
+  flash.dist.kind = workload::DistKind::kHotspot;
+  flash.dist.hot_fraction = 0.92;
+  flash.dist.hot_ranks = 0.25;
+  flash.dist.drift = 4;
+  flash.region_boost = 0.85;
+  flash.region_lo = 131'072;
+  flash.region_span = 4'096;
+  spec.phases.push_back(std::move(flash));
+
+  PhaseSpec cooldown = MakePhase("cooldown", 8'000);
+  cooldown.mix = spec.default_mix;
+  cooldown.dist = spec.default_dist;
+  cooldown.region_boost = 0.25;
+  cooldown.region_lo = 131'072;
+  cooldown.region_span = 4'096;
+  spec.phases.push_back(std::move(cooldown));
+  return spec;
+}
+
+/// EDR-to-DR1 data release against the DR1 catalog: the EDR era sees
+/// only the 1/2.3 visible row prefix with the EDR mix; release day makes
+/// everything visible and shifts to the more dispersed DR1 mix.
+ScenarioSpec ReleaseUpgrade() {
+  ScenarioSpec spec = EdrShell("release_upgrade");
+  spec.dr1 = true;
+  spec.seed = 20050406;
+  spec.churn = 0.55;
+  spec.churn_phases = 10;
+  spec.target_bytes = Dr1TargetFor(26'000);
+
+  PhaseSpec edr_era = MakePhase("edr_era", 14'000);
+  edr_era.mix = spec.default_mix;  // the EDR-shaped mix
+  edr_era.dist = spec.default_dist;
+  edr_era.visible_lo = kEdrFractionOfDr1;
+  edr_era.visible_hi = kEdrFractionOfDr1;
+  spec.phases.push_back(std::move(edr_era));
+
+  PhaseSpec dr1_era = MakePhase("dr1_era", 12'000);
+  dr1_era.mix = Dr1Mix();
+  dr1_era.dist = spec.default_dist;
+  dr1_era.dist.theta = 0.9;
+  dr1_era.visible_lo = 1.0;
+  dr1_era.visible_hi = 1.0;
+  spec.phases.push_back(std::move(dr1_era));
+  return spec;
+}
+
+/// A repository in active ingest: the visible universe grows from a
+/// quarter of the release to all of it across three observing seasons —
+/// object identifiers and sky anchors only ever extend forward.
+ScenarioSpec GrowingRepo() {
+  ScenarioSpec spec = EdrShell("growing_repo");
+  spec.target_bytes = EdrTargetFor(27'000);
+  const double kEdges[] = {0.25, 0.50, 0.75, 1.0};
+  const char* kNames[] = {"season1", "season2", "season3"};
+  for (int i = 0; i < 3; ++i) {
+    PhaseSpec phase = MakePhase(kNames[i], 9'000);
+    phase.mix = spec.default_mix;
+    phase.dist = spec.default_dist;
+    phase.visible_lo = kEdges[i];
+    phase.visible_hi = kEdges[i + 1];
+    spec.phases.push_back(std::move(phase));
+  }
+  return spec;
+}
+
+/// Three client populations sharing the archive: an interactive
+/// astronomer (peaked Zipf reuse), a survey robot (drifting hotspot),
+/// and an archive crawler (uniform, no reuse to speak of).
+ScenarioSpec MultiTenant() {
+  ScenarioSpec spec = EdrShell("multi_tenant");
+  spec.target_bytes = EdrTargetFor(24'000);
+  PhaseSpec phase = MakePhase("shared", 24'000);
+  phase.mix = spec.default_mix;
+  phase.dist = spec.default_dist;
+
+  TenantSpec interactive;
+  interactive.name = "interactive";
+  interactive.weight = 0.55;
+  interactive.dist = spec.default_dist;
+  interactive.dist.theta = 1.2;
+  phase.tenants.push_back(std::move(interactive));
+
+  TenantSpec robot;
+  robot.name = "robot";
+  robot.weight = 0.30;
+  robot.dist.kind = workload::DistKind::kHotspot;
+  robot.dist.hot_fraction = 0.95;
+  robot.dist.hot_ranks = 0.15;
+  robot.dist.drift = 8;
+  phase.tenants.push_back(std::move(robot));
+
+  TenantSpec crawler;
+  crawler.name = "crawler";
+  crawler.weight = 0.15;
+  crawler.dist.kind = workload::DistKind::kUniform;
+  phase.tenants.push_back(std::move(crawler));
+
+  spec.phases.push_back(std::move(phase));
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<std::string>& BuiltinScenarioNames() {
+  static const std::vector<std::string> kNames = {
+      "steady",       "diurnal",      "flashcrowd",
+      "release_upgrade", "growing_repo", "multi_tenant"};
+  return kNames;
+}
+
+Result<ScenarioSpec> BuiltinScenario(std::string_view name) {
+  ScenarioSpec spec;
+  if (name == "steady") {
+    spec = Steady();
+  } else if (name == "diurnal") {
+    spec = Diurnal();
+  } else if (name == "flashcrowd") {
+    spec = FlashCrowd();
+  } else if (name == "release_upgrade") {
+    spec = ReleaseUpgrade();
+  } else if (name == "growing_repo") {
+    spec = GrowingRepo();
+  } else if (name == "multi_tenant") {
+    spec = MultiTenant();
+  } else {
+    return Status::NotFound("unknown builtin scenario '" + std::string(name) +
+                            "'");
+  }
+  Status st = ValidateScenarioSpec(spec);
+  if (!st.ok()) {
+    return Status::Internal("builtin scenario '" + std::string(name) +
+                            "' failed validation: " + st.message());
+  }
+  return spec;
+}
+
+}  // namespace byc::scenario

@@ -1,0 +1,116 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace byc::scenario {
+
+MixPhaseGenerator::MixPhaseGenerator(workload::TraceGenerator* generator,
+                                     const PhaseSpec& phase,
+                                     uint64_t global_start,
+                                     uint64_t total_queries)
+    : generator_(generator),
+      phase_(phase),
+      global_start_(global_start),
+      total_queries_(total_queries) {
+  BYC_CHECK_GE(total_queries_, 1u);
+  size_t templates = generator_->options().templates_per_class > 0
+                         ? static_cast<size_t>(
+                               generator_->options().templates_per_class)
+                         : 1;
+  if (phase_.tenants.empty()) {
+    samplers_.emplace_back(templates, phase_.dist);
+    cumulative_weight_.push_back(1.0);
+  } else {
+    double sum = 0;
+    for (const TenantSpec& tenant : phase_.tenants) {
+      samplers_.emplace_back(templates, tenant.dist);
+      sum += tenant.weight;
+      cumulative_weight_.push_back(sum);
+    }
+  }
+}
+
+void MixPhaseGenerator::Generate(Rng& rng, workload::Trace& out,
+                                 std::vector<uint16_t>& tenants) {
+  workload::SampleWindow window;
+  window.pin_fraction = phase_.region_boost;
+  window.region_lo = static_cast<int64_t>(phase_.region_lo);
+  window.region_span = static_cast<int64_t>(phase_.region_span);
+
+  size_t churn_phases = generator_->num_churn_phases();
+  BYC_CHECK_GE(churn_phases, 1u);
+  for (uint64_t i = 0; i < phase_.queries; ++i) {
+    uint64_t global = global_start_ + i;
+    size_t churn = static_cast<size_t>(global * churn_phases /
+                                       total_queries_);
+    double progress = static_cast<double>(i + 1) /
+                      static_cast<double>(phase_.queries);
+    // Lerp is exact at the unconstrained endpoints: lo == hi == 1 yields
+    // exactly 1.0, which keeps Instantiate on the legacy draw path.
+    window.visible_fraction =
+        phase_.visible_lo +
+        (phase_.visible_hi - phase_.visible_lo) * progress;
+
+    size_t tenant = 0;
+    if (samplers_.size() > 1) {
+      double u = rng.NextDouble() * cumulative_weight_.back();
+      tenant = static_cast<size_t>(
+          std::upper_bound(cumulative_weight_.begin(),
+                           cumulative_weight_.end(), u) -
+          cumulative_weight_.begin());
+      tenant = std::min(tenant, samplers_.size() - 1);
+    }
+    out.queries.push_back(generator_->SampleQuery(
+        rng, phase_.mix, samplers_[tenant], churn, progress, window));
+    tenants.push_back(static_cast<uint16_t>(tenant));
+  }
+}
+
+ScenarioEngine::ScenarioEngine(const catalog::Catalog* catalog,
+                               const ScenarioSpec& spec)
+    : catalog_(catalog), spec_(spec), generator_(catalog, spec.BaseOptions()) {
+  BYC_CHECK(!spec_.phases.empty());
+  generator_.EnsureTemplates();
+}
+
+ScenarioTrace ScenarioEngine::Generate() {
+  uint64_t total = spec_.total_queries();
+  ScenarioTrace result;
+  result.trace.name = catalog_->name();
+  result.trace.queries.reserve(total);
+  result.tenant_of_query.reserve(total);
+  result.phase_offsets.push_back(0);
+
+  // One Rng across every phase: the scenario, not the phase, is the unit
+  // of determinism.
+  Rng rng(spec_.seed);
+  uint64_t start = 0;
+  for (const PhaseSpec& phase : spec_.phases) {
+    MixPhaseGenerator generator(&generator_, phase, start, total);
+    generator.Generate(rng, result.trace, result.tenant_of_query);
+    start += phase.queries;
+    result.phase_offsets.push_back(result.trace.queries.size());
+  }
+  BYC_CHECK_EQ(result.trace.queries.size(), total);
+
+  generator_.CalibrateTo(result.trace, spec_.target_bytes);
+  return result;
+}
+
+double ScenarioEngine::VisibleFractionAt(uint64_t global_index) const {
+  uint64_t start = 0;
+  for (const PhaseSpec& phase : spec_.phases) {
+    if (global_index < start + phase.queries) {
+      double progress = static_cast<double>(global_index - start + 1) /
+                        static_cast<double>(phase.queries);
+      return phase.visible_lo +
+             (phase.visible_hi - phase.visible_lo) * progress;
+    }
+    start += phase.queries;
+  }
+  return spec_.phases.back().visible_hi;
+}
+
+}  // namespace byc::scenario

@@ -1,0 +1,111 @@
+#ifndef BYC_SCENARIO_ENGINE_H_
+#define BYC_SCENARIO_ENGINE_H_
+
+// Turns a validated ScenarioSpec into one seed-deterministic Trace. The
+// engine owns a single Rng seeded with the scenario seed and threads it
+// through every phase in order, so the whole trace — not each phase in
+// isolation — is a pure function of (catalog, spec). A one-phase
+// scenario whose knobs match a GeneratorOptions preset reproduces the
+// legacy TraceGenerator::Generate() trace byte-for-byte: same Rng, same
+// draw sequence, same calibration pass.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "scenario/spec.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace byc::scenario {
+
+/// A generated scenario trace plus the phase/tenant structure the flat
+/// query list came from — enough for the bench layer to weight phases
+/// by load and for tests to assert per-phase properties.
+struct ScenarioTrace {
+  workload::Trace trace;
+  /// phases.size() + 1 offsets; phase i covers queries
+  /// [phase_offsets[i], phase_offsets[i + 1]).
+  std::vector<size_t> phase_offsets;
+  /// Per-query tenant index inside its phase (0 when the phase has no
+  /// explicit tenants).
+  std::vector<uint16_t> tenant_of_query;
+
+  size_t num_phases() const {
+    return phase_offsets.empty() ? 0 : phase_offsets.size() - 1;
+  }
+};
+
+/// Emits one phase's queries into the shared trace. The engine hands
+/// every generator the same Rng in phase order; implementations draw all
+/// randomness from it so the cross-phase stream stays deterministic.
+class PhaseGenerator {
+ public:
+  virtual ~PhaseGenerator() = default;
+
+  virtual const PhaseSpec& phase() const = 0;
+
+  /// Appends phase().queries queries (and one tenant id each) to `out`.
+  virtual void Generate(Rng& rng, workload::Trace& out,
+                        std::vector<uint16_t>& tenants) = 0;
+};
+
+/// The standard phase generator: class-mix query sampling through a
+/// per-tenant RankSampler, with visibility interpolation (growing
+/// repository), region pinning (flash crowd), and hotspot drift driven
+/// by phase progress.
+class MixPhaseGenerator : public PhaseGenerator {
+ public:
+  /// `global_start` is the phase's first global query index and
+  /// `total_queries` the scenario total; together they place each query
+  /// in the scenario-wide template-churn epoch timeline.
+  MixPhaseGenerator(workload::TraceGenerator* generator,
+                    const PhaseSpec& phase, uint64_t global_start,
+                    uint64_t total_queries);
+
+  const PhaseSpec& phase() const override { return phase_; }
+
+  void Generate(Rng& rng, workload::Trace& out,
+                std::vector<uint16_t>& tenants) override;
+
+ private:
+  workload::TraceGenerator* generator_;
+  PhaseSpec phase_;
+  uint64_t global_start_;
+  uint64_t total_queries_;
+  /// One sampler per tenant; a single implicit sampler when the phase
+  /// declares none.
+  std::vector<workload::RankSampler> samplers_;
+  std::vector<double> cumulative_weight_;
+};
+
+/// Drives the phase generators over a shared TraceGenerator and
+/// calibrates the assembled trace to the scenario target.
+class ScenarioEngine {
+ public:
+  /// The spec must be valid (ValidateScenarioSpec). The EDR/DR1 flag in
+  /// the spec must match the catalog the caller resolved.
+  ScenarioEngine(const catalog::Catalog* catalog, const ScenarioSpec& spec);
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// Generates the whole scenario trace. Deterministic given
+  /// (catalog, spec); callable repeatedly, each call re-runs from the
+  /// scenario seed.
+  ScenarioTrace Generate();
+
+  /// The visible-universe fraction in effect at a global query index
+  /// (for tests asserting growing-repository monotonicity).
+  double VisibleFractionAt(uint64_t global_index) const;
+
+ private:
+  const catalog::Catalog* catalog_;
+  ScenarioSpec spec_;
+  workload::TraceGenerator generator_;
+};
+
+}  // namespace byc::scenario
+
+#endif  // BYC_SCENARIO_ENGINE_H_

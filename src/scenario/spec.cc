@@ -1,0 +1,561 @@
+#include "scenario/spec.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace byc::scenario {
+
+namespace {
+
+// %.17g prints a double with enough digits that strtod reproduces the
+// exact bit pattern — required so a parsed scenario replays
+// bit-identically to the original (the repo's determinism contract).
+void AppendDouble(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%.17g", key, value);
+  out += buf;
+}
+
+void AppendU64(std::string& out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, key, value);
+  out += buf;
+}
+
+Result<uint64_t> ParseU64Value(std::string_view key, std::string_view text) {
+  std::string owned(text);
+  if (owned.empty() || owned[0] == '-' || owned[0] == '+') {
+    return Status::InvalidArgument("ScenarioSpec: bad " + std::string(key) +
+                                   " value '" + owned + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  uint64_t value = std::strtoull(owned.c_str(), &end, 10);
+  if (errno != 0 || end != owned.c_str() + owned.size()) {
+    return Status::InvalidArgument("ScenarioSpec: bad " + std::string(key) +
+                                   " value '" + owned + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDoubleValue(std::string_view key, std::string_view text) {
+  std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(owned.c_str(), &end);
+  if (owned.empty() || errno != 0 || end != owned.c_str() + owned.size()) {
+    return Status::InvalidArgument("ScenarioSpec: bad " + std::string(key) +
+                                   " value '" + owned + "'");
+  }
+  return value;
+}
+
+void AppendMix(std::string& out, const workload::ClassMix& mix) {
+  AppendDouble(out, "p_range", mix.p_range);
+  AppendDouble(out, "p_spatial", mix.p_spatial);
+  AppendDouble(out, "p_identity", mix.p_identity);
+  AppendDouble(out, "p_aggregate", mix.p_aggregate);
+  AppendDouble(out, "p_join", mix.p_join);
+}
+
+void AppendDist(std::string& out, const workload::DistributionSpec& dist) {
+  out += " dist=";
+  out += workload::DistKindName(dist.kind);
+  AppendDouble(out, "theta", dist.theta);
+  AppendDouble(out, "hot_fraction", dist.hot_fraction);
+  AppendDouble(out, "hot_ranks", dist.hot_ranks);
+  AppendDouble(out, "drift", dist.drift);
+}
+
+/// Consumes a mix key if `key` is one; reports via `handled`.
+Status TryMixKey(workload::ClassMix& mix, std::string_view key,
+                 std::string_view value, bool& handled) {
+  handled = true;
+  double* field = nullptr;
+  if (key == "p_range") {
+    field = &mix.p_range;
+  } else if (key == "p_spatial") {
+    field = &mix.p_spatial;
+  } else if (key == "p_identity") {
+    field = &mix.p_identity;
+  } else if (key == "p_aggregate") {
+    field = &mix.p_aggregate;
+  } else if (key == "p_join") {
+    field = &mix.p_join;
+  } else {
+    handled = false;
+    return Status::OK();
+  }
+  BYC_ASSIGN_OR_RETURN(*field, ParseDoubleValue(key, value));
+  return Status::OK();
+}
+
+/// Consumes a distribution key if `key` is one; reports via `handled`.
+Status TryDistKey(workload::DistributionSpec& dist, std::string_view key,
+                  std::string_view value, bool& handled) {
+  handled = true;
+  if (key == "dist") {
+    std::optional<workload::DistKind> kind = workload::ParseDistKind(value);
+    if (!kind) {
+      return Status::InvalidArgument("ScenarioSpec: unknown dist '" +
+                                     std::string(value) + "'");
+    }
+    dist.kind = *kind;
+    return Status::OK();
+  }
+  double* field = nullptr;
+  if (key == "theta") {
+    field = &dist.theta;
+  } else if (key == "hot_fraction") {
+    field = &dist.hot_fraction;
+  } else if (key == "hot_ranks") {
+    field = &dist.hot_ranks;
+  } else if (key == "drift") {
+    field = &dist.drift;
+  } else {
+    handled = false;
+    return Status::OK();
+  }
+  BYC_ASSIGN_OR_RETURN(*field, ParseDoubleValue(key, value));
+  return Status::OK();
+}
+
+struct Pair {
+  std::string_view key;
+  std::string_view value;
+};
+
+Result<std::vector<Pair>> SplitPairs(std::string_view line,
+                                     std::string_view record) {
+  std::vector<Pair> pairs;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) break;
+    size_t end = line.find(' ', pos);
+    if (end == std::string_view::npos) end = line.size();
+    std::string_view pair = line.substr(pos, end - pos);
+    pos = end;
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("ScenarioSpec: malformed " +
+                                     std::string(record) + " pair '" +
+                                     std::string(pair) + "'");
+    }
+    pairs.push_back({pair.substr(0, eq), pair.substr(eq + 1)});
+  }
+  return pairs;
+}
+
+Status CheckName(std::string_view what, std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("ScenarioSpec: empty " + std::string(what) +
+                                   " name");
+  }
+  for (char c : name) {
+    if (c == ' ' || c == '=' || c == '#' || c == '\n' || c == '\t') {
+      return Status::InvalidArgument("ScenarioSpec: invalid " +
+                                     std::string(what) + " name '" +
+                                     std::string(name) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckFraction(std::string_view key, double v) {
+  if (!(v >= 0.0 && v <= 1.0)) {
+    return Status::InvalidArgument("ScenarioSpec: " + std::string(key) +
+                                   " must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status CheckMix(std::string_view where, const workload::ClassMix& mix) {
+  for (double p : {mix.p_range, mix.p_spatial, mix.p_identity,
+                   mix.p_aggregate, mix.p_join}) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("ScenarioSpec: " + std::string(where) +
+                                     " class probabilities must be in [0, 1]");
+    }
+  }
+  if (!(mix.hot_mass() <= 1.0 + 1e-9)) {
+    return Status::InvalidArgument("ScenarioSpec: " + std::string(where) +
+                                   " class probabilities sum past 1");
+  }
+  return Status::OK();
+}
+
+Status CheckDist(std::string_view where,
+                 const workload::DistributionSpec& dist) {
+  if (!(dist.theta >= 0.0)) {
+    return Status::InvalidArgument("ScenarioSpec: " + std::string(where) +
+                                   " theta must be >= 0");
+  }
+  if (!(dist.hot_fraction >= 0.0 && dist.hot_fraction <= 1.0) ||
+      !(dist.hot_ranks >= 0.0 && dist.hot_ranks <= 1.0)) {
+    return Status::InvalidArgument("ScenarioSpec: " + std::string(where) +
+                                   " hot_fraction/hot_ranks must be in [0, 1]");
+  }
+  if (!(dist.drift >= 0.0)) {
+    return Status::InvalidArgument("ScenarioSpec: " + std::string(where) +
+                                   " drift must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status ParseScenarioLine(ScenarioSpec& spec, std::string_view line) {
+  BYC_ASSIGN_OR_RETURN(std::vector<Pair> pairs, SplitPairs(line, "scenario"));
+  for (const Pair& p : pairs) {
+    bool handled = false;
+    Status st = TryMixKey(spec.default_mix, p.key, p.value, handled);
+    if (!st.ok()) return st;
+    if (handled) continue;
+    st = TryDistKey(spec.default_dist, p.key, p.value, handled);
+    if (!st.ok()) return st;
+    if (handled) continue;
+    if (p.key == "name") {
+      spec.name = std::string(p.value);
+    } else if (p.key == "catalog") {
+      if (p.value == "EDR") {
+        spec.dr1 = false;
+      } else if (p.value == "DR1") {
+        spec.dr1 = true;
+      } else {
+        return Status::InvalidArgument("ScenarioSpec: unknown catalog '" +
+                                       std::string(p.value) + "'");
+      }
+    } else if (p.key == "seed") {
+      BYC_ASSIGN_OR_RETURN(spec.seed, ParseU64Value(p.key, p.value));
+    } else if (p.key == "target_bytes") {
+      BYC_ASSIGN_OR_RETURN(spec.target_bytes, ParseDoubleValue(p.key, p.value));
+    } else if (p.key == "templates") {
+      BYC_ASSIGN_OR_RETURN(spec.templates_per_class,
+                           ParseU64Value(p.key, p.value));
+    } else if (p.key == "hot_columns") {
+      BYC_ASSIGN_OR_RETURN(spec.hot_columns, ParseU64Value(p.key, p.value));
+    } else if (p.key == "churn_phases") {
+      BYC_ASSIGN_OR_RETURN(spec.churn_phases, ParseU64Value(p.key, p.value));
+    } else if (p.key == "churn") {
+      BYC_ASSIGN_OR_RETURN(spec.churn, ParseDoubleValue(p.key, p.value));
+    } else if (p.key == "sigma") {
+      BYC_ASSIGN_OR_RETURN(spec.sigma, ParseDoubleValue(p.key, p.value));
+    } else if (p.key == "sky_cells") {
+      BYC_ASSIGN_OR_RETURN(spec.sky_cells, ParseU64Value(p.key, p.value));
+    } else {
+      return Status::InvalidArgument("ScenarioSpec: unknown scenario key '" +
+                                     std::string(p.key) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParsePhaseLine(const ScenarioSpec& spec, PhaseSpec& phase,
+                      std::string_view line) {
+  phase.mix = spec.default_mix;
+  phase.dist = spec.default_dist;
+  BYC_ASSIGN_OR_RETURN(std::vector<Pair> pairs, SplitPairs(line, "phase"));
+  for (const Pair& p : pairs) {
+    bool handled = false;
+    Status st = TryMixKey(phase.mix, p.key, p.value, handled);
+    if (!st.ok()) return st;
+    if (handled) continue;
+    st = TryDistKey(phase.dist, p.key, p.value, handled);
+    if (!st.ok()) return st;
+    if (handled) continue;
+    if (p.key == "name") {
+      phase.name = std::string(p.value);
+    } else if (p.key == "queries") {
+      BYC_ASSIGN_OR_RETURN(phase.queries, ParseU64Value(p.key, p.value));
+    } else if (p.key == "load") {
+      BYC_ASSIGN_OR_RETURN(phase.load_scale, ParseDoubleValue(p.key, p.value));
+    } else if (p.key == "region_boost") {
+      BYC_ASSIGN_OR_RETURN(phase.region_boost,
+                           ParseDoubleValue(p.key, p.value));
+    } else if (p.key == "region_lo") {
+      BYC_ASSIGN_OR_RETURN(phase.region_lo, ParseU64Value(p.key, p.value));
+    } else if (p.key == "region_span") {
+      BYC_ASSIGN_OR_RETURN(phase.region_span, ParseU64Value(p.key, p.value));
+    } else if (p.key == "visible_lo") {
+      BYC_ASSIGN_OR_RETURN(phase.visible_lo, ParseDoubleValue(p.key, p.value));
+    } else if (p.key == "visible_hi") {
+      BYC_ASSIGN_OR_RETURN(phase.visible_hi, ParseDoubleValue(p.key, p.value));
+    } else {
+      return Status::InvalidArgument("ScenarioSpec: unknown phase key '" +
+                                     std::string(p.key) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseTenantLine(const PhaseSpec& phase, TenantSpec& tenant,
+                       std::string_view line) {
+  tenant.dist = phase.dist;
+  BYC_ASSIGN_OR_RETURN(std::vector<Pair> pairs, SplitPairs(line, "tenant"));
+  for (const Pair& p : pairs) {
+    bool handled = false;
+    Status st = TryDistKey(tenant.dist, p.key, p.value, handled);
+    if (!st.ok()) return st;
+    if (handled) continue;
+    if (p.key == "name") {
+      tenant.name = std::string(p.value);
+    } else if (p.key == "weight") {
+      BYC_ASSIGN_OR_RETURN(tenant.weight, ParseDoubleValue(p.key, p.value));
+    } else {
+      return Status::InvalidArgument("ScenarioSpec: unknown tenant key '" +
+                                     std::string(p.key) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+workload::GeneratorOptions ScenarioSpec::BaseOptions() const {
+  workload::GeneratorOptions options;
+  options.seed = seed;
+  options.num_queries = total_queries();
+  options.target_sequence_cost = 0;  // the engine calibrates explicitly
+  options.mix = default_mix;
+  options.templates_per_class = static_cast<int>(templates_per_class);
+  options.template_dist = default_dist;
+  options.hot_columns_per_table = static_cast<int>(hot_columns);
+  options.num_phases = static_cast<int>(churn_phases);
+  options.phase_churn = churn;
+  options.selectivity_sigma = sigma;
+  options.num_sky_cells = static_cast<int64_t>(sky_cells);
+  return options;
+}
+
+std::string FormatScenarioSpec(const ScenarioSpec& spec) {
+  std::string out = "scenario name=" + spec.name;
+  out += " catalog=";
+  out += spec.dr1 ? "DR1" : "EDR";
+  AppendU64(out, "seed", spec.seed);
+  AppendDouble(out, "target_bytes", spec.target_bytes);
+  AppendU64(out, "templates", spec.templates_per_class);
+  AppendU64(out, "hot_columns", spec.hot_columns);
+  AppendU64(out, "churn_phases", spec.churn_phases);
+  AppendDouble(out, "churn", spec.churn);
+  AppendDouble(out, "sigma", spec.sigma);
+  AppendU64(out, "sky_cells", spec.sky_cells);
+  AppendMix(out, spec.default_mix);
+  AppendDist(out, spec.default_dist);
+  out += '\n';
+  for (const PhaseSpec& phase : spec.phases) {
+    out += "phase name=" + phase.name;
+    AppendU64(out, "queries", phase.queries);
+    AppendDouble(out, "load", phase.load_scale);
+    AppendMix(out, phase.mix);
+    AppendDist(out, phase.dist);
+    AppendDouble(out, "region_boost", phase.region_boost);
+    AppendU64(out, "region_lo", phase.region_lo);
+    AppendU64(out, "region_span", phase.region_span);
+    AppendDouble(out, "visible_lo", phase.visible_lo);
+    AppendDouble(out, "visible_hi", phase.visible_hi);
+    out += '\n';
+    for (const TenantSpec& tenant : phase.tenants) {
+      out += "tenant name=" + tenant.name;
+      AppendDouble(out, "weight", tenant.weight);
+      AppendDist(out, tenant.dist);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Result<ScenarioSpec> ParseScenarioSpec(std::string_view text) {
+  ScenarioSpec spec;
+  bool saw_scenario = false;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    size_t sp = line.find(' ');
+    std::string_view record = line.substr(0, sp);
+    std::string_view rest =
+        sp == std::string_view::npos ? std::string_view() : line.substr(sp);
+    if (record == "scenario") {
+      if (saw_scenario) {
+        return Status::InvalidArgument(
+            "ScenarioSpec: duplicate scenario record");
+      }
+      if (!spec.phases.empty()) {
+        return Status::InvalidArgument(
+            "ScenarioSpec: scenario record must precede phases");
+      }
+      saw_scenario = true;
+      Status st = ParseScenarioLine(spec, rest);
+      if (!st.ok()) return st;
+    } else if (record == "phase") {
+      if (!saw_scenario) {
+        return Status::InvalidArgument(
+            "ScenarioSpec: phase record before scenario record");
+      }
+      PhaseSpec phase;
+      Status st = ParsePhaseLine(spec, phase, rest);
+      if (!st.ok()) return st;
+      spec.phases.push_back(std::move(phase));
+    } else if (record == "tenant") {
+      if (spec.phases.empty()) {
+        return Status::InvalidArgument(
+            "ScenarioSpec: tenant record before any phase");
+      }
+      TenantSpec tenant;
+      Status st = ParseTenantLine(spec.phases.back(), tenant, rest);
+      if (!st.ok()) return st;
+      spec.phases.back().tenants.push_back(std::move(tenant));
+    } else {
+      return Status::InvalidArgument("ScenarioSpec: unknown record '" +
+                                     std::string(record) + "'");
+    }
+  }
+  if (!saw_scenario) {
+    return Status::InvalidArgument("ScenarioSpec: missing scenario record");
+  }
+  Status st = ValidateScenarioSpec(spec);
+  if (!st.ok()) return st;
+  return spec;
+}
+
+Result<ScenarioSpec> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("scenario file '" + path + "' not readable");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("scenario file '" + path + "' read failed");
+  }
+  return ParseScenarioSpec(buffer.str());
+}
+
+Status ValidateScenarioSpec(const ScenarioSpec& spec) {
+  Status st = CheckName("scenario", spec.name);
+  if (!st.ok()) return st;
+  if (spec.templates_per_class < 1 || spec.churn_phases < 1 ||
+      spec.hot_columns < 1 || spec.sky_cells < 1) {
+    return Status::InvalidArgument(
+        "ScenarioSpec: templates/hot_columns/churn_phases/sky_cells must be "
+        ">= 1");
+  }
+  st = CheckFraction("churn", spec.churn);
+  if (!st.ok()) return st;
+  if (!(spec.sigma >= 0.0)) {
+    return Status::InvalidArgument("ScenarioSpec: sigma must be >= 0");
+  }
+  if (!(spec.target_bytes >= 0.0)) {
+    return Status::InvalidArgument("ScenarioSpec: target_bytes must be >= 0");
+  }
+  st = CheckMix("scenario", spec.default_mix);
+  if (!st.ok()) return st;
+  st = CheckDist("scenario", spec.default_dist);
+  if (!st.ok()) return st;
+  if (spec.phases.empty()) {
+    return Status::InvalidArgument("ScenarioSpec: scenario has no phases");
+  }
+  double prev_hi = 0;
+  for (const PhaseSpec& phase : spec.phases) {
+    st = CheckName("phase", phase.name);
+    if (!st.ok()) return st;
+    if (phase.queries < 1) {
+      return Status::InvalidArgument("ScenarioSpec: phase '" + phase.name +
+                                     "' has zero queries");
+    }
+    if (!(phase.load_scale > 0.0)) {
+      return Status::InvalidArgument("ScenarioSpec: phase '" + phase.name +
+                                     "' load must be > 0");
+    }
+    st = CheckMix("phase", phase.mix);
+    if (!st.ok()) return st;
+    st = CheckDist("phase", phase.dist);
+    if (!st.ok()) return st;
+    st = CheckFraction("region_boost", phase.region_boost);
+    if (!st.ok()) return st;
+    if (phase.region_boost > 0.0) {
+      if (phase.region_span < 1 ||
+          phase.region_lo + phase.region_span > spec.sky_cells) {
+        return Status::InvalidArgument(
+            "ScenarioSpec: phase '" + phase.name +
+            "' pinned region must fit in [0, sky_cells)");
+      }
+    }
+    if (!(phase.visible_lo > 0.0 && phase.visible_lo <= 1.0) ||
+        !(phase.visible_hi > 0.0 && phase.visible_hi <= 1.0)) {
+      return Status::InvalidArgument("ScenarioSpec: phase '" + phase.name +
+                                     "' visibility must be in (0, 1]");
+    }
+    if (phase.visible_lo > phase.visible_hi ||
+        phase.visible_lo < prev_hi) {
+      // Objects only ever appear: the visible universe grows monotonically
+      // within a phase and across phase boundaries.
+      return Status::InvalidArgument("ScenarioSpec: phase '" + phase.name +
+                                     "' visibility must be non-decreasing");
+    }
+    prev_hi = phase.visible_hi;
+    if (phase.tenants.size() > 65'535) {
+      return Status::InvalidArgument("ScenarioSpec: phase '" + phase.name +
+                                     "' has too many tenants");
+    }
+    for (const TenantSpec& tenant : phase.tenants) {
+      st = CheckName("tenant", tenant.name);
+      if (!st.ok()) return st;
+      if (!(tenant.weight > 0.0)) {
+        return Status::InvalidArgument("ScenarioSpec: tenant '" + tenant.name +
+                                       "' weight must be > 0");
+      }
+      st = CheckDist("tenant", tenant.dist);
+      if (!st.ok()) return st;
+    }
+  }
+  return Status::OK();
+}
+
+ScenarioSpec ScaleScenarioQueries(ScenarioSpec spec, uint64_t total_queries) {
+  uint64_t old_total = spec.total_queries();
+  if (total_queries == 0 || old_total == 0 || old_total == total_queries) {
+    return spec;
+  }
+  BYC_CHECK_GE(total_queries, spec.phases.size());
+  uint64_t assigned = 0;
+  for (size_t i = 0; i + 1 < spec.phases.size(); ++i) {
+    PhaseSpec& phase = spec.phases[i];
+    uint64_t scaled = static_cast<uint64_t>(
+        static_cast<unsigned __int128>(phase.queries) * total_queries /
+        old_total);
+    scaled = std::max<uint64_t>(scaled, 1);
+    // Leave at least one query for every remaining phase.
+    uint64_t reserve = spec.phases.size() - i - 1;
+    scaled = std::min(scaled, total_queries - assigned - reserve);
+    phase.queries = scaled;
+    assigned += scaled;
+  }
+  spec.phases.back().queries = total_queries - assigned;
+  // Keep per-query cost density: the same arithmetic the legacy bench
+  // path (MakeRelease) uses to shrink a preset, so a scaled one-phase
+  // scenario stays bit-identical to the scaled legacy generator.
+  if (spec.target_bytes > 0) {
+    spec.target_bytes *= static_cast<double>(total_queries) /
+                         static_cast<double>(old_total);
+  }
+  return spec;
+}
+
+}  // namespace byc::scenario

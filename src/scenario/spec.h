@@ -1,0 +1,151 @@
+#ifndef BYC_SCENARIO_SPEC_H_
+#define BYC_SCENARIO_SPEC_H_
+
+// Declarative workload scenarios: a ScenarioSpec composes an ordered
+// list of phases — each with a duration (query count), a tenant mix,
+// and a rank distribution — into one replayable, seed-deterministic
+// workload. The text format follows the PolicyConfig discipline: one
+// record per line of space-separated key=value pairs, doubles printed
+// %.17g so ParseScenarioSpec(FormatScenarioSpec(s)) reproduces every
+// field bit-for-bit, and malformed or unknown keys are typed
+// InvalidArgument errors, never silent defaults.
+//
+// Grammar (see DESIGN.md §14 for the full key table):
+//
+//   scenario name=<id> catalog=EDR|DR1 seed=<u64> target_bytes=<f> ...
+//   phase    name=<id> queries=<u64> load=<f> p_range=<f> ... dist=<kind>
+//            theta=<f> ... region_boost=<f> region_lo=<u64>
+//            region_span=<u64> visible_lo=<f> visible_hi=<f>
+//   tenant   name=<id> weight=<f> dist=<kind> theta=<f> ...
+//
+// `phase` records run in file order; `tenant` records attach to the
+// most recent phase. Lines that are blank or start with '#' are
+// ignored on input (checked-in scenario files carry comment headers);
+// FormatScenarioSpec emits no comments, so the canonical form
+// round-trips byte-exactly.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/distribution.h"
+#include "workload/generator.h"
+
+namespace byc::scenario {
+
+/// One client population inside a phase. Tenants partition a phase's
+/// queries by weight; each tenant reuses templates through its own rank
+/// distribution (the interactive astronomer is Zipf-peaked, the survey
+/// robot hammers a drifting hotspot, the archive crawler is uniform).
+struct TenantSpec {
+  std::string name = "tenant";
+  double weight = 1.0;
+  workload::DistributionSpec dist;
+
+  bool operator==(const TenantSpec&) const = default;
+};
+
+/// One phase: `queries` consecutive queries drawn from a class mix, a
+/// rank distribution (or per-tenant distributions), an optional pinned
+/// sky region (flash crowd), and a visible-universe window (growing
+/// repository / release upgrade). All values are fully resolved —
+/// parsing applies scenario-level defaults, so a PhaseSpec never needs
+/// its parent to be interpreted.
+struct PhaseSpec {
+  std::string name = "phase";
+  uint64_t queries = 0;
+  /// Declared relative arrival rate of this phase (diurnal swings).
+  /// Replay is offered-load agnostic; the scenario matrix publishes
+  /// load-weighted qps per cell from this.
+  double load_scale = 1.0;
+  workload::ClassMix mix;
+  workload::DistributionSpec dist;
+  /// Flash crowd: this fraction of the phase's region queries is pinned
+  /// inside [region_lo, region_lo + region_span) sky cells.
+  double region_boost = 0;
+  uint64_t region_lo = 0;
+  uint64_t region_span = 0;
+  /// Growing repository: fraction of every table's rows (and of the sky
+  /// cell universe) that exists at phase start/end; linearly
+  /// interpolated inside the phase. Monotone within a phase and across
+  /// phase boundaries — objects only ever appear.
+  double visible_lo = 1.0;
+  double visible_hi = 1.0;
+  /// Tenant populations; empty means one implicit tenant using `dist`.
+  std::vector<TenantSpec> tenants;
+
+  bool operator==(const PhaseSpec&) const = default;
+};
+
+/// A whole scenario: the shared template-machinery knobs (the
+/// GeneratorOptions vocabulary) plus the ordered phases.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  /// Catalog the workload runs against ("EDR" or "DR1").
+  bool dr1 = false;
+  uint64_t seed = 20050405;
+  /// Whole-trace sequence-cost calibration target in bytes (0: off).
+  double target_bytes = 0;
+  /// Template machinery (see GeneratorOptions for semantics).
+  uint64_t templates_per_class = 12;
+  uint64_t hot_columns = 32;
+  uint64_t churn_phases = 8;
+  double churn = 0.35;
+  double sigma = 0.30;
+  uint64_t sky_cells = 262'144;
+  /// Scenario-level defaults a phase record inherits for any key it
+  /// omits (Format always writes the resolved per-phase values).
+  workload::ClassMix default_mix;
+  workload::DistributionSpec default_dist;
+  std::vector<PhaseSpec> phases;
+
+  uint64_t total_queries() const {
+    uint64_t total = 0;
+    for (const PhaseSpec& p : phases) total += p.queries;
+    return total;
+  }
+
+  /// The GeneratorOptions equivalent of the scenario's shared knobs
+  /// (target 0 — the engine calibrates the assembled trace itself).
+  workload::GeneratorOptions BaseOptions() const;
+
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+/// Serializes a spec in the canonical line format. Doubles are printed
+/// %.17g; ParseScenarioSpec(FormatScenarioSpec(s)) == s bit-for-bit.
+std::string FormatScenarioSpec(const ScenarioSpec& spec);
+
+/// Parses the FormatScenarioSpec format (plus '#' comments and blank
+/// lines). Malformed pairs, unknown record types or keys, out-of-range
+/// values, and structurally invalid scenarios (no phases, zero-length
+/// phase, non-monotone visibility, tenant weights <= 0, ...) are
+/// InvalidArgument.
+Result<ScenarioSpec> ParseScenarioSpec(std::string_view text);
+
+/// Reads and parses a scenario file (see ParseScenarioSpec).
+Result<ScenarioSpec> LoadScenarioFile(const std::string& path);
+
+/// Structural validation shared by ParseScenarioSpec and code-built
+/// specs (the builtins, tests, callers assembling specs directly).
+Status ValidateScenarioSpec(const ScenarioSpec& spec);
+
+/// Rescales every phase's query count proportionally so the scenario
+/// totals `total_queries` (each phase keeps >= 1 query; the last phase
+/// absorbs rounding), and rescales the calibration target with the
+/// exact arithmetic the legacy bench path uses. No-op when the total
+/// already matches or total_queries == 0.
+ScenarioSpec ScaleScenarioQueries(ScenarioSpec spec, uint64_t total_queries);
+
+/// The six standing regression scenarios, by name: "steady", "diurnal",
+/// "flashcrowd", "release_upgrade", "growing_repo", "multi_tenant".
+/// Unknown names are NotFound. The checked-in files under
+/// examples/scenarios/ carry exactly these specs.
+Result<ScenarioSpec> BuiltinScenario(std::string_view name);
+const std::vector<std::string>& BuiltinScenarioNames();
+
+}  // namespace byc::scenario
+
+#endif  // BYC_SCENARIO_SPEC_H_

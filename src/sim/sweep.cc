@@ -75,4 +75,44 @@ std::vector<SweepOutcome> SweepRunner::Run(
   return outcomes;
 }
 
+std::vector<std::vector<SweepOutcome>> SweepRunner::RunMatrix(
+    const std::vector<ScenarioCase>& scenarios) const {
+  BYC_CHECK(options_.sim.tracer == nullptr);
+  telemetry::ScopedSpan span(options_.sim.metrics, "sweep-matrix");
+  std::vector<std::vector<SweepOutcome>> outcomes(scenarios.size());
+  size_t total = 0;
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    BYC_CHECK(scenarios[s].trace != nullptr);
+    outcomes[s].resize(scenarios[s].configs.size());
+    total += scenarios[s].configs.size();
+  }
+
+  unsigned threads = options_.threads;
+  if (threads == 0) threads = ThreadPool::DefaultThreadCount();
+  if (threads <= 1 || total <= 1) {
+    for (size_t s = 0; s < scenarios.size(); ++s) {
+      for (size_t c = 0; c < scenarios[s].configs.size(); ++c) {
+        outcomes[s][c] = RunOneConfig(*scenarios[s].trace,
+                                      scenarios[s].configs[c], options_);
+      }
+    }
+    return outcomes;
+  }
+
+  // Flatten the scenario x config product into one task list: every cell
+  // is independent (fresh policy, read-only trace), so the pool stays
+  // saturated even when one scenario has fewer configs than workers.
+  ThreadPool pool(threads);
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    for (size_t c = 0; c < scenarios[s].configs.size(); ++c) {
+      pool.Submit([&scenarios, &outcomes, s, c, this] {
+        outcomes[s][c] = RunOneConfig(*scenarios[s].trace,
+                                      scenarios[s].configs[c], options_);
+      });
+    }
+  }
+  pool.Wait();
+  return outcomes;
+}
+
 }  // namespace byc::sim

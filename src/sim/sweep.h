@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/policy_factory.h"
@@ -61,11 +62,32 @@ class SweepRunner {
   SweepRunner() : SweepRunner(Options{}) {}
   explicit SweepRunner(const Options& options) : options_(options) {}
 
+  /// One row of a scenario x policy x capacity matrix: a named,
+  /// already-decomposed workload plus the policy/capacity configs to
+  /// replay against it. Configs are per-row because some of them derive
+  /// from the trace itself (the StaticCache contents are selected from
+  /// the row's access stream). The trace is borrowed, not owned, and
+  /// must outlive the RunMatrix call; rows may share a trace.
+  struct ScenarioCase {
+    std::string name;
+    const DecomposedTrace* trace = nullptr;
+    std::vector<core::PolicyConfig> configs;
+  };
+
   /// Replays `trace` through a fresh policy per config, in parallel.
   /// outcome[i] corresponds to configs[i].
   std::vector<SweepOutcome> Run(
       const DecomposedTrace& trace,
       const std::vector<core::PolicyConfig>& configs) const;
+
+  /// The scenario axis: replays every row's configs against that row's
+  /// trace. outcome[s][c] corresponds to scenarios[s].configs[c]. The
+  /// whole scenario x config product is fanned over one pool, so a
+  /// matrix saturates the workers even when a single scenario has fewer
+  /// configs than threads; determinism matches Run (slot-per-task,
+  /// submission-ordered collection, bit-identical at any thread count).
+  std::vector<std::vector<SweepOutcome>> RunMatrix(
+      const std::vector<ScenarioCase>& scenarios) const;
 
  private:
   Options options_;

@@ -1,0 +1,96 @@
+#include "workload/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace byc::workload {
+
+std::string_view DistKindName(DistKind kind) {
+  switch (kind) {
+    case DistKind::kZipf:
+      return "zipf";
+    case DistKind::kUniform:
+      return "uniform";
+    case DistKind::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+std::optional<DistKind> ParseDistKind(std::string_view name) {
+  static constexpr DistKind kAll[] = {DistKind::kZipf, DistKind::kUniform,
+                                      DistKind::kHotspot};
+  for (DistKind kind : kAll) {
+    if (name == DistKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+RankSampler::RankSampler(size_t n, const DistributionSpec& spec)
+    : n_(n), spec_(spec) {
+  BYC_CHECK_GE(n, 1u);
+  BYC_CHECK_GE(spec.theta, 0.0);
+  BYC_CHECK(spec.hot_fraction >= 0.0 && spec.hot_fraction <= 1.0);
+  BYC_CHECK(spec.hot_ranks >= 0.0 && spec.hot_ranks <= 1.0);
+  BYC_CHECK_GE(spec.drift, 0.0);
+  switch (spec_.kind) {
+    case DistKind::kZipf:
+      zipf_.emplace(n_, spec_.theta);
+      break;
+    case DistKind::kUniform:
+      break;
+    case DistKind::kHotspot:
+      hot_count_ = std::clamp<size_t>(
+          static_cast<size_t>(std::ceil(spec_.hot_ranks *
+                                        static_cast<double>(n_))),
+          1, n_);
+      break;
+  }
+}
+
+size_t RankSampler::Sample(Rng& rng, double progress) const {
+  double u = rng.NextDouble();
+  switch (spec_.kind) {
+    case DistKind::kZipf:
+      // Same cdf search ZipfSampler::Sample runs on the same u, so a
+      // kZipf RankSampler is byte-identical to the legacy ZipfSampler.
+      return zipf_->RankOf(u);
+    case DistKind::kUniform: {
+      size_t rank = static_cast<size_t>(u * static_cast<double>(n_));
+      return std::min(rank, n_ - 1);
+    }
+    case DistKind::kHotspot: {
+      size_t start = 0;
+      if (spec_.drift > 0) {
+        double p = std::clamp(progress, 0.0, 1.0);
+        start = static_cast<size_t>(spec_.drift * p) % n_;
+      }
+      size_t cold = n_ - hot_count_;
+      bool hot;
+      double v;
+      if (cold == 0 || u < spec_.hot_fraction) {
+        hot = true;
+        v = spec_.hot_fraction > 0 ? u / spec_.hot_fraction : u;
+      } else {
+        hot = false;
+        v = (u - spec_.hot_fraction) / (1.0 - spec_.hot_fraction);
+      }
+      v = std::clamp(v, 0.0, 1.0);
+      if (hot) {
+        size_t idx = std::min(
+            static_cast<size_t>(v * static_cast<double>(hot_count_)),
+            hot_count_ - 1);
+        return (start + idx) % n_;
+      }
+      size_t idx = std::min(
+          static_cast<size_t>(v * static_cast<double>(cold)), cold - 1);
+      return (start + hot_count_ + idx) % n_;
+    }
+  }
+  BYC_CHECK(false);
+  return 0;
+}
+
+}  // namespace byc::workload

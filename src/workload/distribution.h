@@ -1,0 +1,73 @@
+#ifndef BYC_WORKLOAD_DISTRIBUTION_H_
+#define BYC_WORKLOAD_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace byc::workload {
+
+/// Shape of a rank-selection distribution. Every place the workload
+/// layer picks "which template / which tenant / which hot object" draws
+/// ranks through one of these kinds, so a scenario phase and the legacy
+/// single-phase generator share the same sampling vocabulary.
+enum class DistKind : uint8_t {
+  kZipf,     // Zipf(theta) over ranks, rank 0 most popular
+  kUniform,  // uniform over all ranks
+  kHotspot,  // hot_fraction of the mass on a (possibly drifting) window
+};
+
+std::string_view DistKindName(DistKind kind);
+
+/// Inverse of DistKindName (exact match); nullopt for unknown names.
+std::optional<DistKind> ParseDistKind(std::string_view name);
+
+/// One rank distribution as a value type: the kind plus every tuning
+/// knob any kind uses. Unused knobs keep their defaults so the
+/// key=value serialization (scenario specs) round-trips bit-exactly.
+struct DistributionSpec {
+  DistKind kind = DistKind::kZipf;
+  /// Zipf skew (kZipf). theta == 0 degenerates to uniform.
+  double theta = 1.1;
+  /// kHotspot: probability mass landing on the hot rank window.
+  double hot_fraction = 0.9;
+  /// kHotspot: fraction of all ranks inside the hot window (>= 1 rank).
+  double hot_ranks = 0.1;
+  /// kHotspot: ranks the hot window's start advances per unit of phase
+  /// progress (0: stationary hotspot; n: one full lap per phase).
+  double drift = 0;
+
+  bool operator==(const DistributionSpec&) const = default;
+};
+
+/// Samples ranks in [0, n) from a DistributionSpec. Every Sample()
+/// consumes exactly one Rng draw (one NextDouble), regardless of kind —
+/// the single-draw discipline keeps a generated stream's Rng
+/// consumption independent of which distribution a phase picked, and
+/// the kZipf path is byte-identical to the pre-existing ZipfSampler the
+/// legacy generator used.
+class RankSampler {
+ public:
+  /// Precondition: n >= 1 and every spec knob in range (theta >= 0,
+  /// fractions in [0, 1]).
+  RankSampler(size_t n, const DistributionSpec& spec);
+
+  /// Draws a rank in [0, n). `progress` in [0, 1] is the position
+  /// within the current phase; only kHotspot's drift consumes it.
+  size_t Sample(Rng& rng, double progress = 0) const;
+
+  size_t n() const { return n_; }
+  const DistributionSpec& spec() const { return spec_; }
+
+ private:
+  size_t n_;
+  DistributionSpec spec_;
+  std::optional<ZipfSampler> zipf_;  // kZipf only
+  size_t hot_count_ = 0;             // kHotspot window width in ranks
+};
+
+}  // namespace byc::workload
+
+#endif  // BYC_WORKLOAD_DISTRIBUTION_H_

@@ -24,14 +24,14 @@ GeneratorOptions MakeDr1Options() {
   options.target_sequence_cost = 1980.4 * kGB;
   // DR1's published breakdown shows much higher bypass costs: a more
   // dispersed workload with a heavier cold tail and stronger drift.
-  options.p_range = 0.49;
-  options.p_spatial = 0.09;
-  options.p_identity = 0.14;
-  options.p_aggregate = 0.11;
-  options.p_join = 0.12;  // remainder (5%) is cold-tail
+  options.mix.p_range = 0.49;
+  options.mix.p_spatial = 0.09;
+  options.mix.p_identity = 0.14;
+  options.mix.p_aggregate = 0.11;
+  options.mix.p_join = 0.12;  // remainder (5%) is cold-tail
   options.phase_churn = 0.55;
   options.num_phases = 10;
-  options.template_zipf_theta = 0.9;
+  options.template_dist.theta = 0.9;
   return options;
 }
 
@@ -292,6 +292,10 @@ TraceGenerator::Template TraceGenerator::MakeColdTemplate(Rng& rng) {
   return tmpl;
 }
 
+void TraceGenerator::EnsureTemplates() {
+  if (hot_templates_.empty()) BuildTemplates();
+}
+
 void TraceGenerator::BuildTemplates() {
   Rng rng(options_.seed ^ 0x7E3A17E5ULL);
   class_index_.assign(kNumClasses, {});
@@ -344,7 +348,8 @@ void TraceGenerator::BuildTemplates() {
   }
 }
 
-TraceQuery TraceGenerator::Instantiate(const Template& tmpl, Rng& rng) {
+TraceQuery TraceGenerator::Instantiate(const Template& tmpl, Rng& rng,
+                                       const SampleWindow& window) {
   TraceQuery tq;
   tq.klass = tmpl.klass;
   tq.query = tmpl.skeleton;
@@ -354,10 +359,19 @@ TraceQuery TraceGenerator::Instantiate(const Template& tmpl, Rng& rng) {
     bool identity_key =
         f.op == query::CmpOp::kEq && f.column.column == 0;
     if (identity_key) {
-      // Fresh identifier: same schema, different data.
+      // Fresh identifier: same schema, different data. In a growing
+      // repository only the visible row prefix exists yet; the legacy
+      // window (visible_fraction == 1) draws over the whole table with
+      // the identical NextInt64 call.
       int table = tq.query.tables[static_cast<size_t>(f.column.table_slot)];
       uint64_t rows = catalog_->table(table).row_count();
-      int64_t id = rng.NextInt64(0, static_cast<int64_t>(rows) - 1);
+      int64_t visible = static_cast<int64_t>(rows);
+      if (window.visible_fraction < 1.0) {
+        visible = std::max<int64_t>(
+            1, static_cast<int64_t>(static_cast<double>(rows) *
+                                    window.visible_fraction));
+      }
+      int64_t id = rng.NextInt64(0, visible - 1);
       f.value = static_cast<double>(id);
       tq.cells.push_back(id);
       continue;
@@ -370,63 +384,89 @@ TraceQuery TraceGenerator::Instantiate(const Template& tmpl, Rng& rng) {
 
   // Region footprint for the containment analysis: a contiguous run of
   // sky cells anchored uniformly, spanning wider for less selective
-  // queries.
+  // queries. A flash-crowd window pins a pin_fraction of anchors inside
+  // its hot region; a growing repository shrinks the anchor universe to
+  // the visible prefix.
   if (tmpl.klass == QueryClass::kRange ||
       tmpl.klass == QueryClass::kSpatial) {
     int64_t span = std::clamp<int64_t>(
         static_cast<int64_t>(std::sqrt(combined_sel) * 64.0), 1, 64);
-    int64_t anchor = rng.NextInt64(0, options_.num_sky_cells - span);
+    int64_t anchor;
+    if (window.pin_fraction > 0 && rng.NextBool(window.pin_fraction)) {
+      int64_t lo = std::clamp<int64_t>(window.region_lo, 0,
+                                       options_.num_sky_cells - 1);
+      int64_t hi = std::clamp<int64_t>(lo + window.region_span,
+                                       lo + 1, options_.num_sky_cells);
+      span = std::min(span, hi - lo);
+      anchor = lo + rng.NextInt64(0, (hi - lo) - span);
+    } else {
+      int64_t cells = options_.num_sky_cells;
+      if (window.visible_fraction < 1.0) {
+        cells = std::clamp<int64_t>(
+            static_cast<int64_t>(static_cast<double>(cells) *
+                                 window.visible_fraction),
+            span, cells);
+      }
+      anchor = rng.NextInt64(0, cells - span);
+    }
     for (int64_t c = 0; c < span; ++c) tq.cells.push_back(anchor + c);
   }
   return tq;
 }
 
+TraceQuery TraceGenerator::SampleQuery(Rng& rng, const ClassMix& mix,
+                                       const RankSampler& rank,
+                                       size_t churn_phase, double progress,
+                                       const SampleWindow& window) {
+  BYC_CHECK(!phase_class_rank_.empty());  // EnsureTemplates() first
+  churn_phase = std::min(churn_phase, phase_class_rank_.size() - 1);
+  double p_hot = mix.hot_mass();
+  BYC_CHECK_LE(p_hot, 1.0 + 1e-9);
+
+  double r = rng.NextDouble();
+  const Template* tmpl;
+  if (r >= p_hot) {
+    tmpl = &cold_templates_[rng.NextUint64(cold_templates_.size())];
+  } else {
+    int klass;
+    if (r < mix.p_range) {
+      klass = ClassOf(QueryClass::kRange);
+    } else if (r < mix.p_range + mix.p_spatial) {
+      klass = ClassOf(QueryClass::kSpatial);
+    } else if (r < mix.p_range + mix.p_spatial + mix.p_identity) {
+      klass = ClassOf(QueryClass::kIdentity);
+    } else if (r < p_hot - mix.p_join) {
+      klass = ClassOf(QueryClass::kAggregate);
+    } else {
+      klass = ClassOf(QueryClass::kJoin);
+    }
+    const auto& order =
+        phase_class_rank_[churn_phase][static_cast<size_t>(klass)];
+    size_t pick = std::min(rank.Sample(rng, progress), order.size() - 1);
+    tmpl = &hot_templates_[static_cast<size_t>(order[pick])];
+  }
+  return Instantiate(*tmpl, rng, window);
+}
+
 Trace TraceGenerator::Generate() {
-  if (hot_templates_.empty()) BuildTemplates();
+  EnsureTemplates();
 
   Rng rng(options_.seed);
   Trace trace;
   trace.name = catalog_->name();
   trace.queries.reserve(options_.num_queries);
 
-  double p_hot = options_.p_range + options_.p_spatial +
-                 options_.p_identity + options_.p_aggregate + options_.p_join;
-  BYC_CHECK_LE(p_hot, 1.0 + 1e-9);
-  ZipfSampler template_zipf(
-      static_cast<size_t>(options_.templates_per_class),
-      options_.template_zipf_theta);
-
+  RankSampler rank(static_cast<size_t>(options_.templates_per_class),
+                   options_.template_dist);
+  const SampleWindow window;  // unconstrained
   for (size_t i = 0; i < options_.num_queries; ++i) {
     size_t phase =
         i * static_cast<size_t>(options_.num_phases) / options_.num_queries;
-    phase = std::min(phase, phase_class_rank_.size() - 1);
-
-    double r = rng.NextDouble();
-    const Template* tmpl;
-    if (r >= p_hot) {
-      tmpl = &cold_templates_[rng.NextUint64(cold_templates_.size())];
-    } else {
-      int klass;
-      if (r < options_.p_range) {
-        klass = ClassOf(QueryClass::kRange);
-      } else if (r < options_.p_range + options_.p_spatial) {
-        klass = ClassOf(QueryClass::kSpatial);
-      } else if (r < options_.p_range + options_.p_spatial +
-                         options_.p_identity) {
-        klass = ClassOf(QueryClass::kIdentity);
-      } else if (r < p_hot - options_.p_join) {
-        klass = ClassOf(QueryClass::kAggregate);
-      } else {
-        klass = ClassOf(QueryClass::kJoin);
-      }
-      const auto& order = phase_class_rank_[phase][static_cast<size_t>(klass)];
-      size_t rank = std::min(template_zipf.Sample(rng), order.size() - 1);
-      tmpl = &hot_templates_[static_cast<size_t>(order[rank])];
-    }
-    trace.queries.push_back(Instantiate(*tmpl, rng));
+    trace.queries.push_back(
+        SampleQuery(rng, options_.mix, rank, phase, 0, window));
   }
 
-  if (options_.target_sequence_cost > 0) Calibrate(trace);
+  CalibrateTo(trace, options_.target_sequence_cost);
   return trace;
 }
 
@@ -440,7 +480,8 @@ double TraceGenerator::SequenceCost(const Trace& trace) const {
   return total;
 }
 
-void TraceGenerator::Calibrate(Trace& trace) {
+void TraceGenerator::CalibrateTo(Trace& trace, double target_bytes) const {
+  if (target_bytes <= 0) return;
   // Rescale non-identity filter selectivities so the sequence cost lands
   // on the published target. Each query's yield is ~linear in a uniform
   // rescaling of its filters' product, so a few multiplicative iterations
@@ -448,7 +489,7 @@ void TraceGenerator::Calibrate(Trace& trace) {
   // the remaining headroom.
   for (int iter = 0; iter < 6; ++iter) {
     double actual = SequenceCost(trace);
-    double alpha = options_.target_sequence_cost / actual;
+    double alpha = target_bytes / actual;
     if (std::abs(alpha - 1.0) < 0.01) return;
     for (TraceQuery& tq : trace.queries) {
       int scalable = 0;

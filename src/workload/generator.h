@@ -6,9 +6,48 @@
 
 #include "catalog/catalog.h"
 #include "common/random.h"
+#include "workload/distribution.h"
 #include "workload/trace.h"
 
 namespace byc::workload {
+
+/// Query-class mix of a workload slice. Must sum to <= 1; the remainder
+/// becomes cold-tail queries against the large rarely-used tables
+/// (PhotoProfile, Neighbors, cross-match tables) — the accesses an
+/// altruistic cache must bypass and an in-line cache fatally loads.
+struct ClassMix {
+  double p_range = 0.52;
+  double p_spatial = 0.07;
+  double p_identity = 0.13;
+  double p_aggregate = 0.10;
+  double p_join = 0.13;
+
+  double hot_mass() const {
+    return p_range + p_spatial + p_identity + p_aggregate + p_join;
+  }
+
+  bool operator==(const ClassMix&) const = default;
+};
+
+/// Per-query sampling constraints a scenario phase imposes on template
+/// instantiation. The defaults are the unconstrained legacy behavior —
+/// a default window changes neither the draw sequence nor the emitted
+/// query, which is what keeps the single-phase path byte-identical.
+struct SampleWindow {
+  /// Growing-repository mode: only this prefix fraction of each table's
+  /// rows (and of the sky-cell universe) exists yet. Identity
+  /// identifiers and region anchors are drawn inside the visible
+  /// prefix; 1.0 means the whole release exists (legacy behavior).
+  double visible_fraction = 1.0;
+  /// Flash-crowd mode: with this probability a region query's footprint
+  /// is pinned inside [region_lo, region_lo + region_span) instead of
+  /// anchored uniformly. 0 disables the pin (and its Rng draw).
+  double pin_fraction = 0;
+  int64_t region_lo = 0;
+  int64_t region_span = 0;
+
+  bool operator==(const SampleWindow&) const = default;
+};
 
 /// Knobs of the synthetic SDSS-like trace generator. Defaults follow the
 /// EDR trace's published aggregates; see MakeEdrOptions()/MakeDr1Options()
@@ -22,22 +61,17 @@ struct GeneratorOptions {
   /// (0 disables calibration). EDR: 1216.94 GB, DR1: 1980.4 GB.
   double target_sequence_cost = 0;
 
-  /// Query-class mix. Must sum to <= 1; the remainder becomes cold-tail
-  /// queries against the large rarely-used tables (PhotoProfile,
-  /// Neighbors, cross-match tables) — the accesses an altruistic cache
-  /// must bypass and an in-line cache fatally loads.
-  double p_range = 0.52;
-  double p_spatial = 0.07;
-  double p_identity = 0.13;
-  double p_aggregate = 0.10;
-  double p_join = 0.13;
+  /// Query-class mix (see ClassMix).
+  ClassMix mix;
 
   /// Schema locality: number of templates per hot query class and the
-  /// Zipf skew with which queries reuse them. Templates fix the column
-  /// sets ("schema reuse: conducting queries with similar schema against
-  /// different data", §1.1); instantiation varies literals and region.
+  /// rank distribution with which queries reuse them. Templates fix the
+  /// column sets ("schema reuse: conducting queries with similar schema
+  /// against different data", §1.1); instantiation varies literals and
+  /// region. The default is the Zipf(1.1) reuse the paper-era traces
+  /// show; scenario phases swap in uniform or hotspot specs.
   int templates_per_class = 12;
-  double template_zipf_theta = 1.1;
+  DistributionSpec template_dist;
 
   /// Hot-column pool per table: templates draw their columns from the
   /// first `hot_columns_per_table` of a seed-shuffled column order, which
@@ -47,7 +81,9 @@ struct GeneratorOptions {
   /// Workload drift: the trace is divided into `num_phases` epochs; at
   /// each phase boundary a `phase_churn` fraction of template popularity
   /// ranks reshuffle, creating the bursts/episodes the Rate-Profile
-  /// algorithm's episode machinery targets.
+  /// algorithm's episode machinery targets. (These are template-churn
+  /// epochs, not scenario phases — a scenario phase spans many churn
+  /// epochs and changes the distribution itself.)
   int num_phases = 8;
   double phase_churn = 0.35;
 
@@ -72,6 +108,15 @@ GeneratorOptions MakeDr1Options();
 /// Synthesizes SDSS-like query traces against a catalog. Deterministic
 /// given (catalog, options): the same seed always produces the same
 /// trace.
+///
+/// Two entry points share the template machinery:
+///  * Generate() — the legacy single-phase path: one call produces the
+///    whole calibrated trace.
+///  * SampleQuery() — the scenario-engine path: the caller owns the Rng
+///    and the per-query mix/distribution/window, and the generator
+///    instantiates one query at a time. Generate() is implemented on
+///    SampleQuery with the default window, so a one-phase scenario with
+///    matching knobs reproduces the legacy trace byte-for-byte.
 class TraceGenerator {
  public:
   TraceGenerator(const catalog::Catalog* catalog,
@@ -79,6 +124,31 @@ class TraceGenerator {
 
   /// Generates and (if a target is set) calibrates the trace.
   Trace Generate();
+
+  /// Builds the template pool and churn-phase rankings once (idempotent).
+  /// SampleQuery callers must invoke this before the first sample;
+  /// Generate() does it implicitly.
+  void EnsureTemplates();
+
+  /// Number of template-churn epochs (GeneratorOptions::num_phases).
+  size_t num_churn_phases() const { return phase_class_rank_.size(); }
+
+  const GeneratorOptions& options() const { return options_; }
+
+  /// Samples one query: class pick from `mix`, template rank from
+  /// `rank` (progress drives hotspot drift), template popularity from
+  /// churn epoch `churn_phase`, literals/footprint constrained by
+  /// `window`. All randomness flows through `rng` — same inputs, same
+  /// query.
+  TraceQuery SampleQuery(Rng& rng, const ClassMix& mix,
+                         const RankSampler& rank, size_t churn_phase,
+                         double progress, const SampleWindow& window);
+
+  /// Rescales filter selectivities so SequenceCost(trace) lands within
+  /// ~1% of `target_bytes` (no-op when target_bytes <= 0). Exposed so
+  /// the scenario engine calibrates a multi-phase trace with the exact
+  /// code path the legacy generator uses.
+  void CalibrateTo(Trace& trace, double target_bytes) const;
 
   /// Sum of all query yields in bytes (the sequence cost) under the
   /// library's yield estimator; exposed for tests and calibration checks.
@@ -101,8 +171,8 @@ class TraceGenerator {
   /// Picks 'count' distinct columns of `table` from its hot pool.
   std::vector<int> PickHotColumns(Rng& rng, int table, int count);
 
-  TraceQuery Instantiate(const Template& tmpl, Rng& rng);
-  void Calibrate(Trace& trace);
+  TraceQuery Instantiate(const Template& tmpl, Rng& rng,
+                         const SampleWindow& window);
 
   const catalog::Catalog* catalog_;
   GeneratorOptions options_;

@@ -73,14 +73,14 @@ TEST_F(GeneratorTest, ClassMixTracksConfiguredProbabilities) {
   double n = static_cast<double>(trace.queries.size());
   // Cold-tail queries are emitted as kRange, so range absorbs the
   // remainder mass.
-  double p_cold = 1.0 - options.p_range - options.p_spatial -
-                  options.p_identity - options.p_aggregate - options.p_join;
-  EXPECT_NEAR(counts[QueryClass::kRange] / n, options.p_range + p_cold,
+  double p_cold = 1.0 - options.mix.p_range - options.mix.p_spatial -
+                  options.mix.p_identity - options.mix.p_aggregate - options.mix.p_join;
+  EXPECT_NEAR(counts[QueryClass::kRange] / n, options.mix.p_range + p_cold,
               0.02);
-  EXPECT_NEAR(counts[QueryClass::kSpatial] / n, options.p_spatial, 0.02);
-  EXPECT_NEAR(counts[QueryClass::kIdentity] / n, options.p_identity, 0.02);
-  EXPECT_NEAR(counts[QueryClass::kAggregate] / n, options.p_aggregate, 0.02);
-  EXPECT_NEAR(counts[QueryClass::kJoin] / n, options.p_join, 0.02);
+  EXPECT_NEAR(counts[QueryClass::kSpatial] / n, options.mix.p_spatial, 0.02);
+  EXPECT_NEAR(counts[QueryClass::kIdentity] / n, options.mix.p_identity, 0.02);
+  EXPECT_NEAR(counts[QueryClass::kAggregate] / n, options.mix.p_aggregate, 0.02);
+  EXPECT_NEAR(counts[QueryClass::kJoin] / n, options.mix.p_join, 0.02);
 }
 
 TEST_F(GeneratorTest, CalibrationHitsPublishedSequenceCost) {
@@ -182,10 +182,10 @@ TEST_F(GeneratorTest, Dr1PresetIsMoreDispersed) {
   EXPECT_GT(dr1.target_sequence_cost, edr.target_sequence_cost);
   EXPECT_GT(dr1.phase_churn, edr.phase_churn);
   // Cold mass (remainder) is larger for DR1.
-  double edr_cold = 1 - edr.p_range - edr.p_spatial - edr.p_identity -
-                    edr.p_aggregate - edr.p_join;
-  double dr1_cold = 1 - dr1.p_range - dr1.p_spatial - dr1.p_identity -
-                    dr1.p_aggregate - dr1.p_join;
+  double edr_cold = 1 - edr.mix.p_range - edr.mix.p_spatial - edr.mix.p_identity -
+                    edr.mix.p_aggregate - edr.mix.p_join;
+  double dr1_cold = 1 - dr1.mix.p_range - dr1.mix.p_spatial - dr1.mix.p_identity -
+                    dr1.mix.p_aggregate - dr1.mix.p_join;
   EXPECT_GT(dr1_cold, edr_cold);
 }
 

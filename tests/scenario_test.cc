@@ -1,0 +1,453 @@
+#include "scenario/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/sdss.h"
+#include "common/random.h"
+#include "scenario/engine.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace byc::scenario {
+namespace {
+
+std::string Serialized(const workload::Trace& trace) {
+  std::ostringstream out;
+  EXPECT_TRUE(WriteTrace(trace, out).ok());
+  return out.str();
+}
+
+ScenarioTrace GenerateScenario(const ScenarioSpec& spec) {
+  catalog::Catalog catalog = spec.dr1 ? catalog::MakeSdssDr1Catalog()
+                                      : catalog::MakeSdssEdrCatalog();
+  ScenarioEngine engine(&catalog, spec);
+  return engine.Generate();
+}
+
+// ---------------------------------------------------------------------------
+// Spec format / parse
+
+TEST(ScenarioSpecTest, BuiltinsRoundTripBitExactly) {
+  for (const std::string& name : BuiltinScenarioNames()) {
+    Result<ScenarioSpec> spec = BuiltinScenario(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    std::string text = FormatScenarioSpec(*spec);
+    Result<ScenarioSpec> reparsed = ParseScenarioSpec(text);
+    ASSERT_TRUE(reparsed.ok()) << name << ": " << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, *spec) << name;
+    // The canonical form is a fixed point of Format o Parse.
+    EXPECT_EQ(FormatScenarioSpec(*reparsed), text) << name;
+  }
+}
+
+/// The checked-in scenario files are the builtins' canonical serialized
+/// form (plus comment headers): editing a builtin without regenerating
+/// its file — or hand-editing a file away from its builtin — fails here.
+TEST(ScenarioSpecTest, ExampleFilesMatchBuiltins) {
+  for (const std::string& name : BuiltinScenarioNames()) {
+    const std::string path =
+        std::string(BYC_REPO_DIR) + "/examples/scenarios/" + name +
+        ".scenario";
+    Result<ScenarioSpec> from_file = LoadScenarioFile(path);
+    ASSERT_TRUE(from_file.ok())
+        << path << ": " << from_file.status().ToString();
+    Result<ScenarioSpec> builtin = BuiltinScenario(name);
+    ASSERT_TRUE(builtin.ok());
+    EXPECT_EQ(*from_file, *builtin) << name;
+  }
+}
+
+TEST(ScenarioSpecTest, LoadScenarioFileMissingIsNotFound) {
+  Result<ScenarioSpec> missing =
+      LoadScenarioFile("/nonexistent/path/x.scenario");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(ScenarioSpecTest, UnknownBuiltinIsNotFound) {
+  Result<ScenarioSpec> spec = BuiltinScenario("no_such_scenario");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_TRUE(spec.status().IsNotFound());
+}
+
+TEST(ScenarioSpecTest, CommentsAndBlankLinesAreIgnored) {
+  Result<ScenarioSpec> builtin = BuiltinScenario("diurnal");
+  ASSERT_TRUE(builtin.ok());
+  std::string text = "# a scenario file header\n\n  # indented comment\n" +
+                     FormatScenarioSpec(*builtin) + "\n# trailing\n";
+  Result<ScenarioSpec> parsed = ParseScenarioSpec(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, *builtin);
+}
+
+/// Round-trip fuzz: randomized (valid) specs must survive
+/// Format -> Parse with every field bit-identical. The doubles exercise
+/// the %.17g path with values that have no short decimal form.
+TEST(ScenarioSpecTest, RoundTripFuzz) {
+  Rng rng(987654321);
+  for (int iter = 0; iter < 200; ++iter) {
+    ScenarioSpec spec;
+    spec.name = "fuzz" + std::to_string(iter);
+    spec.dr1 = rng.NextBool(0.5);
+    spec.seed = rng.NextUint64(1u << 30);
+    spec.target_bytes = rng.NextBool(0.5) ? 0 : rng.NextDouble() * 1e13;
+    spec.templates_per_class = 1 + rng.NextUint64(40);
+    spec.hot_columns = 1 + rng.NextUint64(64);
+    spec.churn_phases = 1 + rng.NextUint64(16);
+    spec.churn = rng.NextDouble();
+    spec.sigma = rng.NextDouble() * 2.0;
+    spec.sky_cells = 1024 + rng.NextUint64(1u << 20);
+    auto random_dist = [&rng] {
+      workload::DistributionSpec dist;
+      switch (rng.NextUint64(3)) {
+        case 0:
+          dist.kind = workload::DistKind::kZipf;
+          dist.theta = rng.NextDouble() * 2.0;
+          break;
+        case 1:
+          dist.kind = workload::DistKind::kUniform;
+          break;
+        default:
+          dist.kind = workload::DistKind::kHotspot;
+          dist.hot_fraction = rng.NextDouble();
+          dist.hot_ranks = rng.NextDouble();
+          dist.drift = rng.NextDouble() * 16.0;
+          break;
+      }
+      return dist;
+    };
+    spec.default_dist = random_dist();
+    double prev_hi = 0;
+    size_t num_phases = 1 + rng.NextUint64(4);
+    for (size_t p = 0; p < num_phases; ++p) {
+      PhaseSpec phase;
+      phase.name = "p" + std::to_string(p);
+      phase.queries = 1 + rng.NextUint64(10'000);
+      phase.load_scale = 0.1 + rng.NextDouble() * 4.0;
+      // A mix whose probabilities always sum below 1.
+      phase.mix.p_range = rng.NextDouble() * 0.5;
+      phase.mix.p_spatial = rng.NextDouble() * 0.1;
+      phase.mix.p_identity = rng.NextDouble() * 0.1;
+      phase.mix.p_aggregate = rng.NextDouble() * 0.1;
+      phase.mix.p_join = rng.NextDouble() * 0.1;
+      phase.dist = random_dist();
+      if (rng.NextBool(0.3)) {
+        phase.region_boost = rng.NextDouble();
+        phase.region_span = 1 + rng.NextUint64(spec.sky_cells / 2);
+        phase.region_lo = rng.NextUint64(spec.sky_cells - phase.region_span);
+      }
+      // Visibility must be non-decreasing across the scenario.
+      phase.visible_lo = std::max(prev_hi, 0.05 + rng.NextDouble() * 0.5);
+      phase.visible_hi =
+          std::min(1.0, phase.visible_lo + rng.NextDouble() * 0.4);
+      prev_hi = phase.visible_hi;
+      size_t num_tenants = rng.NextUint64(3);
+      for (size_t t = 0; t < num_tenants; ++t) {
+        TenantSpec tenant;
+        tenant.name = "t" + std::to_string(t);
+        tenant.weight = 0.05 + rng.NextDouble() * 3.0;
+        tenant.dist = random_dist();
+        phase.tenants.push_back(std::move(tenant));
+      }
+      spec.phases.push_back(std::move(phase));
+    }
+    ASSERT_TRUE(ValidateScenarioSpec(spec).ok()) << "iter " << iter;
+    Result<ScenarioSpec> reparsed = ParseScenarioSpec(FormatScenarioSpec(spec));
+    ASSERT_TRUE(reparsed.ok())
+        << "iter " << iter << ": " << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, spec) << "iter " << iter;
+  }
+}
+
+TEST(ScenarioSpecTest, MalformedInputIsInvalidArgument) {
+  const char* kBad[] = {
+      // No records at all / no phases.
+      "",
+      "scenario name=s seed=1",
+      // Phase before its scenario record.
+      "phase name=p queries=10",
+      // Unknown record type / key, malformed pair, bad numbers.
+      "scenario name=s\nepoch name=p queries=10",
+      "scenario name=s wombat=3\nphase name=p queries=10",
+      "scenario name=s\nphase name=p queries=10 load",
+      "scenario name=s\nphase name=p queries=ten",
+      "scenario name=s seed=-4\nphase name=p queries=10",
+      "scenario name=s\nphase name=p queries=10 load=1.5.3",
+      "scenario catalog=DR7 name=s\nphase name=p queries=10",
+      "scenario name=s\nphase name=p queries=10 dist=pareto",
+      // Structural violations.
+      "scenario name=s\nphase name=p queries=0",
+      "scenario name=s\nphase name=p queries=10 load=0",
+      "scenario name=s churn=1.5\nphase name=p queries=10",
+      "scenario name=s\nphase name=p queries=10 visible_lo=0",
+      "scenario name=s\n"
+      "phase name=a queries=10 visible_lo=0.9 visible_hi=0.9\n"
+      "phase name=b queries=10 visible_lo=0.5 visible_hi=1",
+      "scenario name=s\nphase name=p queries=10 visible_lo=0.8 visible_hi=0.4",
+      "scenario name=s\ntenant name=t weight=1",
+      "scenario name=s\nphase name=p queries=10\ntenant name=t weight=0",
+      "scenario name=s sky_cells=1000\n"
+      "phase name=p queries=10 region_boost=0.5 region_lo=900 region_span=200",
+  };
+  for (const char* text : kBad) {
+    Result<ScenarioSpec> parsed = ParseScenarioSpec(text);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << text;
+  }
+}
+
+TEST(ScenarioSpecTest, ScaleScenarioQueriesKeepsStructure) {
+  Result<ScenarioSpec> diurnal = BuiltinScenario("diurnal");
+  ASSERT_TRUE(diurnal.ok());
+  uint64_t original = diurnal->total_queries();
+
+  ScenarioSpec scaled = ScaleScenarioQueries(*diurnal, 2'400);
+  EXPECT_EQ(scaled.total_queries(), 2'400u);
+  ASSERT_EQ(scaled.phases.size(), diurnal->phases.size());
+  for (size_t i = 0; i < scaled.phases.size(); ++i) {
+    EXPECT_GE(scaled.phases[i].queries, 1u);
+    // Proportions survive scaling (within integer rounding).
+    double want = static_cast<double>(diurnal->phases[i].queries) /
+                  static_cast<double>(original);
+    double got = static_cast<double>(scaled.phases[i].queries) / 2'400.0;
+    EXPECT_NEAR(got, want, 0.01) << "phase " << i;
+  }
+  // The calibration target scales with the exact legacy arithmetic.
+  EXPECT_DOUBLE_EQ(scaled.target_bytes,
+                   diurnal->target_bytes * (2'400.0 / static_cast<double>(
+                                                         original)));
+  EXPECT_TRUE(ValidateScenarioSpec(scaled).ok());
+
+  // Extreme shrink: every phase keeps at least one query.
+  ScenarioSpec tiny = ScaleScenarioQueries(*diurnal, diurnal->phases.size());
+  EXPECT_EQ(tiny.total_queries(), diurnal->phases.size());
+  for (const PhaseSpec& phase : tiny.phases) EXPECT_EQ(phase.queries, 1u);
+
+  // No-op paths leave the spec untouched.
+  EXPECT_EQ(ScaleScenarioQueries(*diurnal, 0), *diurnal);
+  EXPECT_EQ(ScaleScenarioQueries(*diurnal, original), *diurnal);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+/// The legacy-equivalence anchor of the whole redesign: a one-phase
+/// steady scenario replays the exact draw sequence of the pre-scenario
+/// TraceGenerator, so its trace — queries, cells, calibrated
+/// selectivities — is byte-identical to the legacy generator's.
+TEST(ScenarioEngineTest, SteadyScenarioMatchesLegacyGeneratorBitwise) {
+  Result<ScenarioSpec> steady = BuiltinScenario("steady");
+  ASSERT_TRUE(steady.ok());
+  ScenarioSpec spec = ScaleScenarioQueries(*steady, 2'000);
+
+  catalog::Catalog catalog = catalog::MakeSdssEdrCatalog();
+  workload::GeneratorOptions options = workload::MakeEdrOptions();
+  options.target_sequence_cost *=
+      2'000.0 / static_cast<double>(options.num_queries);
+  options.num_queries = 2'000;
+  workload::TraceGenerator legacy(&catalog, options);
+  workload::Trace legacy_trace = legacy.Generate();
+
+  ScenarioTrace scenario_trace = GenerateScenario(spec);
+  EXPECT_EQ(Serialized(scenario_trace.trace), Serialized(legacy_trace));
+  EXPECT_EQ(scenario_trace.num_phases(), 1u);
+}
+
+TEST(ScenarioEngineTest, GenerationIsSeedDeterministic) {
+  Result<ScenarioSpec> spec = BuiltinScenario("flashcrowd");
+  ASSERT_TRUE(spec.ok());
+  ScenarioSpec scaled = ScaleScenarioQueries(*spec, 1'500);
+
+  ScenarioTrace a = GenerateScenario(scaled);
+  ScenarioTrace b = GenerateScenario(scaled);
+  EXPECT_EQ(Serialized(a.trace), Serialized(b.trace));
+  EXPECT_EQ(a.phase_offsets, b.phase_offsets);
+  EXPECT_EQ(a.tenant_of_query, b.tenant_of_query);
+
+  ScenarioSpec other_seed = scaled;
+  other_seed.seed += 1;
+  ScenarioTrace c = GenerateScenario(other_seed);
+  EXPECT_NE(Serialized(a.trace), Serialized(c.trace));
+}
+
+/// Per-phase determinism across edits: the single threaded Rng means a
+/// scenario's query stream up to phase k depends only on phases 1..k —
+/// editing a later phase cannot perturb earlier ones.
+TEST(ScenarioEngineTest, EditingALaterPhaseLeavesEarlierPhasesIntact) {
+  Result<ScenarioSpec> builtin = BuiltinScenario("diurnal");
+  ASSERT_TRUE(builtin.ok());
+  ScenarioSpec base = ScaleScenarioQueries(*builtin, 1'200);
+  base.target_bytes = 0;  // calibration is whole-trace; disable for
+                          // prefix comparison
+
+  ScenarioSpec edited = base;
+  edited.phases.back().dist.theta = 0.2;
+  edited.phases.back().mix.p_join = 0.25;
+  edited.phases.back().mix.p_range = 0.33;
+
+  ScenarioTrace a = GenerateScenario(base);
+  ScenarioTrace b = GenerateScenario(edited);
+  ASSERT_EQ(a.phase_offsets, b.phase_offsets);
+  size_t last_start = a.phase_offsets[a.num_phases() - 1];
+  for (size_t i = 0; i < last_start; ++i) {
+    ASSERT_EQ(workload::FormatTraceQuery(a.trace.queries[i]),
+              workload::FormatTraceQuery(b.trace.queries[i]))
+        << "query " << i << " changed by a later-phase edit";
+  }
+}
+
+TEST(ScenarioEngineTest, PhaseOffsetsMatchSpec) {
+  Result<ScenarioSpec> spec = BuiltinScenario("diurnal");
+  ASSERT_TRUE(spec.ok());
+  ScenarioSpec scaled = ScaleScenarioQueries(*spec, 1'200);
+  ScenarioTrace trace = GenerateScenario(scaled);
+  ASSERT_EQ(trace.num_phases(), scaled.phases.size());
+  EXPECT_EQ(trace.phase_offsets.front(), 0u);
+  EXPECT_EQ(trace.phase_offsets.back(), trace.trace.queries.size());
+  for (size_t p = 0; p < scaled.phases.size(); ++p) {
+    EXPECT_EQ(trace.phase_offsets[p + 1] - trace.phase_offsets[p],
+              scaled.phases[p].queries)
+        << "phase " << p;
+  }
+  EXPECT_EQ(trace.tenant_of_query.size(), trace.trace.queries.size());
+}
+
+TEST(ScenarioEngineTest, GrowingRepoVisibilityIsMonotone) {
+  Result<ScenarioSpec> spec = BuiltinScenario("growing_repo");
+  ASSERT_TRUE(spec.ok());
+  ScenarioSpec scaled = ScaleScenarioQueries(*spec, 3'000);
+
+  catalog::Catalog catalog = catalog::MakeSdssEdrCatalog();
+  ScenarioEngine engine(&catalog, scaled);
+  double prev = 0;
+  for (uint64_t i = 0; i < scaled.total_queries(); ++i) {
+    double v = engine.VisibleFractionAt(i);
+    ASSERT_GE(v, prev) << "visibility shrank at query " << i;
+    ASSERT_LE(v, 1.0);
+    prev = v;
+  }
+  EXPECT_GT(prev, 0.99);  // the final season reaches the full release
+
+  // The generated anchors respect each phase's visibility ceiling: a
+  // region query emitted in season k never touches sky cells past the
+  // fraction visible at that point, and later seasons do reach cells
+  // earlier seasons could not.
+  ScenarioTrace trace = GenerateScenario(scaled);
+  double sky = static_cast<double>(scaled.sky_cells);
+  std::vector<int64_t> phase_max(scaled.phases.size(), 0);
+  for (size_t p = 0; p < scaled.phases.size(); ++p) {
+    for (size_t i = trace.phase_offsets[p]; i < trace.phase_offsets[p + 1];
+         ++i) {
+      const workload::TraceQuery& tq = trace.trace.queries[i];
+      if (tq.klass != workload::QueryClass::kRange &&
+          tq.klass != workload::QueryClass::kSpatial) {
+        continue;
+      }
+      for (int64_t cell : tq.cells) {
+        ASSERT_LE(static_cast<double>(cell),
+                  scaled.phases[p].visible_hi * sky)
+            << "phase " << p << " query " << i;
+        phase_max[p] = std::max(phase_max[p], cell);
+      }
+    }
+  }
+  // Season 3 (visible up to 1.0) reaches past season 1's 0.5 ceiling.
+  EXPECT_GT(static_cast<double>(phase_max.back()),
+            scaled.phases.front().visible_hi * sky);
+}
+
+TEST(ScenarioEngineTest, FlashCrowdPinsRegionQueriesToTheHotRegion) {
+  Result<ScenarioSpec> spec = BuiltinScenario("flashcrowd");
+  ASSERT_TRUE(spec.ok());
+  ScenarioSpec scaled = ScaleScenarioQueries(*spec, 3'000);
+  ScenarioTrace trace = GenerateScenario(scaled);
+
+  const PhaseSpec& flash = scaled.phases[1];
+  ASSERT_GT(flash.region_boost, 0.5);
+  int64_t lo = static_cast<int64_t>(flash.region_lo);
+  int64_t hi = lo + static_cast<int64_t>(flash.region_span);
+  auto pinned_fraction = [&](size_t phase) {
+    size_t region_queries = 0, pinned = 0;
+    for (size_t i = trace.phase_offsets[phase];
+         i < trace.phase_offsets[phase + 1]; ++i) {
+      const workload::TraceQuery& tq = trace.trace.queries[i];
+      if (tq.klass != workload::QueryClass::kRange &&
+          tq.klass != workload::QueryClass::kSpatial) {
+        continue;
+      }
+      ++region_queries;
+      pinned += tq.cells.front() >= lo && tq.cells.back() < hi;
+    }
+    return static_cast<double>(pinned) /
+           static_cast<double>(std::max<size_t>(region_queries, 1));
+  };
+  // The flash phase pins ~85% of region queries inside the 4096-cell hot
+  // window; calm-phase anchors are uniform over 262k cells, so landing
+  // inside it by chance is ~1.6%.
+  EXPECT_GT(pinned_fraction(1), 0.7);
+  EXPECT_LT(pinned_fraction(0), 0.2);
+}
+
+TEST(ScenarioEngineTest, MultiTenantSplitsQueriesByWeight) {
+  Result<ScenarioSpec> spec = BuiltinScenario("multi_tenant");
+  ASSERT_TRUE(spec.ok());
+  ScenarioSpec scaled = ScaleScenarioQueries(*spec, 4'000);
+  ASSERT_EQ(scaled.phases.size(), 1u);
+  const std::vector<TenantSpec>& tenants = scaled.phases[0].tenants;
+  ASSERT_EQ(tenants.size(), 3u);
+
+  ScenarioTrace trace = GenerateScenario(scaled);
+  ASSERT_EQ(trace.tenant_of_query.size(), 4'000u);
+  std::vector<size_t> counts(tenants.size(), 0);
+  for (uint16_t tenant : trace.tenant_of_query) {
+    ASSERT_LT(tenant, tenants.size());
+    ++counts[tenant];
+  }
+  double total_weight = 0;
+  for (const TenantSpec& tenant : tenants) total_weight += tenant.weight;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    EXPECT_NEAR(static_cast<double>(counts[t]) / 4'000.0,
+                tenants[t].weight / total_weight, 0.05)
+        << tenants[t].name;
+  }
+
+  // A tenant-free scenario reports tenant 0 for every query.
+  Result<ScenarioSpec> steady = BuiltinScenario("steady");
+  ASSERT_TRUE(steady.ok());
+  ScenarioTrace flat = GenerateScenario(ScaleScenarioQueries(*steady, 500));
+  for (uint16_t tenant : flat.tenant_of_query) EXPECT_EQ(tenant, 0u);
+}
+
+TEST(ScenarioEngineTest, ReleaseUpgradeWidensTheVisibleUniverse) {
+  Result<ScenarioSpec> spec = BuiltinScenario("release_upgrade");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->dr1);
+  ScenarioSpec scaled = ScaleScenarioQueries(*spec, 2'600);
+  ScenarioTrace trace = GenerateScenario(scaled);
+  EXPECT_EQ(trace.trace.name, "DR1");
+
+  // EDR-era identity keys live in the 1/2.3 visible prefix; the DR1 era
+  // reaches identifiers the EDR era could not have named.
+  catalog::Catalog catalog = catalog::MakeSdssDr1Catalog();
+  int64_t era_max[2] = {0, 0};
+  for (size_t p = 0; p < 2; ++p) {
+    for (size_t i = trace.phase_offsets[p]; i < trace.phase_offsets[p + 1];
+         ++i) {
+      const workload::TraceQuery& tq = trace.trace.queries[i];
+      if (tq.klass != workload::QueryClass::kIdentity || tq.cells.empty()) {
+        continue;
+      }
+      era_max[p] = std::max(era_max[p], tq.cells.front());
+    }
+  }
+  EXPECT_GT(era_max[1], era_max[0]);
+}
+
+}  // namespace
+}  // namespace byc::scenario
